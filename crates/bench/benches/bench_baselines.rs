@@ -1,0 +1,55 @@
+//! E10 kernel benchmarks: traditional capacity estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsc_channel::dmc::Dmc;
+use nsc_channel::timed_z::TimedZChannel;
+use nsc_info::fsm::{FsmChannel, FsmEdge};
+use nsc_info::timing::{capacity_per_unit_time, noiseless_timing_capacity, TimingOptions};
+
+fn bench_blahut_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blahut_capacity");
+    let channels: Vec<(&str, Dmc)> = vec![
+        ("bsc_0.11", Dmc::binary_symmetric(0.11).unwrap()),
+        ("z_0.25", Dmc::z_channel(0.25).unwrap()),
+        ("mary_n4_0.2", Dmc::mary_symmetric(4, 0.2).unwrap()),
+    ];
+    for (name, dmc) in &channels {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), dmc, |b, dmc| {
+            b.iter(|| dmc.capacity().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    let edge = |from, to, duration: f64| FsmEdge {
+        from,
+        to,
+        duration,
+        label: String::new(),
+    };
+    let fsm = FsmChannel::new(2, vec![edge(0, 0, 1.0), edge(0, 1, 2.0), edge(1, 0, 1.5)]).unwrap();
+    c.bench_function("millen_fsm_capacity", |b| {
+        b.iter(|| fsm.capacity().unwrap())
+    });
+    c.bench_function("stc_shannon_root", |b| {
+        b.iter(|| noiseless_timing_capacity(&[1.0, 2.0, 3.0, 5.0]).unwrap())
+    });
+}
+
+fn bench_timed_channels(c: &mut Criterion) {
+    let z = TimedZChannel::new(0.2, 1.0, 2.0).unwrap();
+    c.bench_function("timed_z_capacity", |b| b.iter(|| z.capacity().unwrap()));
+    let w = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+    c.bench_function("capacity_per_unit_time_2x2", |b| {
+        b.iter(|| capacity_per_unit_time(&w, &[1.0, 3.0], &TimingOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_blahut_families,
+    bench_fsm,
+    bench_timed_channels
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2/E5 kernel benchmarks: bound formulas and the Blahut–Arimoto
+//! cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsc_bench::bounds_exp::erasure_dmc;
+use nsc_core::bounds::{capacity_bounds, convergence_ratio};
+use nsc_info::blahut::{blahut_arimoto, BlahutOptions};
+
+fn bench_bound_formulas(c: &mut Criterion) {
+    c.bench_function("capacity_bounds_n8", |b| {
+        b.iter(|| capacity_bounds(std::hint::black_box(8), 0.1, 0.1).unwrap())
+    });
+    c.bench_function("convergence_ratio_n16", |b| {
+        b.iter(|| convergence_ratio(std::hint::black_box(16), 0.1).unwrap())
+    });
+}
+
+fn bench_blahut_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blahut_erasure_dmc");
+    for bits in [1u32, 2, 4, 6] {
+        let w = erasure_dmc(bits, 0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &w, |b, w| {
+            b.iter(|| blahut_arimoto(w, &BlahutOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_formulas, bench_blahut_erasure);
+criterion_main!(benches);

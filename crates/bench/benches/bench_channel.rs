@@ -1,0 +1,61 @@
+//! E1 kernel benchmarks: deletion-insertion channel throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_transmit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("di_channel_transmit");
+    let input: Vec<Symbol> = (0..10_000).map(|i| Symbol::from_index(i % 16)).collect();
+    group.throughput(Throughput::Elements(input.len() as u64));
+    for (name, p_d, p_i, p_s) in [
+        ("noiseless", 0.0, 0.0, 0.0),
+        ("deletion_only", 0.2, 0.0, 0.0),
+        ("full", 0.2, 0.2, 0.1),
+    ] {
+        let channel = DeletionInsertionChannel::new(
+            Alphabet::new(4).unwrap(),
+            DiParams::new(p_d, p_i, p_s).unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &channel, |b, ch| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| ch.transmit(&input, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_use_once(c: &mut Criterion) {
+    let channel =
+        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::new(0.1, 0.1, 0.05).unwrap());
+    c.bench_function("di_channel_use_once", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sym = Some(Symbol::from_index(1));
+        b.iter(|| channel.use_once(sym, &mut rng));
+    });
+}
+
+fn bench_bursty(c: &mut Criterion) {
+    use nsc_channel::burst::GilbertElliottChannel;
+    let input: Vec<Symbol> = (0..10_000).map(|i| Symbol::from_index(i % 2)).collect();
+    let ch = GilbertElliottChannel::new(
+        Alphabet::binary(),
+        DiParams::deletion_only(0.02).unwrap(),
+        DiParams::deletion_only(0.6).unwrap(),
+        0.02,
+        0.1,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("gilbert_elliott_transmit");
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.bench_function("burst10", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| ch.transmit(&input, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transmit, bench_use_once, bench_bursty);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E9 kernel benchmarks: watermark encode/decode and the drift
+//! lattice.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_coding::bits::random_bits;
+use nsc_coding::conv::ConvCode;
+use nsc_coding::lattice::DriftLattice;
+use nsc_coding::watermark::WatermarkCode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DATA_BITS: usize = 200;
+
+fn through_channel(bits: &[bool], p_d: f64, seed: u64) -> Vec<bool> {
+    let ch =
+        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::deletion_only(p_d).unwrap());
+    let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ch.transmit(&input, &mut rng)
+        .received
+        .iter()
+        .map(|s| s.index() == 1)
+        .collect()
+}
+
+fn bench_watermark(c: &mut Criterion) {
+    let code = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 0xF00D).unwrap();
+    let data = random_bits(DATA_BITS, &mut StdRng::seed_from_u64(1));
+    let sent = code.encode(&data).unwrap();
+    let recv = through_channel(&sent, 0.05, 2);
+    let mut group = c.benchmark_group("watermark");
+    group.throughput(Throughput::Elements(DATA_BITS as u64));
+    group.bench_function("encode_200b", |b| b.iter(|| code.encode(&data).unwrap()));
+    group.bench_function("decode_200b_pd0.05", |b| {
+        b.iter(|| code.decode(&recv, DATA_BITS, 0.05, 0.0, 0.0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let n = 2000usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let watermark = random_bits(n, &mut rng);
+    let recv = through_channel(&watermark, 0.05, 4);
+    let priors = vec![0.1; n];
+    let lattice = DriftLattice::new(0.05, 0.0, 0.0).unwrap();
+    let mut group = c.benchmark_group("drift_lattice");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("posteriors_2000b", |b| {
+        b.iter(|| lattice.posteriors(&watermark, &priors, &recv).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let code = ConvCode::nasa_half_rate();
+    let data = random_bits(1000, &mut StdRng::seed_from_u64(5));
+    let coded = code.encode(&data);
+    let mut group = c.benchmark_group("viterbi");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("decode_k7_1000b", |b| {
+        b.iter(|| code.decode_hard(&coded).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ldpc(c: &mut Criterion) {
+    use nsc_coding::ldpc::LdpcCode;
+    let code = LdpcCode::new(256, 256, 3, 11).unwrap();
+    let data = random_bits(256, &mut StdRng::seed_from_u64(7));
+    let block = code.encode(&data);
+    let llrs: Vec<f64> = block.iter().map(|&b| if b { -2.0 } else { 2.0 }).collect();
+    let mut group = c.benchmark_group("ldpc");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("encode_k256", |b| b.iter(|| code.encode(&data)));
+    group.bench_function("decode_k256_clean", |b| {
+        b.iter(|| code.decode(&llrs, 30).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_watermark,
+    bench_lattice,
+    bench_viterbi,
+    bench_ldpc
+);
+criterion_main!(benches);

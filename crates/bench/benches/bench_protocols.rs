@@ -1,0 +1,104 @@
+//! E3/E4/E6/E7 kernel benchmarks: protocol runners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_core::protocols::resend::run_resend;
+use nsc_core::protocols::selective::run_selective_repeat;
+use nsc_core::sim::counter::run_counter_protocol;
+use nsc_core::sim::slotted::run_slotted;
+use nsc_core::sim::stop_wait::run_stop_and_wait;
+use nsc_core::sim::BernoulliSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MSG_LEN: usize = 10_000;
+
+fn message() -> Vec<Symbol> {
+    let a = Alphabet::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..MSG_LEN).map(|_| a.random(&mut rng)).collect()
+}
+
+fn bench_resend(c: &mut Criterion) {
+    let msg = message();
+    let channel = DeletionInsertionChannel::new(
+        Alphabet::new(4).unwrap(),
+        DiParams::deletion_only(0.2).unwrap(),
+    );
+    let mut group = c.benchmark_group("protocols");
+    group.throughput(Throughput::Elements(MSG_LEN as u64));
+    group.bench_function("resend_pd0.2", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| run_resend(&channel, &msg, &mut rng).unwrap())
+    });
+    group.bench_function("selective_repeat_w64", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| run_selective_repeat(&channel, &msg, 64, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_mechanistic(c: &mut Criterion) {
+    let msg = message();
+    let mut group = c.benchmark_group("mechanistic_runs");
+    group.throughput(Throughput::Elements(MSG_LEN as u64));
+    group.bench_function("counter_q0.5", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(4)).unwrap();
+            run_counter_protocol(&msg, &mut s, usize::MAX).unwrap()
+        })
+    });
+    group.bench_function("stop_wait_q0.5", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(5)).unwrap();
+            run_stop_and_wait(&msg, &mut s, usize::MAX).unwrap()
+        })
+    });
+    for slot_len in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("slotted_q0.5", slot_len),
+            &slot_len,
+            |b, &slot_len| {
+                b.iter(|| {
+                    let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(6)).unwrap();
+                    run_slotted(&msg, &mut s, slot_len, usize::MAX).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_noisy_feedback(c: &mut Criterion) {
+    use nsc_core::sim::noisy_feedback::{run_noisy_counter, FeedbackQuality};
+    let msg = message();
+    let mut group = c.benchmark_group("noisy_feedback");
+    group.throughput(Throughput::Elements(MSG_LEN as u64));
+    group.bench_function("counter_loss0.25", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(7)).unwrap();
+            let mut rng = StdRng::seed_from_u64(8);
+            run_noisy_counter(
+                &msg,
+                &mut s,
+                FeedbackQuality {
+                    p_loss: 0.25,
+                    delay: 0,
+                },
+                &mut rng,
+                usize::MAX,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_resend,
+    bench_mechanistic,
+    bench_noisy_feedback
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E8 kernel benchmarks: scheduler simulation and channel
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsc_sched::covert::measure_covert_channel;
+use nsc_sched::mitigation::PolicyKind;
+use nsc_sched::system::{Uniprocessor, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const QUANTA: usize = 50_000;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniprocessor_run");
+    group.throughput(Throughput::Elements(QUANTA as u64));
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let spec = WorkloadSpec::covert_pair().with_background(2, 0.8);
+                    let mut sys = Uniprocessor::new(spec, kind.build()).unwrap();
+                    sys.run(QUANTA, &mut StdRng::seed_from_u64(1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let spec = WorkloadSpec::covert_pair().with_background(2, 0.8);
+    let mut sys = Uniprocessor::new(spec, PolicyKind::Lottery.build()).unwrap();
+    let trace = sys.run(QUANTA, &mut StdRng::seed_from_u64(2));
+    c.bench_function("measure_covert_channel", |b| {
+        b.iter(|| measure_covert_channel(&trace, 4, &mut StdRng::seed_from_u64(3)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_measurement);
+criterion_main!(benches);

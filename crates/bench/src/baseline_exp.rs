@@ -1,0 +1,215 @@
+//! E10 — traditional estimators validated (§2 related work).
+//!
+//! Cross-validates every "traditional" capacity machine this
+//! workspace implements: closed forms vs Blahut–Arimoto for the
+//! classic DMC families, Millen's finite-state capacity computed two
+//! independent ways, Moskowitz's Simple Timing Channel, and the timed
+//! Z-channel capacity curve.
+
+use crate::table::{f4, Table};
+use nsc_channel::dmc::{closed_form, Dmc};
+use nsc_channel::timed_z::TimedZChannel;
+use nsc_info::fsm::{FsmChannel, FsmEdge};
+use nsc_info::timing::noiseless_timing_capacity;
+use serde::Serialize;
+
+/// One row of the DMC validation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DmcRow {
+    /// Family and parameter description.
+    pub family: String,
+    /// Closed-form capacity.
+    pub closed: f64,
+    /// Blahut–Arimoto capacity.
+    pub blahut: f64,
+}
+
+/// Validates the classic DMC families.
+pub fn dmc_rows() -> Vec<DmcRow> {
+    let mut rows = Vec::new();
+    for &p in &[0.05, 0.11, 0.25] {
+        rows.push(DmcRow {
+            family: format!("BSC(p={p})"),
+            closed: closed_form::bsc(p),
+            blahut: Dmc::binary_symmetric(p)
+                .expect("valid")
+                .capacity()
+                .expect("converges"),
+        });
+        rows.push(DmcRow {
+            family: format!("erasure(e={p})"),
+            closed: closed_form::erasure(1, p),
+            blahut: Dmc::binary_erasure(p)
+                .expect("valid")
+                .capacity()
+                .expect("converges"),
+        });
+        rows.push(DmcRow {
+            family: format!("Z(p={p})"),
+            closed: closed_form::z_channel(p),
+            blahut: Dmc::z_channel(p)
+                .expect("valid")
+                .capacity()
+                .expect("converges"),
+        });
+        rows.push(DmcRow {
+            family: format!("M-ary(N=3, e={p})"),
+            closed: closed_form::mary_symmetric(3, p),
+            blahut: Dmc::mary_symmetric(3, p)
+                .expect("valid")
+                .capacity()
+                .expect("converges"),
+        });
+    }
+    rows
+}
+
+/// One row of the finite-state / timing validation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FsmRow {
+    /// Model description.
+    pub model: String,
+    /// Capacity via the general spectral-radius bisection.
+    pub general: f64,
+    /// Capacity via the independent comparator (Shannon root /
+    /// adjacency log-spectral-radius).
+    pub comparator: f64,
+}
+
+/// Validates Millen's finite-state capacity and the Simple Timing
+/// Channel against independent solvers.
+pub fn fsm_rows() -> Vec<FsmRow> {
+    let edge = |from, to, duration: f64| FsmEdge {
+        from,
+        to,
+        duration,
+        label: String::new(),
+    };
+    let mut rows = Vec::new();
+    // Moskowitz STC with durations {1, 2}: telegraph capacity.
+    let stc = FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 2.0)]).expect("valid");
+    rows.push(FsmRow {
+        model: "STC durations {1,2}".to_owned(),
+        general: stc.capacity().expect("converges"),
+        comparator: noiseless_timing_capacity(&[1.0, 2.0]).expect("converges"),
+    });
+    // STC with durations {1, 2, 3}.
+    let stc3 =
+        FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 2.0), edge(0, 0, 3.0)]).expect("valid");
+    rows.push(FsmRow {
+        model: "STC durations {1,2,3}".to_owned(),
+        general: stc3.capacity().expect("converges"),
+        comparator: noiseless_timing_capacity(&[1.0, 2.0, 3.0]).expect("converges"),
+    });
+    // Millen FSM, unit times (Fibonacci graph): log2(phi) two ways.
+    let fib =
+        FsmChannel::new(2, vec![edge(0, 0, 1.0), edge(0, 1, 1.0), edge(1, 0, 1.0)]).expect("valid");
+    rows.push(FsmRow {
+        model: "Millen FSM (Fibonacci, unit times)".to_owned(),
+        general: fib.capacity().expect("converges"),
+        comparator: fib.unit_time_capacity().expect("converges"),
+    });
+    rows
+}
+
+/// One row of the timed Z-channel curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimedZRow {
+    /// Crossover probability.
+    pub p: f64,
+    /// Capacity (bits per unit time) with `t0 = 1, t1 = 2`.
+    pub rate_t12: f64,
+    /// Per-use Z capacity (the `t0 = t1 = 1` comparator).
+    pub per_use: f64,
+}
+
+/// Computes the timed Z-channel capacity curve.
+pub fn timed_z_rows() -> Vec<TimedZRow> {
+    [0.0, 0.1, 0.25, 0.5, 0.75]
+        .iter()
+        .map(|&p| TimedZRow {
+            p,
+            rate_t12: TimedZChannel::new(p, 1.0, 2.0)
+                .expect("valid")
+                .capacity()
+                .expect("converges"),
+            per_use: closed_form::z_channel(p),
+        })
+        .collect()
+}
+
+/// Renders E10.
+pub fn run() -> String {
+    let mut out =
+        String::from("\n## E10 — Traditional estimators validated (related-work baselines)\n");
+    let mut t = Table::new(["family", "closed form", "Blahut-Arimoto", "abs diff"]);
+    for r in dmc_rows() {
+        t.row([
+            r.family.clone(),
+            f4(r.closed),
+            f4(r.blahut),
+            format!("{:.1e}", (r.closed - r.blahut).abs()),
+        ]);
+    }
+    out.push_str(&format!("\n### Classic DMC families\n\n{}", t.render()));
+    let mut t = Table::new(["model", "general solver", "comparator", "abs diff"]);
+    for r in fsm_rows() {
+        t.row([
+            r.model.clone(),
+            f4(r.general),
+            f4(r.comparator),
+            format!("{:.1e}", (r.general - r.comparator).abs()),
+        ]);
+    }
+    out.push_str(&format!(
+        "\n### Millen finite-state / Moskowitz STC (bits per unit time)\n\n{}",
+        t.render()
+    ));
+    let mut t = Table::new(["p", "timed-Z rate (t0=1,t1=2)", "per-use Z capacity"]);
+    for r in timed_z_rows() {
+        t.row([f4(r.p), f4(r.rate_t12), f4(r.per_use)]);
+    }
+    out.push_str(&format!(
+        "\n### Timed Z-channel (Moskowitz-Greenwald-Kang)\n\n{}",
+        t.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmc_closed_forms_match_blahut() {
+        for r in dmc_rows() {
+            assert!((r.closed - r.blahut).abs() < 1e-6, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fsm_solvers_agree() {
+        for r in fsm_rows() {
+            assert!((r.general - r.comparator).abs() < 1e-6, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn timed_z_curve_is_monotone_decreasing() {
+        let rows = timed_z_rows();
+        for w in rows.windows(2) {
+            assert!(w[1].rate_t12 <= w[0].rate_t12 + 1e-9);
+            assert!(w[1].per_use <= w[0].per_use + 1e-9);
+        }
+        // Noiseless endpoint is the telegraph capacity.
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((rows[0].rate_t12 - phi.log2()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run();
+        assert!(s.contains("E10"));
+        assert!(s.contains("Fibonacci"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates every experiment table (E1–E10).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--seed N] [--json] [e1 .. e14]
+//! ```
+//!
+//! With no experiment names, runs everything. `--json` prints one
+//! machine-readable document instead of the text tables.
+
+use nsc_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20_050_605u64; // ICDCS 2005 vintage.
+    let mut selected: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json = true;
+        } else if arg == "--seed" {
+            seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--seed needs an integer");
+                std::process::exit(2);
+            });
+        } else {
+            selected.push(arg.to_lowercase());
+        }
+    }
+    if json {
+        let doc = bench::json_out::experiments_json(seed, &selected);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("experiment rows serialize")
+        );
+        return;
+    }
+    let run = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    println!("# Non-Synchronous Covert Channels — experiment run (seed = {seed})\n");
+    if run("e1") {
+        print!("{}", bench::channel_fidelity::run(seed));
+    }
+    if run("e2") {
+        print!("{}", bench::bounds_exp::run_e2(seed));
+    }
+    if run("e3") {
+        print!("{}", bench::protocol_exp::run_e3(seed));
+    }
+    if run("e4") {
+        print!("{}", bench::protocol_exp::run_e4(seed));
+    }
+    if run("e5") {
+        print!("{}", bench::bounds_exp::run_e5());
+    }
+    if run("e6") {
+        print!("{}", bench::protocol_exp::run_e6(seed));
+    }
+    if run("e7") {
+        print!("{}", bench::protocol_exp::run_e7(seed));
+    }
+    if run("e8") {
+        print!("{}", bench::sched_exp::run(seed));
+    }
+    if run("e9") {
+        print!("{}", bench::coding_exp::run(seed));
+    }
+    if run("e10") {
+        print!("{}", bench::baseline_exp::run());
+    }
+    if run("e11") {
+        print!("{}", bench::ablation_exp::run_e11(seed));
+    }
+    if run("e12") {
+        print!("{}", bench::ablation_exp::run_e12(seed));
+    }
+    if run("e13") {
+        print!("{}", bench::timing_exp::run(seed));
+    }
+    if run("e14") {
+        print!("{}", bench::wide_exp::run(seed));
+    }
+}

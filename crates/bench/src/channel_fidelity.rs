@@ -1,0 +1,154 @@
+//! E1 — Definition 1 / Figure 2 fidelity.
+//!
+//! Pushes long pilot sequences through the deletion-insertion
+//! simulator and checks that the empirical event frequencies match
+//! the configured `(P_d, P_i, P_t, P_s)` by a chi-square
+//! goodness-of-fit test over the four outcome categories.
+
+use crate::table::{f4, Table};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_channel::stats::goodness_of_fit;
+use nsc_info::gamma::chi_square_p_value;
+use nsc_info::stats::chi_square_threshold;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Parameter sets exercised (p_d, p_i, p_s).
+pub const PARAM_SETS: [(f64, f64, f64); 6] = [
+    (0.0, 0.0, 0.0),
+    (0.1, 0.0, 0.0),
+    (0.0, 0.1, 0.0),
+    (0.1, 0.1, 0.1),
+    (0.3, 0.2, 0.05),
+    (0.5, 0.4, 0.5),
+];
+
+/// Symbols per pilot run.
+pub const PILOT_LEN: usize = 200_000;
+
+/// One row of the E1 report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FidelityRow {
+    /// Configured parameters (p_d, p_i, p_s).
+    pub configured: (f64, f64, f64),
+    /// Empirical rates (p_d, p_i, p_t, p_s).
+    pub empirical: (f64, f64, f64, f64),
+    /// Chi-square statistic over the four categories.
+    pub chi_square: f64,
+    /// Acceptance threshold used (3 dof, 5 sigma).
+    pub threshold: f64,
+    /// Exact p-value of the statistic (3 degrees of freedom).
+    pub p_value: f64,
+}
+
+impl FidelityRow {
+    /// Whether the simulator passed the goodness-of-fit check.
+    pub fn pass(&self) -> bool {
+        self.chi_square < self.threshold
+    }
+}
+
+/// Runs E1 and returns the structured rows.
+pub fn rows(seed: u64) -> Vec<FidelityRow> {
+    let alphabet = Alphabet::new(4).expect("4-bit alphabet is valid");
+    PARAM_SETS
+        .iter()
+        .enumerate()
+        .map(|(i, &(p_d, p_i, p_s))| {
+            let params = DiParams::new(p_d, p_i, p_s).expect("built-in parameters valid");
+            let channel = DeletionInsertionChannel::new(alphabet, params);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let input: Vec<Symbol> = (0..PILOT_LEN)
+                .map(|k| Symbol::from_index((k % 16) as u32))
+                .collect();
+            let out = channel.transmit(&input, &mut rng);
+            let chi = goodness_of_fit(&out.events, &params).expect("non-empty log");
+            FidelityRow {
+                configured: (p_d, p_i, p_s),
+                empirical: (
+                    out.events.empirical_deletion_rate(),
+                    out.events.empirical_insertion_rate(),
+                    out.events.empirical_transmission_rate(),
+                    out.events.empirical_substitution_rate(),
+                ),
+                chi_square: chi,
+                threshold: chi_square_threshold(3, 5.0),
+                p_value: chi_square_p_value(chi, 3).expect("valid statistic"),
+            }
+        })
+        .collect()
+}
+
+/// Runs E1 and renders the report.
+pub fn run(seed: u64) -> String {
+    let mut t = Table::new([
+        "p_d", "p_i", "p_s", "p_d^", "p_i^", "p_t^", "p_s^", "chi2", "p-value", "pass",
+    ]);
+    for r in rows(seed) {
+        t.row([
+            f4(r.configured.0),
+            f4(r.configured.1),
+            f4(r.configured.2),
+            f4(r.empirical.0),
+            f4(r.empirical.1),
+            f4(r.empirical.2),
+            f4(r.empirical.3),
+            format!("{:.2}", r.chi_square),
+            format!("{:.3}", r.p_value),
+            if r.pass() { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    format!(
+        "\n## E1 — Deletion-insertion channel fidelity (Definition 1 / Figure 2)\n\n\
+         {} pilot symbols per row, 4-bit alphabet; chi-square over the four\n\
+         outcome categories with exact p-values; pass threshold = dof + 5\n\
+         sigma (p-values fluctuate per seed, as they should under H0).\n\n{}",
+        PILOT_LEN,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parameter_sets_pass() {
+        for r in rows(2024) {
+            assert!(
+                r.pass(),
+                "chi2 {} >= {} at {:?}",
+                r.chi_square,
+                r.threshold,
+                r.configured
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rates_track_configured() {
+        for r in rows(7) {
+            assert!((r.empirical.0 - r.configured.0).abs() < 0.01);
+            assert!((r.empirical.1 - r.configured.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn p_values_are_unsuspicious() {
+        // Under the null (the simulator IS Definition 1), p-values
+        // should not be microscopically small.
+        for r in rows(99) {
+            assert!(r.p_value > 1e-6, "{r:?}");
+            assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    #[test]
+    fn report_contains_all_rows() {
+        let s = run(1);
+        assert!(s.contains("E1"));
+        assert_eq!(s.matches("yes").count(), PARAM_SETS.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Machine-readable experiment output.
+//!
+//! The text tables in the sibling modules are for humans;
+//! [`experiments_json`] assembles the same rows into one JSON
+//! document (keyed `e1`…`e14`) so plots and regression tooling can
+//! consume a run without scraping tables.
+
+use serde_json::{json, Value};
+
+/// Assembles every experiment's structured rows into one JSON value.
+/// Pass a subset filter like the CLI's (empty = everything).
+pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let mut root = serde_json::Map::new();
+    root.insert("seed".to_owned(), json!(seed));
+    if want("e1") {
+        root.insert("e1".to_owned(), json!(crate::channel_fidelity::rows(seed)));
+    }
+    if want("e2") {
+        root.insert("e2".to_owned(), json!(crate::bounds_exp::rows_e2(seed)));
+    }
+    if want("e3") {
+        root.insert("e3".to_owned(), json!(crate::protocol_exp::rows_e3(seed)));
+    }
+    if want("e4") {
+        root.insert("e4".to_owned(), json!(crate::protocol_exp::rows_e4(seed)));
+    }
+    if want("e5") {
+        root.insert("e5".to_owned(), json!(crate::bounds_exp::rows_e5()));
+    }
+    if want("e6") {
+        root.insert("e6".to_owned(), json!(crate::protocol_exp::rows_e6(seed)));
+    }
+    if want("e7") {
+        let per_q: Vec<Value> = [0.35, 0.5, 0.65]
+            .iter()
+            .map(|&q| {
+                json!({
+                    "q": q,
+                    "mechanisms": crate::protocol_exp::rows_e7(q, seed),
+                })
+            })
+            .collect();
+        root.insert("e7".to_owned(), json!(per_q));
+    }
+    if want("e8") {
+        let loads: Vec<Value> = crate::sched_exp::rows(seed)
+            .into_iter()
+            .map(|((n, ready), reports)| {
+                json!({
+                    "background": n,
+                    "ready_prob": ready,
+                    "policies": reports,
+                })
+            })
+            .collect();
+        root.insert(
+            "e8".to_owned(),
+            json!({
+                "loads": loads,
+                "priority_workload": crate::sched_exp::priority_rows(seed),
+            }),
+        );
+    }
+    if want("e9") {
+        let rows: Vec<Value> = crate::coding_exp::rows(seed)
+            .into_iter()
+            .map(|r| {
+                json!({
+                    "p_d": r.p_d,
+                    "feedback_capacity": r.feedback_capacity,
+                    "codecs": r.codecs
+                        .iter()
+                        .map(|(name, e)| json!({"codec": name, "eval": e}))
+                        .collect::<Vec<Value>>(),
+                })
+            })
+            .collect();
+        root.insert("e9".to_owned(), json!(rows));
+    }
+    if want("e10") {
+        root.insert(
+            "e10".to_owned(),
+            json!({
+                "dmc": crate::baseline_exp::dmc_rows(),
+                "fsm": crate::baseline_exp::fsm_rows(),
+                "timed_z": crate::baseline_exp::timed_z_rows(),
+            }),
+        );
+    }
+    if want("e11") {
+        root.insert("e11".to_owned(), json!(crate::ablation_exp::rows_e11(seed)));
+    }
+    if want("e12") {
+        root.insert("e12".to_owned(), json!(crate::ablation_exp::rows_e12(seed)));
+    }
+    if want("e13") {
+        root.insert("e13".to_owned(), json!(crate::timing_exp::rows(seed)));
+    }
+    if want("e14") {
+        root.insert("e14".to_owned(), json!(crate::wide_exp::rows(seed)));
+    }
+    Value::Object(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_selection_limits_keys() {
+        let v = experiments_json(3, &["e5".to_owned(), "e10".to_owned()]);
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("e5"));
+        assert!(obj.contains_key("e10"));
+        assert!(!obj.contains_key("e2"));
+        assert_eq!(obj["seed"], 3);
+    }
+
+    #[test]
+    fn e5_rows_serialize_with_values() {
+        let v = experiments_json(3, &["e5".to_owned()]);
+        let rows = v["e5"].as_array().unwrap();
+        assert_eq!(rows.len(), crate::bounds_exp::P_SWEEP.len());
+        assert!(rows[0]["ratios"].as_array().unwrap().len() == crate::bounds_exp::N_SWEEP.len());
+    }
+
+    #[test]
+    fn document_is_valid_json_text() {
+        let v = experiments_json(3, &["e10".to_owned()]);
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["e10"]["dmc"].as_array().unwrap().len(), 12);
+    }
+}

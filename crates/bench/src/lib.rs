@@ -1,0 +1,62 @@
+//! Experiment harness regenerating every quantitative claim of
+//! Wang & Lee (ICDCS 2005).
+//!
+//! The paper is analytical — its five figures are schematics and its
+//! results are equations — so "reproducing the evaluation" means
+//! regenerating each equation, theorem, and figure-level claim as a
+//! numerical experiment. The experiment index (E1–E14) lives in
+//! `DESIGN.md`; each module here implements one group:
+//!
+//! * [`channel_fidelity`] — E1: the simulator realizes Definition 1.
+//! * [`bounds_exp`] — E2 & E5: Theorem 1's bound cross-validated by
+//!   Blahut–Arimoto, and the equation (6)–(7) convergence table.
+//! * [`protocol_exp`] — E3, E4, E6, E7: resend, counter,
+//!   stop-and-wait, and the mechanism comparison.
+//! * [`sched_exp`] — E8: the scheduler study.
+//! * [`coding_exp`] — E9: non-synchronized coding rates.
+//! * [`baseline_exp`] — E10: traditional estimators validated.
+//! * [`ablation_exp`] — E11 & E12: burstiness and imperfect-feedback
+//!   ablations of the paper's modelling assumptions.
+//! * [`timing_exp`] — E13: the §4.3 recipe on a scheduler-borne
+//!   covert timing channel.
+//! * [`wide_exp`] — E14: torn writes as the mechanistic origin of
+//!   `P_s`.
+//!
+//! Every experiment takes a seed and is fully deterministic. The
+//! `experiments` binary prints all tables; `EXPERIMENTS.md` archives
+//! a run.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ablation_exp;
+pub mod baseline_exp;
+pub mod bounds_exp;
+pub mod channel_fidelity;
+pub mod coding_exp;
+pub mod json_out;
+pub mod protocol_exp;
+pub mod sched_exp;
+pub mod table;
+pub mod timing_exp;
+pub mod wide_exp;
+
+/// Runs every experiment and concatenates their reports.
+pub fn run_all(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&channel_fidelity::run(seed));
+    out.push_str(&bounds_exp::run_e2(seed));
+    out.push_str(&protocol_exp::run_e3(seed));
+    out.push_str(&protocol_exp::run_e4(seed));
+    out.push_str(&bounds_exp::run_e5());
+    out.push_str(&protocol_exp::run_e6(seed));
+    out.push_str(&protocol_exp::run_e7(seed));
+    out.push_str(&sched_exp::run(seed));
+    out.push_str(&coding_exp::run(seed));
+    out.push_str(&baseline_exp::run());
+    out.push_str(&ablation_exp::run_e11(seed));
+    out.push_str(&ablation_exp::run_e12(seed));
+    out.push_str(&timing_exp::run(seed));
+    out.push_str(&wide_exp::run(seed));
+    out
+}

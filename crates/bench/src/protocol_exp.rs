@@ -1,0 +1,465 @@
+//! E3, E4, E6, E7 — protocol experiments.
+//!
+//! * **E3** (Theorem 3): the resend protocol's goodput over a pure
+//!   deletion channel with feedback converges to `N·(1 − p_d)`.
+//! * **E4** (Theorem 5 / Appendix A / Figure 5): the counter protocol
+//!   converts scheduler-induced insertions into substitutions on a
+//!   synchronous M-ary symmetric channel; measured reliable rates
+//!   track `C_conv`.
+//! * **E6** (Figure 1 / §3.2): the two-sync-variable handshake wastes
+//!   time exactly as predicted (`1/q + 1/(1−q)` operations per
+//!   symbol under a Bernoulli(q) scheduler).
+//! * **E7** (Figures 3–4): mechanism comparison — perfect feedback
+//!   vs a common event source vs nothing.
+
+use crate::table::{f4, Table};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_core::bounds::{
+    alpha, converted_channel_capacity, erasure_upper_bound, theorem5_lower_bound,
+};
+use nsc_core::protocols::resend::run_resend;
+use nsc_core::sim::adaptive::run_adaptive_slotted;
+use nsc_core::sim::counter::run_counter_protocol;
+use nsc_core::sim::slotted::run_slotted;
+use nsc_core::sim::stop_wait::run_stop_and_wait;
+use nsc_core::sim::unsync::run_unsynchronized;
+use nsc_core::sim::BernoulliSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+fn random_message(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+    let a = Alphabet::new(bits).expect("valid width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| a.random(&mut rng)).collect()
+}
+
+// ---------------------------------------------------------------- E3
+
+/// One row of E3.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct E3Row {
+    /// Deletion probability.
+    pub p_d: f64,
+    /// Theory `N (1 − p_d)`.
+    pub theory: f64,
+    /// Measured goodput (bits per channel use).
+    pub measured: f64,
+    /// Mean channel uses per delivered symbol.
+    pub uses_per_symbol: f64,
+}
+
+/// E3 sweep.
+pub const E3_P_D: [f64; 6] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+/// Symbol width for E3.
+pub const E3_BITS: u32 = 4;
+
+/// Runs E3 and returns rows.
+pub fn rows_e3(seed: u64) -> Vec<E3Row> {
+    let alphabet = Alphabet::new(E3_BITS).expect("valid width");
+    E3_P_D
+        .iter()
+        .map(|&p_d| {
+            let ch = DeletionInsertionChannel::new(
+                alphabet,
+                DiParams::deletion_only(p_d).expect("valid"),
+            );
+            let msg = random_message(E3_BITS, 40_000, seed ^ (p_d * 1e4) as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = run_resend(&ch, &msg, &mut rng).expect("valid setup");
+            E3Row {
+                p_d,
+                theory: erasure_upper_bound(E3_BITS, p_d).expect("valid").value(),
+                measured: out.goodput(E3_BITS).value(),
+                uses_per_symbol: out.channel_uses as f64 / msg.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders E3.
+pub fn run_e3(seed: u64) -> String {
+    let mut t = Table::new(["p_d", "theory N(1-p_d)", "measured goodput", "uses/symbol"]);
+    for r in rows_e3(seed) {
+        t.row([
+            f4(r.p_d),
+            f4(r.theory),
+            f4(r.measured),
+            f4(r.uses_per_symbol),
+        ]);
+    }
+    format!(
+        "\n## E3 — Theorem 3: resend protocol achieves the erasure capacity (N = {E3_BITS})\n\n\
+         Pure deletion channel + perfect feedback, 40k symbols per row.\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- E4
+
+/// One row of E4.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct E4Row {
+    /// Scheduler bias: sender-operation probability.
+    pub q: f64,
+    /// `P_d` measured from the unsynchronized baseline (overwrites
+    /// per write).
+    pub p_d_unsync: f64,
+    /// `P_i` measured from the unsynchronized baseline (stale reads
+    /// per read).
+    pub p_i_unsync: f64,
+    /// Fraction of counter-protocol positions filled by stale reads.
+    pub stale_frac: f64,
+    /// Measured symbol error rate of the converted channel.
+    pub error_rate: f64,
+    /// `alpha · stale_frac` — the Figure 5 prediction for the error
+    /// rate.
+    pub predicted_error: f64,
+    /// Measured reliable rate (bits per covert-pair operation).
+    pub measured_rate: f64,
+    /// `C_conv` per delivered position times positions per op.
+    pub conv_prediction: f64,
+    /// Theorem 5 lower bound at the unsync-measured `(P_d, P_i)`
+    /// (paper normalization: bits per symbol slot).
+    pub thm5_lower: f64,
+    /// Theorem 4 upper bound `N (1 − P_d)`.
+    pub thm4_upper: f64,
+}
+
+/// E4 sweep of scheduler biases.
+pub const E4_Q: [f64; 5] = [0.3, 0.4, 0.5, 0.6, 0.7];
+/// Symbol width for E4.
+pub const E4_BITS: u32 = 4;
+
+/// Runs E4 and returns rows.
+pub fn rows_e4(seed: u64) -> Vec<E4Row> {
+    E4_Q.iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let msg = random_message(E4_BITS, 60_000, seed.wrapping_add(i as u64));
+            // Unsynchronized baseline measures the channel.
+            let mut sched =
+                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xAAAA ^ i as u64))
+                    .expect("valid q");
+            let base = run_unsynchronized(&msg, &mut sched, usize::MAX).expect("valid run");
+            // Counter protocol over an identically distributed
+            // schedule.
+            let mut sched2 =
+                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xBBBB ^ i as u64))
+                    .expect("valid q");
+            let counter = run_counter_protocol(&msg, &mut sched2, usize::MAX).expect("valid run");
+            let stale_frac = counter.stale_fills as f64 / counter.received.len() as f64;
+            let error_rate = counter.symbol_error_rate(&msg);
+            let conv = converted_channel_capacity(E4_BITS, stale_frac)
+                .expect("valid probability")
+                .value();
+            let p_d = base.p_d();
+            let p_i = base.p_i().min(1.0 - p_d).min(0.999);
+            E4Row {
+                q,
+                p_d_unsync: base.p_d(),
+                p_i_unsync: base.p_i(),
+                stale_frac,
+                error_rate,
+                predicted_error: alpha(E4_BITS) * stale_frac,
+                measured_rate: counter.reliable_rate(E4_BITS, &msg).value(),
+                conv_prediction: conv * counter.symbols_per_op(),
+                thm5_lower: theorem5_lower_bound(E4_BITS, p_d, p_i)
+                    .expect("valid parameters")
+                    .value(),
+                thm4_upper: erasure_upper_bound(E4_BITS, p_d).expect("valid").value(),
+            }
+        })
+        .collect()
+}
+
+/// Renders E4.
+pub fn run_e4(seed: u64) -> String {
+    let mut t = Table::new([
+        "q",
+        "P_d^",
+        "P_i^",
+        "stale",
+        "err",
+        "a*stale",
+        "rate b/op",
+        "Cconv*sym/op",
+        "Thm5 low",
+        "Thm4 up",
+    ]);
+    for r in rows_e4(seed) {
+        t.row([
+            f4(r.q),
+            f4(r.p_d_unsync),
+            f4(r.p_i_unsync),
+            f4(r.stale_frac),
+            f4(r.error_rate),
+            f4(r.predicted_error),
+            f4(r.measured_rate),
+            f4(r.conv_prediction),
+            f4(r.thm5_lower),
+            f4(r.thm4_upper),
+        ]);
+    }
+    format!(
+        "\n## E4 — Theorem 5 / Appendix A: the counter protocol (N = {E4_BITS})\n\n\
+         Bernoulli(q) operation scheduling; 60k-symbol messages. The converted\n\
+         channel's measured error rate matches the Figure 5 M-ary-symmetric\n\
+         prediction alpha*stale; the measured reliable rate (bits per\n\
+         covert-pair operation) tracks C_conv times the symbol rate. Theorem 5's\n\
+         bound is in the paper's per-slot normalization, an upper envelope on\n\
+         the per-op physical rate.\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- E6
+
+/// One row of E6.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct E6Row {
+    /// Scheduler bias.
+    pub q: f64,
+    /// Measured operations per delivered symbol.
+    pub ops_per_symbol: f64,
+    /// Predicted `1/q + 1/(1 − q)`.
+    pub predicted: f64,
+    /// Fraction of operations wasted waiting.
+    pub waste: f64,
+    /// Error-free rate in bits per operation.
+    pub rate: f64,
+}
+
+/// E6 sweep.
+pub const E6_Q: [f64; 5] = [0.2, 0.35, 0.5, 0.65, 0.8];
+/// Symbol width for E6.
+pub const E6_BITS: u32 = 4;
+
+/// Runs E6 and returns rows.
+pub fn rows_e6(seed: u64) -> Vec<E6Row> {
+    E6_Q.iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let msg = random_message(E6_BITS, 30_000, seed.wrapping_add(100 + i as u64));
+            let mut sched =
+                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xCCCC ^ i as u64))
+                    .expect("valid q");
+            let out = run_stop_and_wait(&msg, &mut sched, usize::MAX).expect("valid run");
+            E6Row {
+                q,
+                ops_per_symbol: out.ops as f64 / out.received.len() as f64,
+                predicted: 1.0 / q + 1.0 / (1.0 - q),
+                waste: out.waste_fraction(),
+                rate: out.rate(E6_BITS).value(),
+            }
+        })
+        .collect()
+}
+
+/// Renders E6.
+pub fn run_e6(seed: u64) -> String {
+    let mut t = Table::new(["q", "ops/symbol", "1/q + 1/(1-q)", "waste frac", "bits/op"]);
+    for r in rows_e6(seed) {
+        t.row([
+            f4(r.q),
+            f4(r.ops_per_symbol),
+            f4(r.predicted),
+            f4(r.waste),
+            f4(r.rate),
+        ]);
+    }
+    format!(
+        "\n## E6 — Figure 1 / §3.2: two-sync-variable handshake overhead (N = {E6_BITS})\n\n\
+         Delivery is always exact; the cost of synchronization is wasted\n\
+         waiting time, maximal at scheduler bias away from q = 1/2.\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- E7
+
+/// One row of E7 (one mechanism).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct E7Row {
+    /// Mechanism name.
+    pub mechanism: &'static str,
+    /// Reliable information rate in bits per covert-pair operation
+    /// (raw unreliable throughput for the no-mechanism baseline).
+    pub rate: f64,
+    /// Whether the stream is reliably decodable without further
+    /// coding.
+    pub reliable: bool,
+}
+
+/// Symbol width for E7.
+pub const E7_BITS: u32 = 4;
+
+/// Runs E7 at scheduler bias `q` and returns rows (sorted by rate,
+/// descending).
+pub fn rows_e7(q: f64, seed: u64) -> Vec<E7Row> {
+    let msg = random_message(E7_BITS, 60_000, seed);
+    let mk_sched =
+        |salt: u64| BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ salt)).expect("valid q");
+    // No mechanism: raw fresh-symbol throughput — but the receiver
+    // cannot tell fresh from stale, so this is NOT decodable as-is.
+    let mut s0 = mk_sched(1);
+    let unsync = run_unsynchronized(&msg, &mut s0, usize::MAX).expect("valid run");
+    let raw = E7_BITS as f64 * unsync.raw_throughput();
+    // Common event source: slotted, best slot length.
+    let mut best_slotted = 0.0f64;
+    for slot_len in [1usize, 2, 4, 8, 16, 32] {
+        let mut s = mk_sched(2 + slot_len as u64);
+        let out = run_slotted(&msg, &mut s, slot_len, usize::MAX).expect("valid run");
+        best_slotted = best_slotted.max(out.reliable_rate(E7_BITS).value());
+    }
+    // Perfect feedback: counter protocol.
+    let mut s1 = mk_sched(99);
+    let counter = run_counter_protocol(&msg, &mut s1, usize::MAX).expect("valid run");
+    let counter_rate = counter.reliable_rate(E7_BITS, &msg).value();
+    // Feedback + receiver-side sync variable: Figure 1 handshake.
+    let mut s2 = mk_sched(77);
+    let sw = run_stop_and_wait(&msg, &mut s2, usize::MAX).expect("valid run");
+    let sw_rate = sw.rate(E7_BITS).value();
+    // Figure 4(b): common event source *with feedback into it* —
+    // driven by the *same* schedule as the Fig. 1 handshake so the
+    // paper's "becomes the method using feedback" identity is exact.
+    let mut s3 = mk_sched(77);
+    let adaptive = run_adaptive_slotted(&msg, &mut s3, usize::MAX).expect("valid run");
+    let adaptive_rate = adaptive.rate(E7_BITS).value();
+    let mut rows = vec![
+        E7Row {
+            mechanism: "none (raw, undecodable)",
+            rate: raw,
+            reliable: false,
+        },
+        E7Row {
+            mechanism: "common events (slotted, best L)",
+            rate: best_slotted,
+            reliable: true,
+        },
+        E7Row {
+            mechanism: "feedback (counter protocol)",
+            rate: counter_rate,
+            reliable: true,
+        },
+        E7Row {
+            mechanism: "feedback + sync vars (Fig. 1)",
+            rate: sw_rate,
+            reliable: true,
+        },
+        E7Row {
+            mechanism: "common events + feedback to E (Fig. 4b)",
+            rate: adaptive_rate,
+            reliable: true,
+        },
+    ];
+    rows.sort_by(|a, b| b.rate.partial_cmp(&a.rate).expect("finite"));
+    rows
+}
+
+/// Renders E7.
+pub fn run_e7(seed: u64) -> String {
+    let mut out = String::from(
+        "\n## E7 — Figures 3-4: synchronization mechanism comparison (N = 4)\n\n\
+         Reliable bits per covert-pair operation under Bernoulli(q)\n\
+         scheduling. Feedback-based mechanisms dominate the fixed-slot\n\
+         common-event mechanism at every bias, as §4.2.2 argues; adding a\n\
+         feedback path into the event source (Fig. 4b) recovers feedback\n\
+         performance exactly; the raw unsynchronized stream is fast but not\n\
+         decodable.\n",
+    );
+    for &q in &[0.35, 0.5, 0.65] {
+        let mut t = Table::new(["mechanism", "bits/op", "reliable"]);
+        for r in rows_e7(q, seed) {
+            t.row([
+                r.mechanism.to_owned(),
+                f4(r.rate),
+                if r.reliable { "yes" } else { "no" }.to_owned(),
+            ]);
+        }
+        out.push_str(&format!("\n### q = {q}\n\n{}", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_tracks_theory() {
+        for r in rows_e3(3) {
+            assert!((r.measured - r.theory).abs() / r.theory < 0.02, "{r:?}");
+            assert!((r.uses_per_symbol - 1.0 / (1.0 - r.p_d)).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn e4_error_rate_matches_figure5_model() {
+        for r in rows_e4(4) {
+            assert!((r.error_rate - r.predicted_error).abs() < 0.02, "{r:?}");
+            // Measured reliable rate equals the C_conv prediction by
+            // construction up to the measured-vs-predicted error gap.
+            assert!((r.measured_rate - r.conv_prediction).abs() < 0.1);
+            // The paper's bounds sandwich the per-slot achievable
+            // rate (measured physical rate is per-op, strictly
+            // below).
+            assert!(r.thm5_lower <= r.thm4_upper + 1e-9);
+            assert!(r.measured_rate <= r.thm4_upper + 1e-9);
+        }
+    }
+
+    #[test]
+    fn e4_unsync_rates_reflect_scheduler_bias() {
+        let rows = rows_e4(5);
+        // P_d grows with q (sender overruns), P_i falls.
+        assert!(rows.first().unwrap().p_d_unsync < rows.last().unwrap().p_d_unsync);
+        assert!(rows.first().unwrap().p_i_unsync > rows.last().unwrap().p_i_unsync);
+    }
+
+    #[test]
+    fn e6_matches_waiting_theory() {
+        for r in rows_e6(6) {
+            assert!(
+                (r.ops_per_symbol - r.predicted).abs() / r.predicted < 0.05,
+                "{r:?}"
+            );
+            assert!((r.rate - E6_BITS as f64 / r.predicted).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn e7_feedback_beats_common_events() {
+        for &q in &[0.35, 0.5, 0.65] {
+            let rows = rows_e7(q, 7);
+            let rate = |name: &str| {
+                rows.iter()
+                    .find(|r| r.mechanism.starts_with(name))
+                    .expect("row present")
+                    .rate
+            };
+            let fb = rate("feedback (counter").max(rate("feedback + sync"));
+            assert!(
+                fb >= rate("common events (slotted") - 1e-9,
+                "q={q}: feedback {} < slotted {}",
+                fb,
+                rate("common events (slotted")
+            );
+            // Figure 4(b): event source + feedback equals the Fig. 1
+            // handshake's rate (identical mechanism in disguise).
+            assert!(
+                (rate("common events + feedback") - rate("feedback + sync")).abs() < 1e-9,
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(run_e3(1).contains("E3"));
+        assert!(run_e4(1).contains("E4"));
+        assert!(run_e6(1).contains("E6"));
+        assert!(run_e7(1).contains("E7"));
+    }
+}

@@ -1,0 +1,169 @@
+//! E8 — the scheduler study (§3.1 + §4.3 Remarks).
+//!
+//! Measures `P_d`/`P_i` for the shared-variable covert channel under
+//! every scheduling policy and several background loads, and reports
+//! the paper's corrected capacity next to the traditional
+//! (synchronous-model) estimate — quantifying how much each scheduler
+//! design mitigates the channel.
+
+use crate::table::{f4, Table};
+use nsc_sched::mitigation::{evaluate_policy, MitigationReport, PolicyKind};
+use nsc_sched::system::WorkloadSpec;
+
+/// Background loads swept: `(processes, ready probability)`.
+pub const LOADS: [(usize, f64); 3] = [(0, 1.0), (2, 1.0), (4, 0.5)];
+
+/// Symbol width of the shared variable.
+pub const E8_BITS: u32 = 4;
+
+/// Quanta per run.
+pub const E8_QUANTA: usize = 60_000;
+
+/// Runs E8 and returns `(load, reports)` pairs.
+pub fn rows(seed: u64) -> Vec<((usize, f64), Vec<MitigationReport>)> {
+    LOADS
+        .iter()
+        .map(|&(n, ready)| {
+            let spec = WorkloadSpec::covert_pair().with_background(n, ready);
+            let reports = PolicyKind::ALL
+                .iter()
+                .map(|&k| {
+                    evaluate_policy(k, &spec, E8_BITS, E8_QUANTA, seed).expect("valid workload")
+                })
+                .collect();
+            ((n, ready), reports)
+        })
+        .collect()
+}
+
+/// The priority-differentiated workload: a high-priority sender that
+/// blocks 40% of the time (so fixed priority does not degenerate to
+/// round-robin), interactive background. This is where priority and
+/// MLFQ policies genuinely differ from the fair family.
+pub fn priority_rows(seed: u64) -> Vec<MitigationReport> {
+    let spec = WorkloadSpec::covert_pair()
+        .map_sender(|p| p.with_priority(5).with_ready_prob(0.6))
+        .with_background(2, 0.3);
+    PolicyKind::ALL
+        .iter()
+        .map(|&k| evaluate_policy(k, &spec, E8_BITS, E8_QUANTA, seed).expect("valid workload"))
+        .collect()
+}
+
+/// Renders E8.
+pub fn run(seed: u64) -> String {
+    let mut out = String::from(
+        "\n## E8 — Scheduler study: measured P_d/P_i and corrected capacity (N = 4)\n\n\
+         The covert pair writes/reads a shared variable; the scheduler decides\n\
+         who runs. 'Achievable' is Theorem 5's lower bound at the measured\n\
+         rates; 'upper' is N*(1 - P_d). A traditional synchronous analysis\n\
+         would report N = 4 bits per operation pair regardless of policy —\n\
+         the correction is the point of the paper.\n",
+    );
+    let render = |reports: &[MitigationReport]| {
+        let mut t = Table::new([
+            "policy",
+            "P_d^",
+            "P_i^",
+            "covert share",
+            "achievable b/slot",
+            "upper b/slot",
+        ]);
+        for r in reports {
+            t.row([
+                r.policy.name().to_owned(),
+                f4(r.measurement.p_d),
+                f4(r.measurement.p_i),
+                f4(r.measurement.covert_share()),
+                f4(r.achievable.value()),
+                f4(r.upper_bound.value()),
+            ]);
+        }
+        t.render()
+    };
+    for ((n, ready), reports) in rows(seed) {
+        out.push_str(&format!(
+            "\n### background: {n} processes (ready prob {ready})\n\n{}",
+            render(&reports)
+        ));
+    }
+    out.push_str(&format!(
+        "\n### priority-differentiated workload (sender prio 5, ready 0.6; interactive background)\n\n{}",
+        render(&priority_rows(seed))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_clean_without_background_noise() {
+        let all = rows(11);
+        let (_, reports) = &all[0];
+        let rr = reports
+            .iter()
+            .find(|r| r.policy == PolicyKind::RoundRobin)
+            .expect("round robin present");
+        assert_eq!(rr.measurement.p_d, 0.0);
+        assert!((rr.achievable.value() - E8_BITS as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_policies_reduce_capacity() {
+        let all = rows(12);
+        for (_, reports) in &all {
+            let rr = reports
+                .iter()
+                .find(|r| r.policy == PolicyKind::RoundRobin)
+                .expect("present");
+            let lot = reports
+                .iter()
+                .find(|r| r.policy == PolicyKind::Lottery)
+                .expect("present");
+            assert!(
+                lot.achievable.value() < rr.achievable.value() + 1e-9,
+                "lottery should not beat round-robin"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_ordering_holds_everywhere() {
+        for (_, reports) in rows(13) {
+            for r in reports {
+                assert!(r.achievable.value() <= r.upper_bound.value() + 1e-9);
+                assert!(r.upper_bound.value() <= E8_BITS as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_all_loads() {
+        let s = run(1);
+        assert!(s.contains("E8"));
+        assert_eq!(s.matches("### background").count(), LOADS.len());
+        assert!(s.contains("priority-differentiated"));
+    }
+
+    #[test]
+    fn priority_workload_differentiates_policies() {
+        let reports = priority_rows(17);
+        let get = |k: PolicyKind| {
+            reports
+                .iter()
+                .find(|r| r.policy == k)
+                .expect("policy present")
+        };
+        // A blocking high-priority sender under fixed priority still
+        // overruns the receiver whenever it is ready: the channel is
+        // noisy, unlike the bare round-robin case.
+        let fp = get(PolicyKind::FixedPriority);
+        assert!(fp.measurement.p_d > 0.1, "{fp:?}");
+        // Every policy respects the bound ordering.
+        for r in &reports {
+            assert!(r.achievable.value() <= r.upper_bound.value() + 1e-9);
+        }
+    }
+}

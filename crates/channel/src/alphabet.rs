@@ -1,0 +1,273 @@
+//! Symbols and symbol alphabets.
+//!
+//! The paper's capacity formulas are parameterized by `N`, the number
+//! of bits per symbol; the channel alphabet is then `{0, …, 2^N − 1}`.
+//! [`Alphabet`] captures `N` (1..=16) and [`Symbol`] is an index into
+//! the alphabet.
+
+use crate::error::ChannelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One channel symbol: an index into an [`Alphabet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Creates a symbol from a raw index. Range checking happens at
+    /// the channel boundary via [`Alphabet::contains`].
+    pub fn from_index(index: u32) -> Self {
+        Symbol(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The `bit`-th bit of the symbol (0 = least significant).
+    pub fn bit(self, bit: u32) -> bool {
+        (self.0 >> bit) & 1 == 1
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for Symbol {
+    fn from(v: u32) -> Self {
+        Symbol(v)
+    }
+}
+
+impl From<Symbol> for u32 {
+    fn from(s: Symbol) -> u32 {
+        s.0
+    }
+}
+
+/// A symbol alphabet of `2^N` symbols for `N` bits per symbol.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::alphabet::{Alphabet, Symbol};
+///
+/// let a = Alphabet::new(3)?;
+/// assert_eq!(a.size(), 8);
+/// assert_eq!(a.bits(), 3);
+/// assert!(a.contains(Symbol::from_index(7)));
+/// assert!(!a.contains(Symbol::from_index(8)));
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Alphabet {
+    bits: u32,
+}
+
+impl Alphabet {
+    /// Creates an alphabet of `2^bits` symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadSymbolWidth`] unless
+    /// `1 <= bits <= 16`.
+    pub fn new(bits: u32) -> Result<Self, ChannelError> {
+        if (1..=16).contains(&bits) {
+            Ok(Alphabet { bits })
+        } else {
+            Err(ChannelError::BadSymbolWidth(bits))
+        }
+    }
+
+    /// The binary alphabet `{0, 1}`.
+    pub fn binary() -> Self {
+        Alphabet { bits: 1 }
+    }
+
+    /// Bits per symbol (`N` in the paper's formulas).
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of symbols, `2^N`.
+    pub fn size(self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Returns `true` when `s` indexes into this alphabet.
+    pub fn contains(self, s: Symbol) -> bool {
+        (s.0 as usize) < self.size()
+    }
+
+    /// Validates a symbol against this alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::SymbolOutOfRange`] when `s` does not
+    /// belong to the alphabet.
+    pub fn check(self, s: Symbol) -> Result<Symbol, ChannelError> {
+        if self.contains(s) {
+            Ok(s)
+        } else {
+            Err(ChannelError::SymbolOutOfRange {
+                symbol: s.0 as u64,
+                alphabet: self.size() as u64,
+            })
+        }
+    }
+
+    /// Draws a uniformly random symbol.
+    pub fn random<R: Rng + ?Sized>(self, rng: &mut R) -> Symbol {
+        Symbol(rng.gen_range(0..self.size() as u32))
+    }
+
+    /// Draws a uniformly random symbol *different from* `exclude` —
+    /// the substitution-error model of Definition 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the alphabet has a single symbol (binary and wider
+    /// alphabets always have at least two).
+    pub fn random_other<R: Rng + ?Sized>(self, rng: &mut R, exclude: Symbol) -> Symbol {
+        assert!(self.size() >= 2, "alphabet too small for substitution");
+        let raw = rng.gen_range(0..self.size() as u32 - 1);
+        if raw >= exclude.0 {
+            Symbol(raw + 1)
+        } else {
+            Symbol(raw)
+        }
+    }
+
+    /// Iterates over every symbol in the alphabet.
+    pub fn symbols(self) -> impl Iterator<Item = Symbol> {
+        (0..self.size() as u32).map(Symbol)
+    }
+
+    /// Packs a bit slice (LSB first) into symbols of this alphabet,
+    /// zero-padding the final symbol.
+    pub fn pack_bits(self, bits: &[bool]) -> Vec<Symbol> {
+        bits.chunks(self.bits as usize)
+            .map(|chunk| {
+                let mut v = 0u32;
+                for (i, &b) in chunk.iter().enumerate() {
+                    if b {
+                        v |= 1 << i;
+                    }
+                }
+                Symbol(v)
+            })
+            .collect()
+    }
+
+    /// Unpacks symbols into bits (LSB first), `bits()` bits per
+    /// symbol.
+    pub fn unpack_bits(self, symbols: &[Symbol]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(symbols.len() * self.bits as usize);
+        for s in symbols {
+            for i in 0..self.bits {
+                out.push(s.bit(i));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit alphabet ({} symbols)", self.bits, self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_limits() {
+        assert!(Alphabet::new(0).is_err());
+        assert!(Alphabet::new(17).is_err());
+        assert!(Alphabet::new(1).is_ok());
+        assert!(Alphabet::new(16).is_ok());
+        assert_eq!(Alphabet::binary().size(), 2);
+    }
+
+    #[test]
+    fn membership_and_check() {
+        let a = Alphabet::new(2).unwrap();
+        assert!(a.contains(Symbol::from_index(3)));
+        assert!(!a.contains(Symbol::from_index(4)));
+        assert!(a.check(Symbol::from_index(3)).is_ok());
+        assert!(matches!(
+            a.check(Symbol::from_index(4)),
+            Err(ChannelError::SymbolOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn random_symbols_stay_in_range() {
+        let a = Alphabet::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(a.contains(a.random(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn random_other_never_returns_excluded() {
+        let a = Alphabet::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let excl = Symbol::from_index(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let s = a.random_other(&mut rng, excl);
+            assert_ne!(s, excl);
+            assert!(a.contains(s));
+            seen[s.index() as usize] = true;
+        }
+        // All three non-excluded symbols appear.
+        assert!(seen[0] && seen[1] && seen[3] && !seen[2]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let a = Alphabet::new(3).unwrap();
+        let bits = vec![true, false, true, true, true, false, false, true];
+        let symbols = a.pack_bits(&bits);
+        assert_eq!(symbols.len(), 3); // 8 bits -> ceil(8/3) symbols
+        let back = a.unpack_bits(&symbols);
+        assert_eq!(&back[..bits.len()], &bits[..]);
+        // Padding bits are zero.
+        assert!(!back[8]);
+    }
+
+    #[test]
+    fn bit_accessor() {
+        let s = Symbol::from_index(0b101);
+        assert!(s.bit(0));
+        assert!(!s.bit(1));
+        assert!(s.bit(2));
+    }
+
+    #[test]
+    fn symbols_iterator_covers_alphabet() {
+        let a = Alphabet::new(2).unwrap();
+        let all: Vec<u32> = a.symbols().map(Symbol::index).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let a = Alphabet::new(4).unwrap();
+        assert!(a.to_string().contains("16"));
+        assert_eq!(Symbol::from_index(3).to_string(), "s3");
+    }
+}

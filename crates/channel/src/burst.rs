@@ -1,0 +1,452 @@
+//! Bursty (Gilbert–Elliott) deletion-insertion channels.
+//!
+//! Definition 1 makes the channel memoryless, but real schedulers
+//! misbehave in *bursts*: a long-running background task starves the
+//! receiver for many consecutive operations, producing runs of
+//! deletions. This module modulates the Definition 1 parameters with
+//! a two-state Markov chain (a Gilbert–Elliott model): a *good* state
+//! with mild parameters and a *bad* state with harsh ones.
+//!
+//! The stationary average of the two parameter sets gives a matched
+//! memoryless comparator, which experiment E11 uses to test how
+//! robust the paper's `C·(1 − P_d)` recipe is to the i.i.d.
+//! assumption.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::di::{DiParams, Transmission};
+use crate::error::ChannelError;
+use crate::event::{ChannelEvent, EventLog};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The hidden modulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstState {
+    /// Mild parameters.
+    Good,
+    /// Harsh parameters.
+    Bad,
+}
+
+/// A two-state Markov-modulated deletion-insertion channel.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::alphabet::Alphabet;
+/// use nsc_channel::burst::GilbertElliottChannel;
+/// use nsc_channel::di::DiParams;
+///
+/// let ch = GilbertElliottChannel::new(
+///     Alphabet::binary(),
+///     DiParams::deletion_only(0.01)?,   // good state
+///     DiParams::deletion_only(0.6)?,    // bad state
+///     0.05,                             // P(good -> bad)
+///     0.25,                             // P(bad -> good)
+/// )?;
+/// // Stationary bad-state occupancy = 0.05 / (0.05 + 0.25).
+/// assert!((ch.stationary_bad() - 1.0 / 6.0).abs() < 1e-12);
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliottChannel {
+    alphabet: Alphabet,
+    good: DiParams,
+    bad: DiParams,
+    /// Transition probability good → bad, per channel use.
+    p_gb: f64,
+    /// Transition probability bad → good, per channel use.
+    p_bg: f64,
+}
+
+impl GilbertElliottChannel {
+    /// Creates a bursty channel with per-use state transition
+    /// probabilities `p_gb` (good→bad) and `p_bg` (bad→good).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when a transition
+    /// probability is outside `[0, 1]` or both are zero (the state
+    /// would never mix, making "stationary average" meaningless).
+    pub fn new(
+        alphabet: Alphabet,
+        good: DiParams,
+        bad: DiParams,
+        p_gb: f64,
+        p_bg: f64,
+    ) -> Result<Self, ChannelError> {
+        for (name, v) in [("p_gb", p_gb), ("p_bg", p_bg)] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ChannelError::BadParameters(format!(
+                    "{name} = {v} is not a probability"
+                )));
+            }
+        }
+        if p_gb + p_bg == 0.0 {
+            return Err(ChannelError::BadParameters(
+                "at least one transition probability must be positive".to_owned(),
+            ));
+        }
+        Ok(GilbertElliottChannel {
+            alphabet,
+            good,
+            bad,
+            p_gb,
+            p_bg,
+        })
+    }
+
+    /// The channel's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Parameters of the given state.
+    pub fn params(&self, state: BurstState) -> &DiParams {
+        match state {
+            BurstState::Good => &self.good,
+            BurstState::Bad => &self.bad,
+        }
+    }
+
+    /// Stationary probability of the bad state:
+    /// `p_gb / (p_gb + p_bg)`.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Mean burst (bad-state sojourn) length in channel uses:
+    /// `1 / p_bg` (infinite if `p_bg = 0`).
+    pub fn mean_burst_len(&self) -> f64 {
+        if self.p_bg == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.p_bg
+        }
+    }
+
+    /// The time-averaged (stationary) event probabilities — the
+    /// matched memoryless comparator for this bursty channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] if the average lands
+    /// outside the valid simplex (cannot happen for valid state
+    /// parameters, but checked defensively).
+    pub fn average_params(&self) -> Result<DiParams, ChannelError> {
+        let w_bad = self.stationary_bad();
+        let w_good = 1.0 - w_bad;
+        let avg = |f: fn(&DiParams) -> f64| w_good * f(&self.good) + w_bad * f(&self.bad);
+        // The average substitution rate must be weighted by each
+        // state's transmission share, not its time share.
+        let t_good = w_good * self.good.p_t();
+        let t_bad = w_bad * self.bad.p_t();
+        let p_s = if t_good + t_bad > 0.0 {
+            (t_good * self.good.p_s() + t_bad * self.bad.p_s()) / (t_good + t_bad)
+        } else {
+            0.0
+        };
+        DiParams::new(avg(DiParams::p_d), avg(DiParams::p_i), p_s)
+    }
+
+    /// Pushes a sequence through the bursty channel. Semantics match
+    /// [`crate::di::DeletionInsertionChannel::transmit`], with the
+    /// hidden state advancing one step per channel use.
+    pub fn transmit<R: Rng + ?Sized>(&self, input: &[Symbol], rng: &mut R) -> Transmission {
+        let mut events = EventLog::new();
+        let mut received = Vec::with_capacity(input.len());
+        // Start from the stationary distribution so finite runs are
+        // unbiased.
+        let mut state = if rng.gen::<f64>() < self.stationary_bad() {
+            BurstState::Bad
+        } else {
+            BurstState::Good
+        };
+        let mut queue = input.iter().copied();
+        let mut head = queue.next();
+        while let Some(sym) = head {
+            let p = self.params(state);
+            let u: f64 = rng.gen();
+            if u < p.p_d() {
+                events.push(ChannelEvent::Deletion { symbol: sym });
+                head = queue.next();
+            } else if u < p.p_d() + p.p_i() {
+                let ins = self.alphabet.random(rng);
+                events.push(ChannelEvent::Insertion { symbol: ins });
+                received.push(ins);
+            } else {
+                let substituted = p.p_s() > 0.0 && rng.gen::<f64>() < p.p_s();
+                let out = if substituted {
+                    self.alphabet.random_other(rng, sym)
+                } else {
+                    sym
+                };
+                events.push(ChannelEvent::Transmission {
+                    sent: sym,
+                    received: out,
+                });
+                received.push(out);
+                head = queue.next();
+            }
+            // Advance the hidden state.
+            let flip = rng.gen::<f64>();
+            state = match state {
+                BurstState::Good if flip < self.p_gb => BurstState::Bad,
+                BurstState::Bad if flip < self.p_bg => BurstState::Good,
+                s => s,
+            };
+        }
+        Transmission { received, events }
+    }
+
+    /// Opens a stateful per-use session, for protocols that drive
+    /// the channel one use at a time (e.g. resend with feedback in
+    /// the E11 ablation). The hidden state starts from the stationary
+    /// distribution.
+    pub fn session<R: Rng + ?Sized>(&self, rng: &mut R) -> GeSession {
+        let state = if rng.gen::<f64>() < self.stationary_bad() {
+            BurstState::Bad
+        } else {
+            BurstState::Good
+        };
+        GeSession {
+            channel: *self,
+            state,
+        }
+    }
+
+    /// Longest run of consecutive deletions in an event log — the
+    /// burstiness statistic experiment E11 reports.
+    pub fn longest_deletion_run(events: &EventLog) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for e in events.events() {
+            if matches!(e, ChannelEvent::Deletion { .. }) {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+}
+
+/// A stateful per-use handle on a [`GilbertElliottChannel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeSession {
+    channel: GilbertElliottChannel,
+    state: BurstState,
+}
+
+impl GeSession {
+    /// The current hidden state (exposed for diagnostics; a receiver
+    /// must not peek).
+    pub fn state(&self) -> BurstState {
+        self.state
+    }
+
+    /// Performs one channel use with the given queued symbol,
+    /// advancing the hidden state. Semantics per state match
+    /// [`crate::di::DeletionInsertionChannel::use_once`].
+    pub fn use_once<R: Rng + ?Sized>(
+        &mut self,
+        queued: Option<Symbol>,
+        rng: &mut R,
+    ) -> crate::di::UseOutcome {
+        use crate::di::UseOutcome;
+        let p = *self.channel.params(self.state);
+        let u: f64 = rng.gen();
+        let outcome = if u < p.p_d() {
+            match queued {
+                Some(_) => UseOutcome::Deleted,
+                None => UseOutcome::Idle,
+            }
+        } else if u < p.p_d() + p.p_i() {
+            UseOutcome::Inserted(self.channel.alphabet.random(rng))
+        } else {
+            match queued {
+                Some(sym) => {
+                    let substituted = p.p_s() > 0.0 && rng.gen::<f64>() < p.p_s();
+                    let received = if substituted {
+                        self.channel.alphabet.random_other(rng, sym)
+                    } else {
+                        sym
+                    };
+                    UseOutcome::Transmitted {
+                        received,
+                        substituted,
+                    }
+                }
+                None => UseOutcome::Idle,
+            }
+        };
+        let flip = rng.gen::<f64>();
+        self.state = match self.state {
+            BurstState::Good if flip < self.channel.p_gb => BurstState::Bad,
+            BurstState::Bad if flip < self.channel.p_bg => BurstState::Good,
+            s => s,
+        };
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bursty(p_gb: f64, p_bg: f64) -> GilbertElliottChannel {
+        GilbertElliottChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.02).unwrap(),
+            DiParams::deletion_only(0.7).unwrap(),
+            p_gb,
+            p_bg,
+        )
+        .unwrap()
+    }
+
+    fn input(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::from_index(i as u32 % 2)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let a = Alphabet::binary();
+        let g = DiParams::noiseless();
+        let b = DiParams::deletion_only(0.5).unwrap();
+        assert!(GilbertElliottChannel::new(a, g, b, 1.5, 0.1).is_err());
+        assert!(GilbertElliottChannel::new(a, g, b, 0.1, -0.1).is_err());
+        assert!(GilbertElliottChannel::new(a, g, b, 0.0, 0.0).is_err());
+        assert!(GilbertElliottChannel::new(a, g, b, 0.1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn stationary_and_burst_length() {
+        let ch = bursty(0.1, 0.3);
+        assert!((ch.stationary_bad() - 0.25).abs() < 1e-12);
+        assert!((ch.mean_burst_len() - 1.0 / 0.3).abs() < 1e-12);
+        let absorbing = GilbertElliottChannel::new(
+            Alphabet::binary(),
+            DiParams::noiseless(),
+            DiParams::deletion_only(0.5).unwrap(),
+            0.1,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(absorbing.mean_burst_len(), f64::INFINITY);
+    }
+
+    #[test]
+    fn average_params_interpolate() {
+        let ch = bursty(0.1, 0.1); // half good, half bad
+        let avg = ch.average_params().unwrap();
+        assert!((avg.p_d() - (0.02 + 0.7) / 2.0).abs() < 1e-12);
+        assert_eq!(avg.p_i(), 0.0);
+    }
+
+    #[test]
+    fn empirical_deletion_rate_matches_stationary_average() {
+        let ch = bursty(0.02, 0.06);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ch.transmit(&input(200_000), &mut rng);
+        let expected = ch.average_params().unwrap().p_d();
+        let got = out.events.empirical_deletion_rate();
+        assert!(
+            (got - expected).abs() < 0.02,
+            "got {got} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bursty_channel_has_longer_deletion_runs_than_memoryless() {
+        let ch = bursty(0.01, 0.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        let bursty_out = ch.transmit(&input(100_000), &mut rng);
+        // Matched memoryless channel with the same average p_d.
+        let avg = ch.average_params().unwrap();
+        let flat = crate::di::DeletionInsertionChannel::new(Alphabet::binary(), avg);
+        let flat_out = flat.transmit(&input(100_000), &mut rng);
+        let run_bursty = GilbertElliottChannel::longest_deletion_run(&bursty_out.events);
+        let run_flat = GilbertElliottChannel::longest_deletion_run(&flat_out.events);
+        assert!(
+            run_bursty > 2 * run_flat,
+            "bursty {run_bursty} vs flat {run_flat}"
+        );
+    }
+
+    #[test]
+    fn conservation_laws_still_hold() {
+        let ch = bursty(0.05, 0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let inp = input(20_000);
+        let out = ch.transmit(&inp, &mut rng);
+        assert_eq!(
+            inp.len(),
+            out.events.transmissions() + out.events.deletions()
+        );
+        assert_eq!(
+            out.received.len(),
+            out.events.transmissions() + out.events.insertions()
+        );
+    }
+
+    #[test]
+    fn session_use_once_matches_transmit_statistics() {
+        let ch = bursty(0.05, 0.2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut session = ch.session(&mut rng);
+        let mut deletions = 0usize;
+        let mut uses = 0usize;
+        let sym = Symbol::from_index(1);
+        for _ in 0..100_000 {
+            uses += 1;
+            if matches!(
+                session.use_once(Some(sym), &mut rng),
+                crate::di::UseOutcome::Deleted
+            ) {
+                deletions += 1;
+            }
+        }
+        let expected = ch.average_params().unwrap().p_d();
+        let got = deletions as f64 / uses as f64;
+        assert!(
+            (got - expected).abs() < 0.02,
+            "got {got} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn session_idles_without_queue_in_deletion_only_channel() {
+        let ch = bursty(0.1, 0.1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut session = ch.session(&mut rng);
+        for _ in 0..100 {
+            assert!(matches!(
+                session.use_once(None, &mut rng),
+                crate::di::UseOutcome::Idle
+            ));
+        }
+    }
+
+    #[test]
+    fn substitution_weighting_in_average() {
+        // Good state transmits often with p_s = 0; bad state rarely
+        // transmits but always substitutes. The average p_s must be
+        // transmission-weighted, i.e. far below the time-average.
+        let ch = GilbertElliottChannel::new(
+            Alphabet::new(2).unwrap(),
+            DiParams::new(0.0, 0.0, 0.0).unwrap(),
+            DiParams::new(0.9, 0.0, 1.0).unwrap(),
+            0.5,
+            0.5,
+        )
+        .unwrap();
+        let avg = ch.average_params().unwrap();
+        // Transmission shares: good 0.5*1.0 = 0.5, bad 0.5*0.1 = 0.05.
+        let expected = 0.05 / 0.55;
+        assert!((avg.p_s() - expected).abs() < 1e-12);
+    }
+}

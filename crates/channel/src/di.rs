@@ -1,0 +1,454 @@
+//! The deletion-insertion channel of Wang & Lee, Definition 1.
+//!
+//! > *A binary deletion-insertion channel is a channel with four
+//! > parameters: `P_d`, `P_i`, `P_t` and `P_s`, which denote the rates
+//! > of deletions, insertions, transmissions and substitutions,
+//! > respectively. The symbols to be transmitted are imagined entering
+//! > a queue, waiting to be transmitted by the channel. Each time the
+//! > channel is used, one of four events occurs: with probability
+//! > `P_d` the next queued bit is deleted; with probability `P_i` an
+//! > extra bit is inserted; with probability `P_t` the next queued bit
+//! > is transmitted, i.e., is received by the receiver, with
+//! > probability `P_s` of suffering a substitution error.*
+//!
+//! We generalize from bits to `N`-bit symbols (the paper's formulas
+//! are already stated for `N` bits per symbol) and expose both a
+//! whole-sequence API ([`DeletionInsertionChannel::transmit`]) and a
+//! per-use API ([`DeletionInsertionChannel::use_once`]) that the
+//! synchronization protocols in `nsc-core` drive step by step.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::ChannelError;
+use crate::event::{ChannelEvent, EventLog};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The event-probability parameters of Definition 1.
+///
+/// `P_t` is not stored: it is derived as `1 − P_d − P_i`. The
+/// substitution probability `P_s` is conditional on a transmission
+/// event, exactly as in the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiParams {
+    p_d: f64,
+    p_i: f64,
+    p_s: f64,
+}
+
+impl DiParams {
+    /// Creates a validated parameter set from the deletion rate
+    /// `p_d`, insertion rate `p_i` and conditional substitution rate
+    /// `p_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when any rate is
+    /// outside `[0, 1]`, when `p_d + p_i > 1`, or when `p_i = 1`
+    /// (the queue would never drain: every use inserts).
+    pub fn new(p_d: f64, p_i: f64, p_s: f64) -> Result<Self, ChannelError> {
+        for (name, v) in [("p_d", p_d), ("p_i", p_i), ("p_s", p_s)] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ChannelError::BadParameters(format!(
+                    "{name} = {v} is not a probability"
+                )));
+            }
+        }
+        if p_d + p_i > 1.0 + 1e-12 {
+            return Err(ChannelError::BadParameters(format!(
+                "p_d + p_i = {} exceeds 1",
+                p_d + p_i
+            )));
+        }
+        if p_i >= 1.0 {
+            return Err(ChannelError::BadParameters(
+                "p_i = 1 means the queue never drains".to_owned(),
+            ));
+        }
+        Ok(DiParams { p_d, p_i, p_s })
+    }
+
+    /// A noiseless synchronous channel: no deletions, insertions, or
+    /// substitutions.
+    pub fn noiseless() -> Self {
+        DiParams {
+            p_d: 0.0,
+            p_i: 0.0,
+            p_s: 0.0,
+        }
+    }
+
+    /// A pure deletion channel with deletion rate `p_d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `p_d` is not a
+    /// probability.
+    pub fn deletion_only(p_d: f64) -> Result<Self, ChannelError> {
+        DiParams::new(p_d, 0.0, 0.0)
+    }
+
+    /// A pure insertion channel with insertion rate `p_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `p_i` is not a
+    /// probability below one.
+    pub fn insertion_only(p_i: f64) -> Result<Self, ChannelError> {
+        DiParams::new(0.0, p_i, 0.0)
+    }
+
+    /// Deletion probability `P_d`.
+    pub fn p_d(&self) -> f64 {
+        self.p_d
+    }
+
+    /// Insertion probability `P_i`.
+    pub fn p_i(&self) -> f64 {
+        self.p_i
+    }
+
+    /// Transmission probability `P_t = 1 − P_d − P_i`.
+    pub fn p_t(&self) -> f64 {
+        (1.0 - self.p_d - self.p_i).max(0.0)
+    }
+
+    /// Conditional substitution probability `P_s`.
+    pub fn p_s(&self) -> f64 {
+        self.p_s
+    }
+
+    /// The four outcome probabilities in the order of
+    /// [`EventLog::category_counts`]: deletion, insertion, clean
+    /// transmission, substituted transmission.
+    pub fn category_probs(&self) -> [f64; 4] {
+        [
+            self.p_d,
+            self.p_i,
+            self.p_t() * (1.0 - self.p_s),
+            self.p_t() * self.p_s,
+        ]
+    }
+}
+
+/// Outcome of a single channel use (the per-use API driven by the
+/// synchronization protocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseOutcome {
+    /// The queued symbol was consumed and lost.
+    Deleted,
+    /// A spurious symbol was delivered; the queued symbol (if any)
+    /// remains queued.
+    Inserted(Symbol),
+    /// The queued symbol was consumed and delivered (possibly
+    /// substituted).
+    Transmitted {
+        /// Symbol the receiver saw.
+        received: Symbol,
+        /// Whether a substitution occurred.
+        substituted: bool,
+    },
+    /// Nothing was queued and no insertion fired: the receiver saw
+    /// nothing this use.
+    Idle,
+}
+
+/// Result of pushing a whole sequence through the channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmission {
+    /// Symbols delivered to the receiver, in order.
+    pub received: Vec<Symbol>,
+    /// Ground-truth event log (not visible to the receiver).
+    pub events: EventLog,
+}
+
+/// The deletion-insertion channel (Definition 1, Figure 2).
+///
+/// # Example
+///
+/// A pure deletion channel loses roughly `P_d` of its input:
+///
+/// ```
+/// use nsc_channel::{Alphabet, DeletionInsertionChannel, DiParams, Symbol};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let ch = DeletionInsertionChannel::new(
+///     Alphabet::binary(),
+///     DiParams::deletion_only(0.25)?,
+/// );
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let input = vec![Symbol::from_index(1); 10_000];
+/// let out = ch.transmit(&input, &mut rng);
+/// let loss = 1.0 - out.received.len() as f64 / input.len() as f64;
+/// assert!((loss - 0.25).abs() < 0.02);
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeletionInsertionChannel {
+    alphabet: Alphabet,
+    params: DiParams,
+}
+
+impl DeletionInsertionChannel {
+    /// Creates a channel over the given alphabet with the given event
+    /// probabilities.
+    pub fn new(alphabet: Alphabet, params: DiParams) -> Self {
+        DeletionInsertionChannel { alphabet, params }
+    }
+
+    /// The channel's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The channel's event probabilities.
+    pub fn params(&self) -> &DiParams {
+        &self.params
+    }
+
+    /// Performs one channel use with `queued` as the symbol at the
+    /// head of the sender's queue (or `None` when the queue is
+    /// empty).
+    ///
+    /// With a queued symbol, the outcome follows Definition 1
+    /// exactly. With an empty queue only an insertion can deliver
+    /// anything; deletion/transmission draws collapse to
+    /// [`UseOutcome::Idle`].
+    pub fn use_once<R: Rng + ?Sized>(&self, queued: Option<Symbol>, rng: &mut R) -> UseOutcome {
+        let u: f64 = rng.gen();
+        let p = &self.params;
+        if u < p.p_d {
+            match queued {
+                Some(_) => UseOutcome::Deleted,
+                None => UseOutcome::Idle,
+            }
+        } else if u < p.p_d + p.p_i {
+            UseOutcome::Inserted(self.alphabet.random(rng))
+        } else {
+            match queued {
+                Some(sym) => {
+                    let substituted = p.p_s > 0.0 && rng.gen::<f64>() < p.p_s;
+                    let received = if substituted {
+                        self.alphabet.random_other(rng, sym)
+                    } else {
+                        sym
+                    };
+                    UseOutcome::Transmitted {
+                        received,
+                        substituted,
+                    }
+                }
+                None => UseOutcome::Idle,
+            }
+        }
+    }
+
+    /// Pushes an entire symbol sequence through the channel,
+    /// repeating channel uses until the queue drains, and returns the
+    /// received sequence together with the ground-truth event log.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every input symbol belongs to the channel
+    /// alphabet.
+    pub fn transmit<R: Rng + ?Sized>(&self, input: &[Symbol], rng: &mut R) -> Transmission {
+        debug_assert!(
+            input.iter().all(|&s| self.alphabet.contains(s)),
+            "input symbol outside channel alphabet"
+        );
+        let mut events = EventLog::new();
+        let mut received = Vec::with_capacity(input.len());
+        let mut queue = input.iter().copied();
+        let mut head = queue.next();
+        while let Some(sym) = head {
+            match self.use_once(Some(sym), rng) {
+                UseOutcome::Deleted => {
+                    events.push(ChannelEvent::Deletion { symbol: sym });
+                    head = queue.next();
+                }
+                UseOutcome::Inserted(ins) => {
+                    events.push(ChannelEvent::Insertion { symbol: ins });
+                    received.push(ins);
+                }
+                UseOutcome::Transmitted { received: r, .. } => {
+                    events.push(ChannelEvent::Transmission {
+                        sent: sym,
+                        received: r,
+                    });
+                    received.push(r);
+                    head = queue.next();
+                }
+                UseOutcome::Idle => unreachable!("queue head was Some"),
+            }
+        }
+        Transmission { received, events }
+    }
+
+    /// Expected number of channel uses needed to drain a queue of
+    /// `len` symbols: each symbol is consumed with probability
+    /// `P_d + P_t = 1 − P_i` per use, so the mean is
+    /// `len / (1 − P_i)`.
+    pub fn expected_uses(&self, len: usize) -> f64 {
+        len as f64 / (1.0 - self.params.p_i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn symbols(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::from_index((i % 2) as u32)).collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(DiParams::new(0.5, 0.5, 0.0).is_ok());
+        assert!(DiParams::new(0.6, 0.5, 0.0).is_err());
+        assert!(DiParams::new(-0.1, 0.0, 0.0).is_err());
+        assert!(DiParams::new(0.0, 1.0, 0.0).is_err());
+        assert!(DiParams::new(0.0, 0.0, 1.5).is_err());
+        assert!(DiParams::new(f64::NAN, 0.0, 0.0).is_err());
+        let p = DiParams::new(0.2, 0.3, 0.1).unwrap();
+        assert!((p.p_t() - 0.5).abs() < 1e-12);
+        let cats = p.category_probs();
+        assert!((cats.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let ch = DeletionInsertionChannel::new(Alphabet::binary(), DiParams::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        let input = symbols(500);
+        let out = ch.transmit(&input, &mut rng);
+        assert_eq!(out.received, input);
+        assert_eq!(out.events.uses(), 500);
+        assert_eq!(out.events.transmissions(), 500);
+        assert_eq!(out.events.substitutions(), 0);
+    }
+
+    #[test]
+    fn conservation_laws_hold() {
+        // received = transmissions + insertions,
+        // consumed  = transmissions + deletions = input length.
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(4).unwrap(),
+            DiParams::new(0.2, 0.15, 0.1).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let input: Vec<Symbol> = (0..2000).map(|i| Symbol::from_index(i % 16)).collect();
+        let out = ch.transmit(&input, &mut rng);
+        assert_eq!(
+            out.received.len(),
+            out.events.transmissions() + out.events.insertions()
+        );
+        assert_eq!(
+            input.len(),
+            out.events.transmissions() + out.events.deletions()
+        );
+    }
+
+    #[test]
+    fn empirical_rates_approach_parameters() {
+        let params = DiParams::new(0.15, 0.25, 0.3).unwrap();
+        let ch = DeletionInsertionChannel::new(Alphabet::new(2).unwrap(), params);
+        let mut rng = StdRng::seed_from_u64(11);
+        let input: Vec<Symbol> = (0..60_000).map(|i| Symbol::from_index(i % 4)).collect();
+        let out = ch.transmit(&input, &mut rng);
+        assert!((out.events.empirical_deletion_rate() - 0.15).abs() < 0.01);
+        assert!((out.events.empirical_insertion_rate() - 0.25).abs() < 0.01);
+        assert!((out.events.empirical_transmission_rate() - 0.60).abs() < 0.01);
+        assert!((out.events.empirical_substitution_rate() - 0.30).abs() < 0.01);
+    }
+
+    #[test]
+    fn substitution_always_changes_symbol() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(3).unwrap(),
+            DiParams::new(0.0, 0.0, 1.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let input: Vec<Symbol> = (0..100).map(|i| Symbol::from_index(i % 8)).collect();
+        let out = ch.transmit(&input, &mut rng);
+        assert_eq!(out.events.substitutions(), 100);
+        for (sent, got) in input.iter().zip(&out.received) {
+            assert_ne!(sent, got);
+        }
+    }
+
+    #[test]
+    fn pure_insertion_channel_lengthens_output() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::insertion_only(0.5).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = symbols(5000);
+        let out = ch.transmit(&input, &mut rng);
+        assert!(out.received.len() > input.len());
+        // Geometric(1/2) insertions per transmitted symbol: output is
+        // about 2x input.
+        let ratio = out.received.len() as f64 / input.len() as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+        assert_eq!(out.events.deletions(), 0);
+    }
+
+    #[test]
+    fn use_once_with_empty_queue() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.3, 0.3, 0.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut idles = 0;
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            match ch.use_once(None, &mut rng) {
+                UseOutcome::Idle => idles += 1,
+                UseOutcome::Inserted(_) => inserts += 1,
+                other => panic!("impossible outcome without a queue: {other:?}"),
+            }
+        }
+        let ins_rate = inserts as f64 / (idles + inserts) as f64;
+        assert!((ins_rate - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn expected_uses_accounts_for_insertions() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.1, 0.5, 0.0).unwrap(),
+        );
+        assert!((ch.expected_uses(100) - 200.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = ch.transmit(&symbols(20_000), &mut rng);
+        let uses = out.events.uses() as f64;
+        assert!((uses / ch.expected_uses(20_000) - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.2, 0.2, 0.1).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ch.transmit(&[], &mut rng);
+        assert!(out.received.is_empty());
+        assert_eq!(out.events.uses(), 0);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(2).unwrap(),
+            DiParams::new(0.2, 0.2, 0.2).unwrap(),
+        );
+        let input: Vec<Symbol> = (0..100).map(|i| Symbol::from_index(i % 4)).collect();
+        let a = ch.transmit(&input, &mut StdRng::seed_from_u64(77));
+        let b = ch.transmit(&input, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Discrete memoryless channels: sampler, capacity, and the classic
+//! closed-form families the paper compares against.
+
+use crate::alphabet::Symbol;
+use crate::error::ChannelError;
+use nsc_info::blahut::{blahut_arimoto, validate_transition_matrix, BlahutOptions};
+use nsc_info::entropy::binary_entropy;
+use nsc_info::Distribution;
+use rand::Rng;
+
+/// A discrete memoryless channel given by its transition matrix
+/// `w[x][y] = P(Y = y | X = x)`.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::dmc::Dmc;
+///
+/// let bsc = Dmc::binary_symmetric(0.11)?;
+/// let c = bsc.capacity()?;
+/// assert!((c - 0.5).abs() < 1e-3); // H(0.11) ≈ 0.4999
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dmc {
+    w: Vec<Vec<f64>>,
+    // Per-row sampling distributions (redundant with `w`, cached for
+    // speed). Rebuilt by `Dmc::new`, which is the only constructor —
+    // hence no serde derive on this type; serialize the transition
+    // matrix instead.
+    rows: Vec<Distribution>,
+}
+
+impl Dmc {
+    /// Creates a DMC from a transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Numeric`] when the matrix is empty,
+    /// ragged, or has rows that are not probability distributions.
+    pub fn new(w: Vec<Vec<f64>>) -> Result<Self, ChannelError> {
+        validate_transition_matrix(&w)?;
+        let rows = w
+            .iter()
+            .map(|row| Distribution::from_weights(row))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dmc { w, rows })
+    }
+
+    /// Binary symmetric channel with crossover probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `p` is not a
+    /// probability.
+    pub fn binary_symmetric(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        Dmc::new(vec![vec![1.0 - p, p], vec![p, 1.0 - p]])
+    }
+
+    /// Binary erasure channel with erasure probability `e`. Output 2
+    /// is the erasure flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `e` is not a
+    /// probability.
+    pub fn binary_erasure(e: f64) -> Result<Self, ChannelError> {
+        check_prob("e", e)?;
+        Dmc::new(vec![vec![1.0 - e, 0.0, e], vec![0.0, 1.0 - e, e]])
+    }
+
+    /// Z-channel: input 0 is noiseless, input 1 flips to 0 with
+    /// probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `p` is not a
+    /// probability.
+    pub fn z_channel(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        Dmc::new(vec![vec![1.0, 0.0], vec![p, 1.0 - p]])
+    }
+
+    /// M-ary symmetric channel over `2^bits` symbols: total error
+    /// probability `e` spread uniformly over the `M − 1` wrong
+    /// symbols. This is the "converted channel" of the paper's
+    /// Theorem 5 / Figure 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `e` is not a
+    /// probability or [`ChannelError::BadSymbolWidth`] for an
+    /// unsupported width.
+    pub fn mary_symmetric(bits: u32, e: f64) -> Result<Self, ChannelError> {
+        check_prob("e", e)?;
+        let m = crate::alphabet::Alphabet::new(bits)?.size();
+        let off = if m > 1 { e / (m as f64 - 1.0) } else { 0.0 };
+        let mut w = vec![vec![off; m]; m];
+        for (i, row) in w.iter_mut().enumerate() {
+            row[i] = 1.0 - e;
+        }
+        Dmc::new(w)
+    }
+
+    /// Number of input symbols.
+    pub fn inputs(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Number of output symbols.
+    pub fn outputs(&self) -> usize {
+        self.w[0].len()
+    }
+
+    /// Borrow the transition matrix.
+    pub fn transition_matrix(&self) -> &[Vec<f64>] {
+        &self.w
+    }
+
+    /// Capacity in bits per use, via Blahut–Arimoto at the default
+    /// (tight) tolerance. Near-degenerate channels (e.g. a Z-channel
+    /// with crossover close to 1) converge sublinearly — use
+    /// [`Self::capacity_with`] with a looser tolerance for those.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Numeric`] if the solver fails to
+    /// converge within the default budget.
+    pub fn capacity(&self) -> Result<f64, ChannelError> {
+        Ok(blahut_arimoto(&self.w, &BlahutOptions::default())?.capacity)
+    }
+
+    /// Capacity with explicit solver options (tolerance certifies the
+    /// returned gap; see [`nsc_info::blahut::BlahutResult::gap`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Numeric`] if the solver fails to
+    /// converge within the given budget.
+    pub fn capacity_with(&self, opts: &BlahutOptions) -> Result<f64, ChannelError> {
+        Ok(blahut_arimoto(&self.w, opts)?.capacity)
+    }
+
+    /// Samples the channel for a single input symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` is outside the input alphabet.
+    pub fn sample<R: Rng + ?Sized>(&self, input: Symbol, rng: &mut R) -> Symbol {
+        let row = &self.rows[input.index() as usize];
+        Symbol::from_index(row.sample_with(rng.gen::<f64>()) as u32)
+    }
+
+    /// Pushes a sequence through the channel (synchronously: one
+    /// output per input).
+    pub fn transmit<R: Rng + ?Sized>(&self, input: &[Symbol], rng: &mut R) -> Vec<Symbol> {
+        input.iter().map(|&s| self.sample(s, rng)).collect()
+    }
+}
+
+fn check_prob(name: &str, v: f64) -> Result<(), ChannelError> {
+    if v.is_finite() && (0.0..=1.0).contains(&v) {
+        Ok(())
+    } else {
+        Err(ChannelError::BadParameters(format!(
+            "{name} = {v} is not a probability"
+        )))
+    }
+}
+
+/// Closed-form capacities for the classic families, used to
+/// cross-validate the Blahut–Arimoto solver in tests and experiment
+/// E10.
+pub mod closed_form {
+    use super::binary_entropy;
+
+    /// Capacity of the binary symmetric channel: `1 − H(p)`.
+    pub fn bsc(p: f64) -> f64 {
+        1.0 - binary_entropy(p)
+    }
+
+    /// Capacity of an `N`-bit erasure channel: `N · (1 − e)` — the
+    /// paper's equation (1) with erasure probability `e`.
+    pub fn erasure(bits: u32, e: f64) -> f64 {
+        bits as f64 * (1.0 - e)
+    }
+
+    /// Capacity of the Z-channel with 1→0 crossover `p`:
+    /// `log2(1 + (1 − p) · p^{p/(1−p)})`.
+    pub fn z_channel(p: f64) -> f64 {
+        if p >= 1.0 {
+            return 0.0;
+        }
+        if p <= 0.0 {
+            return 1.0;
+        }
+        (1.0 + (1.0 - p) * p.powf(p / (1.0 - p))).log2()
+    }
+
+    /// Capacity of the M-ary symmetric channel over `2^bits` symbols
+    /// with total error probability `e`:
+    /// `N − H(e) − e·log2(M − 1)`.
+    pub fn mary_symmetric(bits: u32, e: f64) -> f64 {
+        let m = (1u64 << bits) as f64;
+        (bits as f64 - binary_entropy(e) - e * (m - 1.0).log2()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Dmc::binary_symmetric(1.5).is_err());
+        assert!(Dmc::binary_erasure(-0.1).is_err());
+        assert!(Dmc::z_channel(f64::NAN).is_err());
+        assert!(Dmc::mary_symmetric(0, 0.1).is_err());
+        assert!(Dmc::new(vec![vec![0.6, 0.6]]).is_err());
+    }
+
+    #[test]
+    fn capacities_match_closed_forms() {
+        for &p in &[0.05, 0.2, 0.45] {
+            assert!(
+                (Dmc::binary_symmetric(p).unwrap().capacity().unwrap() - closed_form::bsc(p)).abs()
+                    < 1e-8
+            );
+            assert!(
+                (Dmc::binary_erasure(p).unwrap().capacity().unwrap() - closed_form::erasure(1, p))
+                    .abs()
+                    < 1e-8
+            );
+            assert!(
+                (Dmc::z_channel(p).unwrap().capacity().unwrap() - closed_form::z_channel(p)).abs()
+                    < 1e-7
+            );
+        }
+        for bits in [1u32, 2, 3] {
+            let e = 0.15;
+            assert!(
+                (Dmc::mary_symmetric(bits, e).unwrap().capacity().unwrap()
+                    - closed_form::mary_symmetric(bits, e))
+                .abs()
+                    < 1e-7
+            );
+        }
+    }
+
+    #[test]
+    fn z_channel_closed_form_endpoints() {
+        assert_eq!(closed_form::z_channel(0.0), 1.0);
+        assert_eq!(closed_form::z_channel(1.0), 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_transition_probabilities() {
+        let dmc = Dmc::binary_symmetric(0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = vec![Symbol::from_index(0); 50_000];
+        let out = dmc.transmit(&input, &mut rng);
+        let flips = out.iter().filter(|s| s.index() == 1).count();
+        let rate = flips as f64 / input.len() as f64;
+        assert!((rate - 0.2).abs() < 0.01, "flip rate {rate}");
+    }
+
+    #[test]
+    fn erasure_channel_emits_erasure_symbol() {
+        let dmc = Dmc::binary_erasure(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = dmc.transmit(&vec![Symbol::from_index(1); 10_000], &mut rng);
+        let erased = out.iter().filter(|s| s.index() == 2).count();
+        assert!((erased as f64 / 10_000.0 - 0.5).abs() < 0.02);
+        // Never flips 1 to 0.
+        assert!(out.iter().all(|s| s.index() != 0));
+    }
+
+    #[test]
+    fn dimensions() {
+        let dmc = Dmc::binary_erasure(0.3).unwrap();
+        assert_eq!(dmc.inputs(), 2);
+        assert_eq!(dmc.outputs(), 3);
+        assert_eq!(dmc.transition_matrix().len(), 2);
+    }
+}

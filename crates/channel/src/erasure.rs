@@ -1,0 +1,284 @@
+//! Erasure channels: the side-information comparators of Theorems 1–4.
+//!
+//! The paper bounds the deletion-insertion channel by comparing it to
+//! an *erasure channel* that suffers the same drop-outs and insertions
+//! but **knows their locations**:
+//!
+//! * [`ErasureChannel`] — the matched comparator for a pure deletion
+//!   channel: each symbol is either delivered or marked erased
+//!   (Theorem 1: capacity `N·(1 − P_d)`).
+//! * [`ExtendedErasureChannel`] — Definition 2's comparator for the
+//!   full deletion-insertion channel: drop-outs *and* insertions are
+//!   both marked (Theorem 4).
+//!
+//! Knowing locations can only help, so the erasure capacities are
+//! upper bounds on the deletion-insertion capacities — that is the
+//! entire proof strategy of Theorems 1, 2 and 4.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::di::DiParams;
+use crate::error::ChannelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A symbol-level erasure channel: with probability `e` a symbol is
+/// replaced by an erasure mark whose *location is known* to the
+/// receiver.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::alphabet::{Alphabet, Symbol};
+/// use nsc_channel::erasure::ErasureChannel;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let ch = ErasureChannel::new(Alphabet::new(4)?, 0.5)?;
+/// assert_eq!(ch.capacity(), 2.0); // 4 bits/symbol × (1 − 0.5)
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let out = ch.transmit(&[Symbol::from_index(9); 4], &mut rng);
+/// assert_eq!(out.len(), 4); // erased or not, every slot is visible
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErasureChannel {
+    alphabet: Alphabet,
+    erasure_prob: f64,
+}
+
+impl ErasureChannel {
+    /// Creates an erasure channel over `alphabet` with erasure
+    /// probability `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `e` is not a
+    /// probability.
+    pub fn new(alphabet: Alphabet, e: f64) -> Result<Self, ChannelError> {
+        if !e.is_finite() || !(0.0..=1.0).contains(&e) {
+            return Err(ChannelError::BadParameters(format!(
+                "erasure probability {e} is not a probability"
+            )));
+        }
+        Ok(ErasureChannel {
+            alphabet,
+            erasure_prob: e,
+        })
+    }
+
+    /// The channel's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The erasure probability.
+    pub fn erasure_prob(&self) -> f64 {
+        self.erasure_prob
+    }
+
+    /// Capacity in bits per channel use: `N · (1 − e)` — the paper's
+    /// equation (1).
+    pub fn capacity(&self) -> f64 {
+        self.alphabet.bits() as f64 * (1.0 - self.erasure_prob)
+    }
+
+    /// Transmits a sequence; `None` marks an erased position.
+    pub fn transmit<R: Rng + ?Sized>(&self, input: &[Symbol], rng: &mut R) -> Vec<Option<Symbol>> {
+        input
+            .iter()
+            .map(|&s| {
+                if rng.gen::<f64>() < self.erasure_prob {
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect()
+    }
+}
+
+/// One received slot of an [`ExtendedErasureChannel`]: the receiver
+/// sees *what happened*, not just what arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtendedSlot {
+    /// A genuine symbol arrived.
+    Received(Symbol),
+    /// A queued symbol was dropped here (location known!).
+    DropOut,
+    /// A spurious symbol was inserted here (location known!), so the
+    /// receiver can discard it for free.
+    Inserted(Symbol),
+}
+
+impl ExtendedSlot {
+    /// The useful payload, if any.
+    pub fn payload(&self) -> Option<Symbol> {
+        match self {
+            ExtendedSlot::Received(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// Definition 2's *extended erasure channel*: symbols may be dropped
+/// or inserted exactly as in the matched deletion-insertion channel,
+/// but every drop-out and insertion location is flagged to the
+/// receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedErasureChannel {
+    alphabet: Alphabet,
+    params: DiParams,
+}
+
+impl ExtendedErasureChannel {
+    /// Creates the extended erasure comparator matched to the
+    /// deletion-insertion parameters `params`.
+    pub fn new(alphabet: Alphabet, params: DiParams) -> Self {
+        ExtendedErasureChannel { alphabet, params }
+    }
+
+    /// The channel's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The matched deletion-insertion parameters.
+    pub fn params(&self) -> &DiParams {
+        &self.params
+    }
+
+    /// The paper's Theorem 4 upper bound, `N · (1 − P_d)`, in the
+    /// paper's normalization: a *relative ratio* against the
+    /// synchronous capacity (see §4.3 Remarks — wasted uses are
+    /// charged, freely-discarded insertions are not).
+    pub fn relative_capacity(&self) -> f64 {
+        self.alphabet.bits() as f64 * (1.0 - self.params.p_d())
+    }
+
+    /// Capacity in bits per *channel use*: only transmission events
+    /// (probability `P_t`) deliver payload, so `N · P_t`. This is the
+    /// strictly-per-use accounting; it differs from
+    /// [`Self::relative_capacity`] by the factor `(1 − P_i)` spent on
+    /// freely-discarded insertions.
+    pub fn per_use_capacity(&self) -> f64 {
+        self.alphabet.bits() as f64 * self.params.p_t()
+    }
+
+    /// Transmits a sequence, producing one [`ExtendedSlot`] per
+    /// channel use until the queue drains.
+    pub fn transmit<R: Rng + ?Sized>(&self, input: &[Symbol], rng: &mut R) -> Vec<ExtendedSlot> {
+        let mut out = Vec::with_capacity(input.len());
+        let p = &self.params;
+        let mut queue = input.iter().copied();
+        let mut head = queue.next();
+        while let Some(sym) = head {
+            let u: f64 = rng.gen();
+            if u < p.p_d() {
+                out.push(ExtendedSlot::DropOut);
+                head = queue.next();
+            } else if u < p.p_d() + p.p_i() {
+                out.push(ExtendedSlot::Inserted(self.alphabet.random(rng)));
+            } else {
+                out.push(ExtendedSlot::Received(sym));
+                head = queue.next();
+            }
+        }
+        out
+    }
+
+    /// Recovers the delivered payload with all marks stripped — what
+    /// a receiver with perfect side information keeps.
+    pub fn payload(slots: &[ExtendedSlot]) -> Vec<Symbol> {
+        slots.iter().filter_map(ExtendedSlot::payload).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erasure_channel_validation_and_capacity() {
+        let a = Alphabet::new(3).unwrap();
+        assert!(ErasureChannel::new(a, 1.1).is_err());
+        assert!(ErasureChannel::new(a, f64::NAN).is_err());
+        let ch = ErasureChannel::new(a, 0.25).unwrap();
+        assert!((ch.capacity() - 2.25).abs() < 1e-12);
+        assert_eq!(ErasureChannel::new(a, 1.0).unwrap().capacity(), 0.0);
+    }
+
+    #[test]
+    fn erasure_preserves_length_and_marks_locations() {
+        let ch = ErasureChannel::new(Alphabet::binary(), 0.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = vec![Symbol::from_index(1); 20_000];
+        let out = ch.transmit(&input, &mut rng);
+        assert_eq!(out.len(), input.len());
+        let erased = out.iter().filter(|s| s.is_none()).count();
+        assert!((erased as f64 / 20_000.0 - 0.4).abs() < 0.02);
+        // Non-erased symbols are never corrupted.
+        assert!(out.iter().flatten().all(|s| s.index() == 1));
+    }
+
+    #[test]
+    fn extended_channel_marks_everything() {
+        let params = DiParams::new(0.2, 0.2, 0.0).unwrap();
+        let ch = ExtendedErasureChannel::new(Alphabet::binary(), params);
+        let mut rng = StdRng::seed_from_u64(3);
+        let input: Vec<Symbol> = (0..10_000).map(|i| Symbol::from_index(i % 2)).collect();
+        let slots = ch.transmit(&input, &mut rng);
+        let drops = slots
+            .iter()
+            .filter(|s| matches!(s, ExtendedSlot::DropOut))
+            .count();
+        let inserted = slots
+            .iter()
+            .filter(|s| matches!(s, ExtendedSlot::Inserted(_)))
+            .count();
+        let received = slots
+            .iter()
+            .filter(|s| matches!(s, ExtendedSlot::Received(_)))
+            .count();
+        // Every input symbol was either dropped or received.
+        assert_eq!(drops + received, input.len());
+        // Slot count = uses = received + drops + insertions.
+        assert_eq!(slots.len(), drops + inserted + received);
+        // Payload is a subsequence of the input (no substitutions).
+        let payload = ExtendedErasureChannel::payload(&slots);
+        assert_eq!(payload.len(), received);
+    }
+
+    #[test]
+    fn extended_capacities() {
+        let params = DiParams::new(0.3, 0.2, 0.0).unwrap();
+        let ch = ExtendedErasureChannel::new(Alphabet::new(2).unwrap(), params);
+        assert!((ch.relative_capacity() - 2.0 * 0.7).abs() < 1e-12);
+        assert!((ch.per_use_capacity() - 2.0 * 0.5).abs() < 1e-12);
+        // Per-use accounting never exceeds the relative one.
+        assert!(ch.per_use_capacity() <= ch.relative_capacity());
+    }
+
+    #[test]
+    fn extended_with_no_insertions_matches_plain_erasure() {
+        let params = DiParams::deletion_only(0.35).unwrap();
+        let ext = ExtendedErasureChannel::new(Alphabet::new(5).unwrap(), params);
+        let plain = ErasureChannel::new(Alphabet::new(5).unwrap(), 0.35).unwrap();
+        assert!((ext.relative_capacity() - plain.capacity()).abs() < 1e-12);
+        assert!((ext.per_use_capacity() - plain.capacity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_payload_accessor() {
+        assert_eq!(
+            ExtendedSlot::Received(Symbol::from_index(5)).payload(),
+            Some(Symbol::from_index(5))
+        );
+        assert_eq!(ExtendedSlot::DropOut.payload(), None);
+        assert_eq!(
+            ExtendedSlot::Inserted(Symbol::from_index(1)).payload(),
+            None
+        );
+    }
+}

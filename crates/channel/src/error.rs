@@ -1,0 +1,82 @@
+//! Error type for channel construction and use.
+
+use nsc_info::InfoError;
+use std::fmt;
+
+/// Errors produced when constructing or driving a channel model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// The requested symbol width is outside the supported range.
+    BadSymbolWidth(u32),
+    /// A symbol index fell outside the channel's alphabet.
+    SymbolOutOfRange {
+        /// The offending symbol index.
+        symbol: u64,
+        /// The alphabet size it must be below.
+        alphabet: u64,
+    },
+    /// The event probabilities were invalid (e.g. `P_d + P_i > 1`,
+    /// or a value outside `[0, 1]`).
+    BadParameters(String),
+    /// An underlying numerical routine failed.
+    Numeric(InfoError),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::BadSymbolWidth(bits) => {
+                write!(f, "symbol width {bits} bits unsupported (need 1..=16)")
+            }
+            ChannelError::SymbolOutOfRange { symbol, alphabet } => {
+                write!(f, "symbol {symbol} out of range for alphabet of {alphabet}")
+            }
+            ChannelError::BadParameters(msg) => write!(f, "bad channel parameters: {msg}"),
+            ChannelError::Numeric(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InfoError> for ChannelError {
+    fn from(e: InfoError) -> Self {
+        ChannelError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            ChannelError::BadSymbolWidth(0),
+            ChannelError::SymbolOutOfRange {
+                symbol: 9,
+                alphabet: 4,
+            },
+            ChannelError::BadParameters("p_d + p_i > 1".to_owned()),
+            ChannelError::Numeric(InfoError::InvalidProbability(2.0)),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_to_info_error() {
+        use std::error::Error;
+        let e = ChannelError::Numeric(InfoError::InvalidProbability(2.0));
+        assert!(e.source().is_some());
+        assert!(ChannelError::BadSymbolWidth(0).source().is_none());
+    }
+}

@@ -1,0 +1,325 @@
+//! Ground-truth channel event logs.
+//!
+//! Every stochastic channel in this crate records what *actually*
+//! happened on each channel use. The receiver of a deletion-insertion
+//! channel never sees this log — that is the whole point of the model —
+//! but tests, benchmarks, and the parameter-estimation pipeline use it
+//! as ground truth.
+
+use crate::alphabet::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One channel use of a deletion-insertion channel (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelEvent {
+    /// The next queued symbol was silently dropped.
+    Deletion {
+        /// The symbol that was lost.
+        symbol: Symbol,
+    },
+    /// A spurious symbol was delivered to the receiver; the queue was
+    /// not consumed.
+    Insertion {
+        /// The symbol the receiver saw.
+        symbol: Symbol,
+    },
+    /// The next queued symbol was delivered, possibly corrupted.
+    Transmission {
+        /// The symbol the sender queued.
+        sent: Symbol,
+        /// The symbol the receiver saw.
+        received: Symbol,
+    },
+}
+
+impl ChannelEvent {
+    /// Returns `true` for a transmission whose received symbol
+    /// differs from the sent one (a substitution error).
+    pub fn is_substitution(&self) -> bool {
+        matches!(self, ChannelEvent::Transmission { sent, received } if sent != received)
+    }
+
+    /// The symbol delivered to the receiver by this event, if any.
+    pub fn delivered(&self) -> Option<Symbol> {
+        match self {
+            ChannelEvent::Deletion { .. } => None,
+            ChannelEvent::Insertion { symbol } => Some(*symbol),
+            ChannelEvent::Transmission { received, .. } => Some(*received),
+        }
+    }
+
+    /// The symbol consumed from the sender's queue by this event, if
+    /// any.
+    pub fn consumed(&self) -> Option<Symbol> {
+        match self {
+            ChannelEvent::Deletion { symbol } => Some(*symbol),
+            ChannelEvent::Insertion { .. } => None,
+            ChannelEvent::Transmission { sent, .. } => Some(*sent),
+        }
+    }
+}
+
+impl fmt::Display for ChannelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelEvent::Deletion { symbol } => write!(f, "del({symbol})"),
+            ChannelEvent::Insertion { symbol } => write!(f, "ins({symbol})"),
+            ChannelEvent::Transmission { sent, received } if sent == received => {
+                write!(f, "tx({sent})")
+            }
+            ChannelEvent::Transmission { sent, received } => {
+                write!(f, "sub({sent}->{received})")
+            }
+        }
+    }
+}
+
+/// An append-only log of channel events with cached counters.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::alphabet::Symbol;
+/// use nsc_channel::event::{ChannelEvent, EventLog};
+///
+/// let mut log = EventLog::new();
+/// log.push(ChannelEvent::Deletion { symbol: Symbol::from_index(0) });
+/// log.push(ChannelEvent::Transmission {
+///     sent: Symbol::from_index(1),
+///     received: Symbol::from_index(1),
+/// });
+/// assert_eq!(log.deletions(), 1);
+/// assert_eq!(log.transmissions(), 1);
+/// assert_eq!(log.uses(), 2);
+/// assert!((log.empirical_deletion_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<ChannelEvent>,
+    deletions: usize,
+    insertions: usize,
+    transmissions: usize,
+    substitutions: usize,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: ChannelEvent) {
+        match event {
+            ChannelEvent::Deletion { .. } => self.deletions += 1,
+            ChannelEvent::Insertion { .. } => self.insertions += 1,
+            ChannelEvent::Transmission { .. } => {
+                self.transmissions += 1;
+                if event.is_substitution() {
+                    self.substitutions += 1;
+                }
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Borrow the raw event sequence.
+    pub fn events(&self) -> &[ChannelEvent] {
+        &self.events
+    }
+
+    /// Total channel uses recorded.
+    pub fn uses(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of deletion events.
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// Number of insertion events.
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Number of transmission events (including substituted ones).
+    pub fn transmissions(&self) -> usize {
+        self.transmissions
+    }
+
+    /// Number of transmissions that suffered a substitution error.
+    pub fn substitutions(&self) -> usize {
+        self.substitutions
+    }
+
+    /// Empirical `P_d`: deletions over channel uses (zero when the
+    /// log is empty).
+    pub fn empirical_deletion_rate(&self) -> f64 {
+        self.rate(self.deletions)
+    }
+
+    /// Empirical `P_i`: insertions over channel uses.
+    pub fn empirical_insertion_rate(&self) -> f64 {
+        self.rate(self.insertions)
+    }
+
+    /// Empirical `P_t`: transmissions over channel uses.
+    pub fn empirical_transmission_rate(&self) -> f64 {
+        self.rate(self.transmissions)
+    }
+
+    /// Empirical `P_s`: substitutions over *transmissions* (the
+    /// conditional substitution rate of Definition 1); zero when no
+    /// transmissions occurred.
+    pub fn empirical_substitution_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.substitutions as f64 / self.transmissions as f64
+        }
+    }
+
+    /// Counts per category, ordered `(deletions, insertions,
+    /// non-substituted transmissions, substituted transmissions)` —
+    /// the four outcomes of Figure 2, as inputs for a chi-square
+    /// goodness-of-fit check.
+    pub fn category_counts(&self) -> [u64; 4] {
+        [
+            self.deletions as u64,
+            self.insertions as u64,
+            (self.transmissions - self.substitutions) as u64,
+            self.substitutions as u64,
+        ]
+    }
+
+    /// Merges another log into this one.
+    pub fn merge(&mut self, other: &EventLog) {
+        for e in &other.events {
+            self.push(*e);
+        }
+    }
+
+    fn rate(&self, count: usize) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            count as f64 / self.events.len() as f64
+        }
+    }
+}
+
+impl Extend<ChannelEvent> for EventLog {
+    fn extend<T: IntoIterator<Item = ChannelEvent>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+impl FromIterator<ChannelEvent> for EventLog {
+    fn from_iter<T: IntoIterator<Item = ChannelEvent>>(iter: T) -> Self {
+        let mut log = EventLog::new();
+        log.extend(iter);
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let mut log = EventLog::new();
+        log.push(ChannelEvent::Deletion { symbol: s(0) });
+        log.push(ChannelEvent::Insertion { symbol: s(1) });
+        log.push(ChannelEvent::Transmission {
+            sent: s(1),
+            received: s(1),
+        });
+        log.push(ChannelEvent::Transmission {
+            sent: s(0),
+            received: s(1),
+        });
+        assert_eq!(log.uses(), 4);
+        assert_eq!(log.deletions(), 1);
+        assert_eq!(log.insertions(), 1);
+        assert_eq!(log.transmissions(), 2);
+        assert_eq!(log.substitutions(), 1);
+        assert_eq!(log.category_counts(), [1, 1, 1, 1]);
+        assert!((log.empirical_substitution_rate() - 0.5).abs() < 1e-12);
+        assert!((log.empirical_transmission_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_rates_are_zero() {
+        let log = EventLog::new();
+        assert_eq!(log.empirical_deletion_rate(), 0.0);
+        assert_eq!(log.empirical_substitution_rate(), 0.0);
+        assert_eq!(log.uses(), 0);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let d = ChannelEvent::Deletion { symbol: s(3) };
+        assert_eq!(d.consumed(), Some(s(3)));
+        assert_eq!(d.delivered(), None);
+        assert!(!d.is_substitution());
+
+        let i = ChannelEvent::Insertion { symbol: s(2) };
+        assert_eq!(i.consumed(), None);
+        assert_eq!(i.delivered(), Some(s(2)));
+
+        let t = ChannelEvent::Transmission {
+            sent: s(1),
+            received: s(0),
+        };
+        assert!(t.is_substitution());
+        assert_eq!(t.consumed(), Some(s(1)));
+        assert_eq!(t.delivered(), Some(s(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ChannelEvent::Deletion { symbol: s(1) }.to_string(),
+            "del(s1)"
+        );
+        assert_eq!(
+            ChannelEvent::Transmission {
+                sent: s(1),
+                received: s(1)
+            }
+            .to_string(),
+            "tx(s1)"
+        );
+        assert_eq!(
+            ChannelEvent::Transmission {
+                sent: s(1),
+                received: s(2)
+            }
+            .to_string(),
+            "sub(s1->s2)"
+        );
+    }
+
+    #[test]
+    fn merge_and_collect() {
+        let a: EventLog = vec![ChannelEvent::Deletion { symbol: s(0) }]
+            .into_iter()
+            .collect();
+        let mut b: EventLog = vec![ChannelEvent::Insertion { symbol: s(1) }]
+            .into_iter()
+            .collect();
+        b.merge(&a);
+        assert_eq!(b.uses(), 2);
+        assert_eq!(b.deletions(), 1);
+        assert_eq!(b.insertions(), 1);
+    }
+}

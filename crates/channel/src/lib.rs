@@ -1,0 +1,63 @@
+//! Discrete channel models for covert-channel capacity estimation.
+//!
+//! The centrepiece is the **deletion-insertion channel** of Wang &
+//! Lee's Definition 1 ([`di::DeletionInsertionChannel`]): each channel
+//! use either *deletes* the next queued symbol (probability `P_d`),
+//! *inserts* a spurious symbol (`P_i`), or *transmits* the queued
+//! symbol (`P_t`), possibly with a *substitution* error (`P_s`).
+//! Unlike an erasure channel, the receiver learns nothing about where
+//! deletions and insertions occurred — which is exactly why covert
+//! channels are hard to use without synchronization.
+//!
+//! The crate also provides the synchronous comparators the paper
+//! reasons against:
+//!
+//! * generic discrete memoryless channels with samplers and
+//!   closed-form constructors ([`dmc`]),
+//! * erasure and *extended* erasure channels, where deletion and
+//!   insertion locations are side information ([`erasure`]),
+//! * the timed Z-channel of Moskowitz et al. ([`timed_z`]), a
+//!   "traditional" covert timing channel baseline,
+//! * empirical parameter estimation from event logs ([`stats`]).
+//!
+//! All randomness is injected by the caller (`rand::Rng`), keeping
+//! every simulation reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use nsc_channel::alphabet::{Alphabet, Symbol};
+//! use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! let alphabet = Alphabet::new(1)?; // binary symbols
+//! let params = DiParams::new(0.1, 0.05, 0.0)?; // P_d, P_i, P_s
+//! let channel = DeletionInsertionChannel::new(alphabet, params);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let input: Vec<Symbol> = (0..100).map(|i| Symbol::from_index(i % 2)).collect();
+//! let out = channel.transmit(&input, &mut rng);
+//! // Every queued symbol was either transmitted or deleted…
+//! assert_eq!(out.events.transmissions() + out.events.deletions(), 100);
+//! // …and the receiver got the transmissions plus the insertions.
+//! assert_eq!(out.received.len(), out.events.transmissions() + out.events.insertions());
+//! # Ok::<(), nsc_channel::ChannelError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod alphabet;
+pub mod burst;
+pub mod di;
+pub mod dmc;
+pub mod erasure;
+pub mod error;
+pub mod event;
+pub mod stats;
+pub mod timed_z;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use di::{DeletionInsertionChannel, DiParams};
+pub use error::ChannelError;
+pub use event::{ChannelEvent, EventLog};

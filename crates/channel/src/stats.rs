@@ -1,0 +1,407 @@
+//! Empirical estimation of deletion-insertion parameters.
+//!
+//! §4.3 of the paper prescribes: estimate the traditional capacity
+//! `C`, *measure* `P_d`, report `C · (1 − P_d)`. This module turns
+//! event logs (ground truth from simulators, or instrumented traces
+//! from the scheduler substrate) into parameter estimates with
+//! confidence intervals, and offers a blind length-based estimator for
+//! when only input/output counts are observable.
+
+use crate::di::DiParams;
+use crate::error::ChannelError;
+use crate::event::EventLog;
+use nsc_info::stats::{chi_square_statistic, wilson_interval, ProportionInterval};
+use serde::{Deserialize, Serialize};
+
+/// Point estimates and 95% Wilson intervals for the four Definition 1
+/// parameters, measured from an event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiEstimate {
+    /// Deletion rate `P_d` (per channel use).
+    pub p_d: ProportionInterval,
+    /// Insertion rate `P_i` (per channel use).
+    pub p_i: ProportionInterval,
+    /// Transmission rate `P_t` (per channel use).
+    pub p_t: ProportionInterval,
+    /// Substitution rate `P_s` (per transmission); `None` when the
+    /// log contains no transmissions.
+    pub p_s: Option<ProportionInterval>,
+    /// Number of channel uses observed.
+    pub uses: usize,
+}
+
+/// The default normal quantile used for intervals (95% two-sided).
+pub const DEFAULT_Z: f64 = 1.959_963_984_540_054;
+
+/// Estimates Definition 1 parameters from a ground-truth event log.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::BadParameters`] when the log is empty.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::{Alphabet, DeletionInsertionChannel, DiParams, Symbol};
+/// use nsc_channel::stats::estimate_from_log;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let ch = DeletionInsertionChannel::new(
+///     Alphabet::binary(), DiParams::new(0.2, 0.1, 0.0)?);
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let input = vec![Symbol::from_index(0); 50_000];
+/// let out = ch.transmit(&input, &mut rng);
+/// let est = estimate_from_log(&out.events)?;
+/// assert!(est.p_d.contains(0.2));
+/// assert!(est.p_i.contains(0.1));
+/// # Ok::<(), nsc_channel::ChannelError>(())
+/// ```
+pub fn estimate_from_log(log: &EventLog) -> Result<DiEstimate, ChannelError> {
+    let uses = log.uses();
+    if uses == 0 {
+        return Err(ChannelError::BadParameters(
+            "cannot estimate parameters from an empty event log".to_owned(),
+        ));
+    }
+    let n = uses as u64;
+    let p_d = wilson_interval(log.deletions() as u64, n, DEFAULT_Z)?;
+    let p_i = wilson_interval(log.insertions() as u64, n, DEFAULT_Z)?;
+    let p_t = wilson_interval(log.transmissions() as u64, n, DEFAULT_Z)?;
+    let p_s = if log.transmissions() > 0 {
+        Some(wilson_interval(
+            log.substitutions() as u64,
+            log.transmissions() as u64,
+            DEFAULT_Z,
+        )?)
+    } else {
+        None
+    };
+    Ok(DiEstimate {
+        p_d,
+        p_i,
+        p_t,
+        p_s,
+        uses,
+    })
+}
+
+/// Pearson chi-square statistic of an observed event log against
+/// configured parameters, over the four outcome categories of
+/// Figure 2. Used by experiment E1 to certify that the simulator
+/// realizes Definition 1.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::Numeric`] when the log is empty or an
+/// impossible category was observed.
+pub fn goodness_of_fit(log: &EventLog, params: &DiParams) -> Result<f64, ChannelError> {
+    Ok(chi_square_statistic(
+        &log.category_counts(),
+        &params.category_probs(),
+    )?)
+}
+
+/// Blind estimate of the deletion probability of a *deletion-only*
+/// channel from input/output lengths alone: `1 − received / sent`.
+/// This is what an attacker or auditor can measure without ground
+/// truth, using a pilot sequence of known length.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::BadParameters`] when `sent == 0` or
+/// `received > sent`.
+pub fn blind_deletion_estimate(sent: usize, received: usize) -> Result<f64, ChannelError> {
+    if sent == 0 {
+        return Err(ChannelError::BadParameters(
+            "pilot sequence must be non-empty".to_owned(),
+        ));
+    }
+    if received > sent {
+        return Err(ChannelError::BadParameters(format!(
+            "received {received} exceeds sent {sent} on a deletion-only channel"
+        )));
+    }
+    Ok(1.0 - received as f64 / sent as f64)
+}
+
+/// Blind estimate of `(P_d, P_i)` for a deletion-insertion channel
+/// from pilot statistics: the sender transmits `sent` symbols, the
+/// receiver counts `received` symbols of which `foreign` are
+/// identifiably spurious (e.g. out-of-pilot-alphabet markers). The
+/// method equates `received − foreign·size_correction ≈ transmitted`.
+/// With fully identifiable insertions (`foreign` exact), the
+/// per-use rates follow from the Definition 1 flow balance:
+/// `uses = sent + foreign` (each use either consumes a queued symbol
+/// or inserts), `P_i = foreign / uses`,
+/// `P_d = (sent − (received − foreign)) / uses`.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::BadParameters`] on inconsistent counts.
+pub fn blind_di_estimate(
+    sent: usize,
+    received: usize,
+    foreign: usize,
+) -> Result<(f64, f64), ChannelError> {
+    if sent == 0 {
+        return Err(ChannelError::BadParameters(
+            "pilot sequence must be non-empty".to_owned(),
+        ));
+    }
+    if foreign > received {
+        return Err(ChannelError::BadParameters(format!(
+            "foreign {foreign} exceeds received {received}"
+        )));
+    }
+    let genuine = received - foreign;
+    if genuine > sent {
+        return Err(ChannelError::BadParameters(format!(
+            "genuine receptions {genuine} exceed sent {sent}"
+        )));
+    }
+    let uses = (sent + foreign) as f64;
+    Ok(((sent - genuine) as f64 / uses, foreign as f64 / uses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::di::DeletionInsertionChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_channel(p_d: f64, p_i: f64, p_s: f64, n: usize, seed: u64) -> EventLog {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(2).unwrap(),
+            DiParams::new(p_d, p_i, p_s).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Vec<Symbol> = (0..n).map(|i| Symbol::from_index(i as u32 % 4)).collect();
+        ch.transmit(&input, &mut rng).events
+    }
+
+    #[test]
+    fn estimates_cover_true_parameters() {
+        let log = run_channel(0.15, 0.1, 0.2, 80_000, 42);
+        let est = estimate_from_log(&log).unwrap();
+        assert!(est.p_d.contains(0.15), "{:?}", est.p_d);
+        assert!(est.p_i.contains(0.1), "{:?}", est.p_i);
+        assert!(est.p_t.contains(0.75), "{:?}", est.p_t);
+        assert!(est.p_s.unwrap().contains(0.2));
+        assert!(est.uses > 80_000);
+    }
+
+    #[test]
+    fn estimate_from_empty_log_fails() {
+        assert!(estimate_from_log(&EventLog::new()).is_err());
+    }
+
+    #[test]
+    fn no_transmissions_means_no_substitution_estimate() {
+        // Deletion-only channel with p_d = 1 never transmits.
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(1.0, 0.0, 0.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ch.transmit(&[Symbol::from_index(0); 100], &mut rng);
+        let est = estimate_from_log(&out.events).unwrap();
+        assert!(est.p_s.is_none());
+        assert_eq!(est.p_d.estimate, 1.0);
+    }
+
+    #[test]
+    fn goodness_of_fit_accepts_matched_parameters() {
+        let params = DiParams::new(0.2, 0.1, 0.3).unwrap();
+        let ch = DeletionInsertionChannel::new(Alphabet::new(2).unwrap(), params);
+        let mut rng = StdRng::seed_from_u64(7);
+        let input: Vec<Symbol> = (0..50_000).map(|i| Symbol::from_index(i % 4)).collect();
+        let out = ch.transmit(&input, &mut rng);
+        let stat = goodness_of_fit(&out.events, &params).unwrap();
+        // 3 degrees of freedom; anything below mean + 5 sigma passes.
+        assert!(stat < nsc_info::stats::chi_square_threshold(3, 5.0));
+    }
+
+    #[test]
+    fn goodness_of_fit_rejects_mismatched_parameters() {
+        let log = run_channel(0.4, 0.0, 0.0, 50_000, 3);
+        let wrong = DiParams::new(0.1, 0.0, 0.0).unwrap();
+        let stat = goodness_of_fit(&log, &wrong).unwrap();
+        assert!(stat > nsc_info::stats::chi_square_threshold(3, 5.0));
+    }
+
+    #[test]
+    fn blind_deletion_estimator() {
+        assert!((blind_deletion_estimate(1000, 800).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(blind_deletion_estimate(10, 10).unwrap(), 0.0);
+        assert!(blind_deletion_estimate(0, 0).is_err());
+        assert!(blind_deletion_estimate(10, 11).is_err());
+    }
+
+    #[test]
+    fn blind_di_estimator_consistency() {
+        // 1000 sent, 700 genuine arrivals, 100 insertions:
+        // uses = 1100, p_i = 100/1100, p_d = 300/1100.
+        let (p_d, p_i) = blind_di_estimate(1000, 800, 100).unwrap();
+        assert!((p_i - 100.0 / 1100.0).abs() < 1e-12);
+        assert!((p_d - 300.0 / 1100.0).abs() < 1e-12);
+        assert!(blind_di_estimate(0, 0, 0).is_err());
+        assert!(blind_di_estimate(10, 5, 6).is_err());
+        assert!(blind_di_estimate(10, 20, 2).is_err());
+    }
+
+    #[test]
+    fn blind_di_estimator_matches_simulation() {
+        let params = DiParams::new(0.25, 0.15, 0.0).unwrap();
+        let ch = DeletionInsertionChannel::new(Alphabet::new(2).unwrap(), params);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sent = 100_000usize;
+        let input: Vec<Symbol> = (0..sent)
+            .map(|i| Symbol::from_index(i as u32 % 4))
+            .collect();
+        let out = ch.transmit(&input, &mut rng);
+        // Simulate perfect insertion identification via the log.
+        let foreign = out.events.insertions();
+        let (p_d_hat, p_i_hat) = blind_di_estimate(sent, out.received.len(), foreign).unwrap();
+        assert!((p_d_hat - 0.25).abs() < 0.01, "p_d_hat = {p_d_hat}");
+        assert!((p_i_hat - 0.15).abs() < 0.01, "p_i_hat = {p_i_hat}");
+    }
+}
+
+/// First-order Markov fit of an event indicator sequence (e.g.
+/// deletions): the observable burstiness model behind experiment
+/// E11's Gilbert–Elliott ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovBurstFit {
+    /// `P(event at use k+1 | event at use k)`.
+    pub p_after_event: f64,
+    /// `P(event at use k+1 | no event at use k)`.
+    pub p_after_gap: f64,
+    /// Stationary event rate implied by the fit,
+    /// `p_after_gap / (p_after_gap + 1 − p_after_event)`.
+    pub stationary_rate: f64,
+    /// Burstiness index `p_after_event / stationary_rate`: 1 for a
+    /// memoryless channel, larger when events cluster.
+    pub burstiness: f64,
+}
+
+/// Fits a first-order Markov chain to the deletion indicator sequence
+/// of an event log. Unlike the hidden Gilbert–Elliott parameters,
+/// these transition probabilities are directly observable, so the fit
+/// needs no EM: it is exact moment matching on transition counts.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::BadParameters`] when the log has fewer
+/// than two events (no transitions to count).
+pub fn fit_deletion_bursts(log: &EventLog) -> Result<MarkovBurstFit, ChannelError> {
+    let events = log.events();
+    if events.len() < 2 {
+        return Err(ChannelError::BadParameters(
+            "need at least two channel uses to fit transitions".to_owned(),
+        ));
+    }
+    let indicator: Vec<bool> = events
+        .iter()
+        .map(|e| matches!(e, crate::event::ChannelEvent::Deletion { .. }))
+        .collect();
+    let mut after_event = (0usize, 0usize); // (events, total)
+    let mut after_gap = (0usize, 0usize);
+    for w in indicator.windows(2) {
+        let bucket = if w[0] {
+            &mut after_event
+        } else {
+            &mut after_gap
+        };
+        bucket.1 += 1;
+        if w[1] {
+            bucket.0 += 1;
+        }
+    }
+    let rate = |b: (usize, usize)| {
+        if b.1 == 0 {
+            0.0
+        } else {
+            b.0 as f64 / b.1 as f64
+        }
+    };
+    let p_after_event = rate(after_event);
+    let p_after_gap = rate(after_gap);
+    let denom = p_after_gap + 1.0 - p_after_event;
+    let stationary = if denom > 0.0 {
+        p_after_gap / denom
+    } else {
+        // p_after_event = 1 and p_after_gap = 0: an absorbing event
+        // state; report the empirical rate.
+        log.empirical_deletion_rate()
+    };
+    Ok(MarkovBurstFit {
+        p_after_event,
+        p_after_gap,
+        stationary_rate: stationary,
+        burstiness: if stationary > 0.0 {
+            p_after_event / stationary
+        } else {
+            1.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod burst_fit_tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::burst::GilbertElliottChannel;
+    use crate::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::from_index(i as u32 % 2)).collect()
+    }
+
+    #[test]
+    fn memoryless_channel_fits_burstiness_one() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.3).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ch.transmit(&input(200_000), &mut rng);
+        let fit = fit_deletion_bursts(&out.events).unwrap();
+        assert!((fit.burstiness - 1.0).abs() < 0.05, "{fit:?}");
+        assert!((fit.stationary_rate - 0.3).abs() < 0.01, "{fit:?}");
+    }
+
+    #[test]
+    fn bursty_channel_fits_burstiness_above_one() {
+        let ch = GilbertElliottChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.05).unwrap(),
+            DiParams::deletion_only(0.8).unwrap(),
+            0.02,
+            0.1,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = ch.transmit(&input(200_000), &mut rng);
+        let fit = fit_deletion_bursts(&out.events).unwrap();
+        assert!(fit.burstiness > 1.5, "{fit:?}");
+        assert!(fit.p_after_event > fit.p_after_gap);
+        // Stationary rate still matches the time average.
+        let avg = ch.average_params().unwrap().p_d();
+        assert!((fit.stationary_rate - avg).abs() < 0.03, "{fit:?} vs {avg}");
+    }
+
+    #[test]
+    fn tiny_logs_are_rejected() {
+        assert!(fit_deletion_bursts(&EventLog::new()).is_err());
+        let mut log = EventLog::new();
+        log.push(crate::event::ChannelEvent::Deletion {
+            symbol: Symbol::from_index(0),
+        });
+        assert!(fit_deletion_bursts(&log).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The timed Z-channel of Moskowitz, Greenwald & Kang (1996).
+//!
+//! A classic "traditional" covert timing channel baseline: the sender
+//! chooses between a fast symbol (duration `t0`, always delivered
+//! correctly) and a slow symbol (duration `t1`), and noise can turn
+//! the slow symbol into the fast one with probability `p` — the
+//! Z-channel crossover. Capacity is measured in bits per unit time.
+//!
+//! The paper's §2 cites this model as prior art whose estimates assume
+//! synchrony; experiment E10 reproduces its capacity curve and E8
+//! applies the paper's `(1 − P_d)` correction on top of it.
+
+use crate::error::ChannelError;
+use nsc_info::timing::{capacity_per_unit_time, TimingOptions};
+use nsc_info::InfoError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A timed Z-channel.
+///
+/// # Example
+///
+/// ```
+/// use nsc_channel::timed_z::TimedZChannel;
+///
+/// // Noiseless unit-time channel: one bit per tick.
+/// let ch = TimedZChannel::new(0.0, 1.0, 1.0)?;
+/// assert!((ch.capacity()? - 1.0).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedZChannel {
+    /// Probability that the slow symbol (input 1) is received as the
+    /// fast one (input 0).
+    p: f64,
+    /// Duration of symbol 0.
+    t0: f64,
+    /// Duration of symbol 1.
+    t1: f64,
+}
+
+impl TimedZChannel {
+    /// Creates a timed Z-channel with crossover probability `p` and
+    /// symbol durations `t0`, `t1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::BadParameters`] when `p` is not a
+    /// probability or a duration is not positive and finite.
+    pub fn new(p: f64, t0: f64, t1: f64) -> Result<Self, ChannelError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(ChannelError::BadParameters(format!(
+                "crossover {p} is not a probability"
+            )));
+        }
+        for (name, t) in [("t0", t0), ("t1", t1)] {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(ChannelError::BadParameters(format!(
+                    "duration {name} = {t} must be positive"
+                )));
+            }
+        }
+        Ok(TimedZChannel { p, t0, t1 })
+    }
+
+    /// Crossover probability.
+    pub fn crossover(&self) -> f64 {
+        self.p
+    }
+
+    /// Durations `(t0, t1)`.
+    pub fn durations(&self) -> (f64, f64) {
+        (self.t0, self.t1)
+    }
+
+    /// The underlying Z transition matrix.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        vec![vec![1.0, 0.0], vec![self.p, 1.0 - self.p]]
+    }
+
+    /// Capacity in bits per unit time:
+    /// `max_q I(q; Z) / (q·t1 + (1−q)·t0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError`] when the fractional-capacity solver fails
+    /// to converge.
+    pub fn capacity(&self) -> Result<f64, InfoError> {
+        let tc = capacity_per_unit_time(
+            &self.transition_matrix(),
+            &[self.t0, self.t1],
+            &TimingOptions::default(),
+        )?;
+        Ok(tc.rate)
+    }
+
+    /// Capacity in bits per channel use (ignoring durations) — the
+    /// plain Z-channel closed form, exposed for cross-checks.
+    pub fn per_use_capacity(&self) -> f64 {
+        crate::dmc::closed_form::z_channel(self.p)
+    }
+
+    /// Samples one transmission: returns `(received_bit, duration)`.
+    /// Duration is the *sent* symbol's duration — time passes at the
+    /// sender regardless of corruption.
+    pub fn sample<R: Rng + ?Sized>(&self, input: bool, rng: &mut R) -> (bool, f64) {
+        if input {
+            let received = rng.gen::<f64>() >= self.p;
+            (received, self.t1)
+        } else {
+            (false, self.t0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(TimedZChannel::new(1.1, 1.0, 1.0).is_err());
+        assert!(TimedZChannel::new(0.1, 0.0, 1.0).is_err());
+        assert!(TimedZChannel::new(0.1, 1.0, -2.0).is_err());
+        assert!(TimedZChannel::new(0.1, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn noiseless_unit_time_is_one_bit_per_tick() {
+        let ch = TimedZChannel::new(0.0, 1.0, 1.0).unwrap();
+        assert!((ch.capacity().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noiseless_unequal_times_match_shannon() {
+        let ch = TimedZChannel::new(0.0, 1.0, 2.0).unwrap();
+        let shannon = nsc_info::timing::noiseless_timing_capacity(&[1.0, 2.0]).unwrap();
+        assert!((ch.capacity().unwrap() - shannon).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_durations_match_z_closed_form() {
+        for &p in &[0.1, 0.4, 0.7] {
+            let ch = TimedZChannel::new(p, 1.0, 1.0).unwrap();
+            assert!(
+                (ch.capacity().unwrap() - ch.per_use_capacity()).abs() < 1e-6,
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_decreases_with_noise() {
+        let c0 = TimedZChannel::new(0.0, 1.0, 3.0)
+            .unwrap()
+            .capacity()
+            .unwrap();
+        let c1 = TimedZChannel::new(0.3, 1.0, 3.0)
+            .unwrap()
+            .capacity()
+            .unwrap();
+        let c2 = TimedZChannel::new(0.8, 1.0, 3.0)
+            .unwrap()
+            .capacity()
+            .unwrap();
+        assert!(c0 > c1 && c1 > c2);
+    }
+
+    #[test]
+    fn fully_noisy_channel_has_zero_capacity() {
+        let ch = TimedZChannel::new(1.0, 1.0, 2.0).unwrap();
+        assert!(ch.capacity().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_statistics() {
+        let ch = TimedZChannel::new(0.25, 1.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut flips = 0;
+        for _ in 0..40_000 {
+            let (r, d) = ch.sample(true, &mut rng);
+            assert_eq!(d, 2.0);
+            if !r {
+                flips += 1;
+            }
+        }
+        assert!((flips as f64 / 40_000.0 - 0.25).abs() < 0.01);
+        let (r, d) = ch.sample(false, &mut rng);
+        assert!(!r);
+        assert_eq!(d, 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the channel models.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::burst::GilbertElliottChannel;
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_channel::dmc::{closed_form, Dmc};
+use nsc_channel::erasure::{ErasureChannel, ExtendedErasureChannel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: valid Definition 1 parameters.
+fn di_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.0f64..0.9, 0.0f64..1.0, 0.0f64..=1.0).prop_map(|(p_d, scale, p_s)| {
+        let p_i = (1.0 - p_d) * scale * 0.95;
+        (p_d, p_i, p_s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition 1 conservation: consumed = transmitted + deleted =
+    /// input; received = transmitted + inserted.
+    #[test]
+    fn di_conservation_laws(
+        (p_d, p_i, p_s) in di_params(),
+        bits in 1u32..=6,
+        len in 1usize..400,
+        seed in 0u64..1000,
+    ) {
+        let alphabet = Alphabet::new(bits).unwrap();
+        let ch = DeletionInsertionChannel::new(
+            alphabet, DiParams::new(p_d, p_i, p_s).unwrap());
+        let input: Vec<Symbol> =
+            (0..len).map(|i| Symbol::from_index(i as u32 % alphabet.size() as u32)).collect();
+        let out = ch.transmit(&input, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(
+            input.len(),
+            out.events.transmissions() + out.events.deletions()
+        );
+        prop_assert_eq!(
+            out.received.len(),
+            out.events.transmissions() + out.events.insertions()
+        );
+        // Substitutions never exceed transmissions.
+        prop_assert!(out.events.substitutions() <= out.events.transmissions());
+        // All received symbols in-alphabet.
+        prop_assert!(out.received.iter().all(|&s| alphabet.contains(s)));
+    }
+
+    /// With no insertions, the received stream is a subsequence of
+    /// the input (when no substitutions either).
+    #[test]
+    fn deletion_only_output_is_subsequence(
+        p_d in 0.0f64..0.9,
+        len in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(3).unwrap(), DiParams::deletion_only(p_d).unwrap());
+        let input: Vec<Symbol> = (0..len).map(|i| Symbol::from_index(i as u32 % 8)).collect();
+        let out = ch.transmit(&input, &mut StdRng::seed_from_u64(seed));
+        // Subsequence check.
+        let mut it = input.iter();
+        for r in &out.received {
+            prop_assert!(it.any(|s| s == r), "not a subsequence");
+        }
+    }
+
+    /// The noiseless channel is exactly the identity.
+    #[test]
+    fn noiseless_is_identity(len in 1usize..200, seed in 0u64..100) {
+        let ch = DeletionInsertionChannel::new(Alphabet::binary(), DiParams::noiseless());
+        let input: Vec<Symbol> = (0..len).map(|i| Symbol::from_index(i as u32 % 2)).collect();
+        let out = ch.transmit(&input, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(out.received, input);
+    }
+
+    /// Closed forms match Blahut–Arimoto across the parameter range.
+    /// Near-degenerate channels converge sublinearly, so the solver
+    /// runs at a looser certified tolerance here.
+    #[test]
+    fn closed_forms_match_blahut(p in 0.0f64..=1.0) {
+        let opts = nsc_info::blahut::BlahutOptions { tolerance: 1e-7, max_iter: 2_000_000 };
+        let bsc = Dmc::binary_symmetric(p).unwrap().capacity_with(&opts).unwrap();
+        prop_assert!((bsc - closed_form::bsc(p)).abs() < 1e-6);
+        let era = Dmc::binary_erasure(p).unwrap().capacity_with(&opts).unwrap();
+        prop_assert!((era - closed_form::erasure(1, p)).abs() < 1e-6);
+        let z = Dmc::z_channel(p).unwrap().capacity_with(&opts).unwrap();
+        prop_assert!((z - closed_form::z_channel(p)).abs() < 1e-5, "z {z} vs {}", closed_form::z_channel(p));
+    }
+
+    /// Erasure channel preserves length and never corrupts.
+    #[test]
+    fn erasure_preserves_structure(e in 0.0f64..=1.0, len in 1usize..200, seed in 0u64..100) {
+        let a = Alphabet::new(2).unwrap();
+        let ch = ErasureChannel::new(a, e).unwrap();
+        let input: Vec<Symbol> = (0..len).map(|i| Symbol::from_index(i as u32 % 4)).collect();
+        let out = ch.transmit(&input, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(out.len(), input.len());
+        for (slot, orig) in out.iter().zip(&input) {
+            if let Some(s) = slot {
+                prop_assert_eq!(s, orig);
+            }
+        }
+    }
+
+    /// Extended erasure: payload is a subsequence and capacities are
+    /// ordered.
+    #[test]
+    fn extended_erasure_invariants((p_d, p_i, _) in di_params(), seed in 0u64..100) {
+        let params = DiParams::new(p_d, p_i, 0.0).unwrap();
+        let ch = ExtendedErasureChannel::new(Alphabet::new(3).unwrap(), params);
+        prop_assert!(ch.per_use_capacity() <= ch.relative_capacity() + 1e-12);
+        let input: Vec<Symbol> = (0..100).map(|i| Symbol::from_index(i % 8)).collect();
+        let slots = ch.transmit(&input, &mut StdRng::seed_from_u64(seed));
+        let payload = ExtendedErasureChannel::payload(&slots);
+        prop_assert!(payload.len() <= input.len());
+    }
+
+    /// The bursty channel's stationary average is a valid parameter
+    /// set interpolating its states.
+    #[test]
+    fn gilbert_elliott_average_interpolates(
+        good in 0.0f64..0.3,
+        bad in 0.3f64..0.9,
+        p_gb in 0.01f64..1.0,
+        p_bg in 0.01f64..1.0,
+    ) {
+        let ch = GilbertElliottChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(good).unwrap(),
+            DiParams::deletion_only(bad).unwrap(),
+            p_gb, p_bg,
+        ).unwrap();
+        let avg = ch.average_params().unwrap();
+        prop_assert!(avg.p_d() >= good - 1e-12 && avg.p_d() <= bad + 1e-12);
+        let w = ch.stationary_bad();
+        prop_assert!((avg.p_d() - ((1.0 - w) * good + w * bad)).abs() < 1e-12);
+    }
+}

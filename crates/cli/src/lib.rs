@@ -1,0 +1,314 @@
+//! The `nsc` command-line covert-channel auditor.
+//!
+//! Thin, dependency-free argument parsing over the workspace's
+//! libraries. Subcommands:
+//!
+//! * `bounds` — Theorem 4/5 capacity bounds at given parameters.
+//! * `correct` — the §4.3 correction from measured deletion counts.
+//! * `convert` — the Theorem 5 converted-channel capacity `C_conv`.
+//! * `sweep` — the achievable-capacity surface over `(P_d, P_i)`.
+//! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
+//!   durations.
+//!
+//! The library exposes [`run`] so tests can drive the CLI without a
+//! process boundary; `main.rs` is a two-liner.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
+use nsc_core::degradation::SeverityPolicy;
+use nsc_core::estimator::assess_from_counts;
+use nsc_core::sweep::{sweep_bounds, Grid};
+use nsc_info::timing::noiseless_timing_capacity;
+use nsc_info::BitsPerTick;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// CLI outcome: rendered output or a usage error (message, exit
+/// code 2).
+pub type CliResult = Result<String, String>;
+
+/// Runs the CLI on pre-split arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage/diagnostic message when the arguments are invalid;
+/// the caller prints it to stderr and exits non-zero.
+pub fn run(args: &[String]) -> CliResult {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "bounds" => cmd_bounds(rest),
+        "correct" => cmd_correct(rest),
+        "convert" => cmd_convert(rest),
+        "sweep" => cmd_sweep(rest),
+        "stc" => cmd_stc(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "nsc — non-synchronous covert-channel capacity auditor\n\
+     \n\
+     USAGE:\n\
+     \x20 nsc bounds  --bits N --p-d X [--p-i Y]\n\
+     \x20 nsc correct --traditional C --deletions D --attempts A\n\
+     \x20 nsc convert --bits N --p-i Y\n\
+     \x20 nsc sweep   --bits N [--points K]\n\
+     \x20 nsc stc     --durations T1,T2,...\n\
+     \n\
+     All capacities follow Wang & Lee (ICDCS 2005): `bounds` gives the\n\
+     Theorem 5 achievable rate and the Theorem 4 upper bound in bits\n\
+     per symbol slot; `correct` applies the practical recipe\n\
+     C_real = C_traditional * (1 - P_d) with a 95% interval.\n"
+        .to_owned()
+}
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        map.insert(name.to_owned(), value.clone());
+    }
+    Ok(map)
+}
+
+fn need<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
+    let raw = flags
+        .get(name)
+        .ok_or_else(|| format!("missing required flag --{name}"))?;
+    raw.parse()
+        .map_err(|_| format!("flag --{name}: cannot parse `{raw}`"))
+}
+
+fn optional<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+    }
+}
+
+fn cmd_bounds(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let bits: u32 = need(&flags, "bits")?;
+    let p_d: f64 = need(&flags, "p-d")?;
+    let p_i: f64 = optional(&flags, "p-i", 0.0)?;
+    let b = capacity_bounds(bits, p_d, p_i).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "symbol width    : {bits} bits");
+    let _ = writeln!(out, "P_d / P_i       : {p_d} / {p_i}");
+    let _ = writeln!(
+        out,
+        "achievable      : {:.6} bits/slot  (Theorem 5)",
+        b.lower.value()
+    );
+    let _ = writeln!(
+        out,
+        "upper bound     : {:.6} bits/slot  (Theorem 4, N(1-P_d))",
+        b.upper.value()
+    );
+    let _ = writeln!(out, "tightness       : {:.1}%", 100.0 * b.tightness());
+    Ok(out)
+}
+
+fn cmd_correct(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let traditional: f64 = need(&flags, "traditional")?;
+    let deletions: u64 = need(&flags, "deletions")?;
+    let attempts: u64 = need(&flags, "attempts")?;
+    let a = assess_from_counts(
+        BitsPerTick(traditional),
+        deletions,
+        attempts,
+        &SeverityPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "traditional     : {traditional} bits/tick");
+    let _ = writeln!(
+        out,
+        "measured P_d    : {:.6}  (95% CI [{:.6}, {:.6}], n = {})",
+        a.report.p_d.estimate, a.report.p_d.lower, a.report.p_d.upper, attempts
+    );
+    let _ = writeln!(
+        out,
+        "corrected       : {:.6} bits/tick  (interval [{:.6}, {:.6}])",
+        a.report.corrected.value(),
+        a.report.corrected_interval.0.value(),
+        a.report.corrected_interval.1.value()
+    );
+    let _ = writeln!(out, "severity        : {:?}", a.severity);
+    Ok(out)
+}
+
+fn cmd_convert(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let bits: u32 = need(&flags, "bits")?;
+    let p_i: f64 = need(&flags, "p-i")?;
+    let c = converted_channel_capacity(bits, p_i).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "C_conv({bits} bits, P_i = {p_i}) = {:.6} bits/symbol  (eqs. 2-4; Figure 5)\n",
+        c.value()
+    ))
+}
+
+fn cmd_sweep(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let bits: u32 = need(&flags, "bits")?;
+    let points: usize = optional(&flags, "points", 10)?;
+    if points < 2 {
+        return Err("--points must be at least 2".to_owned());
+    }
+    let grid = Grid::new(0.0, 0.9, points).map_err(|e| e.to_string())?;
+    let sweep = sweep_bounds(&grid, &grid, &[bits]).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = write!(out, "{:>7}", "Pd\\Pi");
+    for p_i in grid.values() {
+        let _ = write!(out, "{p_i:>8.2}");
+    }
+    let _ = writeln!(out);
+    for p_d in grid.values() {
+        let _ = write!(out, "{p_d:>7.2}");
+        for p_i in grid.values() {
+            let cell = sweep
+                .points
+                .iter()
+                .find(|p| (p.p_d - p_d).abs() < 1e-9 && (p.p_i - p_i).abs() < 1e-9);
+            match cell {
+                Some(p) => {
+                    let _ = write!(out, "{:>8.3}", p.bounds.lower.value());
+                }
+                None => {
+                    let _ = write!(out, "{:>8}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "\nachievable bits/slot (Theorem 5); '-' = outside the parameter simplex"
+    );
+    Ok(out)
+}
+
+fn cmd_stc(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let raw = flags
+        .get("durations")
+        .ok_or_else(|| "missing required flag --durations".to_owned())?;
+    let durations: Vec<f64> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("cannot parse duration `{s}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let c = noiseless_timing_capacity(&durations).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "noiseless timing capacity for durations {durations:?}: {c:.6} bits per time unit\n\
+         (Shannon's characteristic root; Moskowitz's Simple Timing Channel)\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> CliResult {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_str(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_str(&[]).is_err());
+        assert!(run_str(&["frobnicate"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn bounds_happy_path() {
+        let out = run_str(&["bounds", "--bits", "8", "--p-d", "0.25"]).unwrap();
+        assert!(out.contains("upper bound     : 6.000000"));
+        assert!(out.contains("achievable      : 6.000000"));
+    }
+
+    #[test]
+    fn bounds_with_insertions() {
+        let out = run_str(&["bounds", "--bits", "4", "--p-d", "0.1", "--p-i", "0.1"]).unwrap();
+        assert!(out.contains("Theorem 5"));
+        assert!(out.contains("tightness"));
+    }
+
+    #[test]
+    fn bounds_flag_errors() {
+        assert!(run_str(&["bounds", "--bits", "8"])
+            .unwrap_err()
+            .contains("--p-d"));
+        assert!(run_str(&["bounds", "--bits", "x", "--p-d", "0.1"])
+            .unwrap_err()
+            .contains("cannot parse"));
+        assert!(run_str(&["bounds", "bits"]).unwrap_err().contains("--flag"));
+        assert!(run_str(&["bounds", "--bits"])
+            .unwrap_err()
+            .contains("needs a value"));
+        // Out-of-range probability propagates the library error.
+        assert!(run_str(&["bounds", "--bits", "4", "--p-d", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn correct_matches_recipe() {
+        let out = run_str(&[
+            "correct",
+            "--traditional",
+            "100",
+            "--deletions",
+            "300",
+            "--attempts",
+            "1000",
+        ])
+        .unwrap();
+        assert!(out.contains("corrected       : 70.0000"), "{out}");
+        assert!(out.contains("severity"));
+    }
+
+    #[test]
+    fn convert_matches_formula() {
+        let out = run_str(&["convert", "--bits", "4", "--p-i", "0.0"]).unwrap();
+        assert!(out.contains("= 4.000000"));
+    }
+
+    #[test]
+    fn sweep_renders_grid() {
+        let out = run_str(&["sweep", "--bits", "2", "--points", "4"]).unwrap();
+        assert!(out.contains("Pd\\Pi"));
+        assert!(out.contains("-"));
+        assert!(run_str(&["sweep", "--bits", "2", "--points", "1"]).is_err());
+    }
+
+    #[test]
+    fn stc_telegraph() {
+        let out = run_str(&["stc", "--durations", "1,2"]).unwrap();
+        assert!(out.contains("0.694242"), "{out}");
+        assert!(run_str(&["stc", "--durations", "1,zebra"]).is_err());
+        assert!(run_str(&["stc"]).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the `nsc` auditor CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nsc_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Bit-vector helpers shared by the codecs.
+
+use rand::Rng;
+
+/// Draws `n` uniformly random bits.
+pub fn random_bits<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<bool> {
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
+
+/// Bit error rate between two equal-length bit strings.
+///
+/// # Panics
+///
+/// Panics when the lengths differ — comparing misaligned strings is a
+/// caller bug.
+pub fn bit_error_rate(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "BER needs equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let errors = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    errors as f64 / a.len() as f64
+}
+
+/// XOR of two equal-length bit strings.
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn xor(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len(), "xor needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Converts bytes to bits, LSB first within each byte.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&byte| (0..8).map(move |i| (byte >> i) & 1 == 1))
+        .collect()
+}
+
+/// Converts bits (LSB first per byte) back to bytes; the final
+/// partial byte, if any, is zero-padded.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let bits = random_bits(100_000, &mut rng);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((ones as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn ber_counts_mismatches() {
+        let a = vec![true, false, true, false];
+        let b = vec![true, true, true, true];
+        assert_eq!(bit_error_rate(&a, &b), 0.5);
+        assert_eq!(bit_error_rate(&a, &a), 0.0);
+        assert_eq!(bit_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn ber_panics_on_mismatch() {
+        let _ = bit_error_rate(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn xor_involution() {
+        let a = vec![true, false, true];
+        let b = vec![false, false, true];
+        assert_eq!(xor(&xor(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let data = b"covert channel".to_vec();
+        let bits = bytes_to_bits(&data);
+        assert_eq!(bits.len(), data.len() * 8);
+        assert_eq!(bits_to_bytes(&bits), data);
+    }
+
+    #[test]
+    fn partial_byte_is_padded() {
+        let bits = vec![true, true, false];
+        assert_eq!(bits_to_bytes(&bits), vec![0b011]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for codecs.
+
+use std::fmt;
+
+/// Errors produced by encoders and decoders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodingError {
+    /// Bad construction parameter (rate, density, window, …).
+    BadParameter(String),
+    /// The input length violates the codec's framing.
+    BadLength {
+        /// Length supplied.
+        got: usize,
+        /// What the codec required (description).
+        need: String,
+    },
+    /// Decoding failed irrecoverably (e.g. the drift lattice found no
+    /// path consistent with the received length).
+    DecodeFailure(String),
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            CodingError::BadLength { got, need } => {
+                write!(f, "bad input length {got}: need {need}")
+            }
+            CodingError::DecodeFailure(msg) => write!(f, "decode failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CodingError::BadParameter("x".to_owned()),
+            CodingError::BadLength {
+                got: 3,
+                need: "a multiple of 2".to_owned(),
+            },
+            CodingError::DecodeFailure("no path".to_owned()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

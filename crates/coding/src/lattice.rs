@@ -1,0 +1,513 @@
+//! Forward–backward inference over the deletion-insertion drift
+//! lattice.
+//!
+//! This is the synchronization engine behind watermark decoding
+//! (Davey & MacKay 2001, cited by the paper as the state of the art
+//! for reliable communication over channels with insertions,
+//! deletions and substitutions). The hidden state after the channel
+//! has consumed `i` transmitted bits is the number `j` of received
+//! bits produced so far; the *drift* `j − i` performs a bounded
+//! random walk. A banded forward–backward pass over the `(i, j)`
+//! lattice yields, for every transmitted position, the posterior
+//! probability that the sparse data bit at that position was one.
+//!
+//! The transition model matches `nsc-channel`'s Definition 1 channel
+//! exactly: while a bit is queued, each channel use inserts a random
+//! bit with probability `P_i`, deletes the queued bit with `P_d`, or
+//! transmits it with `P_t` (substituted with probability `P_s`), so a
+//! queued bit resolves after a geometric number of insertions.
+
+use crate::error::CodingError;
+
+/// Drift-lattice decoder for the binary deletion-insertion channel.
+///
+/// # Example
+///
+/// On a noiseless channel the posteriors recover the sparse bits
+/// exactly:
+///
+/// ```
+/// use nsc_coding::lattice::DriftLattice;
+///
+/// let lattice = DriftLattice::new(0.0, 0.0, 0.0)?;
+/// let watermark = vec![false, true, false, true];
+/// let sparse = vec![false, false, true, false];
+/// let sent: Vec<bool> = watermark.iter().zip(&sparse).map(|(w, s)| w ^ s).collect();
+/// let priors = vec![0.25; 4];
+/// let post = lattice.posteriors(&watermark, &priors, &sent)?;
+/// assert!(post[2] > 0.99 && post[0] < 0.01);
+/// # Ok::<(), nsc_coding::CodingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftLattice {
+    p_d: f64,
+    p_i: f64,
+    p_s: f64,
+    /// Maximum insertions considered per consumed bit (probability
+    /// mass beyond this is truncated).
+    max_ins: usize,
+    /// Extra half-width added to the drift band beyond the diffusion
+    /// estimate.
+    slack: usize,
+}
+
+/// A banded row of lattice probabilities: `probs[j - lo]` holds the
+/// value for received-position `j`.
+#[derive(Debug, Clone)]
+struct Row {
+    lo: usize,
+    probs: Vec<f64>,
+}
+
+impl Row {
+    fn zeros(lo: usize, hi: usize) -> Row {
+        Row {
+            lo,
+            probs: vec![0.0; hi.saturating_sub(lo) + 1],
+        }
+    }
+
+    #[inline]
+    fn get(&self, j: usize) -> f64 {
+        if j < self.lo || j >= self.lo + self.probs.len() {
+            0.0
+        } else {
+            self.probs[j - self.lo]
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, j: usize, v: f64) {
+        if j >= self.lo && j < self.lo + self.probs.len() {
+            self.probs[j - self.lo] += v;
+        }
+    }
+
+    fn normalize(&mut self) -> f64 {
+        let sum: f64 = self.probs.iter().sum();
+        if sum > 0.0 {
+            for p in &mut self.probs {
+                *p /= sum;
+            }
+        }
+        sum
+    }
+}
+
+impl DriftLattice {
+    /// Creates a decoder for a channel with deletion rate `p_d`,
+    /// insertion rate `p_i`, and substitution rate `p_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] when any rate is not a
+    /// probability, `p_d + p_i >= 1` (no transmissions would ever
+    /// happen at `= 1`), or `p_i = 1`.
+    pub fn new(p_d: f64, p_i: f64, p_s: f64) -> Result<Self, CodingError> {
+        for (name, v) in [("p_d", p_d), ("p_i", p_i), ("p_s", p_s)] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(CodingError::BadParameter(format!(
+                    "{name} = {v} is not a probability"
+                )));
+            }
+        }
+        if p_d + p_i >= 1.0 {
+            return Err(CodingError::BadParameter(format!(
+                "p_d + p_i = {} leaves no transmission probability",
+                p_d + p_i
+            )));
+        }
+        // Truncate the geometric insertion tail once it is negligible.
+        let max_ins = if p_i == 0.0 {
+            0
+        } else {
+            let mut k = 1usize;
+            let mut mass = p_i;
+            while mass > 1e-9 && k < 24 {
+                mass *= p_i;
+                k += 1;
+            }
+            k
+        };
+        Ok(DriftLattice {
+            p_d,
+            p_i,
+            p_s,
+            max_ins,
+            slack: 12,
+        })
+    }
+
+    /// The deletion rate.
+    pub fn p_d(&self) -> f64 {
+        self.p_d
+    }
+
+    /// The insertion rate.
+    pub fn p_i(&self) -> f64 {
+        self.p_i
+    }
+
+    /// The substitution rate.
+    pub fn p_s(&self) -> f64 {
+        self.p_s
+    }
+
+    /// Band half-width for a frame of `n` transmitted and `m`
+    /// received bits.
+    fn half_width(&self, n: usize, m: usize) -> usize {
+        let diffusion = (4.0 * (n as f64 * (self.p_d + self.p_i)).sqrt()).ceil() as usize;
+        n.abs_diff(m) + diffusion + self.slack
+    }
+
+    fn band(&self, i: usize, n: usize, m: usize, hw: usize) -> (usize, usize) {
+        // `n > 0` is guaranteed by `posteriors`' validation.
+        let center = (i * m + n / 2) / n;
+        let lo = center.saturating_sub(hw);
+        let hi = (center + hw).min(m);
+        (lo, hi)
+    }
+
+    /// Computes `P(s_i = 1 | received)` for every transmitted
+    /// position, where the transmitted bit was
+    /// `t_i = watermark[i] ⊕ s_i` and `priors[i] = P(s_i = 1)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::BadLength`] — `watermark` and `priors`
+    ///   lengths differ, or the frame is empty.
+    /// * [`CodingError::BadParameter`] — a prior is not a
+    ///   probability.
+    /// * [`CodingError::DecodeFailure`] — no lattice path explains
+    ///   the received length (e.g. far more received bits than
+    ///   insertions could produce).
+    pub fn posteriors(
+        &self,
+        watermark: &[bool],
+        priors: &[f64],
+        received: &[bool],
+    ) -> Result<Vec<f64>, CodingError> {
+        let n = watermark.len();
+        let m = received.len();
+        if n == 0 {
+            return Err(CodingError::BadLength {
+                got: 0,
+                need: "a non-empty transmitted frame".to_owned(),
+            });
+        }
+        if priors.len() != n {
+            return Err(CodingError::BadLength {
+                got: priors.len(),
+                need: format!("one prior per transmitted bit ({n})"),
+            });
+        }
+        for &f in priors {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(CodingError::BadParameter(format!(
+                    "prior {f} is not a probability"
+                )));
+            }
+        }
+        if m > n * (self.max_ins + 1) {
+            return Err(CodingError::DecodeFailure(format!(
+                "received {m} bits but at most {} are reachable",
+                n * (self.max_ins + 1)
+            )));
+        }
+
+        let hw = self.half_width(n, m);
+        let p_t = 1.0 - self.p_d - self.p_i;
+        // Pre-compute p_i^k (1/2)^k for k = 0..=max_ins.
+        let ins_weight: Vec<f64> = (0..=self.max_ins)
+            .scan(1.0f64, |acc, _| {
+                let w = *acc;
+                *acc *= self.p_i * 0.5;
+                Some(w)
+            })
+            .collect();
+
+        // ---- Forward pass ----
+        let mut alpha: Vec<Row> = Vec::with_capacity(n + 1);
+        {
+            let (lo, hi) = self.band(0, n, m, hw);
+            let mut row = Row::zeros(lo, hi);
+            row.add(0, 1.0);
+            alpha.push(row);
+        }
+        for i in 0..n {
+            let (lo, hi) = self.band(i + 1, n, m, hw);
+            let mut next = Row::zeros(lo, hi);
+            let f_eff = effective_flip(priors[i], self.p_s);
+            let cur = &alpha[i];
+            for (off, &a) in cur.probs.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let j = cur.lo + off;
+                for (k, &wk) in ins_weight.iter().enumerate() {
+                    if j + k > m {
+                        break;
+                    }
+                    let base = a * wk;
+                    // Deletion: consume bit i, emit only insertions.
+                    next.add(j + k, base * self.p_d);
+                    // Transmission: also emit the (possibly
+                    // substituted) data-carrying bit.
+                    if j + k < m {
+                        let e = if received[j + k] == watermark[i] {
+                            1.0 - f_eff
+                        } else {
+                            f_eff
+                        };
+                        next.add(j + k + 1, base * p_t * e);
+                    }
+                }
+            }
+            next.normalize();
+            alpha.push(next);
+        }
+        if alpha[n].get(m) == 0.0 {
+            return Err(CodingError::DecodeFailure(
+                "no drift path reaches the received length (widen the band or check parameters)"
+                    .to_owned(),
+            ));
+        }
+
+        // ---- Backward pass ----
+        let mut beta: Vec<Row> = (0..=n)
+            .map(|i| {
+                let (lo, hi) = self.band(i, n, m, hw);
+                Row::zeros(lo, hi)
+            })
+            .collect();
+        beta[n].add(m, 1.0);
+        for i in (0..n).rev() {
+            let f_eff = effective_flip(priors[i], self.p_s);
+            let (lo, hi) = (beta[i].lo, beta[i].lo + beta[i].probs.len() - 1);
+            let mut vals = vec![0.0f64; hi - lo + 1];
+            for (idx, v) in vals.iter_mut().enumerate() {
+                let j = lo + idx;
+                let mut acc = 0.0;
+                for (k, &wk) in ins_weight.iter().enumerate() {
+                    if j + k > m {
+                        break;
+                    }
+                    acc += wk * self.p_d * beta[i + 1].get(j + k);
+                    if j + k < m {
+                        let e = if received[j + k] == watermark[i] {
+                            1.0 - f_eff
+                        } else {
+                            f_eff
+                        };
+                        acc += wk * p_t * e * beta[i + 1].get(j + k + 1);
+                    }
+                }
+                *v = acc;
+            }
+            beta[i].probs.copy_from_slice(&vals);
+            beta[i].normalize();
+        }
+
+        // ---- Posteriors ----
+        let mut post = Vec::with_capacity(n);
+        for i in 0..n {
+            let f = priors[i];
+            let cur = &alpha[i];
+            let nxt = &beta[i + 1];
+            // Accumulate P(s_i = sigma, received) for sigma in {0,1}.
+            let mut mass = [0.0f64; 2];
+            for (off, &a) in cur.probs.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let j = cur.lo + off;
+                for (k, &wk) in ins_weight.iter().enumerate() {
+                    if j + k > m {
+                        break;
+                    }
+                    let base = a * wk;
+                    // Deletion paths carry no evidence about s_i.
+                    let del = base * self.p_d * nxt.get(j + k);
+                    mass[0] += del * (1.0 - f);
+                    mass[1] += del * f;
+                    if j + k < m {
+                        let b = nxt.get(j + k + 1);
+                        if b > 0.0 {
+                            let tx = base * p_t * b;
+                            // sigma = 0: t_i = w_i.
+                            let e0 = if received[j + k] == watermark[i] {
+                                1.0 - self.p_s
+                            } else {
+                                self.p_s
+                            };
+                            // sigma = 1: t_i = !w_i.
+                            let e1 = if received[j + k] == watermark[i] {
+                                self.p_s
+                            } else {
+                                1.0 - self.p_s
+                            };
+                            mass[0] += tx * (1.0 - f) * e0;
+                            mass[1] += tx * f * e1;
+                        }
+                    }
+                }
+            }
+            let total = mass[0] + mass[1];
+            post.push(if total > 0.0 { mass[1] / total } else { f });
+        }
+        Ok(post)
+    }
+}
+
+/// The effective probability that a received data-carrying bit
+/// differs from the watermark bit: the sparse bit flips it with
+/// probability `f`, and the channel substitutes with probability
+/// `p_s`.
+fn effective_flip(f: f64, p_s: f64) -> f64 {
+    f * (1.0 - p_s) + (1.0 - f) * p_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn send_through_channel(bits: &[bool], p_d: f64, p_i: f64, p_s: f64, seed: u64) -> Vec<bool> {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(p_d, p_i, p_s).unwrap(),
+        );
+        let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ch.transmit(&input, &mut rng)
+            .received
+            .iter()
+            .map(|s| s.index() == 1)
+            .collect()
+    }
+
+    /// Builds a frame: watermark + sparse bits at the given density,
+    /// returns (watermark, sparse, transmitted).
+    fn frame(n: usize, density: f64, seed: u64) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_bits(n, &mut rng);
+        let s: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < density).collect();
+        let t: Vec<bool> = w.iter().zip(&s).map(|(a, b)| a ^ b).collect();
+        (w, s, t)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DriftLattice::new(0.5, 0.5, 0.0).is_err());
+        assert!(DriftLattice::new(-0.1, 0.0, 0.0).is_err());
+        assert!(DriftLattice::new(0.0, 0.0, 2.0).is_err());
+        assert!(DriftLattice::new(0.1, 0.1, 0.05).is_ok());
+    }
+
+    #[test]
+    fn input_validation() {
+        let l = DriftLattice::new(0.1, 0.0, 0.0).unwrap();
+        assert!(l.posteriors(&[], &[], &[]).is_err());
+        assert!(l.posteriors(&[true], &[0.1, 0.2], &[true]).is_err());
+        assert!(l.posteriors(&[true], &[1.5], &[true]).is_err());
+    }
+
+    #[test]
+    fn noiseless_channel_recovers_sparse_bits_exactly() {
+        let (w, s, t) = frame(200, 0.15, 1);
+        let l = DriftLattice::new(0.0, 0.0, 0.0).unwrap();
+        let post = l.posteriors(&w, &vec![0.15; 200], &t).unwrap();
+        for (p, &bit) in post.iter().zip(&s) {
+            if bit {
+                assert!(*p > 0.99, "p = {p}");
+            } else {
+                assert!(*p < 0.01, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_only_most_positions_recovered() {
+        let p_d = 0.1;
+        let (w, s, t) = frame(2000, 0.1, 2);
+        let r = send_through_channel(&t, p_d, 0.0, 0.0, 3);
+        assert!(r.len() < t.len());
+        let l = DriftLattice::new(p_d, 0.0, 0.0).unwrap();
+        let post = l.posteriors(&w, &vec![0.1; 2000], &r).unwrap();
+        let decisions: Vec<bool> = post.iter().map(|&p| p > 0.5).collect();
+        let ber = crate::bits::bit_error_rate(&decisions, &s);
+        // Without the lattice, deletions shift everything: BER would
+        // approach the raw mismatch rate (~0.18 for f = 0.1 XOR
+        // noise). The lattice must do far better.
+        assert!(ber < 0.08, "ber = {ber}");
+    }
+
+    #[test]
+    fn insertions_only_most_positions_recovered() {
+        let p_i = 0.1;
+        let (w, s, t) = frame(2000, 0.1, 4);
+        let r = send_through_channel(&t, 0.0, p_i, 0.0, 5);
+        assert!(r.len() > t.len());
+        let l = DriftLattice::new(0.0, p_i, 0.0).unwrap();
+        let post = l.posteriors(&w, &vec![0.1; 2000], &r).unwrap();
+        let decisions: Vec<bool> = post.iter().map(|&p| p > 0.5).collect();
+        let ber = crate::bits::bit_error_rate(&decisions, &s);
+        assert!(ber < 0.08, "ber = {ber}");
+    }
+
+    #[test]
+    fn full_channel_posteriors_beat_priors() {
+        let (p_d, p_i, p_s) = (0.05, 0.05, 0.02);
+        let (w, s, t) = frame(3000, 0.1, 6);
+        let r = send_through_channel(&t, p_d, p_i, p_s, 7);
+        let l = DriftLattice::new(p_d, p_i, p_s).unwrap();
+        let post = l.posteriors(&w, &vec![0.1; 3000], &r).unwrap();
+        let decisions: Vec<bool> = post.iter().map(|&p| p > 0.5).collect();
+        let ber = crate::bits::bit_error_rate(&decisions, &s);
+        // Guessing all-zeros from the prior alone gives BER = 0.1.
+        // Every position carries data here (no pure watermark
+        // anchors), so the gain is modest — the sparse codec in
+        // `watermark` is where large gains appear.
+        assert!(ber < 0.09, "ber = {ber}");
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let (w, _s, t) = frame(500, 0.2, 8);
+        let r = send_through_channel(&t, 0.1, 0.1, 0.05, 9);
+        let l = DriftLattice::new(0.1, 0.1, 0.05).unwrap();
+        let post = l.posteriors(&w, &vec![0.2; 500], &r).unwrap();
+        assert_eq!(post.len(), 500);
+        assert!(post
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p) && p.is_finite()));
+    }
+
+    #[test]
+    fn impossible_received_length_fails_cleanly() {
+        let l = DriftLattice::new(0.0, 0.0, 0.0).unwrap();
+        let w = vec![true; 4];
+        // More received bits than a zero-insertion channel can emit.
+        let r = vec![true; 10];
+        assert!(matches!(
+            l.posteriors(&w, &[0.1; 4], &r),
+            Err(CodingError::DecodeFailure(_))
+        ));
+    }
+
+    #[test]
+    fn zero_prior_positions_stay_zero() {
+        // Positions with prior 0 are pure watermark: posterior must
+        // remain 0 regardless of noise.
+        let (w, _s, _t) = frame(300, 0.0, 10);
+        let t: Vec<bool> = w.clone();
+        let r = send_through_channel(&t, 0.1, 0.1, 0.0, 11);
+        let l = DriftLattice::new(0.1, 0.1, 0.0).unwrap();
+        let post = l.posteriors(&w, &vec![0.0; 300], &r).unwrap();
+        assert!(post.iter().all(|&p| p == 0.0));
+    }
+}

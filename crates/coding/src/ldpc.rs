@@ -1,0 +1,401 @@
+//! Systematic IRA-style LDPC codes with min-sum decoding.
+//!
+//! Davey & MacKay's original construction protects the sparse inner
+//! stream with an LDPC outer code. This module provides a binary
+//! **irregular repeat-accumulate (staircase) LDPC** code: the
+//! parity part of the check matrix is dual-diagonal, so encoding is a
+//! single accumulation pass (no Gaussian elimination), while decoding
+//! is standard normalized min-sum belief propagation over the Tanner
+//! graph. Soft inputs (LLRs) plug directly into the drift lattice's
+//! posteriors.
+//!
+//! LLR convention matches [`crate::conv`]: positive favours bit 0.
+
+use crate::error::CodingError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A systematic staircase LDPC code with `k` data bits and `m`
+/// parity bits (block length `k + m`).
+///
+/// # Example
+///
+/// ```
+/// use nsc_coding::ldpc::LdpcCode;
+///
+/// let code = LdpcCode::new(64, 64, 3, 0xACE)?;
+/// let data: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+/// let block = code.encode(&data);
+/// // Hard-decision decode of the clean block returns the data.
+/// let llrs: Vec<f64> = block.iter().map(|&b| if b { -2.0 } else { 2.0 }).collect();
+/// assert_eq!(code.decode(&llrs, 30)?, data);
+/// # Ok::<(), nsc_coding::CodingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdpcCode {
+    k: usize,
+    m: usize,
+    /// For each check, the data-variable indices it covers.
+    check_data: Vec<Vec<usize>>,
+    /// For each variable (data then parity), its (check, edge slot)
+    /// adjacency, where the slot indexes into that check's combined
+    /// neighbor list.
+    var_adj: Vec<Vec<(usize, usize)>>,
+    /// For each check, its full neighbor list (data vars then parity
+    /// vars).
+    check_adj: Vec<Vec<usize>>,
+}
+
+impl LdpcCode {
+    /// Builds a code with `k` data bits, `m` parity checks, data
+    /// column weight `weight`, from a deterministic seed (both ends
+    /// must agree on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] when `k` or `m` is zero,
+    /// `weight` is zero, or `weight > m`.
+    pub fn new(k: usize, m: usize, weight: usize, seed: u64) -> Result<Self, CodingError> {
+        if k == 0 || m == 0 {
+            return Err(CodingError::BadParameter(
+                "k and m must be positive".to_owned(),
+            ));
+        }
+        if weight == 0 || weight > m {
+            return Err(CodingError::BadParameter(format!(
+                "column weight {weight} must be in 1..={m}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut check_data = vec![Vec::new(); m];
+        for v in 0..k {
+            // `weight` distinct checks per data column.
+            let mut chosen = Vec::with_capacity(weight);
+            while chosen.len() < weight {
+                let c = rng.gen_range(0..m);
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            for &c in &chosen {
+                check_data[c].push(v);
+            }
+        }
+        // Full adjacency: data neighbors + staircase parity
+        // neighbors. Check j covers parity j and (for j > 0) parity
+        // j - 1:  p_j = p_{j-1} XOR (data in check j).
+        let n = k + m;
+        let mut check_adj: Vec<Vec<usize>> = Vec::with_capacity(m);
+        for (j, data) in check_data.iter().enumerate() {
+            let mut adj = data.clone();
+            adj.push(k + j);
+            if j > 0 {
+                adj.push(k + j - 1);
+            }
+            check_adj.push(adj);
+        }
+        let mut var_adj = vec![Vec::new(); n];
+        for (c, adj) in check_adj.iter().enumerate() {
+            for (slot, &v) in adj.iter().enumerate() {
+                var_adj[v].push((c, slot));
+            }
+        }
+        Ok(LdpcCode {
+            k,
+            m,
+            check_data,
+            var_adj,
+            check_adj,
+        })
+    }
+
+    /// Data bits per block.
+    pub fn data_len(&self) -> usize {
+        self.k
+    }
+
+    /// Total block length `k + m`.
+    pub fn block_len(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Code rate `k / (k + m)`.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.block_len() as f64
+    }
+
+    /// Encodes `data` into a systematic block (data bits followed by
+    /// parity bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != k` — framing is the caller's
+    /// contract.
+    pub fn encode(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.k, "data length must equal k");
+        let mut block = data.to_vec();
+        let mut prev = false;
+        for checks in &self.check_data {
+            let mut p = prev;
+            for &v in checks {
+                p ^= data[v];
+            }
+            block.push(p);
+            prev = p;
+        }
+        block
+    }
+
+    /// Returns `true` when `block` satisfies every parity check.
+    pub fn check(&self, block: &[bool]) -> bool {
+        if block.len() != self.block_len() {
+            return false;
+        }
+        self.check_adj
+            .iter()
+            .all(|adj| !adj.iter().fold(false, |acc, &v| acc ^ block[v]))
+    }
+
+    /// Decodes channel LLRs (one per block bit, positive favours 0)
+    /// with normalized min-sum belief propagation, returning the data
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadLength`] for a wrong-length input and
+    /// [`CodingError::BadParameter`] for a zero iteration budget.
+    /// A block that fails to converge is *not* an error: the best
+    /// available hard decision is returned (errors surface as BER, as
+    /// with every other codec here).
+    pub fn decode(&self, llrs: &[f64], iterations: usize) -> Result<Vec<bool>, CodingError> {
+        if llrs.len() != self.block_len() {
+            return Err(CodingError::BadLength {
+                got: llrs.len(),
+                need: format!("block length {}", self.block_len()),
+            });
+        }
+        if iterations == 0 {
+            return Err(CodingError::BadParameter(
+                "need at least one iteration".to_owned(),
+            ));
+        }
+        const NORMALIZATION: f64 = 0.75;
+        // Messages live on edges, stored per check aligned with
+        // check_adj.
+        let mut check_to_var: Vec<Vec<f64>> = self
+            .check_adj
+            .iter()
+            .map(|adj| vec![0.0; adj.len()])
+            .collect();
+        let mut hard = vec![false; self.block_len()];
+        for _ in 0..iterations {
+            // Check update: for each check, combine the *extrinsic*
+            // variable messages (llr + other checks' messages).
+            for (c, adj) in self.check_adj.iter().enumerate() {
+                // Variable-to-check messages for this check.
+                let incoming: Vec<f64> = adj
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &v)| {
+                        let mut msg = llrs[v];
+                        for &(c2, slot2) in &self.var_adj[v] {
+                            if c2 != c {
+                                msg += check_to_var[c2][slot2];
+                            }
+                        }
+                        let _ = slot;
+                        msg
+                    })
+                    .collect();
+                // Min-sum: sign product and two smallest magnitudes.
+                let mut sign = 1.0f64;
+                let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+                let mut argmin = 0usize;
+                for (i, &msg) in incoming.iter().enumerate() {
+                    if msg < 0.0 {
+                        sign = -sign;
+                    }
+                    let mag = msg.abs();
+                    if mag < min1 {
+                        min2 = min1;
+                        min1 = mag;
+                        argmin = i;
+                    } else if mag < min2 {
+                        min2 = mag;
+                    }
+                }
+                for (i, out) in check_to_var[c].iter_mut().enumerate() {
+                    let msg = incoming[i];
+                    let self_sign = if msg < 0.0 { -1.0 } else { 1.0 };
+                    let mag = if i == argmin { min2 } else { min1 };
+                    *out = NORMALIZATION * sign * self_sign * mag.min(1e3);
+                }
+            }
+            // Posterior + hard decision.
+            for (v, h) in hard.iter_mut().enumerate() {
+                let mut l = llrs[v];
+                for &(c, slot) in &self.var_adj[v] {
+                    l += check_to_var[c][slot];
+                }
+                *h = l < 0.0;
+            }
+            if self.check(&hard) {
+                break;
+            }
+        }
+        Ok(hard[..self.k].to_vec())
+    }
+
+    /// Convenience: decode from per-bit probabilities of being one
+    /// (e.g. the drift lattice's posteriors), clamped away from 0/1.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    pub fn decode_from_posteriors(
+        &self,
+        p_one: &[f64],
+        iterations: usize,
+    ) -> Result<Vec<bool>, CodingError> {
+        let llrs: Vec<f64> = p_one
+            .iter()
+            .map(|&p| {
+                let p = p.clamp(1e-9, 1.0 - 1e-9);
+                ((1.0 - p) / p).ln()
+            })
+            .collect();
+        self.decode(&llrs, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{bit_error_rate, random_bits};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code() -> LdpcCode {
+        LdpcCode::new(256, 256, 3, 7).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(LdpcCode::new(0, 10, 3, 0).is_err());
+        assert!(LdpcCode::new(10, 0, 3, 0).is_err());
+        assert!(LdpcCode::new(10, 10, 0, 0).is_err());
+        assert!(LdpcCode::new(10, 5, 6, 0).is_err());
+        assert!(LdpcCode::new(10, 10, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn rate_and_lengths() {
+        let c = LdpcCode::new(100, 50, 3, 1).unwrap();
+        assert_eq!(c.data_len(), 100);
+        assert_eq!(c.block_len(), 150);
+        assert!((c.rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoded_blocks_satisfy_all_checks() {
+        let c = code();
+        for seed in 0..5u64 {
+            let data = random_bits(256, &mut StdRng::seed_from_u64(seed));
+            let block = c.encode(&data);
+            assert!(c.check(&block), "seed {seed}");
+            // A flipped bit breaks at least one check.
+            let mut corrupted = block.clone();
+            corrupted[10] = !corrupted[10];
+            assert!(!c.check(&corrupted));
+        }
+    }
+
+    #[test]
+    fn clean_decode_round_trips() {
+        let c = code();
+        let data = random_bits(256, &mut StdRng::seed_from_u64(1));
+        let block = c.encode(&data);
+        let llrs: Vec<f64> = block.iter().map(|&b| if b { -4.0 } else { 4.0 }).collect();
+        assert_eq!(c.decode(&llrs, 20).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_bsc_noise() {
+        let c = code();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut total_ber = 0.0;
+        let trials = 5;
+        for _ in 0..trials {
+            let data = random_bits(256, &mut rng);
+            let block = c.encode(&data);
+            let p = 0.04;
+            let llrs: Vec<f64> = block
+                .iter()
+                .map(|&b| {
+                    let flipped = rng.gen::<f64>() < p;
+                    let observed = b ^ flipped;
+                    // LLR magnitude ln((1-p)/p) with the observed sign.
+                    let mag = ((1.0 - p) / p).ln();
+                    if observed {
+                        -mag
+                    } else {
+                        mag
+                    }
+                })
+                .collect();
+            let decoded = c.decode(&llrs, 50).unwrap();
+            total_ber += bit_error_rate(&decoded, &data);
+        }
+        let ber = total_ber / trials as f64;
+        assert!(ber < 0.005, "residual BER {ber}");
+    }
+
+    #[test]
+    fn erasures_are_recovered() {
+        let c = code();
+        let data = random_bits(256, &mut StdRng::seed_from_u64(3));
+        let block = c.encode(&data);
+        // Erase 15% of positions (LLR 0), rest confident.
+        let mut rng = StdRng::seed_from_u64(4);
+        let llrs: Vec<f64> = block
+            .iter()
+            .map(|&b| {
+                if rng.gen::<f64>() < 0.15 {
+                    0.0
+                } else if b {
+                    -4.0
+                } else {
+                    4.0
+                }
+            })
+            .collect();
+        let decoded = c.decode(&llrs, 50).unwrap();
+        let ber = bit_error_rate(&decoded, &data);
+        assert!(ber < 0.01, "ber = {ber}");
+    }
+
+    #[test]
+    fn decode_validation() {
+        let c = code();
+        assert!(c.decode(&[0.0; 3], 10).is_err());
+        assert!(c.decode(&vec![0.0; c.block_len()], 0).is_err());
+    }
+
+    #[test]
+    fn posterior_interface_matches_llr_interface() {
+        let c = LdpcCode::new(64, 64, 3, 9).unwrap();
+        let data = random_bits(64, &mut StdRng::seed_from_u64(5));
+        let block = c.encode(&data);
+        let p_one: Vec<f64> = block.iter().map(|&b| if b { 0.95 } else { 0.05 }).collect();
+        assert_eq!(c.decode_from_posteriors(&p_one, 30).unwrap(), data);
+    }
+
+    #[test]
+    fn deterministic_construction_from_seed() {
+        let a = LdpcCode::new(32, 32, 3, 42).unwrap();
+        let b = LdpcCode::new(32, 32, 3, 42).unwrap();
+        let c = LdpcCode::new(32, 32, 3, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,52 @@
+//! Codes for reliable communication over deletion-insertion channels
+//! *without* synchronization.
+//!
+//! Wang & Lee's §4.1 establishes that reliable non-synchronized
+//! communication over a covert channel is possible in principle
+//! (Dobrushin's coding theorem for channels with synchronization
+//! errors) but observes that "the capacity is quite low and in
+//! practice sophisticated coding techniques are required", citing
+//! sequential decoding (Zigangirov) and watermark codes
+//! (Davey & MacKay). This crate supplies those techniques:
+//!
+//! * [`lattice`] — the forward–backward drift decoder for the binary
+//!   deletion-insertion channel (the synchronization engine);
+//! * [`watermark`] — a Davey–MacKay-style watermark codec with a
+//!   convolutional outer code ([`conv`]);
+//! * [`marker`] — classical periodic-marker resynchronization;
+//! * [`repetition`] — the negative baseline showing why synchronous
+//!   codes collapse under deletions;
+//! * [`rate`] — Monte-Carlo achievable-rate evaluation (experiment
+//!   E9's harness).
+//!
+//! # Example
+//!
+//! ```
+//! use nsc_coding::conv::ConvCode;
+//! use nsc_coding::watermark::WatermarkCode;
+//!
+//! let code = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 7)?;
+//! let data = vec![true, false, true, true];
+//! let sent = code.encode(&data)?;
+//! let back = code.decode(&sent, data.len(), 0.0, 0.0, 0.0)?;
+//! assert_eq!(back, data);
+//! # Ok::<(), nsc_coding::CodingError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bits;
+pub mod conv;
+pub mod error;
+pub mod interleave;
+pub mod lattice;
+pub mod ldpc;
+pub mod marker;
+pub mod rate;
+pub mod repetition;
+pub mod sequential;
+pub mod watermark;
+pub mod watermark_ldpc;
+
+pub use error::CodingError;

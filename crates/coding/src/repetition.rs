@@ -1,0 +1,155 @@
+//! Repetition coding: the negative baseline.
+//!
+//! Repetition with majority voting fixes substitution errors on a
+//! *synchronous* channel, but is helpless against deletions and
+//! insertions: one lost bit shifts every later vote window off by
+//! one. The tests and experiment E9 use it to demonstrate *why*
+//! synchronization-aware codes (markers, watermarks) are necessary —
+//! the paper's "sophisticated coding techniques are required".
+
+use crate::error::CodingError;
+use serde::{Deserialize, Serialize};
+
+/// An `r`-fold repetition code with majority decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepetitionCode {
+    repeat: usize,
+}
+
+impl RepetitionCode {
+    /// Creates an `r`-fold repetition code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] unless `repeat` is odd
+    /// and positive.
+    pub fn new(repeat: usize) -> Result<Self, CodingError> {
+        if repeat == 0 || repeat.is_multiple_of(2) {
+            return Err(CodingError::BadParameter(
+                "repetition factor must be odd and positive".to_owned(),
+            ));
+        }
+        Ok(RepetitionCode { repeat })
+    }
+
+    /// The repetition factor.
+    pub fn repeat(&self) -> usize {
+        self.repeat
+    }
+
+    /// Code rate.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.repeat as f64
+    }
+
+    /// Encodes by repeating each bit.
+    pub fn encode(&self, data: &[bool]) -> Vec<bool> {
+        data.iter()
+            .flat_map(|&b| std::iter::repeat_n(b, self.repeat))
+            .collect()
+    }
+
+    /// Majority-decodes assuming perfect alignment: chunks of
+    /// `repeat` bits vote. Shorter trailing chunks vote over what is
+    /// there; a missing tail yields zeros.
+    pub fn decode(&self, received: &[bool], k: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(k);
+        for b in 0..k {
+            let start = b * self.repeat;
+            let mut ones = 0usize;
+            let mut total = 0usize;
+            for r in 0..self.repeat {
+                if let Some(&bit) = received.get(start + r) {
+                    total += 1;
+                    if bit {
+                        ones += 1;
+                    }
+                }
+            }
+            out.push(total > 0 && ones * 2 > total);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{bit_error_rate, random_bits};
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn construction() {
+        assert!(RepetitionCode::new(0).is_err());
+        assert!(RepetitionCode::new(2).is_err());
+        let c = RepetitionCode::new(3).unwrap();
+        assert_eq!(c.repeat(), 3);
+        assert!((c.rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_and_substitution_correction() {
+        let c = RepetitionCode::new(3).unwrap();
+        let data = random_bits(200, &mut StdRng::seed_from_u64(0));
+        let mut coded = c.encode(&data);
+        assert_eq!(coded.len(), 600);
+        // One flip per group is corrected.
+        for g in 0..200 {
+            coded[g * 3] = !coded[g * 3];
+        }
+        assert_eq!(c.decode(&coded, 200), data);
+    }
+
+    #[test]
+    fn handles_truncated_input() {
+        let c = RepetitionCode::new(3).unwrap();
+        let decoded = c.decode(&[true, true], 2);
+        assert_eq!(decoded, vec![true, false]);
+    }
+
+    #[test]
+    fn beats_bsc_noise_when_synchronous() {
+        let c = RepetitionCode::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = random_bits(2000, &mut rng);
+        let mut coded = c.encode(&data);
+        let p = 0.1;
+        for b in coded.iter_mut() {
+            if rng.gen::<f64>() < p {
+                *b = !*b;
+            }
+        }
+        let ber = bit_error_rate(&c.decode(&coded, 2000), &data);
+        assert!(ber < 0.01, "ber = {ber}");
+    }
+
+    #[test]
+    fn collapses_under_deletions() {
+        // The headline negative result: a mere 2% deletion rate
+        // destroys a rate-1/5 repetition code because alignment is
+        // lost — while the same code shrugs off 10% substitutions.
+        let c = RepetitionCode::new(5).unwrap();
+        let data = random_bits(2000, &mut StdRng::seed_from_u64(2));
+        let coded = c.encode(&data);
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.02).unwrap(),
+        );
+        let input: Vec<Symbol> = coded
+            .iter()
+            .map(|&b| Symbol::from_index(b as u32))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let recv: Vec<bool> = ch
+            .transmit(&input, &mut rng)
+            .received
+            .iter()
+            .map(|s| s.index() == 1)
+            .collect();
+        let ber = bit_error_rate(&c.decode(&recv, 2000), &data);
+        assert!(ber > 0.2, "expected collapse, ber = {ber}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Watermark codes: reliable non-synchronized communication.
+//!
+//! The paper's §4.1 observes that reliable communication over a
+//! deletion-insertion channel *without any synchronization* is
+//! possible (Dobrushin) but "the capacity is quite low and in
+//! practice sophisticated coding techniques are required", citing
+//! Davey & MacKay's watermark codes. This module implements a
+//! binary watermark codec:
+//!
+//! * a **pseudorandom watermark** `w` known to both ends provides the
+//!   synchronization substrate;
+//! * data bits are protected by an outer **convolutional code**, then
+//!   **sparsified** (one data-carrying position per block of
+//!   `block_len`) and XORed onto the watermark;
+//! * the receiver runs the [`crate::lattice::DriftLattice`]
+//!   forward–backward pass to regain alignment and produce per-bit
+//!   LLRs, which feed the outer soft Viterbi decoder.
+//!
+//! The code rate is deliberately low — that *is* the paper's point:
+//! compare the rates achieved here (experiment E9) with the feedback
+//! capacity `N·(1 − P_d)` of Theorem 3.
+
+use crate::conv::ConvCode;
+use crate::error::CodingError;
+use crate::lattice::DriftLattice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A watermark codec over the binary deletion-insertion channel.
+///
+/// # Example
+///
+/// ```
+/// use nsc_coding::watermark::WatermarkCode;
+/// use nsc_coding::conv::ConvCode;
+///
+/// let code = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 0xC0FFEE)?;
+/// let data = vec![true, false, false, true, true, false, true, false];
+/// let sent = code.encode(&data)?;
+/// // Noiseless channel: decoding inverts encoding.
+/// let back = code.decode(&sent, data.len(), 0.0, 0.0, 0.0)?;
+/// assert_eq!(back, data);
+/// # Ok::<(), nsc_coding::CodingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatermarkCode {
+    outer: ConvCode,
+    block_len: usize,
+    watermark_seed: u64,
+}
+
+impl WatermarkCode {
+    /// Creates a codec with the given outer code, sparse block length
+    /// (one data-carrying position per `block_len` transmitted bits)
+    /// and watermark seed (shared by sender and receiver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadParameter`] when `block_len` is
+    /// zero.
+    pub fn new(
+        outer: ConvCode,
+        block_len: usize,
+        watermark_seed: u64,
+    ) -> Result<Self, CodingError> {
+        if block_len == 0 {
+            return Err(CodingError::BadParameter(
+                "block length must be positive".to_owned(),
+            ));
+        }
+        Ok(WatermarkCode {
+            outer,
+            block_len,
+            watermark_seed,
+        })
+    }
+
+    /// The outer convolutional code.
+    pub fn outer(&self) -> &ConvCode {
+        &self.outer
+    }
+
+    /// Transmitted bits per data bit (the inverse of the rate).
+    pub fn expansion(&self) -> usize {
+        self.outer.outputs_per_input() * self.block_len
+    }
+
+    /// The code rate in data bits per transmitted bit, for `k` data
+    /// bits (tail overhead included).
+    pub fn rate(&self, k: usize) -> f64 {
+        k as f64 / self.frame_len(k) as f64
+    }
+
+    /// Transmitted frame length for `k` data bits.
+    pub fn frame_len(&self, k: usize) -> usize {
+        self.outer.coded_len(k) * self.block_len
+    }
+
+    /// The pseudorandom watermark for a frame of `len` bits.
+    pub fn watermark(&self, len: usize) -> Vec<bool> {
+        crate::bits::random_bits(len, &mut StdRng::seed_from_u64(self.watermark_seed))
+    }
+
+    /// Per-position sparse priors for a frame of `len` bits: 0.5 at
+    /// data-carrying positions (first of each block), 0 elsewhere.
+    fn priors(&self, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 })
+            .collect()
+    }
+
+    /// Encodes data bits into the transmitted frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadLength`] for an empty message.
+    pub fn encode(&self, data: &[bool]) -> Result<Vec<bool>, CodingError> {
+        if data.is_empty() {
+            return Err(CodingError::BadLength {
+                got: 0,
+                need: "a non-empty message".to_owned(),
+            });
+        }
+        let coded = self.outer.encode(data);
+        let frame_len = coded.len() * self.block_len;
+        let w = self.watermark(frame_len);
+        let mut out = w;
+        for (b, &bit) in coded.iter().enumerate() {
+            let pos = b * self.block_len;
+            out[pos] ^= bit;
+        }
+        Ok(out)
+    }
+
+    /// Decodes a received bit stream. The receiver must know the
+    /// frame's data length `k` (frame framing is out of band, as in
+    /// Davey & MacKay) and the channel parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice construction/decoding errors and outer-code
+    /// failures.
+    pub fn decode(
+        &self,
+        received: &[bool],
+        k: usize,
+        p_d: f64,
+        p_i: f64,
+        p_s: f64,
+    ) -> Result<Vec<bool>, CodingError> {
+        if k == 0 {
+            return Err(CodingError::BadLength {
+                got: 0,
+                need: "a positive data length".to_owned(),
+            });
+        }
+        let frame_len = self.frame_len(k);
+        let w = self.watermark(frame_len);
+        let priors = self.priors(frame_len);
+        let lattice = DriftLattice::new(p_d, p_i, p_s)?;
+        let post = lattice.posteriors(&w, &priors, received)?;
+        // LLR of each outer coded bit from the posterior of its
+        // data-carrying position.
+        let coded_len = self.outer.coded_len(k);
+        let mut llrs = Vec::with_capacity(coded_len);
+        for b in 0..coded_len {
+            let p1 = post[b * self.block_len].clamp(1e-12, 1.0 - 1e-12);
+            llrs.push(((1.0 - p1) / p1).ln());
+        }
+        self.outer.decode_soft(&llrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{bit_error_rate, random_bits};
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn through_channel(bits: &[bool], p_d: f64, p_i: f64, p_s: f64, seed: u64) -> Vec<bool> {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(p_d, p_i, p_s).unwrap(),
+        );
+        let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ch.transmit(&input, &mut rng)
+            .received
+            .iter()
+            .map(|s| s.index() == 1)
+            .collect()
+    }
+
+    fn codec() -> WatermarkCode {
+        WatermarkCode::new(ConvCode::standard_half_rate(), 3, 99).unwrap()
+    }
+
+    #[test]
+    fn construction_and_rate() {
+        assert!(WatermarkCode::new(ConvCode::standard_half_rate(), 0, 1).is_err());
+        let c = codec();
+        assert_eq!(c.expansion(), 6);
+        // 100 data bits -> (100+2)*2*3 = 612 transmitted.
+        assert_eq!(c.frame_len(100), 612);
+        assert!((c.rate(100) - 100.0 / 612.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_rejects_empty() {
+        assert!(codec().encode(&[]).is_err());
+        assert!(codec().decode(&[true], 0, 0.1, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn round_trip_noiseless() {
+        let c = codec();
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = random_bits(64, &mut rng);
+        let sent = c.encode(&data).unwrap();
+        assert_eq!(sent.len(), c.frame_len(64));
+        let back = c.decode(&sent, 64, 0.0, 0.0, 0.0).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn survives_deletions() {
+        let c = codec();
+        let p_d = 0.08;
+        let data = random_bits(300, &mut StdRng::seed_from_u64(1));
+        let sent = c.encode(&data).unwrap();
+        let recv = through_channel(&sent, p_d, 0.0, 0.0, 2);
+        let back = c.decode(&recv, 300, p_d, 0.0, 0.0).unwrap();
+        let ber = bit_error_rate(&back, &data);
+        assert!(ber < 0.02, "ber = {ber}");
+    }
+
+    #[test]
+    fn survives_insertions_and_substitutions() {
+        let c = codec();
+        let (p_d, p_i, p_s) = (0.0, 0.08, 0.01);
+        let data = random_bits(300, &mut StdRng::seed_from_u64(3));
+        let sent = c.encode(&data).unwrap();
+        let recv = through_channel(&sent, p_d, p_i, p_s, 4);
+        let back = c.decode(&recv, 300, p_d, p_i, p_s).unwrap();
+        let ber = bit_error_rate(&back, &data);
+        assert!(ber < 0.02, "ber = {ber}");
+    }
+
+    #[test]
+    fn survives_combined_channel() {
+        let c = codec();
+        let (p_d, p_i, p_s) = (0.05, 0.05, 0.01);
+        let data = random_bits(400, &mut StdRng::seed_from_u64(5));
+        let sent = c.encode(&data).unwrap();
+        let recv = through_channel(&sent, p_d, p_i, p_s, 6);
+        let back = c.decode(&recv, 400, p_d, p_i, p_s).unwrap();
+        let ber = bit_error_rate(&back, &data);
+        assert!(ber < 0.05, "ber = {ber}");
+    }
+
+    #[test]
+    fn heavy_noise_degrades_gracefully() {
+        // At extreme deletion rates decoding degrades but returns a
+        // result (no panic, right length).
+        let c = codec();
+        let p_d = 0.4;
+        let data = random_bits(100, &mut StdRng::seed_from_u64(7));
+        let sent = c.encode(&data).unwrap();
+        let recv = through_channel(&sent, p_d, 0.0, 0.0, 8);
+        let back = c.decode(&recv, 100, p_d, 0.0, 0.0).unwrap();
+        assert_eq!(back.len(), data.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_watermarks() {
+        let a = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 1).unwrap();
+        let b = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 2).unwrap();
+        assert_ne!(a.watermark(100), b.watermark(100));
+        // Same seed: deterministic.
+        assert_eq!(a.watermark(100), a.watermark(100));
+    }
+
+    #[test]
+    fn rate_is_far_below_feedback_capacity() {
+        // The paper's point: non-synchronized coding achieves rates
+        // much lower than the feedback capacity 1 - p_d.
+        let c = codec();
+        let p_d = 0.05;
+        let feedback_capacity = 1.0 - p_d;
+        assert!(c.rate(300) < feedback_capacity / 3.0);
+    }
+}

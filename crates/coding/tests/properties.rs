@@ -1,0 +1,139 @@
+//! Property-based tests of the codecs.
+
+use nsc_coding::bits::{bits_to_bytes, bytes_to_bits};
+use nsc_coding::conv::ConvCode;
+use nsc_coding::interleave::BlockInterleaver;
+use nsc_coding::lattice::DriftLattice;
+use nsc_coding::ldpc::LdpcCode;
+use nsc_coding::marker::MarkerCode;
+use nsc_coding::repetition::RepetitionCode;
+use nsc_coding::watermark::WatermarkCode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Convolutional codes round-trip any message on a clean channel.
+    #[test]
+    fn conv_round_trip(data in prop::collection::vec(prop::bool::ANY, 1..300)) {
+        for code in [ConvCode::standard_half_rate(), ConvCode::nasa_half_rate()] {
+            let coded = code.encode(&data);
+            prop_assert_eq!(coded.len(), code.coded_len(data.len()));
+            prop_assert_eq!(code.decode_hard(&coded).unwrap(), data.clone());
+        }
+    }
+
+    /// A single flipped coded bit never breaks the (7,5) code.
+    #[test]
+    fn conv_corrects_single_error(
+        data in prop::collection::vec(prop::bool::ANY, 8..200),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let code = ConvCode::standard_half_rate();
+        let mut coded = code.encode(&data);
+        let pos = ((coded.len() - 1) as f64 * pos_frac) as usize;
+        coded[pos] = !coded[pos];
+        prop_assert_eq!(code.decode_hard(&coded).unwrap(), data);
+    }
+
+    /// Watermark frames round-trip losslessly on the clean channel,
+    /// for arbitrary data and block lengths.
+    #[test]
+    fn watermark_round_trip(
+        data in prop::collection::vec(prop::bool::ANY, 1..150),
+        block_len in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let code = WatermarkCode::new(
+            ConvCode::standard_half_rate(), block_len, seed).unwrap();
+        let sent = code.encode(&data).unwrap();
+        prop_assert_eq!(sent.len(), code.frame_len(data.len()));
+        let back = code.decode(&sent, data.len(), 0.0, 0.0, 0.0).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// The drift lattice posteriors are probabilities and respect
+    /// zero priors, for arbitrary watermarks.
+    #[test]
+    fn lattice_posteriors_are_probabilities(
+        w in prop::collection::vec(prop::bool::ANY, 4..120),
+        p_d in 0.0f64..0.4,
+    ) {
+        let lattice = DriftLattice::new(p_d, 0.0, 0.0).unwrap();
+        let priors = vec![0.0; w.len()];
+        // Transmit = watermark (prior 0 => data never flips).
+        let post = lattice.posteriors(&w, &priors, &w).unwrap();
+        prop_assert!(post.iter().all(|&p| p == 0.0));
+    }
+
+    /// Interleaving round-trips for arbitrary geometry and data.
+    #[test]
+    fn interleaver_round_trip(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        blocks in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let il = BlockInterleaver::new(rows, cols).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<bool> = (0..il.block_size() * blocks).map(|_| rng.gen()).collect();
+        let y = il.interleave(&data).unwrap();
+        prop_assert_eq!(il.deinterleave(&y).unwrap(), data);
+    }
+
+    /// LDPC blocks always satisfy parity, and a clean decode
+    /// round-trips.
+    #[test]
+    fn ldpc_parity_and_round_trip(
+        k in 8usize..64,
+        m_extra in 8usize..64,
+        seed in 0u64..100,
+        data_seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let code = LdpcCode::new(k, m_extra, 3, seed).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(data_seed);
+        let data: Vec<bool> = (0..k).map(|_| rng.gen()).collect();
+        let block = code.encode(&data);
+        prop_assert!(code.check(&block));
+        let llrs: Vec<f64> = block.iter().map(|&b| if b { -3.0 } else { 3.0 }).collect();
+        prop_assert_eq!(code.decode(&llrs, 30).unwrap(), data);
+    }
+
+    /// Marker codes round-trip on the clean channel for arbitrary
+    /// data lengths (including padding cases).
+    #[test]
+    fn marker_round_trip(data in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let code = MarkerCode::default_params();
+        let sent = code.encode(&data).unwrap();
+        prop_assert_eq!(code.decode(&sent, data.len()).unwrap(), data);
+    }
+
+    /// Repetition decoding is exact under ceil(r/2)-1 errors per
+    /// group.
+    #[test]
+    fn repetition_majority_property(
+        data in prop::collection::vec(prop::bool::ANY, 1..100),
+        repeat_idx in 0usize..3,
+    ) {
+        let repeat = [3usize, 5, 7][repeat_idx];
+        let code = RepetitionCode::new(repeat).unwrap();
+        let mut coded = code.encode(&data);
+        // Flip floor(r/2) bits in each group: still decodable.
+        for g in 0..data.len() {
+            for j in 0..repeat / 2 {
+                let idx = g * repeat + j;
+                coded[idx] = !coded[idx];
+            }
+        }
+        prop_assert_eq!(code.decode(&coded, data.len()), data);
+    }
+
+    /// Byte/bit conversions round-trip.
+    #[test]
+    fn byte_bit_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+}

@@ -1,0 +1,421 @@
+//! Capacity bounds for non-synchronous covert channels — the paper's
+//! Theorems 1–5 and equations (1)–(7).
+//!
+//! All bounds are in the paper's normalization: **relative to the
+//! synchronous capacity**, i.e. bits per symbol slot of a traditional
+//! (synchronous) estimate. §4.3 is explicit that `N·(1 − P_d)` "is not
+//! a physical information rate; it is a relative ratio of the physical
+//! capacity estimated using traditional methods" — the
+//! [`crate::degradation`] module performs that final conversion.
+//!
+//! * [`erasure_upper_bound`] — Theorem 1 / Theorem 4: the
+//!   deletion-insertion capacity (with or without perfect feedback)
+//!   is at most the matched (extended) erasure channel's
+//!   `N·(1 − P_d)`.
+//! * [`feedback_deletion_capacity`] — Theorems 2–3: with perfect
+//!   feedback over a pure deletion channel the bound is *tight*; the
+//!   resend protocol achieves `N·(1 − p_d)` exactly.
+//! * [`converted_channel_capacity`] — Appendix A: the counter (skip)
+//!   protocol converts the deletion-insertion channel with feedback
+//!   into a synchronous M-ary symmetric DMC with error `α·P_i`,
+//!   `α = 1 − 2^{−N}` (Figure 5); its capacity is `C_conv`
+//!   (equations (2)–(4)).
+//! * [`theorem5_lower_bound`] — Theorem 5: the achieved rate
+//!   `(1 − P_d)/(1 − P_i) · C_conv`.
+//! * [`convergence_ratio`] — equations (6)–(7): with `P_i = P_d` and
+//!   `N → ∞` the lower and upper bounds converge.
+
+use crate::error::{check_prob, CoreError};
+use nsc_info::entropy::binary_entropy;
+use nsc_info::BitsPerSymbol;
+use serde::{Deserialize, Serialize};
+
+/// A certified capacity interval in bits per symbol slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityBounds {
+    /// Constructively achievable rate (Theorem 5).
+    pub lower: BitsPerSymbol,
+    /// Erasure-channel upper bound (Theorems 1/4).
+    pub upper: BitsPerSymbol,
+}
+
+impl CapacityBounds {
+    /// Width of the interval.
+    pub fn gap(&self) -> f64 {
+        self.upper.value() - self.lower.value()
+    }
+
+    /// Ratio `lower / upper` (1.0 when the upper bound is zero, since
+    /// then both are zero).
+    pub fn tightness(&self) -> f64 {
+        if self.upper.value() == 0.0 {
+            1.0
+        } else {
+            self.lower.value() / self.upper.value()
+        }
+    }
+}
+
+/// Theorem 1 (and Theorem 4's feedback upper bound): the capacity of
+/// a deletion-insertion channel is at most the matched erasure
+/// channel's `C_max = N·(1 − P_d)` — the paper's equation (1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_d` is not a
+/// probability.
+///
+/// # Example
+///
+/// ```
+/// use nsc_core::bounds::erasure_upper_bound;
+/// let c = erasure_upper_bound(8, 0.25)?;
+/// assert_eq!(c.value(), 6.0);
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn erasure_upper_bound(bits: u32, p_d: f64) -> Result<BitsPerSymbol, CoreError> {
+    check_prob("p_d", p_d)?;
+    Ok(BitsPerSymbol(bits as f64 * (1.0 - p_d)))
+}
+
+/// Theorems 2–3: the capacity of a pure deletion channel with perfect
+/// feedback *equals* the erasure capacity `N·(1 − p_d)`; the simple
+/// resend protocol achieves it ([`crate::protocols::resend`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_d` is not a
+/// probability.
+pub fn feedback_deletion_capacity(bits: u32, p_d: f64) -> Result<BitsPerSymbol, CoreError> {
+    erasure_upper_bound(bits, p_d)
+}
+
+/// The `α` of the paper's equation (4): the probability that a
+/// uniformly random inserted symbol *differs* from the symbol it
+/// replaces, `α = 1 − 2^{−N}` for `N` bits per symbol.
+pub fn alpha(bits: u32) -> f64 {
+    1.0 - 0.5f64.powi(bits as i32)
+}
+
+/// Effective symbol-replacement error probability of the converted
+/// channel: `α · p_i`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_i` is not a
+/// probability.
+pub fn converted_channel_error(bits: u32, p_i: f64) -> Result<f64, CoreError> {
+    check_prob("p_i", p_i)?;
+    Ok(alpha(bits) * p_i)
+}
+
+/// `C_conv` of equations (2)–(4): the capacity of the synchronous
+/// channel the counter protocol converts a deletion-insertion channel
+/// into — an M-ary symmetric DMC over `M = 2^N` symbols with error
+/// probability `α·p_i`:
+///
+/// `C_conv = N − α·p_i·log2(2^N − 1) − H(α·p_i)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_i` is not a
+/// probability.
+///
+/// # Example
+///
+/// With no insertions the converted channel is noiseless:
+///
+/// ```
+/// use nsc_core::bounds::converted_channel_capacity;
+/// assert_eq!(converted_channel_capacity(4, 0.0)?.value(), 4.0);
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn converted_channel_capacity(bits: u32, p_i: f64) -> Result<BitsPerSymbol, CoreError> {
+    let e = converted_channel_error(bits, p_i)?;
+    let n = bits as f64;
+    let m_minus_1 = (1u64 << bits) as f64 - 1.0;
+    let c = n
+        - binary_entropy(e)
+        - if m_minus_1 > 0.0 {
+            e * m_minus_1.log2()
+        } else {
+            0.0
+        };
+    Ok(BitsPerSymbol(c.max(0.0)))
+}
+
+/// Equation (5): the large-`N` approximation
+/// `C_conv ≈ N·(1 − p_i) − H(p_i)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_i` is not a
+/// probability.
+pub fn converted_capacity_large_n(bits: u32, p_i: f64) -> Result<BitsPerSymbol, CoreError> {
+    check_prob("p_i", p_i)?;
+    let n = bits as f64;
+    Ok(BitsPerSymbol(
+        (n * (1.0 - p_i) - binary_entropy(p_i)).max(0.0),
+    ))
+}
+
+/// The transition matrix of the converted channel (Figure 5): an
+/// M-ary symmetric DMC over `M = 2^N` symbols where a symbol is
+/// replaced by any *specific* other symbol with probability
+/// `p_i / 2^N` (total replacement probability `α·p_i`). Cross-checked
+/// against [`converted_channel_capacity`] by Blahut–Arimoto in tests.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_i` is not a
+/// probability.
+pub fn converted_channel_matrix(bits: u32, p_i: f64) -> Result<Vec<Vec<f64>>, CoreError> {
+    check_prob("p_i", p_i)?;
+    let m = 1usize << bits;
+    let off = p_i / m as f64;
+    let mut w = vec![vec![off; m]; m];
+    for (i, row) in w.iter_mut().enumerate() {
+        row[i] = 1.0 - alpha(bits) * p_i;
+    }
+    Ok(w)
+}
+
+/// Theorem 5: the constructive lower bound on the capacity of a
+/// deletion-insertion channel with perfect feedback,
+///
+/// `C_lower = (1 − P_d) / (1 − P_i) · C_conv` — equation (2).
+///
+/// The prefactor converts from the synchronous model's accounting to
+/// the paper's relative normalization: waiting uses wasted on
+/// deletions are charged (`1 − P_d` in the numerator) while skipped
+/// symbols cost no time (`1 − P_i` in the denominator).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] for invalid probabilities,
+/// and [`CoreError::UnsupportedChannel`] when `p_i = 1` (the channel
+/// only ever inserts) or `p_d + p_i > 1`.
+pub fn theorem5_lower_bound(bits: u32, p_d: f64, p_i: f64) -> Result<BitsPerSymbol, CoreError> {
+    check_prob("p_d", p_d)?;
+    check_prob("p_i", p_i)?;
+    if p_i >= 1.0 {
+        return Err(CoreError::UnsupportedChannel(
+            "p_i = 1: the queue never drains".to_owned(),
+        ));
+    }
+    if p_d + p_i > 1.0 + 1e-12 {
+        return Err(CoreError::UnsupportedChannel(format!(
+            "p_d + p_i = {} exceeds 1",
+            p_d + p_i
+        )));
+    }
+    let conv = converted_channel_capacity(bits, p_i)?;
+    Ok(BitsPerSymbol((1.0 - p_d) / (1.0 - p_i) * conv.value()))
+}
+
+/// Both Theorem 5's lower bound and Theorem 4's upper bound for a
+/// deletion-insertion channel with perfect feedback.
+///
+/// # Errors
+///
+/// Propagates the errors of [`theorem5_lower_bound`] and
+/// [`erasure_upper_bound`].
+pub fn capacity_bounds(bits: u32, p_d: f64, p_i: f64) -> Result<CapacityBounds, CoreError> {
+    Ok(CapacityBounds {
+        lower: theorem5_lower_bound(bits, p_d, p_i)?,
+        upper: erasure_upper_bound(bits, p_d)?,
+    })
+}
+
+/// Equations (6)–(7): with `P_i = P_d = p`, the ratio
+/// `C_lower / C_upper → 1` as `N → ∞`. Returns the ratio at finite
+/// `N`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`capacity_bounds`].
+pub fn convergence_ratio(bits: u32, p: f64) -> Result<f64, CoreError> {
+    Ok(capacity_bounds(bits, p, p)?.tightness())
+}
+
+/// The inherent degradation factor of §4.3 and §5: the capacity of a
+/// synchronized non-synchronous channel degrades "roughly
+/// proportional to `P_d`", i.e. by the factor `1 − P_d`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_d` is not a
+/// probability.
+pub fn degradation_factor(p_d: f64) -> Result<f64, CoreError> {
+    check_prob("p_d", p_d)?;
+    Ok(1.0 - p_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_info::blahut::{blahut_arimoto, BlahutOptions};
+
+    #[test]
+    fn equation_1_upper_bound() {
+        assert_eq!(erasure_upper_bound(1, 0.0).unwrap().value(), 1.0);
+        assert_eq!(erasure_upper_bound(8, 0.5).unwrap().value(), 4.0);
+        assert_eq!(erasure_upper_bound(4, 1.0).unwrap().value(), 0.0);
+        assert!(erasure_upper_bound(4, 1.5).is_err());
+    }
+
+    #[test]
+    fn theorem_3_equals_theorem_1() {
+        for &p in &[0.0, 0.1, 0.7] {
+            assert_eq!(
+                feedback_deletion_capacity(3, p).unwrap(),
+                erasure_upper_bound(3, p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_values() {
+        assert_eq!(alpha(1), 0.5);
+        assert_eq!(alpha(2), 0.75);
+        assert!((alpha(16) - (1.0 - 1.0 / 65536.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn converted_capacity_noiseless_limit() {
+        for bits in 1..=8 {
+            assert_eq!(
+                converted_channel_capacity(bits, 0.0).unwrap().value(),
+                bits as f64
+            );
+        }
+    }
+
+    #[test]
+    fn converted_capacity_matches_blahut_on_figure5_matrix() {
+        for &(bits, p_i) in &[(1u32, 0.2), (2, 0.3), (3, 0.1), (4, 0.5)] {
+            let w = converted_channel_matrix(bits, p_i).unwrap();
+            let ba = blahut_arimoto(&w, &BlahutOptions::default()).unwrap();
+            let closed = converted_channel_capacity(bits, p_i).unwrap().value();
+            assert!(
+                (ba.capacity - closed).abs() < 1e-7,
+                "bits={bits} p_i={p_i}: BA={} closed={closed}",
+                ba.capacity
+            );
+        }
+    }
+
+    #[test]
+    fn converted_matrix_rows_are_stochastic() {
+        let w = converted_channel_matrix(3, 0.4).unwrap();
+        for row in &w {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equation_5_large_n_approximation_converges() {
+        let p_i = 0.1;
+        let mut last_gap = f64::INFINITY;
+        for bits in [2u32, 4, 8, 12, 16] {
+            let exact = converted_channel_capacity(bits, p_i).unwrap().value();
+            let approx = converted_capacity_large_n(bits, p_i).unwrap().value();
+            let gap = (exact - approx).abs();
+            assert!(gap <= last_gap + 1e-9, "gap grew at N={bits}");
+            last_gap = gap;
+        }
+        // At N = 16 the approximation is tight.
+        assert!(last_gap < 1e-3, "gap at N=16 is {last_gap}");
+    }
+
+    #[test]
+    fn theorem_5_reduces_to_conv_capacity_without_deletions_or_insertions() {
+        let c = theorem5_lower_bound(4, 0.0, 0.0).unwrap();
+        assert_eq!(c.value(), 4.0);
+    }
+
+    #[test]
+    fn theorem_5_validation() {
+        assert!(theorem5_lower_bound(4, 0.6, 0.6).is_err());
+        assert!(theorem5_lower_bound(4, 0.0, 1.0).is_err());
+        assert!(theorem5_lower_bound(4, -0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_upper_bound() {
+        for bits in [1u32, 2, 4, 8, 16] {
+            for i in 0..20 {
+                for j in 0..20 {
+                    let p_d = i as f64 * 0.05;
+                    let p_i = j as f64 * 0.05;
+                    if p_d + p_i > 1.0 || p_i >= 1.0 {
+                        continue;
+                    }
+                    let b = capacity_bounds(bits, p_d, p_i).unwrap();
+                    assert!(
+                        b.lower.value() <= b.upper.value() + 1e-9,
+                        "violated at bits={bits} p_d={p_d} p_i={p_i}: {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equations_6_7_convergence_in_n() {
+        // With p_i = p_d, the ratio increases towards 1 as N grows.
+        for &p in &[0.01, 0.1, 0.3] {
+            let mut last = 0.0;
+            for bits in [1u32, 2, 4, 8, 16] {
+                let r = convergence_ratio(bits, p).unwrap();
+                assert!(r >= last - 1e-12, "ratio not monotone at p={p} N={bits}");
+                last = r;
+            }
+            assert!(last > 0.9, "ratio at N=16, p={p} is only {last}");
+        }
+    }
+
+    #[test]
+    fn limit_formula_of_equation_6() {
+        // As N -> inf with p_i = p_d = p:
+        // C_lower -> N(1-p) - H(p), so
+        // C_lower/C_upper -> 1 - H(p)/(N(1-p)).
+        let p = 0.1;
+        let bits = 16u32;
+        let ratio = convergence_ratio(bits, p).unwrap();
+        let predicted = 1.0 - binary_entropy(p) / (bits as f64 * (1.0 - p));
+        assert!((ratio - predicted).abs() < 1e-3, "{ratio} vs {predicted}");
+    }
+
+    #[test]
+    fn degradation_is_proportional_to_p_d() {
+        assert_eq!(degradation_factor(0.0).unwrap(), 1.0);
+        assert_eq!(degradation_factor(0.25).unwrap(), 0.75);
+        assert_eq!(degradation_factor(1.0).unwrap(), 0.0);
+        assert!(degradation_factor(2.0).is_err());
+    }
+
+    #[test]
+    fn bounds_monotone_in_p_d() {
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            let p_d = i as f64 / 10.0;
+            if p_d + 0.1 > 1.0 {
+                break;
+            }
+            let b = capacity_bounds(4, p_d, 0.1).unwrap();
+            assert!(b.upper.value() <= last + 1e-12);
+            last = b.upper.value();
+        }
+    }
+
+    #[test]
+    fn tightness_of_zero_upper_is_one() {
+        let b = CapacityBounds {
+            lower: BitsPerSymbol(0.0),
+            upper: BitsPerSymbol(0.0),
+        };
+        assert_eq!(b.tightness(), 1.0);
+        assert_eq!(b.gap(), 0.0);
+    }
+}

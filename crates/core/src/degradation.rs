@@ -1,0 +1,202 @@
+//! The practical estimation recipe of §4.3: traditional capacity
+//! times `(1 − P_d)`.
+//!
+//! > *"For a given covert channel, one could first use traditional
+//! > methods to estimate the physical capacity `C`. The probability of
+//! > deletion `P_d` should then be estimated. The real capacity can
+//! > then be estimated as `C·(1 − P_d)`."*
+//!
+//! The correction is independent of the synchronization mechanism in
+//! use and does not include mechanism-specific overhead — it is the
+//! *inherent* cost of non-synchrony.
+
+use crate::error::{check_prob, CoreError};
+use nsc_info::stats::ProportionInterval;
+use nsc_info::BitsPerTick;
+use serde::{Deserialize, Serialize};
+
+/// Applies the paper's correction: `C_real = C_traditional · (1 − P_d)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_d` is not a
+/// probability.
+///
+/// # Example
+///
+/// ```
+/// use nsc_core::degradation::corrected_capacity;
+/// use nsc_info::BitsPerTick;
+///
+/// let traditional = BitsPerTick(100.0);
+/// let real = corrected_capacity(traditional, 0.3)?;
+/// assert_eq!(real.value(), 70.0);
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn corrected_capacity(traditional: BitsPerTick, p_d: f64) -> Result<BitsPerTick, CoreError> {
+    check_prob("p_d", p_d)?;
+    Ok(traditional * (1.0 - p_d))
+}
+
+/// A traditional-vs-corrected capacity report for one covert channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// The physical capacity a synchronous-model analysis reports.
+    pub traditional: BitsPerTick,
+    /// Measured deletion probability with its confidence interval.
+    pub p_d: ProportionInterval,
+    /// Corrected point estimate `traditional · (1 − p_d)`.
+    pub corrected: BitsPerTick,
+    /// Corrected capacity at the interval's bounds, ordered
+    /// `(pessimistic-for-attacker, optimistic-for-attacker)` — i.e.
+    /// using the upper and lower ends of the `P_d` interval.
+    pub corrected_interval: (BitsPerTick, BitsPerTick),
+}
+
+impl DegradationReport {
+    /// Builds a report from a traditional estimate and a measured
+    /// deletion-probability interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProbability`] when the traditional
+    /// capacity is negative/non-finite or the interval is malformed.
+    pub fn new(traditional: BitsPerTick, p_d: ProportionInterval) -> Result<Self, CoreError> {
+        if !traditional.is_valid_capacity() {
+            return Err(CoreError::BadProbability {
+                name: "traditional capacity",
+                value: traditional.value(),
+            });
+        }
+        let corrected = corrected_capacity(traditional, p_d.estimate)?;
+        let low = corrected_capacity(traditional, p_d.upper)?;
+        let high = corrected_capacity(traditional, p_d.lower)?;
+        Ok(DegradationReport {
+            traditional,
+            p_d,
+            corrected,
+            corrected_interval: (low, high),
+        })
+    }
+
+    /// The fraction of capacity lost to non-synchrony,
+    /// `1 − corrected/traditional` (zero for a zero-capacity
+    /// channel).
+    pub fn loss_fraction(&self) -> f64 {
+        if self.traditional.value() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.corrected.value() / self.traditional.value()
+        }
+    }
+}
+
+/// TCSEC-style severity buckets for an estimated covert-channel
+/// capacity. The thresholds follow the Light-Pink-Book convention of
+/// judging channels by order of magnitude; they are configurable
+/// because acceptable rates are policy, not physics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeverityPolicy {
+    /// Rates below this are considered negligible.
+    pub negligible_below: f64,
+    /// Rates above this are considered critical.
+    pub critical_above: f64,
+}
+
+impl Default for SeverityPolicy {
+    fn default() -> Self {
+        // In bits per tick of the simulated system; the classic
+        // guidance uses 0.1 b/s and 100 b/s for real-time systems.
+        SeverityPolicy {
+            negligible_below: 0.1,
+            critical_above: 100.0,
+        }
+    }
+}
+
+/// Severity classification of a covert channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Too slow to matter under the policy.
+    Negligible,
+    /// Worth auditing; should be documented and possibly throttled.
+    Concerning,
+    /// Fast enough to exfiltrate meaningful data; must be handled.
+    Critical,
+}
+
+impl SeverityPolicy {
+    /// Classifies a corrected capacity estimate.
+    pub fn classify(&self, rate: BitsPerTick) -> Severity {
+        if rate.value() < self.negligible_below {
+            Severity::Negligible
+        } else if rate.value() > self.critical_above {
+            Severity::Critical
+        } else {
+            Severity::Concerning
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(est: f64, lo: f64, hi: f64) -> ProportionInterval {
+        ProportionInterval {
+            estimate: est,
+            lower: lo,
+            upper: hi,
+        }
+    }
+
+    #[test]
+    fn correction_formula() {
+        let c = corrected_capacity(BitsPerTick(10.0), 0.4).unwrap();
+        assert!((c.value() - 6.0).abs() < 1e-12);
+        assert!(corrected_capacity(BitsPerTick(10.0), 1.4).is_err());
+    }
+
+    #[test]
+    fn report_orders_interval() {
+        let r = DegradationReport::new(BitsPerTick(100.0), interval(0.3, 0.25, 0.35)).unwrap();
+        assert!((r.corrected.value() - 70.0).abs() < 1e-12);
+        let (lo, hi) = r.corrected_interval;
+        assert!(lo.value() <= r.corrected.value());
+        assert!(hi.value() >= r.corrected.value());
+        assert!((lo.value() - 65.0).abs() < 1e-12);
+        assert!((hi.value() - 75.0).abs() < 1e-12);
+        assert!((r.loss_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_rejects_bad_capacity() {
+        assert!(DegradationReport::new(BitsPerTick(-1.0), interval(0.1, 0.0, 0.2)).is_err());
+        assert!(DegradationReport::new(BitsPerTick(f64::NAN), interval(0.1, 0.0, 0.2)).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_channel_loses_nothing() {
+        let r = DegradationReport::new(BitsPerTick(0.0), interval(0.5, 0.4, 0.6)).unwrap();
+        assert_eq!(r.loss_fraction(), 0.0);
+        assert_eq!(r.corrected.value(), 0.0);
+    }
+
+    #[test]
+    fn severity_classification() {
+        let policy = SeverityPolicy::default();
+        assert_eq!(policy.classify(BitsPerTick(0.01)), Severity::Negligible);
+        assert_eq!(policy.classify(BitsPerTick(5.0)), Severity::Concerning);
+        assert_eq!(policy.classify(BitsPerTick(500.0)), Severity::Critical);
+    }
+
+    #[test]
+    fn custom_policy() {
+        let strict = SeverityPolicy {
+            negligible_below: 1e-6,
+            critical_above: 1.0,
+        };
+        assert_eq!(strict.classify(BitsPerTick(0.01)), Severity::Concerning);
+        assert_eq!(strict.classify(BitsPerTick(2.0)), Severity::Critical);
+    }
+}

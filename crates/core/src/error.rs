@@ -1,0 +1,116 @@
+//! Error type for the capacity-estimation core.
+
+use nsc_channel::ChannelError;
+use nsc_info::InfoError;
+use std::fmt;
+
+/// Errors produced by bounds, protocols, and the estimation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A probability argument was invalid.
+    BadProbability {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A protocol was configured against an unsupported channel (e.g.
+    /// the resend protocol of Theorem 3 requires a deletion-only
+    /// channel).
+    UnsupportedChannel(String),
+    /// A simulation argument was invalid (e.g. empty message, zero
+    /// tick budget).
+    BadSimulation(String),
+    /// An underlying channel-model error.
+    Channel(ChannelError),
+    /// An underlying numerical error.
+    Numeric(InfoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadProbability { name, value } => {
+                write!(f, "{name} = {value} is not a valid probability")
+            }
+            CoreError::UnsupportedChannel(msg) => write!(f, "unsupported channel: {msg}"),
+            CoreError::BadSimulation(msg) => write!(f, "bad simulation setup: {msg}"),
+            CoreError::Channel(e) => write!(f, "channel error: {e}"),
+            CoreError::Numeric(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Channel(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChannelError> for CoreError {
+    fn from(e: ChannelError) -> Self {
+        CoreError::Channel(e)
+    }
+}
+
+impl From<InfoError> for CoreError {
+    fn from(e: InfoError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+/// Validates a probability argument.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `value` is not a finite
+/// number in `[0, 1]`.
+pub(crate) fn check_prob(name: &'static str, value: f64) -> Result<f64, CoreError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(CoreError::BadProbability { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::BadProbability {
+                name: "p_d",
+                value: -1.0,
+            },
+            CoreError::UnsupportedChannel("insertions present".to_owned()),
+            CoreError::BadSimulation("empty message".to_owned()),
+            CoreError::Channel(ChannelError::BadSymbolWidth(0)),
+            CoreError::Numeric(InfoError::InvalidProbability(3.0)),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn check_prob_validates() {
+        assert!(check_prob("p", 0.5).is_ok());
+        assert!(check_prob("p", 0.0).is_ok());
+        assert!(check_prob("p", 1.0).is_ok());
+        assert!(check_prob("p", -0.1).is_err());
+        assert!(check_prob("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = CoreError::Channel(ChannelError::BadSymbolWidth(0));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! The end-to-end estimation pipeline of §4.3:
+//! traditional capacity → measured `P_d` → corrected capacity →
+//! severity.
+//!
+//! This is the API a security auditor actually calls: feed it a
+//! traditional (synchronous-model) capacity estimate for the covert
+//! channel plus a measurement of the system's non-synchronous
+//! behaviour (an unsynchronized run, an event log, or raw counts),
+//! and get back the corrected capacity with confidence intervals and
+//! a severity classification.
+
+use crate::degradation::{DegradationReport, Severity, SeverityPolicy};
+use crate::error::CoreError;
+use crate::sim::unsync::UnsyncOutcome;
+use nsc_channel::event::EventLog;
+use nsc_info::stats::wilson_interval;
+use nsc_info::BitsPerTick;
+use serde::{Deserialize, Serialize};
+
+/// A complete covert-channel assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// The traditional-vs-corrected capacity report.
+    pub report: DegradationReport,
+    /// Severity under the supplied policy.
+    pub severity: Severity,
+    /// Number of observations behind the `P_d` estimate.
+    pub observations: u64,
+}
+
+/// Builds an assessment from raw deletion counts: `deletions` symbol
+/// losses observed over `attempts` symbol-transfer attempts.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Numeric`] when `attempts` is zero or counts
+/// are inconsistent, and [`CoreError::BadProbability`] when the
+/// traditional capacity is invalid.
+///
+/// # Example
+///
+/// ```
+/// use nsc_core::estimator::assess_from_counts;
+/// use nsc_core::degradation::{Severity, SeverityPolicy};
+/// use nsc_info::BitsPerTick;
+///
+/// let a = assess_from_counts(
+///     BitsPerTick(50.0), 300, 1000, &SeverityPolicy::default())?;
+/// assert!((a.report.corrected.value() - 35.0).abs() < 1e-9);
+/// assert_eq!(a.severity, Severity::Concerning);
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn assess_from_counts(
+    traditional: BitsPerTick,
+    deletions: u64,
+    attempts: u64,
+    policy: &SeverityPolicy,
+) -> Result<Assessment, CoreError> {
+    let p_d = wilson_interval(deletions, attempts, nsc_channel::stats::DEFAULT_Z)?;
+    let report = DegradationReport::new(traditional, p_d)?;
+    let severity = policy.classify(report.corrected);
+    Ok(Assessment {
+        report,
+        severity,
+        observations: attempts,
+    })
+}
+
+/// Builds an assessment from an unsynchronized mechanistic run
+/// ([`crate::sim::unsync::run_unsynchronized`]): the run's
+/// overwrite rate is the measured `P_d`.
+///
+/// # Errors
+///
+/// Same conditions as [`assess_from_counts`]; additionally fails when
+/// the run performed no writes.
+pub fn assess_from_unsync(
+    traditional: BitsPerTick,
+    outcome: &UnsyncOutcome,
+    policy: &SeverityPolicy,
+) -> Result<Assessment, CoreError> {
+    assess_from_counts(
+        traditional,
+        outcome.deleted_writes as u64,
+        outcome.writes as u64,
+        policy,
+    )
+}
+
+/// Builds an assessment from a ground-truth channel event log
+/// (`P_d` = deletions per channel use, Definition 1's accounting).
+///
+/// # Errors
+///
+/// Same conditions as [`assess_from_counts`]; additionally fails on
+/// an empty log.
+pub fn assess_from_event_log(
+    traditional: BitsPerTick,
+    log: &EventLog,
+    policy: &SeverityPolicy,
+) -> Result<Assessment, CoreError> {
+    assess_from_counts(
+        traditional,
+        log.deletions() as u64,
+        log.uses() as u64,
+        policy,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{unsync::run_unsynchronized, BernoulliSchedule};
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_pipeline() {
+        let a =
+            assess_from_counts(BitsPerTick(10.0), 500, 1000, &SeverityPolicy::default()).unwrap();
+        assert!((a.report.corrected.value() - 5.0).abs() < 1e-9);
+        assert!(a.report.p_d.contains(0.5));
+        assert_eq!(a.observations, 1000);
+        assert!(assess_from_counts(BitsPerTick(10.0), 5, 0, &SeverityPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn unsync_pipeline_measures_scheduler_effect() {
+        let msg: Vec<Symbol> = (0..20_000).map(|i| Symbol::from_index(i % 2)).collect();
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(3)).unwrap();
+        let run = run_unsynchronized(&msg, &mut sched, usize::MAX).unwrap();
+        let a = assess_from_unsync(BitsPerTick(100.0), &run, &SeverityPolicy::default()).unwrap();
+        // Fair scheduling deletes half the writes: corrected ~ 50.
+        assert!((a.report.corrected.value() - 50.0).abs() < 3.0);
+        assert_eq!(a.severity, Severity::Concerning);
+    }
+
+    #[test]
+    fn event_log_pipeline() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.2).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = vec![Symbol::from_index(1); 50_000];
+        let out = ch.transmit(&input, &mut rng);
+        let a = assess_from_event_log(BitsPerTick(1.0), &out.events, &SeverityPolicy::default())
+            .unwrap();
+        assert!(a.report.p_d.contains(0.2));
+        assert!((a.report.corrected.value() - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn severity_tracks_corrected_rate_not_traditional() {
+        // A "critical" traditional estimate can be negligible after
+        // correction when nearly everything is deleted.
+        let policy = SeverityPolicy::default();
+        let a = assess_from_counts(BitsPerTick(200.0), 9_999, 10_000, &policy).unwrap();
+        assert_eq!(a.severity, Severity::Negligible);
+        let b = assess_from_counts(BitsPerTick(200.0), 0, 10_000, &policy).unwrap();
+        assert_eq!(b.severity, Severity::Critical);
+    }
+}

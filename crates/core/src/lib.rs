@@ -1,0 +1,57 @@
+//! Capacity estimation of non-synchronous covert channels.
+//!
+//! This crate implements the primary contribution of Wang & Lee,
+//! *"Capacity Estimation of Non-Synchronous Covert Channels"*
+//! (ICDCS 2005): covert channels in real systems lose and duplicate
+//! symbols because the communicating processes cannot control when
+//! they run, so capacity must be estimated on a **deletion-insertion
+//! channel** rather than the synchronous channel traditional methods
+//! assume.
+//!
+//! * [`bounds`] — the paper's Theorems 1–5 and equations (1)–(7):
+//!   the erasure upper bound `N·(1 − P_d)`, the feedback-achievable
+//!   capacity, the converted-channel capacity `C_conv`, Theorem 5's
+//!   constructive lower bound, and their asymptotic convergence.
+//! * [`degradation`] — the §4.3 recipe `C_real = C·(1 − P_d)` with
+//!   confidence intervals and severity classification.
+//! * [`protocols`] — Theorem 3's resend protocol (and a
+//!   selective-repeat ablation) over the abstract Definition 1
+//!   channel with perfect feedback.
+//! * [`sim`] — the mechanistic §3.1 model: a shared variable driven
+//!   by an operation scheduler, with runners for no synchronization,
+//!   the Appendix A counter protocol (feedback), the Figure 1
+//!   two-variable handshake, and the Figure 3(b) common-event-source
+//!   slotting.
+//! * [`estimator`] — the end-to-end auditor pipeline.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nsc_core::bounds::{capacity_bounds, convergence_ratio};
+//!
+//! // An 8-bit covert channel losing 10% of symbols and gaining 10%
+//! // spurious ones:
+//! let b = capacity_bounds(8, 0.1, 0.1)?;
+//! assert!(b.lower.value() > 6.0);          // still fast…
+//! assert!(b.upper.value() <= 8.0 * 0.9);   // …but degraded by P_d.
+//!
+//! // Equations (6)–(7): bounds tighten as symbols widen.
+//! assert!(convergence_ratio(16, 0.1)? > convergence_ratio(1, 0.1)?);
+//! # Ok::<(), nsc_core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bounds;
+pub mod degradation;
+pub mod error;
+pub mod estimator;
+pub mod protocols;
+pub mod sim;
+pub mod sweep;
+
+pub use bounds::CapacityBounds;
+pub use degradation::{DegradationReport, Severity, SeverityPolicy};
+pub use error::CoreError;
+pub use estimator::Assessment;

@@ -1,0 +1,19 @@
+//! Synchronization protocols over the *abstract* deletion-insertion
+//! channel of Definition 1.
+//!
+//! The runners in [`crate::sim`] realize the paper's protocols
+//! mechanistically (shared variable + scheduler). The protocols here
+//! instead drive [`nsc_channel::DeletionInsertionChannel`]'s per-use
+//! API directly, which is the setting in which Theorems 2–5 are
+//! stated:
+//!
+//! * [`resend`] — Theorem 3's resend protocol over a pure deletion
+//!   channel with perfect feedback, achieving the erasure capacity
+//!   `N·(1 − p_d)` exactly.
+//! * [`selective`] — selective repeat over a block: a
+//!   higher-throughput engineering variant used for ablation, showing
+//!   that the *capacity* (Theorem 3) does not improve even though
+//!   latency does.
+
+pub mod resend;
+pub mod selective;

@@ -1,0 +1,213 @@
+//! Theorem 3's resend protocol: deletion channel + perfect feedback.
+//!
+//! > *"Let the receiver notify the sender via the feedback path once
+//! > it receives a symbol. The sender will keep resending the symbol
+//! > until it knows that the symbol has been received. Therefore no
+//! > drop-outs will occur. While the probability of deletion is
+//! > `p_d`, a symbol gets through with probability `1 − p_d`,
+//! > therefore the effective information rate is `N·(1 − p_d)`."*
+//!
+//! Each message symbol costs a geometric number of channel uses with
+//! mean `1/(1 − p_d)`, so the measured goodput converges to
+//! `N·(1 − p_d)` bits per use — making Theorem 2's upper bound tight.
+
+use crate::error::CoreError;
+use nsc_channel::alphabet::Symbol;
+use nsc_channel::di::{DeletionInsertionChannel, UseOutcome};
+use nsc_info::BitsPerSymbol;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Measurements from a resend-protocol run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResendOutcome {
+    /// Symbols the receiver accepted, in order (always equals the
+    /// message on a deletion-only channel).
+    pub received: Vec<Symbol>,
+    /// Total channel uses consumed.
+    pub channel_uses: usize,
+    /// Retransmissions (uses beyond the first per symbol).
+    pub retransmissions: usize,
+}
+
+impl ResendOutcome {
+    /// Measured goodput in bits per channel use:
+    /// `N · delivered / uses`.
+    pub fn goodput(&self, bits: u32) -> BitsPerSymbol {
+        if self.channel_uses == 0 {
+            return BitsPerSymbol(0.0);
+        }
+        BitsPerSymbol(bits as f64 * self.received.len() as f64 / self.channel_uses as f64)
+    }
+}
+
+/// Runs the Theorem 3 resend protocol: for each message symbol, use
+/// the channel until the receiver acknowledges reception over the
+/// perfect feedback path.
+///
+/// # Errors
+///
+/// * [`CoreError::UnsupportedChannel`] — the channel has insertions
+///   (`p_i > 0`) or substitution noise (`p_s > 0`); Theorem 3 is
+///   stated for the noiseless pure-deletion channel, and with
+///   insertions this protocol would mistake inserted symbols for
+///   acknowledgeable receptions (use the counter protocol instead).
+/// * [`CoreError::BadSimulation`] — empty message.
+pub fn run_resend<R: Rng + ?Sized>(
+    channel: &DeletionInsertionChannel,
+    message: &[Symbol],
+    rng: &mut R,
+) -> Result<ResendOutcome, CoreError> {
+    if channel.params().p_i() > 0.0 {
+        return Err(CoreError::UnsupportedChannel(
+            "resend protocol requires a pure deletion channel (p_i = 0)".to_owned(),
+        ));
+    }
+    if channel.params().p_s() > 0.0 {
+        return Err(CoreError::UnsupportedChannel(
+            "resend protocol assumes a noiseless data channel (p_s = 0)".to_owned(),
+        ));
+    }
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    let mut out = ResendOutcome {
+        received: Vec::with_capacity(message.len()),
+        channel_uses: 0,
+        retransmissions: 0,
+    };
+    for &sym in message {
+        let mut first = true;
+        loop {
+            out.channel_uses += 1;
+            if !first {
+                out.retransmissions += 1;
+            }
+            first = false;
+            match channel.use_once(Some(sym), rng) {
+                UseOutcome::Transmitted { received, .. } => {
+                    // Receiver acks over the perfect feedback path.
+                    out.received.push(received);
+                    break;
+                }
+                UseOutcome::Deleted => {
+                    // No ack arrives; resend.
+                }
+                UseOutcome::Inserted(_) | UseOutcome::Idle => {
+                    unreachable!("pure deletion channel with a queued symbol")
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_channel::alphabet::Alphabet;
+    use nsc_channel::di::DiParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    fn deletion_channel(bits: u32, p_d: f64) -> DeletionInsertionChannel {
+        DeletionInsertionChannel::new(
+            Alphabet::new(bits).unwrap(),
+            DiParams::deletion_only(p_d).unwrap(),
+        )
+    }
+
+    #[test]
+    fn rejects_unsupported_channels() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.1, 0.1, 0.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            run_resend(&ch, &msg(1, 10, 0), &mut rng),
+            Err(CoreError::UnsupportedChannel(_))
+        ));
+        let noisy = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.1, 0.0, 0.5).unwrap(),
+        );
+        assert!(run_resend(&noisy, &msg(1, 10, 0), &mut rng).is_err());
+        assert!(run_resend(&deletion_channel(1, 0.1), &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn delivery_is_always_exact() {
+        let ch = deletion_channel(3, 0.4);
+        let m = msg(3, 2000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_resend(&ch, &m, &mut rng).unwrap();
+        assert_eq!(out.received, m);
+    }
+
+    #[test]
+    fn noiseless_channel_needs_no_retransmissions() {
+        let ch = deletion_channel(2, 0.0);
+        let m = msg(2, 100, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_resend(&ch, &m, &mut rng).unwrap();
+        assert_eq!(out.retransmissions, 0);
+        assert_eq!(out.channel_uses, 100);
+        assert_eq!(out.goodput(2).value(), 2.0);
+    }
+
+    #[test]
+    fn goodput_converges_to_theorem_3_capacity() {
+        // Theorem 3: goodput -> N(1 - p_d).
+        for &p_d in &[0.1, 0.3, 0.5] {
+            let bits = 4u32;
+            let ch = deletion_channel(bits, p_d);
+            let m = msg(bits, 50_000, 5);
+            let mut rng = StdRng::seed_from_u64(6);
+            let out = run_resend(&ch, &m, &mut rng).unwrap();
+            let theory = crate::bounds::feedback_deletion_capacity(bits, p_d)
+                .unwrap()
+                .value();
+            let measured = out.goodput(bits).value();
+            assert!(
+                (measured - theory).abs() / theory < 0.02,
+                "p_d={p_d}: measured {measured}, theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn goodput_never_exceeds_upper_bound() {
+        // Theorem 2: the erasure capacity upper-bounds every run.
+        for seed in 0..10u64 {
+            let bits = 2u32;
+            let p_d = 0.3;
+            let ch = deletion_channel(bits, p_d);
+            let m = msg(bits, 5_000, seed);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let out = run_resend(&ch, &m, &mut rng).unwrap();
+            // Finite-sample fluctuation allowance of 5%.
+            let bound = crate::bounds::erasure_upper_bound(bits, p_d)
+                .unwrap()
+                .value();
+            assert!(out.goodput(bits).value() < bound * 1.05);
+        }
+    }
+
+    #[test]
+    fn uses_are_geometric_with_mean_one_over_1_minus_pd() {
+        let p_d = 0.25;
+        let ch = deletion_channel(1, p_d);
+        let m = msg(1, 40_000, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run_resend(&ch, &m, &mut rng).unwrap();
+        let mean_uses = out.channel_uses as f64 / m.len() as f64;
+        assert!((mean_uses - 1.0 / (1.0 - p_d)).abs() < 0.02);
+    }
+}

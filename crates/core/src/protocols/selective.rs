@@ -1,0 +1,177 @@
+//! Selective-repeat ablation: batching does not beat Theorem 3.
+//!
+//! The resend protocol acknowledges one symbol at a time. A natural
+//! "optimization" sends a whole window, learns from feedback which
+//! symbols were deleted, and retransmits only those. This module
+//! implements that variant to *demonstrate a negative result*: the
+//! goodput per channel use is still `N·(1 − p_d)` — exactly Theorem
+//! 3's capacity — because feedback cannot raise the capacity of a
+//! memoryless channel (Theorem 2). What batching buys is fewer
+//! feedback round trips, not rate.
+
+use crate::error::CoreError;
+use nsc_channel::alphabet::Symbol;
+use nsc_channel::di::{DeletionInsertionChannel, UseOutcome};
+use nsc_info::BitsPerSymbol;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Measurements from a selective-repeat run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectiveOutcome {
+    /// Symbols delivered (always the full message, in order, on a
+    /// deletion-only channel).
+    pub received: Vec<Symbol>,
+    /// Total channel uses consumed.
+    pub channel_uses: usize,
+    /// Feedback round trips (one per window pass).
+    pub round_trips: usize,
+}
+
+impl SelectiveOutcome {
+    /// Measured goodput in bits per channel use.
+    pub fn goodput(&self, bits: u32) -> BitsPerSymbol {
+        if self.channel_uses == 0 {
+            return BitsPerSymbol(0.0);
+        }
+        BitsPerSymbol(bits as f64 * self.received.len() as f64 / self.channel_uses as f64)
+    }
+}
+
+/// Runs selective repeat with the given `window` size over a pure
+/// deletion channel with perfect (per-window) feedback.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::protocols::resend::run_resend`], plus
+/// [`CoreError::BadSimulation`] when `window` is zero.
+pub fn run_selective_repeat<R: Rng + ?Sized>(
+    channel: &DeletionInsertionChannel,
+    message: &[Symbol],
+    window: usize,
+    rng: &mut R,
+) -> Result<SelectiveOutcome, CoreError> {
+    if channel.params().p_i() > 0.0 || channel.params().p_s() > 0.0 {
+        return Err(CoreError::UnsupportedChannel(
+            "selective repeat requires a noiseless pure deletion channel".to_owned(),
+        ));
+    }
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if window == 0 {
+        return Err(CoreError::BadSimulation("window is zero".to_owned()));
+    }
+    let mut out = SelectiveOutcome {
+        received: Vec::with_capacity(message.len()),
+        channel_uses: 0,
+        round_trips: 0,
+    };
+    let mut delivered: Vec<Option<Symbol>> = vec![None; message.len()];
+    for (base, block) in message.chunks(window).enumerate() {
+        let offset = base * window;
+        // Positions of this window still missing.
+        let mut missing: Vec<usize> = (0..block.len()).collect();
+        while !missing.is_empty() {
+            out.round_trips += 1;
+            let mut still_missing = Vec::new();
+            for &i in &missing {
+                out.channel_uses += 1;
+                match channel.use_once(Some(block[i]), rng) {
+                    UseOutcome::Transmitted { received, .. } => {
+                        delivered[offset + i] = Some(received);
+                    }
+                    UseOutcome::Deleted => still_missing.push(i),
+                    UseOutcome::Inserted(_) | UseOutcome::Idle => {
+                        unreachable!("pure deletion channel with a queued symbol")
+                    }
+                }
+            }
+            missing = still_missing;
+        }
+    }
+    out.received = delivered
+        .into_iter()
+        .map(|s| s.expect("all delivered"))
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::resend::run_resend;
+    use nsc_channel::alphabet::Alphabet;
+    use nsc_channel::di::DiParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn channel(p_d: f64) -> DeletionInsertionChannel {
+        DeletionInsertionChannel::new(
+            Alphabet::new(2).unwrap(),
+            DiParams::deletion_only(p_d).unwrap(),
+        )
+    }
+
+    fn msg(n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(run_selective_repeat(&channel(0.1), &[], 8, &mut rng).is_err());
+        assert!(run_selective_repeat(&channel(0.1), &msg(10, 0), 0, &mut rng).is_err());
+        let bad = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.0, 0.5, 0.0).unwrap(),
+        );
+        assert!(run_selective_repeat(&bad, &msg(10, 0), 8, &mut rng).is_err());
+    }
+
+    #[test]
+    fn delivers_exactly() {
+        let m = msg(999, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_selective_repeat(&channel(0.3), &m, 32, &mut rng).unwrap();
+        assert_eq!(out.received, m);
+    }
+
+    #[test]
+    fn goodput_matches_theorem_3_like_resend() {
+        let p_d = 0.35;
+        let m = msg(40_000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = run_selective_repeat(&channel(p_d), &m, 64, &mut rng).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let res = run_resend(&channel(p_d), &m, &mut rng2).unwrap();
+        let theory = 2.0 * (1.0 - p_d);
+        assert!((sel.goodput(2).value() - theory).abs() / theory < 0.02);
+        assert!((res.goodput(2).value() - theory).abs() / theory < 0.02);
+    }
+
+    #[test]
+    fn batching_saves_round_trips_not_rate() {
+        let p_d = 0.3;
+        let m = msg(10_000, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let wide = run_selective_repeat(&channel(p_d), &m, 256, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let narrow = run_selective_repeat(&channel(p_d), &m, 1, &mut rng).unwrap();
+        assert!(wide.round_trips < narrow.round_trips / 10);
+        let g_wide = wide.goodput(2).value();
+        let g_narrow = narrow.goodput(2).value();
+        assert!((g_wide - g_narrow).abs() / g_narrow < 0.03);
+    }
+
+    #[test]
+    fn window_of_one_equals_resend_semantics() {
+        let m = msg(500, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = run_selective_repeat(&channel(0.0), &m, 1, &mut rng).unwrap();
+        assert_eq!(out.channel_uses, m.len());
+        assert_eq!(out.round_trips, m.len());
+    }
+}

@@ -1,0 +1,266 @@
+//! Closed-form predictions for the mechanistic runners under
+//! memoryless (Bernoulli-`q`) scheduling.
+//!
+//! Every quantity the simulators in this module's siblings *measure*
+//! can be predicted analytically when the operation schedule is
+//! i.i.d. with sender probability `q`. Keeping the two side by side
+//! turns the experiment harness's agreement checks into genuine
+//! theory-vs-implementation tests:
+//!
+//! * unsynchronized (§3.1): a write is overwritten iff the next
+//!   operation is another write, so `P_d = q`; symmetrically
+//!   `P_i = 1 − q`.
+//! * counter protocol (Appendix A): every receiver operation fills a
+//!   position, so positions fill at rate `1 − q` per operation; a
+//!   position is fresh iff the operation before it was the sender's
+//!   catch-up write, which happens with probability `q` — so the
+//!   stale fraction is `1 − q`, the converted-channel error is
+//!   `α·(1 − q)` (Figure 5), and the reliable rate is
+//!   `(1 − q) · C_mary(N, α(1 − q))`.
+//! * Figure 1 handshake: each symbol needs one geometric(q) wait for
+//!   the write plus one geometric(1 − q) wait for the read —
+//!   `1/q + 1/(1 − q)` operations per symbol, i.e. a rate of
+//!   `N·q·(1 − q)` bits per operation.
+//! * fixed slotting (Figure 3(b)) with slot length `L`: a party
+//!   misses its slot with probability `q^L` (receiver) or
+//!   `(1 − q)^L` (sender); a renewal argument over missed slots gives
+//!   the exact stale fraction below.
+
+use crate::bounds::alpha;
+use crate::error::{check_prob, CoreError};
+use nsc_channel::dmc::closed_form;
+
+/// Predicted unsynchronized deletion rate per write: `P_d = q`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn unsync_p_d(q: f64) -> Result<f64, CoreError> {
+    check_prob("q", q)
+}
+
+/// Predicted unsynchronized insertion rate per read: `P_i = 1 − q`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn unsync_p_i(q: f64) -> Result<f64, CoreError> {
+    Ok(1.0 - check_prob("q", q)?)
+}
+
+/// Predicted counter-protocol stale-fill fraction: `1 − q`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn counter_stale_fraction(q: f64) -> Result<f64, CoreError> {
+    Ok(1.0 - check_prob("q", q)?)
+}
+
+/// Predicted counter-protocol symbol error rate: `α(N)·(1 − q)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn counter_error_rate(bits: u32, q: f64) -> Result<f64, CoreError> {
+    Ok(alpha(bits) * counter_stale_fraction(q)?)
+}
+
+/// Predicted counter-protocol reliable rate in bits per operation:
+/// `(1 − q) · C_mary(N, α(1 − q))`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn counter_reliable_rate(bits: u32, q: f64) -> Result<f64, CoreError> {
+    let stale = counter_stale_fraction(q)?;
+    Ok((1.0 - q) * closed_form::mary_symmetric(bits, alpha(bits) * stale))
+}
+
+/// Predicted Figure 1 handshake cost: `1/q + 1/(1 − q)` operations
+/// per symbol.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability, and [`CoreError::BadSimulation`] at the degenerate
+/// endpoints `q ∈ {0, 1}` (one party never runs).
+pub fn stop_wait_ops_per_symbol(q: f64) -> Result<f64, CoreError> {
+    check_prob("q", q)?;
+    if q == 0.0 || q == 1.0 {
+        return Err(CoreError::BadSimulation(
+            "a party never runs at q = 0 or q = 1".to_owned(),
+        ));
+    }
+    Ok(1.0 / q + 1.0 / (1.0 - q))
+}
+
+/// Predicted Figure 1 handshake rate: `N · q · (1 − q)` bits per
+/// operation (the reciprocal of [`stop_wait_ops_per_symbol`] times
+/// `N`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability.
+pub fn stop_wait_rate(bits: u32, q: f64) -> Result<f64, CoreError> {
+    check_prob("q", q)?;
+    Ok(bits as f64 * q * (1.0 - q))
+}
+
+/// Predicted fixed-slotting stale fraction for slot length `L`.
+///
+/// Per cycle the sender writes with probability
+/// `p_w = 1 − (1 − q)^L` and the receiver reads with probability
+/// `p_r = 1 − q^L`. A read is stale iff no write happened since the
+/// previous read; with `G` (geometric, success `p_r`) send slots
+/// between consecutive reads, the renewal average is
+/// `p_r (1 − p_w) / (1 − (1 − p_r)(1 − p_w))`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `q` is not a
+/// probability, and [`CoreError::BadSimulation`] when `slot_len` is
+/// zero.
+pub fn slotted_stale_fraction(q: f64, slot_len: usize) -> Result<f64, CoreError> {
+    check_prob("q", q)?;
+    if slot_len == 0 {
+        return Err(CoreError::BadSimulation("slot_len is zero".to_owned()));
+    }
+    let p_w = 1.0 - (1.0 - q).powi(slot_len as i32);
+    let p_r = 1.0 - q.powi(slot_len as i32);
+    let denom = 1.0 - (1.0 - p_r) * (1.0 - p_w);
+    if denom <= 0.0 {
+        // q in {0, 1}: one party never acts; every read (if any) is
+        // stale.
+        return Ok(1.0);
+    }
+    Ok(p_r * (1.0 - p_w) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::counter::run_counter_protocol;
+    use crate::sim::slotted::run_slotted;
+    use crate::sim::stop_wait::run_stop_and_wait;
+    use crate::sim::unsync::run_unsynchronized;
+    use crate::sim::BernoulliSchedule;
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    fn sched(q: f64, seed: u64) -> BernoulliSchedule<StdRng> {
+        BernoulliSchedule::new(q, StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(unsync_p_d(1.5).is_err());
+        assert!(counter_reliable_rate(4, -0.1).is_err());
+        assert!(stop_wait_ops_per_symbol(0.0).is_err());
+        assert!(stop_wait_ops_per_symbol(1.0).is_err());
+        assert!(slotted_stale_fraction(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn unsync_predictions_match_simulation() {
+        for &q in &[0.3, 0.5, 0.7] {
+            let m = msg(1, 40_000, 1);
+            let mut s = sched(q, 2);
+            let out = run_unsynchronized(&m, &mut s, usize::MAX).unwrap();
+            assert!(
+                (out.p_d() - unsync_p_d(q).unwrap()).abs() < 0.02,
+                "q = {q}: {} vs {}",
+                out.p_d(),
+                q
+            );
+            assert!((out.p_i() - unsync_p_i(q).unwrap()).abs() < 0.02, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn counter_predictions_match_simulation() {
+        let bits = 4u32;
+        for &q in &[0.35, 0.5, 0.65] {
+            let m = msg(bits, 40_000, 3);
+            let mut s = sched(q, 4);
+            let out = run_counter_protocol(&m, &mut s, usize::MAX).unwrap();
+            let stale = out.stale_fills as f64 / out.received.len() as f64;
+            assert!(
+                (stale - counter_stale_fraction(q).unwrap()).abs() < 0.02,
+                "q = {q}"
+            );
+            assert!(
+                (out.symbol_error_rate(&m) - counter_error_rate(bits, q).unwrap()).abs() < 0.02,
+                "q = {q}"
+            );
+            assert!(
+                (out.reliable_rate(bits, &m).value() - counter_reliable_rate(bits, q).unwrap())
+                    .abs()
+                    < 0.03,
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_wait_predictions_match_simulation() {
+        let bits = 4u32;
+        for &q in &[0.25, 0.5, 0.75] {
+            let m = msg(bits, 20_000, 5);
+            let mut s = sched(q, 6);
+            let out = run_stop_and_wait(&m, &mut s, usize::MAX).unwrap();
+            let ops_per = out.ops as f64 / out.received.len() as f64;
+            assert!(
+                (ops_per - stop_wait_ops_per_symbol(q).unwrap()).abs() < 0.1,
+                "q = {q}"
+            );
+            assert!(
+                (out.rate(bits).value() - stop_wait_rate(bits, q).unwrap()).abs() < 0.03,
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn slotted_stale_prediction_tracks_simulation() {
+        let q = 0.5;
+        for &slot_len in &[2usize, 4, 8] {
+            let m = msg(2, 10_000, 7);
+            let mut s = sched(q, 8);
+            let out = run_slotted(&m, &mut s, slot_len, usize::MAX).unwrap();
+            let predicted = slotted_stale_fraction(q, slot_len).unwrap();
+            assert!(
+                (out.stale_fraction() - predicted).abs() < 0.05,
+                "L = {slot_len}: {} vs {predicted}",
+                out.stale_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_rate_peaks_at_interior_q() {
+        // The analytic rate is zero at both endpoints and positive
+        // inside: the attacker wants the receiver scheduled often but
+        // not exclusively.
+        let ends = [counter_reliable_rate(4, 0.0).unwrap(), {
+            // q = 1: stale = 0, but receiver never runs — symbols/op
+            // term (1 - q) vanishes.
+            counter_reliable_rate(4, 1.0).unwrap()
+        }];
+        let mid = counter_reliable_rate(4, 0.6).unwrap();
+        assert!(mid > ends[0] - 1e-12 && mid > ends[1]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Appendix A's counter (skip) protocol — the constructive proof of
+//! Theorem 5.
+//!
+//! The receiver counts every symbol it believes it received and
+//! reports the count back over a perfect feedback path. On each
+//! sender operation:
+//!
+//! * receiver count `R` **equals** the sender count `S` — the last
+//!   symbol arrived; send `message[S]` and advance;
+//! * `R < S` — the last symbol has not been read yet; **wait**
+//!   (this is how deletions are avoided, at the cost of time);
+//! * `R > S` — insertions occurred; **skip** to `message[R]` so the
+//!   next symbol lands at the right position in the received stream.
+//!
+//! The result is a *synchronous but substituted* channel: position
+//! `k` of the received stream equals `message[k]` unless it was
+//! filled by a stale read — the converted M-ary symmetric channel of
+//! Figure 5.
+
+use crate::error::CoreError;
+use crate::sim::{Mailbox, OpSchedule, Party};
+use nsc_channel::alphabet::Symbol;
+use nsc_info::BitsPerTick;
+use serde::{Deserialize, Serialize};
+
+/// Measurements from a counter-protocol run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterOutcome {
+    /// The receiver's stream, aligned with the message: `received[k]`
+    /// is the receiver's belief about `message[k]`.
+    pub received: Vec<Symbol>,
+    /// Total operations consumed.
+    pub ops: usize,
+    /// Sender operations.
+    pub sender_ops: usize,
+    /// Receiver operations.
+    pub receiver_ops: usize,
+    /// Sender operations spent waiting (`R < S`).
+    pub waits: usize,
+    /// Message symbols skipped (never physically sent).
+    pub skipped: usize,
+    /// Positions filled by stale reads (ground truth).
+    pub stale_fills: usize,
+}
+
+impl CounterOutcome {
+    /// Symbol positions delivered per operation — the physical rate
+    /// the paper charges wasted waiting time against.
+    pub fn symbols_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.received.len() as f64 / self.ops as f64
+        }
+    }
+
+    /// Empirical symbol error rate against the original message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `message` is shorter than the received stream.
+    pub fn symbol_error_rate(&self, message: &[Symbol]) -> f64 {
+        assert!(message.len() >= self.received.len());
+        if self.received.is_empty() {
+            return 0.0;
+        }
+        let errors = self
+            .received
+            .iter()
+            .zip(message)
+            .filter(|(r, m)| r != m)
+            .count();
+        errors as f64 / self.received.len() as f64
+    }
+
+    /// Reliable information rate in bits per operation: the converted
+    /// channel's per-symbol capacity (M-ary symmetric at the measured
+    /// error rate) times the symbol rate. This is the quantity
+    /// experiment E4 compares against Theorem 5.
+    pub fn reliable_rate(&self, bits: u32, message: &[Symbol]) -> BitsPerTick {
+        let e = self.symbol_error_rate(message);
+        let per_symbol = nsc_channel::dmc::closed_form::mary_symmetric(bits, e);
+        BitsPerTick(per_symbol * self.symbols_per_op())
+    }
+}
+
+/// Runs the Appendix A counter protocol over a shared mailbox with a
+/// perfect feedback path, until the whole message is delivered, the
+/// schedule ends, or `max_ops` operations elapse.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+) -> Result<CounterOutcome, CoreError> {
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let mut mailbox = Mailbox::new();
+    let mut out = CounterOutcome {
+        received: Vec::new(),
+        ops: 0,
+        sender_ops: 0,
+        receiver_ops: 0,
+        waits: 0,
+        skipped: 0,
+        stale_fills: 0,
+    };
+    // Sender-side count of symbols sent or skipped; `message[s]` is
+    // the next symbol to place.
+    let mut s_count = 0usize;
+    // Receiver-side count, visible to the sender via perfect
+    // feedback.
+    let mut r_count = 0usize;
+    while out.ops < max_ops && r_count < message.len() {
+        let Some(party) = schedule.next_op() else {
+            break;
+        };
+        out.ops += 1;
+        match party {
+            Party::Sender => {
+                out.sender_ops += 1;
+                match r_count.cmp(&s_count) {
+                    std::cmp::Ordering::Less => out.waits += 1,
+                    std::cmp::Ordering::Equal => {
+                        if s_count < message.len() {
+                            mailbox.write(message[s_count]);
+                            s_count += 1;
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        // Insertions filled positions s_count..r_count;
+                        // skip those message symbols and place the one
+                        // for position r_count.
+                        out.skipped += r_count - s_count;
+                        if r_count < message.len() {
+                            mailbox.write(message[r_count]);
+                        }
+                        s_count = r_count + 1;
+                    }
+                }
+            }
+            Party::Receiver => {
+                out.receiver_ops += 1;
+                let (value, fresh) = mailbox.read();
+                if !fresh {
+                    out.stale_fills += 1;
+                }
+                out.received.push(value);
+                r_count += 1;
+            }
+        }
+    }
+    out.received.truncate(message.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BernoulliSchedule, RoundRobinSchedule, TraceSchedule};
+    use nsc_channel::alphabet::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_msg(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = RoundRobinSchedule::new();
+        assert!(run_counter_protocol(&[], &mut s, 10).is_err());
+        assert!(run_counter_protocol(&[Symbol::from_index(0)], &mut s, 0).is_err());
+    }
+
+    #[test]
+    fn alternating_schedule_is_perfect() {
+        let m = random_msg(2, 100, 1);
+        let out = run_counter_protocol(&m, &mut RoundRobinSchedule::new(), 10_000).unwrap();
+        assert_eq!(out.received, m);
+        assert_eq!(out.waits, 0);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.stale_fills, 0);
+        assert_eq!(out.symbol_error_rate(&m), 0.0);
+    }
+
+    #[test]
+    fn sender_heavy_schedule_waits_but_never_corrupts() {
+        // Sender-dominated scheduling can only cost time: with no
+        // consecutive receiver ops there are no stale reads, so the
+        // message arrives intact.
+        let trace: Vec<Party> = (0..4000)
+            .map(|i| {
+                if i % 4 == 3 {
+                    Party::Receiver
+                } else {
+                    Party::Sender
+                }
+            })
+            .collect();
+        let m = random_msg(2, 500, 2);
+        let out = run_counter_protocol(&m, &mut TraceSchedule::new(trace), 100_000).unwrap();
+        assert_eq!(out.received, m[..out.received.len()].to_vec());
+        assert!(out.waits > 0);
+        assert_eq!(out.stale_fills, 0);
+    }
+
+    #[test]
+    fn receiver_heavy_schedule_substitutes_but_stays_aligned() {
+        let trace: Vec<Party> = (0..40_000)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Party::Sender
+                } else {
+                    Party::Receiver
+                }
+            })
+            .collect();
+        let m = random_msg(4, 2000, 3);
+        let out = run_counter_protocol(&m, &mut TraceSchedule::new(trace), 100_000).unwrap();
+        assert_eq!(out.received.len(), m.len());
+        // Errors happen exactly at stale fills that landed a wrong
+        // value; ground truth says stale fills >= errors.
+        let errors = out
+            .received
+            .iter()
+            .zip(&m)
+            .filter(|(r, mm)| r != mm)
+            .count();
+        assert!(out.stale_fills > 0);
+        assert!(errors <= out.stale_fills);
+        // With 4-bit symbols nearly every stale fill is an error
+        // (alpha = 15/16).
+        assert!(errors as f64 >= 0.7 * out.stale_fills as f64);
+        assert!(out.skipped > 0);
+    }
+
+    #[test]
+    fn fair_schedule_error_rate_matches_alpha_model() {
+        // With q = 1/2, the fraction of positions filled by stale
+        // reads is about 1/2; each stale fill errs with probability
+        // alpha = 1 - 2^-N for a uniform random message.
+        let bits = 3u32;
+        let m = random_msg(bits, 60_000, 4);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(8)).unwrap();
+        let out = run_counter_protocol(&m, &mut sched, usize::MAX).unwrap();
+        let stale_frac = out.stale_fills as f64 / out.received.len() as f64;
+        let err = out.symbol_error_rate(&m);
+        let alpha = crate::bounds::alpha(bits);
+        assert!(
+            (err - alpha * stale_frac).abs() < 0.02,
+            "err = {err}, alpha*stale = {}",
+            alpha * stale_frac
+        );
+    }
+
+    #[test]
+    fn delivered_positions_count_sent_plus_skipped() {
+        let mut sched = BernoulliSchedule::new(0.3, StdRng::seed_from_u64(9)).unwrap();
+        let m = random_msg(2, 5000, 5);
+        let out = run_counter_protocol(&m, &mut sched, usize::MAX).unwrap();
+        assert_eq!(out.received.len(), m.len());
+        assert_eq!(out.ops, out.sender_ops + out.receiver_ops);
+    }
+
+    #[test]
+    fn reliable_rate_is_positive_and_below_symbol_rate_times_n() {
+        let bits = 4u32;
+        let m = random_msg(bits, 20_000, 6);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(10)).unwrap();
+        let out = run_counter_protocol(&m, &mut sched, usize::MAX).unwrap();
+        let rate = out.reliable_rate(bits, &m);
+        assert!(rate.value() > 0.0);
+        assert!(rate.value() <= bits as f64 * out.symbols_per_op() + 1e-12);
+    }
+
+    #[test]
+    fn ops_budget_truncates_run() {
+        let m = random_msg(2, 10_000, 7);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(11)).unwrap();
+        let out = run_counter_protocol(&m, &mut sched, 100).unwrap();
+        assert_eq!(out.ops, 100);
+        assert!(out.received.len() < m.len());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = random_msg(2, 1000, 8);
+        let run = |seed| {
+            let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(seed)).unwrap();
+            run_counter_protocol(&m, &mut sched, usize::MAX).unwrap()
+        };
+        assert_eq!(run(42), run(42));
+        // Different schedules usually differ.
+        let a = run(42);
+        let b = run(43);
+        assert!(a.ops != b.ops || a.received != b.received || a.stale_fills != b.stale_fills);
+    }
+
+    #[test]
+    fn random_rng_message_never_panics_error_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..50);
+            let m = random_msg(1, n, rng.gen());
+            let out =
+                run_counter_protocol(&m, &mut RoundRobinSchedule::new(), 10 * n + 10).unwrap();
+            let _ = out.symbol_error_rate(&m);
+        }
+    }
+}

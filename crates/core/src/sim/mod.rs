@@ -1,0 +1,296 @@
+//! Mechanistic simulation of a shared-resource covert channel.
+//!
+//! §3.1 of the paper motivates non-synchrony with a uniprocessor: the
+//! sender writes a shared variable, the receiver reads it, and *the
+//! scheduler* decides who runs. If the sender runs twice before the
+//! receiver, a symbol is overwritten (**deletion**); if the receiver
+//! runs twice before the sender, it re-reads a stale value
+//! (**insertion**).
+//!
+//! This module reifies that mechanism:
+//!
+//! * [`Party`] / [`OpSchedule`] — who gets the next operation
+//!   opportunity. [`BernoulliSchedule`] models a memoryless scheduler;
+//!   [`TraceSchedule`] replays a concrete trace (e.g. produced by the
+//!   `nsc-sched` crate's OS-scheduler simulator); [`RoundRobinSchedule`]
+//!   alternates perfectly.
+//! * [`Mailbox`] — the shared variable, which knows whether its
+//!   current value has been read (so the simulation can log
+//!   ground-truth deletion/insertion events).
+//! * Protocol runners, one per synchronization mechanism in the
+//!   paper:
+//!   [`unsync::run_unsynchronized`] (no mechanism — measures
+//!   `P_d`/`P_i`), [`counter::run_counter_protocol`] (Appendix A's
+//!   feedback protocol, Theorem 5),
+//!   [`stop_wait::run_stop_and_wait`] (Figure 1's two-sync-variable
+//!   handshake), [`slotted::run_slotted`] (Figure 3(b)'s common
+//!   event source) and [`adaptive::run_adaptive_slotted`]
+//!   (Figure 4(b): an event source with feedback into it).
+//! * Ablation runners: [`noisy_feedback::run_noisy_counter`]
+//!   (imperfect feedback) and [`wide::run_wide_unsynchronized`]
+//!   (torn writes — the mechanistic origin of `P_s`).
+//! * Closed-form predictions for all of the above under Bernoulli
+//!   scheduling ([`analysis`]), so theory-vs-simulation agreement is
+//!   itself tested.
+
+pub mod adaptive;
+pub mod analysis;
+pub mod counter;
+pub mod noisy_feedback;
+pub mod slotted;
+pub mod stop_wait;
+pub mod unsync;
+pub mod wide;
+
+use nsc_channel::alphabet::Symbol;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The two communicating subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// The (high) process leaking information.
+    Sender,
+    /// The (low) process receiving it.
+    Receiver,
+}
+
+/// A source of operation opportunities: which party runs next.
+///
+/// Implementations model the system's scheduler from the covert
+/// pair's point of view. `None` means the schedule is exhausted (e.g.
+/// a finite trace ran out).
+pub trait OpSchedule {
+    /// The party granted the next operation, or `None` when the
+    /// schedule has ended.
+    fn next_op(&mut self) -> Option<Party>;
+}
+
+/// Memoryless scheduler: each operation goes to the sender with
+/// probability `q`, independently.
+///
+/// # Example
+///
+/// ```
+/// use nsc_core::sim::{BernoulliSchedule, OpSchedule, Party};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut s = BernoulliSchedule::new(1.0, StdRng::seed_from_u64(0)).unwrap();
+/// assert_eq!(s.next_op(), Some(Party::Sender));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BernoulliSchedule<R> {
+    sender_prob: f64,
+    rng: R,
+}
+
+impl<R: Rng> BernoulliSchedule<R> {
+    /// Creates a memoryless schedule granting the sender each
+    /// operation with probability `sender_prob`.
+    ///
+    /// Returns `None`-never; the schedule is infinite.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` (as `Option`) — rather, this constructor returns
+    /// `Option<Self>`: `None` when `sender_prob` is not a probability.
+    pub fn new(sender_prob: f64, rng: R) -> Option<Self> {
+        if sender_prob.is_finite() && (0.0..=1.0).contains(&sender_prob) {
+            Some(BernoulliSchedule { sender_prob, rng })
+        } else {
+            None
+        }
+    }
+
+    /// The sender-operation probability.
+    pub fn sender_prob(&self) -> f64 {
+        self.sender_prob
+    }
+}
+
+impl<R: Rng> OpSchedule for BernoulliSchedule<R> {
+    fn next_op(&mut self) -> Option<Party> {
+        Some(if self.rng.gen::<f64>() < self.sender_prob {
+            Party::Sender
+        } else {
+            Party::Receiver
+        })
+    }
+}
+
+/// Replays a fixed operation trace (ends when the trace does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSchedule {
+    ops: Vec<Party>,
+    next: usize,
+}
+
+impl TraceSchedule {
+    /// Creates a schedule that replays `ops` once.
+    pub fn new(ops: Vec<Party>) -> Self {
+        TraceSchedule { ops, next: 0 }
+    }
+
+    /// Remaining operations.
+    pub fn remaining(&self) -> usize {
+        self.ops.len() - self.next
+    }
+}
+
+impl OpSchedule for TraceSchedule {
+    fn next_op(&mut self) -> Option<Party> {
+        let op = self.ops.get(self.next).copied();
+        if op.is_some() {
+            self.next += 1;
+        }
+        op
+    }
+}
+
+impl FromIterator<Party> for TraceSchedule {
+    fn from_iter<T: IntoIterator<Item = Party>>(iter: T) -> Self {
+        TraceSchedule::new(iter.into_iter().collect())
+    }
+}
+
+/// Perfect alternation sender/receiver/sender/… — the synchronous
+/// ideal that traditional capacity estimation implicitly assumes.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinSchedule {
+    next_is_sender: bool,
+}
+
+impl RoundRobinSchedule {
+    /// Creates an alternating schedule starting with the sender.
+    pub fn new() -> Self {
+        RoundRobinSchedule {
+            next_is_sender: true,
+        }
+    }
+}
+
+impl OpSchedule for RoundRobinSchedule {
+    fn next_op(&mut self) -> Option<Party> {
+        let p = if self.next_is_sender {
+            Party::Sender
+        } else {
+            Party::Receiver
+        };
+        self.next_is_sender = !self.next_is_sender;
+        Some(p)
+    }
+}
+
+/// The shared variable through which the covert pair communicates.
+///
+/// The mailbox tracks whether its current value has been read, so the
+/// *simulation* can log ground-truth overwrite/stale-read events. The
+/// communicating parties must not peek at [`Mailbox::is_fresh`] unless
+/// the modelled mechanism provides that information (e.g. the
+/// Figure 1 handshake's sync variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    value: Symbol,
+    fresh: bool,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            value: Symbol::from_index(0),
+            fresh: false,
+        }
+    }
+}
+
+impl Mailbox {
+    /// Creates a mailbox holding a stale default symbol.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Writes a value. Returns `true` when this write *overwrote an
+    /// unread value* — a deletion event in Definition 1's terms.
+    pub fn write(&mut self, value: Symbol) -> bool {
+        let overwrote = self.fresh;
+        self.value = value;
+        self.fresh = true;
+        overwrote
+    }
+
+    /// Reads the value. Returns `(value, was_fresh)`; a stale read
+    /// (`was_fresh == false`) is an insertion event in Definition 1's
+    /// terms.
+    pub fn read(&mut self) -> (Symbol, bool) {
+        let fresh = self.fresh;
+        self.fresh = false;
+        (self.value, fresh)
+    }
+
+    /// Whether the current value has not been read yet (simulation
+    /// ground truth — see the type-level docs).
+    pub fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_schedule_respects_probability() {
+        let mut s = BernoulliSchedule::new(0.3, StdRng::seed_from_u64(1)).unwrap();
+        let n = 100_000;
+        let senders = (0..n)
+            .filter(|_| s.next_op() == Some(Party::Sender))
+            .count();
+        let rate = senders as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "sender rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_schedule_rejects_bad_probability() {
+        assert!(BernoulliSchedule::new(1.5, StdRng::seed_from_u64(0)).is_none());
+        assert!(BernoulliSchedule::new(f64::NAN, StdRng::seed_from_u64(0)).is_none());
+    }
+
+    #[test]
+    fn trace_schedule_replays_and_ends() {
+        let mut t: TraceSchedule = [Party::Sender, Party::Receiver].into_iter().collect();
+        assert_eq!(t.remaining(), 2);
+        assert_eq!(t.next_op(), Some(Party::Sender));
+        assert_eq!(t.next_op(), Some(Party::Receiver));
+        assert_eq!(t.next_op(), None);
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut s = RoundRobinSchedule::new();
+        assert_eq!(s.next_op(), Some(Party::Sender));
+        assert_eq!(s.next_op(), Some(Party::Receiver));
+        assert_eq!(s.next_op(), Some(Party::Sender));
+    }
+
+    #[test]
+    fn mailbox_tracks_freshness() {
+        let mut m = Mailbox::new();
+        assert!(!m.is_fresh());
+        // Writing to an empty mailbox is not an overwrite.
+        assert!(!m.write(Symbol::from_index(3)));
+        assert!(m.is_fresh());
+        // Writing again deletes the unread value.
+        assert!(m.write(Symbol::from_index(4)));
+        let (v, fresh) = m.read();
+        assert_eq!(v, Symbol::from_index(4));
+        assert!(fresh);
+        // Second read is stale (insertion).
+        let (v2, fresh2) = m.read();
+        assert_eq!(v2, Symbol::from_index(4));
+        assert!(!fresh2);
+    }
+}

@@ -1,0 +1,330 @@
+//! The counter protocol under *imperfect* feedback — an ablation of
+//! the paper's perfection assumption.
+//!
+//! §4.2 assumes "that the feedback path … is perfect. This
+//! simplifies the analysis, and is also a requirement for deriving
+//! the maximum information rate." This runner relaxes that: the
+//! sender's view of the receiver count is **stale** (updated only
+//! with probability `1 − p_loss` per receiver operation) and
+//! **delayed** (the sender reads the count published `delay` receiver
+//! operations ago). Experiment E12 sweeps both knobs.
+//!
+//! The protocol still terminates, because the sender's view is a
+//! monotone *underestimate* of the receiver count: underestimates
+//! cause extra waiting, never deadlock. But Appendix A's alignment
+//! invariant is genuinely lost: a *late skip* writes `message[v]`
+//! for a stale view `v` while the receiver has already advanced past
+//! position `v`, so even fresh reads can land at the wrong position.
+//! Measured: error rates exceed the stale-fill fraction once loss or
+//! delay are non-trivial — evidence for the paper's remark that
+//! perfect feedback "is a requirement for deriving the maximum
+//! information rate".
+
+use crate::error::CoreError;
+use crate::sim::{Mailbox, OpSchedule, Party};
+use nsc_channel::alphabet::Symbol;
+use nsc_info::BitsPerTick;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Feedback imperfection knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackQuality {
+    /// Probability that a receiver operation's count update is lost
+    /// before the sender sees it.
+    pub p_loss: f64,
+    /// The sender reads the count published this many receiver
+    /// operations ago (0 = current).
+    pub delay: usize,
+}
+
+impl FeedbackQuality {
+    /// Perfect feedback: no loss, no delay.
+    pub fn perfect() -> Self {
+        FeedbackQuality {
+            p_loss: 0.0,
+            delay: 0,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProbability`] when `p_loss` is not a
+    /// probability.
+    pub fn validated(self) -> Result<Self, CoreError> {
+        crate::error::check_prob("p_loss", self.p_loss)?;
+        Ok(self)
+    }
+}
+
+/// Measurements from a noisy-feedback counter run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisyCounterOutcome {
+    /// Aligned received stream (length ≤ message length).
+    pub received: Vec<Symbol>,
+    /// Total operations consumed.
+    pub ops: usize,
+    /// Sender waits.
+    pub waits: usize,
+    /// Positions filled by stale reads.
+    pub stale_fills: usize,
+    /// Feedback updates the sender actually observed.
+    pub feedback_updates: usize,
+}
+
+impl NoisyCounterOutcome {
+    /// Delivered positions per operation.
+    pub fn symbols_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.received.len() as f64 / self.ops as f64
+        }
+    }
+
+    /// Empirical symbol error rate against the message prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `message` is shorter than the received stream.
+    pub fn symbol_error_rate(&self, message: &[Symbol]) -> f64 {
+        assert!(message.len() >= self.received.len());
+        if self.received.is_empty() {
+            return 0.0;
+        }
+        self.received
+            .iter()
+            .zip(message)
+            .filter(|(r, m)| r != m)
+            .count() as f64
+            / self.received.len() as f64
+    }
+
+    /// Reliable rate, same accounting as the perfect-feedback
+    /// counter protocol (M-ary symmetric at the measured error rate).
+    pub fn reliable_rate(&self, bits: u32, message: &[Symbol]) -> BitsPerTick {
+        let e = self.symbol_error_rate(message);
+        BitsPerTick(nsc_channel::dmc::closed_form::mary_symmetric(bits, e) * self.symbols_per_op())
+    }
+}
+
+/// Runs the counter protocol with imperfect feedback. The receiver
+/// publishes its count after every read; updates are lost i.i.d. with
+/// probability `quality.p_loss`, and the sender observes the
+/// `quality.delay`-operations-old surviving value.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message or zero
+/// `max_ops`, and propagates [`FeedbackQuality::validated`] errors.
+pub fn run_noisy_counter<S, R>(
+    message: &[Symbol],
+    schedule: &mut S,
+    quality: FeedbackQuality,
+    rng: &mut R,
+    max_ops: usize,
+) -> Result<NoisyCounterOutcome, CoreError>
+where
+    S: OpSchedule + ?Sized,
+    R: rand::Rng + ?Sized,
+{
+    let quality = quality.validated()?;
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let mut mailbox = Mailbox::new();
+    let mut out = NoisyCounterOutcome {
+        received: Vec::new(),
+        ops: 0,
+        waits: 0,
+        stale_fills: 0,
+        feedback_updates: 0,
+    };
+    let mut s_count = 0usize;
+    let mut r_count = 0usize;
+    // Pipeline of published counts; the sender sees the front.
+    let mut pipeline: VecDeque<usize> = VecDeque::new();
+    let mut sender_view = 0usize;
+    while out.ops < max_ops && r_count < message.len() {
+        let Some(party) = schedule.next_op() else {
+            break;
+        };
+        out.ops += 1;
+        match party {
+            Party::Sender => {
+                // Drain everything older than the delay horizon.
+                while pipeline.len() > quality.delay {
+                    let v = pipeline.pop_front().expect("non-empty");
+                    // Monotone views only: feedback can be stale but
+                    // never contradicts earlier observations.
+                    if v > sender_view {
+                        sender_view = v;
+                        out.feedback_updates += 1;
+                    }
+                }
+                match sender_view.cmp(&s_count) {
+                    std::cmp::Ordering::Less => out.waits += 1,
+                    std::cmp::Ordering::Equal => {
+                        if s_count < message.len() {
+                            mailbox.write(message[s_count]);
+                            s_count += 1;
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if sender_view < message.len() {
+                            mailbox.write(message[sender_view]);
+                        }
+                        s_count = sender_view + 1;
+                    }
+                }
+            }
+            Party::Receiver => {
+                let (value, fresh) = mailbox.read();
+                if !fresh {
+                    out.stale_fills += 1;
+                }
+                out.received.push(value);
+                r_count += 1;
+                // Publish the new count unless the update is lost.
+                if quality.p_loss == 0.0 || rng.gen::<f64>() >= quality.p_loss {
+                    pipeline.push_back(r_count);
+                }
+            }
+        }
+    }
+    out.received.truncate(message.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::counter::run_counter_protocol;
+    use crate::sim::{BernoulliSchedule, RoundRobinSchedule};
+    use nsc_channel::alphabet::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = RoundRobinSchedule::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = FeedbackQuality::perfect();
+        assert!(run_noisy_counter(&[], &mut s, q, &mut rng, 10).is_err());
+        assert!(run_noisy_counter(&[Symbol::from_index(0)], &mut s, q, &mut rng, 0).is_err());
+        let bad = FeedbackQuality {
+            p_loss: 1.5,
+            delay: 0,
+        };
+        assert!(bad.validated().is_err());
+    }
+
+    #[test]
+    fn perfect_quality_matches_counter_protocol() {
+        let m = msg(3, 20_000, 1);
+        let mut s1 = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(2)).unwrap();
+        let base = run_counter_protocol(&m, &mut s1, usize::MAX).unwrap();
+        let mut s2 = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = run_noisy_counter(
+            &m,
+            &mut s2,
+            FeedbackQuality::perfect(),
+            &mut rng,
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(noisy.received, base.received);
+        assert_eq!(noisy.ops, base.ops);
+        assert_eq!(noisy.stale_fills, base.stale_fills);
+    }
+
+    #[test]
+    fn never_deadlocks_under_loss() {
+        // Even with 70% feedback loss, surviving updates eventually
+        // arrive and the run completes.
+        let m = msg(2, 5_000, 4);
+        let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = FeedbackQuality {
+            p_loss: 0.7,
+            delay: 0,
+        };
+        let out = run_noisy_counter(&m, &mut s, q, &mut rng, usize::MAX).unwrap();
+        assert_eq!(out.received.len(), m.len());
+    }
+
+    #[test]
+    fn loss_and_delay_reduce_rate_not_alignment() {
+        let bits = 4u32;
+        let m = msg(bits, 30_000, 7);
+        let run = |p_loss: f64, delay: usize| {
+            let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(8)).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            run_noisy_counter(
+                &m,
+                &mut s,
+                FeedbackQuality { p_loss, delay },
+                &mut rng,
+                usize::MAX,
+            )
+            .unwrap()
+        };
+        let clean = run(0.0, 0);
+        let lossy = run(0.5, 0);
+        let delayed = run(0.0, 8);
+        // Imperfection costs reliable rate: positions still fill at
+        // the receiver's pace (stale reads fill them), but more of
+        // them are stale, so the converted channel is noisier.
+        assert!(
+            lossy.reliable_rate(bits, &m).value() <= clean.reliable_rate(bits, &m).value() + 1e-9
+        );
+        assert!(delayed.stale_fills > clean.stale_fills);
+        assert!(delayed.reliable_rate(bits, &m).value() < clean.reliable_rate(bits, &m).value());
+        // With perfect feedback every error is a stale fill
+        // (Appendix A's alignment invariant)…
+        let errors = |out: &NoisyCounterOutcome| {
+            out.received
+                .iter()
+                .zip(&m)
+                .filter(|(r, mm)| r != mm)
+                .count()
+        };
+        assert!(errors(&clean) <= clean.stale_fills);
+        // …while imperfect feedback also misaligns fresh writes via
+        // late skips: errors exceed the stale-fill count.
+        assert!(
+            errors(&delayed) > delayed.stale_fills,
+            "expected misalignment beyond stale fills"
+        );
+    }
+
+    #[test]
+    fn delay_increases_waits() {
+        let m = msg(2, 20_000, 10);
+        let run = |delay: usize| {
+            let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(11)).unwrap();
+            let mut rng = StdRng::seed_from_u64(12);
+            run_noisy_counter(
+                &m,
+                &mut s,
+                FeedbackQuality { p_loss: 0.0, delay },
+                &mut rng,
+                usize::MAX,
+            )
+            .unwrap()
+        };
+        assert!(run(16).waits > run(0).waits);
+    }
+}

@@ -1,0 +1,222 @@
+//! Figure 1's synchronization mechanism: two synchronization
+//! variables.
+//!
+//! The sender toggles a *data-ready* variable once a symbol is
+//! written; the receiver reads only when it sees fresh data, then
+//! toggles an *ack* variable; the sender writes the next symbol only
+//! once acked. No symbol is ever lost or duplicated — but "it is very
+//! likely that the sender finds that the previous symbol has not been
+//! read … and it has to give up the CPU and wait for the next chance.
+//! In other words, some time is wasted" (§3.2). This runner measures
+//! exactly that wasted time.
+
+use crate::error::CoreError;
+use crate::sim::{Mailbox, OpSchedule, Party};
+use nsc_channel::alphabet::Symbol;
+use nsc_info::BitsPerTick;
+use serde::{Deserialize, Serialize};
+
+/// Measurements from a stop-and-wait (two-sync-variable) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StopWaitOutcome {
+    /// The receiver's stream — always an exact prefix of the message.
+    pub received: Vec<Symbol>,
+    /// Total operations consumed.
+    pub ops: usize,
+    /// Sender operations spent waiting for the ack.
+    pub sender_waits: usize,
+    /// Receiver operations spent finding no fresh data.
+    pub receiver_waits: usize,
+}
+
+impl StopWaitOutcome {
+    /// Delivered symbols per operation.
+    pub fn symbols_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.received.len() as f64 / self.ops as f64
+        }
+    }
+
+    /// Information rate in bits per operation; since delivery is
+    /// error-free, every delivered symbol carries its full `N` bits.
+    pub fn rate(&self, bits: u32) -> BitsPerTick {
+        BitsPerTick(bits as f64 * self.symbols_per_op())
+    }
+
+    /// Fraction of all operations wasted waiting.
+    pub fn waste_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            (self.sender_waits + self.receiver_waits) as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Runs the Figure 1 handshake until the message is delivered, the
+/// schedule ends, or `max_ops` operations elapse.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+///
+/// # Example
+///
+/// ```
+/// use nsc_core::sim::{stop_wait::run_stop_and_wait, RoundRobinSchedule};
+/// use nsc_channel::alphabet::Symbol;
+///
+/// let msg: Vec<Symbol> = (0..8).map(Symbol::from_index).collect();
+/// let out = run_stop_and_wait(&msg, &mut RoundRobinSchedule::new(), 1000)?;
+/// assert_eq!(out.received, msg);       // never corrupted
+/// assert_eq!(out.waste_fraction(), 0.0); // alternation wastes nothing
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn run_stop_and_wait<S: OpSchedule + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+) -> Result<StopWaitOutcome, CoreError> {
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let mut mailbox = Mailbox::new();
+    // The two synchronization variables of Figure 1. `data_ready`
+    // is written by the sender, read by the receiver; `acked` the
+    // other way round. Initially the channel is idle and acked.
+    let mut data_ready = false;
+    let mut out = StopWaitOutcome {
+        received: Vec::new(),
+        ops: 0,
+        sender_waits: 0,
+        receiver_waits: 0,
+    };
+    let mut next_to_send = 0usize;
+    while out.ops < max_ops && out.received.len() < message.len() {
+        let Some(party) = schedule.next_op() else {
+            break;
+        };
+        out.ops += 1;
+        match party {
+            Party::Sender => {
+                if !data_ready && next_to_send < message.len() {
+                    mailbox.write(message[next_to_send]);
+                    next_to_send += 1;
+                    data_ready = true;
+                } else {
+                    out.sender_waits += 1;
+                }
+            }
+            Party::Receiver => {
+                if data_ready {
+                    let (value, fresh) = mailbox.read();
+                    debug_assert!(fresh, "handshake admitted a stale read");
+                    out.received.push(value);
+                    data_ready = false;
+                } else {
+                    out.receiver_waits += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BernoulliSchedule, RoundRobinSchedule, TraceSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::from_index(i as u32 % 8)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = RoundRobinSchedule::new();
+        assert!(run_stop_and_wait(&[], &mut s, 10).is_err());
+        assert!(run_stop_and_wait(&msg(3), &mut s, 0).is_err());
+    }
+
+    #[test]
+    fn delivery_is_always_exact() {
+        for seed in 0..5u64 {
+            let m = msg(2000);
+            let mut sched =
+                BernoulliSchedule::new(0.3 + 0.1 * seed as f64, StdRng::seed_from_u64(seed))
+                    .unwrap();
+            let out = run_stop_and_wait(&m, &mut sched, usize::MAX).unwrap();
+            assert_eq!(out.received, m, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alternating_schedule_has_no_waste() {
+        let m = msg(100);
+        let out = run_stop_and_wait(&m, &mut RoundRobinSchedule::new(), 10_000).unwrap();
+        assert_eq!(out.ops, 200);
+        assert_eq!(out.waste_fraction(), 0.0);
+        assert!((out.rate(3).value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_schedule_wastes_time_but_not_data() {
+        let trace: Vec<Party> = (0..10_000)
+            .map(|i| {
+                if i % 5 == 4 {
+                    Party::Receiver
+                } else {
+                    Party::Sender
+                }
+            })
+            .collect();
+        let m = msg(1000);
+        let out = run_stop_and_wait(&m, &mut TraceSchedule::new(trace), usize::MAX).unwrap();
+        assert_eq!(out.received, m);
+        assert!(out.sender_waits > 0);
+        assert!(out.waste_fraction() > 0.4);
+    }
+
+    #[test]
+    fn fair_schedule_throughput_matches_theory() {
+        // A symbol needs one successful write then one successful
+        // read; under Bernoulli(q) each phase is geometric, so the
+        // expected ops per symbol is 1/q + 1/(1-q) = 4 at q = 1/2.
+        let m = msg(40_000);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(9)).unwrap();
+        let out = run_stop_and_wait(&m, &mut sched, usize::MAX).unwrap();
+        let ops_per_symbol = out.ops as f64 / m.len() as f64;
+        assert!((ops_per_symbol - 4.0).abs() < 0.1, "{ops_per_symbol}");
+    }
+
+    #[test]
+    fn unfair_schedule_throughput_matches_theory() {
+        let q: f64 = 0.2;
+        let m = msg(20_000);
+        let mut sched = BernoulliSchedule::new(q, StdRng::seed_from_u64(10)).unwrap();
+        let out = run_stop_and_wait(&m, &mut sched, usize::MAX).unwrap();
+        let ops_per_symbol = out.ops as f64 / m.len() as f64;
+        let expected = 1.0 / q + 1.0 / (1.0 - q);
+        assert!(
+            (ops_per_symbol - expected).abs() < 0.15,
+            "{ops_per_symbol} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let m = msg(1_000_000);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(11)).unwrap();
+        let out = run_stop_and_wait(&m, &mut sched, 777).unwrap();
+        assert_eq!(out.ops, 777);
+        assert!(out.received.len() < m.len());
+    }
+}

@@ -1,0 +1,239 @@
+//! The unsynchronized baseline: no mechanism at all.
+//!
+//! The sender writes its next symbol on every operation it gets; the
+//! receiver reads on every operation it gets. Scheduling then produces
+//! deletions (overwrites) and insertions (stale reads) exactly as §3.1
+//! describes. This run *measures* the `P_d` and `P_i` a system induces
+//! — the inputs to the paper's estimation recipe.
+
+use crate::error::CoreError;
+use crate::sim::{Mailbox, OpSchedule, Party};
+use nsc_channel::alphabet::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth measurements from an unsynchronized run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnsyncOutcome {
+    /// What the receiver collected (stale repeats included).
+    pub received: Vec<Symbol>,
+    /// Total operations consumed from the schedule.
+    pub ops: usize,
+    /// Sender operations that wrote a symbol.
+    pub writes: usize,
+    /// Writes that overwrote an unread symbol — deletions.
+    pub deleted_writes: usize,
+    /// Receiver operations (every one reads).
+    pub reads: usize,
+    /// Reads of an already-read value — insertions.
+    pub stale_reads: usize,
+}
+
+impl UnsyncOutcome {
+    /// Empirical deletion probability per write, the `P_d` the paper
+    /// says to measure (zero when nothing was written).
+    pub fn p_d(&self) -> f64 {
+        ratio(self.deleted_writes, self.writes)
+    }
+
+    /// Empirical insertion probability per read (zero when nothing
+    /// was read).
+    pub fn p_i(&self) -> f64 {
+        ratio(self.stale_reads, self.reads)
+    }
+
+    /// Symbols genuinely delivered (fresh reads).
+    pub fn fresh_reads(&self) -> usize {
+        self.reads - self.stale_reads
+    }
+
+    /// Raw symbol throughput in symbols per operation: fresh reads
+    /// over total operations. Note this counts *delivered* symbols,
+    /// not *correctly decodable* information — without
+    /// synchronization the receiver cannot tell fresh from stale.
+    pub fn raw_throughput(&self) -> f64 {
+        ratio(self.fresh_reads(), self.ops)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Runs the unsynchronized baseline until the message is fully
+/// written and read once more, the schedule ends, or `max_ops`
+/// operations elapse.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+///
+/// # Example
+///
+/// A perfectly alternating schedule never deletes or inserts:
+///
+/// ```
+/// use nsc_core::sim::{unsync::run_unsynchronized, RoundRobinSchedule};
+/// use nsc_channel::alphabet::Symbol;
+///
+/// let msg: Vec<Symbol> = (0..10).map(Symbol::from_index).collect();
+/// let out = run_unsynchronized(&msg, &mut RoundRobinSchedule::new(), 1000)?;
+/// assert_eq!(out.p_d(), 0.0);
+/// assert_eq!(out.p_i(), 0.0);
+/// assert_eq!(out.received, msg);
+/// # Ok::<(), nsc_core::CoreError>(())
+/// ```
+pub fn run_unsynchronized<S: OpSchedule + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+) -> Result<UnsyncOutcome, CoreError> {
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let mut mailbox = Mailbox::new();
+    let mut out = UnsyncOutcome {
+        received: Vec::new(),
+        ops: 0,
+        writes: 0,
+        deleted_writes: 0,
+        reads: 0,
+        stale_reads: 0,
+    };
+    let mut next_to_send = 0usize;
+    while out.ops < max_ops {
+        // Stop once everything was written and the last write consumed.
+        if next_to_send >= message.len() && !mailbox.is_fresh() {
+            break;
+        }
+        let Some(party) = schedule.next_op() else {
+            break;
+        };
+        out.ops += 1;
+        match party {
+            Party::Sender => {
+                if next_to_send < message.len() {
+                    if mailbox.write(message[next_to_send]) {
+                        out.deleted_writes += 1;
+                    }
+                    out.writes += 1;
+                    next_to_send += 1;
+                }
+                // After the message ends the sender idles.
+            }
+            Party::Receiver => {
+                let (value, fresh) = mailbox.read();
+                out.reads += 1;
+                if !fresh {
+                    out.stale_reads += 1;
+                }
+                out.received.push(value);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BernoulliSchedule, RoundRobinSchedule, TraceSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::from_index(i as u32 % 4)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = RoundRobinSchedule::new();
+        assert!(run_unsynchronized(&[], &mut s, 100).is_err());
+        assert!(run_unsynchronized(&msg(5), &mut s, 0).is_err());
+    }
+
+    #[test]
+    fn alternating_schedule_is_lossless() {
+        let m = msg(50);
+        let out = run_unsynchronized(&m, &mut RoundRobinSchedule::new(), 10_000).unwrap();
+        assert_eq!(out.received, m);
+        assert_eq!(out.deleted_writes, 0);
+        assert_eq!(out.stale_reads, 0);
+        assert_eq!(out.ops, 100);
+    }
+
+    #[test]
+    fn sender_heavy_schedule_deletes() {
+        // Sender twice, receiver once, repeated: every second write
+        // overwrites.
+        let trace: Vec<Party> = (0..300)
+            .map(|i| match i % 3 {
+                0 | 1 => Party::Sender,
+                _ => Party::Receiver,
+            })
+            .collect();
+        let out = run_unsynchronized(&msg(200), &mut TraceSchedule::new(trace), 10_000).unwrap();
+        assert!(out.p_d() > 0.4, "p_d = {}", out.p_d());
+        assert_eq!(out.stale_reads, 0);
+    }
+
+    #[test]
+    fn receiver_heavy_schedule_inserts() {
+        let trace: Vec<Party> = (0..300)
+            .map(|i| match i % 3 {
+                0 => Party::Sender,
+                _ => Party::Receiver,
+            })
+            .collect();
+        let out = run_unsynchronized(&msg(100), &mut TraceSchedule::new(trace), 10_000).unwrap();
+        assert!(out.p_i() > 0.4, "p_i = {}", out.p_i());
+        assert_eq!(out.deleted_writes, 0);
+        // Stale repeats lengthen the received stream.
+        assert!(out.received.len() > out.fresh_reads());
+    }
+
+    #[test]
+    fn fair_bernoulli_schedule_has_matching_rates() {
+        // With q = 1/2, a write is deleted iff the next effective op
+        // is another write: P_d -> 1/2, and symmetrically P_i -> 1/2.
+        let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(5)).unwrap();
+        let out = run_unsynchronized(&msg(50_000), &mut s, usize::MAX).unwrap();
+        assert!((out.p_d() - 0.5).abs() < 0.02, "p_d = {}", out.p_d());
+        assert!((out.p_i() - 0.5).abs() < 0.02, "p_i = {}", out.p_i());
+    }
+
+    #[test]
+    fn conservation_fresh_reads_equal_undeleted_writes() {
+        let mut s = BernoulliSchedule::new(0.4, StdRng::seed_from_u64(6)).unwrap();
+        let out = run_unsynchronized(&msg(10_000), &mut s, usize::MAX).unwrap();
+        // Every written symbol is eventually either overwritten or
+        // read fresh (the run ends with the mailbox consumed).
+        assert_eq!(out.writes - out.deleted_writes, out.fresh_reads());
+    }
+
+    #[test]
+    fn ops_budget_is_respected() {
+        let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(7)).unwrap();
+        let out = run_unsynchronized(&msg(1_000_000), &mut s, 500).unwrap();
+        assert_eq!(out.ops, 500);
+    }
+
+    #[test]
+    fn exhausted_trace_stops_run() {
+        let out = run_unsynchronized(
+            &msg(100),
+            &mut TraceSchedule::new(vec![Party::Sender, Party::Receiver]),
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(out.ops, 2);
+        assert_eq!(out.received.len(), 1);
+    }
+}

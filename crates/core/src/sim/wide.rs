@@ -1,0 +1,312 @@
+//! Torn writes: the mechanistic origin of `P_s`.
+//!
+//! §3.1 gives deletions and insertions mechanistic origins (scheduler
+//! interleavings). Definition 1's fourth parameter — the substitution
+//! probability `P_s` — also has one in real systems: a *wide* shared
+//! variable (several flags, a multi-word region, separate cache
+//! lines) cannot be written atomically by a process that is
+//! descheduled between stores. If the receiver samples mid-update it
+//! observes a **torn symbol**: part old value, part new. This module
+//! simulates that channel, completing the story that every Definition
+//! 1 parameter is scheduler-induced.
+//!
+//! The sender needs one operation per *bit*; the receiver reads the
+//! whole region in one operation. Events map onto Definition 1 as:
+//! a fully-written symbol read once = transmission; read mid-write =
+//! transmission with substitution (torn); overwritten before any read
+//! = deletion; re-read = insertion.
+
+use crate::error::CoreError;
+use crate::sim::{OpSchedule, Party};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use serde::{Deserialize, Serialize};
+
+/// Measurements from a wide-variable (torn-write) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WideOutcome {
+    /// What the receiver sampled, in order (torn values included).
+    pub received: Vec<Symbol>,
+    /// Ground truth per received sample: the index of the message
+    /// symbol most recently *started* by the sender, and whether the
+    /// read was torn (mid-update) or a stale repeat.
+    pub sample_truth: Vec<SampleKind>,
+    /// Total operations consumed.
+    pub ops: usize,
+    /// Message symbols whose writes completed.
+    pub symbols_written: usize,
+    /// Message symbols never observed by any read (deletions).
+    pub deletions: usize,
+}
+
+/// What a receiver sample actually was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleKind {
+    /// A clean read of a fully-written symbol, first time.
+    Clean {
+        /// Index of the message symbol observed.
+        index: usize,
+    },
+    /// A read taken while the sender was mid-update: bits mix the
+    /// incoming symbol with the previous contents.
+    Torn {
+        /// Index of the message symbol being written.
+        index: usize,
+    },
+    /// A re-read with no intervening completed write (insertion).
+    Stale,
+}
+
+impl WideOutcome {
+    /// Fraction of samples that were torn — the measured mechanistic
+    /// `P_s`.
+    pub fn torn_rate(&self) -> f64 {
+        if self.sample_truth.is_empty() {
+            return 0.0;
+        }
+        let torn = self
+            .sample_truth
+            .iter()
+            .filter(|k| matches!(k, SampleKind::Torn { .. }))
+            .count();
+        torn as f64 / self.sample_truth.len() as f64
+    }
+
+    /// Fraction of samples that were stale repeats (insertions).
+    pub fn stale_rate(&self) -> f64 {
+        if self.sample_truth.is_empty() {
+            return 0.0;
+        }
+        let stale = self
+            .sample_truth
+            .iter()
+            .filter(|k| matches!(k, SampleKind::Stale))
+            .count();
+        stale as f64 / self.sample_truth.len() as f64
+    }
+
+    /// Deletion rate per written symbol.
+    pub fn deletion_rate(&self) -> f64 {
+        if self.symbols_written == 0 {
+            0.0
+        } else {
+            self.deletions as f64 / self.symbols_written as f64
+        }
+    }
+}
+
+/// Runs the unsynchronized wide-variable channel: the sender writes
+/// `message` one *bit per operation* into a `bits`-wide region; the
+/// receiver snapshots the region on each of its operations.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message, a
+/// symbol outside the `bits`-wide alphabet, or zero `max_ops`.
+pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
+    message: &[Symbol],
+    bits: u32,
+    schedule: &mut S,
+    max_ops: usize,
+) -> Result<WideOutcome, CoreError> {
+    if message.is_empty() {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let alphabet = Alphabet::new(bits).map_err(|e| CoreError::BadSimulation(e.to_string()))?;
+    for &s in message {
+        if !alphabet.contains(s) {
+            return Err(CoreError::BadSimulation(format!(
+                "symbol {s} outside the {bits}-bit alphabet"
+            )));
+        }
+    }
+    let width = bits as usize;
+    let mut region = vec![false; width];
+    let mut out = WideOutcome {
+        received: Vec::new(),
+        sample_truth: Vec::new(),
+        ops: 0,
+        symbols_written: 0,
+        deletions: 0,
+    };
+    // Sender cursor: which message symbol, and the next bit to store.
+    let mut sym_idx = 0usize;
+    let mut bit_idx = 0usize;
+    // Per in-flight symbol: has any read observed it since completion?
+    let mut observed_current = true; // nothing written yet
+    let mut completed_index: Option<usize> = None;
+    while out.ops < max_ops && sym_idx < message.len() {
+        let Some(party) = schedule.next_op() else {
+            break;
+        };
+        out.ops += 1;
+        match party {
+            Party::Sender => {
+                if bit_idx == 0 && completed_index.is_some() && !observed_current {
+                    // Starting to overwrite a never-read symbol.
+                    out.deletions += 1;
+                }
+                region[bit_idx] = message[sym_idx].bit(bit_idx as u32);
+                bit_idx += 1;
+                if bit_idx == width {
+                    bit_idx = 0;
+                    completed_index = Some(sym_idx);
+                    observed_current = false;
+                    out.symbols_written += 1;
+                    sym_idx += 1;
+                }
+            }
+            Party::Receiver => {
+                let mut value = 0u32;
+                for (i, &b) in region.iter().enumerate() {
+                    if b {
+                        value |= 1 << i;
+                    }
+                }
+                out.received.push(Symbol::from_index(value));
+                let kind = if bit_idx != 0 {
+                    SampleKind::Torn { index: sym_idx }
+                } else if let Some(idx) = completed_index {
+                    if observed_current {
+                        SampleKind::Stale
+                    } else {
+                        observed_current = true;
+                        SampleKind::Clean { index: idx }
+                    }
+                } else {
+                    SampleKind::Stale
+                };
+                out.sample_truth.push(kind);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{BernoulliSchedule, TraceSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(bits: u32, n: usize, seed: u64) -> Vec<Symbol> {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| a.random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = TraceSchedule::new(vec![Party::Sender]);
+        assert!(run_wide_unsynchronized(&[], 4, &mut s, 10).is_err());
+        assert!(run_wide_unsynchronized(&[Symbol::from_index(99)], 4, &mut s, 10).is_err());
+        assert!(run_wide_unsynchronized(&[Symbol::from_index(1)], 4, &mut s, 0).is_err());
+    }
+
+    #[test]
+    fn atomic_interleaving_is_clean() {
+        // Sender gets exactly `width` consecutive ops, then the
+        // receiver reads: no tears, no stales, no deletions.
+        let bits = 4u32;
+        let m = msg(bits, 50, 1);
+        let trace: Vec<Party> = (0..50)
+            .flat_map(|_| {
+                std::iter::repeat_n(Party::Sender, bits as usize)
+                    .chain(std::iter::once(Party::Receiver))
+            })
+            .collect();
+        let mut sched = TraceSchedule::new(trace);
+        let out = run_wide_unsynchronized(&m, bits, &mut sched, usize::MAX).unwrap();
+        assert_eq!(out.torn_rate(), 0.0);
+        assert_eq!(out.stale_rate(), 0.0);
+        assert_eq!(out.deletions, 0);
+        // Every clean read matches the message.
+        for (value, kind) in out.received.iter().zip(&out.sample_truth) {
+            if let SampleKind::Clean { index } = kind {
+                assert_eq!(*value, m[*index]);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_reads_observe_tears() {
+        // Receiver reads after every sender op: most samples are torn.
+        let bits = 4u32;
+        let m = msg(bits, 200, 2);
+        let trace: Vec<Party> = (0..2000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Party::Sender
+                } else {
+                    Party::Receiver
+                }
+            })
+            .collect();
+        let mut sched = TraceSchedule::new(trace);
+        let out = run_wide_unsynchronized(&m, bits, &mut sched, usize::MAX).unwrap();
+        assert!(out.torn_rate() > 0.5, "torn = {}", out.torn_rate());
+        // Torn values really are mixtures: every torn sample's value
+        // combines the in-flight prefix with old suffix bits — verify
+        // it is at least *sometimes* unequal to both neighbours.
+        let mut impossible = 0;
+        for (value, kind) in out.received.iter().zip(&out.sample_truth) {
+            if let SampleKind::Torn { index } = kind {
+                let cur = m[*index];
+                let prev = if *index > 0 {
+                    Some(m[*index - 1])
+                } else {
+                    None
+                };
+                if Some(*value) != prev && *value != cur {
+                    impossible += 1;
+                }
+            }
+        }
+        assert!(impossible > 0, "expected genuinely torn values");
+    }
+
+    #[test]
+    fn wider_symbols_tear_more() {
+        let mut torn = Vec::new();
+        for bits in [1u32, 2, 4, 8] {
+            let m = msg(bits, 3000, 3);
+            let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(4)).unwrap();
+            let out = run_wide_unsynchronized(&m, bits, &mut sched, usize::MAX).unwrap();
+            torn.push(out.torn_rate());
+        }
+        assert!(
+            torn.windows(2).all(|w| w[1] >= w[0] - 0.02),
+            "torn rates {torn:?}"
+        );
+        assert!(torn[3] > torn[0] + 0.1, "torn rates {torn:?}");
+    }
+
+    #[test]
+    fn single_bit_region_never_tears() {
+        let m = msg(1, 2000, 5);
+        let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(6)).unwrap();
+        let out = run_wide_unsynchronized(&m, 1, &mut sched, usize::MAX).unwrap();
+        assert_eq!(out.torn_rate(), 0.0);
+        // It still deletes and inserts like the narrow channel.
+        assert!(out.deletion_rate() > 0.1);
+        assert!(out.stale_rate() > 0.1);
+    }
+
+    #[test]
+    fn rates_partition_the_samples() {
+        let m = msg(4, 2000, 7);
+        let mut sched = BernoulliSchedule::new(0.4, StdRng::seed_from_u64(8)).unwrap();
+        let out = run_wide_unsynchronized(&m, 4, &mut sched, usize::MAX).unwrap();
+        let clean = out
+            .sample_truth
+            .iter()
+            .filter(|k| matches!(k, SampleKind::Clean { .. }))
+            .count() as f64
+            / out.sample_truth.len() as f64;
+        assert!((clean + out.torn_rate() + out.stale_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(out.received.len(), out.sample_truth.len());
+    }
+}

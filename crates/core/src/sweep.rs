@@ -1,0 +1,229 @@
+//! Capacity-surface sweeps over the `(P_d, P_i, N)` parameter space.
+//!
+//! Auditors rarely need one point: they need the *surface* — how the
+//! achievable and upper-bound capacities move as the measured rates
+//! or the symbol width change (e.g. to pick the shared-variable width
+//! a defender should cap, or to see how far a mitigation must push
+//! `P_d`). This module evaluates the Theorem 4/5 bounds over
+//! parameter grids and produces serializable report structures.
+
+use crate::bounds::{capacity_bounds, CapacityBounds};
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive linear grid over one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// First value.
+    pub start: f64,
+    /// Last value (inclusive).
+    pub end: f64,
+    /// Number of points (≥ 1; a single point ignores `end`).
+    pub points: usize,
+}
+
+impl Grid {
+    /// Creates a validated grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadSimulation`] when `points == 0`, the
+    /// endpoints are not finite, or `start > end`.
+    pub fn new(start: f64, end: f64, points: usize) -> Result<Self, CoreError> {
+        if points == 0 {
+            return Err(CoreError::BadSimulation("grid needs points".to_owned()));
+        }
+        if !start.is_finite() || !end.is_finite() || start > end {
+            return Err(CoreError::BadSimulation(format!(
+                "bad grid range [{start}, {end}]"
+            )));
+        }
+        Ok(Grid { start, end, points })
+    }
+
+    /// A single-point grid.
+    pub fn fixed(value: f64) -> Self {
+        Grid {
+            start: value,
+            end: value,
+            points: 1,
+        }
+    }
+
+    /// The grid values.
+    pub fn values(&self) -> Vec<f64> {
+        if self.points == 1 {
+            return vec![self.start];
+        }
+        (0..self.points)
+            .map(|i| self.start + (self.end - self.start) * i as f64 / (self.points - 1) as f64)
+            .collect()
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Deletion probability.
+    pub p_d: f64,
+    /// Insertion probability.
+    pub p_i: f64,
+    /// Symbol width in bits.
+    pub bits: u32,
+    /// The bounds at this point.
+    pub bounds: CapacityBounds,
+}
+
+/// A full sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySweep {
+    /// Evaluated points in row-major `(p_d, p_i)` order per width.
+    pub points: Vec<SweepPoint>,
+    /// Grid points skipped because `p_d + p_i > 1` (outside the
+    /// simplex) — reported so that silent truncation cannot be
+    /// mistaken for coverage.
+    pub skipped: usize,
+}
+
+impl CapacitySweep {
+    /// The point with the highest achievable (lower-bound) rate — the
+    /// attacker's best operating point on the surveyed surface.
+    pub fn best_achievable(&self) -> Option<&SweepPoint> {
+        self.points.iter().max_by(|a, b| {
+            a.bounds
+                .lower
+                .value()
+                .partial_cmp(&b.bounds.lower.value())
+                .expect("rates are finite")
+        })
+    }
+
+    /// The tightest relative gap between the bounds on the surface.
+    pub fn best_tightness(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.bounds.tightness())
+            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Minimum surveyed `p_d` at which the achievable rate falls
+    /// below `target` bits/slot for *every* surveyed `p_i` — the
+    /// mitigation strength a defender needs, since the attacker
+    /// controls neither `p_i` nor is hurt much by it. `None` when no
+    /// surveyed `p_d` guarantees the target.
+    pub fn mitigation_threshold(&self, target: f64) -> Option<f64> {
+        let mut by_p_d: Vec<f64> = self.points.iter().map(|p| p.p_d).collect();
+        by_p_d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        by_p_d.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        by_p_d.into_iter().find(|&p_d| {
+            self.points
+                .iter()
+                .filter(|p| (p.p_d - p_d).abs() < 1e-12)
+                .all(|p| p.bounds.lower.value() < target)
+        })
+    }
+}
+
+/// Evaluates the Theorem 4/5 bounds over the cartesian product of the
+/// given grids and symbol widths. Points outside the parameter
+/// simplex (`p_d + p_i > 1` or `p_i = 1`) are counted in
+/// [`CapacitySweep::skipped`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when `widths` is empty, and
+/// propagates bound-evaluation errors for in-simplex points.
+pub fn sweep_bounds(
+    p_d_grid: &Grid,
+    p_i_grid: &Grid,
+    widths: &[u32],
+) -> Result<CapacitySweep, CoreError> {
+    if widths.is_empty() {
+        return Err(CoreError::BadSimulation(
+            "need at least one symbol width".to_owned(),
+        ));
+    }
+    let mut points = Vec::new();
+    let mut skipped = 0usize;
+    for &bits in widths {
+        for &p_d in &p_d_grid.values() {
+            for &p_i in &p_i_grid.values() {
+                if p_d + p_i > 1.0 || p_i >= 1.0 {
+                    skipped += 1;
+                    continue;
+                }
+                points.push(SweepPoint {
+                    p_d,
+                    p_i,
+                    bits,
+                    bounds: capacity_bounds(bits, p_d, p_i)?,
+                });
+            }
+        }
+    }
+    Ok(CapacitySweep { points, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_validation_and_values() {
+        assert!(Grid::new(0.0, 1.0, 0).is_err());
+        assert!(Grid::new(1.0, 0.0, 3).is_err());
+        assert!(Grid::new(f64::NAN, 1.0, 3).is_err());
+        let g = Grid::new(0.0, 1.0, 5).unwrap();
+        assert_eq!(g.values(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(Grid::fixed(0.3).values(), vec![0.3]);
+    }
+
+    #[test]
+    fn sweep_covers_simplex_and_counts_skips() {
+        let g = Grid::new(0.0, 1.0, 6).unwrap();
+        let sweep = sweep_bounds(&g, &g, &[1, 4]).unwrap();
+        // 6x6 grid per width; points with p_d + p_i > 1 or p_i = 1
+        // skipped.
+        assert_eq!(sweep.points.len() + sweep.skipped, 2 * 36);
+        assert!(sweep.skipped > 0);
+        for p in &sweep.points {
+            assert!(p.bounds.lower.value() <= p.bounds.upper.value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_achievable_is_the_clean_channel() {
+        let g = Grid::new(0.0, 0.5, 6).unwrap();
+        let sweep = sweep_bounds(&g, &g, &[8]).unwrap();
+        let best = sweep.best_achievable().unwrap();
+        assert_eq!(best.p_d, 0.0);
+        assert_eq!(best.p_i, 0.0);
+        assert!((best.bounds.lower.value() - 8.0).abs() < 1e-9);
+        assert!(sweep.best_tightness().unwrap() > 0.999);
+    }
+
+    #[test]
+    fn mitigation_threshold_finds_minimum_p_d() {
+        let g = Grid::new(0.0, 0.9, 10).unwrap();
+        let sweep = sweep_bounds(&g, &Grid::fixed(0.0), &[1]).unwrap();
+        // Achievable = 1 - p_d for N = 1, p_i = 0 ... times C_conv = 1.
+        let thr = sweep.mitigation_threshold(0.5).unwrap();
+        assert!(thr > 0.4 && thr <= 0.7, "threshold {thr}");
+        assert!(sweep.mitigation_threshold(-1.0).is_none());
+    }
+
+    #[test]
+    fn empty_widths_rejected() {
+        let g = Grid::fixed(0.1);
+        assert!(sweep_bounds(&g, &g, &[]).is_err());
+    }
+
+    #[test]
+    fn sweep_types_are_serializable() {
+        // Compile-time check that the report types implement Serde.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<CapacitySweep>();
+        assert_serde::<SweepPoint>();
+        assert_serde::<Grid>();
+    }
+}

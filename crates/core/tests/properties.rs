@@ -1,0 +1,111 @@
+//! Property-based tests of the protocols and the simulation engine.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_core::protocols::resend::run_resend;
+use nsc_core::protocols::selective::run_selective_repeat;
+use nsc_core::sim::counter::run_counter_protocol;
+use nsc_core::sim::stop_wait::run_stop_and_wait;
+use nsc_core::sim::unsync::run_unsynchronized;
+use nsc_core::sim::{BernoulliSchedule, OpSchedule, Party, TraceSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn message(bits: u32, len: usize, seed: u64) -> Vec<Symbol> {
+    let a = Alphabet::new(bits).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| a.random(&mut rng)).collect()
+}
+
+/// Strategy: an arbitrary finite operation trace.
+fn op_trace() -> impl Strategy<Value = Vec<Party>> {
+    prop::collection::vec(prop::bool::ANY, 1..2000).prop_map(|bits| {
+        bits.into_iter()
+            .map(|b| if b { Party::Sender } else { Party::Receiver })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The resend protocol delivers the message exactly, for every
+    /// deletion rate and message.
+    #[test]
+    fn resend_is_exact(p_d in 0.0f64..0.9, len in 1usize..300, seed in 0u64..500) {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(2).unwrap(), DiParams::deletion_only(p_d).unwrap());
+        let msg = message(2, len, seed);
+        let out = run_resend(&ch, &msg, &mut StdRng::seed_from_u64(seed ^ 1)).unwrap();
+        prop_assert_eq!(out.received, msg);
+        prop_assert!(out.channel_uses >= len);
+        prop_assert_eq!(out.channel_uses - len, out.retransmissions);
+    }
+
+    /// Selective repeat agrees with resend on exact delivery, for
+    /// every window size.
+    #[test]
+    fn selective_repeat_is_exact(
+        p_d in 0.0f64..0.8,
+        len in 1usize..200,
+        window in 1usize..64,
+        seed in 0u64..500,
+    ) {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(2).unwrap(), DiParams::deletion_only(p_d).unwrap());
+        let msg = message(2, len, seed);
+        let out = run_selective_repeat(&ch, &msg, window, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(out.received, msg);
+    }
+
+    /// Counter protocol alignment invariant on *arbitrary* traces:
+    /// the received stream never exceeds the message length, every
+    /// error position is a stale fill, and op accounting balances.
+    #[test]
+    fn counter_protocol_invariants(trace in op_trace(), seed in 0u64..500) {
+        let msg = message(3, 200, seed);
+        let mut sched = TraceSchedule::new(trace);
+        let out = run_counter_protocol(&msg, &mut sched, usize::MAX).unwrap();
+        prop_assert!(out.received.len() <= msg.len());
+        prop_assert_eq!(out.ops, out.sender_ops + out.receiver_ops);
+        let errors = out.received.iter().zip(&msg).filter(|(a, b)| a != b).count();
+        prop_assert!(errors <= out.stale_fills, "errors {errors} > stale {}", out.stale_fills);
+        prop_assert!(out.waits <= out.sender_ops);
+    }
+
+    /// Stop-and-wait never corrupts, on arbitrary traces.
+    #[test]
+    fn stop_and_wait_prefix_exact(trace in op_trace(), seed in 0u64..500) {
+        let msg = message(2, 100, seed);
+        let mut sched = TraceSchedule::new(trace);
+        let out = run_stop_and_wait(&msg, &mut sched, usize::MAX).unwrap();
+        prop_assert!(out.received.len() <= msg.len());
+        prop_assert_eq!(out.received.as_slice(), &msg[..out.received.len()]);
+    }
+
+    /// Unsynchronized run bookkeeping balances on arbitrary traces.
+    #[test]
+    fn unsync_bookkeeping(trace in op_trace(), seed in 0u64..500) {
+        let sender_ops = trace.iter().filter(|p| **p == Party::Sender).count();
+        prop_assume!(sender_ops > 0);
+        let msg = message(2, sender_ops, seed);
+        let mut sched = TraceSchedule::new(trace);
+        let out = run_unsynchronized(&msg, &mut sched, usize::MAX).unwrap();
+        prop_assert!(out.writes <= sender_ops);
+        prop_assert!(out.deleted_writes <= out.writes);
+        prop_assert!(out.stale_reads <= out.reads);
+        prop_assert_eq!(out.received.len(), out.reads);
+        prop_assert!(out.p_d() <= 1.0 && out.p_i() <= 1.0);
+    }
+
+    /// Bernoulli schedules of matching seed are reproducible.
+    #[test]
+    fn bernoulli_schedule_reproducible(q in 0.0f64..=1.0, seed in 0u64..100) {
+        let mut a = BernoulliSchedule::new(q, StdRng::seed_from_u64(seed)).unwrap();
+        let mut b = BernoulliSchedule::new(q, StdRng::seed_from_u64(seed)).unwrap();
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Validated probability values and finite probability distributions.
+
+use crate::error::InfoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Tolerance used when validating that a distribution sums to one.
+pub const SUM_TOLERANCE: f64 = 1e-9;
+
+/// A probability: a finite `f64` guaranteed to lie in `[0, 1]`.
+///
+/// The deletion-insertion channel of the paper is parameterized by
+/// four probabilities `P_d, P_i, P_t, P_s`; using this newtype at API
+/// boundaries rules out negative rates and `NaN` poisoning statically
+/// wherever possible and dynamically otherwise.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::Probability;
+///
+/// let p = Probability::new(0.25)?;
+/// assert_eq!(p.value(), 0.25);
+/// assert_eq!(p.complement().value(), 0.75);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The probability zero.
+    pub const ZERO: Probability = Probability(0.0);
+    /// The probability one.
+    pub const ONE: Probability = Probability(1.0);
+    /// The probability one half.
+    pub const HALF: Probability = Probability(0.5);
+
+    /// Creates a validated probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidProbability`] when `value` is not
+    /// finite or lies outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, InfoError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Probability(value))
+        } else {
+            Err(InfoError::InvalidProbability(value))
+        }
+    }
+
+    /// Creates a probability, clamping out-of-range finite values into
+    /// `[0, 1]`. Useful for results of floating-point arithmetic that
+    /// may stray slightly outside the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is `NaN`.
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "cannot clamp NaN into a probability");
+        Probability(value.clamp(0.0, 1.0))
+    }
+
+    /// Returns the inner value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `1 - p`.
+    pub fn complement(self) -> Self {
+        Probability(1.0 - self.0)
+    }
+
+    /// Multiplies two probabilities (probability of independent
+    /// conjunction).
+    pub fn and(self, other: Self) -> Self {
+        Probability(self.0 * other.0)
+    }
+
+    /// Probability of the disjunction of two *independent* events:
+    /// `p + q - pq`.
+    pub fn or_independent(self, other: Self) -> Self {
+        Probability::clamped(self.0 + other.0 - self.0 * other.0)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = InfoError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+/// A finite probability distribution: non-negative entries summing to
+/// one (within [`SUM_TOLERANCE`]).
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::Distribution;
+///
+/// let d = Distribution::new(vec![0.5, 0.25, 0.25])?;
+/// assert_eq!(d.len(), 3);
+/// assert!((d.entropy() - 1.5).abs() < 1e-12);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+pub struct Distribution(Vec<f64>);
+
+impl Distribution {
+    /// Creates a validated distribution from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidProbability`] if any entry is
+    /// negative or non-finite, and [`InfoError::InvalidDistribution`]
+    /// if the entries do not sum to one within [`SUM_TOLERANCE`], or
+    /// if `probs` is empty.
+    pub fn new(probs: Vec<f64>) -> Result<Self, InfoError> {
+        if probs.is_empty() {
+            return Err(InfoError::InvalidDistribution(0.0));
+        }
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(InfoError::InvalidProbability(p));
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > SUM_TOLERANCE {
+            return Err(InfoError::InvalidDistribution(sum));
+        }
+        Ok(Distribution(probs))
+    }
+
+    /// Creates a distribution by normalizing non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidProbability`] for negative or
+    /// non-finite weights, and [`InfoError::InvalidDistribution`] when
+    /// the weights are empty or all zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, InfoError> {
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(InfoError::InvalidProbability(w));
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if weights.is_empty() || sum <= 0.0 {
+            return Err(InfoError::InvalidDistribution(sum));
+        }
+        Ok(Distribution(weights.iter().map(|w| w / sum).collect()))
+    }
+
+    /// The uniform distribution on `n` outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidArgument`] when `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, InfoError> {
+        if n == 0 {
+            return Err(InfoError::InvalidArgument(
+                "uniform distribution needs at least one outcome".to_owned(),
+            ));
+        }
+        Ok(Distribution(vec![1.0 / n as f64; n]))
+    }
+
+    /// The point mass on outcome `i` among `n` outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidArgument`] when `i >= n`.
+    pub fn point_mass(i: usize, n: usize) -> Result<Self, InfoError> {
+        if i >= n {
+            return Err(InfoError::InvalidArgument(format!(
+                "point mass index {i} out of range for {n} outcomes"
+            )));
+        }
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        Ok(Distribution(v))
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the distribution has no outcomes (never true
+    /// for a validated distribution; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the probabilities as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Consume the distribution, returning the probability vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Iterate over the probabilities.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        crate::entropy::entropy(&self.0)
+    }
+
+    /// Expected value of `f` over the distribution.
+    pub fn expect<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
+        self.0.iter().enumerate().map(|(i, p)| p * f(i)).sum()
+    }
+
+    /// Total-variation distance to another distribution of the same
+    /// support size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::DimensionMismatch`] when supports differ.
+    pub fn total_variation(&self, other: &Distribution) -> Result<f64, InfoError> {
+        if self.len() != other.len() {
+            return Err(InfoError::DimensionMismatch {
+                got: (other.len(), 1),
+                expected: (self.len(), 1),
+            });
+        }
+        Ok(self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0)
+    }
+
+    /// Samples an outcome given a uniform variate `u` in `[0, 1)`.
+    /// The caller supplies the randomness so that simulations remain
+    /// reproducible.
+    pub fn sample_with(&self, u: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, &p) in self.0.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        self.0.len() - 1
+    }
+}
+
+impl Index<usize> for Distribution {
+    type Output = f64;
+    fn index(&self, index: usize) -> &f64 {
+        &self.0[index]
+    }
+}
+
+impl TryFrom<Vec<f64>> for Distribution {
+    type Error = InfoError;
+    fn try_from(v: Vec<f64>) -> Result<Self, Self::Error> {
+        Distribution::new(v)
+    }
+}
+
+impl From<Distribution> for Vec<f64> {
+    fn from(d: Distribution) -> Vec<f64> {
+        d.0
+    }
+}
+
+impl<'a> IntoIterator for &'a Distribution {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.01).is_err());
+        assert!(Probability::new(1.01).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn probability_algebra() {
+        let p = Probability::new(0.3).unwrap();
+        let q = Probability::new(0.5).unwrap();
+        assert!((p.complement().value() - 0.7).abs() < 1e-15);
+        assert!((p.and(q).value() - 0.15).abs() < 1e-15);
+        assert!((p.or_independent(q).value() - 0.65).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = Probability::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn clamped_clamps() {
+        assert_eq!(Probability::clamped(1.2).value(), 1.0);
+        assert_eq!(Probability::clamped(-0.2).value(), 0.0);
+        assert_eq!(Probability::clamped(0.4).value(), 0.4);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(Distribution::new(vec![0.5, 0.5]).is_ok());
+        assert!(Distribution::new(vec![0.5, 0.6]).is_err());
+        assert!(Distribution::new(vec![-0.1, 1.1]).is_err());
+        assert!(Distribution::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = Distribution::from_weights(&[2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(d.as_slice(), &[0.25, 0.25, 0.5]);
+        assert!(Distribution::from_weights(&[0.0, 0.0]).is_err());
+        assert!(Distribution::from_weights(&[]).is_err());
+        assert!(Distribution::from_weights(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_and_point_mass() {
+        let u = Distribution::uniform(4).unwrap();
+        assert!((u.entropy() - 2.0).abs() < 1e-12);
+        let p = Distribution::point_mass(2, 4).unwrap();
+        assert_eq!(p.entropy(), 0.0);
+        assert_eq!(p[2], 1.0);
+        assert!(Distribution::uniform(0).is_err());
+        assert!(Distribution::point_mass(4, 4).is_err());
+    }
+
+    #[test]
+    fn expectation() {
+        let d = Distribution::new(vec![0.5, 0.5]).unwrap();
+        assert!((d.expect(|i| i as f64) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_distance() {
+        let a = Distribution::uniform(2).unwrap();
+        let b = Distribution::point_mass(0, 2).unwrap();
+        assert!((a.total_variation(&b).unwrap() - 0.5).abs() < 1e-12);
+        let c = Distribution::uniform(3).unwrap();
+        assert!(a.total_variation(&c).is_err());
+    }
+
+    #[test]
+    fn sampling_covers_support() {
+        let d = Distribution::new(vec![0.25, 0.5, 0.25]).unwrap();
+        assert_eq!(d.sample_with(0.0), 0);
+        assert_eq!(d.sample_with(0.3), 1);
+        assert_eq!(d.sample_with(0.8), 2);
+        assert_eq!(d.sample_with(0.999_999_999), 2);
+    }
+}

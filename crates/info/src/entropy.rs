@@ -1,0 +1,272 @@
+//! Entropy, divergence, and mutual-information functionals.
+//!
+//! All quantities are in **bits** (base-2 logarithms), matching the
+//! paper's equation (5): `H(p) = -p·log2(p) - (1-p)·log2(1-p)`.
+//!
+//! The convention `0·log2(0) = 0` is applied throughout, so all
+//! functions are total on valid probability vectors.
+
+use crate::error::InfoError;
+
+/// `x · log2(x)` with the continuous extension `0 · log2(0) = 0`.
+#[inline]
+pub fn xlog2x(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// The binary entropy function `H(p)` of the paper's equation (5), in
+/// bits.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::entropy::binary_entropy;
+/// assert_eq!(binary_entropy(0.5), 1.0);
+/// assert_eq!(binary_entropy(0.0), 0.0);
+/// assert_eq!(binary_entropy(1.0), 0.0);
+/// ```
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "binary_entropy domain is [0,1]");
+    -xlog2x(p) - xlog2x(1.0 - p)
+}
+
+/// Shannon entropy of a probability vector, in bits. Entries are
+/// assumed non-negative; normalization is the caller's concern (use
+/// [`crate::Distribution`] for validated inputs).
+pub fn entropy(probs: &[f64]) -> f64 {
+    -probs.iter().copied().map(xlog2x).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits.
+///
+/// # Errors
+///
+/// Returns [`InfoError::DimensionMismatch`] when the vectors differ in
+/// length, and [`InfoError::InvalidArgument`] when `p` places mass
+/// where `q` does not (the divergence would be infinite).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, InfoError> {
+    if p.len() != q.len() {
+        return Err(InfoError::DimensionMismatch {
+            got: (q.len(), 1),
+            expected: (p.len(), 1),
+        });
+    }
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return Err(InfoError::InvalidArgument(
+                    "KL divergence infinite: p has mass where q does not".to_owned(),
+                ));
+            }
+            d += pi * (pi / qi).log2();
+        }
+    }
+    Ok(d)
+}
+
+/// Entropy of a joint distribution given as a matrix `joint[x][y]`,
+/// in bits.
+pub fn joint_entropy(joint: &[Vec<f64>]) -> f64 {
+    -joint
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .map(xlog2x)
+        .sum::<f64>()
+}
+
+/// Marginal over the first index of a joint matrix `joint[x][y]`.
+pub fn marginal_x(joint: &[Vec<f64>]) -> Vec<f64> {
+    joint.iter().map(|row| row.iter().sum()).collect()
+}
+
+/// Marginal over the second index of a joint matrix `joint[x][y]`.
+pub fn marginal_y(joint: &[Vec<f64>]) -> Vec<f64> {
+    if joint.is_empty() {
+        return Vec::new();
+    }
+    let cols = joint[0].len();
+    let mut m = vec![0.0; cols];
+    for row in joint {
+        for (j, &v) in row.iter().enumerate() {
+            m[j] += v;
+        }
+    }
+    m
+}
+
+/// Conditional entropy `H(Y | X)` from a joint matrix `joint[x][y]`,
+/// in bits.
+pub fn conditional_entropy_y_given_x(joint: &[Vec<f64>]) -> f64 {
+    joint_entropy(joint) - entropy(&marginal_x(joint))
+}
+
+/// Mutual information `I(X; Y)` from a joint matrix `joint[x][y]`, in
+/// bits. Computed as `H(X) + H(Y) - H(X, Y)`.
+pub fn mutual_information_joint(joint: &[Vec<f64>]) -> f64 {
+    let hx = entropy(&marginal_x(joint));
+    let hy = entropy(&marginal_y(joint));
+    // Guard against tiny negative values from floating-point
+    // cancellation; mutual information is non-negative.
+    (hx + hy - joint_entropy(joint)).max(0.0)
+}
+
+/// Mutual information `I(X; Y)` of an input distribution `px` pushed
+/// through a channel transition matrix `w[x][y] = P(Y = y | X = x)`,
+/// in bits.
+///
+/// # Errors
+///
+/// Returns [`InfoError::DimensionMismatch`] when `px` and `w` disagree
+/// on the input alphabet size or `w` is ragged.
+pub fn mutual_information_channel(px: &[f64], w: &[Vec<f64>]) -> Result<f64, InfoError> {
+    if px.len() != w.len() || w.is_empty() {
+        return Err(InfoError::DimensionMismatch {
+            got: (w.len(), 0),
+            expected: (px.len(), 0),
+        });
+    }
+    let cols = w[0].len();
+    let mut joint = Vec::with_capacity(px.len());
+    for (&p, row) in px.iter().zip(w) {
+        if row.len() != cols {
+            return Err(InfoError::DimensionMismatch {
+                got: (1, row.len()),
+                expected: (1, cols),
+            });
+        }
+        joint.push(row.iter().map(|&wxy| p * wxy).collect::<Vec<f64>>());
+    }
+    Ok(mutual_information_joint(&joint))
+}
+
+/// Inverse of the binary entropy function on `[0, 1/2]`: returns the
+/// unique `p ∈ [0, 1/2]` with `H(p) = h`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when `h` is outside
+/// `[0, 1]`.
+pub fn binary_entropy_inverse(h: f64) -> Result<f64, InfoError> {
+    if !(0.0..=1.0).contains(&h) || !h.is_finite() {
+        return Err(InfoError::InvalidArgument(format!(
+            "binary entropy inverse domain is [0,1], got {h}"
+        )));
+    }
+    // H is strictly increasing on [0, 1/2]; bisect.
+    let (mut lo, mut hi) = (0.0_f64, 0.5_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if binary_entropy(mid) < h {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn binary_entropy_known_values() {
+        assert!((binary_entropy(0.5) - 1.0).abs() < EPS);
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        // H(0.11) ≈ 0.499916 — the classic "BSC capacity one half" point.
+        assert!((binary_entropy(0.11) - 0.499_915_958_164_528_46).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_entropy_symmetry() {
+        for &p in &[0.1, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let u = vec![0.125; 8];
+        assert!((entropy(&u) - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[0.0, 1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = [0.5, 0.5];
+        let q = [0.25, 0.75];
+        let d = kl_divergence(&p, &q).unwrap();
+        assert!(d > 0.0);
+        assert_eq!(kl_divergence(&p, &p).unwrap(), 0.0);
+        assert!(kl_divergence(&p, &[1.0, 0.0]).is_err());
+        assert!(kl_divergence(&p, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn mutual_information_of_identity_channel() {
+        let w = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let i = mutual_information_channel(&[0.5, 0.5], &w).unwrap();
+        assert!((i - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mutual_information_of_useless_channel_is_zero() {
+        let w = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let i = mutual_information_channel(&[0.3, 0.7], &w).unwrap();
+        assert!(i.abs() < EPS);
+    }
+
+    #[test]
+    fn mutual_information_of_bsc_closed_form() {
+        let p = 0.2;
+        let w = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+        let i = mutual_information_channel(&[0.5, 0.5], &w).unwrap();
+        assert!((i - (1.0 - binary_entropy(p))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_rejects_ragged_input() {
+        let w = vec![vec![1.0, 0.0], vec![1.0]];
+        assert!(mutual_information_channel(&[0.5, 0.5], &w).is_err());
+        assert!(mutual_information_channel(&[1.0], &w).is_err());
+    }
+
+    #[test]
+    fn joint_marginals_and_conditional() {
+        // X uniform bit, Y = X with prob 1 (deterministic).
+        let joint = vec![vec![0.5, 0.0], vec![0.0, 0.5]];
+        assert!((entropy(&marginal_x(&joint)) - 1.0).abs() < EPS);
+        assert!((entropy(&marginal_y(&joint)) - 1.0).abs() < EPS);
+        assert!(conditional_entropy_y_given_x(&joint).abs() < EPS);
+        assert!((mutual_information_joint(&joint) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn binary_entropy_inverse_round_trip() {
+        for &p in &[0.01, 0.1, 0.25, 0.49] {
+            let h = binary_entropy(p);
+            let back = binary_entropy_inverse(h).unwrap();
+            assert!((back - p).abs() < 1e-9, "p={p} back={back}");
+        }
+        assert!(binary_entropy_inverse(-0.1).is_err());
+        assert!(binary_entropy_inverse(1.1).is_err());
+    }
+
+    #[test]
+    fn marginal_y_of_empty() {
+        assert!(marginal_y(&[]).is_empty());
+    }
+}

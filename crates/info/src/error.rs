@@ -1,0 +1,108 @@
+//! Error type shared by all numerical routines in this crate.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in `nsc-info`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfoError {
+    /// A value expected to be a probability was outside `[0, 1]` or
+    /// not finite.
+    InvalidProbability(f64),
+    /// A probability vector did not sum to one (within tolerance) or
+    /// contained invalid entries. Carries the offending sum.
+    InvalidDistribution(f64),
+    /// A matrix argument had inconsistent or empty dimensions.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: (usize, usize),
+        /// What the routine required.
+        expected: (usize, usize),
+    },
+    /// An iterative routine failed to converge within its iteration
+    /// budget. Carries the budget and the final residual.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual (routine-specific measure) at the last iterate.
+        residual: f64,
+    },
+    /// A bracketing routine was given an interval whose endpoints do
+    /// not bracket a root (same sign at both ends).
+    NoBracket {
+        /// Function value at the left endpoint.
+        f_lo: f64,
+        /// Function value at the right endpoint.
+        f_hi: f64,
+    },
+    /// A routine received an argument outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for InfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoError::InvalidProbability(p) => {
+                write!(f, "value {p} is not a probability in [0, 1]")
+            }
+            InfoError::InvalidDistribution(sum) => {
+                write!(f, "probability vector does not sum to 1 (sum = {sum})")
+            }
+            InfoError::DimensionMismatch { got, expected } => write!(
+                f,
+                "dimension mismatch: got {}x{}, expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            InfoError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:e})"
+            ),
+            InfoError::NoBracket { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root (f(lo) = {f_lo}, f(hi) = {f_hi})"
+            ),
+            InfoError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InfoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            InfoError::InvalidProbability(1.5),
+            InfoError::InvalidDistribution(0.9),
+            InfoError::DimensionMismatch {
+                got: (2, 3),
+                expected: (3, 3),
+            },
+            InfoError::NoConvergence {
+                iterations: 10,
+                residual: 1e-3,
+            },
+            InfoError::NoBracket {
+                f_lo: 1.0,
+                f_hi: 2.0,
+            },
+            InfoError::InvalidArgument("negative length".to_owned()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InfoError>();
+    }
+}

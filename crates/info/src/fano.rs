@@ -1,0 +1,171 @@
+//! Fano's inequality and rate/error conversions.
+//!
+//! Experiment E9 measures bit error rates of codes over the
+//! deletion-insertion channel. Fano's inequality converts an error
+//! probability into an upper bound on the extractable information,
+//! letting the harness report *information-theoretically honest*
+//! effective rates instead of raw goodput:
+//!
+//! * for a uniform `M`-ary message decoded with error probability
+//!   `P_e`, the residual equivocation satisfies
+//!   `H(W | Ŵ) ≤ H(P_e) + P_e·log2(M − 1)`;
+//! * for a binary stream with bit error rate `ber`, each decoded bit
+//!   carries at most `1 − H(ber)` bits of information.
+
+use crate::entropy::binary_entropy;
+use crate::error::InfoError;
+
+/// Fano upper bound on the conditional entropy `H(W | Ŵ)` for a
+/// uniform message over `m` alternatives decoded with error
+/// probability `p_e`, in bits.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when `m < 2` or `p_e` is
+/// not a probability.
+pub fn fano_equivocation(p_e: f64, m: u64) -> Result<f64, InfoError> {
+    if m < 2 {
+        return Err(InfoError::InvalidArgument(format!(
+            "need at least two alternatives, got {m}"
+        )));
+    }
+    if !p_e.is_finite() || !(0.0..=1.0).contains(&p_e) {
+        return Err(InfoError::InvalidProbability(p_e));
+    }
+    Ok(binary_entropy(p_e) + p_e * ((m - 1) as f64).log2())
+}
+
+/// Information delivered per decoded *bit* at bit error rate `ber`:
+/// `1 − H(ber)` (clamped at zero) — the binary symmetric converse.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidProbability`] when `ber` is not a
+/// probability.
+pub fn information_per_bit(ber: f64) -> Result<f64, InfoError> {
+    if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
+        return Err(InfoError::InvalidProbability(ber));
+    }
+    Ok((1.0 - binary_entropy(ber)).max(0.0))
+}
+
+/// Honest effective rate of a code: nominal `rate` (data bits per
+/// channel use) discounted by the per-bit information at the measured
+/// `ber` — `rate · (1 − H(ber))`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] for a negative or
+/// non-finite rate, and propagates [`information_per_bit`] errors.
+pub fn effective_information_rate(rate: f64, ber: f64) -> Result<f64, InfoError> {
+    if !rate.is_finite() || rate < 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "rate {rate} must be non-negative and finite"
+        )));
+    }
+    Ok(rate * information_per_bit(ber)?)
+}
+
+/// The converse direction: the minimum error probability compatible
+/// with trying to push `rate` bits per use through a channel of
+/// capacity `capacity` (both per use), from Fano's inequality applied
+/// to long blocks: `H(P_e) + P_e ≥ 1 − capacity/rate` per bit, solved
+/// for the smallest `P_e` with `H(P_e) + P_e` increasing on
+/// `[0, 1/2]`. Returns 0 when `rate ≤ capacity`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when either argument is
+/// negative, non-finite, or `rate` is zero.
+pub fn minimum_error_rate(rate: f64, capacity: f64) -> Result<f64, InfoError> {
+    if !rate.is_finite() || rate <= 0.0 || !capacity.is_finite() || capacity < 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "need positive rate and non-negative capacity, got {rate}, {capacity}"
+        )));
+    }
+    if rate <= capacity {
+        return Ok(0.0);
+    }
+    let target = 1.0 - capacity / rate;
+    // g(p) = H(p) + p is strictly increasing on [0, 1/2] from 0 to
+    // 1.5; bisect (clamp the target into the attainable range).
+    let target = target.min(1.5);
+    let (mut lo, mut hi) = (0.0f64, 0.5f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if binary_entropy(mid) + mid < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivocation_endpoints() {
+        assert_eq!(fano_equivocation(0.0, 16).unwrap(), 0.0);
+        // At p_e = 1 the bound is log2(M-1).
+        assert!((fano_equivocation(1.0, 16).unwrap() - 15f64.log2()).abs() < 1e-12);
+        assert!(fano_equivocation(0.5, 1).is_err());
+        assert!(fano_equivocation(1.5, 4).is_err());
+    }
+
+    #[test]
+    fn equivocation_below_log_m() {
+        for &p in &[0.1, 0.3, 0.5, 0.9] {
+            let h = fano_equivocation(p, 256).unwrap();
+            assert!(h <= 8.0 + 1e-12, "p={p} h={h}");
+        }
+    }
+
+    #[test]
+    fn information_per_bit_endpoints() {
+        assert_eq!(information_per_bit(0.0).unwrap(), 1.0);
+        assert_eq!(information_per_bit(0.5).unwrap(), 0.0);
+        // A fully inverted channel still carries full information in
+        // principle, but the Fano-style discount treats it as zero —
+        // by design, since a decoder that is wrong all the time has
+        // not "decoded" anything the auditor can credit.
+        assert_eq!(information_per_bit(1.0).unwrap(), 1.0);
+        assert!(information_per_bit(-0.1).is_err());
+    }
+
+    #[test]
+    fn effective_rate_discounts() {
+        let clean = effective_information_rate(0.2, 0.0).unwrap();
+        let noisy = effective_information_rate(0.2, 0.1).unwrap();
+        assert_eq!(clean, 0.2);
+        assert!(noisy < clean && noisy > 0.0);
+        assert!(effective_information_rate(-1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn minimum_error_zero_below_capacity() {
+        assert_eq!(minimum_error_rate(0.5, 0.5).unwrap(), 0.0);
+        assert_eq!(minimum_error_rate(0.3, 0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn minimum_error_positive_above_capacity() {
+        let p = minimum_error_rate(1.0, 0.5).unwrap();
+        assert!(p > 0.0 && p < 0.5);
+        // Satisfies the defining equation.
+        let g = crate::entropy::binary_entropy(p) + p;
+        assert!((g - 0.5).abs() < 1e-9);
+        // Monotone in the gap.
+        let p2 = minimum_error_rate(1.0, 0.2).unwrap();
+        assert!(p2 > p);
+    }
+
+    #[test]
+    fn minimum_error_validation() {
+        assert!(minimum_error_rate(0.0, 0.5).is_err());
+        assert!(minimum_error_rate(1.0, -0.1).is_err());
+        assert!(minimum_error_rate(f64::NAN, 0.1).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Millen's finite-state noiseless covert-channel capacity.
+//!
+//! Millen (1989) modeled an important class of covert channels as
+//! noiseless finite-state machines whose transitions take non-uniform
+//! times, and computed their capacity with Shannon's discrete
+//! noiseless channel theory: the capacity (bits per unit time) is the
+//! value `C` at which the spectral radius of the connection matrix
+//! `D(C)`, with entries `D(C)_{ij} = Σ_{edges i→j} 2^{-C·t(edge)}`,
+//! equals one. For unit transition times this reduces to `log2 ρ(A)`
+//! of the plain adjacency-count matrix `A`.
+//!
+//! This is one of the "traditional" estimators the paper's §4.3
+//! corrects by the factor `(1 − P_d)`.
+
+use crate::error::InfoError;
+use crate::matrix::Matrix;
+use crate::roots::{bisect, RootOptions};
+use serde::{Deserialize, Serialize};
+
+/// A labelled, timed transition of a noiseless finite-state channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsmEdge {
+    /// Source state.
+    pub from: usize,
+    /// Destination state.
+    pub to: usize,
+    /// Time taken by the transition (must be positive).
+    pub duration: f64,
+    /// Human-readable symbol label (for reports only).
+    pub label: String,
+}
+
+/// A noiseless finite-state channel in Millen's sense.
+///
+/// # Example
+///
+/// A single state with two unit-time self-loops transmits one bit per
+/// time unit:
+///
+/// ```
+/// use nsc_info::fsm::{FsmChannel, FsmEdge};
+///
+/// let fsm = FsmChannel::new(1, vec![
+///     FsmEdge { from: 0, to: 0, duration: 1.0, label: "a".into() },
+///     FsmEdge { from: 0, to: 0, duration: 1.0, label: "b".into() },
+/// ])?;
+/// assert!((fsm.capacity()? - 1.0).abs() < 1e-9);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsmChannel {
+    states: usize,
+    edges: Vec<FsmEdge>,
+}
+
+impl FsmChannel {
+    /// Creates a finite-state channel with `states` states and the
+    /// given transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidArgument`] when `states == 0`, a
+    /// transition references a state out of range, has a non-positive
+    /// or non-finite duration, or `edges` is empty.
+    pub fn new(states: usize, edges: Vec<FsmEdge>) -> Result<Self, InfoError> {
+        if states == 0 {
+            return Err(InfoError::InvalidArgument(
+                "finite-state channel needs at least one state".to_owned(),
+            ));
+        }
+        if edges.is_empty() {
+            return Err(InfoError::InvalidArgument(
+                "finite-state channel needs at least one edge".to_owned(),
+            ));
+        }
+        for e in &edges {
+            if e.from >= states || e.to >= states {
+                return Err(InfoError::InvalidArgument(format!(
+                    "edge {} -> {} references a state outside 0..{states}",
+                    e.from, e.to
+                )));
+            }
+            if !e.duration.is_finite() || e.duration <= 0.0 {
+                return Err(InfoError::InvalidArgument(format!(
+                    "edge duration must be positive, got {}",
+                    e.duration
+                )));
+            }
+        }
+        Ok(FsmChannel { states, edges })
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Borrow the transitions.
+    pub fn edges(&self) -> &[FsmEdge] {
+        &self.edges
+    }
+
+    /// The connection matrix `D(c)` with entries
+    /// `Σ_{edges i→j} 2^{-c·t}`.
+    fn connection_matrix(&self, c: f64) -> Matrix {
+        let mut m = Matrix::zeros(self.states, self.states).expect("states > 0");
+        for e in &self.edges {
+            m[(e.from, e.to)] += (-c * e.duration).exp2();
+        }
+        m
+    }
+
+    /// Spectral radius of `D(c)`.
+    fn rho(&self, c: f64) -> Result<f64, InfoError> {
+        self.connection_matrix(c).spectral_radius(1e-13, 200_000)
+    }
+
+    /// Capacity in bits per unit time: the `C ≥ 0` at which
+    /// `ρ(D(C)) = 1`, or zero when even `ρ(D(0)) ≤ 1` (the channel
+    /// cannot sustain more than one message).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::NoConvergence`] if the spectral radius or
+    /// the bisection fail to converge.
+    pub fn capacity(&self) -> Result<f64, InfoError> {
+        let rho0 = self.rho(0.0)?;
+        if rho0 <= 1.0 + 1e-12 {
+            return Ok(0.0);
+        }
+        // ρ(D(c)) is continuous and strictly decreasing in c (all
+        // durations positive), so bracket and bisect on ρ(c) − 1.
+        let mut hi = 1.0;
+        while self.rho(hi)? > 1.0 {
+            hi *= 2.0;
+            if hi > 1e6 {
+                return Err(InfoError::NoConvergence {
+                    iterations: 0,
+                    residual: hi,
+                });
+            }
+        }
+        let opts = RootOptions {
+            x_tol: 1e-11,
+            f_tol: 1e-11,
+            max_iter: 400,
+        };
+        bisect(
+            |c| self.rho(c).map(|r| r - 1.0).unwrap_or(f64::NAN),
+            0.0,
+            hi,
+            &opts,
+        )
+    }
+
+    /// Capacity for the special case where every transition takes unit
+    /// time: `log2 ρ(A)` of the adjacency-count matrix. Exposed
+    /// separately because it is the formula usually quoted for
+    /// Millen's model and serves as a cross-check of [`Self::capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::NoConvergence`] if the spectral radius
+    /// computation fails.
+    pub fn unit_time_capacity(&self) -> Result<f64, InfoError> {
+        let mut a = Matrix::zeros(self.states, self.states).expect("states > 0");
+        for e in &self.edges {
+            a[(e.from, e.to)] += 1.0;
+        }
+        let rho = a.spectral_radius(1e-13, 200_000)?;
+        Ok(if rho <= 1.0 { 0.0 } else { rho.log2() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::noiseless_timing_capacity;
+
+    fn edge(from: usize, to: usize, duration: f64) -> FsmEdge {
+        FsmEdge {
+            from,
+            to,
+            duration,
+            label: format!("{from}->{to}@{duration}"),
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FsmChannel::new(0, vec![edge(0, 0, 1.0)]).is_err());
+        assert!(FsmChannel::new(1, vec![]).is_err());
+        assert!(FsmChannel::new(1, vec![edge(0, 1, 1.0)]).is_err());
+        assert!(FsmChannel::new(1, vec![edge(0, 0, 0.0)]).is_err());
+        assert!(FsmChannel::new(1, vec![edge(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn two_unit_self_loops_give_one_bit() {
+        let fsm = FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 1.0)]).unwrap();
+        assert!((fsm.capacity().unwrap() - 1.0).abs() < 1e-8);
+        assert!((fsm.unit_time_capacity().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_edge_has_zero_capacity() {
+        let fsm = FsmChannel::new(1, vec![edge(0, 0, 1.0)]).unwrap();
+        assert_eq!(fsm.capacity().unwrap(), 0.0);
+        assert_eq!(fsm.unit_time_capacity().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_state_matches_shannon_root() {
+        // Single state with self-loop durations {1, 2, 3}: capacity
+        // must agree with the characteristic-equation solver.
+        let fsm =
+            FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 2.0), edge(0, 0, 3.0)]).unwrap();
+        let c_fsm = fsm.capacity().unwrap();
+        let c_shannon = noiseless_timing_capacity(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(
+            (c_fsm - c_shannon).abs() < 1e-7,
+            "fsm={c_fsm} shannon={c_shannon}"
+        );
+    }
+
+    #[test]
+    fn telegraph_durations_give_golden_ratio() {
+        let fsm = FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 2.0)]).unwrap();
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((fsm.capacity().unwrap() - phi.log2()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn two_state_alternating_machine() {
+        // Two states, two parallel unit edges each way: per unit time
+        // the machine emits one of two choices every step.
+        let fsm = FsmChannel::new(
+            2,
+            vec![
+                edge(0, 1, 1.0),
+                edge(0, 1, 1.0),
+                edge(1, 0, 1.0),
+                edge(1, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        assert!((fsm.capacity().unwrap() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn longer_durations_reduce_capacity() {
+        let fast = FsmChannel::new(1, vec![edge(0, 0, 1.0), edge(0, 0, 1.0)]).unwrap();
+        let slow = FsmChannel::new(1, vec![edge(0, 0, 2.0), edge(0, 0, 2.0)]).unwrap();
+        assert!(fast.capacity().unwrap() > slow.capacity().unwrap());
+        assert!((slow.capacity().unwrap() - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unit_time_capacity_agrees_with_general_solver() {
+        let fsm =
+            FsmChannel::new(2, vec![edge(0, 0, 1.0), edge(0, 1, 1.0), edge(1, 0, 1.0)]).unwrap();
+        let general = fsm.capacity().unwrap();
+        let unit = fsm.unit_time_capacity().unwrap();
+        // Fibonacci graph: capacity log2(phi).
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((unit - phi.log2()).abs() < 1e-9);
+        assert!((general - unit).abs() < 1e-6);
+    }
+}

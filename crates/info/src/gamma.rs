@@ -1,0 +1,238 @@
+//! Gamma-family special functions and chi-square tail probabilities.
+//!
+//! The measurement pipeline tests goodness of fit with chi-square
+//! statistics; a real p-value needs the regularized incomplete gamma
+//! function. Implemented from first principles: Lanczos
+//! approximation for `ln Γ`, power series and continued fraction for
+//! the regularized incomplete gamma (Numerical-Recipes style), and
+//! the chi-square survival function on top.
+
+use crate::error::InfoError;
+
+/// Lanczos coefficients (g = 7, n = 9).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] for non-positive or
+/// non-finite `x`.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::gamma::ln_gamma;
+/// // Γ(5) = 24.
+/// assert!((ln_gamma(5.0)? - 24.0f64.ln()).abs() < 1e-12);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn ln_gamma(x: f64) -> Result<f64, InfoError> {
+    if !x.is_finite() || x <= 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "ln_gamma domain is x > 0, got {x}"
+        )));
+    }
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx).
+        let reflected = ln_gamma(1.0 - x)?;
+        return Ok(std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().abs().ln()
+            - reflected);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    Ok(0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln())
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)` for
+/// `a > 0`, `x ≥ 0`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] outside the domain and
+/// [`InfoError::NoConvergence`] if neither expansion settles (does
+/// not happen for sane magnitudes).
+pub fn regularized_gamma_p(a: f64, x: f64) -> Result<f64, InfoError> {
+    if !a.is_finite() || a <= 0.0 || !x.is_finite() || x < 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "regularized_gamma_p domain is a > 0, x >= 0; got a = {a}, x = {x}"
+        )));
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    let ln_g = ln_gamma(a)?;
+    let prefactor = (a * x.ln() - x - ln_g).exp();
+    if x < a + 1.0 {
+        // Series: P(a,x) = prefactor * Σ x^n Γ(a)/Γ(a+1+n).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        for n in 1..500 {
+            term *= x / (a + n as f64);
+            sum += term;
+            if term.abs() < sum.abs() * 1e-16 {
+                return Ok((prefactor * sum).clamp(0.0, 1.0));
+            }
+        }
+        Err(InfoError::NoConvergence {
+            iterations: 500,
+            residual: term,
+        })
+    } else {
+        // Continued fraction for Q(a,x) (modified Lentz).
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                return Ok((1.0 - prefactor * h).clamp(0.0, 1.0));
+            }
+        }
+        Err(InfoError::NoConvergence {
+            iterations: 500,
+            residual: h,
+        })
+    }
+}
+
+/// Chi-square survival function (p-value): `P(X ≥ stat)` for a
+/// chi-square variable with `dof` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] for `dof == 0` or negative
+/// / non-finite `stat`.
+///
+/// # Example
+///
+/// The classic 5% critical value for 3 degrees of freedom:
+///
+/// ```
+/// use nsc_info::gamma::chi_square_p_value;
+/// let p = chi_square_p_value(7.815, 3)?;
+/// assert!((p - 0.05).abs() < 1e-3);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn chi_square_p_value(stat: f64, dof: usize) -> Result<f64, InfoError> {
+    if dof == 0 {
+        return Err(InfoError::InvalidArgument(
+            "chi-square needs at least one degree of freedom".to_owned(),
+        ));
+    }
+    if !stat.is_finite() || stat < 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "chi-square statistic must be non-negative, got {stat}"
+        )));
+    }
+    Ok(1.0 - regularized_gamma_p(dof as f64 / 2.0, stat / 2.0)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(1/2) = sqrt(pi).
+        assert!(ln_gamma(1.0).unwrap().abs() < 1e-12);
+        assert!(ln_gamma(2.0).unwrap().abs() < 1e-12);
+        assert!((ln_gamma(5.0).unwrap() - 24.0f64.ln()).abs() < 1e-12);
+        let half = ln_gamma(0.5).unwrap();
+        assert!((half - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x).
+        for &x in &[0.3, 1.7, 4.2, 11.5] {
+            let lhs = ln_gamma(x + 1.0).unwrap();
+            let rhs = ln_gamma(x).unwrap() + x.ln();
+            assert!((lhs - rhs).abs() < 1e-10, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_domain() {
+        assert!(ln_gamma(0.0).is_err());
+        assert!(ln_gamma(-1.0).is_err());
+        assert!(ln_gamma(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn incomplete_gamma_endpoints() {
+        assert_eq!(regularized_gamma_p(2.0, 0.0).unwrap(), 0.0);
+        assert!(regularized_gamma_p(2.0, 100.0).unwrap() > 0.999_999);
+        assert!(regularized_gamma_p(0.0, 1.0).is_err());
+        assert!(regularized_gamma_p(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}.
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            let p = regularized_gamma_p(1.0, x).unwrap();
+            assert!((p - (1.0 - (-x).exp())).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn chi_square_critical_values() {
+        // Textbook 5% critical values.
+        for &(dof, crit) in &[(1usize, 3.841), (2, 5.991), (3, 7.815), (10, 18.307)] {
+            let p = chi_square_p_value(crit, dof).unwrap();
+            assert!((p - 0.05).abs() < 2e-3, "dof = {dof}, p = {p}");
+        }
+        // 1% critical value for dof = 5.
+        let p = chi_square_p_value(15.086, 5).unwrap();
+        assert!((p - 0.01).abs() < 5e-4, "p = {p}");
+    }
+
+    #[test]
+    fn chi_square_edge_cases() {
+        assert_eq!(chi_square_p_value(0.0, 3).unwrap(), 1.0);
+        assert!(chi_square_p_value(1e6, 3).unwrap() < 1e-10);
+        assert!(chi_square_p_value(-1.0, 3).is_err());
+        assert!(chi_square_p_value(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn chi_square_monotone_in_stat() {
+        let mut last = 1.0;
+        for i in 0..20 {
+            let p = chi_square_p_value(i as f64, 4).unwrap();
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Information-theory and numerical-optimization substrate.
+//!
+//! This crate provides the mathematical machinery used throughout the
+//! non-synchronous covert-channel workspace:
+//!
+//! * validated probability types ([`Probability`], [`Distribution`]),
+//! * entropy and mutual-information functionals ([`entropy`]),
+//! * the Blahut–Arimoto algorithm for the capacity of an arbitrary
+//!   discrete memoryless channel ([`blahut`]),
+//! * capacity *per unit time* for channels whose symbols have unequal
+//!   durations ([`timing`]), as used by Millen's finite-state covert
+//!   channel model,
+//! * Shannon/Millen noiseless finite-state channel capacity ([`fsm`]),
+//! * dense matrices and spectral-radius computation ([`matrix`]),
+//! * scalar root finding and maximization ([`roots`], [`optimize`]),
+//! * Markov-chain utilities ([`markov`]) and
+//! * basic estimation statistics ([`stats`]).
+//!
+//! Everything is implemented from first principles on `f64`; there are
+//! no external numeric dependencies. All iterative routines take
+//! explicit tolerances and iteration limits and return [`InfoError`]
+//! on failure instead of panicking.
+//!
+//! # Example
+//!
+//! Computing the capacity of a binary symmetric channel with the
+//! generic Blahut–Arimoto solver and checking it against the closed
+//! form `1 - H(p)`:
+//!
+//! ```
+//! use nsc_info::blahut::{blahut_arimoto, BlahutOptions};
+//! use nsc_info::entropy::binary_entropy;
+//!
+//! let p = 0.11;
+//! let transition = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+//! let result = blahut_arimoto(&transition, &BlahutOptions::default()).unwrap();
+//! let closed_form = 1.0 - binary_entropy(p);
+//! assert!((result.capacity - closed_form).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod blahut;
+pub mod dist;
+pub mod entropy;
+pub mod error;
+pub mod fano;
+pub mod fsm;
+pub mod gamma;
+pub mod markov;
+pub mod matrix;
+pub mod optimize;
+pub mod roots;
+pub mod stats;
+pub mod timing;
+pub mod units;
+
+pub use dist::{Distribution, Probability};
+pub use error::InfoError;
+pub use units::{BitsPerSymbol, BitsPerTick};

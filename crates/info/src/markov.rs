@@ -1,0 +1,239 @@
+//! Finite Markov chains: stationary distributions and entropy rates.
+//!
+//! Protocol analyses in `nsc-core` (e.g. the counter protocol's
+//! alternating send/receive occupancy) and the HMM-based watermark
+//! decoder in `nsc-coding` both reduce to questions about small
+//! Markov chains.
+
+use crate::dist::Distribution;
+use crate::entropy::entropy;
+use crate::error::InfoError;
+use serde::{Deserialize, Serialize};
+
+/// A finite, row-stochastic Markov chain.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::markov::MarkovChain;
+///
+/// // A two-state chain that flips with probability 0.25.
+/// let mc = MarkovChain::new(vec![
+///     vec![0.75, 0.25],
+///     vec![0.25, 0.75],
+/// ])?;
+/// let pi = mc.stationary(1e-12, 100_000)?;
+/// assert!((pi[0] - 0.5).abs() < 1e-9);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain {
+    rows: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Creates a chain from a row-stochastic transition matrix
+    /// `rows[i][j] = P(next = j | current = i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error when the matrix is empty, ragged,
+    /// non-square, or a row is not a probability distribution.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, InfoError> {
+        crate::blahut::validate_transition_matrix(&rows)?;
+        if rows[0].len() != rows.len() {
+            return Err(InfoError::DimensionMismatch {
+                got: (rows.len(), rows[0].len()),
+                expected: (rows.len(), rows.len()),
+            });
+        }
+        Ok(MarkovChain { rows })
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Borrow the transition matrix.
+    pub fn transition_matrix(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// One step of the chain: `next_j = Σ_i current_i · P(j | i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::DimensionMismatch`] when `current` has the
+    /// wrong length.
+    pub fn step(&self, current: &[f64]) -> Result<Vec<f64>, InfoError> {
+        if current.len() != self.states() {
+            return Err(InfoError::DimensionMismatch {
+                got: (current.len(), 1),
+                expected: (self.states(), 1),
+            });
+        }
+        let n = self.states();
+        let mut next = vec![0.0; n];
+        for (i, &ci) in current.iter().enumerate() {
+            if ci == 0.0 {
+                continue;
+            }
+            for (j, &pij) in self.rows[i].iter().enumerate() {
+                next[j] += ci * pij;
+            }
+        }
+        Ok(next)
+    }
+
+    /// Stationary distribution by fixed-point iteration from the
+    /// uniform start, with damping to handle periodic chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::NoConvergence`] if the iteration does not
+    /// settle within `max_iter` steps (e.g. the chain has several
+    /// closed classes and the limit depends on the start — callers
+    /// should treat that as "no unique stationary distribution").
+    pub fn stationary(&self, tol: f64, max_iter: usize) -> Result<Distribution, InfoError> {
+        let n = self.states();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..max_iter {
+            let stepped = self.step(&pi)?;
+            // Damped update makes period-2 chains converge too.
+            let next: Vec<f64> = stepped
+                .iter()
+                .zip(&pi)
+                .map(|(s, p)| 0.5 * s + 0.5 * p)
+                .collect();
+            let delta: f64 = next
+                .iter()
+                .zip(&pi)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+            pi = next;
+            if delta < tol {
+                return Distribution::from_weights(&pi);
+            }
+        }
+        Err(InfoError::NoConvergence {
+            iterations: max_iter,
+            residual: tol,
+        })
+    }
+
+    /// Entropy rate of the stationary chain in bits per step:
+    /// `H = Σ_i π_i · H(P(· | i))`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::stationary`] errors.
+    pub fn entropy_rate(&self, tol: f64, max_iter: usize) -> Result<f64, InfoError> {
+        let pi = self.stationary(tol, max_iter)?;
+        Ok(pi
+            .iter()
+            .zip(&self.rows)
+            .map(|(p, row)| p * entropy(row))
+            .sum())
+    }
+
+    /// Expected hitting probability mass on state `target` after `k`
+    /// steps from distribution `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::DimensionMismatch`] for a wrong-length
+    /// start vector or [`InfoError::InvalidArgument`] for an invalid
+    /// target.
+    pub fn occupancy_after(
+        &self,
+        start: &[f64],
+        k: usize,
+        target: usize,
+    ) -> Result<f64, InfoError> {
+        if target >= self.states() {
+            return Err(InfoError::InvalidArgument(format!(
+                "target state {target} out of range"
+            )));
+        }
+        let mut v = start.to_vec();
+        for _ in 0..k {
+            v = self.step(&v)?;
+        }
+        Ok(v[target])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(MarkovChain::new(vec![vec![0.5, 0.5]]).is_err()); // non-square
+        assert!(MarkovChain::new(vec![vec![0.5, 0.6], vec![0.5, 0.5]]).is_err());
+        assert!(MarkovChain::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let mc = MarkovChain::new(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let pi = mc.stationary(1e-13, 1_000_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_of_biased_chain() {
+        // Birth-death chain with known stationary distribution
+        // pi ∝ (1, a/b) for flip rates a (0→1) and b (1→0).
+        let a = 0.2;
+        let b = 0.6;
+        let mc = MarkovChain::new(vec![vec![1.0 - a, a], vec![b, 1.0 - b]]).unwrap();
+        let pi = mc.stationary(1e-13, 1_000_000).unwrap();
+        let expected0 = b / (a + b);
+        assert!((pi[0] - expected0).abs() < 1e-9, "pi = {pi:?}");
+    }
+
+    #[test]
+    fn stationary_of_periodic_chain_converges_with_damping() {
+        let mc = MarkovChain::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let pi = mc.stationary(1e-13, 1_000_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_rate_of_iid_chain_is_row_entropy() {
+        // All rows identical => iid process.
+        let mc = MarkovChain::new(vec![vec![0.25, 0.75], vec![0.25, 0.75]]).unwrap();
+        let h = mc.entropy_rate(1e-13, 1_000_000).unwrap();
+        assert!((h - crate::entropy::binary_entropy(0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_rate_of_deterministic_chain_is_zero() {
+        let mc = MarkovChain::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(mc.entropy_rate(1e-13, 1_000_000).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_evolves() {
+        let mc = MarkovChain::new(vec![vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        // Absorbing state 1: after one step all mass is there.
+        let occ = mc.occupancy_after(&[1.0, 0.0], 1, 1).unwrap();
+        assert_eq!(occ, 1.0);
+        assert!(mc.occupancy_after(&[1.0], 1, 0).is_err());
+        assert!(mc.occupancy_after(&[1.0, 0.0], 1, 9).is_err());
+    }
+
+    #[test]
+    fn step_preserves_total_mass() {
+        let mc = MarkovChain::new(vec![
+            vec![0.2, 0.5, 0.3],
+            vec![0.1, 0.8, 0.1],
+            vec![0.3, 0.3, 0.4],
+        ])
+        .unwrap();
+        let v = mc.step(&[0.2, 0.3, 0.5]).unwrap();
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

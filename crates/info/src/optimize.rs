@@ -1,0 +1,225 @@
+//! One-dimensional maximization routines.
+//!
+//! Capacity expressions such as the timed Z-channel's rate or the
+//! mutual information of a two-input channel as a function of the
+//! input bias are unimodal in one scalar; golden-section search is the
+//! derivative-free tool of choice.
+
+use crate::error::InfoError;
+
+/// Options controlling a one-dimensional maximizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeOptions {
+    /// Absolute tolerance on the argument.
+    pub x_tol: f64,
+    /// Maximum number of function evaluations.
+    pub max_iter: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            x_tol: 1e-10,
+            max_iter: 500,
+        }
+    }
+}
+
+/// Result of a one-dimensional maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Argument attaining the maximum.
+    pub argmax: f64,
+    /// Value of the objective at [`Maximum::argmax`].
+    pub value: f64,
+}
+
+/// Maximizes a unimodal function on `[lo, hi]` by golden-section
+/// search.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when the interval is empty
+/// or not finite, and [`InfoError::NoConvergence`] when the interval
+/// does not shrink below `x_tol` within the evaluation budget.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::optimize::{golden_section_max, OptimizeOptions};
+/// let m = golden_section_max(|x| -(x - 0.3) * (x - 0.3), 0.0, 1.0,
+///                            &OptimizeOptions::default())?;
+/// assert!((m.argmax - 0.3).abs() < 1e-6);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn golden_section_max<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    opts: &OptimizeOptions,
+) -> Result<Maximum, InfoError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(InfoError::InvalidArgument(format!(
+            "bad interval [{lo}, {hi}]"
+        )));
+    }
+    if lo == hi {
+        return Ok(Maximum {
+            argmax: lo,
+            value: f(lo),
+        });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9; // 1/phi
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..opts.max_iter {
+        if (b - a).abs() <= opts.x_tol {
+            let x = 0.5 * (a + b);
+            return Ok(Maximum {
+                argmax: x,
+                value: f(x),
+            });
+        }
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    Err(InfoError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Maximizes `f` on a uniform grid of `n + 1` points over `[lo, hi]`,
+/// returning the best grid point. Robust for multimodal objectives;
+/// often used to bracket before refining with
+/// [`golden_section_max`].
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when the interval is
+/// invalid or `n == 0`.
+pub fn grid_max<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, n: usize) -> Result<Maximum, InfoError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi || n == 0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "bad grid [{lo}, {hi}] with {n} cells"
+        )));
+    }
+    let mut best = Maximum {
+        argmax: lo,
+        value: f(lo),
+    };
+    for i in 1..=n {
+        let x = lo + (hi - lo) * i as f64 / n as f64;
+        let v = f(x);
+        if v > best.value {
+            best = Maximum {
+                argmax: x,
+                value: v,
+            };
+        }
+    }
+    Ok(best)
+}
+
+/// Maximizes a unimodal function by a coarse grid pass followed by
+/// golden-section refinement around the best grid cell. A pragmatic
+/// default for capacity curves that are unimodal but whose peak
+/// location is unknown.
+///
+/// # Errors
+///
+/// Propagates errors from [`grid_max`] and [`golden_section_max`].
+pub fn refine_max<F: Fn(f64) -> f64 + Copy>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    grid: usize,
+    opts: &OptimizeOptions,
+) -> Result<Maximum, InfoError> {
+    let coarse = grid_max(f, lo, hi, grid)?;
+    let cell = (hi - lo) / grid as f64;
+    let a = (coarse.argmax - cell).max(lo);
+    let b = (coarse.argmax + cell).min(hi);
+    golden_section_max(f, a, b, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let m = golden_section_max(
+            |x| -(x - 0.42) * (x - 0.42) + 7.0,
+            0.0,
+            1.0,
+            &OptimizeOptions::default(),
+        )
+        .unwrap();
+        assert!((m.argmax - 0.42).abs() < 1e-6);
+        assert!((m.value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_degenerate_interval() {
+        let m = golden_section_max(|x| x, 2.0, 2.0, &OptimizeOptions::default()).unwrap();
+        assert_eq!(m.argmax, 2.0);
+        assert_eq!(m.value, 2.0);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_interval() {
+        assert!(golden_section_max(|x| x, 1.0, 0.0, &OptimizeOptions::default()).is_err());
+        assert!(golden_section_max(|x| x, f64::NAN, 1.0, &OptimizeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn golden_section_on_entropy() {
+        // H(p) is maximized at p = 1/2.
+        let m = golden_section_max(
+            crate::entropy::binary_entropy,
+            0.0,
+            1.0,
+            &OptimizeOptions::default(),
+        )
+        .unwrap();
+        assert!((m.argmax - 0.5).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_max_basics() {
+        let m = grid_max(|x| -(x - 0.3) * (x - 0.3), 0.0, 1.0, 10).unwrap();
+        assert!((m.argmax - 0.3).abs() <= 0.05 + 1e-12);
+        assert!(grid_max(|x| x, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn refine_max_beats_grid_alone() {
+        let f = |x: f64| -(x - 0.123_456).powi(2);
+        let refined = refine_max(f, 0.0, 1.0, 10, &OptimizeOptions::default()).unwrap();
+        assert!((refined.argmax - 0.123_456).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_maximum_found() {
+        // Monotone function: max is at the right endpoint.
+        let m = golden_section_max(|x| x, 0.0, 1.0, &OptimizeOptions::default()).unwrap();
+        assert!((m.argmax - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,246 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used by the Shannon/Millen finite-state capacity computation (root
+//! of a characteristic equation in the rate) and the capacity-per-
+//! unit-time solver (Dinkelbach iterations on a fractional objective).
+
+use crate::error::InfoError;
+
+/// Options controlling an iterative root finder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`InfoError::InvalidArgument`] when `lo >= hi` or an endpoint is
+///   not finite.
+/// * [`InfoError::NoBracket`] when `f(lo)` and `f(hi)` have the same
+///   (nonzero) sign.
+/// * [`InfoError::NoConvergence`] when the tolerance is not met within
+///   the iteration budget.
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::roots::{bisect, RootOptions};
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default())?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    opts: &RootOptions,
+) -> Result<f64, InfoError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(InfoError::InvalidArgument(format!(
+            "bad bracket [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(InfoError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..opts.max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.abs() <= opts.f_tol || (b - a) * 0.5 <= opts.x_tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(InfoError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: b - a,
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` using Brent's method (inverse
+/// quadratic interpolation with bisection fallback). Typically an
+/// order of magnitude fewer function evaluations than [`bisect`].
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    opts: &RootOptions,
+) -> Result<f64, InfoError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(InfoError::InvalidArgument(format!(
+            "bad bracket [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(InfoError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..opts.max_iter {
+        if fb.abs() <= opts.f_tol {
+            return Ok(b);
+        }
+        if (b - a).abs() <= opts.x_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let between = {
+            let lo_b = (3.0 * a + b) / 4.0;
+            let (x, y) = if lo_b < b { (lo_b, b) } else { (b, lo_b) };
+            s > x && s < y
+        };
+        let cond = !between
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < opts.x_tol)
+            || (!mflag && (c - d).abs() < opts.x_tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(InfoError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(r, 0.0);
+        let r = bisect(|x| x - 1.0, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default()),
+            Err(InfoError::NoBracket { .. })
+        ));
+        assert!(bisect(|x| x, 1.0, 0.0, &RootOptions::default()).is_err());
+        assert!(bisect(|x| x, f64::NAN, 1.0, &RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn brent_sqrt2() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // cos(x) = x has root ~ 0.7390851332.
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_steep_function() {
+        let f = |x: f64| (x - 0.123).powi(3);
+        let opts = RootOptions {
+            f_tol: 1e-15,
+            ..RootOptions::default()
+        };
+        let rb = bisect(f, 0.0, 1.0, &opts).unwrap();
+        let rr = brent(f, 0.0, 1.0, &opts).unwrap();
+        assert!((rb - 0.123).abs() < 1e-4);
+        assert!((rr - 0.123).abs() < 1e-4);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default()),
+            Err(InfoError::NoBracket { .. })
+        ));
+    }
+}

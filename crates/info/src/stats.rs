@@ -1,0 +1,305 @@
+//! Estimation statistics for measured channel parameters.
+//!
+//! The paper's practical recipe (§4.3) requires *measuring* the
+//! deletion probability `P_d` of a real system. Measurements are
+//! finite samples, so the estimator pipeline reports confidence
+//! intervals (Wilson score) and the experiment harness checks
+//! empirical event frequencies against configured ones with a
+//! chi-square statistic.
+
+use crate::error::InfoError;
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use nsc_info::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert_eq!(acc.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero when fewer than one sample).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (zero when fewer than two samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sample_std() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionInterval {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+}
+
+impl ProportionInterval {
+    /// Returns `true` when `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        (self.lower..=self.upper).contains(&p)
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Wilson score interval for a binomial proportion at normal quantile
+/// `z` (use `z = 1.96` for 95%).
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when `trials == 0`,
+/// `successes > trials`, or `z` is not positive and finite.
+pub fn wilson_interval(
+    successes: u64,
+    trials: u64,
+    z: f64,
+) -> Result<ProportionInterval, InfoError> {
+    if trials == 0 {
+        return Err(InfoError::InvalidArgument(
+            "wilson interval needs at least one trial".to_owned(),
+        ));
+    }
+    if successes > trials {
+        return Err(InfoError::InvalidArgument(format!(
+            "successes {successes} exceed trials {trials}"
+        )));
+    }
+    if !z.is_finite() || z <= 0.0 {
+        return Err(InfoError::InvalidArgument(format!(
+            "normal quantile must be positive, got {z}"
+        )));
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    Ok(ProportionInterval {
+        estimate: p,
+        lower: (center - half).max(0.0),
+        upper: (center + half).min(1.0),
+    })
+}
+
+/// Pearson chi-square statistic for observed counts against expected
+/// probabilities. Categories with zero expected probability must have
+/// zero observed count.
+///
+/// # Errors
+///
+/// Returns [`InfoError::DimensionMismatch`] when lengths differ and
+/// [`InfoError::InvalidArgument`] when an impossible category was
+/// observed or no observations were supplied.
+pub fn chi_square_statistic(observed: &[u64], expected_probs: &[f64]) -> Result<f64, InfoError> {
+    if observed.len() != expected_probs.len() {
+        return Err(InfoError::DimensionMismatch {
+            got: (observed.len(), 1),
+            expected: (expected_probs.len(), 1),
+        });
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return Err(InfoError::InvalidArgument(
+            "chi-square needs at least one observation".to_owned(),
+        ));
+    }
+    let mut stat = 0.0;
+    for (&obs, &p) in observed.iter().zip(expected_probs) {
+        let expect = total as f64 * p;
+        if expect == 0.0 {
+            if obs > 0 {
+                return Err(InfoError::InvalidArgument(
+                    "observed an event with expected probability zero".to_owned(),
+                ));
+            }
+            continue;
+        }
+        let d = obs as f64 - expect;
+        stat += d * d / expect;
+    }
+    Ok(stat)
+}
+
+/// A conservative chi-square acceptance threshold: mean + `k` standard
+/// deviations of the chi-square distribution with `dof` degrees of
+/// freedom (`mean = dof`, `variance = 2·dof`). Good enough for the
+/// harness's sanity checks without a full inverse-CDF.
+pub fn chi_square_threshold(dof: usize, k: f64) -> f64 {
+    let d = dof as f64;
+    d + k * (2.0 * d).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_matches_textbook_example() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(acc.count(), 8);
+        assert_eq!(acc.mean(), 5.0);
+        assert_eq!(acc.population_variance(), 4.0);
+        assert!((acc.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!(acc.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn accumulator_empty_and_single() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        let one: Accumulator = [3.0].into_iter().collect();
+        assert_eq!(one.mean(), 3.0);
+        assert_eq!(one.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_contains_truth_for_exact_proportion() {
+        let iv = wilson_interval(500, 1000, 1.96).unwrap();
+        assert!(iv.contains(0.5));
+        assert!((iv.estimate - 0.5).abs() < 1e-12);
+        assert!(iv.width() < 0.07);
+    }
+
+    #[test]
+    fn wilson_interval_is_clamped_to_unit_range() {
+        let iv0 = wilson_interval(0, 10, 1.96).unwrap();
+        assert_eq!(iv0.lower, 0.0);
+        assert!(iv0.upper > 0.0);
+        let iv1 = wilson_interval(10, 10, 1.96).unwrap();
+        assert_eq!(iv1.upper, 1.0);
+        assert!(iv1.lower < 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_more_trials() {
+        let small = wilson_interval(5, 10, 1.96).unwrap();
+        let large = wilson_interval(5_000, 10_000, 1.96).unwrap();
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn wilson_interval_rejects_bad_input() {
+        assert!(wilson_interval(1, 0, 1.96).is_err());
+        assert!(wilson_interval(11, 10, 1.96).is_err());
+        assert!(wilson_interval(5, 10, 0.0).is_err());
+        assert!(wilson_interval(5, 10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn chi_square_zero_for_perfect_fit() {
+        let stat = chi_square_statistic(&[25, 25, 25, 25], &[0.25; 4]).unwrap();
+        assert_eq!(stat, 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_misfit() {
+        let ok = chi_square_statistic(&[26, 24, 25, 25], &[0.25; 4]).unwrap();
+        let bad = chi_square_statistic(&[70, 10, 10, 10], &[0.25; 4]).unwrap();
+        assert!(bad > ok);
+        assert!(bad > chi_square_threshold(3, 5.0));
+        assert!(ok < chi_square_threshold(3, 5.0));
+    }
+
+    #[test]
+    fn chi_square_impossible_category() {
+        assert!(chi_square_statistic(&[1, 1], &[1.0, 0.0]).is_err());
+        let ok = chi_square_statistic(&[2, 0], &[1.0, 0.0]).unwrap();
+        assert_eq!(ok, 0.0);
+        assert!(chi_square_statistic(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(chi_square_statistic(&[1], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn chi_square_threshold_monotone_in_dof() {
+        assert!(chi_square_threshold(10, 3.0) > chi_square_threshold(3, 3.0));
+    }
+}

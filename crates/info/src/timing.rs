@@ -1,0 +1,329 @@
+//! Capacity per unit time for channels with unequal symbol durations.
+//!
+//! Traditional covert-channel capacity estimation (Millen 1987/1989,
+//! Moskowitz's Simple Timing Channels) measures capacity in bits per
+//! second for channels whose symbols take different times to send.
+//! Two solvers live here:
+//!
+//! * [`noiseless_timing_capacity`] — Shannon's classic result for a
+//!   noiseless channel with symbol durations `t_1..t_k`: the capacity
+//!   is the unique `C ≥ 0` with `Σ_i 2^{-C·t_i} = 1`.
+//! * [`capacity_per_unit_time`] — the general noisy case
+//!   `C = max_p I(p; W) / E_p[T]`, solved by Dinkelbach iterations
+//!   whose inner problems are cost-tilted Blahut–Arimoto passes.
+//!
+//! These are the "traditional methods" the paper's §4.3 Remarks feed
+//! into its correction: estimate a physical capacity `C` this way,
+//! then report `C · (1 − P_d)`.
+
+use crate::blahut::validate_transition_matrix;
+use crate::dist::Distribution;
+use crate::error::InfoError;
+use crate::roots::{brent, RootOptions};
+
+/// Options for the capacity-per-unit-time solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingOptions {
+    /// Tolerance on the rate (bits per unit time).
+    pub tolerance: f64,
+    /// Outer (Dinkelbach) iteration budget.
+    pub max_outer: usize,
+    /// Inner (Blahut–Arimoto) iteration budget per outer step.
+    pub max_inner: usize,
+}
+
+impl Default for TimingOptions {
+    fn default() -> Self {
+        TimingOptions {
+            tolerance: 1e-10,
+            max_outer: 100,
+            max_inner: 20_000,
+        }
+    }
+}
+
+/// Result of a capacity-per-unit-time computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingCapacity {
+    /// Capacity in bits per unit time.
+    pub rate: f64,
+    /// The rate-optimal input distribution.
+    pub input: Distribution,
+    /// Mutual information at the optimal input (bits per channel use).
+    pub bits_per_use: f64,
+    /// Mean symbol duration at the optimal input.
+    pub mean_duration: f64,
+}
+
+/// Shannon's noiseless timing capacity: the unique `C ≥ 0` solving
+/// `Σ_i 2^{-C·t_i} = 1` for symbol durations `t_i`.
+///
+/// This is Moskowitz's Simple Timing Channel capacity and the
+/// single-state case of Millen's finite-state model.
+///
+/// # Errors
+///
+/// Returns [`InfoError::InvalidArgument`] when `durations` is empty,
+/// contains a non-positive or non-finite value, or has exactly one
+/// symbol of zero duration. A single symbol yields capacity zero (one
+/// symbol carries no information).
+///
+/// # Example
+///
+/// Two symbols of durations 1 and 2 give the "telegraph" capacity
+/// `log2(φ)` where `φ` is the golden ratio:
+///
+/// ```
+/// use nsc_info::timing::noiseless_timing_capacity;
+/// let c = noiseless_timing_capacity(&[1.0, 2.0])?;
+/// let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+/// assert!((c - phi.log2()).abs() < 1e-10);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn noiseless_timing_capacity(durations: &[f64]) -> Result<f64, InfoError> {
+    if durations.is_empty() {
+        return Err(InfoError::InvalidArgument(
+            "need at least one symbol duration".to_owned(),
+        ));
+    }
+    for &t in durations {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(InfoError::InvalidArgument(format!(
+                "symbol durations must be positive and finite, got {t}"
+            )));
+        }
+    }
+    if durations.len() == 1 {
+        return Ok(0.0);
+    }
+    let f = |c: f64| durations.iter().map(|&t| (-c * t).exp2()).sum::<f64>() - 1.0;
+    // f(0) = k - 1 > 0 and f is strictly decreasing; find an upper
+    // bracket by doubling.
+    let mut hi = 1.0;
+    while f(hi) > 0.0 {
+        hi *= 2.0;
+        if hi > 1e9 {
+            return Err(InfoError::NoConvergence {
+                iterations: 0,
+                residual: f(hi),
+            });
+        }
+    }
+    brent(f, 0.0, hi, &RootOptions::default())
+}
+
+/// Inner helper: for a fixed Lagrange rate `r`, maximize
+/// `I(p) − r·E_p[T]` over input distributions via a cost-tilted
+/// Blahut–Arimoto pass. Returns `(objective, p, mutual_info,
+/// mean_duration)`.
+fn tilted_blahut(
+    w: &[Vec<f64>],
+    durations: &[f64],
+    rate: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<(f64, Vec<f64>, f64, f64), InfoError> {
+    let nx = w.len();
+    let ny = w[0].len();
+    let mut p = vec![1.0 / nx as f64; nx];
+    let mut score = vec![0.0_f64; nx];
+    let mut result = (f64::NEG_INFINITY, p.clone(), 0.0, 0.0);
+    for _ in 0..max_iter {
+        let mut r_out = vec![0.0_f64; ny];
+        for (px, row) in p.iter().zip(w) {
+            for (ry, &wxy) in r_out.iter_mut().zip(row) {
+                *ry += px * wxy;
+            }
+        }
+        let mut info = 0.0;
+        let mut mean_t = 0.0;
+        for (x, row) in w.iter().enumerate() {
+            let mut d = 0.0;
+            for (&wxy, &ry) in row.iter().zip(&r_out) {
+                if wxy > 0.0 {
+                    d += wxy * (wxy / ry).log2();
+                }
+            }
+            score[x] = d - rate * durations[x];
+            info += p[x] * d;
+            mean_t += p[x] * durations[x];
+        }
+        let lower: f64 = p.iter().zip(&score).map(|(px, sx)| px * sx).sum();
+        let upper = score.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        result = (lower, p.clone(), info, mean_t);
+        if upper - lower <= tol {
+            return Ok(result);
+        }
+        let mut z = 0.0;
+        for (px, sx) in p.iter_mut().zip(&score) {
+            *px *= (sx - upper).exp2();
+            z += *px;
+        }
+        if z <= 0.0 || !z.is_finite() {
+            return Err(InfoError::NoConvergence {
+                iterations: max_iter,
+                residual: z,
+            });
+        }
+        for px in &mut p {
+            *px /= z;
+        }
+    }
+    // Accept the best lower bound found even if the bracket did not
+    // fully close; Dinkelbach's outer loop tolerates approximate inner
+    // solutions.
+    Ok(result)
+}
+
+/// Capacity per unit time of a DMC whose input symbol `x` takes
+/// `durations[x]` time units to send:
+/// `C = max_p I(p; W) / E_p[T]`.
+///
+/// # Errors
+///
+/// Returns a validation error for malformed `w` or `durations`
+/// (lengths must match, durations positive), and
+/// [`InfoError::NoConvergence`] when the Dinkelbach iteration fails to
+/// settle.
+///
+/// # Example
+///
+/// With equal durations the result is the plain capacity divided by
+/// the symbol time:
+///
+/// ```
+/// use nsc_info::timing::{capacity_per_unit_time, TimingOptions};
+/// use nsc_info::entropy::binary_entropy;
+/// let p = 0.1;
+/// let w = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+/// let tc = capacity_per_unit_time(&w, &[2.0, 2.0], &TimingOptions::default())?;
+/// assert!((tc.rate - (1.0 - binary_entropy(p)) / 2.0).abs() < 1e-8);
+/// # Ok::<(), nsc_info::InfoError>(())
+/// ```
+pub fn capacity_per_unit_time(
+    w: &[Vec<f64>],
+    durations: &[f64],
+    opts: &TimingOptions,
+) -> Result<TimingCapacity, InfoError> {
+    validate_transition_matrix(w)?;
+    if durations.len() != w.len() {
+        return Err(InfoError::DimensionMismatch {
+            got: (durations.len(), 1),
+            expected: (w.len(), 1),
+        });
+    }
+    for &t in durations {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(InfoError::InvalidArgument(format!(
+                "symbol durations must be positive and finite, got {t}"
+            )));
+        }
+    }
+    let mut rate = 0.0_f64;
+    for it in 0..opts.max_outer {
+        let (_, p, info, mean_t) =
+            tilted_blahut(w, durations, rate, opts.tolerance * 0.1, opts.max_inner)?;
+        let new_rate = if mean_t > 0.0 { info / mean_t } else { 0.0 };
+        if (new_rate - rate).abs() <= opts.tolerance {
+            return Ok(TimingCapacity {
+                rate: new_rate.max(0.0),
+                input: Distribution::from_weights(&p)?,
+                bits_per_use: info,
+                mean_duration: mean_t,
+            });
+        }
+        rate = new_rate;
+        let _ = it;
+    }
+    Err(InfoError::NoConvergence {
+        iterations: opts.max_outer,
+        residual: rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::binary_entropy;
+
+    #[test]
+    fn noiseless_equal_durations_is_log_k_over_t() {
+        let c = noiseless_timing_capacity(&[3.0, 3.0, 3.0, 3.0]).unwrap();
+        assert!((c - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noiseless_telegraph_golden_ratio() {
+        let c = noiseless_timing_capacity(&[1.0, 2.0]).unwrap();
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((c - phi.log2()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noiseless_single_symbol_is_zero() {
+        assert_eq!(noiseless_timing_capacity(&[5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn noiseless_rejects_bad_durations() {
+        assert!(noiseless_timing_capacity(&[]).is_err());
+        assert!(noiseless_timing_capacity(&[0.0, 1.0]).is_err());
+        assert!(noiseless_timing_capacity(&[-1.0, 1.0]).is_err());
+        assert!(noiseless_timing_capacity(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn noiseless_capacity_decreases_with_duration() {
+        let fast = noiseless_timing_capacity(&[1.0, 1.0]).unwrap();
+        let slow = noiseless_timing_capacity(&[2.0, 2.0]).unwrap();
+        assert!(fast > slow);
+        assert!((fast - 1.0).abs() < 1e-10);
+        assert!((slow - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn per_unit_time_equal_durations_reduces_to_dmc() {
+        let p = 0.07;
+        let w = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+        let tc = capacity_per_unit_time(&w, &[1.0, 1.0], &TimingOptions::default()).unwrap();
+        assert!((tc.rate - (1.0 - binary_entropy(p))).abs() < 1e-8);
+        assert!((tc.mean_duration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_unit_time_noiseless_matches_shannon_root() {
+        // Noiseless 2-symbol channel with durations 1 and 2, solved
+        // two independent ways.
+        let w = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let tc = capacity_per_unit_time(&w, &[1.0, 2.0], &TimingOptions::default()).unwrap();
+        let shannon = noiseless_timing_capacity(&[1.0, 2.0]).unwrap();
+        assert!(
+            (tc.rate - shannon).abs() < 1e-6,
+            "dinkelbach={} shannon={shannon}",
+            tc.rate
+        );
+        // The optimal input favors the short symbol.
+        assert!(tc.input[0] > tc.input[1]);
+    }
+
+    #[test]
+    fn per_unit_time_unequal_durations_tilt_input() {
+        let p = 0.05;
+        let w = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+        let tc = capacity_per_unit_time(&w, &[1.0, 10.0], &TimingOptions::default()).unwrap();
+        // Short symbol should be heavily favored but not exclusively.
+        assert!(tc.input[0] > 0.6 && tc.input[0] < 1.0, "{:?}", tc.input);
+        // The rate must beat "use only the slow pair" and lose to the
+        // per-use capacity at unit time.
+        assert!(tc.rate < 1.0 - binary_entropy(p));
+        assert!(tc.rate > 0.0);
+    }
+
+    #[test]
+    fn per_unit_time_validates_inputs() {
+        let w = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(capacity_per_unit_time(&w, &[1.0], &TimingOptions::default()).is_err());
+        assert!(capacity_per_unit_time(&w, &[1.0, 0.0], &TimingOptions::default()).is_err());
+        assert!(capacity_per_unit_time(&[], &[], &TimingOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Newtypes distinguishing the two rate units used in the paper.
+//!
+//! Capacity results in Wang & Lee are stated in two incompatible
+//! units. Theorems 1–5 give capacities in **bits per channel use**
+//! (here, [`BitsPerSymbol`]), while the practical estimation recipe of
+//! §4.3 converts a *physical* information rate measured in **bits per
+//! unit time** (here, [`BitsPerTick`], since our substrates are
+//! discrete-time simulators). Mixing the two silently is a classic
+//! estimation bug; the newtypes force an explicit conversion through a
+//! symbol duration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+macro_rules! rate_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the underlying `f64` value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of two rates.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two rates.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the rate is finite and non-negative —
+            /// the sanity requirement for any capacity value.
+            pub fn is_valid_capacity(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.6} ", $unit), self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+rate_newtype!(
+    /// An information rate in bits per channel use (per transmitted
+    /// symbol), the unit of Theorems 1–5.
+    BitsPerSymbol,
+    "bits/symbol"
+);
+
+rate_newtype!(
+    /// An information rate in bits per simulator tick — the physical
+    /// rate of §4.3, where wasted waiting time counts against the
+    /// channel.
+    BitsPerTick,
+    "bits/tick"
+);
+
+impl BitsPerSymbol {
+    /// Converts a per-symbol rate to a physical per-tick rate, given
+    /// the mean number of ticks consumed per channel use.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `ticks_per_use` is not strictly positive or
+    /// not finite.
+    pub fn per_tick(self, ticks_per_use: f64) -> Option<BitsPerTick> {
+        if ticks_per_use.is_finite() && ticks_per_use > 0.0 {
+            Some(BitsPerTick(self.0 / ticks_per_use))
+        } else {
+            None
+        }
+    }
+}
+
+impl BitsPerTick {
+    /// Converts a physical per-tick rate back to a per-symbol rate,
+    /// given the mean number of ticks consumed per channel use.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `ticks_per_use` is not strictly positive or
+    /// not finite.
+    pub fn per_symbol(self, ticks_per_use: f64) -> Option<BitsPerSymbol> {
+        if ticks_per_use.is_finite() && ticks_per_use > 0.0 {
+            Some(BitsPerSymbol(self.0 * ticks_per_use))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = BitsPerSymbol(1.5);
+        let b = BitsPerSymbol(0.5);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a - b).value(), 1.0);
+        assert_eq!((a * 2.0).value(), 3.0);
+        assert_eq!((a / 3.0).value(), 0.5);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn unit_conversion_round_trips() {
+        let per_symbol = BitsPerSymbol(2.0);
+        let per_tick = per_symbol.per_tick(4.0).unwrap();
+        assert_eq!(per_tick.value(), 0.5);
+        let back = per_tick.per_symbol(4.0).unwrap();
+        assert!((back.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_rejects_bad_durations() {
+        assert!(BitsPerSymbol(1.0).per_tick(0.0).is_none());
+        assert!(BitsPerSymbol(1.0).per_tick(-1.0).is_none());
+        assert!(BitsPerSymbol(1.0).per_tick(f64::NAN).is_none());
+        assert!(BitsPerTick(1.0).per_symbol(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(BitsPerSymbol(0.0).is_valid_capacity());
+        assert!(!BitsPerSymbol(-0.1).is_valid_capacity());
+        assert!(!BitsPerSymbol(f64::NAN).is_valid_capacity());
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert!(BitsPerSymbol(1.0).to_string().contains("bits/symbol"));
+        assert!(BitsPerTick(1.0).to_string().contains("bits/tick"));
+    }
+
+    #[test]
+    fn sum_of_rates() {
+        let total: BitsPerTick = [BitsPerTick(0.25); 4].into_iter().sum();
+        assert!((total.value() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the information-theory substrate.
+
+use nsc_info::blahut::{blahut_arimoto, BlahutOptions};
+use nsc_info::entropy::{binary_entropy, entropy, kl_divergence, mutual_information_channel};
+use nsc_info::stats::wilson_interval;
+use nsc_info::timing::noiseless_timing_capacity;
+use nsc_info::Distribution;
+use proptest::prelude::*;
+
+/// Strategy: a probability vector of 2..=6 entries.
+fn distribution() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1.0, 2..=6).prop_map(|w| {
+        let s: f64 = w.iter().sum();
+        w.into_iter().map(|x| x / s).collect()
+    })
+}
+
+/// Strategy: a row-stochastic matrix (nx × ny).
+fn channel_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..=4, 2usize..=4).prop_flat_map(|(nx, ny)| {
+        prop::collection::vec(
+            prop::collection::vec(0.001f64..1.0, ny..=ny).prop_map(|row| {
+                let s: f64 = row.iter().sum();
+                row.into_iter().map(|x| x / s).collect::<Vec<f64>>()
+            }),
+            nx..=nx,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn entropy_within_bounds(p in distribution()) {
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (p.len() as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn binary_entropy_concave_symmetric(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_divergence_nonnegative_and_zero_iff_equal(p in distribution()) {
+        prop_assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+        let u = vec![1.0 / p.len() as f64; p.len()];
+        prop_assert!(kl_divergence(&p, &u).unwrap() >= -1e-12);
+    }
+
+    #[test]
+    fn mutual_information_bounded(px in distribution(), w in channel_matrix()) {
+        // Align dimensions: truncate/normalize px to w's input count.
+        let nx = w.len();
+        let mut p: Vec<f64> = px.into_iter().cycle().take(nx).collect();
+        let s: f64 = p.iter().sum();
+        for v in &mut p { *v /= s; }
+        let i = mutual_information_channel(&p, &w).unwrap();
+        let hx = entropy(&p);
+        prop_assert!(i >= -1e-12);
+        prop_assert!(i <= hx + 1e-9, "I = {i} > H(X) = {hx}");
+        prop_assert!(i <= (w[0].len() as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn capacity_at_least_any_input_mi(w in channel_matrix(), px in distribution()) {
+        let nx = w.len();
+        let mut p: Vec<f64> = px.into_iter().cycle().take(nx).collect();
+        let s: f64 = p.iter().sum();
+        for v in &mut p { *v /= s; }
+        // Random channels can be near-degenerate; a looser tolerance
+        // with a larger budget keeps Blahut–Arimoto convergent.
+        let opts = BlahutOptions { tolerance: 1e-8, max_iter: 500_000 };
+        let c = blahut_arimoto(&w, &opts).unwrap().capacity;
+        let i = mutual_information_channel(&p, &w).unwrap();
+        prop_assert!(c + 1e-6 >= i, "capacity {c} below MI {i}");
+        prop_assert!(c <= (w.len().min(w[0].len()) as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn distribution_type_invariants(p in distribution()) {
+        let d = Distribution::new(p.clone()).unwrap();
+        prop_assert_eq!(d.len(), p.len());
+        // Sampling at any u lands in support.
+        for &u in &[0.0, 0.3, 0.99] {
+            prop_assert!(d.sample_with(u) < d.len());
+        }
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_interval_contains_mle(successes in 0u64..1000, extra in 1u64..1000) {
+        let trials = successes + extra;
+        let iv = wilson_interval(successes, trials, 1.96).unwrap();
+        prop_assert!(iv.lower <= iv.estimate && iv.estimate <= iv.upper);
+        prop_assert!(iv.lower >= 0.0 && iv.upper <= 1.0);
+    }
+
+    #[test]
+    fn shannon_capacity_monotone_in_alphabet(
+        t1 in 0.5f64..4.0, t2 in 0.5f64..4.0, t3 in 0.5f64..4.0,
+    ) {
+        let c2 = noiseless_timing_capacity(&[t1, t2]).unwrap();
+        let c3 = noiseless_timing_capacity(&[t1, t2, t3]).unwrap();
+        // Adding a symbol never reduces capacity.
+        prop_assert!(c3 + 1e-9 >= c2, "c2 = {c2}, c3 = {c3}");
+    }
+
+    #[test]
+    fn shannon_capacity_scales_inversely_with_time(
+        t1 in 0.5f64..4.0, t2 in 0.5f64..4.0, k in 1.1f64..3.0,
+    ) {
+        let base = noiseless_timing_capacity(&[t1, t2]).unwrap();
+        let slow = noiseless_timing_capacity(&[k * t1, k * t2]).unwrap();
+        prop_assert!((slow - base / k).abs() < 1e-6);
+    }
+}

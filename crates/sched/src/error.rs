@@ -1,0 +1,57 @@
+//! Error type for the scheduler substrate.
+
+use nsc_core::CoreError;
+use std::fmt;
+
+/// Errors produced when building or measuring scheduled systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The workload specification was invalid (e.g. missing the
+    /// covert pair, bad readiness probability).
+    BadWorkload(String),
+    /// A trace did not contain the events a measurement needs.
+    EmptyTrace,
+    /// An underlying core-library error.
+    Core(CoreError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
+            SchedError::EmptyTrace => write!(f, "trace contains no covert-pair activity"),
+            SchedError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SchedError {
+    fn from(e: CoreError) -> Self {
+        SchedError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SchedError::BadWorkload("no sender".to_owned()),
+            SchedError::EmptyTrace,
+            SchedError::Core(CoreError::BadSimulation("x".to_owned())),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Uniprocessor scheduler simulator and covert-channel measurement
+//! substrate.
+//!
+//! §3.1 of Wang & Lee's paper grounds non-synchrony in a concrete
+//! mechanism: *"In most operating systems, the scheduler determines
+//! when and who can gain the CPU. Depending on the scheduling
+//! algorithm, it is very likely that the sender is woken up twice
+//! without the receiver being able to run in between, or the receiver
+//! is woken up twice without the sender being able to run in
+//! between. In the former case a symbol is dropped while in the
+//! latter case an extra symbol is inserted."*
+//!
+//! This crate builds that system: a discrete-time uniprocessor
+//! ([`system::Uniprocessor`]) running a covert sender/receiver pair
+//! plus background load under pluggable scheduling policies
+//! ([`policy`]): round-robin, fixed priority, lottery, stride
+//! (proportional share), and uniformly random. The resulting
+//! schedule traces convert into operation schedules for `nsc-core`'s
+//! protocol runners ([`covert`]), closing the loop the paper asks
+//! for: *"Our method can be used to evaluate the effectiveness of
+//! candidate system implementations, e.g., the scheduler, in reducing
+//! covert channel capacities."* ([`mitigation`]).
+//!
+//! # Example
+//!
+//! ```
+//! use nsc_sched::policy::Lottery;
+//! use nsc_sched::system::{Uniprocessor, WorkloadSpec};
+//! use nsc_sched::covert::measure_covert_channel;
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! let spec = WorkloadSpec::covert_pair().with_background(2, 1.0);
+//! let mut system = Uniprocessor::new(spec, Box::new(Lottery::new()))?;
+//! let trace = system.run(20_000, &mut StdRng::seed_from_u64(1));
+//! let m = measure_covert_channel(&trace, 2, &mut StdRng::seed_from_u64(2))?;
+//! assert!(m.p_d > 0.0); // lottery scheduling drops symbols
+//! # Ok::<(), nsc_sched::SchedError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod covert;
+pub mod error;
+pub mod mitigation;
+pub mod mlfq;
+pub mod policy;
+pub mod process;
+pub mod system;
+pub mod timing;
+pub mod trace;
+
+pub use error::SchedError;
+pub use process::{Pid, Process, Role};
+pub use trace::Trace;

@@ -1,0 +1,317 @@
+//! Scheduling policies.
+//!
+//! Each policy picks, among the *ready* processes of a quantum, the
+//! one that runs. The set of policies spans the design space the
+//! paper's §3.2 alludes to: deterministic fairness (round-robin,
+//! stride), probabilistic fairness (lottery, uniform random), and
+//! strict precedence (fixed priority). Their covert-channel
+//! characteristics differ sharply — experiment E8 quantifies this.
+
+use crate::process::{Pid, Process};
+use rand::Rng;
+
+/// A scheduling policy over a fixed process table.
+///
+/// `pick` receives the full table and the pids that are ready this
+/// quantum (non-empty, sorted ascending) and returns the pid to run.
+pub trait Policy {
+    /// Chooses which ready process runs this quantum.
+    fn pick(&mut self, table: &[Process], ready: &[Pid], rng: &mut dyn rand::RngCore) -> Pid;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Classic round-robin: cycle through pids, skipping non-ready ones.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    last: Option<usize>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin policy.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Policy for RoundRobin {
+    fn pick(&mut self, table: &[Process], ready: &[Pid], _rng: &mut dyn rand::RngCore) -> Pid {
+        let n = table.len();
+        let start = self.last.map(|l| (l + 1) % n).unwrap_or(0);
+        // First ready pid at or after `start`, cyclically.
+        for off in 0..n {
+            let candidate = Pid((start + off) % n);
+            if ready.contains(&candidate) {
+                self.last = Some(candidate.0);
+                return candidate;
+            }
+        }
+        unreachable!("ready set is non-empty");
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Fixed priority: the highest-priority ready process runs; ties
+/// break round-robin among the tied set.
+#[derive(Debug, Clone, Default)]
+pub struct FixedPriority {
+    rr: RoundRobin,
+}
+
+impl FixedPriority {
+    /// Creates a fixed-priority policy.
+    pub fn new() -> Self {
+        FixedPriority::default()
+    }
+}
+
+impl Policy for FixedPriority {
+    fn pick(&mut self, table: &[Process], ready: &[Pid], rng: &mut dyn rand::RngCore) -> Pid {
+        let top = ready
+            .iter()
+            .map(|p| table[p.0].priority)
+            .max()
+            .expect("ready set is non-empty");
+        let tied: Vec<Pid> = ready
+            .iter()
+            .copied()
+            .filter(|p| table[p.0].priority == top)
+            .collect();
+        self.rr.pick(table, &tied, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-priority"
+    }
+}
+
+/// Lottery scheduling: a ready process wins with probability
+/// proportional to its ticket count (`weight`).
+#[derive(Debug, Clone, Default)]
+pub struct Lottery;
+
+impl Lottery {
+    /// Creates a lottery policy.
+    pub fn new() -> Self {
+        Lottery
+    }
+}
+
+impl Policy for Lottery {
+    fn pick(&mut self, table: &[Process], ready: &[Pid], rng: &mut dyn rand::RngCore) -> Pid {
+        let total: u64 = ready.iter().map(|p| table[p.0].weight as u64).sum();
+        if total == 0 {
+            // All-zero tickets degenerate to uniform.
+            return ready[rng.gen_range(0..ready.len())];
+        }
+        let mut draw = rng.gen_range(0..total);
+        for &p in ready {
+            let w = table[p.0].weight as u64;
+            if draw < w {
+                return p;
+            }
+            draw -= w;
+        }
+        unreachable!("draw < total tickets");
+    }
+
+    fn name(&self) -> &'static str {
+        "lottery"
+    }
+}
+
+/// Stride scheduling: deterministic proportional share. Each process
+/// advances a *pass* value by `STRIDE_UNIT / weight` when it runs;
+/// the ready process with the smallest pass runs next.
+#[derive(Debug, Clone, Default)]
+pub struct Stride {
+    passes: Vec<f64>,
+}
+
+/// The stride numerator (any constant works; this matches the
+/// original paper's large-integer convention).
+const STRIDE_UNIT: f64 = (1 << 20) as f64;
+
+impl Stride {
+    /// Creates a stride policy.
+    pub fn new() -> Self {
+        Stride::default()
+    }
+}
+
+impl Policy for Stride {
+    fn pick(&mut self, table: &[Process], ready: &[Pid], _rng: &mut dyn rand::RngCore) -> Pid {
+        if self.passes.len() != table.len() {
+            self.passes = vec![0.0; table.len()];
+        }
+        let winner = ready
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                self.passes[a.0]
+                    .partial_cmp(&self.passes[b.0])
+                    .expect("passes are finite")
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("ready set is non-empty");
+        let w = table[winner.0].weight.max(1) as f64;
+        self.passes[winner.0] += STRIDE_UNIT / w;
+        winner
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+/// Uniformly random among ready processes, ignoring weights — the
+/// maximally scheduler-noise-injecting baseline sometimes proposed
+/// as covert-channel mitigation.
+#[derive(Debug, Clone, Default)]
+pub struct UniformRandom;
+
+impl UniformRandom {
+    /// Creates a uniform-random policy.
+    pub fn new() -> Self {
+        UniformRandom
+    }
+}
+
+impl Policy for UniformRandom {
+    fn pick(&mut self, _table: &[Process], ready: &[Pid], rng: &mut dyn rand::RngCore) -> Pid {
+        ready[rng.gen_range(0..ready.len())]
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Role;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Vec<Process> {
+        (0..n).map(|_| Process::greedy(Role::Background)).collect()
+    }
+
+    fn pids(ids: &[usize]) -> Vec<Pid> {
+        ids.iter().map(|&i| Pid(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let t = table(3);
+        let ready = pids(&[0, 1, 2]);
+        let mut rr = RoundRobin::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(&t, &ready, &mut rng).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let t = table(3);
+        let mut rr = RoundRobin::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rr.pick(&t, &pids(&[0, 1, 2]), &mut rng).0, 0);
+        // Process 1 blocked: jump to 2.
+        assert_eq!(rr.pick(&t, &pids(&[0, 2]), &mut rng).0, 2);
+        assert_eq!(rr.pick(&t, &pids(&[0, 1, 2]), &mut rng).0, 0);
+    }
+
+    #[test]
+    fn fixed_priority_prefers_high() {
+        let mut t = table(3);
+        t[1].priority = 9;
+        let mut fp = FixedPriority::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            assert_eq!(fp.pick(&t, &pids(&[0, 1, 2]), &mut rng).0, 1);
+        }
+        // When 1 is blocked, ties among {0, 2} rotate.
+        let a = fp.pick(&t, &pids(&[0, 2]), &mut rng).0;
+        let b = fp.pick(&t, &pids(&[0, 2]), &mut rng).0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lottery_respects_ticket_ratios() {
+        let mut t = table(2);
+        t[0].weight = 3;
+        t[1].weight = 1;
+        let mut lot = Lottery::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ready = pids(&[0, 1]);
+        let n = 40_000;
+        let wins0 = (0..n)
+            .filter(|_| lot.pick(&t, &ready, &mut rng).0 == 0)
+            .count();
+        let share = wins0 as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.01, "share = {share}");
+    }
+
+    #[test]
+    fn lottery_handles_zero_tickets() {
+        let mut t = table(2);
+        t[0].weight = 0;
+        t[1].weight = 0;
+        let mut lot = Lottery::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = lot.pick(&t, &pids(&[0, 1]), &mut rng);
+        assert!(p.0 < 2);
+    }
+
+    #[test]
+    fn stride_is_proportional_and_deterministic() {
+        let mut t = table(2);
+        t[0].weight = 2;
+        t[1].weight = 1;
+        let mut st = Stride::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ready = pids(&[0, 1]);
+        let n = 3000;
+        let runs0 = (0..n)
+            .filter(|_| st.pick(&t, &ready, &mut rng).0 == 0)
+            .count();
+        let share = runs0 as f64 / n as f64;
+        assert!((share - 2.0 / 3.0).abs() < 0.01, "share = {share}");
+        // Determinism: same sequence again.
+        let mut st2 = Stride::new();
+        let seq1: Vec<usize> = (0..50).map(|_| st2.pick(&t, &ready, &mut rng).0).collect();
+        let mut st3 = Stride::new();
+        let seq2: Vec<usize> = (0..50).map(|_| st3.pick(&t, &ready, &mut rng).0).collect();
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn uniform_random_ignores_weights() {
+        let mut t = table(2);
+        t[0].weight = 1000;
+        t[1].weight = 1;
+        let mut ur = UniformRandom::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ready = pids(&[0, 1]);
+        let n = 40_000;
+        let wins0 = (0..n)
+            .filter(|_| ur.pick(&t, &ready, &mut rng).0 == 0)
+            .count();
+        assert!((wins0 as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+        assert_eq!(FixedPriority::new().name(), "fixed-priority");
+        assert_eq!(Lottery::new().name(), "lottery");
+        assert_eq!(Stride::new().name(), "stride");
+        assert_eq!(UniformRandom::new().name(), "uniform-random");
+    }
+}

@@ -1,0 +1,109 @@
+//! Processes on the simulated uniprocessor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Process identifier: an index into the system's process table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// What a process does in the covert-channel experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// The high-side process writing the shared variable.
+    CovertSender,
+    /// The low-side process sampling the shared variable.
+    CovertReceiver,
+    /// Innocent background load.
+    Background,
+}
+
+/// A simulated process. Processes are CPU-greedy but stochastically
+/// blocked: at each quantum a process is *ready* with probability
+/// `ready_prob` (modelling I/O waits and sleeps), which is what makes
+/// fixed-priority scheduling non-degenerate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    /// Role in the experiment.
+    pub role: Role,
+    /// Scheduling priority: larger wins under fixed-priority.
+    pub priority: u32,
+    /// Lottery tickets / stride weight (proportional-share policies).
+    pub weight: u32,
+    /// Probability of being ready at any given quantum.
+    pub ready_prob: f64,
+}
+
+impl Process {
+    /// A CPU-greedy process that is always ready.
+    pub fn greedy(role: Role) -> Self {
+        Process {
+            role,
+            priority: 1,
+            weight: 1,
+            ready_prob: 1.0,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the proportional-share weight (builder style).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the readiness probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not a probability; workload validation in
+    /// [`crate::system::Uniprocessor::new`] is the non-panicking
+    /// boundary.
+    pub fn with_ready_prob(mut self, p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "readiness probability must be in [0, 1]"
+        );
+        self.ready_prob = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let p = Process::greedy(Role::CovertSender)
+            .with_priority(5)
+            .with_weight(3)
+            .with_ready_prob(0.8);
+        assert_eq!(p.role, Role::CovertSender);
+        assert_eq!(p.priority, 5);
+        assert_eq!(p.weight, 3);
+        assert_eq!(p.ready_prob, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "readiness probability")]
+    fn bad_ready_prob_panics() {
+        let _ = Process::greedy(Role::Background).with_ready_prob(1.5);
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+    }
+}

@@ -1,0 +1,255 @@
+//! The simulated uniprocessor.
+
+use crate::error::SchedError;
+use crate::policy::Policy;
+use crate::process::{Pid, Process, Role};
+use crate::trace::{Quantum, Trace};
+use rand::Rng;
+
+/// Declarative description of the process mix on the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    processes: Vec<Process>,
+}
+
+impl WorkloadSpec {
+    /// A bare covert pair: one always-ready sender and one
+    /// always-ready receiver, equal priority and weight.
+    pub fn covert_pair() -> Self {
+        WorkloadSpec {
+            processes: vec![
+                Process::greedy(Role::CovertSender),
+                Process::greedy(Role::CovertReceiver),
+            ],
+        }
+    }
+
+    /// Starts from an explicit process list.
+    pub fn from_processes(processes: Vec<Process>) -> Self {
+        WorkloadSpec { processes }
+    }
+
+    /// Adds `n` background processes with the given readiness
+    /// probability (builder style).
+    pub fn with_background(mut self, n: usize, ready_prob: f64) -> Self {
+        for _ in 0..n {
+            self.processes
+                .push(Process::greedy(Role::Background).with_ready_prob(ready_prob));
+        }
+        self
+    }
+
+    /// Mutates the sender process (builder style). No-op when the
+    /// spec has no sender; validation in [`Uniprocessor::new`]
+    /// catches that case.
+    pub fn map_sender(mut self, f: impl FnOnce(Process) -> Process) -> Self {
+        if let Some(p) = self
+            .processes
+            .iter_mut()
+            .find(|p| p.role == Role::CovertSender)
+        {
+            *p = f(p.clone());
+        }
+        self
+    }
+
+    /// Mutates the receiver process (builder style).
+    pub fn map_receiver(mut self, f: impl FnOnce(Process) -> Process) -> Self {
+        if let Some(p) = self
+            .processes
+            .iter_mut()
+            .find(|p| p.role == Role::CovertReceiver)
+        {
+            *p = f(p.clone());
+        }
+        self
+    }
+
+    /// The process table.
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+}
+
+/// A uniprocessor running a workload under a scheduling policy.
+pub struct Uniprocessor {
+    table: Vec<Process>,
+    policy: Box<dyn Policy>,
+}
+
+impl std::fmt::Debug for Uniprocessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Uniprocessor")
+            .field("processes", &self.table.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl Uniprocessor {
+    /// Builds a system from a workload and a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::BadWorkload`] unless the workload has
+    /// exactly one covert sender, exactly one covert receiver, and
+    /// every readiness probability is valid.
+    pub fn new(spec: WorkloadSpec, policy: Box<dyn Policy>) -> Result<Self, SchedError> {
+        let senders = spec
+            .processes
+            .iter()
+            .filter(|p| p.role == Role::CovertSender)
+            .count();
+        let receivers = spec
+            .processes
+            .iter()
+            .filter(|p| p.role == Role::CovertReceiver)
+            .count();
+        if senders != 1 || receivers != 1 {
+            return Err(SchedError::BadWorkload(format!(
+                "need exactly one sender and one receiver, got {senders} and {receivers}"
+            )));
+        }
+        for p in &spec.processes {
+            if !p.ready_prob.is_finite() || !(0.0..=1.0).contains(&p.ready_prob) {
+                return Err(SchedError::BadWorkload(format!(
+                    "readiness probability {} invalid",
+                    p.ready_prob
+                )));
+            }
+        }
+        Ok(Uniprocessor {
+            table: spec.processes,
+            policy,
+        })
+    }
+
+    /// The process table.
+    pub fn processes(&self) -> &[Process] {
+        &self.table
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Runs the machine for `quanta` quanta, producing a trace.
+    pub fn run<R: Rng>(&mut self, quanta: usize, rng: &mut R) -> Trace {
+        let mut out = Vec::with_capacity(quanta);
+        let mut ready_buf = Vec::with_capacity(self.table.len());
+        for _ in 0..quanta {
+            ready_buf.clear();
+            for (i, p) in self.table.iter().enumerate() {
+                if p.ready_prob >= 1.0 || rng.gen::<f64>() < p.ready_prob {
+                    ready_buf.push(Pid(i));
+                }
+            }
+            if ready_buf.is_empty() {
+                out.push(Quantum::Idle);
+            } else {
+                let pid = self.policy.pick(&self.table, &ready_buf, rng);
+                out.push(Quantum::Ran(pid));
+            }
+        }
+        Trace::new(out, self.table.iter().map(|p| p.role).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPriority, Lottery, RoundRobin, Stride, UniformRandom};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_validation() {
+        let no_receiver = WorkloadSpec::from_processes(vec![Process::greedy(Role::CovertSender)]);
+        assert!(Uniprocessor::new(no_receiver, Box::new(RoundRobin::new())).is_err());
+        let two_senders = WorkloadSpec::from_processes(vec![
+            Process::greedy(Role::CovertSender),
+            Process::greedy(Role::CovertSender),
+            Process::greedy(Role::CovertReceiver),
+        ]);
+        assert!(Uniprocessor::new(two_senders, Box::new(RoundRobin::new())).is_err());
+        assert!(
+            Uniprocessor::new(WorkloadSpec::covert_pair(), Box::new(RoundRobin::new())).is_ok()
+        );
+    }
+
+    #[test]
+    fn round_robin_pair_alternates() {
+        let mut sys =
+            Uniprocessor::new(WorkloadSpec::covert_pair(), Box::new(RoundRobin::new())).unwrap();
+        let trace = sys.run(10, &mut StdRng::seed_from_u64(0));
+        let roles: Vec<_> = (0..10).map(|i| trace.role_at(i).unwrap()).collect();
+        for pair in roles.chunks(2) {
+            assert_eq!(pair[0], Role::CovertSender);
+            assert_eq!(pair[1], Role::CovertReceiver);
+        }
+    }
+
+    #[test]
+    fn lottery_shares_follow_weights() {
+        let spec = WorkloadSpec::covert_pair().map_sender(|p| p.with_weight(3));
+        let mut sys = Uniprocessor::new(spec, Box::new(Lottery::new())).unwrap();
+        let trace = sys.run(40_000, &mut StdRng::seed_from_u64(1));
+        let share = trace.count_role(Role::CovertSender) as f64 / trace.len() as f64;
+        assert!((share - 0.75).abs() < 0.01, "share = {share}");
+    }
+
+    #[test]
+    fn stride_shares_follow_weights() {
+        let spec = WorkloadSpec::covert_pair().map_receiver(|p| p.with_weight(2));
+        let mut sys = Uniprocessor::new(spec, Box::new(Stride::new())).unwrap();
+        let trace = sys.run(9_000, &mut StdRng::seed_from_u64(2));
+        let share = trace.count_role(Role::CovertReceiver) as f64 / trace.len() as f64;
+        assert!((share - 2.0 / 3.0).abs() < 0.01, "share = {share}");
+    }
+
+    #[test]
+    fn priority_starves_low_side_when_high_always_ready() {
+        let spec = WorkloadSpec::covert_pair().map_sender(|p| p.with_priority(10));
+        let mut sys = Uniprocessor::new(spec, Box::new(FixedPriority::new())).unwrap();
+        let trace = sys.run(1000, &mut StdRng::seed_from_u64(3));
+        assert_eq!(trace.count_role(Role::CovertReceiver), 0);
+    }
+
+    #[test]
+    fn priority_with_blocking_lets_low_side_run() {
+        let spec =
+            WorkloadSpec::covert_pair().map_sender(|p| p.with_priority(10).with_ready_prob(0.5));
+        let mut sys = Uniprocessor::new(spec, Box::new(FixedPriority::new())).unwrap();
+        let trace = sys.run(20_000, &mut StdRng::seed_from_u64(4));
+        let rec_share = trace.count_role(Role::CovertReceiver) as f64 / trace.len() as f64;
+        assert!((rec_share - 0.5).abs() < 0.02, "share = {rec_share}");
+    }
+
+    #[test]
+    fn idle_quanta_when_nothing_ready() {
+        let spec = WorkloadSpec::from_processes(vec![
+            Process::greedy(Role::CovertSender).with_ready_prob(0.1),
+            Process::greedy(Role::CovertReceiver).with_ready_prob(0.1),
+        ]);
+        let mut sys = Uniprocessor::new(spec, Box::new(UniformRandom::new())).unwrap();
+        let trace = sys.run(20_000, &mut StdRng::seed_from_u64(5));
+        // P(idle) = 0.9 * 0.9 = 0.81.
+        assert!((trace.idle_fraction() - 0.81).abs() < 0.02);
+    }
+
+    #[test]
+    fn background_load_dilutes_covert_pair() {
+        let spec = WorkloadSpec::covert_pair().with_background(6, 1.0);
+        let mut sys = Uniprocessor::new(spec, Box::new(RoundRobin::new())).unwrap();
+        let trace = sys.run(8_000, &mut StdRng::seed_from_u64(6));
+        let covert = trace.count_role(Role::CovertSender) + trace.count_role(Role::CovertReceiver);
+        assert!((covert as f64 / trace.len() as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let sys = Uniprocessor::new(WorkloadSpec::covert_pair(), Box::new(Lottery::new())).unwrap();
+        assert!(format!("{sys:?}").contains("lottery"));
+    }
+}

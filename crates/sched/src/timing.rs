@@ -1,0 +1,409 @@
+//! A scheduler-borne covert *timing* channel.
+//!
+//! The storage channel of [`crate::covert`] leaks through a shared
+//! variable's *value*; this module leaks through *time*, the other
+//! classic family (Millen's FSMs, Moskowitz's STC, the timed
+//! Z-channel — the paper's §2 baselines): the sender modulates how
+//! long the receiver waits between its own runs.
+//!
+//! * Bit `0`: the sender stays off the run queue — the receiver's
+//!   next inter-run gap is short.
+//! * Bit `1`: the sender makes itself runnable once before the
+//!   receiver's next run — the gap stretches.
+//!
+//! Non-synchrony appears exactly as the paper predicts. The sender
+//! can only update its behaviour when it observes the receiver having
+//! run (it "polls" shared state when scheduled, with probability
+//! `poll_prob` per quantum otherwise). When the receiver runs twice
+//! before the sender notices, the old bit is *re-read* (insertion)
+//! and intervening bits are *skipped* (deletion); background load
+//! inflates gaps (substitution). The measured `(P_d, P_i, P_s)` feed
+//! the paper's correction on top of a traditional timed-channel
+//! capacity estimate.
+
+use crate::error::SchedError;
+use crate::mitigation::PolicyKind;
+use crate::process::{Pid, Process, Role};
+use nsc_channel::timed_z::TimedZChannel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a timing-channel run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Probability per quantum that the (descheduled) sender gets to
+    /// observe the receiver's progress — the covert pair's only
+    /// synchronization resource.
+    pub poll_prob: f64,
+    /// Number of background processes.
+    pub background: usize,
+    /// Background readiness probability.
+    pub bg_ready: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            policy: PolicyKind::RoundRobin,
+            poll_prob: 1.0,
+            background: 0,
+            bg_ready: 1.0,
+        }
+    }
+}
+
+/// One receiver observation: the measured gap and (ground truth) the
+/// bit index the sender was exposing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapSample {
+    /// Quanta since the receiver's previous run.
+    pub gap: usize,
+    /// Ground-truth index of the sender's current bit.
+    pub bit_index: usize,
+}
+
+/// Result of a timing-channel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingRun {
+    /// The bits the sender tried to convey.
+    pub sent: Vec<bool>,
+    /// The receiver's observations in order.
+    pub samples: Vec<GapSample>,
+    /// Total quanta simulated.
+    pub quanta: usize,
+}
+
+/// Symbol-level channel measurement extracted from a timing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingMeasurement {
+    /// Deletion probability: bits skipped / bits consumed.
+    pub p_d: f64,
+    /// Insertion probability: repeated reads / total reads.
+    pub p_i: f64,
+    /// Substitution probability: wrong decodes among first-aligned
+    /// reads.
+    pub p_s: f64,
+    /// Mean gap observed for bit 0 (first-aligned reads only).
+    pub mean_gap_zero: f64,
+    /// Mean gap observed for bit 1.
+    pub mean_gap_one: f64,
+    /// Traditional (synchronous-model) capacity of the matched timed
+    /// Z-channel, bits per quantum.
+    pub traditional_capacity: f64,
+    /// The paper's corrected capacity `traditional · (1 − P_d)`.
+    pub corrected_capacity: f64,
+}
+
+/// Runs the timing channel for `message` bits, for at most
+/// `max_quanta` quanta.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BadWorkload`] for an empty message or
+/// invalid probabilities.
+pub fn run_timing_channel<R: Rng>(
+    message: &[bool],
+    config: &TimingConfig,
+    max_quanta: usize,
+    rng: &mut R,
+) -> Result<TimingRun, SchedError> {
+    if message.is_empty() {
+        return Err(SchedError::BadWorkload("message is empty".to_owned()));
+    }
+    for (name, v) in [
+        ("poll_prob", config.poll_prob),
+        ("bg_ready", config.bg_ready),
+    ] {
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(SchedError::BadWorkload(format!(
+                "{name} = {v} is not a probability"
+            )));
+        }
+    }
+    // Process table: 0 = sender, 1 = receiver, 2.. = background.
+    let mut table = vec![
+        Process::greedy(Role::CovertSender),
+        Process::greedy(Role::CovertReceiver),
+    ];
+    for _ in 0..config.background {
+        table.push(Process::greedy(Role::Background).with_ready_prob(config.bg_ready));
+    }
+    let mut policy = config.policy.build();
+
+    let mut run = TimingRun {
+        sent: message.to_vec(),
+        samples: Vec::new(),
+        quanta: 0,
+    };
+    // Sender state.
+    let mut bit_index = 0usize;
+    let mut seen_receiver_runs = 0usize;
+    let mut ran_this_window = false;
+    // Receiver state.
+    let mut receiver_runs = 0usize;
+    let mut last_receiver_quantum: Option<usize> = None;
+
+    let mut ready_buf: Vec<Pid> = Vec::with_capacity(table.len());
+    while run.quanta < max_quanta && bit_index < message.len() {
+        let t = run.quanta;
+        run.quanta += 1;
+        // Build the ready set. The sender is runnable only when it is
+        // signalling a 1 and has not yet stretched this window.
+        ready_buf.clear();
+        let sender_wants_cpu = message[bit_index] && !ran_this_window;
+        if sender_wants_cpu {
+            ready_buf.push(Pid(0));
+        }
+        ready_buf.push(Pid(1));
+        for (i, p) in table.iter().enumerate().skip(2) {
+            if p.ready_prob >= 1.0 || rng.gen::<f64>() < p.ready_prob {
+                ready_buf.push(Pid(i));
+            }
+        }
+        ready_buf.sort_unstable();
+        let picked = policy.pick(&table, &ready_buf, rng);
+        match picked {
+            Pid(0) => {
+                // Sender ran: it stretches the gap and synchronizes.
+                ran_this_window = true;
+                sync_sender(&mut bit_index, &mut seen_receiver_runs, receiver_runs);
+            }
+            Pid(1) => {
+                let gap = match last_receiver_quantum {
+                    Some(prev) => t - prev,
+                    None => t + 1,
+                };
+                last_receiver_quantum = Some(t);
+                // The sample is attributed to the bit the sender was
+                // exposing during this window.
+                run.samples.push(GapSample { gap, bit_index });
+                receiver_runs += 1;
+            }
+            _ => {}
+        }
+        // Polling: even descheduled, the sender may observe progress.
+        if picked != Pid(0) && (config.poll_prob >= 1.0 || rng.gen::<f64>() < config.poll_prob) {
+            let before = seen_receiver_runs;
+            sync_sender(&mut bit_index, &mut seen_receiver_runs, receiver_runs);
+            if seen_receiver_runs > before {
+                ran_this_window = false;
+            }
+        }
+    }
+    Ok(run)
+}
+
+/// Advances the sender's bit index by the number of receiver runs it
+/// newly observes (each run consumed one exposed bit).
+fn sync_sender(bit_index: &mut usize, seen: &mut usize, actual: usize) {
+    if actual > *seen {
+        *bit_index += actual - *seen;
+        *seen = actual;
+    }
+}
+
+/// Gap-threshold decoder: gaps of at least `threshold` decode as 1.
+pub fn decode_gaps(samples: &[GapSample], threshold: usize) -> Vec<bool> {
+    samples.iter().map(|s| s.gap >= threshold).collect()
+}
+
+impl TimingRun {
+    /// Extracts the symbol-level measurement: deletions (skipped bit
+    /// indices), insertions (repeated indices), substitutions (wrong
+    /// decode on the first-aligned read of an index), gap statistics,
+    /// and the traditional + corrected capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::EmptyTrace`] when the run produced no
+    /// samples, and wraps numerical failures of the timed-Z solver.
+    pub fn measure(&self, threshold: usize) -> Result<TimingMeasurement, SchedError> {
+        if self.samples.is_empty() {
+            return Err(SchedError::EmptyTrace);
+        }
+        let decoded = decode_gaps(&self.samples, threshold);
+        let mut insertions = 0usize;
+        let mut substitutions = 0usize;
+        let mut aligned_reads = 0usize;
+        let mut gap0 = (0usize, 0usize); // (sum, count)
+        let mut gap1 = (0usize, 0usize);
+        let mut last_index: Option<usize> = None;
+        let mut max_index_read = 0usize;
+        for (s, &bit_hat) in self.samples.iter().zip(&decoded) {
+            if last_index == Some(s.bit_index) {
+                insertions += 1;
+            } else {
+                aligned_reads += 1;
+                let truth = self.sent[s.bit_index];
+                if bit_hat != truth {
+                    substitutions += 1;
+                }
+                if truth {
+                    gap1.0 += s.gap;
+                    gap1.1 += 1;
+                } else {
+                    gap0.0 += s.gap;
+                    gap0.1 += 1;
+                }
+            }
+            max_index_read = max_index_read.max(s.bit_index);
+            last_index = Some(s.bit_index);
+        }
+        // Deletions: indices in 0..=max_index_read never read.
+        let mut read_any = vec![false; max_index_read + 1];
+        for s in &self.samples {
+            read_any[s.bit_index] = true;
+        }
+        let deletions = read_any.iter().filter(|&&r| !r).count();
+        let consumed = max_index_read + 1;
+        let mean0 = if gap0.1 > 0 {
+            gap0.0 as f64 / gap0.1 as f64
+        } else {
+            1.0
+        };
+        let mean1 = if gap1.1 > 0 {
+            gap1.0 as f64 / gap1.1 as f64
+        } else {
+            2.0
+        };
+        // Traditional estimate: a timed Z-channel with the measured
+        // mean durations and the measured 1 -> 0 confusion.
+        let one_errors = self
+            .samples
+            .iter()
+            .zip(&decoded)
+            .filter(|(s, &d)| self.sent[s.bit_index] && !d)
+            .count();
+        let ones_read = self
+            .samples
+            .iter()
+            .filter(|s| self.sent[s.bit_index])
+            .count();
+        let crossover = if ones_read > 0 {
+            (one_errors as f64 / ones_read as f64).min(1.0)
+        } else {
+            0.0
+        };
+        let z = TimedZChannel::new(crossover, mean0.max(0.5), mean1.max(mean0.max(0.5) + 1e-9))
+            .map_err(|e| SchedError::Core(nsc_core::CoreError::Channel(e)))?;
+        let traditional = z
+            .capacity()
+            .map_err(|e| SchedError::Core(nsc_core::CoreError::Numeric(e)))?;
+        let p_d = deletions as f64 / consumed as f64;
+        Ok(TimingMeasurement {
+            p_d,
+            p_i: insertions as f64 / self.samples.len() as f64,
+            p_s: if aligned_reads > 0 {
+                substitutions as f64 / aligned_reads as f64
+            } else {
+                0.0
+            },
+            mean_gap_zero: mean0,
+            mean_gap_one: mean1,
+            traditional_capacity: traditional,
+            corrected_capacity: traditional * (1.0 - p_d),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(run_timing_channel(&[], &TimingConfig::default(), 100, &mut rng).is_err());
+        let bad = TimingConfig {
+            poll_prob: 1.5,
+            ..Default::default()
+        };
+        assert!(run_timing_channel(&[true], &bad, 100, &mut rng).is_err());
+    }
+
+    #[test]
+    fn clean_round_robin_is_a_perfect_telegraph() {
+        // RR, no background, perfect polling: gap 1 for 0, gap 2 for
+        // 1, one sample per bit.
+        let msg = bits(500, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = run_timing_channel(&msg, &TimingConfig::default(), usize::MAX, &mut rng).unwrap();
+        let m = run.measure(2).unwrap();
+        assert_eq!(m.p_d, 0.0);
+        assert_eq!(m.p_i, 0.0);
+        assert_eq!(m.p_s, 0.0);
+        assert!((m.mean_gap_zero - 1.0).abs() < 1e-9);
+        assert!((m.mean_gap_one - 2.0).abs() < 1e-9);
+        // Telegraph capacity log2(phi) at t = {1, 2}.
+        let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+        assert!((m.traditional_capacity - phi.log2()).abs() < 1e-4);
+        assert_eq!(m.corrected_capacity, m.traditional_capacity);
+        // Decoded bits equal the message, one per sample.
+        let decoded = decode_gaps(&run.samples, 2);
+        assert_eq!(decoded.len(), msg.len());
+        assert!(decoded.iter().zip(&msg).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn weak_polling_creates_insertions_and_deletions() {
+        let msg = bits(2000, 3);
+        let config = TimingConfig {
+            poll_prob: 0.3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = run_timing_channel(&msg, &config, usize::MAX, &mut rng).unwrap();
+        let m = run.measure(2).unwrap();
+        assert!(m.p_i > 0.05, "p_i = {}", m.p_i);
+        assert!(m.p_d > 0.05, "p_d = {}", m.p_d);
+        assert!(m.corrected_capacity < m.traditional_capacity);
+    }
+
+    #[test]
+    fn background_load_adds_substitution_noise() {
+        let msg = bits(2000, 5);
+        let config = TimingConfig {
+            policy: PolicyKind::Lottery,
+            background: 2,
+            bg_ready: 0.8,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let run = run_timing_channel(&msg, &config, usize::MAX, &mut rng).unwrap();
+        let m = run.measure(2).unwrap();
+        assert!(m.p_s > 0.02, "p_s = {}", m.p_s);
+        // Gap means still separate the symbols.
+        assert!(m.mean_gap_one > m.mean_gap_zero);
+        assert!(m.traditional_capacity > 0.0);
+    }
+
+    #[test]
+    fn corrected_capacity_tracks_deletions() {
+        let msg = bits(3000, 7);
+        let config = TimingConfig {
+            poll_prob: 0.2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let run = run_timing_channel(&msg, &config, usize::MAX, &mut rng).unwrap();
+        let m = run.measure(2).unwrap();
+        assert!((m.corrected_capacity - m.traditional_capacity * (1.0 - m.p_d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quanta_budget_respected() {
+        let msg = bits(1_000_000, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let run = run_timing_channel(&msg, &TimingConfig::default(), 500, &mut rng).unwrap();
+        assert_eq!(run.quanta, 500);
+    }
+}

@@ -1,0 +1,145 @@
+//! Schedule traces: who ran at each quantum.
+
+use crate::process::{Pid, Role};
+use serde::{Deserialize, Serialize};
+
+/// One quantum of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantum {
+    /// The given process ran.
+    Ran(Pid),
+    /// No process was ready; the CPU idled.
+    Idle,
+}
+
+/// A complete schedule trace, together with the role of every pid so
+/// measurements can find the covert pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    quanta: Vec<Quantum>,
+    roles: Vec<Role>,
+}
+
+impl Trace {
+    /// Creates a trace from raw quanta and the process role table.
+    pub fn new(quanta: Vec<Quantum>, roles: Vec<Role>) -> Self {
+        Trace { quanta, roles }
+    }
+
+    /// The quanta in order.
+    pub fn quanta(&self) -> &[Quantum] {
+        &self.quanta
+    }
+
+    /// Role table indexed by pid.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// Total quanta (the physical time base).
+    pub fn len(&self) -> usize {
+        self.quanta.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.quanta.is_empty()
+    }
+
+    /// Role that ran at quantum `i`, if any.
+    pub fn role_at(&self, i: usize) -> Option<Role> {
+        match self.quanta.get(i)? {
+            Quantum::Ran(pid) => self.roles.get(pid.0).copied(),
+            Quantum::Idle => None,
+        }
+    }
+
+    /// Number of quanta in which a process with `role` ran.
+    pub fn count_role(&self, role: Role) -> usize {
+        (0..self.len())
+            .filter(|&i| self.role_at(i) == Some(role))
+            .count()
+    }
+
+    /// Fraction of quanta spent idle.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.quanta.is_empty() {
+            return 0.0;
+        }
+        let idle = self
+            .quanta
+            .iter()
+            .filter(|q| matches!(q, Quantum::Idle))
+            .count();
+        idle as f64 / self.quanta.len() as f64
+    }
+
+    /// CPU share of each pid (fractions of total quanta).
+    pub fn cpu_shares(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.roles.len()];
+        for q in &self.quanta {
+            if let Quantum::Ran(pid) = q {
+                counts[pid.0] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| {
+                if self.quanta.is_empty() {
+                    0.0
+                } else {
+                    c as f64 / self.quanta.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            vec![
+                Quantum::Ran(Pid(0)),
+                Quantum::Ran(Pid(1)),
+                Quantum::Idle,
+                Quantum::Ran(Pid(2)),
+                Quantum::Ran(Pid(0)),
+            ],
+            vec![Role::CovertSender, Role::CovertReceiver, Role::Background],
+        )
+    }
+
+    #[test]
+    fn role_lookup() {
+        let t = sample();
+        assert_eq!(t.role_at(0), Some(Role::CovertSender));
+        assert_eq!(t.role_at(1), Some(Role::CovertReceiver));
+        assert_eq!(t.role_at(2), None);
+        assert_eq!(t.role_at(3), Some(Role::Background));
+        assert_eq!(t.role_at(99), None);
+    }
+
+    #[test]
+    fn counting_and_shares() {
+        let t = sample();
+        assert_eq!(t.count_role(Role::CovertSender), 2);
+        assert_eq!(t.count_role(Role::Background), 1);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert!((t.idle_fraction() - 0.2).abs() < 1e-12);
+        let shares = t.cpu_shares();
+        assert!((shares[0] - 0.4).abs() < 1e-12);
+        assert!((shares[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(vec![], vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.idle_fraction(), 0.0);
+        assert!(t.cpu_shares().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The capacity surface: Theorem 4/5 bounds over the whole
+//! `(P_d, P_i)` simplex, and the defender's mitigation threshold.
+//!
+//! Run with `cargo run --bin bounds_surface --release`.
+
+use nsc_core::sweep::{sweep_bounds, Grid};
+use nsc_examples::header;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 8u32;
+    header("Achievable capacity surface (Theorem 5), N = 8 bits");
+    let grid = Grid::new(0.0, 0.9, 10)?;
+    let sweep = sweep_bounds(&grid, &grid, &[bits])?;
+
+    // Render the lower-bound surface as a text heat table.
+    print!("{:>7}", "Pd\\Pi");
+    for p_i in grid.values() {
+        print!("{p_i:>7.2}");
+    }
+    println!();
+    for p_d in grid.values() {
+        print!("{p_d:>7.2}");
+        for p_i in grid.values() {
+            let cell = sweep
+                .points
+                .iter()
+                .find(|p| (p.p_d - p_d).abs() < 1e-9 && (p.p_i - p_i).abs() < 1e-9);
+            match cell {
+                Some(p) => print!("{:>7.2}", p.bounds.lower.value()),
+                None => print!("{:>7}", "-"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\n({} grid points outside the parameter simplex were skipped.)",
+        sweep.skipped
+    );
+
+    header("Reading the surface");
+    let best = sweep.best_achievable().expect("non-empty sweep");
+    println!(
+        "attacker's best point : P_d = {}, P_i = {} -> {:.3} bits/slot",
+        best.p_d,
+        best.p_i,
+        best.bounds.lower.value()
+    );
+    for target in [4.0, 2.0, 1.0] {
+        match sweep.mitigation_threshold(target) {
+            Some(p_d) => {
+                println!("to cap the channel under {target:.0} bits/slot, push P_d past {p_d:.2}")
+            }
+            None => println!("no surveyed point falls below {target:.0} bits/slot"),
+        }
+    }
+    println!("\nDeletions dominate: the surface falls linearly in P_d (Theorem 4's");
+    println!("N(1-P_d) envelope) while insertions cost only the C_conv penalty —");
+    println!("which vanishes as the symbol width grows (equations 6-7).");
+    Ok(())
+}

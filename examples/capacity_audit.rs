@@ -1,0 +1,78 @@
+//! A TCSEC-style covert-channel audit with the paper's correction.
+//!
+//! An auditor finds a covert *timing* channel: a high-side process
+//! modulates the low-side process's scheduling gaps (a timed
+//! Z-channel in the sense of Moskowitz-Greenwald-Kang). The audit
+//! runs the channel on the simulated uniprocessor, estimates its
+//! capacity the traditional (synchronous-model) way from the measured
+//! gap statistics, then applies the Wang & Lee correction
+//! `C·(1 − P_d)` using the measured deletion rate — changing the
+//! number an accreditor would act on.
+//!
+//! Run with `cargo run --bin capacity_audit --release`.
+
+use nsc_core::degradation::SeverityPolicy;
+use nsc_examples::{header, rate};
+use nsc_info::BitsPerTick;
+use nsc_sched::mitigation::PolicyKind;
+use nsc_sched::timing::{run_timing_channel, TimingConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("1. Exercise the timing channel on the target system");
+    // A loaded machine with a lottery scheduler and a sender that can
+    // only poll the low side's progress 40% of the time.
+    let config = TimingConfig {
+        policy: PolicyKind::Lottery,
+        poll_prob: 0.4,
+        background: 2,
+        bg_ready: 0.7,
+    };
+    let mut rng = StdRng::seed_from_u64(2005);
+    let pilot: Vec<bool> = (0..20_000).map(|_| rng.gen()).collect();
+    let run = run_timing_channel(&pilot, &config, usize::MAX, &mut rng)?;
+    println!("quanta simulated      : {}", run.quanta);
+    println!("receiver observations : {}", run.samples.len());
+
+    header("2. Traditional (synchronous-model) estimate");
+    // Threshold between the gap means (calibrated on the pilot).
+    let m = run.measure(3)?;
+    println!(
+        "gap means             : bit 0 -> {:.3} quanta, bit 1 -> {:.3} quanta",
+        m.mean_gap_zero, m.mean_gap_one
+    );
+    println!("substitution rate     : {:.4}", m.p_s);
+    println!(
+        "traditional capacity  : {}",
+        rate(m.traditional_capacity, "bits/quantum")
+    );
+    let policy = SeverityPolicy {
+        negligible_below: 0.01,
+        critical_above: 0.25,
+    };
+    println!(
+        "severity (traditional): {:?}",
+        policy.classify(BitsPerTick(m.traditional_capacity))
+    );
+
+    header("3. Measure non-synchrony and apply the correction");
+    println!("measured P_d          : {:.4} (bits never observed)", m.p_d);
+    println!("measured P_i          : {:.4} (stale re-reads)", m.p_i);
+    println!(
+        "corrected capacity    : {}",
+        rate(m.corrected_capacity, "bits/quantum")
+    );
+    println!(
+        "severity (corrected)  : {:?}",
+        policy.classify(BitsPerTick(m.corrected_capacity))
+    );
+    println!(
+        "capacity over-report  : {:.1}%",
+        100.0 * (m.traditional_capacity / m.corrected_capacity.max(1e-12) - 1.0)
+    );
+    println!("\nThe synchronous-model analysis over-reports the channel. The");
+    println!("paper's recipe — measure P_d, report C(1 - P_d) — is what the");
+    println!("accreditor should file.");
+    Ok(())
+}

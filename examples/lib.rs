@@ -1,0 +1,22 @@
+//! Shared helpers for the runnable examples.
+
+/// Prints a boxed section header.
+pub fn header(title: &str) {
+    let bar = "=".repeat(title.len() + 4);
+    println!("\n{bar}\n| {title} |\n{bar}");
+}
+
+/// Formats a rate with its unit.
+pub fn rate(value: f64, unit: &str) -> String {
+    format!("{value:.4} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_formats() {
+        assert_eq!(rate(0.5, "bits/op"), "0.5000 bits/op");
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: model a non-synchronous covert channel, bound its
+//! capacity, and verify the bound by running the Theorem 3 protocol.
+//!
+//! Run with `cargo run --bin quickstart` (add `--release` for speed).
+
+use nsc_channel::alphabet::Alphabet;
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
+use nsc_core::protocols::resend::run_resend;
+use nsc_examples::{header, rate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A covert channel carrying 4-bit symbols that loses 15% of them
+    // and gains 10% spurious ones — the deletion-insertion channel of
+    // Wang & Lee, Definition 1.
+    let bits = 4u32;
+    let (p_d, p_i) = (0.15, 0.10);
+
+    header("1. Capacity bounds (Theorems 1-5)");
+    let b = capacity_bounds(bits, p_d, p_i)?;
+    println!("symbol width          : {bits} bits");
+    println!("deletion probability  : {p_d}");
+    println!("insertion probability : {p_i}");
+    println!(
+        "converted channel C_conv (eq. 2-4): {}",
+        rate(
+            converted_channel_capacity(bits, p_i)?.value(),
+            "bits/symbol"
+        )
+    );
+    println!(
+        "Theorem 5 lower bound : {}",
+        rate(b.lower.value(), "bits/slot")
+    );
+    println!(
+        "Theorem 4 upper bound : {}",
+        rate(b.upper.value(), "bits/slot")
+    );
+    println!("bound tightness       : {:.1}%", 100.0 * b.tightness());
+
+    header("2. Theorem 3 in action: resend over a deletion channel");
+    let alphabet = Alphabet::new(bits)?;
+    let channel = DeletionInsertionChannel::new(alphabet, DiParams::deletion_only(p_d)?);
+    let mut rng = StdRng::seed_from_u64(42);
+    let message: Vec<_> = (0..20_000).map(|_| alphabet.random(&mut rng)).collect();
+    let run = run_resend(&channel, &message, &mut rng)?;
+    println!("message symbols       : {}", message.len());
+    println!("channel uses          : {}", run.channel_uses);
+    println!("retransmissions       : {}", run.retransmissions);
+    println!(
+        "measured goodput      : {}",
+        rate(run.goodput(bits).value(), "bits/use")
+    );
+    println!(
+        "theory N(1-p_d)       : {}",
+        rate(bits as f64 * (1.0 - p_d), "bits/use")
+    );
+    println!("\nThe resend protocol achieves the erasure-channel capacity —");
+    println!("the Theorem 2 upper bound is tight, exactly as Theorem 3 claims.");
+    Ok(())
+}

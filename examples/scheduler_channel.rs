@@ -1,0 +1,73 @@
+//! The paper's §3.1 motivating example, end to end: two processes on
+//! a uniprocessor leak data through a shared variable, and the
+//! *scheduler* determines how non-synchronous — and therefore how
+//! fast — the covert channel is.
+//!
+//! Run with `cargo run --bin scheduler_channel --release`.
+
+use nsc_channel::alphabet::Alphabet;
+use nsc_examples::{header, rate};
+use nsc_sched::covert::{counter_protocol_over_trace, measure_covert_channel};
+use nsc_sched::mitigation::{policy_study, PolicyKind};
+use nsc_sched::system::{Uniprocessor, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 4u32;
+    let quanta = 60_000;
+    let seed = 7u64;
+
+    header("1. One machine, one policy: lottery scheduling");
+    let spec = WorkloadSpec::covert_pair().with_background(2, 0.8);
+    let mut system = Uniprocessor::new(spec.clone(), PolicyKind::Lottery.build())?;
+    let trace = system.run(quanta, &mut StdRng::seed_from_u64(seed));
+    let m = measure_covert_channel(&trace, bits, &mut StdRng::seed_from_u64(seed + 1))?;
+    println!("quanta simulated      : {}", trace.len());
+    println!("covert pair CPU share : {:.1}%", 100.0 * m.covert_share());
+    println!("measured P_d          : {:.4} (sender overwrites)", m.p_d);
+    println!(
+        "measured P_i          : {:.4} (receiver stale reads)",
+        m.p_i
+    );
+
+    header("2. Exploiting it anyway: the Appendix A counter protocol");
+    let alphabet = Alphabet::new(bits)?;
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let msg: Vec<_> = (0..10_000).map(|_| alphabet.random(&mut rng)).collect();
+    let out = counter_protocol_over_trace(&trace, &msg)?;
+    println!("positions delivered   : {}", out.received.len());
+    println!(
+        "symbol error rate     : {:.4}",
+        out.symbol_error_rate(&msg[..out.received.len()])
+    );
+    println!(
+        "reliable rate         : {}",
+        rate(
+            out.reliable_rate(bits, &msg[..out.received.len()]).value(),
+            "bits/covert-op"
+        )
+    );
+
+    header("3. The scheduler as mitigation: policy study");
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>12}",
+        "policy", "P_d", "P_i", "achievable", "upper"
+    );
+    for r in policy_study(&spec, bits, quanta, seed)? {
+        println!(
+            "{:<16} {:>8.4} {:>8.4} {:>12.4} {:>12.4}",
+            r.policy.name(),
+            r.measurement.p_d,
+            r.measurement.p_i,
+            r.achievable.value(),
+            r.upper_bound.value(),
+        );
+    }
+    println!("\nDeterministic fair schedulers (round-robin, stride) hand the");
+    println!("covert pair a clean, full-rate channel; randomized scheduling");
+    println!("degrades it — but Theorem 5 says a synchronized attacker still");
+    println!("gets a predictable fraction of it. Capacity estimation must use");
+    println!("the measured P_d, not the synchronous-model assumption.");
+    Ok(())
+}

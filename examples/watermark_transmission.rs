@@ -1,0 +1,69 @@
+//! Sending a real message over a non-synchronous covert channel with
+//! **no synchronization mechanism at all** — the §4.1 scenario: no
+//! feedback path, no common clock, just a deletion-insertion channel
+//! and a watermark code.
+//!
+//! Run with `cargo run --bin watermark_transmission --release`.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_coding::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits};
+use nsc_coding::conv::ConvCode;
+use nsc_coding::watermark::WatermarkCode;
+use nsc_examples::header;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret = b"MEET AT DAWN. BRING THE KEYS.";
+    let (p_d, p_i) = (0.05, 0.03);
+
+    header("1. Encode");
+    let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0x5EC2E7)?;
+    let data = bytes_to_bits(secret);
+    let sent = code.encode(&data)?;
+    println!(
+        "secret                : {:?}",
+        String::from_utf8_lossy(secret)
+    );
+    println!("data bits             : {}", data.len());
+    println!("transmitted bits      : {}", sent.len());
+    println!(
+        "code rate             : {:.4} data bits/channel bit",
+        code.rate(data.len())
+    );
+
+    header("2. Transmit over the deletion-insertion channel");
+    let channel = DeletionInsertionChannel::new(Alphabet::binary(), DiParams::new(p_d, p_i, 0.0)?);
+    let input: Vec<Symbol> = sent.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(1812);
+    let out = channel.transmit(&input, &mut rng);
+    let received: Vec<bool> = out.received.iter().map(|s| s.index() == 1).collect();
+    println!("deletions             : {}", out.events.deletions());
+    println!("insertions            : {}", out.events.insertions());
+    println!(
+        "received bits         : {} (sent {})",
+        received.len(),
+        sent.len()
+    );
+    println!("note: the receiver does NOT know where the losses happened.");
+
+    header("3. Decode with the drift lattice");
+    let decoded = code.decode(&received, data.len(), p_d, p_i, 0.0)?;
+    let ber = bit_error_rate(&decoded, &data);
+    let recovered = bits_to_bytes(&decoded);
+    println!("bit error rate        : {ber:.5}");
+    println!(
+        "recovered             : {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
+    println!(
+        "\nIt works — but at rate {:.3}, far below the {:.3} bits/use that",
+        code.rate(data.len()),
+        1.0 - p_d
+    );
+    println!("Theorem 3 promises *with* a feedback path. Non-synchronized");
+    println!("communication is possible, just much less effective — the");
+    println!("paper's central claim about covert channels in the wild.");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Cross-crate ablation pipelines: bursty channels measured and
+//! fitted (`nsc-channel`), decoded (`nsc-coding`), and corrected
+//! (`nsc-core`).
+
+use nsc_channel::burst::GilbertElliottChannel;
+use nsc_channel::di::DiParams;
+use nsc_channel::stats::fit_deletion_bursts;
+use nsc_channel::Alphabet;
+use nsc_core::degradation::SeverityPolicy;
+use nsc_core::estimator::assess_from_event_log;
+use nsc_info::BitsPerTick;
+use nsc_integration::random_message;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bursty(mean_burst: f64, avg_p_d: f64) -> GilbertElliottChannel {
+    let (good, bad) = (0.02, 0.7);
+    let w_bad = (avg_p_d - good) / (bad - good);
+    let p_bg = (1.0 / mean_burst).min(1.0);
+    let p_gb = (w_bad / (1.0 - w_bad) * p_bg).min(1.0);
+    GilbertElliottChannel::new(
+        Alphabet::binary(),
+        DiParams::deletion_only(good).unwrap(),
+        DiParams::deletion_only(bad).unwrap(),
+        p_gb,
+        p_bg,
+    )
+    .unwrap()
+}
+
+/// The §4.3 correction is burst-robust end to end: the corrected
+/// capacity computed from a bursty log equals the one computed from a
+/// matched memoryless log, because only the average `P_d` enters.
+#[test]
+fn correction_is_burst_invariant() {
+    let avg = 0.25;
+    let msg = random_message(1, 150_000, 1);
+    let policy = SeverityPolicy::default();
+    let traditional = BitsPerTick(10.0);
+
+    let bursty_ch = bursty(20.0, avg);
+    let out_bursty = bursty_ch.transmit(&msg, &mut StdRng::seed_from_u64(2));
+    let a_bursty = assess_from_event_log(traditional, &out_bursty.events, &policy).unwrap();
+
+    let flat = nsc_channel::di::DeletionInsertionChannel::new(
+        Alphabet::binary(),
+        bursty_ch.average_params().unwrap(),
+    );
+    let out_flat = flat.transmit(&msg, &mut StdRng::seed_from_u64(3));
+    let a_flat = assess_from_event_log(traditional, &out_flat.events, &policy).unwrap();
+
+    let b = a_bursty.report.corrected.value();
+    let f = a_flat.report.corrected.value();
+    assert!((b - f).abs() / f < 0.05, "bursty {b} vs flat {f}");
+}
+
+/// The burst fit distinguishes the two regimes that the plain `P_d`
+/// estimate cannot: same average, very different burstiness index.
+#[test]
+fn burst_fit_separates_regimes_with_equal_averages() {
+    let avg = 0.25;
+    let msg = random_message(1, 150_000, 4);
+
+    let fit_of = |mean_burst: f64, seed: u64| {
+        let ch = bursty(mean_burst, avg);
+        let out = ch.transmit(&msg, &mut StdRng::seed_from_u64(seed));
+        fit_deletion_bursts(&out.events).unwrap()
+    };
+    let short = fit_of(1.5, 5);
+    let long = fit_of(30.0, 6);
+    // Averages agree…
+    assert!((short.stationary_rate - long.stationary_rate).abs() < 0.03);
+    // …but burstiness separates by a wide margin.
+    assert!(
+        long.burstiness > short.burstiness * 1.5,
+        "short {short:?} vs long {long:?}"
+    );
+}
+
+/// Watermark decoding degrades with burstiness at a fixed average —
+/// the cross-crate version of experiment E11's coding leg.
+#[test]
+fn watermark_ber_grows_with_burstiness() {
+    use nsc_coding::bits::{bit_error_rate, random_bits};
+    use nsc_coding::conv::ConvCode;
+    use nsc_coding::watermark::WatermarkCode;
+    use nsc_integration::{bits_to_symbols, symbols_to_bits};
+
+    let avg = 0.05;
+    let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0xAB).unwrap();
+    let mut ber_of = |mean_burst: f64| {
+        let ch = GilbertElliottChannel::new(
+            Alphabet::binary(),
+            DiParams::deletion_only(0.01).unwrap(),
+            DiParams::deletion_only(0.8).unwrap(),
+            {
+                let w = (avg - 0.01) / 0.79;
+                (w / (1.0 - w)) * (1.0 / mean_burst)
+            },
+            1.0 / mean_burst,
+        )
+        .unwrap();
+        let mut total = 0.0;
+        let trials = 4;
+        for t in 0..trials {
+            let data = random_bits(250, &mut StdRng::seed_from_u64(7 + t));
+            let sent = code.encode(&data).unwrap();
+            let out = ch.transmit(&bits_to_symbols(&sent), &mut StdRng::seed_from_u64(100 + t));
+            let recv = symbols_to_bits(&out.received);
+            total += match code.decode(&recv, data.len(), avg, 0.0, 0.0) {
+                Ok(decoded) => bit_error_rate(&decoded, &data),
+                Err(_) => 0.5,
+            };
+        }
+        total / trials as f64
+    };
+    let near_memoryless = ber_of(1.0);
+    let very_bursty = ber_of(60.0);
+    assert!(
+        very_bursty > near_memoryless,
+        "{near_memoryless} !< {very_bursty}"
+    );
+    assert!(near_memoryless < 0.01, "{near_memoryless}");
+}

@@ -1,0 +1,99 @@
+//! Property-based consistency of the paper's bounds against the
+//! numerical machinery, across crates.
+
+use nsc_channel::dmc::closed_form;
+use nsc_core::bounds::{
+    alpha, capacity_bounds, converted_channel_capacity, converted_channel_matrix,
+    erasure_upper_bound, theorem5_lower_bound,
+};
+use nsc_info::blahut::{blahut_arimoto, BlahutOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 5's lower bound never exceeds Theorem 4's upper bound
+    /// anywhere in the valid parameter simplex.
+    #[test]
+    fn lower_bound_below_upper_bound(
+        bits in 1u32..=16,
+        p_d in 0.0f64..1.0,
+        scale in 0.0f64..1.0,
+    ) {
+        let p_i = (1.0 - p_d) * scale * 0.999;
+        let b = capacity_bounds(bits, p_d, p_i).unwrap();
+        prop_assert!(b.lower.value() <= b.upper.value() + 1e-9);
+        prop_assert!(b.lower.value() >= 0.0);
+        prop_assert!(b.upper.value() <= bits as f64);
+    }
+
+    /// The closed-form converted-channel capacity equals the M-ary
+    /// symmetric closed form at error alpha*p_i, and both match
+    /// Blahut–Arimoto on the explicit Figure 5 matrix.
+    #[test]
+    fn converted_capacity_three_ways(
+        bits in 1u32..=5,
+        p_i in 0.0f64..0.95,
+    ) {
+        let closed = converted_channel_capacity(bits, p_i).unwrap().value();
+        let mary = closed_form::mary_symmetric(bits, alpha(bits) * p_i);
+        prop_assert!((closed - mary).abs() < 1e-12);
+        let w = converted_channel_matrix(bits, p_i).unwrap();
+        let ba = blahut_arimoto(&w, &BlahutOptions::default()).unwrap().capacity;
+        prop_assert!((closed - ba).abs() < 1e-6, "closed {closed} vs BA {ba}");
+    }
+
+    /// Bounds are monotone: more deletions never help.
+    #[test]
+    fn bounds_monotone_in_p_d(
+        bits in 1u32..=8,
+        p_lo in 0.0f64..0.5,
+        delta in 0.0f64..0.4,
+    ) {
+        let p_hi = (p_lo + delta).min(0.89);
+        let p_i = 0.1;
+        let lo = capacity_bounds(bits, p_lo, p_i).unwrap();
+        let hi = capacity_bounds(bits, p_hi, p_i).unwrap();
+        prop_assert!(hi.upper.value() <= lo.upper.value() + 1e-12);
+        prop_assert!(hi.lower.value() <= lo.lower.value() + 1e-12);
+    }
+
+    /// More insertions never help either (upper bound unaffected,
+    /// lower bound decreases).
+    #[test]
+    fn lower_bound_monotone_in_p_i(
+        bits in 1u32..=8,
+        p_d in 0.0f64..0.5,
+        base in 0.0f64..0.2,
+        delta in 0.0f64..0.2,
+    ) {
+        let lo = theorem5_lower_bound(bits, p_d, base).unwrap();
+        let hi = theorem5_lower_bound(bits, p_d, (base + delta).min(1.0 - p_d).min(0.99)).unwrap();
+        prop_assert!(hi.value() <= lo.value() + 1e-9);
+    }
+
+    /// Equation (1) in `nsc-core` and the erasure channel in
+    /// `nsc-channel` agree on every input.
+    #[test]
+    fn equation_1_consistent_across_crates(
+        bits in 1u32..=16,
+        p_d in 0.0f64..=1.0,
+    ) {
+        let core_val = erasure_upper_bound(bits, p_d).unwrap().value();
+        let chan_val = nsc_channel::erasure::ErasureChannel::new(
+            nsc_channel::Alphabet::new(bits).unwrap(), p_d).unwrap().capacity();
+        prop_assert!((core_val - chan_val).abs() < 1e-12);
+    }
+
+    /// Convergence ratio is within (0, 1] and increases with N.
+    #[test]
+    fn convergence_ratio_behaviour(p in 0.001f64..0.45) {
+        let mut last = 0.0;
+        for bits in [1u32, 2, 4, 8, 16] {
+            let r = nsc_core::bounds::convergence_ratio(bits, p).unwrap();
+            prop_assert!(r > 0.0 && r <= 1.0 + 1e-12);
+            prop_assert!(r >= last - 1e-12);
+            last = r;
+        }
+    }
+}

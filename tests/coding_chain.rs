@@ -1,0 +1,99 @@
+//! The full non-synchronized transmission chain across crates:
+//! bytes → watermark frame → deletion-insertion channel → drift
+//! lattice → outer Viterbi → bytes.
+
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_channel::Alphabet;
+use nsc_coding::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits};
+use nsc_coding::conv::ConvCode;
+use nsc_coding::marker::MarkerCode;
+use nsc_coding::watermark::WatermarkCode;
+use nsc_integration::{bits_to_symbols, symbols_to_bits};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn through_channel(bits: &[bool], p_d: f64, p_i: f64, p_s: f64, seed: u64) -> Vec<bool> {
+    let ch =
+        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::new(p_d, p_i, p_s).unwrap());
+    let mut rng = StdRng::seed_from_u64(seed);
+    symbols_to_bits(&ch.transmit(&bits_to_symbols(bits), &mut rng).received)
+}
+
+/// A byte payload crosses the full chain intact at moderate noise
+/// with the strong outer code.
+#[test]
+fn bytes_cross_the_chain_intact() {
+    let payload = b"the scheduler is the adversary".to_vec();
+    let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0xABCD).unwrap();
+    let data = bytes_to_bits(&payload);
+    let sent = code.encode(&data).unwrap();
+    let recv = through_channel(&sent, 0.05, 0.03, 0.005, 1);
+    let decoded = code.decode(&recv, data.len(), 0.05, 0.03, 0.005).unwrap();
+    assert_eq!(bits_to_bytes(&decoded), payload);
+}
+
+/// The decoder tolerates a mismatch between the assumed and the true
+/// channel parameters (robustness, since real `P_d` is estimated).
+#[test]
+fn decoder_is_robust_to_parameter_mismatch() {
+    let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0x1234).unwrap();
+    let data = nsc_coding::bits::random_bits(400, &mut StdRng::seed_from_u64(2));
+    let sent = code.encode(&data).unwrap();
+    let true_p_d = 0.06;
+    let recv = through_channel(&sent, true_p_d, 0.0, 0.0, 3);
+    // Decode with a 50% over-estimate of p_d.
+    let decoded = code.decode(&recv, data.len(), 0.09, 0.01, 0.01).unwrap();
+    let ber = bit_error_rate(&decoded, &data);
+    assert!(ber < 0.02, "ber = {ber}");
+}
+
+/// Watermark frames decoded across several independent channel
+/// realizations: the frame error rate at light noise is low.
+#[test]
+fn frame_error_rate_at_light_noise() {
+    let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0x77).unwrap();
+    let mut failures = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let data = nsc_coding::bits::random_bits(200, &mut StdRng::seed_from_u64(10 + t));
+        let sent = code.encode(&data).unwrap();
+        let recv = through_channel(&sent, 0.04, 0.02, 0.0, 100 + t);
+        let decoded = code.decode(&recv, data.len(), 0.04, 0.02, 0.0).unwrap();
+        if decoded != data {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 1, "{failures}/{trials} frames failed");
+}
+
+/// Marker and watermark codes face the same channel realization; the
+/// watermark code's decoded quality is at least as good.
+#[test]
+fn watermark_dominates_marker_on_shared_channel() {
+    let data = nsc_coding::bits::random_bits(320, &mut StdRng::seed_from_u64(4));
+    let p_d = 0.07;
+
+    let wm = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, 0x99).unwrap();
+    let wm_sent = wm.encode(&data).unwrap();
+    let wm_recv = through_channel(&wm_sent, p_d, 0.0, 0.0, 5);
+    let wm_ber = bit_error_rate(
+        &wm.decode(&wm_recv, data.len(), p_d, 0.0, 0.0).unwrap(),
+        &data,
+    );
+
+    let mk = MarkerCode::default_params();
+    let mk_sent = mk.encode(&data).unwrap();
+    let mk_recv = through_channel(&mk_sent, p_d, 0.0, 0.0, 5);
+    let mk_ber = bit_error_rate(&mk.decode(&mk_recv, data.len()).unwrap(), &data);
+
+    assert!(wm_ber <= mk_ber, "wm {wm_ber} vs mk {mk_ber}");
+}
+
+/// The watermark chain fails loudly, not silently, when the received
+/// stream cannot have come from the frame (e.g. absurd length).
+#[test]
+fn impossible_stream_is_rejected() {
+    let code = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 0x10).unwrap();
+    let junk = vec![true; 10_000];
+    assert!(code.decode(&junk, 16, 0.0, 0.0, 0.0).is_err());
+}

@@ -1,0 +1,25 @@
+//! Support crate for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling `*.rs` files registered as
+//! `[[test]]` targets; this library only hosts shared fixtures.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws a reproducible random message over the given alphabet.
+pub fn random_message(bits: u32, len: usize, seed: u64) -> Vec<Symbol> {
+    let alphabet = Alphabet::new(bits).expect("test widths are valid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| alphabet.random(&mut rng)).collect()
+}
+
+/// Converts a symbol slice over the binary alphabet into bits.
+pub fn symbols_to_bits(symbols: &[Symbol]) -> Vec<bool> {
+    symbols.iter().map(|s| s.index() == 1).collect()
+}
+
+/// Converts bits into binary-alphabet symbols.
+pub fn bits_to_symbols(bits: &[bool]) -> Vec<Symbol> {
+    bits.iter().map(|&b| Symbol::from_index(b as u32)).collect()
+}

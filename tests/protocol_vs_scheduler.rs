@@ -1,0 +1,103 @@
+//! The same synchronization protocols run over (a) an abstract
+//! Bernoulli operation schedule and (b) a real scheduler trace with
+//! the same covert-pair statistics — the results must agree, which is
+//! the model-transfer claim behind using Definition 1 for real
+//! systems.
+
+use nsc_core::sim::counter::run_counter_protocol;
+use nsc_core::sim::stop_wait::run_stop_and_wait;
+use nsc_core::sim::{BernoulliSchedule, TraceSchedule};
+use nsc_integration::random_message;
+use nsc_sched::covert::ops_from_trace;
+use nsc_sched::mitigation::PolicyKind;
+use nsc_sched::system::{Uniprocessor, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fair lottery trace behaves like a Bernoulli(1/2) schedule for
+/// the counter protocol: same stale-fill fraction and similar
+/// symbol rate.
+#[test]
+fn counter_protocol_transfers_from_bernoulli_to_lottery() {
+    let bits = 3u32;
+    let msg = random_message(bits, 20_000, 1);
+
+    let mut bern = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(2)).unwrap();
+    let abstract_run = run_counter_protocol(&msg, &mut bern, usize::MAX).unwrap();
+
+    let mut sys =
+        Uniprocessor::new(WorkloadSpec::covert_pair(), PolicyKind::Lottery.build()).unwrap();
+    // Run long enough that the trace covers the whole message.
+    let trace = sys.run(200_000, &mut StdRng::seed_from_u64(3));
+    let mut sched = TraceSchedule::new(ops_from_trace(&trace));
+    let concrete_run = run_counter_protocol(&msg, &mut sched, usize::MAX).unwrap();
+
+    assert_eq!(abstract_run.received.len(), msg.len());
+    assert_eq!(concrete_run.received.len(), msg.len());
+    let stale_a = abstract_run.stale_fills as f64 / msg.len() as f64;
+    let stale_c = concrete_run.stale_fills as f64 / msg.len() as f64;
+    assert!((stale_a - stale_c).abs() < 0.03, "{stale_a} vs {stale_c}");
+    let err_a = abstract_run.symbol_error_rate(&msg);
+    let err_c = concrete_run.symbol_error_rate(&msg);
+    assert!((err_a - err_c).abs() < 0.03, "{err_a} vs {err_c}");
+}
+
+/// Stop-and-wait over a round-robin trace is exactly the synchronous
+/// ideal: two operations per symbol, zero waste.
+#[test]
+fn stop_and_wait_over_round_robin_trace_is_ideal() {
+    let msg = random_message(2, 5_000, 4);
+    let mut sys =
+        Uniprocessor::new(WorkloadSpec::covert_pair(), PolicyKind::RoundRobin.build()).unwrap();
+    let trace = sys.run(20_000, &mut StdRng::seed_from_u64(5));
+    let mut sched = TraceSchedule::new(ops_from_trace(&trace));
+    let out = run_stop_and_wait(&msg, &mut sched, usize::MAX).unwrap();
+    assert_eq!(out.received, msg);
+    assert_eq!(out.ops, 2 * msg.len());
+    assert_eq!(out.waste_fraction(), 0.0);
+}
+
+/// Background load stretches wall-clock time but not the covert-pair
+/// operation count: stop-and-wait needs the same number of
+/// covert-pair ops with or without background processes.
+#[test]
+fn background_load_is_transparent_to_covert_ops() {
+    let msg = random_message(2, 2_000, 6);
+    let run_with_background = |n: usize| {
+        let spec = WorkloadSpec::covert_pair().with_background(n, 1.0);
+        let mut sys = Uniprocessor::new(spec, PolicyKind::RoundRobin.build()).unwrap();
+        let trace = sys.run(100_000, &mut StdRng::seed_from_u64(7));
+        let mut sched = TraceSchedule::new(ops_from_trace(&trace));
+        run_stop_and_wait(&msg, &mut sched, usize::MAX).unwrap()
+    };
+    let lean = run_with_background(0);
+    let loaded = run_with_background(4);
+    assert_eq!(lean.received, msg);
+    assert_eq!(loaded.received, msg);
+    assert_eq!(lean.ops, loaded.ops);
+}
+
+/// Sweeping the lottery weight ratio sweeps the effective scheduler
+/// bias q, and the counter protocol's stale fraction follows the
+/// receiver's share of operations.
+#[test]
+fn lottery_weights_control_insertion_pressure() {
+    let bits = 2u32;
+    let msg = random_message(bits, 15_000, 8);
+    let mut stale_fracs = Vec::new();
+    for (ws, wr) in [(3u32, 1u32), (1, 1), (1, 3)] {
+        let spec = WorkloadSpec::covert_pair()
+            .map_sender(|p| p.with_weight(ws))
+            .map_receiver(|p| p.with_weight(wr));
+        let mut sys = Uniprocessor::new(spec, PolicyKind::Lottery.build()).unwrap();
+        let trace = sys.run(400_000, &mut StdRng::seed_from_u64(9));
+        let mut sched = TraceSchedule::new(ops_from_trace(&trace));
+        let out = run_counter_protocol(&msg, &mut sched, usize::MAX).unwrap();
+        stale_fracs.push(out.stale_fills as f64 / out.received.len() as f64);
+    }
+    // More receiver share => more stale fills.
+    assert!(
+        stale_fracs[0] < stale_fracs[1] && stale_fracs[1] < stale_fracs[2],
+        "{stale_fracs:?}"
+    );
+}
