@@ -28,6 +28,7 @@ use nsc_channel::di::{DiParams, UseOutcome};
 use nsc_coding::bits::{bit_error_rate, random_bits};
 use nsc_coding::conv::ConvCode;
 use nsc_coding::watermark::WatermarkCode;
+use nsc_core::engine::{par_map, EngineConfig};
 use nsc_core::sim::noisy_feedback::{run_noisy_counter, FeedbackQuality};
 use nsc_core::sim::BernoulliSchedule;
 use rand::rngs::StdRng;
@@ -88,84 +89,93 @@ pub struct E11Row {
 
 /// Runs E11 and returns rows.
 pub fn rows_e11(seed: u64) -> Vec<E11Row> {
+    rows_e11_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows_e11`] under the trial engine: burst-length rows evaluate
+/// in parallel with identical numbers at any thread count.
+pub fn rows_e11_cfg(cfg: &EngineConfig) -> Vec<E11Row> {
+    let seed = cfg.master_seed;
     let alphabet = Alphabet::new(E11_BITS).expect("valid width");
-    E11_BURSTS
-        .iter()
-        .map(|&mean_burst| {
-            let ch = bursty_channel(alphabet, mean_burst, 0.05, 0.8, E11_AVG_P_D);
-            // Resend protocol over a stateful session.
-            let mut rng = StdRng::seed_from_u64(seed);
-            let msg: Vec<Symbol> = (0..30_000).map(|_| alphabet.random(&mut rng)).collect();
-            let mut session = ch.session(&mut rng);
-            let mut uses = 0usize;
-            let mut deletions = 0usize;
-            let mut longest = 0usize;
-            let mut run = 0usize;
-            for &sym in &msg {
-                loop {
-                    uses += 1;
-                    match session.use_once(Some(sym), &mut rng) {
-                        UseOutcome::Transmitted { .. } => {
-                            run = 0;
-                            break;
-                        }
-                        UseOutcome::Deleted => {
-                            deletions += 1;
-                            run += 1;
-                            longest = longest.max(run);
-                        }
-                        _ => unreachable!("deletion-only channel with a queued symbol"),
+    par_map(cfg, &E11_BURSTS, |_, &mean_burst| {
+        let ch = bursty_channel(alphabet, mean_burst, 0.05, 0.8, E11_AVG_P_D);
+        // Resend protocol over a stateful session.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<Symbol> = (0..30_000).map(|_| alphabet.random(&mut rng)).collect();
+        let mut session = ch.session(&mut rng);
+        let mut uses = 0usize;
+        let mut deletions = 0usize;
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &sym in &msg {
+            loop {
+                uses += 1;
+                match session.use_once(Some(sym), &mut rng) {
+                    UseOutcome::Transmitted { .. } => {
+                        run = 0;
+                        break;
                     }
+                    UseOutcome::Deleted => {
+                        deletions += 1;
+                        run += 1;
+                        longest = longest.max(run);
+                    }
+                    _ => unreachable!("deletion-only channel with a queued symbol"),
                 }
             }
-            let goodput = E11_BITS as f64 * msg.len() as f64 / uses as f64;
-            // Watermark code over a bursty binary channel at a mild
-            // average (the codes only operate there; see E9), same
-            // burst-length sweep.
-            // Harsh bursts (bad-state p_d = 0.8) at the same mild
-            // average: the ergodic rate is identical, only the
-            // correlation structure changes.
-            let bin = bursty_channel(
-                Alphabet::binary(),
-                mean_burst,
-                0.01,
-                0.8,
-                E11_CODING_AVG_P_D,
-            );
-            let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, seed ^ 0xE11)
-                .expect("valid parameters");
-            let avg = bin.average_params().expect("valid");
-            let trials = 4u64;
-            let mut ber_acc = 0.0;
-            for t in 0..trials {
-                let data = random_bits(300, &mut StdRng::seed_from_u64(seed ^ (t + 1)));
-                let sent = code.encode(&data).expect("non-empty");
-                let sent_syms: Vec<Symbol> =
-                    sent.iter().map(|&b| Symbol::from_index(b as u32)).collect();
-                let mut rng2 = StdRng::seed_from_u64(seed ^ (0x100 + t));
-                let out = bin.transmit(&sent_syms, &mut rng2);
-                let recv: Vec<bool> = out.received.iter().map(|s| s.index() == 1).collect();
-                ber_acc += match code.decode(&recv, data.len(), avg.p_d(), 0.0, 0.0) {
-                    Ok(decoded) => bit_error_rate(&decoded, &data),
-                    // A failed decode counts as total loss.
-                    Err(_) => 0.5,
-                };
-            }
-            let ber = ber_acc / trials as f64;
-            E11Row {
-                mean_burst,
-                p_d_hat: deletions as f64 / uses as f64,
-                longest_run: longest,
-                resend_goodput: goodput,
-                resend_theory: E11_BITS as f64 * (1.0 - E11_AVG_P_D),
-                watermark_ber: ber,
-            }
-        })
-        .collect()
+        }
+        let goodput = E11_BITS as f64 * msg.len() as f64 / uses as f64;
+        // Watermark code over a bursty binary channel at a mild
+        // average (the codes only operate there; see E9), same
+        // burst-length sweep.
+        // Harsh bursts (bad-state p_d = 0.8) at the same mild
+        // average: the ergodic rate is identical, only the
+        // correlation structure changes.
+        let bin = bursty_channel(
+            Alphabet::binary(),
+            mean_burst,
+            0.01,
+            0.8,
+            E11_CODING_AVG_P_D,
+        );
+        let code = WatermarkCode::new(ConvCode::nasa_half_rate(), 3, seed ^ 0xE11)
+            .expect("valid parameters");
+        let avg = bin.average_params().expect("valid");
+        let trials = 4u64;
+        let mut ber_acc = 0.0;
+        for t in 0..trials {
+            let data = random_bits(300, &mut StdRng::seed_from_u64(seed ^ (t + 1)));
+            let sent = code.encode(&data).expect("non-empty");
+            let sent_syms: Vec<Symbol> =
+                sent.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+            let mut rng2 = StdRng::seed_from_u64(seed ^ (0x100 + t));
+            let out = bin.transmit(&sent_syms, &mut rng2);
+            let recv: Vec<bool> = out.received.iter().map(|s| s.index() == 1).collect();
+            ber_acc += match code.decode(&recv, data.len(), avg.p_d(), 0.0, 0.0) {
+                Ok(decoded) => bit_error_rate(&decoded, &data),
+                // A failed decode counts as total loss.
+                Err(_) => 0.5,
+            };
+        }
+        let ber = ber_acc / trials as f64;
+        E11Row {
+            mean_burst,
+            p_d_hat: deletions as f64 / uses as f64,
+            longest_run: longest,
+            resend_goodput: goodput,
+            resend_theory: E11_BITS as f64 * (1.0 - E11_AVG_P_D),
+            watermark_ber: ber,
+        }
+    })
 }
 
 /// Renders E11.
 pub fn run_e11(seed: u64) -> String {
+    run_e11_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E11 under the trial engine.
+pub fn run_e11_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new([
         "mean burst",
         "P_d^ (avg)",
@@ -174,7 +184,7 @@ pub fn run_e11(seed: u64) -> String {
         "Thm3 N(1-P_d)",
         "watermark BER",
     ]);
-    for r in rows_e11(seed) {
+    for r in rows_e11_cfg(cfg) {
         t.row([
             f4(r.mean_burst),
             f4(r.p_d_hat),
@@ -222,37 +232,46 @@ pub struct E12Row {
 
 /// Runs E12 and returns rows.
 pub fn rows_e12(seed: u64) -> Vec<E12Row> {
+    rows_e12_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows_e12`] under the trial engine: the shared message is built
+/// once, then the feedback-quality rows evaluate in parallel.
+pub fn rows_e12_cfg(cfg: &EngineConfig) -> Vec<E12Row> {
+    let seed = cfg.master_seed;
     let alphabet = Alphabet::new(E12_BITS).expect("valid width");
     let mut rng = StdRng::seed_from_u64(seed);
     let msg: Vec<Symbol> = (0..50_000).map(|_| alphabet.random(&mut rng)).collect();
-    E12_QUALITIES
-        .iter()
-        .map(|&(p_loss, delay)| {
-            let mut sched =
-                BernoulliSchedule::new(0.5, StdRng::seed_from_u64(seed ^ 0xE12)).expect("valid");
-            let mut rng2 = StdRng::seed_from_u64(seed ^ delay as u64 ^ (p_loss * 100.0) as u64);
-            let out = run_noisy_counter(
-                &msg,
-                &mut sched,
-                FeedbackQuality { p_loss, delay },
-                &mut rng2,
-                usize::MAX,
-            )
-            .expect("valid run");
-            E12Row {
-                p_loss,
-                delay,
-                stale_frac: out.stale_fills as f64 / out.received.len() as f64,
-                error_rate: out.symbol_error_rate(&msg),
-                reliable_rate: out.reliable_rate(E12_BITS, &msg).value(),
-                waits_per_symbol: out.waits as f64 / out.received.len() as f64,
-            }
-        })
-        .collect()
+    par_map(cfg, &E12_QUALITIES, |_, &(p_loss, delay)| {
+        let mut sched =
+            BernoulliSchedule::new(0.5, StdRng::seed_from_u64(seed ^ 0xE12)).expect("valid");
+        let mut rng2 = StdRng::seed_from_u64(seed ^ delay as u64 ^ (p_loss * 100.0) as u64);
+        let out = run_noisy_counter(
+            &msg,
+            &mut sched,
+            FeedbackQuality { p_loss, delay },
+            &mut rng2,
+            usize::MAX,
+        )
+        .expect("valid run");
+        E12Row {
+            p_loss,
+            delay,
+            stale_frac: out.stale_fills as f64 / out.received.len() as f64,
+            error_rate: out.symbol_error_rate(&msg),
+            reliable_rate: out.reliable_rate(E12_BITS, &msg).value(),
+            waits_per_symbol: out.waits as f64 / out.received.len() as f64,
+        }
+    })
 }
 
 /// Renders E12.
 pub fn run_e12(seed: u64) -> String {
+    run_e12_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E12 under the trial engine.
+pub fn run_e12_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new([
         "p_loss",
         "delay",
@@ -261,7 +280,7 @@ pub fn run_e12(seed: u64) -> String {
         "rate b/op",
         "waits/symbol",
     ]);
-    for r in rows_e12(seed) {
+    for r in rows_e12_cfg(cfg) {
         t.row([
             f4(r.p_loss),
             r.delay.to_string(),

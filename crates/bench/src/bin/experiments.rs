@@ -1,19 +1,25 @@
-//! Regenerates every experiment table (E1–E10).
+//! Regenerates every experiment table (E1–E14).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [--seed N] [--json] [e1 .. e14]
+//! experiments [--seed N] [--threads T] [--json] [e1 .. e14]
 //! ```
 //!
 //! With no experiment names, runs everything. `--json` prints one
-//! machine-readable document instead of the text tables.
+//! machine-readable document instead of the text tables. `--threads`
+//! sets the trial-engine worker count (0 = one per core, the
+//! default); by the engine's determinism contract it changes
+//! wall-clock time only — output for a given `--seed` is
+//! byte-identical at any thread count.
 
 use nsc_bench as bench;
+use nsc_core::engine::EngineConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 20_050_605u64; // ICDCS 2005 vintage.
+    let mut threads = 0usize; // auto
     let mut selected: Vec<String> = Vec::new();
     let mut json = false;
     let mut it = args.into_iter();
@@ -25,12 +31,18 @@ fn main() {
                 eprintln!("--seed needs an integer");
                 std::process::exit(2);
             });
+        } else if arg == "--threads" {
+            threads = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads needs an integer (0 = auto)");
+                std::process::exit(2);
+            });
         } else {
             selected.push(arg.to_lowercase());
         }
     }
+    let cfg = EngineConfig::seeded(seed).with_threads(threads);
     if json {
-        let doc = bench::json_out::experiments_json(seed, &selected);
+        let doc = bench::json_out::experiments_json_cfg(&cfg, &selected);
         println!(
             "{}",
             serde_json::to_string_pretty(&doc).expect("experiment rows serialize")
@@ -46,39 +58,39 @@ fn main() {
         print!("{}", bench::bounds_exp::run_e2(seed));
     }
     if run("e3") {
-        print!("{}", bench::protocol_exp::run_e3(seed));
+        print!("{}", bench::protocol_exp::run_e3_cfg(&cfg));
     }
     if run("e4") {
-        print!("{}", bench::protocol_exp::run_e4(seed));
+        print!("{}", bench::protocol_exp::run_e4_cfg(&cfg));
     }
     if run("e5") {
         print!("{}", bench::bounds_exp::run_e5());
     }
     if run("e6") {
-        print!("{}", bench::protocol_exp::run_e6(seed));
+        print!("{}", bench::protocol_exp::run_e6_cfg(&cfg));
     }
     if run("e7") {
-        print!("{}", bench::protocol_exp::run_e7(seed));
+        print!("{}", bench::protocol_exp::run_e7_cfg(&cfg));
     }
     if run("e8") {
         print!("{}", bench::sched_exp::run(seed));
     }
     if run("e9") {
-        print!("{}", bench::coding_exp::run(seed));
+        print!("{}", bench::coding_exp::run_cfg(&cfg));
     }
     if run("e10") {
         print!("{}", bench::baseline_exp::run());
     }
     if run("e11") {
-        print!("{}", bench::ablation_exp::run_e11(seed));
+        print!("{}", bench::ablation_exp::run_e11_cfg(&cfg));
     }
     if run("e12") {
-        print!("{}", bench::ablation_exp::run_e12(seed));
+        print!("{}", bench::ablation_exp::run_e12_cfg(&cfg));
     }
     if run("e13") {
         print!("{}", bench::timing_exp::run(seed));
     }
     if run("e14") {
-        print!("{}", bench::wide_exp::run(seed));
+        print!("{}", bench::wide_exp::run_cfg(&cfg));
     }
 }

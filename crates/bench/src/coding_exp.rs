@@ -13,6 +13,7 @@ use nsc_coding::rate::{evaluate_codec, CodeEvaluation, Codec};
 use nsc_coding::repetition::RepetitionCode;
 use nsc_coding::watermark::WatermarkCode;
 use nsc_coding::watermark_ldpc::LdpcWatermarkCode;
+use nsc_core::engine::{par_map, EngineConfig};
 use serde::Serialize;
 
 /// Deletion rates swept.
@@ -35,9 +36,11 @@ pub struct E9Row {
     pub feedback_capacity: f64,
 }
 
-/// Runs E9 and returns rows.
-pub fn rows(seed: u64) -> Vec<E9Row> {
-    let codecs: Vec<Codec> = vec![
+/// The codec line-up under evaluation. Construction is
+/// deterministic (fixed internal seeds), so parallel rows can each
+/// build their own copies without perturbing any published number.
+fn codec_lineup() -> Vec<Codec> {
+    vec![
         Codec::Watermark(
             WatermarkCode::new(ConvCode::standard_half_rate(), 3, 0xBEEF)
                 .expect("valid parameters"),
@@ -51,28 +54,41 @@ pub fn rows(seed: u64) -> Vec<E9Row> {
             code: ConvCode::standard_half_rate(),
             max_expansions: 100_000,
         },
-    ];
-    E9_P_D
-        .iter()
-        .map(|&p_d| E9Row {
-            p_d,
-            codecs: codecs
-                .iter()
-                .map(|c| {
-                    (
-                        c.name(),
-                        evaluate_codec(c, FRAME_BITS, p_d, 0.0, 0.0, TRIALS, seed)
-                            .expect("valid evaluation"),
-                    )
-                })
-                .collect(),
-            feedback_capacity: 1.0 - p_d,
-        })
-        .collect()
+    ]
+}
+
+/// Runs E9 and returns rows.
+pub fn rows(seed: u64) -> Vec<E9Row> {
+    rows_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows`] under the trial engine: deletion-rate rows evaluate in
+/// parallel, each with its own codec instances.
+pub fn rows_cfg(cfg: &EngineConfig) -> Vec<E9Row> {
+    let seed = cfg.master_seed;
+    par_map(cfg, &E9_P_D, |_, &p_d| E9Row {
+        p_d,
+        codecs: codec_lineup()
+            .iter()
+            .map(|c| {
+                (
+                    c.name(),
+                    evaluate_codec(c, FRAME_BITS, p_d, 0.0, 0.0, TRIALS, seed)
+                        .expect("valid evaluation"),
+                )
+            })
+            .collect(),
+        feedback_capacity: 1.0 - p_d,
+    })
 }
 
 /// Renders E9.
 pub fn run(seed: u64) -> String {
+    run_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E9 under the trial engine.
+pub fn run_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new([
         "p_d",
         "codec",
@@ -82,7 +98,7 @@ pub fn run(seed: u64) -> String {
         "eff. rate",
         "feedback cap (Thm 3)",
     ]);
-    for r in rows(seed) {
+    for r in rows_cfg(cfg) {
         for (name, e) in &r.codecs {
             t.row([
                 f4(r.p_d),

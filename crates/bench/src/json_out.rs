@@ -4,12 +4,27 @@
 //! [`experiments_json`] assembles the same rows into one JSON
 //! document (keyed `e1`…`e14`) so plots and regression tooling can
 //! consume a run without scraping tables.
+//!
+//! The document is a pure function of the master seed: running under
+//! [`experiments_json_cfg`] with any thread count produces
+//! byte-identical output (the CI `determinism` job diffs exactly
+//! this).
 
+use nsc_core::engine::EngineConfig;
 use serde_json::{json, Value};
 
 /// Assembles every experiment's structured rows into one JSON value.
 /// Pass a subset filter like the CLI's (empty = everything).
 pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
+    experiments_json_cfg(&EngineConfig::serial(seed), selected)
+}
+
+/// [`experiments_json`] under the trial engine: row sweeps of the
+/// engine-routed experiments (E3, E4, E6, E7, E9, E11, E12, E14) run
+/// on `cfg.threads` workers. The thread count is deliberately *not*
+/// recorded in the document — it cannot influence any value in it.
+pub fn experiments_json_cfg(cfg: &EngineConfig, selected: &[String]) -> Value {
+    let seed = cfg.master_seed;
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
     let mut root = serde_json::Map::new();
     root.insert("seed".to_owned(), json!(seed));
@@ -20,24 +35,33 @@ pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
         root.insert("e2".to_owned(), json!(crate::bounds_exp::rows_e2(seed)));
     }
     if want("e3") {
-        root.insert("e3".to_owned(), json!(crate::protocol_exp::rows_e3(seed)));
+        root.insert(
+            "e3".to_owned(),
+            json!(crate::protocol_exp::rows_e3_cfg(cfg)),
+        );
     }
     if want("e4") {
-        root.insert("e4".to_owned(), json!(crate::protocol_exp::rows_e4(seed)));
+        root.insert(
+            "e4".to_owned(),
+            json!(crate::protocol_exp::rows_e4_cfg(cfg)),
+        );
     }
     if want("e5") {
         root.insert("e5".to_owned(), json!(crate::bounds_exp::rows_e5()));
     }
     if want("e6") {
-        root.insert("e6".to_owned(), json!(crate::protocol_exp::rows_e6(seed)));
+        root.insert(
+            "e6".to_owned(),
+            json!(crate::protocol_exp::rows_e6_cfg(cfg)),
+        );
     }
     if want("e7") {
-        let per_q: Vec<Value> = [0.35, 0.5, 0.65]
+        let per_q: Vec<Value> = crate::protocol_exp::E7_REPORT_Q
             .iter()
             .map(|&q| {
                 json!({
                     "q": q,
-                    "mechanisms": crate::protocol_exp::rows_e7(q, seed),
+                    "mechanisms": crate::protocol_exp::rows_e7_cfg(q, cfg),
                 })
             })
             .collect();
@@ -63,7 +87,7 @@ pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
         );
     }
     if want("e9") {
-        let rows: Vec<Value> = crate::coding_exp::rows(seed)
+        let rows: Vec<Value> = crate::coding_exp::rows_cfg(cfg)
             .into_iter()
             .map(|r| {
                 json!({
@@ -89,16 +113,22 @@ pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
         );
     }
     if want("e11") {
-        root.insert("e11".to_owned(), json!(crate::ablation_exp::rows_e11(seed)));
+        root.insert(
+            "e11".to_owned(),
+            json!(crate::ablation_exp::rows_e11_cfg(cfg)),
+        );
     }
     if want("e12") {
-        root.insert("e12".to_owned(), json!(crate::ablation_exp::rows_e12(seed)));
+        root.insert(
+            "e12".to_owned(),
+            json!(crate::ablation_exp::rows_e12_cfg(cfg)),
+        );
     }
     if want("e13") {
         root.insert("e13".to_owned(), json!(crate::timing_exp::rows(seed)));
     }
     if want("e14") {
-        root.insert("e14".to_owned(), json!(crate::wide_exp::rows(seed)));
+        root.insert("e14".to_owned(), json!(crate::wide_exp::rows_cfg(cfg)));
     }
     Value::Object(root)
 }
@@ -131,5 +161,18 @@ mod tests {
         let text = serde_json::to_string_pretty(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back["e10"]["dmc"].as_array().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn json_byte_identical_across_thread_counts() {
+        // The acceptance criterion, locally: same seed, 1 vs 4
+        // threads, byte-identical serialized document (cheap subset).
+        let sel = vec!["e6".to_owned(), "e14".to_owned()];
+        let one = experiments_json_cfg(&EngineConfig::serial(9), &sel);
+        let four = experiments_json_cfg(&EngineConfig::seeded(9).with_threads(4), &sel);
+        assert_eq!(
+            serde_json::to_string_pretty(&one).unwrap(),
+            serde_json::to_string_pretty(&four).unwrap()
+        );
     }
 }

@@ -41,22 +41,33 @@ pub mod table;
 pub mod timing_exp;
 pub mod wide_exp;
 
+use nsc_core::engine::EngineConfig;
+
 /// Runs every experiment and concatenates their reports.
 pub fn run_all(seed: u64) -> String {
+    run_all_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`run_all`] under the trial engine: the engine-routed experiments
+/// (E3, E4, E6, E7, E9, E11, E12, E14) spread their row sweeps over
+/// `cfg.threads` workers; the report text is byte-identical at any
+/// thread count.
+pub fn run_all_cfg(cfg: &EngineConfig) -> String {
+    let seed = cfg.master_seed;
     let mut out = String::new();
     out.push_str(&channel_fidelity::run(seed));
     out.push_str(&bounds_exp::run_e2(seed));
-    out.push_str(&protocol_exp::run_e3(seed));
-    out.push_str(&protocol_exp::run_e4(seed));
+    out.push_str(&protocol_exp::run_e3_cfg(cfg));
+    out.push_str(&protocol_exp::run_e4_cfg(cfg));
     out.push_str(&bounds_exp::run_e5());
-    out.push_str(&protocol_exp::run_e6(seed));
-    out.push_str(&protocol_exp::run_e7(seed));
+    out.push_str(&protocol_exp::run_e6_cfg(cfg));
+    out.push_str(&protocol_exp::run_e7_cfg(cfg));
     out.push_str(&sched_exp::run(seed));
-    out.push_str(&coding_exp::run(seed));
+    out.push_str(&coding_exp::run_cfg(cfg));
     out.push_str(&baseline_exp::run());
-    out.push_str(&ablation_exp::run_e11(seed));
-    out.push_str(&ablation_exp::run_e12(seed));
+    out.push_str(&ablation_exp::run_e11_cfg(cfg));
+    out.push_str(&ablation_exp::run_e12_cfg(cfg));
     out.push_str(&timing_exp::run(seed));
-    out.push_str(&wide_exp::run(seed));
+    out.push_str(&wide_exp::run_cfg(cfg));
     out
 }

@@ -18,6 +18,7 @@ use nsc_channel::di::{DeletionInsertionChannel, DiParams};
 use nsc_core::bounds::{
     alpha, converted_channel_capacity, erasure_upper_bound, theorem5_lower_bound,
 };
+use nsc_core::engine::{par_map, EngineConfig};
 use nsc_core::protocols::resend::run_resend;
 use nsc_core::sim::adaptive::run_adaptive_slotted;
 use nsc_core::sim::counter::run_counter_protocol;
@@ -57,31 +58,39 @@ pub const E3_BITS: u32 = 4;
 
 /// Runs E3 and returns rows.
 pub fn rows_e3(seed: u64) -> Vec<E3Row> {
+    rows_e3_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows_e3`] under the trial engine: rows are evaluated in
+/// parallel, each from its own row-derived seed, so the numbers are
+/// identical to the serial run at any thread count.
+pub fn rows_e3_cfg(cfg: &EngineConfig) -> Vec<E3Row> {
+    let seed = cfg.master_seed;
     let alphabet = Alphabet::new(E3_BITS).expect("valid width");
-    E3_P_D
-        .iter()
-        .map(|&p_d| {
-            let ch = DeletionInsertionChannel::new(
-                alphabet,
-                DiParams::deletion_only(p_d).expect("valid"),
-            );
-            let msg = random_message(E3_BITS, 40_000, seed ^ (p_d * 1e4) as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let out = run_resend(&ch, &msg, &mut rng).expect("valid setup");
-            E3Row {
-                p_d,
-                theory: erasure_upper_bound(E3_BITS, p_d).expect("valid").value(),
-                measured: out.goodput(E3_BITS).value(),
-                uses_per_symbol: out.channel_uses as f64 / msg.len() as f64,
-            }
-        })
-        .collect()
+    par_map(cfg, &E3_P_D, |_, &p_d| {
+        let ch =
+            DeletionInsertionChannel::new(alphabet, DiParams::deletion_only(p_d).expect("valid"));
+        let msg = random_message(E3_BITS, 40_000, seed ^ (p_d * 1e4) as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = run_resend(&ch, &msg, &mut rng).expect("valid setup");
+        E3Row {
+            p_d,
+            theory: erasure_upper_bound(E3_BITS, p_d).expect("valid").value(),
+            measured: out.goodput(E3_BITS).value(),
+            uses_per_symbol: out.channel_uses as f64 / msg.len() as f64,
+        }
+    })
 }
 
 /// Renders E3.
 pub fn run_e3(seed: u64) -> String {
+    run_e3_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E3 under the trial engine.
+pub fn run_e3_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new(["p_d", "theory N(1-p_d)", "measured goodput", "uses/symbol"]);
-    for r in rows_e3(seed) {
+    for r in rows_e3_cfg(cfg) {
         t.row([
             f4(r.p_d),
             f4(r.theory),
@@ -134,48 +143,55 @@ pub const E4_BITS: u32 = 4;
 
 /// Runs E4 and returns rows.
 pub fn rows_e4(seed: u64) -> Vec<E4Row> {
-    E4_Q.iter()
-        .enumerate()
-        .map(|(i, &q)| {
-            let msg = random_message(E4_BITS, 60_000, seed.wrapping_add(i as u64));
-            // Unsynchronized baseline measures the channel.
-            let mut sched =
-                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xAAAA ^ i as u64))
-                    .expect("valid q");
-            let base = run_unsynchronized(&msg, &mut sched, usize::MAX).expect("valid run");
-            // Counter protocol over an identically distributed
-            // schedule.
-            let mut sched2 =
-                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xBBBB ^ i as u64))
-                    .expect("valid q");
-            let counter = run_counter_protocol(&msg, &mut sched2, usize::MAX).expect("valid run");
-            let stale_frac = counter.stale_fills as f64 / counter.received.len() as f64;
-            let error_rate = counter.symbol_error_rate(&msg);
-            let conv = converted_channel_capacity(E4_BITS, stale_frac)
-                .expect("valid probability")
-                .value();
-            let p_d = base.p_d();
-            let p_i = base.p_i().min(1.0 - p_d).min(0.999);
-            E4Row {
-                q,
-                p_d_unsync: base.p_d(),
-                p_i_unsync: base.p_i(),
-                stale_frac,
-                error_rate,
-                predicted_error: alpha(E4_BITS) * stale_frac,
-                measured_rate: counter.reliable_rate(E4_BITS, &msg).value(),
-                conv_prediction: conv * counter.symbols_per_op(),
-                thm5_lower: theorem5_lower_bound(E4_BITS, p_d, p_i)
-                    .expect("valid parameters")
-                    .value(),
-                thm4_upper: erasure_upper_bound(E4_BITS, p_d).expect("valid").value(),
-            }
-        })
-        .collect()
+    rows_e4_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows_e4`] under the trial engine (identical numbers at any
+/// thread count — per-row seeds derive from the master seed alone).
+pub fn rows_e4_cfg(cfg: &EngineConfig) -> Vec<E4Row> {
+    let seed = cfg.master_seed;
+    par_map(cfg, &E4_Q, |i, &q| {
+        let msg = random_message(E4_BITS, 60_000, seed.wrapping_add(i as u64));
+        // Unsynchronized baseline measures the channel.
+        let mut sched = BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xAAAA ^ i as u64))
+            .expect("valid q");
+        let base = run_unsynchronized(&msg, &mut sched, usize::MAX).expect("valid run");
+        // Counter protocol over an identically distributed
+        // schedule.
+        let mut sched2 = BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xBBBB ^ i as u64))
+            .expect("valid q");
+        let counter = run_counter_protocol(&msg, &mut sched2, usize::MAX).expect("valid run");
+        let stale_frac = counter.stale_fills as f64 / counter.received.len() as f64;
+        let error_rate = counter.symbol_error_rate(&msg);
+        let conv = converted_channel_capacity(E4_BITS, stale_frac)
+            .expect("valid probability")
+            .value();
+        let p_d = base.p_d();
+        let p_i = base.p_i().min(1.0 - p_d).min(0.999);
+        E4Row {
+            q,
+            p_d_unsync: base.p_d(),
+            p_i_unsync: base.p_i(),
+            stale_frac,
+            error_rate,
+            predicted_error: alpha(E4_BITS) * stale_frac,
+            measured_rate: counter.reliable_rate(E4_BITS, &msg).value(),
+            conv_prediction: conv * counter.symbols_per_op(),
+            thm5_lower: theorem5_lower_bound(E4_BITS, p_d, p_i)
+                .expect("valid parameters")
+                .value(),
+            thm4_upper: erasure_upper_bound(E4_BITS, p_d).expect("valid").value(),
+        }
+    })
 }
 
 /// Renders E4.
 pub fn run_e4(seed: u64) -> String {
+    run_e4_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E4 under the trial engine.
+pub fn run_e4_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new([
         "q",
         "P_d^",
@@ -188,7 +204,7 @@ pub fn run_e4(seed: u64) -> String {
         "Thm5 low",
         "Thm4 up",
     ]);
-    for r in rows_e4(seed) {
+    for r in rows_e4_cfg(cfg) {
         t.row([
             f4(r.q),
             f4(r.p_d_unsync),
@@ -238,29 +254,36 @@ pub const E6_BITS: u32 = 4;
 
 /// Runs E6 and returns rows.
 pub fn rows_e6(seed: u64) -> Vec<E6Row> {
-    E6_Q.iter()
-        .enumerate()
-        .map(|(i, &q)| {
-            let msg = random_message(E6_BITS, 30_000, seed.wrapping_add(100 + i as u64));
-            let mut sched =
-                BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xCCCC ^ i as u64))
-                    .expect("valid q");
-            let out = run_stop_and_wait(&msg, &mut sched, usize::MAX).expect("valid run");
-            E6Row {
-                q,
-                ops_per_symbol: out.ops as f64 / out.received.len() as f64,
-                predicted: 1.0 / q + 1.0 / (1.0 - q),
-                waste: out.waste_fraction(),
-                rate: out.rate(E6_BITS).value(),
-            }
-        })
-        .collect()
+    rows_e6_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows_e6`] under the trial engine.
+pub fn rows_e6_cfg(cfg: &EngineConfig) -> Vec<E6Row> {
+    let seed = cfg.master_seed;
+    par_map(cfg, &E6_Q, |i, &q| {
+        let msg = random_message(E6_BITS, 30_000, seed.wrapping_add(100 + i as u64));
+        let mut sched = BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ 0xCCCC ^ i as u64))
+            .expect("valid q");
+        let out = run_stop_and_wait(&msg, &mut sched, usize::MAX).expect("valid run");
+        E6Row {
+            q,
+            ops_per_symbol: out.ops as f64 / out.received.len() as f64,
+            predicted: 1.0 / q + 1.0 / (1.0 - q),
+            waste: out.waste_fraction(),
+            rate: out.rate(E6_BITS).value(),
+        }
+    })
 }
 
 /// Renders E6.
 pub fn run_e6(seed: u64) -> String {
+    run_e6_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E6 under the trial engine.
+pub fn run_e6_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new(["q", "ops/symbol", "1/q + 1/(1-q)", "waste frac", "bits/op"]);
-    for r in rows_e6(seed) {
+    for r in rows_e6_cfg(cfg) {
         t.row([
             f4(r.q),
             f4(r.ops_per_symbol),
@@ -295,9 +318,20 @@ pub struct E7Row {
 /// Symbol width for E7.
 pub const E7_BITS: u32 = 4;
 
+/// Slot lengths scanned for the E7 common-event-source mechanism.
+pub const E7_SLOT_LENS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
 /// Runs E7 at scheduler bias `q` and returns rows (sorted by rate,
 /// descending).
 pub fn rows_e7(q: f64, seed: u64) -> Vec<E7Row> {
+    rows_e7_cfg(q, &EngineConfig::serial(seed))
+}
+
+/// [`rows_e7`] under the trial engine: the slot-length scan runs in
+/// parallel (each slot length has its own salted schedule seed, so
+/// results are thread-count invariant).
+pub fn rows_e7_cfg(q: f64, cfg: &EngineConfig) -> Vec<E7Row> {
+    let seed = cfg.master_seed;
     let msg = random_message(E7_BITS, 60_000, seed);
     let mk_sched =
         |salt: u64| BernoulliSchedule::new(q, StdRng::seed_from_u64(seed ^ salt)).expect("valid q");
@@ -307,12 +341,13 @@ pub fn rows_e7(q: f64, seed: u64) -> Vec<E7Row> {
     let unsync = run_unsynchronized(&msg, &mut s0, usize::MAX).expect("valid run");
     let raw = E7_BITS as f64 * unsync.raw_throughput();
     // Common event source: slotted, best slot length.
-    let mut best_slotted = 0.0f64;
-    for slot_len in [1usize, 2, 4, 8, 16, 32] {
+    let best_slotted = par_map(cfg, &E7_SLOT_LENS, |_, &slot_len| {
         let mut s = mk_sched(2 + slot_len as u64);
         let out = run_slotted(&msg, &mut s, slot_len, usize::MAX).expect("valid run");
-        best_slotted = best_slotted.max(out.reliable_rate(E7_BITS).value());
-    }
+        out.reliable_rate(E7_BITS).value()
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max);
     // Perfect feedback: counter protocol.
     let mut s1 = mk_sched(99);
     let counter = run_counter_protocol(&msg, &mut s1, usize::MAX).expect("valid run");
@@ -358,8 +393,17 @@ pub fn rows_e7(q: f64, seed: u64) -> Vec<E7Row> {
     rows
 }
 
+/// Scheduler biases rendered by the E7 report.
+pub const E7_REPORT_Q: [f64; 3] = [0.35, 0.5, 0.65];
+
 /// Renders E7.
 pub fn run_e7(seed: u64) -> String {
+    run_e7_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E7 under the trial engine: the per-bias sections are
+/// evaluated in parallel and concatenated in bias order.
+pub fn run_e7_cfg(cfg: &EngineConfig) -> String {
     let mut out = String::from(
         "\n## E7 — Figures 3-4: synchronization mechanism comparison (N = 4)\n\n\
          Reliable bits per covert-pair operation under Bernoulli(q)\n\
@@ -369,16 +413,19 @@ pub fn run_e7(seed: u64) -> String {
          performance exactly; the raw unsynchronized stream is fast but not\n\
          decodable.\n",
     );
-    for &q in &[0.35, 0.5, 0.65] {
+    let sections = par_map(cfg, &E7_REPORT_Q, |_, &q| {
         let mut t = Table::new(["mechanism", "bits/op", "reliable"]);
-        for r in rows_e7(q, seed) {
+        for r in rows_e7_cfg(q, cfg) {
             t.row([
                 r.mechanism.to_owned(),
                 f4(r.rate),
                 if r.reliable { "yes" } else { "no" }.to_owned(),
             ]);
         }
-        out.push_str(&format!("\n### q = {q}\n\n{}", t.render()));
+        format!("\n### q = {q}\n\n{}", t.render())
+    });
+    for s in sections {
+        out.push_str(&s);
     }
     out
 }
@@ -461,5 +508,15 @@ mod tests {
         assert!(run_e4(1).contains("E4"));
         assert!(run_e6(1).contains("E6"));
         assert!(run_e7(1).contains("E7"));
+    }
+
+    #[test]
+    fn rows_thread_invariant() {
+        // The engine contract at the experiment level: every row —
+        // floats included — is byte-identical however many workers
+        // evaluated the sweep.
+        let parallel = EngineConfig::seeded(20_050_605).with_threads(4);
+        assert_eq!(rows_e6(20_050_605), rows_e6_cfg(&parallel));
+        assert_eq!(rows_e3(20_050_605), rows_e3_cfg(&parallel));
     }
 }

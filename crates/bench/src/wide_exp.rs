@@ -12,6 +12,7 @@
 use crate::table::{f4, Table};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use nsc_channel::dmc::closed_form;
+use nsc_core::engine::{par_map, EngineConfig};
 use nsc_core::sim::wide::{run_wide_unsynchronized, SampleKind};
 use nsc_core::sim::BernoulliSchedule;
 use rand::rngs::StdRng;
@@ -46,57 +47,66 @@ pub struct E14Row {
 
 /// Runs E14 and returns rows.
 pub fn rows(seed: u64) -> Vec<E14Row> {
-    E14_BITS
-        .iter()
-        .map(|&bits| {
-            let alphabet = Alphabet::new(bits).expect("valid width");
-            let mut rng = StdRng::seed_from_u64(seed ^ bits as u64);
-            let message: Vec<Symbol> = (0..E14_SYMBOLS)
-                .map(|_| alphabet.random(&mut rng))
-                .collect();
-            let mut sched =
-                BernoulliSchedule::new(0.5, StdRng::seed_from_u64(seed ^ 0xE14 ^ bits as u64))
-                    .expect("valid q");
-            let out =
-                run_wide_unsynchronized(&message, bits, &mut sched, usize::MAX).expect("valid run");
-            // Aligned error rate: among clean + torn samples, how
-            // often does the sampled value differ from the message
-            // symbol it represents?
-            let mut aligned = 0usize;
-            let mut errors = 0usize;
-            for (value, kind) in out.received.iter().zip(&out.sample_truth) {
-                let index = match kind {
-                    SampleKind::Clean { index } | SampleKind::Torn { index } => *index,
-                    SampleKind::Stale => continue,
-                };
-                if index < message.len() {
-                    aligned += 1;
-                    if *value != message[index] {
-                        errors += 1;
-                    }
+    rows_cfg(&EngineConfig::serial(seed))
+}
+
+/// [`rows`] under the trial engine: width rows evaluate in parallel
+/// with per-width derived seeds, identical at any thread count.
+pub fn rows_cfg(cfg: &EngineConfig) -> Vec<E14Row> {
+    let seed = cfg.master_seed;
+    par_map(cfg, &E14_BITS, |_, &bits| {
+        let alphabet = Alphabet::new(bits).expect("valid width");
+        let mut rng = StdRng::seed_from_u64(seed ^ bits as u64);
+        let message: Vec<Symbol> = (0..E14_SYMBOLS)
+            .map(|_| alphabet.random(&mut rng))
+            .collect();
+        let mut sched =
+            BernoulliSchedule::new(0.5, StdRng::seed_from_u64(seed ^ 0xE14 ^ bits as u64))
+                .expect("valid q");
+        let out =
+            run_wide_unsynchronized(&message, bits, &mut sched, usize::MAX).expect("valid run");
+        // Aligned error rate: among clean + torn samples, how
+        // often does the sampled value differ from the message
+        // symbol it represents?
+        let mut aligned = 0usize;
+        let mut errors = 0usize;
+        for (value, kind) in out.received.iter().zip(&out.sample_truth) {
+            let index = match kind {
+                SampleKind::Clean { index } | SampleKind::Torn { index } => *index,
+                SampleKind::Stale => continue,
+            };
+            if index < message.len() {
+                aligned += 1;
+                if *value != message[index] {
+                    errors += 1;
                 }
             }
-            let aligned_error = if aligned > 0 {
-                errors as f64 / aligned as f64
-            } else {
-                0.0
-            };
-            let p_d = out.deletion_rate();
-            E14Row {
-                bits,
-                p_d,
-                p_i: out.stale_rate(),
-                p_s_torn: out.torn_rate(),
-                aligned_error,
-                naive_upper: bits as f64 * (1.0 - p_d),
-                substitution_aware: (1.0 - p_d) * closed_form::mary_symmetric(bits, aligned_error),
-            }
-        })
-        .collect()
+        }
+        let aligned_error = if aligned > 0 {
+            errors as f64 / aligned as f64
+        } else {
+            0.0
+        };
+        let p_d = out.deletion_rate();
+        E14Row {
+            bits,
+            p_d,
+            p_i: out.stale_rate(),
+            p_s_torn: out.torn_rate(),
+            aligned_error,
+            naive_upper: bits as f64 * (1.0 - p_d),
+            substitution_aware: (1.0 - p_d) * closed_form::mary_symmetric(bits, aligned_error),
+        }
+    })
 }
 
 /// Renders E14.
 pub fn run(seed: u64) -> String {
+    run_cfg(&EngineConfig::serial(seed))
+}
+
+/// Renders E14 under the trial engine.
+pub fn run_cfg(cfg: &EngineConfig) -> String {
     let mut t = Table::new([
         "N",
         "P_d^",
@@ -106,7 +116,7 @@ pub fn run(seed: u64) -> String {
         "naive N(1-P_d)",
         "subst-aware cap",
     ]);
-    for r in rows(seed) {
+    for r in rows_cfg(cfg) {
         t.row([
             r.bits.to_string(),
             f4(r.p_d),

@@ -7,8 +7,15 @@
 //! * `correct` — the §4.3 correction from measured deletion counts.
 //! * `convert` — the Theorem 5 converted-channel capacity `C_conv`.
 //! * `sweep` — the achievable-capacity surface over `(P_d, P_i)`.
+//! * `trials` — a Monte-Carlo campaign of one §3 synchronization
+//!   mechanism under the deterministic parallel trial engine.
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
+//!
+//! `sweep` and `trials` accept `--threads` (0 = one worker per core)
+//! and `trials` accepts `--seed`; by the engine's determinism
+//! contract the thread count only changes wall-clock time, never a
+//! digit of output.
 //!
 //! The library exposes [`run`] so tests can drive the CLI without a
 //! process boundary; `main.rs` is a two-liner.
@@ -18,8 +25,10 @@
 
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
+use nsc_core::engine::{run_campaign, EngineConfig, Mechanism, StatSummary, TrialPlan};
 use nsc_core::estimator::assess_from_counts;
-use nsc_core::sweep::{sweep_bounds, Grid};
+use nsc_core::sim::noisy_feedback::FeedbackQuality;
+use nsc_core::sweep::{sweep_bounds_with, Grid};
 use nsc_info::timing::noiseless_timing_capacity;
 use nsc_info::BitsPerTick;
 use std::collections::HashMap;
@@ -44,6 +53,7 @@ pub fn run(args: &[String]) -> CliResult {
         "correct" => cmd_correct(rest),
         "convert" => cmd_convert(rest),
         "sweep" => cmd_sweep(rest),
+        "trials" => cmd_trials(rest),
         "stc" => cmd_stc(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -58,13 +68,20 @@ pub fn usage() -> String {
      \x20 nsc bounds  --bits N --p-d X [--p-i Y]\n\
      \x20 nsc correct --traditional C --deletions D --attempts A\n\
      \x20 nsc convert --bits N --p-i Y\n\
-     \x20 nsc sweep   --bits N [--points K]\n\
+     \x20 nsc sweep   --bits N [--points K] [--threads T]\n\
+     \x20 nsc trials  --mechanism M --bits N [--q X] [--len L] [--trials K]\n\
+     \x20             [--seed S] [--threads T] [--slot-len L] [--p-loss X] [--delay D]\n\
      \x20 nsc stc     --durations T1,T2,...\n\
      \n\
      All capacities follow Wang & Lee (ICDCS 2005): `bounds` gives the\n\
      Theorem 5 achievable rate and the Theorem 4 upper bound in bits\n\
      per symbol slot; `correct` applies the practical recipe\n\
-     C_real = C_traditional * (1 - P_d) with a 95% interval.\n"
+     C_real = C_traditional * (1 - P_d) with a 95% interval.\n\
+     \n\
+     `trials` mechanisms: unsync | counter | stop-wait | slotted |\n\
+     adaptive | noisy-counter | wide. Campaigns run on the\n\
+     deterministic parallel engine: --threads (0 = all cores) changes\n\
+     wall-clock time only; output is bit-identical for a given --seed.\n"
         .to_owned()
 }
 
@@ -176,8 +193,10 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     if points < 2 {
         return Err("--points must be at least 2".to_owned());
     }
+    let threads: usize = optional(&flags, "threads", 0)?;
     let grid = Grid::new(0.0, 0.9, points).map_err(|e| e.to_string())?;
-    let sweep = sweep_bounds(&grid, &grid, &[bits]).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::seeded(0).with_threads(threads);
+    let sweep = sweep_bounds_with(&cfg, &grid, &grid, &[bits]).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = write!(out, "{:>7}", "Pd\\Pi");
     for p_i in grid.values() {
@@ -205,6 +224,70 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     let _ = writeln!(
         out,
         "\nachievable bits/slot (Theorem 5); '-' = outside the parameter simplex"
+    );
+    Ok(out)
+}
+
+fn cmd_trials(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let mech_name: String = need(&flags, "mechanism")?;
+    let bits: u32 = need(&flags, "bits")?;
+    let q: f64 = optional(&flags, "q", 0.5)?;
+    let len: usize = optional(&flags, "len", 2_000)?;
+    let trials: usize = optional(&flags, "trials", 32)?;
+    let seed: u64 = optional(&flags, "seed", 0)?;
+    let threads: usize = optional(&flags, "threads", 0)?;
+    let mechanism = match mech_name.as_str() {
+        "unsync" => Mechanism::Unsynchronized,
+        "counter" => Mechanism::Counter,
+        "stop-wait" => Mechanism::StopWait,
+        "slotted" => Mechanism::Slotted {
+            slot_len: optional(&flags, "slot-len", 8)?,
+        },
+        "adaptive" => Mechanism::AdaptiveSlotted,
+        "noisy-counter" => Mechanism::NoisyCounter {
+            quality: FeedbackQuality {
+                p_loss: optional(&flags, "p-loss", 0.0)?,
+                delay: optional(&flags, "delay", 0)?,
+            },
+        },
+        "wide" => Mechanism::Wide,
+        other => {
+            return Err(format!(
+                "unknown mechanism `{other}` (expected unsync | counter | stop-wait | \
+                 slotted | adaptive | noisy-counter | wide)"
+            ))
+        }
+    };
+    let mut plan = TrialPlan::new(mechanism, bits, len, q);
+    if let Some(raw) = flags.get("max-ops") {
+        plan.max_ops = raw
+            .parse()
+            .map_err(|_| format!("flag --max-ops: cannot parse `{raw}`"))?;
+    }
+    let cfg = EngineConfig::seeded(seed).with_threads(threads);
+    let summary = run_campaign(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+    let stat = |s: &StatSummary| {
+        format!(
+            "{:.6} ± {:.6}  (95% CI [{:.6}, {:.6}])",
+            s.mean,
+            s.ci95_hi - s.mean,
+            s.ci95_lo,
+            s.ci95_hi
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "mechanism       : {}", summary.mechanism);
+    let _ = writeln!(out, "bits / q / len  : {bits} / {q} / {len}");
+    let _ = writeln!(out, "trials / seed   : {trials} / {seed}");
+    let _ = writeln!(out, "rate bits/op    : {}", stat(&summary.rate));
+    let _ = writeln!(out, "P_d^            : {}", stat(&summary.p_d));
+    let _ = writeln!(out, "P_i^            : {}", stat(&summary.p_i));
+    let _ = writeln!(out, "error rate      : {}", stat(&summary.error_rate));
+    let _ = writeln!(
+        out,
+        "determinism     : per-trial SplitMix64 seeds from master seed {seed}; \
+         output is identical at any --threads"
     );
     Ok(out)
 }
@@ -302,6 +385,104 @@ mod tests {
         assert!(out.contains("Pd\\Pi"));
         assert!(out.contains("-"));
         assert!(run_str(&["sweep", "--bits", "2", "--points", "1"]).is_err());
+    }
+
+    #[test]
+    fn trials_output_identical_across_thread_counts() {
+        // The CLI-level determinism contract: only wall-clock time may
+        // depend on --threads.
+        let base = [
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--len",
+            "200",
+            "--trials",
+            "12",
+            "--seed",
+            "7",
+        ];
+        let with_threads = |t: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", t]);
+            run_str(&args).unwrap()
+        };
+        let one = with_threads("1");
+        assert_eq!(one, with_threads("4"));
+        assert_eq!(one, with_threads("0"));
+        assert!(one.contains("mechanism       : counter"), "{one}");
+        assert!(one.contains("95% CI"), "{one}");
+    }
+
+    #[test]
+    fn trials_all_mechanisms_render() {
+        for mech in [
+            "unsync",
+            "counter",
+            "stop-wait",
+            "slotted",
+            "adaptive",
+            "noisy-counter",
+            "wide",
+        ] {
+            let out = run_str(&[
+                "trials",
+                "--mechanism",
+                mech,
+                "--bits",
+                "1",
+                "--len",
+                "64",
+                "--trials",
+                "3",
+            ])
+            .unwrap();
+            assert!(out.contains("rate bits/op"), "{mech}: {out}");
+        }
+    }
+
+    #[test]
+    fn trials_flag_errors() {
+        assert!(run_str(&["trials", "--bits", "2"])
+            .unwrap_err()
+            .contains("--mechanism"));
+        assert!(
+            run_str(&["trials", "--mechanism", "telepathy", "--bits", "2"])
+                .unwrap_err()
+                .contains("unknown mechanism")
+        );
+        // Invalid sender probability propagates the engine error.
+        assert!(run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--q",
+            "1.5"
+        ])
+        .is_err());
+        // Zero trials is rejected by campaign validation.
+        assert!(run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--trials",
+            "0"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_threads_flag_accepted() {
+        let serial = run_str(&["sweep", "--bits", "2", "--points", "4", "--threads", "1"]).unwrap();
+        let parallel =
+            run_str(&["sweep", "--bits", "2", "--points", "4", "--threads", "3"]).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

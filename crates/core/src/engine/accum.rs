@@ -1,0 +1,254 @@
+//! Mergeable per-trial outcome accumulators.
+//!
+//! Workers fold the trials of each batch into a partial accumulator;
+//! the engine then merges the partials **in batch-index order**, so
+//! the sequence of floating-point operations — and therefore the
+//! aggregate, bit for bit — does not depend on how many threads ran
+//! or which worker picked up which batch.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95% normal quantile used for confidence intervals.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// A statistic that can absorb per-trial outcomes and be merged with
+/// a partial computed elsewhere.
+///
+/// Implementations must make `merge` *associative* so the engine's
+/// fixed batch-order reduction is well-defined, and order-robust in
+/// the statistical sense: any merge order yields the same aggregate
+/// up to floating-point rounding (the engine guarantees bitwise
+/// reproducibility separately, by always merging in batch order).
+pub trait TrialAccumulator: Sized + Send {
+    /// What one trial produces.
+    type Outcome;
+
+    /// Absorbs a single trial's outcome.
+    fn record(&mut self, outcome: Self::Outcome);
+
+    /// Absorbs another partial accumulator (e.g. from another batch).
+    fn merge(&mut self, other: Self);
+}
+
+/// Streaming mean / variance over `f64` outcomes (Welford's
+/// algorithm, with the parallel merge of Chan, Golub & LeVeque).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded outcomes.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 when fewer than two outcomes).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence
+    /// interval on the mean.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        Z_95 * self.std_error()
+    }
+
+    /// The 95% confidence interval `(lo, hi)` on the mean.
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean() - h, self.mean() + h)
+    }
+
+    /// Records one value (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+}
+
+impl TrialAccumulator for RunningStats {
+    type Outcome = f64;
+
+    fn record(&mut self, outcome: f64) {
+        self.push(outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other;
+            return;
+        }
+        let n_a = self.n as f64;
+        let n_b = other.n as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n_b / n;
+        self.m2 += other.m2 + delta * delta * n_a * n_b / n;
+        self.n += other.n;
+    }
+}
+
+/// A compact, serializable snapshot of a [`RunningStats`], for
+/// experiment reports and JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Number of trials aggregated.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Lower edge of the 95% confidence interval.
+    pub ci95_lo: f64,
+    /// Upper edge of the 95% confidence interval.
+    pub ci95_hi: f64,
+}
+
+impl From<RunningStats> for StatSummary {
+    fn from(s: RunningStats) -> Self {
+        let (ci95_lo, ci95_hi) = s.ci95();
+        StatSummary {
+            n: s.count(),
+            mean: s.mean(),
+            std_error: s.std_error(),
+            ci95_lo,
+            ci95_hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= 1e-9 * scale
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [0.3, 1.7, -2.2, 0.0, 5.5, 5.5, 0.1];
+        let mut acc = RunningStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!(close(acc.mean(), mean));
+        assert!(close(acc.variance(), var));
+        assert_eq!(acc.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        let empty = RunningStats::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.std_error(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(3.25);
+        assert_eq!(one.mean(), 3.25);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.ci95(), (3.25, 3.25));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        /// The satellite-mandated property: merging per-batch
+        /// partials in *any* grouping/order yields the same
+        /// aggregate statistics as one serial pass (up to
+        /// floating-point rounding).
+        #[test]
+        fn merge_order_does_not_change_aggregates(
+            xs in proptest::collection::vec(-1.0e3_f64..1.0e3, 1..200),
+            split in 1usize..8,
+            swap in proptest::bool::ANY,
+        ) {
+            let mut serial = RunningStats::new();
+            for &x in &xs {
+                serial.push(x);
+            }
+
+            // Partition into `split` round-robin batches, then merge
+            // forwards or backwards depending on `swap`.
+            let mut parts = vec![RunningStats::new(); split];
+            for (i, &x) in xs.iter().enumerate() {
+                parts[i % split].push(x);
+            }
+            if swap {
+                parts.reverse();
+            }
+            let mut merged = RunningStats::new();
+            for p in parts {
+                merged.merge(p);
+            }
+
+            prop_assert_eq!(merged.count(), serial.count());
+            prop_assert!(close(merged.mean(), serial.mean()));
+            prop_assert!(close(merged.variance(), serial.variance()));
+        }
+    }
+}

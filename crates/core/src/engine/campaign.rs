@@ -1,0 +1,397 @@
+//! Multi-trial protocol campaigns: every §3 synchronization
+//! mechanism, run under the deterministic parallel engine.
+//!
+//! A *campaign* repeats one simulator over many independent trials —
+//! fresh random message and fresh Bernoulli operation schedule per
+//! trial, all derived from the trial's own seeded RNG — and
+//! aggregates rate and error statistics with confidence intervals.
+//! This is what turns the single-shot runners in [`crate::sim`] into
+//! estimates with quantified uncertainty, and it is the level at
+//! which parallelism pays: trials are embarrassingly parallel while
+//! each individual run stays a sequential state machine.
+
+use super::accum::{RunningStats, StatSummary, TrialAccumulator};
+use super::runner::fold_trials;
+use super::EngineConfig;
+use crate::error::CoreError;
+use crate::sim::adaptive::run_adaptive_slotted;
+use crate::sim::counter::run_counter_protocol;
+use crate::sim::noisy_feedback::{run_noisy_counter, FeedbackQuality};
+use crate::sim::slotted::run_slotted;
+use crate::sim::stop_wait::run_stop_and_wait;
+use crate::sim::unsync::run_unsynchronized;
+use crate::sim::wide::run_wide_unsynchronized;
+use crate::sim::BernoulliSchedule;
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which §3 synchronization mechanism a campaign exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// No synchronization at all (the Definition 1 baseline).
+    Unsynchronized,
+    /// The Appendix A counter protocol with perfect feedback.
+    Counter,
+    /// The Figure 1 two-variable stop-and-wait handshake.
+    StopWait,
+    /// Figure 3(b) common-event-source slotting.
+    Slotted {
+        /// Operations per slot.
+        slot_len: usize,
+    },
+    /// Figure 4(b) adaptive slotting.
+    AdaptiveSlotted,
+    /// The counter protocol under imperfect feedback.
+    NoisyCounter {
+        /// Feedback loss/delay knobs.
+        quality: FeedbackQuality,
+    },
+    /// The wide-variable (torn-write) channel.
+    Wide,
+}
+
+impl Mechanism {
+    /// Stable machine-readable name, used by the CLI and in JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mechanism::Unsynchronized => "unsync",
+            Mechanism::Counter => "counter",
+            Mechanism::StopWait => "stop-wait",
+            Mechanism::Slotted { .. } => "slotted",
+            Mechanism::AdaptiveSlotted => "adaptive",
+            Mechanism::NoisyCounter { .. } => "noisy-counter",
+            Mechanism::Wide => "wide",
+        }
+    }
+}
+
+/// Parameters shared by every trial of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialPlan {
+    /// The mechanism under test.
+    pub mechanism: Mechanism,
+    /// Symbol width in bits.
+    pub bits: u32,
+    /// Message length in symbols (fresh random message per trial).
+    pub message_len: usize,
+    /// Bernoulli schedule bias: probability an operation goes to the
+    /// sender.
+    pub sender_prob: f64,
+    /// Operation budget per trial.
+    pub max_ops: usize,
+}
+
+impl TrialPlan {
+    /// A plan with a generous default operation budget
+    /// (`64 × message_len`, at least 4096) that lets even heavily
+    /// biased schedules finish the message.
+    #[must_use]
+    pub fn new(mechanism: Mechanism, bits: u32, message_len: usize, sender_prob: f64) -> Self {
+        TrialPlan {
+            mechanism,
+            bits,
+            message_len,
+            sender_prob,
+            max_ops: message_len.saturating_mul(64).max(4096),
+        }
+    }
+}
+
+/// What one trial contributes to the campaign statistics.
+struct TrialOutcome {
+    /// Reliable information rate in bits per operation.
+    rate: f64,
+    /// Empirical deletion probability.
+    p_d: f64,
+    /// Empirical insertion (stale) probability.
+    p_i: f64,
+    /// Empirical symbol error rate of the aligned stream.
+    error_rate: f64,
+}
+
+/// Per-batch partial holding one [`RunningStats`] per statistic.
+#[derive(Default)]
+struct CampaignAccumulator {
+    rate: RunningStats,
+    p_d: RunningStats,
+    p_i: RunningStats,
+    error_rate: RunningStats,
+}
+
+impl TrialAccumulator for CampaignAccumulator {
+    type Outcome = TrialOutcome;
+
+    fn record(&mut self, o: TrialOutcome) {
+        self.rate.push(o.rate);
+        self.p_d.push(o.p_d);
+        self.p_i.push(o.p_i);
+        self.error_rate.push(o.error_rate);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.rate.merge(other.rate);
+        self.p_d.merge(other.p_d);
+        self.p_i.merge(other.p_i);
+        self.error_rate.merge(other.error_rate);
+    }
+}
+
+/// Aggregated result of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Mechanism name ([`Mechanism::name`]).
+    pub mechanism: String,
+    /// Symbol width in bits.
+    pub bits: u32,
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Master seed the per-trial seeds were derived from.
+    pub master_seed: u64,
+    /// Reliable rate, bits per operation.
+    pub rate: StatSummary,
+    /// Empirical deletion probability.
+    pub p_d: StatSummary,
+    /// Empirical insertion probability.
+    pub p_i: StatSummary,
+    /// Empirical symbol error rate.
+    pub error_rate: StatSummary,
+}
+
+/// Runs `trials` independent simulations of `plan` under the engine
+/// and aggregates rate / `P_d` / `P_i` / error statistics.
+///
+/// Determinism contract: the summary is a pure function of
+/// `(plan, trials, config.master_seed, config.batch_size)` — the
+/// thread count never changes a bit of it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when `trials`,
+/// `message_len`, `max_ops`, or a slotted `slot_len` is zero, and
+/// [`CoreError::BadProbability`] for an invalid `sender_prob` or
+/// feedback quality. Width validation comes from
+/// [`Alphabet::new`].
+pub fn run_campaign(
+    config: &EngineConfig,
+    plan: &TrialPlan,
+    trials: usize,
+) -> Result<CampaignSummary, CoreError> {
+    if trials == 0 {
+        return Err(CoreError::BadSimulation("campaign needs trials".to_owned()));
+    }
+    if plan.message_len == 0 {
+        return Err(CoreError::BadSimulation("message is empty".to_owned()));
+    }
+    if plan.max_ops == 0 {
+        return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
+    }
+    let alphabet = Alphabet::new(plan.bits).map_err(|e| CoreError::BadSimulation(e.to_string()))?;
+    crate::error::check_prob("sender_prob", plan.sender_prob)?;
+    match plan.mechanism {
+        Mechanism::Slotted { slot_len } if slot_len == 0 => {
+            return Err(CoreError::BadSimulation("slot_len is zero".to_owned()));
+        }
+        Mechanism::NoisyCounter { quality } => {
+            quality.validated()?;
+        }
+        _ => {}
+    }
+
+    let acc: CampaignAccumulator = fold_trials(config, trials, |_, rng| {
+        let message: Vec<Symbol> = (0..plan.message_len)
+            .map(|_| alphabet.random(rng))
+            .collect();
+        let sched_rng = StdRng::seed_from_u64(rng.gen());
+        let mut schedule =
+            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
+        run_one(plan, &message, &mut schedule, rng).expect("plan validated")
+    });
+
+    Ok(CampaignSummary {
+        mechanism: plan.mechanism.name().to_owned(),
+        bits: plan.bits,
+        trials,
+        master_seed: config.master_seed,
+        rate: acc.rate.into(),
+        p_d: acc.p_d.into(),
+        p_i: acc.p_i.into(),
+        error_rate: acc.error_rate.into(),
+    })
+}
+
+/// One simulated trial, mapped onto the campaign's common statistics.
+fn run_one(
+    plan: &TrialPlan,
+    message: &[Symbol],
+    schedule: &mut BernoulliSchedule<StdRng>,
+    rng: &mut StdRng,
+) -> Result<TrialOutcome, CoreError> {
+    let bits = plan.bits;
+    let max_ops = plan.max_ops;
+    Ok(match plan.mechanism {
+        Mechanism::Unsynchronized => {
+            // No alignment: stale reads are indistinguishable from
+            // data, so the insertion rate doubles as the error proxy.
+            let o = run_unsynchronized(message, schedule, max_ops)?;
+            TrialOutcome {
+                rate: bits as f64 * o.raw_throughput(),
+                p_d: o.p_d(),
+                p_i: o.p_i(),
+                error_rate: o.p_i(),
+            }
+        }
+        Mechanism::Counter => {
+            let o = run_counter_protocol(message, schedule, max_ops)?;
+            let delivered = o.received.len();
+            TrialOutcome {
+                rate: o.reliable_rate(bits, message).value(),
+                p_d: 0.0, // the waiting sender never overwrites unread data
+                p_i: ratio(o.stale_fills, delivered),
+                error_rate: o.symbol_error_rate(message),
+            }
+        }
+        Mechanism::StopWait => {
+            let o = run_stop_and_wait(message, schedule, max_ops)?;
+            TrialOutcome {
+                rate: o.rate(bits).value(),
+                p_d: 0.0,
+                p_i: 0.0,
+                error_rate: 0.0,
+            }
+        }
+        Mechanism::Slotted { slot_len } => {
+            let o = run_slotted(message, schedule, slot_len, max_ops)?;
+            TrialOutcome {
+                rate: o.reliable_rate(bits).value(),
+                p_d: ratio(o.deleted_writes, o.writes),
+                p_i: o.stale_fraction(),
+                error_rate: crate::bounds::alpha(bits) * o.stale_fraction(),
+            }
+        }
+        Mechanism::AdaptiveSlotted => {
+            let o = run_adaptive_slotted(message, schedule, max_ops)?;
+            TrialOutcome {
+                rate: o.rate(bits).value(),
+                p_d: 0.0,
+                p_i: 0.0,
+                error_rate: 0.0,
+            }
+        }
+        Mechanism::NoisyCounter { quality } => {
+            let mut fb_rng = StdRng::seed_from_u64(rng.gen());
+            let o = run_noisy_counter(message, schedule, quality, &mut fb_rng, max_ops)?;
+            let delivered = o.received.len();
+            TrialOutcome {
+                rate: o.reliable_rate(bits, message).value(),
+                p_d: 0.0,
+                p_i: ratio(o.stale_fills, delivered),
+                error_rate: o.symbol_error_rate(message),
+            }
+        }
+        Mechanism::Wide => {
+            let o = run_wide_unsynchronized(message, bits, schedule, max_ops)?;
+            // Aligned samples are the non-stale ones; among those,
+            // torn reads act as substitutions.
+            let aligned = 1.0 - o.stale_rate();
+            let err = if aligned > 0.0 {
+                (o.torn_rate() / aligned).min(1.0)
+            } else {
+                0.0
+            };
+            let samples_per_op = ratio(o.received.len(), o.ops);
+            TrialOutcome {
+                rate: nsc_channel::dmc::closed_form::mary_symmetric(bits, err)
+                    * aligned
+                    * samples_per_op,
+                p_d: o.deletion_rate(),
+                p_i: o.stale_rate(),
+                error_rate: o.torn_rate(),
+            }
+        }
+    })
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Mechanism; 7] = [
+        Mechanism::Unsynchronized,
+        Mechanism::Counter,
+        Mechanism::StopWait,
+        Mechanism::Slotted { slot_len: 4 },
+        Mechanism::AdaptiveSlotted,
+        Mechanism::NoisyCounter {
+            quality: FeedbackQuality {
+                p_loss: 0.2,
+                delay: 2,
+            },
+        },
+        Mechanism::Wide,
+    ];
+
+    #[test]
+    fn every_mechanism_thread_invariant() {
+        for mech in ALL {
+            let plan = TrialPlan::new(mech, 3, 200, 0.5);
+            let serial = run_campaign(&EngineConfig::serial(11), &plan, 12).unwrap();
+            let parallel =
+                run_campaign(&EngineConfig::seeded(11).with_threads(4), &plan, 12).unwrap();
+            assert_eq!(serial, parallel, "mechanism {}", mech.name());
+        }
+    }
+
+    #[test]
+    fn counter_beats_unsync_reliability() {
+        let cfg = EngineConfig::serial(5);
+        let counter =
+            run_campaign(&cfg, &TrialPlan::new(Mechanism::Counter, 4, 400, 0.5), 16).unwrap();
+        // Counter-protocol error rate stays far below the stale
+        // fraction a naive receiver would eat (≈ 1/3 at q = 1/2).
+        assert!(counter.error_rate.mean < 0.05, "{:?}", counter.error_rate);
+        assert!(counter.rate.mean > 0.0);
+        // And the error-free mechanisms report exactly zero error.
+        let sw = run_campaign(&cfg, &TrialPlan::new(Mechanism::StopWait, 4, 400, 0.5), 8).unwrap();
+        assert_eq!(sw.error_rate.mean, 0.0);
+    }
+
+    #[test]
+    fn campaign_validation() {
+        let cfg = EngineConfig::serial(1);
+        let plan = TrialPlan::new(Mechanism::Counter, 4, 100, 0.5);
+        assert!(run_campaign(&cfg, &plan, 0).is_err());
+        let bad_prob = TrialPlan {
+            sender_prob: 1.5,
+            ..plan
+        };
+        assert!(run_campaign(&cfg, &bad_prob, 4).is_err());
+        let bad_slot = TrialPlan::new(Mechanism::Slotted { slot_len: 0 }, 4, 100, 0.5);
+        assert!(run_campaign(&cfg, &bad_slot, 4).is_err());
+        let empty = TrialPlan {
+            message_len: 0,
+            ..plan
+        };
+        assert!(run_campaign(&cfg, &empty, 4).is_err());
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_trials() {
+        let plan = TrialPlan::new(Mechanism::Unsynchronized, 2, 150, 0.4);
+        let small = run_campaign(&EngineConfig::serial(3), &plan, 8).unwrap();
+        let large = run_campaign(&EngineConfig::serial(3), &plan, 64).unwrap();
+        let hw = |s: &StatSummary| (s.ci95_hi - s.ci95_lo) / 2.0;
+        assert!(hw(&large.rate) < hw(&small.rate));
+        assert_eq!(large.trials, 64);
+    }
+}

@@ -1,0 +1,237 @@
+//! The deterministic worker-pool runner.
+//!
+//! Work is cut into **fixed-size batches** whose boundaries depend
+//! only on the trial count and the configured batch size — never on
+//! the thread count. Idle workers claim the next batch index from an
+//! atomic cursor (work stealing by index), compute the whole batch,
+//! and ship the result back tagged with its index; the engine then
+//! reassembles (or merges) strictly in batch-index order. Together
+//! with per-trial seeding ([`super::seed::trial_seed`]) this makes
+//! every aggregate bit-identical at any `--threads` setting.
+//!
+//! The pool is built on [`std::thread::scope`] so borrowed closures
+//! need no `'static` bound and a panicking trial propagates to the
+//! caller exactly as it would serially.
+
+use super::accum::TrialAccumulator;
+use super::seed::trial_seed;
+use super::EngineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Runs `units` independent work items and returns their results in
+/// index order. The scheduling-invariance workhorse behind
+/// [`run_trials`], [`fold_trials`] and [`par_map`].
+fn batched<R, W>(config: &EngineConfig, units: usize, work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+{
+    let threads = config.effective_threads().min(units.max(1));
+    let mut out: Vec<Option<R>> = Vec::with_capacity(units);
+    out.resize_with(units, || None);
+    if threads <= 1 {
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = Some(work(b));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let work = &work;
+                s.spawn(move || loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= units {
+                        break;
+                    }
+                    let r = work(b);
+                    if tx.send((b, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Collect on the scope's own thread; ends when every
+            // worker has dropped its sender.
+            for (b, r) in rx {
+                out[b] = Some(r);
+            }
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every unit completed"))
+        .collect()
+}
+
+/// Batch boundaries for `trials` trials: `(first, one-past-last)`
+/// trial index of batch `b`.
+fn batch_bounds(config: &EngineConfig, trials: usize, b: usize) -> (usize, usize) {
+    let size = config.batch_size.max(1);
+    let lo = b * size;
+    (lo, (lo + size).min(trials))
+}
+
+fn batch_count(config: &EngineConfig, trials: usize) -> usize {
+    trials.div_ceil(config.batch_size.max(1))
+}
+
+/// Runs `trials` Monte-Carlo trials in parallel and returns every
+/// outcome, in trial order.
+///
+/// `trial_fn` receives the trial index and a [`StdRng`] seeded with
+/// [`trial_seed`]`(master_seed, index)`; it must derive all its
+/// randomness from that RNG for the determinism contract to hold.
+pub fn run_trials<T, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut StdRng) -> T + Sync,
+{
+    let batches = batched(config, batch_count(config, trials), |b| {
+        let (lo, hi) = batch_bounds(config, trials, b);
+        (lo..hi)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
+                trial_fn(i as u64, &mut rng)
+            })
+            .collect::<Vec<T>>()
+    });
+    batches.into_iter().flatten().collect()
+}
+
+/// Runs `trials` trials and folds their outcomes into a single
+/// accumulator.
+///
+/// Each batch folds serially into its own `A::default()`; the
+/// partials are then merged in ascending batch index. Both the batch
+/// boundaries and the merge order are independent of the thread
+/// count, so the result is **bit-identical** for any `--threads`.
+pub fn fold_trials<A, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> A
+where
+    A: TrialAccumulator + Default,
+    F: Fn(u64, &mut StdRng) -> A::Outcome + Sync,
+{
+    let partials = batched(config, batch_count(config, trials), |b| {
+        let (lo, hi) = batch_bounds(config, trials, b);
+        let mut acc = A::default();
+        for i in lo..hi {
+            let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
+            acc.record(trial_fn(i as u64, &mut rng));
+        }
+        acc
+    });
+    let mut total = A::default();
+    for p in partials {
+        total.merge(p);
+    }
+    total
+}
+
+/// Maps `f` over `items` in parallel, returning results in input
+/// order. For deterministic-per-item work (grid points, experiment
+/// rows) that needs no RNG plumbing; each item is its own batch.
+pub fn par_map<T, U, F>(config: &EngineConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    batched(config, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::accum::RunningStats;
+    use super::*;
+    use rand::Rng;
+
+    fn cfg(threads: usize) -> EngineConfig {
+        EngineConfig::seeded(99).with_threads(threads)
+    }
+
+    #[test]
+    fn run_trials_identical_across_thread_counts() {
+        let serial: Vec<u64> = run_trials(&cfg(1), 103, |_, rng| rng.gen::<u64>());
+        for threads in [2, 4, 8] {
+            let parallel = run_trials(&cfg(threads), 103, |_, rng| rng.gen::<u64>());
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_trials_bit_identical_across_thread_counts() {
+        let serial: RunningStats = fold_trials(&cfg(1), 257, |_, rng| rng.gen::<f64>());
+        for threads in [2, 4, 8] {
+            let parallel: RunningStats = fold_trials(&cfg(threads), 257, |_, rng| rng.gen::<f64>());
+            // Bitwise equality, not approximate: fixed batch
+            // boundaries + in-order merge is the whole point.
+            assert_eq!(serial.mean().to_bits(), parallel.mean().to_bits());
+            assert_eq!(serial.variance().to_bits(), parallel.variance().to_bits());
+            assert_eq!(serial.count(), parallel.count());
+        }
+    }
+
+    #[test]
+    fn trial_fn_sees_index_matched_seed() {
+        let outs = run_trials(&cfg(4), 50, |i, rng| (i, rng.gen::<u64>()));
+        for (k, (i, v)) in outs.iter().enumerate() {
+            assert_eq!(*i, k as u64);
+            let mut expect = StdRng::seed_from_u64(trial_seed(99, k as u64));
+            assert_eq!(*v, expect.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let squares = par_map(&cfg(8), &items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(squares, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_trials_and_empty_items() {
+        let v: Vec<u8> = run_trials(&cfg(4), 0, |_, _| 0u8);
+        assert!(v.is_empty());
+        let s: RunningStats = fold_trials(&cfg(4), 0, |_, rng| rng.gen::<f64>());
+        assert_eq!(s.count(), 0);
+        let m: Vec<u8> = par_map(&cfg(4), &[] as &[u8], |_, &x| x);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn auto_threads_still_deterministic() {
+        let auto = EngineConfig::seeded(7); // threads = 0 → all cores
+        let one = EngineConfig::serial(7);
+        let a: RunningStats = fold_trials(&auto, 64, |_, rng| rng.gen::<f64>());
+        let b: RunningStats = fold_trials(&one, 64, |_, rng| rng.gen::<f64>());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+    }
+
+    #[test]
+    fn batch_size_one_and_large() {
+        let tiny = EngineConfig {
+            batch_size: 1,
+            ..cfg(4)
+        };
+        let huge = EngineConfig {
+            batch_size: 1_000_000,
+            ..cfg(4)
+        };
+        // Different batch sizes may legitimately change merge
+        // grouping, but each must equal its own serial run.
+        for c in [tiny, huge] {
+            let serial = EngineConfig { threads: 1, ..c };
+            let a: Vec<u64> = run_trials(&c, 33, |_, rng| rng.gen());
+            let b: Vec<u64> = run_trials(&serial, 33, |_, rng| rng.gen());
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-trial seed derivation via SplitMix64.
+//!
+//! The engine's determinism contract rests on one invariant: the RNG
+//! stream a trial sees is a pure function of `(master_seed,
+//! trial_index)` and nothing else — not the worker thread it ran on,
+//! not the order batches were stolen, not the trial count of the
+//! campaign it is part of. SplitMix64 (Steele, Lea & Flood,
+//! *Fast Splittable Pseudorandom Number Generators*, OOPSLA 2014) is
+//! the standard finalizer for exactly this job: it is a bijection on
+//! `u64`, so distinct trial indices can never collide under the same
+//! master seed, and its avalanche constants decorrelate the seeds of
+//! adjacent trials.
+
+/// The golden-ratio increment of the SplitMix64 sequence,
+/// `⌊2^64 / φ⌋` forced odd.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 finalizer — a bijective avalanche mix on `u64`.
+///
+/// Constants are the canonical ones from the reference
+/// implementation (also used by `xoshiro`'s seeding procedure).
+#[must_use]
+pub fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed for one trial from the campaign's master
+/// seed.
+///
+/// The master seed is first avalanched so that *nearby* master seeds
+/// (a user stepping `--seed 1, 2, 3…`) produce unrelated trial-seed
+/// streams, then the trial index walks the SplitMix64 sequence from
+/// that origin. Because [`mix`] is a bijection, trials of one
+/// campaign always receive pairwise-distinct seeds.
+#[must_use]
+pub fn trial_seed(master: u64, trial_index: u64) -> u64 {
+    let origin = mix(master);
+    mix(origin.wrapping_add(trial_index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_is_stable_across_runs() {
+        // Reference values from the canonical SplitMix64 pin the
+        // function: if the constants drift, every archived experiment
+        // JSON silently changes.
+        assert_eq!(mix(0), 0);
+        assert_eq!(mix(1), 0x5692_161D_100B_05E5);
+        assert_eq!(mix(GOLDEN_GAMMA), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(trial_seed(20_050_605, 0), 0x97B9_5976_CCA4_9E3C);
+        assert_eq!(trial_seed(20_050_605, 1), 0xBFD1_5F24_E98F_6660);
+    }
+
+    #[test]
+    fn seeds_distinct_per_trial_index() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(trial_seed(42, i)), "collision at trial {i}");
+        }
+    }
+
+    #[test]
+    fn seeds_stable_across_runs() {
+        // The derivation is a pure function: same inputs, same seed,
+        // every run, every platform.
+        let a: Vec<u64> = (0..16).map(|i| trial_seed(20_050_605, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| trial_seed(20_050_605, i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_masters_decorrelated() {
+        // Stepping the master seed by one must not shift the trial
+        // stream by one (the naive `master + i·γ` scheme does).
+        let s0: HashSet<u64> = (0..256).map(|i| trial_seed(7, i)).collect();
+        let s1: HashSet<u64> = (0..256).map(|i| trial_seed(8, i)).collect();
+        assert!(s0.is_disjoint(&s1));
+    }
+}

@@ -23,6 +23,10 @@
 //!   two-variable handshake, and the Figure 3(b) common-event-source
 //!   slotting.
 //! * [`estimator`] — the end-to-end auditor pipeline.
+//! * [`engine`] — the deterministic parallel Monte-Carlo engine:
+//!   per-trial SplitMix64 seeding, a fixed-batch worker pool, and
+//!   mergeable Welford accumulators, so trial campaigns scale with
+//!   cores while staying bit-identical at any thread count.
 //!
 //! # Quick start
 //!
@@ -45,6 +49,7 @@
 
 pub mod bounds;
 pub mod degradation;
+pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod protocols;
@@ -53,5 +58,6 @@ pub mod sweep;
 
 pub use bounds::CapacityBounds;
 pub use degradation::{DegradationReport, Severity, SeverityPolicy};
+pub use engine::EngineConfig;
 pub use error::CoreError;
 pub use estimator::Assessment;

@@ -8,6 +8,7 @@
 //! parameter grids and produces serializable report structures.
 
 use crate::bounds::{capacity_bounds, CapacityBounds};
+use crate::engine::{par_map, EngineConfig};
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 
@@ -138,12 +139,34 @@ pub fn sweep_bounds(
     p_i_grid: &Grid,
     widths: &[u32],
 ) -> Result<CapacitySweep, CoreError> {
+    sweep_bounds_with(&EngineConfig::serial(0), p_d_grid, p_i_grid, widths)
+}
+
+/// [`sweep_bounds`] evaluated under the trial engine: grid points
+/// are spread over `config.threads` workers while the returned
+/// surface — point order, values, and skip count — is identical to
+/// the serial sweep (bound evaluation is a pure function, so this
+/// holds exactly, not just up to rounding). The seed in `config` is
+/// ignored; sweeps are deterministic analytic evaluations.
+///
+/// # Errors
+///
+/// Same contract as [`sweep_bounds`].
+pub fn sweep_bounds_with(
+    config: &EngineConfig,
+    p_d_grid: &Grid,
+    p_i_grid: &Grid,
+    widths: &[u32],
+) -> Result<CapacitySweep, CoreError> {
     if widths.is_empty() {
         return Err(CoreError::BadSimulation(
             "need at least one symbol width".to_owned(),
         ));
     }
-    let mut points = Vec::new();
+    // Materialize the cartesian product in row-major order, then let
+    // the engine chew the in-simplex points; `par_map` returns
+    // results in input order so the surface layout is unchanged.
+    let mut combos = Vec::new();
     let mut skipped = 0usize;
     for &bits in widths {
         for &p_d in &p_d_grid.values() {
@@ -152,15 +175,19 @@ pub fn sweep_bounds(
                     skipped += 1;
                     continue;
                 }
-                points.push(SweepPoint {
-                    p_d,
-                    p_i,
-                    bits,
-                    bounds: capacity_bounds(bits, p_d, p_i)?,
-                });
+                combos.push((bits, p_d, p_i));
             }
         }
     }
+    let evaluated = par_map(config, &combos, |_, &(bits, p_d, p_i)| {
+        capacity_bounds(bits, p_d, p_i).map(|bounds| SweepPoint {
+            p_d,
+            p_i,
+            bits,
+            bounds,
+        })
+    });
+    let points = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(CapacitySweep { points, skipped })
 }
 
@@ -216,6 +243,25 @@ mod tests {
     fn empty_widths_rejected() {
         let g = Grid::fixed(0.1);
         assert!(sweep_bounds(&g, &g, &[]).is_err());
+        assert!(sweep_bounds_with(&EngineConfig::seeded(0), &g, &g, &[]).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_identical_to_serial() {
+        let g = Grid::new(0.0, 0.95, 12).unwrap();
+        let serial = sweep_bounds(&g, &g, &[1, 4, 8]).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = sweep_bounds_with(
+                &EngineConfig::seeded(0).with_threads(threads),
+                &g,
+                &g,
+                &[1, 4, 8],
+            )
+            .unwrap();
+            // Exact equality including NaN-free floats: the bound
+            // evaluation is pure, so parallelism is invisible.
+            assert_eq!(serial, parallel);
+        }
     }
 
     #[test]

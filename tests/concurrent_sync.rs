@@ -71,20 +71,15 @@ fn threaded_counter_protocol_aligns() {
     let message: Vec<u8> = (0..2000u32).map(|i| (i * 7 + 13) as u8).collect();
     let received = run_threaded_counter(message.clone());
     assert_eq!(received.len(), message.len());
-    let correct = received
-        .iter()
-        .zip(&message)
-        .filter(|(a, b)| a == b)
-        .count();
-    // Thread scheduling noise varies, but alignment guarantees a
-    // substantial correct fraction and every stale fill repeats a
-    // value previously written (i.e. some earlier message byte or the
-    // initial zero).
-    assert!(
-        correct * 2 >= received.len(),
-        "only {correct}/{} correct",
-        received.len()
-    );
+    // Appendix A bounds the error of the counter protocol by the
+    // number of stale fills; it promises *alignment*, not a correct
+    // fraction. No fraction is scheduler-guaranteed: a receiver that
+    // drains every position before the sender's first write reads all
+    // stale-initial values, and the sender (seeing count = len)
+    // legitimately skips to the end. The earlier `correct * 2 >= len`
+    // assertion encoded that wrong expectation and failed under
+    // unlucky schedules — the invariants below are what the theorem
+    // actually guarantees.
     for (k, &v) in received.iter().enumerate() {
         let is_initial = v == 0;
         let is_current = v == message[k];

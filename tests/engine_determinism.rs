@@ -1,0 +1,83 @@
+//! The trial engine's determinism contract, exercised across crate
+//! boundaries: campaigns over the §3 simulators and the capacity
+//! sweep must be bit-identical at every thread count, because every
+//! per-trial seed is a pure function of `(master_seed, trial_index)`
+//! and partial results merge in fixed batch order.
+
+use nsc_core::engine::{
+    fold_trials, run_campaign, run_trials, EngineConfig, Mechanism, RunningStats, TrialPlan,
+};
+use nsc_core::sweep::{sweep_bounds, sweep_bounds_with, Grid};
+
+#[test]
+fn campaign_identical_at_every_thread_count() {
+    let plan = TrialPlan::new(Mechanism::StopWait, 2, 400, 0.5);
+    let reference = run_campaign(&EngineConfig::serial(11), &plan, 24).unwrap();
+    for threads in [2usize, 3, 4, 8] {
+        let cfg = EngineConfig::seeded(11).with_threads(threads);
+        let got = run_campaign(&cfg, &plan, 24).unwrap();
+        assert_eq!(reference, got, "threads = {threads}");
+    }
+}
+
+#[test]
+fn campaign_summaries_render_identically() {
+    // Byte-level check on the rendered form — the same property the
+    // CI determinism job asserts on the experiments JSON.
+    let plan = TrialPlan::new(Mechanism::Slotted { slot_len: 4 }, 2, 300, 0.45);
+    let one = run_campaign(&EngineConfig::serial(5), &plan, 16).unwrap();
+    let four = run_campaign(&EngineConfig::seeded(5).with_threads(4), &plan, 16).unwrap();
+    assert_eq!(format!("{one:?}"), format!("{four:?}"));
+}
+
+#[test]
+fn sweep_with_engine_matches_serial_sweep() {
+    let grid = Grid::new(0.0, 0.8, 5).unwrap();
+    let serial = sweep_bounds(&grid, &grid, &[1, 2, 4]).unwrap();
+    let parallel = sweep_bounds_with(
+        &EngineConfig::seeded(0).with_threads(4),
+        &grid,
+        &grid,
+        &[1, 2, 4],
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn raw_trial_results_keep_trial_order() {
+    let serial: Vec<u64> = run_trials(&EngineConfig::serial(3), 100, |seed, _| seed);
+    let parallel: Vec<u64> =
+        run_trials(&EngineConfig::seeded(3).with_threads(4), 100, |seed, _| {
+            seed
+        });
+    assert_eq!(serial, parallel);
+    // Seeds are distinct per trial index.
+    let mut sorted = serial.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), serial.len());
+}
+
+#[test]
+fn folded_statistics_bit_identical() {
+    use rand::Rng;
+    let run = |threads: usize| -> RunningStats {
+        fold_trials(
+            &EngineConfig::seeded(42).with_threads(threads),
+            500,
+            |_, rng| rng.gen::<f64>(),
+        )
+    };
+    let reference = run(1);
+    for threads in [2usize, 4, 7] {
+        let got = run(threads);
+        assert_eq!(reference.count(), got.count());
+        assert_eq!(reference.mean().to_bits(), got.mean().to_bits());
+        assert_eq!(
+            reference.variance().to_bits(),
+            got.variance().to_bits(),
+            "threads = {threads}"
+        );
+    }
+}
