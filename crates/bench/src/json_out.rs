@@ -10,7 +10,7 @@
 //! byte-identical output (the CI `determinism` job diffs exactly
 //! this).
 
-use nsc_core::engine::EngineConfig;
+use nsc_core::engine::{EngineConfig, RunManifest};
 use serde_json::{json, Value};
 
 /// Assembles every experiment's structured rows into one JSON value.
@@ -21,13 +21,27 @@ pub fn experiments_json(seed: u64, selected: &[String]) -> Value {
 
 /// [`experiments_json`] under the trial engine: row sweeps of the
 /// engine-routed experiments (E3, E4, E6, E7, E9, E11, E12, E14) run
-/// on `cfg.threads` workers. The thread count is deliberately *not*
-/// recorded in the document — it cannot influence any value in it.
+/// on `cfg.threads` workers.
+///
+/// The document opens with the run's [`RunManifest`] (the same type
+/// the `nsc` CLI emits) in place of loose metadata. It carries the
+/// deterministic fields only — no execution record — because this
+/// document is byte-diffed across thread counts by CI, and thread
+/// counts or wall-clock cannot influence any value in it. Trial
+/// counts vary per experiment, so the manifest's own count is unset.
 pub fn experiments_json_cfg(cfg: &EngineConfig, selected: &[String]) -> Value {
     let seed = cfg.master_seed;
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
     let mut root = serde_json::Map::new();
-    root.insert("seed".to_owned(), json!(seed));
+    let plan = if selected.is_empty() {
+        "experiments(all)".to_owned()
+    } else {
+        format!("experiments({})", selected.join(","))
+    };
+    root.insert(
+        "manifest".to_owned(),
+        json!(RunManifest::new(cfg, plan, None)),
+    );
     if want("e1") {
         root.insert("e1".to_owned(), json!(crate::channel_fidelity::rows(seed)));
     }
@@ -144,7 +158,15 @@ mod tests {
         assert!(obj.contains_key("e5"));
         assert!(obj.contains_key("e10"));
         assert!(!obj.contains_key("e2"));
-        assert_eq!(obj["seed"], 3);
+        // The ad-hoc `seed` key became a full run manifest.
+        assert_eq!(obj["manifest"]["master_seed"], 3);
+        assert_eq!(obj["manifest"]["plan"], "experiments(e5,e10)");
+        assert!(obj["manifest"]["engine_version"].is_string());
+        // Deterministic document: no execution/timing section, no
+        // trial count (it varies per experiment).
+        let manifest = obj["manifest"].as_object().unwrap();
+        assert!(!manifest.contains_key("execution"));
+        assert!(!manifest.contains_key("trials"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `nsc` command-line covert-channel auditor.
 //!
-//! Thin, dependency-free argument parsing over the workspace's
+//! Thin, dependency-light argument parsing over the workspace's
 //! libraries. Subcommands:
 //!
 //! * `bounds` — Theorem 4/5 capacity bounds at given parameters.
@@ -12,10 +12,27 @@
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
 //!
-//! `sweep` and `trials` accept `--threads` (0 = one worker per core)
-//! and `trials` accepts `--seed`; by the engine's determinism
-//! contract the thread count only changes wall-clock time, never a
-//! digit of output.
+//! # The CLI contract
+//!
+//! The contract is **strict**: every subcommand declares its legal
+//! flags in a spec table, and anything else — a typo'd flag, a flag
+//! from another subcommand, a mechanism-specific flag given with the
+//! wrong mechanism — is rejected with a diagnostic (including a
+//! "did you mean" hint) instead of silently running the defaults.
+//! The paper's whole point is *honest* capacity numbers; a CLI that
+//! swallows `--trails 64` and quietly runs 32 trials is how wrong
+//! intervals get trusted.
+//!
+//! Every subcommand takes `--format json|text`. Text (the default)
+//! is the historical human-readable rendering, byte-identical to
+//! what the CLI printed before the flag existed. JSON is a
+//! self-describing document: the parameters actually in effect, the
+//! results, and — for engine-backed runs (`sweep`, `trials`) — a
+//! `RunManifest` with the master seed, batch size, trial count,
+//! engine version, and an `execution` section (thread counts,
+//! per-batch wall-clock, trials/sec). Everything outside
+//! `manifest.execution` is deterministic: strip that one key and the
+//! JSON is byte-identical at any `--threads` setting.
 //!
 //! The library exposes [`run`] so tests can drive the CLI without a
 //! process boundary; `main.rs` is a two-liner.
@@ -25,14 +42,20 @@
 
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
-use nsc_core::engine::{run_campaign, EngineConfig, Mechanism, StatSummary, TrialPlan};
+use nsc_core::engine::{
+    run_campaign_manifest, EngineConfig, Mechanism, RunManifest, StatSummary, TrialPlan,
+};
 use nsc_core::estimator::assess_from_counts;
 use nsc_core::sim::noisy_feedback::FeedbackQuality;
-use nsc_core::sweep::{sweep_bounds_with, Grid};
+use nsc_core::sweep::{sweep_bounds_manifest, Grid};
 use nsc_info::timing::noiseless_timing_capacity;
 use nsc_info::BitsPerTick;
+use serde_json::{json, Map, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// Schema identifier embedded in every JSON document.
+pub const JSON_SCHEMA: &str = "nsc/v1";
 
 /// CLI outcome: rendered output or a usage error (message, exit
 /// code 2).
@@ -62,43 +85,328 @@ pub fn run(args: &[String]) -> CliResult {
 
 /// The usage text.
 pub fn usage() -> String {
-    "nsc — non-synchronous covert-channel capacity auditor\n\
-     \n\
-     USAGE:\n\
-     \x20 nsc bounds  --bits N --p-d X [--p-i Y]\n\
-     \x20 nsc correct --traditional C --deletions D --attempts A\n\
-     \x20 nsc convert --bits N --p-i Y\n\
-     \x20 nsc sweep   --bits N [--points K] [--threads T]\n\
-     \x20 nsc trials  --mechanism M --bits N [--q X] [--len L] [--trials K]\n\
-     \x20             [--seed S] [--threads T] [--slot-len L] [--p-loss X] [--delay D]\n\
-     \x20 nsc stc     --durations T1,T2,...\n\
-     \n\
-     All capacities follow Wang & Lee (ICDCS 2005): `bounds` gives the\n\
-     Theorem 5 achievable rate and the Theorem 4 upper bound in bits\n\
-     per symbol slot; `correct` applies the practical recipe\n\
-     C_real = C_traditional * (1 - P_d) with a 95% interval.\n\
-     \n\
-     `trials` mechanisms: unsync | counter | stop-wait | slotted |\n\
-     adaptive | noisy-counter | wide. Campaigns run on the\n\
-     deterministic parallel engine: --threads (0 = all cores) changes\n\
-     wall-clock time only; output is bit-identical for a given --seed.\n"
-        .to_owned()
+    let mut out = String::from(
+        "nsc — non-synchronous covert-channel capacity auditor\n\
+         \n\
+         USAGE:\n\
+         \x20 nsc <subcommand> [--flag value ...]\n\
+         \n\
+         Every subcommand takes --format json|text (default text; text is\n\
+         byte-identical to the pre---format output). JSON embeds the\n\
+         parameters in effect plus, for sweep/trials, a run manifest\n\
+         (master seed, batch size, trial count, engine version, thread\n\
+         counts, per-batch wall-clock). Unknown or inapplicable flags are\n\
+         errors, never silently ignored.\n",
+    );
+    for (name, spec, blurb) in SUBCOMMANDS {
+        let _ = write!(out, "\n  nsc {name} — {blurb}\n");
+        for f in *spec {
+            let req = if f.required { " (required)" } else { "" };
+            let _ = writeln!(out, "    --{} {}  {}{req}", f.name, f.value, f.help);
+        }
+    }
+    out.push_str(
+        "\nAll capacities follow Wang & Lee (ICDCS 2005): `bounds` gives the\n\
+         Theorem 5 achievable rate and the Theorem 4 upper bound in bits\n\
+         per symbol slot; `correct` applies the practical recipe\n\
+         C_real = C_traditional * (1 - P_d) with a 95% interval.\n\
+         \n\
+         `trials` mechanisms: unsync | counter | stop-wait | slotted |\n\
+         adaptive | noisy-counter | wide. Campaigns run on the\n\
+         deterministic parallel engine: --threads (0 = all cores) changes\n\
+         wall-clock time only; output is bit-identical for a given --seed.\n",
+    );
+    out
 }
 
-/// Parses `--key value` pairs.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// One legal flag of a subcommand.
+struct FlagSpec {
+    /// Flag name, without the leading `--`.
+    name: &'static str,
+    /// Value placeholder shown in usage text.
+    value: &'static str,
+    /// Whether the flag must be present.
+    required: bool,
+    /// One-line description for usage and diagnostics.
+    help: &'static str,
+    /// Mechanisms the flag applies to (`trials` only); `None` = all.
+    mechanisms: Option<&'static [&'static str]>,
+}
+
+const fn flag(
+    name: &'static str,
+    value: &'static str,
+    required: bool,
+    help: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        value,
+        required,
+        help,
+        mechanisms: None,
+    }
+}
+
+const fn mech_flag(
+    name: &'static str,
+    value: &'static str,
+    help: &'static str,
+    mechanisms: &'static [&'static str],
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        value,
+        required: false,
+        help,
+        mechanisms: Some(mechanisms),
+    }
+}
+
+const FORMAT_FLAG: FlagSpec = flag("format", "json|text", false, "output format (default text)");
+
+const BOUNDS_FLAGS: &[FlagSpec] = &[
+    flag("bits", "N", true, "symbol width in bits"),
+    flag("p-d", "X", true, "deletion probability"),
+    flag("p-i", "Y", false, "insertion probability (default 0)"),
+    FORMAT_FLAG,
+];
+
+const CORRECT_FLAGS: &[FlagSpec] = &[
+    flag(
+        "traditional",
+        "C",
+        true,
+        "traditional capacity estimate, bits/tick",
+    ),
+    flag("deletions", "D", true, "measured deletion count"),
+    flag("attempts", "A", true, "measured attempt count"),
+    FORMAT_FLAG,
+];
+
+const CONVERT_FLAGS: &[FlagSpec] = &[
+    flag("bits", "N", true, "symbol width in bits"),
+    flag("p-i", "Y", true, "insertion probability"),
+    FORMAT_FLAG,
+];
+
+const SWEEP_FLAGS: &[FlagSpec] = &[
+    flag("bits", "N", true, "symbol width in bits"),
+    flag("points", "K", false, "grid points per axis (default 10)"),
+    flag(
+        "seed",
+        "S",
+        false,
+        "master seed recorded in the manifest (default 0)",
+    ),
+    flag(
+        "threads",
+        "T",
+        false,
+        "worker threads, 0 = one per core (default 0)",
+    ),
+    FORMAT_FLAG,
+];
+
+const TRIALS_FLAGS: &[FlagSpec] = &[
+    flag(
+        "mechanism",
+        "M",
+        true,
+        "unsync | counter | stop-wait | slotted | adaptive | noisy-counter | wide",
+    ),
+    flag("bits", "N", true, "symbol width in bits"),
+    flag(
+        "q",
+        "X",
+        false,
+        "Bernoulli schedule sender probability (default 0.5)",
+    ),
+    flag(
+        "len",
+        "L",
+        false,
+        "message length in symbols (default 2000)",
+    ),
+    flag("trials", "K", false, "trial count (default 32)"),
+    flag("seed", "S", false, "engine master seed (default 0)"),
+    flag(
+        "threads",
+        "T",
+        false,
+        "worker threads, 0 = one per core (default 0)",
+    ),
+    flag(
+        "max-ops",
+        "B",
+        false,
+        "operation budget per trial (default 64*len, min 4096)",
+    ),
+    mech_flag(
+        "slot-len",
+        "L",
+        "operations per slot (default 8)",
+        &["slotted"],
+    ),
+    mech_flag(
+        "p-loss",
+        "X",
+        "feedback loss probability (default 0)",
+        &["noisy-counter"],
+    ),
+    mech_flag(
+        "delay",
+        "D",
+        "feedback delay in operations (default 0)",
+        &["noisy-counter"],
+    ),
+    FORMAT_FLAG,
+];
+
+const STC_FLAGS: &[FlagSpec] = &[
+    flag(
+        "durations",
+        "T1,T2,...",
+        true,
+        "comma-separated symbol durations",
+    ),
+    FORMAT_FLAG,
+];
+
+/// Subcommand registry: name, flag spec, one-line description.
+const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
+    ("bounds", BOUNDS_FLAGS, "Theorem 4/5 capacity bounds"),
+    ("correct", CORRECT_FLAGS, "the §4.3 capacity correction"),
+    ("convert", CONVERT_FLAGS, "Theorem 5 converted capacity"),
+    ("sweep", SWEEP_FLAGS, "achievable-capacity surface"),
+    ("trials", TRIALS_FLAGS, "Monte-Carlo mechanism campaign"),
+    ("stc", STC_FLAGS, "noiseless timing capacity"),
+];
+
+/// Levenshtein edit distance, for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Diagnostic for a flag outside the subcommand's spec.
+fn unknown_flag(cmd: &str, spec: &[FlagSpec], name: &str) -> String {
+    let suggestion = spec
+        .iter()
+        .map(|f| (edit_distance(name, f.name), f.name))
+        .min_by_key(|&(d, _)| d)
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, best)| format!(" (did you mean --{best}?)"))
+        .unwrap_or_default();
+    let valid = spec
+        .iter()
+        .map(|f| format!("--{}", f.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("unknown flag --{name} for `{cmd}`{suggestion}\nvalid flags: {valid}")
+}
+
+/// Parses `--key value` pairs against the subcommand's flag spec.
+///
+/// Strictness is the point: flags outside the spec, duplicated
+/// flags, and bare values are all hard errors — never silently
+/// ignored in favor of defaults.
+fn parse_flags(
+    cmd: &str,
+    spec: &[FlagSpec],
+    args: &[String],
+) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{key}`"));
         };
+        if !spec.iter().any(|f| f.name == name) {
+            return Err(unknown_flag(cmd, spec, name));
+        }
         let Some(value) = it.next() else {
             return Err(format!("flag --{name} needs a value"));
         };
-        map.insert(name.to_owned(), value.clone());
+        if map.insert(name.to_owned(), value.clone()).is_some() {
+            return Err(format!("flag --{name} given more than once"));
+        }
     }
     Ok(map)
+}
+
+/// Rejects mechanism-specific flags given with a mechanism they do
+/// not apply to (`--slot-len` with `counter`, `--p-loss` with
+/// `unsync`, …).
+fn check_mechanism_flags(
+    flags: &HashMap<String, String>,
+    spec: &[FlagSpec],
+    mechanism: &str,
+) -> Result<(), String> {
+    for f in spec {
+        if let Some(mechs) = f.mechanisms {
+            if flags.contains_key(f.name) && !mechs.contains(&mechanism) {
+                return Err(format!(
+                    "flag --{} does not apply to mechanism `{mechanism}` (applies to: {})",
+                    f.name,
+                    mechs.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Output rendering selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    /// The historical human-readable rendering (the default).
+    Text,
+    /// A self-describing JSON document.
+    Json,
+}
+
+fn output_format(flags: &HashMap<String, String>) -> Result<OutputFormat, String> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") => Ok(OutputFormat::Text),
+        Some("json") => Ok(OutputFormat::Json),
+        Some(other) => Err(format!(
+            "flag --format: expected `json` or `text`, got `{other}`"
+        )),
+    }
+}
+
+/// Serializes a CLI JSON document (pretty, trailing newline).
+fn render_json(doc: &Value) -> String {
+    let mut s = serde_json::to_string_pretty(doc).expect("CLI documents serialize");
+    s.push('\n');
+    s
+}
+
+/// Assembles the common document envelope.
+fn json_doc(command: &str, params: Value, body: Vec<(&str, Value)>) -> Value {
+    let mut root = Map::new();
+    root.insert("schema".to_owned(), json!(JSON_SCHEMA));
+    root.insert("command".to_owned(), json!(command));
+    root.insert("params".to_owned(), params);
+    for (key, value) in body {
+        root.insert(key.to_owned(), value);
+    }
+    Value::Object(root)
+}
+
+fn manifest_json(manifest: &RunManifest) -> Value {
+    serde_json::to_value(manifest).expect("manifests serialize")
 }
 
 fn need<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
@@ -123,11 +431,26 @@ fn optional<T: std::str::FromStr>(
 }
 
 fn cmd_bounds(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("bounds", BOUNDS_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let bits: u32 = need(&flags, "bits")?;
     let p_d: f64 = need(&flags, "p-d")?;
     let p_i: f64 = optional(&flags, "p-i", 0.0)?;
     let b = capacity_bounds(bits, p_d, p_i).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "bounds",
+            json!({"bits": bits, "p_d": p_d, "p_i": p_i}),
+            vec![(
+                "results",
+                json!({
+                    "achievable_bits_per_slot": b.lower.value(),
+                    "upper_bound_bits_per_slot": b.upper.value(),
+                    "tightness": b.tightness(),
+                }),
+            )],
+        )));
+    }
     let mut out = String::new();
     let _ = writeln!(out, "symbol width    : {bits} bits");
     let _ = writeln!(out, "P_d / P_i       : {p_d} / {p_i}");
@@ -146,7 +469,8 @@ fn cmd_bounds(args: &[String]) -> CliResult {
 }
 
 fn cmd_correct(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("correct", CORRECT_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let traditional: f64 = need(&flags, "traditional")?;
     let deletions: u64 = need(&flags, "deletions")?;
     let attempts: u64 = need(&flags, "attempts")?;
@@ -157,6 +481,20 @@ fn cmd_correct(args: &[String]) -> CliResult {
         &SeverityPolicy::default(),
     )
     .map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "correct",
+            json!({
+                "traditional_bits_per_tick": traditional,
+                "deletions": deletions,
+                "attempts": attempts,
+            }),
+            vec![(
+                "results",
+                serde_json::to_value(&a).expect("assessments serialize"),
+            )],
+        )));
+    }
     let mut out = String::new();
     let _ = writeln!(out, "traditional     : {traditional} bits/tick");
     let _ = writeln!(
@@ -176,10 +514,18 @@ fn cmd_correct(args: &[String]) -> CliResult {
 }
 
 fn cmd_convert(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("convert", CONVERT_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let bits: u32 = need(&flags, "bits")?;
     let p_i: f64 = need(&flags, "p-i")?;
     let c = converted_channel_capacity(bits, p_i).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "convert",
+            json!({"bits": bits, "p_i": p_i}),
+            vec![("results", json!({"c_conv_bits_per_symbol": c.value()}))],
+        )));
+    }
     Ok(format!(
         "C_conv({bits} bits, P_i = {p_i}) = {:.6} bits/symbol  (eqs. 2-4; Figure 5)\n",
         c.value()
@@ -187,16 +533,32 @@ fn cmd_convert(args: &[String]) -> CliResult {
 }
 
 fn cmd_sweep(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("sweep", SWEEP_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let bits: u32 = need(&flags, "bits")?;
     let points: usize = optional(&flags, "points", 10)?;
     if points < 2 {
         return Err("--points must be at least 2".to_owned());
     }
+    let seed: u64 = optional(&flags, "seed", 0)?;
     let threads: usize = optional(&flags, "threads", 0)?;
     let grid = Grid::new(0.0, 0.9, points).map_err(|e| e.to_string())?;
-    let cfg = EngineConfig::seeded(0).with_threads(threads);
-    let sweep = sweep_bounds_with(&cfg, &grid, &grid, &[bits]).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::seeded(seed).with_threads(threads);
+    let (sweep, manifest) =
+        sweep_bounds_manifest(&cfg, &grid, &grid, &[bits]).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "sweep",
+            json!({"bits": bits, "points": points, "seed": seed}),
+            vec![
+                ("manifest", manifest_json(&manifest)),
+                (
+                    "sweep",
+                    serde_json::to_value(&sweep).expect("sweeps serialize"),
+                ),
+            ],
+        )));
+    }
     let mut out = String::new();
     let _ = write!(out, "{:>7}", "Pd\\Pi");
     for p_i in grid.values() {
@@ -229,7 +591,8 @@ fn cmd_sweep(args: &[String]) -> CliResult {
 }
 
 fn cmd_trials(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("trials", TRIALS_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let mech_name: String = need(&flags, "mechanism")?;
     let bits: u32 = need(&flags, "bits")?;
     let q: f64 = optional(&flags, "q", 0.5)?;
@@ -259,6 +622,7 @@ fn cmd_trials(args: &[String]) -> CliResult {
             ))
         }
     };
+    check_mechanism_flags(&flags, TRIALS_FLAGS, mechanism.name())?;
     let mut plan = TrialPlan::new(mechanism, bits, len, q);
     if let Some(raw) = flags.get("max-ops") {
         plan.max_ops = raw
@@ -266,7 +630,39 @@ fn cmd_trials(args: &[String]) -> CliResult {
             .map_err(|_| format!("flag --max-ops: cannot parse `{raw}`"))?;
     }
     let cfg = EngineConfig::seeded(seed).with_threads(threads);
-    let summary = run_campaign(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+    let (summary, manifest) =
+        run_campaign_manifest(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        let mut params = Map::new();
+        params.insert("mechanism".to_owned(), json!(mechanism.name()));
+        params.insert("bits".to_owned(), json!(bits));
+        params.insert("q".to_owned(), json!(q));
+        params.insert("len".to_owned(), json!(len));
+        params.insert("trials".to_owned(), json!(trials));
+        params.insert("seed".to_owned(), json!(seed));
+        params.insert("max_ops".to_owned(), json!(plan.max_ops));
+        match mechanism {
+            Mechanism::Slotted { slot_len } => {
+                params.insert("slot_len".to_owned(), json!(slot_len));
+            }
+            Mechanism::NoisyCounter { quality } => {
+                params.insert("p_loss".to_owned(), json!(quality.p_loss));
+                params.insert("delay".to_owned(), json!(quality.delay));
+            }
+            _ => {}
+        }
+        return Ok(render_json(&json_doc(
+            "trials",
+            Value::Object(params),
+            vec![
+                ("manifest", manifest_json(&manifest)),
+                (
+                    "summary",
+                    serde_json::to_value(&summary).expect("summaries serialize"),
+                ),
+            ],
+        )));
+    }
     let stat = |s: &StatSummary| {
         format!(
             "{:.6} ± {:.6}  (95% CI [{:.6}, {:.6}])",
@@ -293,7 +689,8 @@ fn cmd_trials(args: &[String]) -> CliResult {
 }
 
 fn cmd_stc(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags("stc", STC_FLAGS, args)?;
+    let format = output_format(&flags)?;
     let raw = flags
         .get("durations")
         .ok_or_else(|| "missing required flag --durations".to_owned())?;
@@ -306,6 +703,13 @@ fn cmd_stc(args: &[String]) -> CliResult {
         })
         .collect::<Result<_, _>>()?;
     let c = noiseless_timing_capacity(&durations).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "stc",
+            json!({"durations": durations}),
+            vec![("results", json!({"capacity_bits_per_time_unit": c}))],
+        )));
+    }
     Ok(format!(
         "noiseless timing capacity for durations {durations:?}: {c:.6} bits per time unit\n\
          (Shannon's characteristic root; Moskowitz's Simple Timing Channel)\n"
@@ -320,6 +724,18 @@ mod tests {
         run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
+    fn parse_json(out: &str) -> Value {
+        serde_json::from_str(out).expect("CLI --format json emits valid JSON")
+    }
+
+    /// Strips the observational `manifest.execution` section — the
+    /// only part of a JSON document allowed to differ between runs.
+    fn strip_execution(doc: &mut Value) {
+        if let Some(manifest) = doc.get_mut("manifest").and_then(Value::as_object_mut) {
+            manifest.remove("execution");
+        }
+    }
+
     #[test]
     fn help_and_unknown() {
         assert!(run_str(&["help"]).unwrap().contains("USAGE"));
@@ -328,10 +744,45 @@ mod tests {
     }
 
     #[test]
+    fn usage_documents_every_flag() {
+        let text = usage();
+        for (name, spec, _) in SUBCOMMANDS {
+            assert!(text.contains(&format!("nsc {name}")), "{name} missing");
+            for f in *spec {
+                assert!(
+                    text.contains(&format!("--{}", f.name)),
+                    "--{} missing",
+                    f.name
+                );
+            }
+        }
+        // The once-undocumented flags are now in the usage text.
+        assert!(text.contains("--max-ops"));
+        assert!(text.contains("--format"));
+    }
+
+    #[test]
     fn bounds_happy_path() {
         let out = run_str(&["bounds", "--bits", "8", "--p-d", "0.25"]).unwrap();
         assert!(out.contains("upper bound     : 6.000000"));
         assert!(out.contains("achievable      : 6.000000"));
+    }
+
+    #[test]
+    fn bounds_golden_text_output() {
+        // The full text rendering, byte for byte: the --format flag
+        // must leave the default output exactly as it was before the
+        // flag existed.
+        let golden = "symbol width    : 8 bits\n\
+                      P_d / P_i       : 0.25 / 0\n\
+                      achievable      : 6.000000 bits/slot  (Theorem 5)\n\
+                      upper bound     : 6.000000 bits/slot  (Theorem 4, N(1-P_d))\n\
+                      tightness       : 100.0%\n";
+        let default = run_str(&["bounds", "--bits", "8", "--p-d", "0.25"]).unwrap();
+        assert_eq!(default, golden);
+        let explicit =
+            run_str(&["bounds", "--bits", "8", "--p-d", "0.25", "--format", "text"]).unwrap();
+        assert_eq!(explicit, golden);
     }
 
     #[test]
@@ -355,6 +806,117 @@ mod tests {
             .contains("needs a value"));
         // Out-of-range probability propagates the library error.
         assert!(run_str(&["bounds", "--bits", "4", "--p-d", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_with_suggestion() {
+        // The motivating bugs: typo'd flags used to be silently
+        // ignored and the defaults ran instead.
+        let err = run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--trails",
+            "64",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown flag --trails"), "{err}");
+        assert!(err.contains("did you mean --trials"), "{err}");
+        let err = run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--sed",
+            "7",
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean --seed"), "{err}");
+        // No close match: no hint, but the valid flags are listed.
+        let err =
+            run_str(&["bounds", "--bits", "4", "--p-d", "0.1", "--frobnicate", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(
+            err.contains("valid flags: --bits, --p-d, --p-i, --format"),
+            "{err}"
+        );
+        // Flags from *other* subcommands are just as unknown.
+        assert!(run_str(&[
+            "bounds",
+            "--bits",
+            "4",
+            "--p-d",
+            "0.1",
+            "--durations",
+            "1,2"
+        ])
+        .unwrap_err()
+        .contains("unknown flag --durations"));
+    }
+
+    #[test]
+    fn inapplicable_mechanism_flags_rejected() {
+        let err = run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--slot-len",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--slot-len does not apply"), "{err}");
+        assert!(err.contains("`counter`"), "{err}");
+        assert!(err.contains("slotted"), "{err}");
+        assert!(run_str(&[
+            "trials",
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "1",
+            "--p-loss",
+            "0.1"
+        ])
+        .unwrap_err()
+        .contains("--p-loss does not apply"));
+        // The same flags are accepted by the mechanisms they fit.
+        assert!(run_str(&[
+            "trials",
+            "--mechanism",
+            "slotted",
+            "--bits",
+            "1",
+            "--len",
+            "64",
+            "--trials",
+            "3",
+            "--slot-len",
+            "4"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        assert!(
+            run_str(&["bounds", "--bits", "4", "--bits", "8", "--p-d", "0.1"])
+                .unwrap_err()
+                .contains("more than once")
+        );
+    }
+
+    #[test]
+    fn format_flag_validated() {
+        assert!(
+            run_str(&["bounds", "--bits", "4", "--p-d", "0.1", "--format", "yaml"])
+                .unwrap_err()
+                .contains("--format")
+        );
     }
 
     #[test]
@@ -388,6 +950,23 @@ mod tests {
     }
 
     #[test]
+    fn sweep_seed_flag_threads_through() {
+        // The seed is recorded in the manifest (analytic sweeps never
+        // consume randomness, so the surface itself is unchanged).
+        let out = run_str(&[
+            "sweep", "--bits", "2", "--points", "4", "--seed", "9", "--format", "json",
+        ])
+        .unwrap();
+        let doc = parse_json(&out);
+        assert_eq!(doc["manifest"]["master_seed"], 9);
+        assert_eq!(doc["params"]["seed"], 9);
+        // Same surface as the default seed.
+        let a = run_str(&["sweep", "--bits", "2", "--points", "4", "--seed", "9"]).unwrap();
+        let b = run_str(&["sweep", "--bits", "2", "--points", "4"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn trials_output_identical_across_thread_counts() {
         // The CLI-level determinism contract: only wall-clock time may
         // depend on --threads.
@@ -414,6 +993,122 @@ mod tests {
         assert_eq!(one, with_threads("0"));
         assert!(one.contains("mechanism       : counter"), "{one}");
         assert!(one.contains("95% CI"), "{one}");
+    }
+
+    #[test]
+    fn trials_json_round_trip() {
+        let out = run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--len",
+            "200",
+            "--trials",
+            "12",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let doc = parse_json(&out);
+        assert_eq!(doc["schema"], JSON_SCHEMA);
+        assert_eq!(doc["command"], "trials");
+        assert_eq!(doc["params"]["mechanism"], "counter");
+        assert_eq!(doc["params"]["trials"], 12);
+        // The manifest makes the run reproducible from its own output…
+        let manifest = &doc["manifest"];
+        assert_eq!(manifest["master_seed"], 7);
+        assert_eq!(manifest["batch_size"], 32);
+        assert_eq!(manifest["trials"], 12);
+        assert!(manifest["engine_version"].is_string());
+        assert!(manifest["plan"].as_str().unwrap().contains("counter"));
+        // …and reports how it executed.
+        let exec = &manifest["execution"];
+        assert!(exec["effective_threads"].as_u64().unwrap() >= 1);
+        assert!(exec["wall_secs"].as_f64().unwrap() >= 0.0);
+        assert!(exec["trials_per_sec"].is_number());
+        let batches = exec["batches"].as_array().unwrap();
+        assert_eq!(batches.len(), 1); // 12 trials, batch size 32
+        assert_eq!(batches[0]["trials"], 12);
+        // The summary statistics parse as numbers.
+        assert!(doc["summary"]["rate"]["mean"].is_number());
+        assert!(doc["summary"]["rate"]["ci95_lo"].is_number());
+    }
+
+    #[test]
+    fn trials_json_deterministic_across_threads_sans_timing() {
+        let json_with_threads = |t: &str| {
+            run_str(&[
+                "trials",
+                "--mechanism",
+                "counter",
+                "--bits",
+                "2",
+                "--len",
+                "200",
+                "--trials",
+                "40",
+                "--seed",
+                "7",
+                "--threads",
+                t,
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let mut one = parse_json(&json_with_threads("1"));
+        let mut four = parse_json(&json_with_threads("4"));
+        // Timing may differ…
+        strip_execution(&mut one);
+        strip_execution(&mut four);
+        // …but nothing else may, down to the serialized bytes.
+        assert_eq!(
+            serde_json::to_string_pretty(&one).unwrap(),
+            serde_json::to_string_pretty(&four).unwrap()
+        );
+    }
+
+    #[test]
+    fn analytic_commands_emit_json() {
+        let doc = parse_json(
+            &run_str(&["bounds", "--bits", "8", "--p-d", "0.25", "--format", "json"]).unwrap(),
+        );
+        assert_eq!(doc["command"], "bounds");
+        assert_eq!(doc["results"]["achievable_bits_per_slot"], 6.0);
+        assert_eq!(doc["results"]["upper_bound_bits_per_slot"], 6.0);
+
+        let doc = parse_json(
+            &run_str(&[
+                "correct",
+                "--traditional",
+                "100",
+                "--deletions",
+                "300",
+                "--attempts",
+                "1000",
+                "--format",
+                "json",
+            ])
+            .unwrap(),
+        );
+        assert_eq!(doc["command"], "correct");
+        assert!(doc["results"]["report"]["corrected"].is_number());
+        assert!(doc["results"]["severity"].is_string());
+
+        let doc = parse_json(
+            &run_str(&["convert", "--bits", "4", "--p-i", "0.0", "--format", "json"]).unwrap(),
+        );
+        assert_eq!(doc["results"]["c_conv_bits_per_symbol"], 4.0);
+
+        let doc = parse_json(&run_str(&["stc", "--durations", "1,2", "--format", "json"]).unwrap());
+        let c = doc["results"]["capacity_bits_per_time_unit"]
+            .as_f64()
+            .unwrap();
+        assert!((c - 0.694_242).abs() < 1e-6);
     }
 
     #[test]
@@ -483,6 +1178,30 @@ mod tests {
         let parallel =
             run_str(&["sweep", "--bits", "2", "--points", "4", "--threads", "3"]).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_json_deterministic_across_threads_sans_timing() {
+        let json_with_threads = |t: &str| {
+            run_str(&[
+                "sweep",
+                "--bits",
+                "2",
+                "--points",
+                "4",
+                "--threads",
+                t,
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let mut one = parse_json(&json_with_threads("1"));
+        let mut four = parse_json(&json_with_threads("4"));
+        strip_execution(&mut one);
+        strip_execution(&mut four);
+        assert_eq!(one, four);
+        assert!(one["sweep"]["skipped"].as_u64().unwrap() > 0);
     }
 
     #[test]

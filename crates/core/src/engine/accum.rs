@@ -8,8 +8,46 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Two-sided 95% normal quantile used for confidence intervals.
+/// Two-sided 95% normal quantile — the large-`n` limit of the
+/// Student-t quantile used for confidence intervals.
 pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Two-sided 95% Student-t quantiles for 1–30 degrees of freedom
+/// (standard table values, `t_{0.975, df}`).
+const T_95_TABLE: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom.
+///
+/// Campaigns often run a handful of trials; the normal quantile
+/// (`z = 1.96`) understates the uncertainty badly there (at `n = 3`,
+/// `df = 2`, the honest factor is 4.30). Values for `df ≤ 30` come
+/// from the standard table; beyond that the Cornish–Fisher expansion
+/// of the t quantile around `z` (Hill 1970's asymptotic form) is
+/// accurate to a few 1e-4 and decays monotonically to [`Z_95`].
+///
+/// `df = 0` (fewer than two samples) returns infinity: no finite
+/// interval is honest with one observation. Callers that special-case
+/// `n < 2` (as [`RunningStats::ci95_half_width`] does via a zero
+/// standard error) never hit it.
+#[must_use]
+pub fn t95(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_95_TABLE[df as usize - 1],
+        _ => {
+            let z = Z_95;
+            let d = df as f64;
+            let g1 = (z.powi(3) + z) / 4.0;
+            let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
+            let g3 = (3.0 * z.powi(7) + 19.0 * z.powi(5) + 17.0 * z.powi(3) - 15.0 * z) / 384.0;
+            z + g1 / d + g2 / (d * d) + g3 / (d * d * d)
+        }
+    }
+}
 
 /// A statistic that can absorb per-trial outcomes and be merged with
 /// a partial computed elsewhere.
@@ -88,11 +126,21 @@ impl RunningStats {
         }
     }
 
-    /// Half-width of the normal-approximation 95% confidence
-    /// interval on the mean.
+    /// Half-width of the Student-t 95% confidence interval on the
+    /// mean (zero with fewer than two outcomes, where no finite
+    /// interval is honest).
+    ///
+    /// The t quantile at `n − 1` degrees of freedom replaces the
+    /// normal `z = 1.96`: at small trial counts the normal
+    /// approximation understates the uncertainty — by a factor of
+    /// 2.2 at `n = 3` — which is exactly the silent overconfidence
+    /// the paper's §4.3 correction discipline exists to prevent.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
-        Z_95 * self.std_error()
+        if self.n < 2 {
+            return 0.0;
+        }
+        t95(self.n - 1) * self.std_error()
     }
 
     /// The 95% confidence interval `(lo, hi)` on the mean.
@@ -201,6 +249,35 @@ mod tests {
         assert_eq!(one.mean(), 3.25);
         assert_eq!(one.variance(), 0.0);
         assert_eq!(one.ci95(), (3.25, 3.25));
+    }
+
+    #[test]
+    fn t_quantile_matches_table_and_normal_limit() {
+        assert_eq!(t95(0), f64::INFINITY);
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!((t95(2) - 4.303).abs() < 1e-9);
+        assert!((t95(30) - 2.042).abs() < 1e-9);
+        // The asymptotic tail continues the table smoothly…
+        assert!((t95(31) - 2.0395).abs() < 2e-3);
+        assert!((t95(120) - 1.9799).abs() < 2e-3);
+        // …and converges on the normal quantile.
+        assert!((t95(1_000_000) - Z_95).abs() < 1e-4);
+        for df in 1..200 {
+            assert!(t95(df) > t95(df + 1), "df = {df}");
+            assert!(t95(df + 1) > Z_95, "df = {df}");
+        }
+    }
+
+    #[test]
+    fn small_n_interval_wider_than_normal_approximation() {
+        let mut s = RunningStats::new();
+        for &x in &[1.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        // n = 3 ⇒ df = 2 ⇒ t = 4.303, more than twice the normal z.
+        let hw = s.ci95_half_width();
+        assert!((hw - t95(2) * s.std_error()).abs() < 1e-12);
+        assert!(hw > 2.0 * Z_95 * s.std_error());
     }
 
     #[test]

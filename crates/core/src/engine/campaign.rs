@@ -11,8 +11,8 @@
 //! each individual run stays a sequential state machine.
 
 use super::accum::{RunningStats, StatSummary, TrialAccumulator};
-use super::runner::fold_trials;
-use super::EngineConfig;
+use super::runner::fold_trials_timed;
+use super::{EngineConfig, RunManifest};
 use crate::error::CoreError;
 use crate::sim::adaptive::run_adaptive_slotted;
 use crate::sim::counter::run_counter_protocol;
@@ -68,6 +68,22 @@ impl Mechanism {
     }
 }
 
+impl std::fmt::Display for Mechanism {
+    /// [`Mechanism::name`] plus the mechanism's own parameters —
+    /// enough to reconstruct the variant, used by run manifests.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mechanism::Slotted { slot_len } => write!(f, "slotted(slot_len={slot_len})"),
+            Mechanism::NoisyCounter { quality } => write!(
+                f,
+                "noisy-counter(p_loss={},delay={})",
+                quality.p_loss, quality.delay
+            ),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
 /// Parameters shared by every trial of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialPlan {
@@ -97,6 +113,16 @@ impl TrialPlan {
             sender_prob,
             max_ops: message_len.saturating_mul(64).max(4096),
         }
+    }
+
+    /// Stable one-line descriptor of the plan, recorded in run
+    /// manifests so a campaign can be re-run from its own output.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "campaign(mechanism={}, bits={}, len={}, q={}, max_ops={})",
+            self.mechanism, self.bits, self.message_len, self.sender_prob, self.max_ops
+        )
     }
 }
 
@@ -179,6 +205,27 @@ pub fn run_campaign(
     plan: &TrialPlan,
     trials: usize,
 ) -> Result<CampaignSummary, CoreError> {
+    run_campaign_manifest(config, plan, trials).map(|(summary, _)| summary)
+}
+
+/// [`run_campaign`], additionally returning the run's
+/// [`RunManifest`] — the reproducibility record (plan descriptor,
+/// master seed, batch size, trial count, engine version) plus the
+/// observational [`super::ExecutionReport`] (thread counts, total
+/// and per-batch wall-clock, trials/sec).
+///
+/// The summary and the manifest's reproducibility fields are covered
+/// by the determinism contract; the execution record is not (strip
+/// it with [`RunManifest::deterministic`] before diffing runs).
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`].
+pub fn run_campaign_manifest(
+    config: &EngineConfig,
+    plan: &TrialPlan,
+    trials: usize,
+) -> Result<(CampaignSummary, RunManifest), CoreError> {
     if trials == 0 {
         return Err(CoreError::BadSimulation("campaign needs trials".to_owned()));
     }
@@ -200,7 +247,7 @@ pub fn run_campaign(
         _ => {}
     }
 
-    let acc: CampaignAccumulator = fold_trials(config, trials, |_, rng| {
+    let (acc, execution): (CampaignAccumulator, _) = fold_trials_timed(config, trials, |_, rng| {
         let message: Vec<Symbol> = (0..plan.message_len)
             .map(|_| alphabet.random(rng))
             .collect();
@@ -210,7 +257,7 @@ pub fn run_campaign(
         run_one(plan, &message, &mut schedule, rng).expect("plan validated")
     });
 
-    Ok(CampaignSummary {
+    let summary = CampaignSummary {
         mechanism: plan.mechanism.name().to_owned(),
         bits: plan.bits,
         trials,
@@ -219,7 +266,10 @@ pub fn run_campaign(
         p_d: acc.p_d.into(),
         p_i: acc.p_i.into(),
         error_rate: acc.error_rate.into(),
-    })
+    };
+    let manifest =
+        RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
+    Ok((summary, manifest))
 }
 
 /// One simulated trial, mapped onto the campaign's common statistics.
@@ -387,11 +437,45 @@ mod tests {
 
     #[test]
     fn ci_width_shrinks_with_trials() {
+        use super::super::accum::t95;
         let plan = TrialPlan::new(Mechanism::Unsynchronized, 2, 150, 0.4);
         let small = run_campaign(&EngineConfig::serial(3), &plan, 8).unwrap();
         let large = run_campaign(&EngineConfig::serial(3), &plan, 64).unwrap();
         let hw = |s: &StatSummary| (s.ci95_hi - s.ci95_lo) / 2.0;
         assert!(hw(&large.rate) < hw(&small.rate));
         assert_eq!(large.trials, 64);
+        // The half-widths are Student-t, not normal: t_{0.975, n−1}
+        // standard errors, which at n = 8 is 2.365 of them, not 1.96.
+        let rel = |s: &StatSummary, df: u64| (hw(s) - t95(df) * s.std_error).abs();
+        assert!(rel(&small.rate, 7) < 1e-12, "{:?}", small.rate);
+        assert!(rel(&large.rate, 63) < 1e-12, "{:?}", large.rate);
+    }
+
+    #[test]
+    fn manifest_records_reproducibility_fields() {
+        let plan = TrialPlan::new(Mechanism::Slotted { slot_len: 4 }, 2, 100, 0.5);
+        let cfg = EngineConfig::seeded(17).with_threads(2);
+        let (summary, manifest) = run_campaign_manifest(&cfg, &plan, 10).unwrap();
+        assert_eq!(summary, run_campaign(&cfg, &plan, 10).unwrap());
+        assert_eq!(manifest.master_seed, 17);
+        assert_eq!(manifest.batch_size, cfg.batch_size);
+        assert_eq!(manifest.trials, Some(10));
+        assert_eq!(manifest.engine_version, super::super::ENGINE_VERSION);
+        assert!(
+            manifest.plan.contains("slotted(slot_len=4)"),
+            "{}",
+            manifest.plan
+        );
+        let exec = manifest
+            .execution
+            .as_ref()
+            .expect("campaigns report execution");
+        assert_eq!(exec.threads_requested, 2);
+        assert_eq!(exec.batches.iter().map(|b| b.trials).sum::<usize>(), 10);
+        // The deterministic payload strips the execution record.
+        assert!(manifest.deterministic().execution.is_none());
+        // And it is identical across thread counts.
+        let (_, serial) = run_campaign_manifest(&EngineConfig::serial(17), &plan, 10).unwrap();
+        assert_eq!(manifest.deterministic(), serial.deterministic());
     }
 }

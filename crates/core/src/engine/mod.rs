@@ -53,9 +53,13 @@ pub mod runner;
 pub mod seed;
 
 pub use accum::{RunningStats, StatSummary, TrialAccumulator};
-pub use campaign::{run_campaign, CampaignSummary, Mechanism, TrialPlan};
-pub use runner::{fold_trials, par_map, run_trials};
+pub use campaign::{run_campaign, run_campaign_manifest, CampaignSummary, Mechanism, TrialPlan};
+pub use runner::{fold_trials, fold_trials_timed, par_map, run_trials};
 pub use seed::trial_seed;
+
+/// Version of the engine crate, embedded in every [`RunManifest`] so
+/// archived output names the code that produced it.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Default trials-per-batch. Part of the determinism contract: the
 /// batch boundaries (and hence the Welford merge grouping) derive
@@ -114,6 +118,130 @@ impl EngineConfig {
                 .unwrap_or(1)
         } else {
             self.threads
+        }
+    }
+}
+
+/// Wall-clock timing of one batch of trials.
+///
+/// Timing is *observational*: it is reported so throughput can be
+/// audited, but it is never part of the determinism-checked payload
+/// (strip [`RunManifest::execution`] before diffing runs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchTiming {
+    /// Batch index (ascending, matching the merge order).
+    pub batch: usize,
+    /// Trials the batch contained.
+    pub trials: usize,
+    /// Wall-clock seconds the batch took on its worker.
+    pub wall_secs: f64,
+}
+
+/// How a run actually executed: thread counts and wall-clock timing.
+///
+/// Everything in here may legitimately differ between two runs that
+/// produce bit-identical statistics — which is exactly why it lives
+/// in its own struct, serialized under the `execution` key, that
+/// determinism checks delete before comparing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// The configured thread count (`0` = auto).
+    pub threads_requested: usize,
+    /// Workers actually available ([`EngineConfig::effective_threads`]).
+    pub effective_threads: usize,
+    /// Total wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Aggregate throughput, trials per wall-clock second (0 when the
+    /// clock resolution swallowed the run).
+    pub trials_per_sec: f64,
+    /// Per-batch wall-clock as measured on the worker that ran it.
+    pub batches: Vec<BatchTiming>,
+}
+
+impl ExecutionReport {
+    /// Assembles a report from the runner's raw measurements.
+    #[must_use]
+    pub fn collect(
+        config: &EngineConfig,
+        trials: usize,
+        wall_secs: f64,
+        batches: Vec<BatchTiming>,
+    ) -> Self {
+        ExecutionReport {
+            threads_requested: config.threads,
+            effective_threads: config.effective_threads(),
+            wall_secs,
+            trials_per_sec: if wall_secs > 0.0 {
+                trials as f64 / wall_secs
+            } else {
+                0.0
+            },
+            batches,
+        }
+    }
+}
+
+/// A self-describing record of one engine run: everything needed to
+/// reproduce its numbers, plus how it actually executed.
+///
+/// The reproducibility fields (`engine_version`, `plan`,
+/// `master_seed`, `batch_size`, `trials`) are a pure function of the
+/// run's inputs and are covered by the determinism contract. The
+/// [`execution`](RunManifest::execution) section (thread counts,
+/// wall-clock, throughput) is reported when available but excluded
+/// from determinism-checked payloads; it serializes only when
+/// present, so documents that must be byte-identical across thread
+/// counts (e.g. the experiments JSON) simply omit it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// `nsc-core` crate version that produced the run.
+    pub engine_version: String,
+    /// Stable one-line descriptor of what was run (mechanism and
+    /// parameters for campaigns, grid and widths for sweeps).
+    pub plan: String,
+    /// Master seed every per-trial seed derives from.
+    pub master_seed: u64,
+    /// Trials per batch (fixes the Welford merge grouping).
+    pub batch_size: usize,
+    /// Trials (or grid evaluations) aggregated; `None` when the
+    /// document spans heterogeneous runs.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trials: Option<usize>,
+    /// Observational execution record; `None` in determinism-diffed
+    /// documents.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub execution: Option<ExecutionReport>,
+}
+
+impl RunManifest {
+    /// The deterministic part of a manifest: a pure function of the
+    /// run's inputs.
+    #[must_use]
+    pub fn new(config: &EngineConfig, plan: impl Into<String>, trials: Option<usize>) -> Self {
+        RunManifest {
+            engine_version: ENGINE_VERSION.to_owned(),
+            plan: plan.into(),
+            master_seed: config.master_seed,
+            batch_size: config.batch_size.max(1),
+            trials,
+            execution: None,
+        }
+    }
+
+    /// Attaches the observational execution record.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionReport) -> Self {
+        self.execution = Some(execution);
+        self
+    }
+
+    /// A copy with the execution record stripped — the payload that
+    /// determinism checks compare.
+    #[must_use]
+    pub fn deterministic(&self) -> Self {
+        RunManifest {
+            execution: None,
+            ..self.clone()
         }
     }
 }

@@ -15,12 +15,13 @@
 
 use super::accum::TrialAccumulator;
 use super::seed::trial_seed;
-use super::EngineConfig;
+use super::{BatchTiming, EngineConfig, ExecutionReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// Runs `units` independent work items and returns their results in
 /// index order. The scheduling-invariance workhorse behind
@@ -132,6 +133,49 @@ where
     total
 }
 
+/// [`fold_trials`], additionally reporting how the run executed:
+/// per-batch wall-clock as measured on the worker that ran each
+/// batch, total wall-clock, and trials/sec.
+///
+/// The accumulator is **bit-identical** to [`fold_trials`] with the
+/// same config — timing is observed around the work, never threaded
+/// into it — so callers can surface the [`ExecutionReport`] while
+/// keeping the statistics inside the determinism contract.
+pub fn fold_trials_timed<A, F>(
+    config: &EngineConfig,
+    trials: usize,
+    trial_fn: F,
+) -> (A, ExecutionReport)
+where
+    A: TrialAccumulator + Default,
+    F: Fn(u64, &mut StdRng) -> A::Outcome + Sync,
+{
+    let started = Instant::now();
+    let partials = batched(config, batch_count(config, trials), |b| {
+        let (lo, hi) = batch_bounds(config, trials, b);
+        let batch_started = Instant::now();
+        let mut acc = A::default();
+        for i in lo..hi {
+            let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
+            acc.record(trial_fn(i as u64, &mut rng));
+        }
+        let timing = BatchTiming {
+            batch: b,
+            trials: hi - lo,
+            wall_secs: batch_started.elapsed().as_secs_f64(),
+        };
+        (acc, timing)
+    });
+    let mut total = A::default();
+    let mut batches = Vec::with_capacity(partials.len());
+    for (p, timing) in partials {
+        total.merge(p);
+        batches.push(timing);
+    }
+    let report = ExecutionReport::collect(config, trials, started.elapsed().as_secs_f64(), batches);
+    (total, report)
+}
+
 /// Maps `f` over `items` in parallel, returning results in input
 /// order. For deterministic-per-item work (grid points, experiment
 /// rows) that needs no RNG plumbing; each item is its own batch.
@@ -213,6 +257,27 @@ mod tests {
         let a: RunningStats = fold_trials(&auto, 64, |_, rng| rng.gen::<f64>());
         let b: RunningStats = fold_trials(&one, 64, |_, rng| rng.gen::<f64>());
         assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+    }
+
+    #[test]
+    fn timed_fold_matches_untimed_and_reports_batches() {
+        for threads in [1usize, 4] {
+            let c = cfg(threads);
+            let plain: RunningStats = fold_trials(&c, 100, |_, rng| rng.gen::<f64>());
+            let (timed, report): (RunningStats, _) =
+                fold_trials_timed(&c, 100, |_, rng| rng.gen::<f64>());
+            assert_eq!(plain.mean().to_bits(), timed.mean().to_bits());
+            assert_eq!(plain.variance().to_bits(), timed.variance().to_bits());
+            assert_eq!(report.threads_requested, threads);
+            assert!(report.effective_threads >= 1);
+            assert_eq!(report.batches.len(), 100usize.div_ceil(c.batch_size));
+            assert_eq!(report.batches.iter().map(|b| b.trials).sum::<usize>(), 100);
+            for (i, b) in report.batches.iter().enumerate() {
+                assert_eq!(b.batch, i);
+                assert!(b.wall_secs >= 0.0);
+            }
+            assert!(report.wall_secs >= 0.0);
+        }
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! parameter grids and produces serializable report structures.
 
 use crate::bounds::{capacity_bounds, CapacityBounds};
-use crate::engine::{par_map, EngineConfig};
+use crate::engine::{par_map, EngineConfig, ExecutionReport, RunManifest};
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// An inclusive linear grid over one parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -191,6 +192,45 @@ pub fn sweep_bounds_with(
     Ok(CapacitySweep { points, skipped })
 }
 
+/// [`sweep_bounds_with`], additionally returning a [`RunManifest`]
+/// describing the run: grid descriptor, master seed (recorded even
+/// though analytic sweeps never consume randomness, so re-running
+/// from the manifest is always well-defined), batch size, evaluated
+/// point count, engine version, and total wall-clock. Sweeps report
+/// aggregate timing only — per-point batches would dominate the
+/// document for fine grids.
+///
+/// # Errors
+///
+/// Same contract as [`sweep_bounds`].
+pub fn sweep_bounds_manifest(
+    config: &EngineConfig,
+    p_d_grid: &Grid,
+    p_i_grid: &Grid,
+    widths: &[u32],
+) -> Result<(CapacitySweep, RunManifest), CoreError> {
+    let started = Instant::now();
+    let sweep = sweep_bounds_with(config, p_d_grid, p_i_grid, widths)?;
+    let evaluated = sweep.points.len();
+    let plan = format!(
+        "sweep(widths={widths:?}, p_d=[{}..{}; {}], p_i=[{}..{}; {}])",
+        p_d_grid.start,
+        p_d_grid.end,
+        p_d_grid.points,
+        p_i_grid.start,
+        p_i_grid.end,
+        p_i_grid.points
+    );
+    let execution = ExecutionReport::collect(
+        config,
+        evaluated,
+        started.elapsed().as_secs_f64(),
+        Vec::new(),
+    );
+    let manifest = RunManifest::new(config, plan, Some(evaluated)).with_execution(execution);
+    Ok((sweep, manifest))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +302,25 @@ mod tests {
             // evaluation is pure, so parallelism is invisible.
             assert_eq!(serial, parallel);
         }
+    }
+
+    #[test]
+    fn sweep_manifest_counts_evaluated_points() {
+        let g = Grid::new(0.0, 1.0, 6).unwrap();
+        let cfg = EngineConfig::seeded(5).with_threads(2);
+        let (sweep, manifest) = sweep_bounds_manifest(&cfg, &g, &g, &[1, 4]).unwrap();
+        assert_eq!(manifest.trials, Some(sweep.points.len()));
+        assert_eq!(manifest.master_seed, 5);
+        assert!(manifest.plan.starts_with("sweep("), "{}", manifest.plan);
+        assert!(manifest.plan.contains("[0..1; 6]"), "{}", manifest.plan);
+        let exec = manifest.execution.as_ref().expect("sweeps report timing");
+        assert_eq!(exec.threads_requested, 2);
+        assert!(exec.batches.is_empty());
+        // Deterministic payload identical to a serial run's.
+        let (serial_sweep, serial) =
+            sweep_bounds_manifest(&EngineConfig::serial(5), &g, &g, &[1, 4]).unwrap();
+        assert_eq!(sweep, serial_sweep);
+        assert_eq!(manifest.deterministic(), serial.deterministic());
     }
 
     #[test]

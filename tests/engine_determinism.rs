@@ -5,9 +5,10 @@
 //! and partial results merge in fixed batch order.
 
 use nsc_core::engine::{
-    fold_trials, run_campaign, run_trials, EngineConfig, Mechanism, RunningStats, TrialPlan,
+    fold_trials, run_campaign, run_campaign_manifest, run_trials, EngineConfig, Mechanism,
+    RunningStats, TrialPlan,
 };
-use nsc_core::sweep::{sweep_bounds, sweep_bounds_with, Grid};
+use nsc_core::sweep::{sweep_bounds, sweep_bounds_manifest, sweep_bounds_with, Grid};
 
 #[test]
 fn campaign_identical_at_every_thread_count() {
@@ -57,6 +58,39 @@ fn raw_trial_results_keep_trial_order() {
     sorted.sort_unstable();
     sorted.dedup();
     assert_eq!(sorted.len(), serial.len());
+}
+
+#[test]
+fn manifest_deterministic_payload_thread_invariant() {
+    // The manifest splits into a reproducibility record (pure
+    // function of the run's inputs) and an observational execution
+    // record; only the latter may vary with the thread count.
+    let plan = TrialPlan::new(Mechanism::Counter, 2, 200, 0.5);
+    let (ref_summary, ref_manifest) =
+        run_campaign_manifest(&EngineConfig::serial(13), &plan, 20).unwrap();
+    for threads in [2usize, 4] {
+        let cfg = EngineConfig::seeded(13).with_threads(threads);
+        let (summary, manifest) = run_campaign_manifest(&cfg, &plan, 20).unwrap();
+        assert_eq!(ref_summary, summary, "threads = {threads}");
+        assert_eq!(
+            ref_manifest.deterministic(),
+            manifest.deterministic(),
+            "threads = {threads}"
+        );
+        // The execution record is present and self-consistent even
+        // though it is outside the contract.
+        let exec = manifest.execution.expect("campaigns report execution");
+        assert_eq!(exec.threads_requested, threads);
+        assert_eq!(exec.batches.iter().map(|b| b.trials).sum::<usize>(), 20);
+    }
+
+    let grid = Grid::new(0.0, 0.8, 5).unwrap();
+    let (_, sweep_serial) =
+        sweep_bounds_manifest(&EngineConfig::serial(0), &grid, &grid, &[2]).unwrap();
+    let (_, sweep_parallel) =
+        sweep_bounds_manifest(&EngineConfig::seeded(0).with_threads(4), &grid, &grid, &[2])
+            .unwrap();
+    assert_eq!(sweep_serial.deterministic(), sweep_parallel.deterministic());
 }
 
 #[test]
