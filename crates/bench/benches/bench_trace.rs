@@ -1,0 +1,99 @@
+//! `nsc_trace` kernel benchmarks: streaming reader throughput and the
+//! write → read → infer pipeline on a ~100k-event trace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nsc_trace::{
+    write_trace, InferenceBuilder, TraceEvent, TraceEventKind, TraceHeader, TraceReader,
+};
+
+/// A deterministic ~100k-event stationary trace: every fourth send is
+/// deleted, every eighth delivery attempt is preceded by an
+/// insertion. No RNG — the bench input is byte-stable across runs.
+fn synthetic_events(sends: u64) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(3 * sends as usize);
+    let mut tick = 0u64;
+    for i in 0..sends {
+        events.push(TraceEvent::new(tick, TraceEventKind::Send((i % 4) as u32)));
+        tick += 1;
+        if i % 4 == 0 {
+            events.push(TraceEvent::new(
+                tick,
+                TraceEventKind::Delete((i % 4) as u32),
+            ));
+        } else {
+            if i % 8 == 1 {
+                events.push(TraceEvent::new(tick, TraceEventKind::Insert(0)));
+            }
+            events.push(TraceEvent::new(tick, TraceEventKind::Recv((i % 4) as u32)));
+        }
+        tick += 1;
+    }
+    events
+}
+
+fn serialized_trace(sends: u64) -> (Vec<u8>, u64) {
+    let events = synthetic_events(sends);
+    let mut file = Vec::new();
+    let written = write_trace(&mut file, &TraceHeader::new(2), events).unwrap();
+    (file, written)
+}
+
+fn bench_reader_throughput(c: &mut Criterion) {
+    // ~40k sends → ~90k events → a few MiB of JSONL.
+    let (file, events) = serialized_trace(40_000);
+    let mut group = c.benchmark_group("trace_reader");
+    group.throughput(Throughput::Bytes(file.len() as u64));
+    group.bench_function("stream_100k_events", |b| {
+        b.iter(|| {
+            let reader = TraceReader::new(file.as_slice()).unwrap();
+            let mut n = 0u64;
+            for event in reader {
+                let _ = event.unwrap();
+                n += 1;
+            }
+            assert_eq!(n, events);
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_writer_throughput(c: &mut Criterion) {
+    let events = synthetic_events(40_000);
+    let (file, _) = serialized_trace(40_000);
+    let mut group = c.benchmark_group("trace_writer");
+    group.throughput(Throughput::Bytes(file.len() as u64));
+    group.bench_function("write_100k_events", |b| {
+        b.iter(|| {
+            let mut sink = Vec::with_capacity(file.len());
+            write_trace(&mut sink, &TraceHeader::new(2), events.iter().copied()).unwrap();
+            sink
+        })
+    });
+    group.finish();
+}
+
+fn bench_estimate_pipeline(c: &mut Criterion) {
+    let (file, events) = serialized_trace(40_000);
+    let mut group = c.benchmark_group("trace_estimate");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("read_and_infer_100k_events", |b| {
+        b.iter(|| {
+            let reader = TraceReader::new(file.as_slice()).unwrap();
+            let mut builder = InferenceBuilder::new();
+            for event in reader {
+                builder.observe(&event.unwrap());
+            }
+            builder.finish(8, 1).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reader_throughput,
+    bench_writer_throughput,
+    bench_estimate_pipeline
+);
+criterion_main!(benches);

@@ -8,7 +8,13 @@
 //! * `convert` — the Theorem 5 converted-channel capacity `C_conv`.
 //! * `sweep` — the achievable-capacity surface over `(P_d, P_i)`.
 //! * `trials` — a Monte-Carlo campaign of one §3 synchronization
-//!   mechanism under the deterministic parallel trial engine.
+//!   mechanism under the deterministic parallel trial engine
+//!   (optionally capturing an `nsc-trace/v1` file via `--trace-out`).
+//! * `record` — `trials` with the capture made mandatory: run a
+//!   campaign *for* its trace.
+//! * `estimate` — replay a trace (file or stdin) and infer
+//!   `(P_d, P_i)` with confidence intervals, capacity bounds, and a
+//!   stationarity verdict.
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
 //!
@@ -43,16 +49,24 @@
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
 use nsc_core::engine::{
-    run_campaign_manifest, EngineConfig, Mechanism, RunManifest, StatSummary, TrialPlan,
+    run_campaign_manifest, run_campaign_traced, EngineConfig, ExecutionReport, Mechanism,
+    RunManifest, StatSummary, TrialPlan,
 };
 use nsc_core::estimator::assess_from_counts;
 use nsc_core::sim::noisy_feedback::FeedbackQuality;
 use nsc_core::sweep::{sweep_bounds_manifest, Grid};
 use nsc_info::timing::noiseless_timing_capacity;
 use nsc_info::BitsPerTick;
+use nsc_trace::infer::DEFAULT_WINDOWS;
+use nsc_trace::{
+    capacity_bounds_with_ci, events_from_trials, write_trace, CapacityInterval, InferenceBuilder,
+    RateEstimate, TraceHeader, TraceReader, TRACE_SCHEMA,
+};
 use serde_json::{json, Map, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::time::Instant;
 
 /// Schema identifier embedded in every JSON document.
 pub const JSON_SCHEMA: &str = "nsc/v1";
@@ -77,6 +91,8 @@ pub fn run(args: &[String]) -> CliResult {
         "convert" => cmd_convert(rest),
         "sweep" => cmd_sweep(rest),
         "trials" => cmd_trials(rest),
+        "record" => cmd_record(rest),
+        "estimate" => cmd_estimate(rest),
         "stc" => cmd_stc(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
@@ -114,7 +130,16 @@ pub fn usage() -> String {
          `trials` mechanisms: unsync | counter | stop-wait | slotted |\n\
          adaptive | noisy-counter | wide. Campaigns run on the\n\
          deterministic parallel engine: --threads (0 = all cores) changes\n\
-         wall-clock time only; output is bit-identical for a given --seed.\n",
+         wall-clock time only; output is bit-identical for a given --seed.\n\
+         \n\
+         `record` runs a campaign and writes every trial's channel events\n\
+         as an nsc-trace/v1 file (`trials --trace-out` does the same,\n\
+         opt-in); the trace embeds the run manifest, and its bytes are\n\
+         identical at any --threads. `estimate --trace FILE` replays a\n\
+         trace and reports the maximum-likelihood (P_d, P_i) with Wilson\n\
+         and likelihood-ratio 95% intervals, the Theorem 1/4 upper bound,\n\
+         the Theorem 5 lower bound, and a windowed change-point scan;\n\
+         `estimate --trace -` reads the trace from stdin.\n",
     );
     out
 }
@@ -208,57 +233,95 @@ const SWEEP_FLAGS: &[FlagSpec] = &[
     FORMAT_FLAG,
 ];
 
-const TRIALS_FLAGS: &[FlagSpec] = &[
+/// The campaign flag table, shared by `trials` (capture optional)
+/// and `record` (capture required).
+const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 13] {
+    [
+        flag(
+            "mechanism",
+            "M",
+            true,
+            "unsync | counter | stop-wait | slotted | adaptive | noisy-counter | wide",
+        ),
+        flag("bits", "N", true, "symbol width in bits"),
+        flag(
+            "q",
+            "X",
+            false,
+            "Bernoulli schedule sender probability (default 0.5)",
+        ),
+        flag(
+            "len",
+            "L",
+            false,
+            "message length in symbols (default 2000)",
+        ),
+        flag("trials", "K", false, "trial count (default 32)"),
+        flag("seed", "S", false, "engine master seed (default 0)"),
+        flag(
+            "threads",
+            "T",
+            false,
+            "worker threads, 0 = one per core (default 0)",
+        ),
+        flag(
+            "max-ops",
+            "B",
+            false,
+            "operation budget per trial (default 64*len, min 4096)",
+        ),
+        mech_flag(
+            "slot-len",
+            "L",
+            "operations per slot (default 8)",
+            &["slotted"],
+        ),
+        mech_flag(
+            "p-loss",
+            "X",
+            "feedback loss probability (default 0)",
+            &["noisy-counter"],
+        ),
+        mech_flag(
+            "delay",
+            "D",
+            "feedback delay in operations (default 0)",
+            &["noisy-counter"],
+        ),
+        FlagSpec {
+            name: "trace-out",
+            value: "FILE",
+            required: trace_required,
+            help: "write an nsc-trace/v1 capture of every trial to FILE",
+            mechanisms: None,
+        },
+        FORMAT_FLAG,
+    ]
+}
+
+const TRIALS_FLAG_TABLE: [FlagSpec; 13] = campaign_flag_table(false);
+const TRIALS_FLAGS: &[FlagSpec] = &TRIALS_FLAG_TABLE;
+const RECORD_FLAG_TABLE: [FlagSpec; 13] = campaign_flag_table(true);
+const RECORD_FLAGS: &[FlagSpec] = &RECORD_FLAG_TABLE;
+
+const ESTIMATE_FLAGS: &[FlagSpec] = &[
     flag(
-        "mechanism",
-        "M",
+        "trace",
+        "FILE|-",
         true,
-        "unsync | counter | stop-wait | slotted | adaptive | noisy-counter | wide",
-    ),
-    flag("bits", "N", true, "symbol width in bits"),
-    flag(
-        "q",
-        "X",
-        false,
-        "Bernoulli schedule sender probability (default 0.5)",
+        "nsc-trace/v1 file to analyse (`-` reads stdin)",
     ),
     flag(
-        "len",
-        "L",
+        "windows",
+        "W",
         false,
-        "message length in symbols (default 2000)",
+        "change-point scan windows (default 8)",
     ),
-    flag("trials", "K", false, "trial count (default 32)"),
-    flag("seed", "S", false, "engine master seed (default 0)"),
     flag(
         "threads",
         "T",
         false,
         "worker threads, 0 = one per core (default 0)",
-    ),
-    flag(
-        "max-ops",
-        "B",
-        false,
-        "operation budget per trial (default 64*len, min 4096)",
-    ),
-    mech_flag(
-        "slot-len",
-        "L",
-        "operations per slot (default 8)",
-        &["slotted"],
-    ),
-    mech_flag(
-        "p-loss",
-        "X",
-        "feedback loss probability (default 0)",
-        &["noisy-counter"],
-    ),
-    mech_flag(
-        "delay",
-        "D",
-        "feedback delay in operations (default 0)",
-        &["noisy-counter"],
     ),
     FORMAT_FLAG,
 ];
@@ -280,6 +343,16 @@ const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
     ("convert", CONVERT_FLAGS, "Theorem 5 converted capacity"),
     ("sweep", SWEEP_FLAGS, "achievable-capacity surface"),
     ("trials", TRIALS_FLAGS, "Monte-Carlo mechanism campaign"),
+    (
+        "record",
+        RECORD_FLAGS,
+        "campaign with a mandatory nsc-trace/v1 capture",
+    ),
+    (
+        "estimate",
+        ESTIMATE_FLAGS,
+        "infer (P_d, P_i) and capacity bounds from a trace",
+    ),
     ("stc", STC_FLAGS, "noiseless timing capacity"),
 ];
 
@@ -591,7 +664,17 @@ fn cmd_sweep(args: &[String]) -> CliResult {
 }
 
 fn cmd_trials(args: &[String]) -> CliResult {
-    let flags = parse_flags("trials", TRIALS_FLAGS, args)?;
+    campaign_command("trials", TRIALS_FLAGS, args)
+}
+
+fn cmd_record(args: &[String]) -> CliResult {
+    campaign_command("record", RECORD_FLAGS, args)
+}
+
+/// Shared implementation of `trials` and `record`: the two differ
+/// only in whether `--trace-out` is required.
+fn campaign_command(cmd: &str, spec: &[FlagSpec], args: &[String]) -> CliResult {
+    let flags = parse_flags(cmd, spec, args)?;
     let format = output_format(&flags)?;
     let mech_name: String = need(&flags, "mechanism")?;
     let bits: u32 = need(&flags, "bits")?;
@@ -622,16 +705,40 @@ fn cmd_trials(args: &[String]) -> CliResult {
             ))
         }
     };
-    check_mechanism_flags(&flags, TRIALS_FLAGS, mechanism.name())?;
+    check_mechanism_flags(&flags, spec, mechanism.name())?;
     let mut plan = TrialPlan::new(mechanism, bits, len, q);
     if let Some(raw) = flags.get("max-ops") {
         plan.max_ops = raw
             .parse()
             .map_err(|_| format!("flag --max-ops: cannot parse `{raw}`"))?;
     }
+    let trace_out = flags.get("trace-out").cloned();
+    if trace_out.is_none() && spec.iter().any(|f| f.name == "trace-out" && f.required) {
+        return Err("missing required flag --trace-out".to_owned());
+    }
     let cfg = EngineConfig::seeded(seed).with_threads(threads);
-    let (summary, manifest) =
-        run_campaign_manifest(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+    let (summary, manifest, capture) = match &trace_out {
+        None => {
+            let (summary, manifest) =
+                run_campaign_manifest(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+            (summary, manifest, None)
+        }
+        Some(path) => {
+            let (summary, manifest, traces) =
+                run_campaign_traced(&cfg, &plan, trials).map_err(|e| e.to_string())?;
+            // The header embeds only the deterministic manifest
+            // fields, so the trace bytes are identical at any
+            // --threads setting.
+            let header = TraceHeader::new(bits).with_manifest(
+                serde_json::to_value(manifest.deterministic()).expect("manifests serialize"),
+            );
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            let written = write_trace(BufWriter::new(file), &header, events_from_trials(&traces))
+                .map_err(|e| e.to_string())?;
+            (summary, manifest, Some((path.as_str(), written)))
+        }
+    };
     if format == OutputFormat::Json {
         let mut params = Map::new();
         params.insert("mechanism".to_owned(), json!(mechanism.name()));
@@ -641,6 +748,9 @@ fn cmd_trials(args: &[String]) -> CliResult {
         params.insert("trials".to_owned(), json!(trials));
         params.insert("seed".to_owned(), json!(seed));
         params.insert("max_ops".to_owned(), json!(plan.max_ops));
+        if let Some(path) = &trace_out {
+            params.insert("trace_out".to_owned(), json!(path));
+        }
         match mechanism {
             Mechanism::Slotted { slot_len } => {
                 params.insert("slot_len".to_owned(), json!(slot_len));
@@ -651,17 +761,20 @@ fn cmd_trials(args: &[String]) -> CliResult {
             }
             _ => {}
         }
-        return Ok(render_json(&json_doc(
-            "trials",
-            Value::Object(params),
-            vec![
-                ("manifest", manifest_json(&manifest)),
-                (
-                    "summary",
-                    serde_json::to_value(&summary).expect("summaries serialize"),
-                ),
-            ],
-        )));
+        let mut body = vec![
+            ("manifest", manifest_json(&manifest)),
+            (
+                "summary",
+                serde_json::to_value(&summary).expect("summaries serialize"),
+            ),
+        ];
+        if let Some((path, events)) = capture {
+            body.push((
+                "trace",
+                json!({"schema": TRACE_SCHEMA, "path": path, "events": events}),
+            ));
+        }
+        return Ok(render_json(&json_doc(cmd, Value::Object(params), body)));
     }
     let stat = |s: &StatSummary| {
         format!(
@@ -680,11 +793,167 @@ fn cmd_trials(args: &[String]) -> CliResult {
     let _ = writeln!(out, "P_d^            : {}", stat(&summary.p_d));
     let _ = writeln!(out, "P_i^            : {}", stat(&summary.p_i));
     let _ = writeln!(out, "error rate      : {}", stat(&summary.error_rate));
+    if let Some((path, events)) = capture {
+        let _ = writeln!(
+            out,
+            "trace           : {path} ({events} events, {TRACE_SCHEMA})"
+        );
+    }
     let _ = writeln!(
         out,
         "determinism     : per-trial SplitMix64 seeds from master seed {seed}; \
          output is identical at any --threads"
     );
+    Ok(out)
+}
+
+fn cmd_estimate(args: &[String]) -> CliResult {
+    let flags = parse_flags("estimate", ESTIMATE_FLAGS, args)?;
+    let format = output_format(&flags)?;
+    let source: String = need(&flags, "trace")?;
+    let windows: usize = optional(&flags, "windows", DEFAULT_WINDOWS)?;
+    let threads: usize = optional(&flags, "threads", 0)?;
+    let label = if source == "-" {
+        "<stdin>".to_owned()
+    } else {
+        source.clone()
+    };
+
+    let started = Instant::now();
+    let mut reader: TraceReader<Box<dyn BufRead>> = if source == "-" {
+        TraceReader::new(Box::new(BufReader::new(std::io::stdin())))
+    } else {
+        let file = std::fs::File::open(&source)
+            .map_err(|e| format!("cannot open trace file {source}: {e}"))?;
+        TraceReader::new(Box::new(BufReader::new(file)))
+    }
+    .map_err(|e| format!("{label}: {e}"))?;
+    let header = reader.header().clone();
+
+    let mut builder = InferenceBuilder::new();
+    loop {
+        match reader.read_event() {
+            Ok(Some(event)) => builder.observe(&event),
+            Ok(None) => break,
+            Err(e) => return Err(format!("{label}: {e}")),
+        }
+    }
+    let events = builder.events();
+    let inference = builder
+        .finish(windows, threads)
+        .map_err(|e| format!("{label}: {e}"))?;
+    let bounds =
+        capacity_bounds_with_ci(header.alphabet_bits, &inference).map_err(|e| e.to_string())?;
+
+    let cfg = EngineConfig::seeded(0).with_threads(threads);
+    let manifest = RunManifest::new(
+        &cfg,
+        format!("estimate(trace={label}, events={events}, windows={windows})"),
+        Some(events as usize),
+    )
+    .with_execution(ExecutionReport::collect(
+        &cfg,
+        events as usize,
+        started.elapsed().as_secs_f64(),
+        Vec::new(),
+    ));
+
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "estimate",
+            json!({"trace": label, "windows": windows}),
+            vec![
+                ("manifest", manifest_json(&manifest)),
+                (
+                    "trace",
+                    json!({
+                        "schema": header.schema,
+                        "alphabet_bits": header.alphabet_bits,
+                        "tick_rate_hz": header.tick_rate_hz,
+                        "manifest": header.manifest,
+                        "events": events,
+                    }),
+                ),
+                (
+                    "results",
+                    json!({
+                        "counts": inference.counts,
+                        "p_d": inference.p_d,
+                        "p_i": inference.p_i,
+                        "stationarity": inference.stationarity,
+                        "bounds": bounds,
+                    }),
+                ),
+            ],
+        )));
+    }
+
+    let rate = |r: &RateEstimate| {
+        format!(
+            "{:.6}  (Wilson 95% [{:.6}, {:.6}]; LR 95% [{:.6}, {:.6}]; n = {})",
+            r.mle,
+            r.wilson.lower,
+            r.wilson.upper,
+            r.likelihood_ratio.lower,
+            r.likelihood_ratio.upper,
+            r.trials
+        )
+    };
+    let ci = |c: &CapacityInterval| {
+        format!(
+            "{:.6} bits/slot  (95% [{:.6}, {:.6}])",
+            c.estimate, c.lower, c.upper
+        )
+    };
+    let c = &inference.counts;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace           : {label} ({}, {}-bit alphabet)",
+        header.schema, header.alphabet_bits
+    );
+    let _ = writeln!(
+        out,
+        "events          : {events} (send {}, del {}, recv {}, ins {}, ack {})",
+        c.sends, c.deletions, c.receipts, c.insertions, c.acks
+    );
+    let _ = writeln!(out, "P_d (MLE)       : {}", rate(&inference.p_d));
+    let _ = writeln!(out, "P_i (MLE)       : {}", rate(&inference.p_i));
+    let _ = writeln!(
+        out,
+        "upper bound     : {}  (Theorems 1/4, N(1-P_d))",
+        ci(&bounds.upper_bound)
+    );
+    let _ = writeln!(out, "C_conv          : {}  (eqs. 2-4)", ci(&bounds.conv));
+    match &bounds.lower_bound {
+        Some(lb) => {
+            let _ = writeln!(out, "lower bound     : {}  (Theorem 5)", ci(lb));
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "lower bound     : outside Theorem 5's domain (needs p_i < 1, p_d + p_i <= 1)"
+            );
+        }
+    }
+    let s = &inference.stationarity;
+    if s.stationary {
+        let _ = writeln!(
+            out,
+            "stationarity    : stationary ({} windows, |z| threshold {:.2})",
+            s.windows.len(),
+            s.threshold
+        );
+    } else {
+        let flagged: Vec<String> = s.flagged.iter().map(usize::to_string).collect();
+        let _ = writeln!(
+            out,
+            "stationarity    : NON-STATIONARY — window(s) {} exceed |z| = {:.2}; \
+             the MLE mixes regimes and its intervals are too narrow",
+            flagged.join(", "),
+            s.threshold
+        );
+    }
     Ok(out)
 }
 
@@ -1202,6 +1471,205 @@ mod tests {
         strip_execution(&mut four);
         assert_eq!(one, four);
         assert!(one["sweep"]["skipped"].as_u64().unwrap() > 0);
+    }
+
+    /// A collision-safe scratch path for trace-file tests.
+    fn temp_trace(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nsc-cli-test-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn record_writes_a_readable_trace() {
+        let path = temp_trace("record");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&[
+            "record",
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "2",
+            "--len",
+            "300",
+            "--trials",
+            "6",
+            "--seed",
+            "3",
+            "--trace-out",
+            path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("trace           : "), "{out}");
+        assert!(out.contains("nsc-trace/v1"), "{out}");
+
+        // The file round-trips through the estimator.
+        let est = run_str(&["estimate", "--trace", path_str]).unwrap();
+        assert!(est.contains("P_d (MLE)"), "{est}");
+        assert!(
+            est.contains("Theorem 5") || est.contains("Theorem 5's domain"),
+            "{est}"
+        );
+        assert!(est.contains("stationarity"), "{est}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_requires_trace_out_but_trials_does_not() {
+        let base = [
+            "--mechanism",
+            "counter",
+            "--bits",
+            "1",
+            "--len",
+            "64",
+            "--trials",
+            "3",
+        ];
+        let mut record_args = vec!["record"];
+        record_args.extend(base);
+        assert!(run_str(&record_args).unwrap_err().contains("--trace-out"));
+        let mut trials_args = vec!["trials"];
+        trials_args.extend(base);
+        assert!(run_str(&trials_args).is_ok());
+    }
+
+    #[test]
+    fn recorded_trace_and_estimate_are_thread_invariant() {
+        let record_with = |t: &str, tag: &str| {
+            let path = temp_trace(tag);
+            let out = run_str(&[
+                "record",
+                "--mechanism",
+                "unsync",
+                "--bits",
+                "1",
+                "--len",
+                "200",
+                "--trials",
+                "5",
+                "--seed",
+                "9",
+                "--threads",
+                t,
+                "--trace-out",
+                path.to_str().unwrap(),
+            ])
+            .unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            (out, bytes)
+        };
+        let (_, serial) = record_with("1", "thr1");
+        let (_, parallel) = record_with("4", "thr4");
+        // The trace file is byte-identical at any thread count.
+        assert_eq!(serial, parallel);
+
+        // And the estimate JSON, modulo manifest.execution.
+        let path = temp_trace("est");
+        std::fs::write(&path, &serial).unwrap();
+        let est_with = |t: &str| {
+            parse_json(
+                &run_str(&[
+                    "estimate",
+                    "--trace",
+                    path.to_str().unwrap(),
+                    "--threads",
+                    t,
+                    "--format",
+                    "json",
+                ])
+                .unwrap(),
+            )
+        };
+        let mut one = est_with("1");
+        let mut four = est_with("4");
+        let _ = std::fs::remove_file(&path);
+        strip_execution(&mut one);
+        strip_execution(&mut four);
+        assert_eq!(
+            serde_json::to_string_pretty(&one).unwrap(),
+            serde_json::to_string_pretty(&four).unwrap()
+        );
+        // The estimate embeds the recording's manifest from the header.
+        assert_eq!(one["trace"]["schema"], "nsc-trace/v1");
+        assert_eq!(one["trace"]["manifest"]["master_seed"], 9);
+        assert!(one["results"]["p_d"]["mle"].is_number());
+        assert!(one["results"]["bounds"]["upper_bound"]["estimate"].is_number());
+    }
+
+    #[test]
+    fn estimate_recovers_campaign_parameters() {
+        // The acceptance criterion: record a campaign, estimate from
+        // its trace, and the campaign's own (P_d, P_i) means fall
+        // inside the estimate's 95% intervals.
+        let path = temp_trace("recover");
+        let path_str = path.to_str().unwrap();
+        let base = [
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "2",
+            "--len",
+            "500",
+            "--trials",
+            "8",
+            "--seed",
+            "42",
+        ];
+        let mut record_args = vec!["record"];
+        record_args.extend(base);
+        record_args.extend(["--trace-out", path_str, "--format", "json"]);
+        let recorded = parse_json(&run_str(&record_args).unwrap());
+        let campaign_p_d = recorded["summary"]["p_d"]["mean"].as_f64().unwrap();
+        let campaign_p_i = recorded["summary"]["p_i"]["mean"].as_f64().unwrap();
+
+        let est =
+            parse_json(&run_str(&["estimate", "--trace", path_str, "--format", "json"]).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let wilson = |v: &Value| {
+            (
+                v["wilson"]["lower"].as_f64().unwrap(),
+                v["wilson"]["upper"].as_f64().unwrap(),
+            )
+        };
+        let (lo, hi) = wilson(&est["results"]["p_d"]);
+        assert!(
+            lo <= campaign_p_d && campaign_p_d <= hi,
+            "campaign P_d {campaign_p_d} outside [{lo}, {hi}]"
+        );
+        let (lo, hi) = wilson(&est["results"]["p_i"]);
+        assert!(
+            lo <= campaign_p_i && campaign_p_i <= hi,
+            "campaign P_i {campaign_p_i} outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn estimate_reports_positions_for_corrupt_traces() {
+        // Truncated JSON on line 3.
+        let path = temp_trace("corrupt");
+        std::fs::write(
+            &path,
+            "{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1}\n\
+             {\"t\":0,\"ev\":\"send\",\"sym\":1}\n\
+             {\"t\":1,\"ev\":\"re",
+        )
+        .unwrap();
+        let err = run_str(&["estimate", "--trace", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+
+        // Unsupported schema version fails on line 1.
+        std::fs::write(&path, "{\"schema\":\"nsc-trace/v9\",\"alphabet_bits\":1}\n").unwrap();
+        let err = run_str(&["estimate", "--trace", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("nsc-trace/v9"), "{err}");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing files and flag typos are also hard errors.
+        assert!(run_str(&["estimate", "--trace", "/nonexistent/x.jsonl"]).is_err());
+        assert!(run_str(&["estimate"]).unwrap_err().contains("--trace"));
+        assert!(run_str(&["estimate", "--trace", "x", "--window", "4"])
+            .unwrap_err()
+            .contains("did you mean --windows"));
     }
 
     #[test]

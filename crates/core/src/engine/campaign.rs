@@ -11,21 +11,22 @@
 //! each individual run stays a sequential state machine.
 
 use super::accum::{RunningStats, StatSummary, TrialAccumulator};
-use super::runner::fold_trials_timed;
-use super::{EngineConfig, RunManifest};
+use super::runner::{fold_trials_timed, run_trials};
+use super::{EngineConfig, ExecutionReport, RunManifest};
 use crate::error::CoreError;
-use crate::sim::adaptive::run_adaptive_slotted;
-use crate::sim::counter::run_counter_protocol;
-use crate::sim::noisy_feedback::{run_noisy_counter, FeedbackQuality};
-use crate::sim::slotted::run_slotted;
-use crate::sim::stop_wait::run_stop_and_wait;
-use crate::sim::unsync::run_unsynchronized;
-use crate::sim::wide::run_wide_unsynchronized;
-use crate::sim::BernoulliSchedule;
+use crate::sim::adaptive::run_adaptive_slotted_observed;
+use crate::sim::counter::run_counter_protocol_observed;
+use crate::sim::noisy_feedback::{run_noisy_counter_observed, FeedbackQuality};
+use crate::sim::slotted::run_slotted_observed;
+use crate::sim::stop_wait::run_stop_and_wait_observed;
+use crate::sim::unsync::run_unsynchronized_observed;
+use crate::sim::wide::run_wide_unsynchronized_observed;
+use crate::sim::{BernoulliSchedule, EventRecorder, NullObserver, SimEvent, SimObserver};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which §3 synchronization mechanism a campaign exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,6 +128,7 @@ impl TrialPlan {
 }
 
 /// What one trial contributes to the campaign statistics.
+#[derive(Clone, Copy)]
 struct TrialOutcome {
     /// Reliable information rate in bits per operation.
     rate: f64,
@@ -226,6 +228,100 @@ pub fn run_campaign_manifest(
     plan: &TrialPlan,
     trials: usize,
 ) -> Result<(CampaignSummary, RunManifest), CoreError> {
+    let alphabet = validate_campaign(plan, trials)?;
+
+    let (acc, execution): (CampaignAccumulator, _) = fold_trials_timed(config, trials, |_, rng| {
+        let message: Vec<Symbol> = (0..plan.message_len)
+            .map(|_| alphabet.random(rng))
+            .collect();
+        let sched_rng = StdRng::seed_from_u64(rng.gen());
+        let mut schedule =
+            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
+        run_one(plan, &message, &mut schedule, rng, &mut NullObserver).expect("plan validated")
+    });
+
+    let summary = summarize(config, plan, trials, acc);
+    let manifest =
+        RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
+    Ok((summary, manifest))
+}
+
+/// Events captured from one campaign trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialTrace {
+    /// Trial index within the campaign (0-based).
+    pub trial: u64,
+    /// The trial's channel events in tick order; ticks are
+    /// trial-local operation indices starting at 0.
+    pub events: Vec<SimEvent>,
+}
+
+/// [`run_campaign_manifest`], additionally capturing every trial's
+/// ground-truth channel events — the engine-side writer hook of the
+/// `nsc-trace` subsystem.
+///
+/// The summary is **bit-identical** to [`run_campaign`]'s for the
+/// same `(plan, trials, master_seed, batch_size)`: trials are seeded
+/// identically, observation never touches an RNG, and outcomes are
+/// re-folded with the engine's own batch grouping. Traces come back
+/// in trial order regardless of thread count.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`].
+pub fn run_campaign_traced(
+    config: &EngineConfig,
+    plan: &TrialPlan,
+    trials: usize,
+) -> Result<(CampaignSummary, RunManifest, Vec<TrialTrace>), CoreError> {
+    let alphabet = validate_campaign(plan, trials)?;
+
+    let started = Instant::now();
+    let results: Vec<(TrialOutcome, Vec<SimEvent>)> = run_trials(config, trials, |_, rng| {
+        let message: Vec<Symbol> = (0..plan.message_len)
+            .map(|_| alphabet.random(rng))
+            .collect();
+        let sched_rng = StdRng::seed_from_u64(rng.gen());
+        let mut schedule =
+            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
+        let mut recorder = EventRecorder::default();
+        let outcome =
+            run_one(plan, &message, &mut schedule, rng, &mut recorder).expect("plan validated");
+        (outcome, recorder.events)
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Re-fold outcomes with the runner's own batch grouping
+    // (`batch_size` consecutive trials per partial, partials merged
+    // in order) so the Welford merge tree — and therefore every f64 —
+    // matches `fold_trials` exactly.
+    let size = config.batch_size.max(1);
+    let mut acc = CampaignAccumulator::default();
+    for chunk in results.chunks(size) {
+        let mut part = CampaignAccumulator::default();
+        for (outcome, _) in chunk {
+            part.record(*outcome);
+        }
+        acc.merge(part);
+    }
+
+    let summary = summarize(config, plan, trials, acc);
+    let execution = ExecutionReport::collect(config, trials, wall_secs, Vec::new());
+    let manifest =
+        RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
+    let traces = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, events))| TrialTrace {
+            trial: i as u64,
+            events,
+        })
+        .collect();
+    Ok((summary, manifest, traces))
+}
+
+/// Shared parameter validation; returns the campaign's alphabet.
+fn validate_campaign(plan: &TrialPlan, trials: usize) -> Result<Alphabet, CoreError> {
     if trials == 0 {
         return Err(CoreError::BadSimulation("campaign needs trials".to_owned()));
     }
@@ -246,18 +342,16 @@ pub fn run_campaign_manifest(
         }
         _ => {}
     }
+    Ok(alphabet)
+}
 
-    let (acc, execution): (CampaignAccumulator, _) = fold_trials_timed(config, trials, |_, rng| {
-        let message: Vec<Symbol> = (0..plan.message_len)
-            .map(|_| alphabet.random(rng))
-            .collect();
-        let sched_rng = StdRng::seed_from_u64(rng.gen());
-        let mut schedule =
-            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
-        run_one(plan, &message, &mut schedule, rng).expect("plan validated")
-    });
-
-    let summary = CampaignSummary {
+fn summarize(
+    config: &EngineConfig,
+    plan: &TrialPlan,
+    trials: usize,
+    acc: CampaignAccumulator,
+) -> CampaignSummary {
+    CampaignSummary {
         mechanism: plan.mechanism.name().to_owned(),
         bits: plan.bits,
         trials,
@@ -266,18 +360,18 @@ pub fn run_campaign_manifest(
         p_d: acc.p_d.into(),
         p_i: acc.p_i.into(),
         error_rate: acc.error_rate.into(),
-    };
-    let manifest =
-        RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
-    Ok((summary, manifest))
+    }
 }
 
 /// One simulated trial, mapped onto the campaign's common statistics.
-fn run_one(
+/// Channel events go to `observer` (pass [`NullObserver`] when not
+/// capturing).
+fn run_one<O: SimObserver + ?Sized>(
     plan: &TrialPlan,
     message: &[Symbol],
     schedule: &mut BernoulliSchedule<StdRng>,
     rng: &mut StdRng,
+    observer: &mut O,
 ) -> Result<TrialOutcome, CoreError> {
     let bits = plan.bits;
     let max_ops = plan.max_ops;
@@ -285,7 +379,7 @@ fn run_one(
         Mechanism::Unsynchronized => {
             // No alignment: stale reads are indistinguishable from
             // data, so the insertion rate doubles as the error proxy.
-            let o = run_unsynchronized(message, schedule, max_ops)?;
+            let o = run_unsynchronized_observed(message, schedule, max_ops, observer)?;
             TrialOutcome {
                 rate: bits as f64 * o.raw_throughput(),
                 p_d: o.p_d(),
@@ -294,7 +388,7 @@ fn run_one(
             }
         }
         Mechanism::Counter => {
-            let o = run_counter_protocol(message, schedule, max_ops)?;
+            let o = run_counter_protocol_observed(message, schedule, max_ops, observer)?;
             let delivered = o.received.len();
             TrialOutcome {
                 rate: o.reliable_rate(bits, message).value(),
@@ -304,7 +398,7 @@ fn run_one(
             }
         }
         Mechanism::StopWait => {
-            let o = run_stop_and_wait(message, schedule, max_ops)?;
+            let o = run_stop_and_wait_observed(message, schedule, max_ops, observer)?;
             TrialOutcome {
                 rate: o.rate(bits).value(),
                 p_d: 0.0,
@@ -313,7 +407,7 @@ fn run_one(
             }
         }
         Mechanism::Slotted { slot_len } => {
-            let o = run_slotted(message, schedule, slot_len, max_ops)?;
+            let o = run_slotted_observed(message, schedule, slot_len, max_ops, observer)?;
             TrialOutcome {
                 rate: o.reliable_rate(bits).value(),
                 p_d: ratio(o.deleted_writes, o.writes),
@@ -322,7 +416,7 @@ fn run_one(
             }
         }
         Mechanism::AdaptiveSlotted => {
-            let o = run_adaptive_slotted(message, schedule, max_ops)?;
+            let o = run_adaptive_slotted_observed(message, schedule, max_ops, observer)?;
             TrialOutcome {
                 rate: o.rate(bits).value(),
                 p_d: 0.0,
@@ -332,7 +426,14 @@ fn run_one(
         }
         Mechanism::NoisyCounter { quality } => {
             let mut fb_rng = StdRng::seed_from_u64(rng.gen());
-            let o = run_noisy_counter(message, schedule, quality, &mut fb_rng, max_ops)?;
+            let o = run_noisy_counter_observed(
+                message,
+                schedule,
+                quality,
+                &mut fb_rng,
+                max_ops,
+                observer,
+            )?;
             let delivered = o.received.len();
             TrialOutcome {
                 rate: o.reliable_rate(bits, message).value(),
@@ -342,7 +443,7 @@ fn run_one(
             }
         }
         Mechanism::Wide => {
-            let o = run_wide_unsynchronized(message, bits, schedule, max_ops)?;
+            let o = run_wide_unsynchronized_observed(message, bits, schedule, max_ops, observer)?;
             // Aligned samples are the non-stale ones; among those,
             // torn reads act as substitutions.
             let aligned = 1.0 - o.stale_rate();
@@ -399,6 +500,28 @@ mod tests {
             let parallel =
                 run_campaign(&EngineConfig::seeded(11).with_threads(4), &plan, 12).unwrap();
             assert_eq!(serial, parallel, "mechanism {}", mech.name());
+        }
+    }
+
+    #[test]
+    fn traced_campaign_matches_untraced_and_is_thread_invariant() {
+        for mech in ALL {
+            let plan = TrialPlan::new(mech, 3, 150, 0.5);
+            let cfg = EngineConfig::serial(21);
+            let plain = run_campaign(&cfg, &plan, 10).unwrap();
+            let (traced, _, traces) = run_campaign_traced(&cfg, &plan, 10).unwrap();
+            assert_eq!(plain, traced, "mechanism {}", mech.name());
+            assert_eq!(traces.len(), 10);
+            // Traces are in trial order with trial-local monotone ticks.
+            for (i, t) in traces.iter().enumerate() {
+                assert_eq!(t.trial, i as u64);
+                assert!(t.events.windows(2).all(|w| w[0].tick <= w[1].tick));
+            }
+            // Thread count changes nothing, events included.
+            let (par_summary, _, par_traces) =
+                run_campaign_traced(&EngineConfig::seeded(21).with_threads(4), &plan, 10).unwrap();
+            assert_eq!(plain, par_summary, "mechanism {}", mech.name());
+            assert_eq!(traces, par_traces, "mechanism {}", mech.name());
         }
     }
 

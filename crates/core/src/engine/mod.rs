@@ -53,7 +53,10 @@ pub mod runner;
 pub mod seed;
 
 pub use accum::{RunningStats, StatSummary, TrialAccumulator};
-pub use campaign::{run_campaign, run_campaign_manifest, CampaignSummary, Mechanism, TrialPlan};
+pub use campaign::{
+    run_campaign, run_campaign_manifest, run_campaign_traced, CampaignSummary, Mechanism,
+    TrialPlan, TrialTrace,
+};
 pub use runner::{fold_trials, fold_trials_timed, par_map, run_trials};
 pub use seed::trial_seed;
 

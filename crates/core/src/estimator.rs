@@ -9,12 +9,13 @@
 //! and get back the corrected capacity with confidence intervals and
 //! a severity classification.
 
+use crate::bounds::theorem5_lower_bound;
 use crate::degradation::{DegradationReport, Severity, SeverityPolicy};
 use crate::error::CoreError;
 use crate::sim::unsync::UnsyncOutcome;
 use nsc_channel::event::EventLog;
-use nsc_info::stats::wilson_interval;
-use nsc_info::BitsPerTick;
+use nsc_info::stats::{wilson_interval, ProportionInterval};
+use nsc_info::{BitsPerSymbol, BitsPerTick};
 use serde::{Deserialize, Serialize};
 
 /// A complete covert-channel assessment.
@@ -26,6 +27,31 @@ pub struct Assessment {
     pub severity: Severity,
     /// Number of observations behind the `P_d` estimate.
     pub observations: u64,
+    /// Measured insertion probability (per channel use), present when
+    /// the measurement path carries insertion evidence; `None` for
+    /// raw deletion-count assessments.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p_i: Option<ProportionInterval>,
+    /// Theorem 5's constructive lower bound at the measured point
+    /// estimates; `None` when no insertion evidence is available or
+    /// the estimates fall outside the theorem's domain (`p_i < 1`,
+    /// `p_d + p_i ≤ 1`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub theorem5: Option<Theorem5Assessment>,
+}
+
+/// The Theorem 5 view of an assessment: the rate the counter protocol
+/// still guarantees an attacker at the measured `(P_d, P_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Theorem5Assessment {
+    /// `C_lower = (1 − P_d)/(1 − P_i) · C_conv`, bits per symbol slot.
+    pub lower_bound: BitsPerSymbol,
+    /// `lower_bound / N`: the fraction of the synchronous capacity
+    /// guaranteed achievable (the paper's relative normalization).
+    pub relative: f64,
+    /// `traditional × relative`: the physical rate the attacker can
+    /// constructively reach despite non-synchrony.
+    pub corrected: BitsPerTick,
 }
 
 /// Builds an assessment from raw deletion counts: `deletions` symbol
@@ -63,6 +89,8 @@ pub fn assess_from_counts(
         report,
         severity,
         observations: attempts,
+        p_i: None,
+        theorem5: None,
     })
 }
 
@@ -88,7 +116,14 @@ pub fn assess_from_unsync(
 }
 
 /// Builds an assessment from a ground-truth channel event log
-/// (`P_d` = deletions per channel use, Definition 1's accounting).
+/// (`P_d` = deletions per channel use, `P_i` = insertions per channel
+/// use — Definition 1's accounting), for a channel over `bits`-wide
+/// symbols.
+///
+/// Beyond the §4.3 deletion-only correction, the assessment reports
+/// the measured `P_i` interval and — when the point estimates lie in
+/// Theorem 5's domain — the constructive lower bound
+/// `(1 − P_d)/(1 − P_i) · C_conv` and the physical rate it implies.
 ///
 /// # Errors
 ///
@@ -96,15 +131,37 @@ pub fn assess_from_unsync(
 /// an empty log.
 pub fn assess_from_event_log(
     traditional: BitsPerTick,
+    bits: u32,
     log: &EventLog,
     policy: &SeverityPolicy,
 ) -> Result<Assessment, CoreError> {
-    assess_from_counts(
+    let mut assessment = assess_from_counts(
         traditional,
         log.deletions() as u64,
         log.uses() as u64,
         policy,
-    )
+    )?;
+    let p_i = wilson_interval(
+        log.insertions() as u64,
+        log.uses() as u64,
+        nsc_channel::stats::DEFAULT_Z,
+    )?;
+    assessment.theorem5 = theorem5_lower_bound(bits, assessment.report.p_d.estimate, p_i.estimate)
+        .ok()
+        .map(|lower_bound| {
+            let relative = if bits == 0 {
+                0.0
+            } else {
+                lower_bound.value() / bits as f64
+            };
+            Theorem5Assessment {
+                lower_bound,
+                relative,
+                corrected: traditional * relative,
+            }
+        });
+    assessment.p_i = Some(p_i);
+    Ok(assessment)
 }
 
 #[cfg(test)]
@@ -146,10 +203,42 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let input = vec![Symbol::from_index(1); 50_000];
         let out = ch.transmit(&input, &mut rng);
-        let a = assess_from_event_log(BitsPerTick(1.0), &out.events, &SeverityPolicy::default())
+        let a = assess_from_event_log(BitsPerTick(1.0), 1, &out.events, &SeverityPolicy::default())
             .unwrap();
         assert!(a.report.p_d.contains(0.2));
         assert!((a.report.corrected.value() - 0.8).abs() < 0.02);
+        // Deletion-only channel: P_i measured as ~0, so Theorem 5's
+        // constructive rate matches the deletion-only correction.
+        let p_i = a.p_i.expect("event logs carry insertion evidence");
+        assert!(p_i.estimate < 0.01, "p_i = {}", p_i.estimate);
+        let t5 = a.theorem5.expect("estimates inside Theorem 5's domain");
+        assert!((t5.relative - 0.8).abs() < 0.02);
+        assert!((t5.corrected.value() - a.report.corrected.value()).abs() < 0.02);
+    }
+
+    #[test]
+    fn event_log_with_insertions_reports_theorem5() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::new(3).unwrap(),
+            DiParams::new(0.2, 0.2, 0.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = vec![Symbol::from_index(5); 50_000];
+        let out = ch.transmit(&input, &mut rng);
+        let a = assess_from_event_log(BitsPerTick(8.0), 3, &out.events, &SeverityPolicy::default())
+            .unwrap();
+        let p_i = a.p_i.expect("insertions measured");
+        assert!(p_i.contains(0.2), "p_i interval {p_i:?}");
+        let t5 = a.theorem5.expect("inside Theorem 5's domain");
+        // The constructive rate is positive but below the
+        // deletion-only correction (insertions cost extra capacity).
+        assert!(t5.corrected.value() > 0.0);
+        assert!(t5.corrected.value() < a.report.corrected.value());
+        assert!(t5.relative > 0.0 && t5.relative < 1.0);
+        // Raw-count assessments carry no insertion evidence.
+        let raw =
+            assess_from_counts(BitsPerTick(8.0), 10, 100, &SeverityPolicy::default()).unwrap();
+        assert!(raw.p_i.is_none() && raw.theorem5.is_none());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! rates coincide.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,25 @@ pub fn run_adaptive_slotted<S: OpSchedule + ?Sized>(
     schedule: &mut S,
     max_ops: usize,
 ) -> Result<AdaptiveOutcome, CoreError> {
+    run_adaptive_slotted_observed(message, schedule, max_ops, &mut NullObserver)
+}
+
+/// [`run_adaptive_slotted`], reporting every channel event to
+/// `observer`: `Send` per write, then `Recv` and `Ack` when the
+/// receiver reads and its report advances the event source's turn.
+/// The mechanism eliminates deletions and insertions, so those kinds
+/// never occur.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_adaptive_slotted_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<AdaptiveOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -85,10 +104,15 @@ pub fn run_adaptive_slotted<S: OpSchedule + ?Sized>(
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match (party, send_turn) {
             (Party::Sender, true) => {
                 if next_to_send < message.len() {
                     mailbox.write(message[next_to_send]);
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Send(message[next_to_send]),
+                    });
                     next_to_send += 1;
                     send_turn = false;
                 }
@@ -96,6 +120,14 @@ pub fn run_adaptive_slotted<S: OpSchedule + ?Sized>(
             (Party::Receiver, false) => {
                 let (value, fresh) = mailbox.read();
                 debug_assert!(fresh, "adaptive slotting admitted a stale read");
+                observer.observe(SimEvent {
+                    tick,
+                    kind: SimEventKind::Recv(value),
+                });
+                observer.observe(SimEvent {
+                    tick,
+                    kind: SimEventKind::Ack,
+                });
                 out.received.push(value);
                 send_turn = true;
             }

@@ -18,7 +18,7 @@
 //! Figure 5.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -97,6 +97,24 @@ pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
     schedule: &mut S,
     max_ops: usize,
 ) -> Result<CounterOutcome, CoreError> {
+    run_counter_protocol_observed(message, schedule, max_ops, &mut NullObserver)
+}
+
+/// [`run_counter_protocol`], reporting every channel event to
+/// `observer`: `Send` for each physical write, `Recv`/`Insert` for
+/// each fresh/stale read, and `Ack` for each count publication the
+/// feedback path carries back (one per receiver read).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_counter_protocol_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<CounterOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -124,6 +142,7 @@ pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender => {
                 out.sender_ops += 1;
@@ -132,6 +151,10 @@ pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
                     std::cmp::Ordering::Equal => {
                         if s_count < message.len() {
                             mailbox.write(message[s_count]);
+                            observer.observe(SimEvent {
+                                tick,
+                                kind: SimEventKind::Send(message[s_count]),
+                            });
                             s_count += 1;
                         }
                     }
@@ -142,6 +165,10 @@ pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
                         out.skipped += r_count - s_count;
                         if r_count < message.len() {
                             mailbox.write(message[r_count]);
+                            observer.observe(SimEvent {
+                                tick,
+                                kind: SimEventKind::Send(message[r_count]),
+                            });
                         }
                         s_count = r_count + 1;
                     }
@@ -153,6 +180,19 @@ pub fn run_counter_protocol<S: OpSchedule + ?Sized>(
                 if !fresh {
                     out.stale_fills += 1;
                 }
+                observer.observe(SimEvent {
+                    tick,
+                    kind: if fresh {
+                        SimEventKind::Recv(value)
+                    } else {
+                        SimEventKind::Insert(value)
+                    },
+                });
+                // The count publication the feedback path carries.
+                observer.observe(SimEvent {
+                    tick,
+                    kind: SimEventKind::Ack,
+                });
                 out.received.push(value);
                 r_count += 1;
             }

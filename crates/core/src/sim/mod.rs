@@ -233,6 +233,87 @@ impl Mailbox {
     pub fn is_fresh(&self) -> bool {
         self.fresh
     }
+
+    /// The value currently held, without consuming its freshness
+    /// (simulation ground truth: used to name the symbol destroyed by
+    /// an overwriting [`Mailbox::write`]).
+    pub fn value(&self) -> Symbol {
+        self.value
+    }
+}
+
+/// What happened at one simulation step, from the channel's point of
+/// view.
+///
+/// Runners report these through a [`SimObserver`] so a run can be
+/// captured as an `nsc-trace/v1` event stream (see the `nsc-trace`
+/// crate) without perturbing the simulation: observation never touches
+/// the RNG, so an observed run is bit-identical to an unobserved one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEventKind {
+    /// The sender committed a symbol to the shared medium.
+    Send(Symbol),
+    /// The receiver obtained a fresh (correctly delivered) symbol.
+    Recv(Symbol),
+    /// A committed-but-unread symbol was destroyed (overwritten) — a
+    /// Definition 1 deletion.
+    Delete(Symbol),
+    /// The receiver obtained a stale or spurious symbol — a
+    /// Definition 1 insertion.
+    Insert(Symbol),
+    /// A feedback action (counter publication, handshake flag, ack)
+    /// became visible to the other party.
+    Ack,
+}
+
+/// A [`SimEventKind`] stamped with the operation index (tick) at which
+/// it occurred. Ticks count schedule operations from 0 and are
+/// non-decreasing within a run; one tick can carry several events
+/// (e.g. a `Delete` followed by the `Send` that caused it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Operation index within the run, starting at 0.
+    pub tick: u64,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// Receives ground-truth channel events from a protocol runner.
+///
+/// Implementations must be passive: a conforming runner produces the
+/// same outcome whether it reports to a real observer or to
+/// [`NullObserver`].
+pub trait SimObserver {
+    /// Called once per channel event, in tick order.
+    fn observe(&mut self, event: SimEvent);
+}
+
+/// Discards every event — the zero-cost default for unobserved runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    #[inline]
+    fn observe(&mut self, _event: SimEvent) {}
+}
+
+/// Buffers events in memory, in arrival (tick) order.
+#[derive(Debug, Clone, Default)]
+pub struct EventRecorder {
+    /// The recorded events.
+    pub events: Vec<SimEvent>,
+}
+
+impl SimObserver for EventRecorder {
+    fn observe(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+}
+
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    fn observe(&mut self, event: SimEvent) {
+        (**self).observe(event);
+    }
 }
 
 #[cfg(test)]

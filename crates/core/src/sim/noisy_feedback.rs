@@ -21,7 +21,7 @@
 //! information rate".
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -130,6 +130,32 @@ where
     S: OpSchedule + ?Sized,
     R: rand::Rng + ?Sized,
 {
+    run_noisy_counter_observed(message, schedule, quality, rng, max_ops, &mut NullObserver)
+}
+
+/// [`run_noisy_counter`], reporting every channel event to `observer`:
+/// `Send` per physical write, `Recv`/`Insert` per fresh/stale read,
+/// and `Ack` only for count publications that *survive* the lossy
+/// feedback path — lost updates produce no event, which is exactly
+/// the imperfection E12 measures.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message or zero
+/// `max_ops`, and propagates [`FeedbackQuality::validated`] errors.
+pub fn run_noisy_counter_observed<S, R, O>(
+    message: &[Symbol],
+    schedule: &mut S,
+    quality: FeedbackQuality,
+    rng: &mut R,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<NoisyCounterOutcome, CoreError>
+where
+    S: OpSchedule + ?Sized,
+    R: rand::Rng + ?Sized,
+    O: SimObserver + ?Sized,
+{
     let quality = quality.validated()?;
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
@@ -155,6 +181,7 @@ where
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender => {
                 // Drain everything older than the delay horizon.
@@ -172,12 +199,20 @@ where
                     std::cmp::Ordering::Equal => {
                         if s_count < message.len() {
                             mailbox.write(message[s_count]);
+                            observer.observe(SimEvent {
+                                tick,
+                                kind: SimEventKind::Send(message[s_count]),
+                            });
                             s_count += 1;
                         }
                     }
                     std::cmp::Ordering::Greater => {
                         if sender_view < message.len() {
                             mailbox.write(message[sender_view]);
+                            observer.observe(SimEvent {
+                                tick,
+                                kind: SimEventKind::Send(message[sender_view]),
+                            });
                         }
                         s_count = sender_view + 1;
                     }
@@ -188,11 +223,23 @@ where
                 if !fresh {
                     out.stale_fills += 1;
                 }
+                observer.observe(SimEvent {
+                    tick,
+                    kind: if fresh {
+                        SimEventKind::Recv(value)
+                    } else {
+                        SimEventKind::Insert(value)
+                    },
+                });
                 out.received.push(value);
                 r_count += 1;
                 // Publish the new count unless the update is lost.
                 if quality.p_loss == 0.0 || rng.gen::<f64>() >= quality.p_loss {
                     pipeline.push_back(r_count);
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Ack,
+                    });
                 }
             }
         }

@@ -12,7 +12,7 @@
 //! never beat perfect feedback — experiment E7 measures the gap.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -87,6 +87,25 @@ pub fn run_slotted<S: OpSchedule + ?Sized>(
     slot_len: usize,
     max_ops: usize,
 ) -> Result<SlottedOutcome, CoreError> {
+    run_slotted_observed(message, schedule, slot_len, max_ops, &mut NullObserver)
+}
+
+/// [`run_slotted`], reporting every channel event to `observer`: an
+/// overwriting write emits `Delete(old)` then `Send(new)`, a fresh
+/// read `Recv`, a stale read `Insert`. The event counter is common
+/// knowledge, not feedback, so no `Ack` events occur.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty,
+/// `slot_len` is zero, or `max_ops` is zero.
+pub fn run_slotted_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    slot_len: usize,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<SlottedOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -131,13 +150,24 @@ pub fn run_slotted<S: OpSchedule + ?Sized>(
             current_slot = slot;
         }
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender if is_send_slot && !acted_this_slot => {
-                if mailbox.write(message[next_to_send]) {
+                let sym = message[next_to_send];
+                let old = mailbox.value();
+                if mailbox.write(sym) {
                     out.deleted_writes += 1;
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Delete(old),
+                    });
                 }
                 out.writes += 1;
                 next_to_send += 1;
+                observer.observe(SimEvent {
+                    tick,
+                    kind: SimEventKind::Send(sym),
+                });
                 acted_this_slot = true;
             }
             Party::Receiver if !is_send_slot && !acted_this_slot => {
@@ -145,6 +175,14 @@ pub fn run_slotted<S: OpSchedule + ?Sized>(
                 if !fresh {
                     out.stale_reads += 1;
                 }
+                observer.observe(SimEvent {
+                    tick,
+                    kind: if fresh {
+                        SimEventKind::Recv(value)
+                    } else {
+                        SimEventKind::Insert(value)
+                    },
+                });
                 out.received.push(value);
                 acted_this_slot = true;
             }

@@ -11,7 +11,7 @@
 //! exactly that wasted time.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,24 @@ pub fn run_stop_and_wait<S: OpSchedule + ?Sized>(
     schedule: &mut S,
     max_ops: usize,
 ) -> Result<StopWaitOutcome, CoreError> {
+    run_stop_and_wait_observed(message, schedule, max_ops, &mut NullObserver)
+}
+
+/// [`run_stop_and_wait`], reporting every channel event to `observer`:
+/// `Send` per symbol written, then `Recv` and `Ack` when the receiver
+/// consumes it and toggles the ack variable. The handshake never
+/// deletes or inserts, so those kinds never occur.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_stop_and_wait_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<StopWaitOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -103,10 +121,15 @@ pub fn run_stop_and_wait<S: OpSchedule + ?Sized>(
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender => {
                 if !data_ready && next_to_send < message.len() {
                     mailbox.write(message[next_to_send]);
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Send(message[next_to_send]),
+                    });
                     next_to_send += 1;
                     data_ready = true;
                 } else {
@@ -117,6 +140,14 @@ pub fn run_stop_and_wait<S: OpSchedule + ?Sized>(
                 if data_ready {
                     let (value, fresh) = mailbox.read();
                     debug_assert!(fresh, "handshake admitted a stale read");
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Recv(value),
+                    });
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Ack,
+                    });
                     out.received.push(value);
                     data_ready = false;
                 } else {

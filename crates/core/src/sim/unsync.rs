@@ -7,7 +7,7 @@
 //! — the inputs to the paper's estimation recipe.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, OpSchedule, Party};
+use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::Symbol;
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +92,26 @@ pub fn run_unsynchronized<S: OpSchedule + ?Sized>(
     schedule: &mut S,
     max_ops: usize,
 ) -> Result<UnsyncOutcome, CoreError> {
+    run_unsynchronized_observed(message, schedule, max_ops, &mut NullObserver)
+}
+
+/// [`run_unsynchronized`], reporting every channel event to `observer`.
+///
+/// Per tick: an overwriting write emits `Delete(old)` then
+/// `Send(new)`; a plain write emits `Send`; a fresh read emits `Recv`
+/// and a stale read `Insert`. Observation never touches the schedule
+/// or RNG, so the outcome is identical to the unobserved run.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<UnsyncOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -117,14 +137,25 @@ pub fn run_unsynchronized<S: OpSchedule + ?Sized>(
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender => {
                 if next_to_send < message.len() {
-                    if mailbox.write(message[next_to_send]) {
+                    let sym = message[next_to_send];
+                    let old = mailbox.value();
+                    if mailbox.write(sym) {
                         out.deleted_writes += 1;
+                        observer.observe(SimEvent {
+                            tick,
+                            kind: SimEventKind::Delete(old),
+                        });
                     }
                     out.writes += 1;
                     next_to_send += 1;
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Send(sym),
+                    });
                 }
                 // After the message ends the sender idles.
             }
@@ -134,6 +165,14 @@ pub fn run_unsynchronized<S: OpSchedule + ?Sized>(
                 if !fresh {
                     out.stale_reads += 1;
                 }
+                observer.observe(SimEvent {
+                    tick,
+                    kind: if fresh {
+                        SimEventKind::Recv(value)
+                    } else {
+                        SimEventKind::Insert(value)
+                    },
+                });
                 out.received.push(value);
             }
         }
@@ -223,6 +262,34 @@ mod tests {
         let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(7)).unwrap();
         let out = run_unsynchronized(&msg(1_000_000), &mut s, 500).unwrap();
         assert_eq!(out.ops, 500);
+    }
+
+    #[test]
+    fn observer_sees_ground_truth_counts() {
+        use crate::sim::{EventRecorder, SimEventKind};
+        let m = msg(5_000);
+        let mut rec = EventRecorder::default();
+        let mut s = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(13)).unwrap();
+        let out = run_unsynchronized_observed(&m, &mut s, usize::MAX, &mut rec).unwrap();
+        // Observation is passive: same outcome as the unobserved run.
+        let mut s2 = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(13)).unwrap();
+        assert_eq!(out, run_unsynchronized(&m, &mut s2, usize::MAX).unwrap());
+        let count = |f: fn(&SimEventKind) -> bool| rec.events.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, SimEventKind::Send(_))), out.writes);
+        assert_eq!(
+            count(|k| matches!(k, SimEventKind::Delete(_))),
+            out.deleted_writes
+        );
+        assert_eq!(
+            count(|k| matches!(k, SimEventKind::Insert(_))),
+            out.stale_reads
+        );
+        assert_eq!(
+            count(|k| matches!(k, SimEventKind::Recv(_))),
+            out.fresh_reads()
+        );
+        // Ticks are non-decreasing.
+        assert!(rec.events.windows(2).all(|w| w[0].tick <= w[1].tick));
     }
 
     #[test]

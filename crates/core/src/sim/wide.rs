@@ -17,7 +17,7 @@
 //! = deletion; re-read = insertion.
 
 use crate::error::CoreError;
-use crate::sim::{OpSchedule, Party};
+use crate::sim::{NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +108,27 @@ pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
     schedule: &mut S,
     max_ops: usize,
 ) -> Result<WideOutcome, CoreError> {
+    run_wide_unsynchronized_observed(message, bits, schedule, max_ops, &mut NullObserver)
+}
+
+/// [`run_wide_unsynchronized`], reporting every channel event to
+/// `observer`: `Send` when a symbol's last bit lands (the write
+/// *completes*), `Delete` when an unread completed symbol starts
+/// being overwritten, `Recv` for clean *and torn* samples (a torn
+/// sample is a delivered-but-substituted symbol — `nsc-trace/v1` has
+/// no substitution kind), and `Insert` for stale re-reads.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message, a
+/// symbol outside the `bits`-wide alphabet, or zero `max_ops`.
+pub fn run_wide_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    bits: u32,
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+) -> Result<WideOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -142,11 +163,18 @@ pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
             break;
         };
         out.ops += 1;
+        let tick = (out.ops - 1) as u64;
         match party {
             Party::Sender => {
                 if bit_idx == 0 && completed_index.is_some() && !observed_current {
                     // Starting to overwrite a never-read symbol.
                     out.deletions += 1;
+                    if let Some(idx) = completed_index {
+                        observer.observe(SimEvent {
+                            tick,
+                            kind: SimEventKind::Delete(message[idx]),
+                        });
+                    }
                 }
                 region[bit_idx] = message[sym_idx].bit(bit_idx as u32);
                 bit_idx += 1;
@@ -155,6 +183,10 @@ pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
                     completed_index = Some(sym_idx);
                     observed_current = false;
                     out.symbols_written += 1;
+                    observer.observe(SimEvent {
+                        tick,
+                        kind: SimEventKind::Send(message[sym_idx]),
+                    });
                     sym_idx += 1;
                 }
             }
@@ -165,7 +197,8 @@ pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
                         value |= 1 << i;
                     }
                 }
-                out.received.push(Symbol::from_index(value));
+                let sample = Symbol::from_index(value);
+                out.received.push(sample);
                 let kind = if bit_idx != 0 {
                     SampleKind::Torn { index: sym_idx }
                 } else if let Some(idx) = completed_index {
@@ -178,6 +211,14 @@ pub fn run_wide_unsynchronized<S: OpSchedule + ?Sized>(
                 } else {
                     SampleKind::Stale
                 };
+                observer.observe(SimEvent {
+                    tick,
+                    kind: if matches!(kind, SampleKind::Stale) {
+                        SimEventKind::Insert(sample)
+                    } else {
+                        SimEventKind::Recv(sample)
+                    },
+                });
                 out.sample_truth.push(kind);
             }
         }

@@ -1,0 +1,242 @@
+//! Capture bridges: turning the workspace's ground-truth event
+//! sources into `nsc-trace/v1` event streams.
+//!
+//! Three sources feed the format:
+//!
+//! * the mechanistic simulators via [`nsc_core::sim::SimObserver`]
+//!   (single runs through [`trace_event`], whole campaigns through
+//!   [`events_from_trials`]),
+//! * the abstract Definition 1 channel via
+//!   [`nsc_channel::event::EventLog`] ([`events_from_log`]),
+//! * real scheduler traces via [`nsc_sched::Trace`]
+//!   ([`capture_sched_trace`]), replayed through the unsynchronized
+//!   runner so every quantum becomes an observable channel event.
+
+use crate::error::TraceError;
+use crate::format::{TraceEvent, TraceEventKind};
+use nsc_channel::alphabet::Symbol;
+use nsc_channel::event::{ChannelEvent, EventLog};
+use nsc_core::engine::TrialTrace;
+use nsc_core::sim::unsync::UnsyncOutcome;
+use nsc_core::sim::{
+    unsync::run_unsynchronized_observed, EventRecorder, SimEvent, SimEventKind, TraceSchedule,
+};
+use nsc_sched::covert::ops_from_trace;
+use nsc_sched::Trace;
+
+/// Converts one simulator event to its wire form.
+#[must_use]
+pub fn trace_event(event: &SimEvent) -> TraceEvent {
+    let kind = match event.kind {
+        SimEventKind::Send(s) => TraceEventKind::Send(s.index()),
+        SimEventKind::Recv(s) => TraceEventKind::Recv(s.index()),
+        SimEventKind::Delete(s) => TraceEventKind::Delete(s.index()),
+        SimEventKind::Insert(s) => TraceEventKind::Insert(s.index()),
+        SimEventKind::Ack => TraceEventKind::Ack,
+    };
+    TraceEvent::new(event.tick, kind)
+}
+
+/// Flattens a campaign's per-trial captures into one event stream.
+///
+/// Trial ticks are local (each trial restarts at 0), so trials are
+/// concatenated with a cumulative tick offset — one tick of dead air
+/// between trials — keeping the stream's timestamps globally
+/// non-decreasing as the format requires.
+#[must_use]
+pub fn events_from_trials(trials: &[TrialTrace]) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(trials.iter().map(|t| t.events.len()).sum());
+    let mut offset: u64 = 0;
+    for trial in trials {
+        let mut last = 0;
+        for event in &trial.events {
+            let mut wire = trace_event(event);
+            last = wire.tick;
+            wire.tick += offset;
+            events.push(wire);
+        }
+        offset += last + 1;
+    }
+    events
+}
+
+/// Converts a Definition 1 event log to a trace stream, one tick per
+/// channel use.
+///
+/// * `Deletion { symbol }` → `send` + `del` (the symbol was committed
+///   and destroyed),
+/// * `Insertion { symbol }` → `ins` (delivered but never committed),
+/// * `Transmission { sent, received }` → `send` + `recv` (a
+///   substitution delivers `received ≠ sent`; v1 has no substitution
+///   kind, so the corrupted delivery still counts as a receipt).
+///
+/// Note the resulting per-attempt rates (`del/send`, `ins` per
+/// delivery) deliberately differ from [`EventLog`]'s per-*use*
+/// rates — see [`crate::infer`] for the estimand definitions.
+#[must_use]
+pub fn events_from_log(log: &EventLog) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(2 * log.uses());
+    for (tick, use_) in log.events().iter().enumerate() {
+        let tick = tick as u64;
+        match *use_ {
+            ChannelEvent::Deletion { symbol } => {
+                events.push(TraceEvent::new(tick, TraceEventKind::Send(symbol.index())));
+                events.push(TraceEvent::new(
+                    tick,
+                    TraceEventKind::Delete(symbol.index()),
+                ));
+            }
+            ChannelEvent::Insertion { symbol } => {
+                events.push(TraceEvent::new(
+                    tick,
+                    TraceEventKind::Insert(symbol.index()),
+                ));
+            }
+            ChannelEvent::Transmission { sent, received } => {
+                events.push(TraceEvent::new(tick, TraceEventKind::Send(sent.index())));
+                events.push(TraceEvent::new(
+                    tick,
+                    TraceEventKind::Recv(received.index()),
+                ));
+            }
+        }
+    }
+    events
+}
+
+/// Replays a scheduler trace as an unsynchronized covert-channel run
+/// and captures its channel events: every quantum the covert sender
+/// (receiver) ran becomes one write (read) opportunity, exactly as
+/// [`nsc_sched::covert`] measures `(P_d, P_i)`.
+///
+/// Returns the run outcome together with the captured events; ticks
+/// are operation indices into the covert pair's schedule.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Inference`] when the trace grants the covert
+/// pair no quanta or the message is empty (the runner cannot start).
+pub fn capture_sched_trace(
+    trace: &Trace,
+    message: &[Symbol],
+) -> Result<(UnsyncOutcome, Vec<TraceEvent>), TraceError> {
+    let ops = ops_from_trace(trace);
+    if ops.is_empty() {
+        return Err(TraceError::Inference(
+            "schedule trace grants the covert pair no quanta".to_owned(),
+        ));
+    }
+    let mut schedule = TraceSchedule::new(ops);
+    let mut recorder = EventRecorder::default();
+    let outcome = run_unsynchronized_observed(message, &mut schedule, usize::MAX, &mut recorder)
+        .map_err(|e| TraceError::Inference(e.to_string()))?;
+    let events = recorder.events.iter().map(trace_event).collect();
+    Ok((outcome, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::EventCounts;
+    use nsc_channel::alphabet::Alphabet;
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sim_events_map_one_to_one() {
+        let sym = Symbol::from_index(3);
+        let cases = [
+            (SimEventKind::Send(sym), TraceEventKind::Send(3)),
+            (SimEventKind::Recv(sym), TraceEventKind::Recv(3)),
+            (SimEventKind::Delete(sym), TraceEventKind::Delete(3)),
+            (SimEventKind::Insert(sym), TraceEventKind::Insert(3)),
+            (SimEventKind::Ack, TraceEventKind::Ack),
+        ];
+        for (kind, wire) in cases {
+            let got = trace_event(&SimEvent { tick: 7, kind });
+            assert_eq!(got, TraceEvent::new(7, wire));
+        }
+    }
+
+    #[test]
+    fn trial_concatenation_keeps_ticks_monotone() {
+        let trials = vec![
+            TrialTrace {
+                trial: 0,
+                events: vec![
+                    SimEvent {
+                        tick: 0,
+                        kind: SimEventKind::Send(Symbol::from_index(1)),
+                    },
+                    SimEvent {
+                        tick: 4,
+                        kind: SimEventKind::Recv(Symbol::from_index(1)),
+                    },
+                ],
+            },
+            TrialTrace {
+                trial: 1,
+                events: vec![SimEvent {
+                    tick: 0,
+                    kind: SimEventKind::Ack,
+                }],
+            },
+        ];
+        let events = events_from_trials(&trials);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].tick, 0);
+        assert_eq!(events[1].tick, 4);
+        // Second trial starts one tick after the first ended.
+        assert_eq!(events[2].tick, 5);
+        assert!(events.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn event_log_bridge_preserves_counts() {
+        let ch = DeletionInsertionChannel::new(
+            Alphabet::binary(),
+            DiParams::new(0.3, 0.2, 0.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let input = vec![Symbol::from_index(1); 20_000];
+        let out = ch.transmit(&input, &mut rng);
+        let events = events_from_log(&out.events);
+        let mut counts = EventCounts::default();
+        for e in &events {
+            counts.observe(e);
+        }
+        assert_eq!(counts.deletions, out.events.deletions() as u64);
+        assert_eq!(counts.insertions, out.events.insertions() as u64);
+        assert_eq!(
+            counts.sends,
+            (out.events.deletions() + out.events.transmissions()) as u64
+        );
+        assert_eq!(counts.receipts, out.events.transmissions() as u64);
+        assert!(events.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn sched_trace_capture_matches_outcome() {
+        use nsc_sched::trace::Quantum;
+        use nsc_sched::{Pid, Role};
+
+        // Alternating sender/receiver quanta: a fair round-robin.
+        let roles = vec![Role::CovertSender, Role::CovertReceiver];
+        let quanta: Vec<Quantum> = (0..200).map(|i| Quantum::Ran(Pid(i % 2))).collect();
+        let trace = Trace::new(quanta, roles);
+        let message: Vec<Symbol> = (0..50).map(|i| Symbol::from_index(i % 2)).collect();
+        let (outcome, events) = capture_sched_trace(&trace, &message).unwrap();
+        let mut counts = EventCounts::default();
+        for e in &events {
+            counts.observe(e);
+        }
+        assert_eq!(counts.sends, outcome.writes as u64);
+        assert_eq!(counts.deletions, outcome.deleted_writes as u64);
+        assert_eq!(counts.insertions, outcome.stale_reads as u64);
+        assert!(outcome.writes > 0);
+
+        let empty = Trace::new(Vec::new(), Vec::new());
+        assert!(capture_sched_trace(&empty, &message).is_err());
+    }
+}

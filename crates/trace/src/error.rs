@@ -1,0 +1,114 @@
+//! Error type for trace capture, parsing, and inference.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while writing, reading, or analysing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line of the trace failed to parse or validate. `line` and
+    /// `column` are 1-based positions in the trace stream (the header
+    /// is line 1); `column` is 1 when the defect spans the whole line.
+    Malformed {
+        /// 1-based line number of the offending record.
+        line: u64,
+        /// 1-based column of the defect within the line.
+        column: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// The trace is well-formed but cannot support the requested
+    /// inference (e.g. no send events to estimate `P_d` from).
+    Inference(String),
+}
+
+impl TraceError {
+    /// Shorthand for a whole-line [`TraceError::Malformed`].
+    pub(crate) fn malformed(line: u64, message: impl Into<String>) -> Self {
+        TraceError::Malformed {
+            line,
+            column: 1,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps a `serde_json` parse failure, translating its in-line
+    /// position into a trace-stream position on `line`.
+    pub(crate) fn json(line: u64, err: &serde_json::Error) -> Self {
+        TraceError::Malformed {
+            line,
+            column: err.column().max(1) as u64,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Malformed {
+                line,
+                column,
+                message,
+            } => write!(f, "trace line {line}, column {column}: {message}"),
+            TraceError::Inference(msg) => write!(f, "trace inference error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_and_column() {
+        let e = TraceError::Malformed {
+            line: 3,
+            column: 17,
+            message: "bad symbol".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 17"), "{s}");
+        assert!(s.contains("bad symbol"), "{s}");
+    }
+
+    #[test]
+    fn json_errors_keep_their_column() {
+        let err = serde_json::from_str::<serde_json::Value>("{\"t\": }").unwrap_err();
+        let e = TraceError::json(7, &err);
+        match e {
+            TraceError::Malformed { line, column, .. } => {
+                assert_eq!(line, 7);
+                assert!(column >= 1);
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_source_chain() {
+        use std::error::Error;
+        let e = TraceError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(!TraceError::Inference("x".to_owned()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! The `nsc-trace/v1` on-disk schema.
+//!
+//! A trace is a JSON-Lines stream: line 1 is a [`TraceHeader`], every
+//! following line one [`TraceEvent`]. The format is **strict**:
+//! unknown fields, unknown event kinds, out-of-range symbols, and
+//! decreasing tick timestamps are all errors, never silently ignored.
+//! Any extension — a new field, a new event kind — requires bumping
+//! the `schema` string to `nsc-trace/v2`, so a v1 reader can never
+//! misinterpret a v2 file.
+//!
+//! Wire form:
+//!
+//! ```json
+//! {"schema":"nsc-trace/v1","alphabet_bits":3,"tick_rate_hz":1000.0,"manifest":{...}}
+//! {"t":0,"ev":"send","sym":5}
+//! {"t":1,"ev":"recv","sym":5}
+//! {"t":4,"ev":"del","sym":2}
+//! {"t":7,"ev":"ins","sym":2}
+//! {"t":7,"ev":"ack"}
+//! ```
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The schema identifier this crate reads and writes.
+pub const TRACE_SCHEMA: &str = "nsc-trace/v1";
+
+/// Widest symbol alphabet a trace may declare, matching
+/// [`nsc_channel::alphabet::Alphabet`]'s 16-bit ceiling.
+pub const MAX_ALPHABET_BITS: u32 = 16;
+
+/// Line 1 of every trace: what was captured and how to interpret it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TraceHeader {
+    /// Schema identifier; must equal [`TRACE_SCHEMA`].
+    pub schema: String,
+    /// Symbol width in bits (`1..=16`); every event symbol must be
+    /// `< 2^alphabet_bits`.
+    pub alphabet_bits: u32,
+    /// Physical duration of one tick, when known (simulated traces
+    /// usually omit it).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tick_rate_hz: Option<f64>,
+    /// Provenance of the capture — for engine campaigns this is the
+    /// serialized [`nsc_core::engine::RunManifest`]; arbitrary JSON is
+    /// allowed so foreign capture tools can attach their own records.
+    #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
+    pub manifest: serde_json::Value,
+}
+
+impl TraceHeader {
+    /// A header for a `bits`-wide capture with no manifest.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        TraceHeader {
+            schema: TRACE_SCHEMA.to_owned(),
+            alphabet_bits: bits,
+            tick_rate_hz: None,
+            manifest: serde_json::Value::Null,
+        }
+    }
+
+    /// Returns a copy carrying the given provenance manifest.
+    #[must_use]
+    pub fn with_manifest(mut self, manifest: serde_json::Value) -> Self {
+        self.manifest = manifest;
+        self
+    }
+
+    /// Returns a copy declaring the physical tick rate.
+    #[must_use]
+    pub fn with_tick_rate(mut self, hz: f64) -> Self {
+        self.tick_rate_hz = Some(hz);
+        self
+    }
+
+    /// Checks the header's invariants, returning what is wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: wrong
+    /// schema string, alphabet width outside `1..=16`, or a
+    /// non-positive/non-finite tick rate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != TRACE_SCHEMA {
+            return Err(format!(
+                "unsupported schema {:?} (this reader speaks {TRACE_SCHEMA:?})",
+                self.schema
+            ));
+        }
+        if self.alphabet_bits == 0 || self.alphabet_bits > MAX_ALPHABET_BITS {
+            return Err(format!(
+                "alphabet_bits = {} outside supported range 1..={MAX_ALPHABET_BITS}",
+                self.alphabet_bits
+            ));
+        }
+        if let Some(hz) = self.tick_rate_hz {
+            if !hz.is_finite() || hz <= 0.0 {
+                return Err(format!("tick_rate_hz = {hz} must be finite and positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What happened at one tick of the channel.
+///
+/// The five kinds mirror Definition 1's deletion-insertion accounting
+/// as instrumented by `nsc_core::sim`:
+///
+/// * `Send` — the sender committed a symbol to the shared medium.
+/// * `Recv` — the receiver consumed a genuinely transmitted symbol.
+/// * `Delete` — a committed symbol was destroyed before delivery
+///   (e.g. overwritten unread).
+/// * `Insert` — the receiver consumed a spurious symbol the sender
+///   never (re-)committed (e.g. a stale re-read).
+/// * `Ack` — the receiver published feedback to the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEventKind {
+    /// Sender committed this symbol.
+    Send(u32),
+    /// Receiver consumed this genuinely transmitted symbol.
+    Recv(u32),
+    /// This committed symbol was destroyed before delivery.
+    Delete(u32),
+    /// Receiver consumed this spurious symbol.
+    Insert(u32),
+    /// Receiver published feedback.
+    Ack,
+}
+
+impl TraceEventKind {
+    /// The wire name of this kind (`send`/`recv`/`del`/`ins`/`ack`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::Send(_) => "send",
+            TraceEventKind::Recv(_) => "recv",
+            TraceEventKind::Delete(_) => "del",
+            TraceEventKind::Insert(_) => "ins",
+            TraceEventKind::Ack => "ack",
+        }
+    }
+
+    /// The symbol this event carries (`None` for acks).
+    #[must_use]
+    pub fn symbol(&self) -> Option<u32> {
+        match *self {
+            TraceEventKind::Send(s)
+            | TraceEventKind::Recv(s)
+            | TraceEventKind::Delete(s)
+            | TraceEventKind::Insert(s) => Some(s),
+            TraceEventKind::Ack => None,
+        }
+    }
+}
+
+/// One line of a trace body: a channel event at a tick timestamp.
+///
+/// Ticks count scheduler quanta from the start of the capture and
+/// must be non-decreasing down the file; several events may share a
+/// tick (an overwrite is a `del` + `send` pair at the same tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Tick timestamp (scheduler quanta since capture start).
+    pub tick: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(tick: u64, kind: TraceEventKind) -> Self {
+        TraceEvent { tick, kind }
+    }
+}
+
+/// The literal wire shape of a body line. Kept separate from
+/// [`TraceEvent`] so the public type is a closed enum while the wire
+/// form stays a flat, strict JSON object.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub(crate) struct RawEvent {
+    /// Tick timestamp.
+    pub t: u64,
+    /// Event kind name.
+    pub ev: String,
+    /// Symbol index; required for all kinds except `ack`, where it
+    /// must be absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sym: Option<u32>,
+}
+
+impl RawEvent {
+    pub(crate) fn from_event(event: &TraceEvent) -> Self {
+        RawEvent {
+            t: event.tick,
+            ev: event.kind.name().to_owned(),
+            sym: event.kind.symbol(),
+        }
+    }
+
+    /// Validates the kind/symbol pairing and converts to the typed
+    /// event. The error is a human-readable description without
+    /// positional information (callers attach line/column).
+    pub(crate) fn into_event(self) -> Result<TraceEvent, String> {
+        let kind = match (self.ev.as_str(), self.sym) {
+            ("send", Some(s)) => TraceEventKind::Send(s),
+            ("recv", Some(s)) => TraceEventKind::Recv(s),
+            ("del", Some(s)) => TraceEventKind::Delete(s),
+            ("ins", Some(s)) => TraceEventKind::Insert(s),
+            ("ack", None) => TraceEventKind::Ack,
+            ("ack", Some(_)) => return Err("\"ack\" events must not carry \"sym\"".to_owned()),
+            ("send" | "recv" | "del" | "ins", None) => {
+                return Err(format!("{:?} events require a \"sym\" field", self.ev))
+            }
+            (other, _) => {
+                return Err(format!(
+                    "unknown event kind {other:?} (expected send/recv/del/ins/ack)"
+                ))
+            }
+        };
+        Ok(TraceEvent { tick: self.t, kind })
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        RawEvent::from_event(self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TraceEvent {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        RawEvent::deserialize(deserializer)?
+            .into_event()
+            .map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip_and_validation() {
+        let h = TraceHeader::new(3)
+            .with_tick_rate(1000.0)
+            .with_manifest(serde_json::json!({"plan": "test"}));
+        h.validate().unwrap();
+        let line = serde_json::to_string(&h).unwrap();
+        let back: TraceHeader = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, h);
+
+        assert!(TraceHeader::new(0).validate().is_err());
+        assert!(TraceHeader::new(17).validate().is_err());
+        assert!(TraceHeader::new(1).with_tick_rate(0.0).validate().is_err());
+        let mut wrong = TraceHeader::new(1);
+        wrong.schema = "nsc-trace/v9".to_owned();
+        let msg = wrong.validate().unwrap_err();
+        assert!(msg.contains("nsc-trace/v9"), "{msg}");
+    }
+
+    #[test]
+    fn header_rejects_unknown_fields() {
+        let err = serde_json::from_str::<TraceHeader>(
+            "{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1,\"extra\":true}",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn event_wire_form_is_stable() {
+        let cases = [
+            (
+                TraceEvent::new(0, TraceEventKind::Send(5)),
+                "{\"t\":0,\"ev\":\"send\",\"sym\":5}",
+            ),
+            (
+                TraceEvent::new(1, TraceEventKind::Recv(5)),
+                "{\"t\":1,\"ev\":\"recv\",\"sym\":5}",
+            ),
+            (
+                TraceEvent::new(2, TraceEventKind::Delete(0)),
+                "{\"t\":2,\"ev\":\"del\",\"sym\":0}",
+            ),
+            (
+                TraceEvent::new(3, TraceEventKind::Insert(7)),
+                "{\"t\":3,\"ev\":\"ins\",\"sym\":7}",
+            ),
+            (
+                TraceEvent::new(4, TraceEventKind::Ack),
+                "{\"t\":4,\"ev\":\"ack\"}",
+            ),
+        ];
+        for (event, wire) in cases {
+            assert_eq!(serde_json::to_string(&event).unwrap(), wire);
+            let back: TraceEvent = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn event_rejects_bad_shapes() {
+        for bad in [
+            "{\"t\":0,\"ev\":\"send\"}",                   // missing sym
+            "{\"t\":0,\"ev\":\"ack\",\"sym\":1}",          // ack with sym
+            "{\"t\":0,\"ev\":\"sub\",\"sym\":1}",          // unknown kind
+            "{\"t\":0,\"ev\":\"send\",\"sym\":1,\"x\":2}", // unknown field
+            "{\"ev\":\"send\",\"sym\":1}",                 // missing tick
+        ] {
+            assert!(serde_json::from_str::<TraceEvent>(bad).is_err(), "{bad}");
+        }
+    }
+}

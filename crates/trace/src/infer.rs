@@ -1,0 +1,718 @@
+//! Parameter inference over captured traces: maximum-likelihood
+//! `(P_d, P_i)` with Wilson and likelihood-ratio confidence
+//! intervals, capacity bounds at the estimates, and a windowed
+//! change-point scan for non-stationarity.
+//!
+//! # Estimands
+//!
+//! The trace records Definition 1's accounting as event streams, and
+//! the binomial likelihoods factorise per event class:
+//!
+//! * **`P_d`** — probability a committed symbol is destroyed before
+//!   delivery. Each `send` is a Bernoulli trial; each `del` a
+//!   success. MLE: `deletions / sends`.
+//! * **`P_i`** — probability a delivered symbol is spurious. Each
+//!   delivery (`recv` or `ins`) is a Bernoulli trial; each `ins` a
+//!   success. MLE: `insertions / (insertions + receipts)`.
+//!
+//! These are the per-attempt rates the §3 campaign statistics report
+//! (overwrites per write, stale reads per read) — *not* the per-use
+//! rates of a raw [`nsc_channel::event::EventLog`], which normalise
+//! by channel uses instead.
+
+use crate::error::TraceError;
+use crate::format::{TraceEvent, TraceEventKind};
+use nsc_core::bounds::{converted_channel_capacity, erasure_upper_bound, theorem5_lower_bound};
+use nsc_core::engine::{par_map, EngineConfig};
+use nsc_info::stats::{wilson_interval, ProportionInterval};
+use serde::{Deserialize, Serialize};
+
+/// 95% two-sided z quantile, matching
+/// [`nsc_channel::stats::DEFAULT_Z`].
+const Z_95: f64 = nsc_channel::stats::DEFAULT_Z;
+
+/// 95% quantile of the χ²₁ distribution: the deviance threshold of a
+/// two-sided likelihood-ratio test at α = 0.05 (`Z_95²`).
+pub const LR_CHI2_95: f64 = 3.841_458_820_694_124;
+
+/// Events per change-point block: the finest granularity at which the
+/// stationarity scan can localise a parameter shift.
+pub const DEFAULT_BLOCK_EVENTS: u64 = 1024;
+
+/// Default number of windows the change-point scan compares.
+pub const DEFAULT_WINDOWS: usize = 8;
+
+/// Family-wise false-alarm rate of the stationarity scan, split
+/// Bonferroni-style across its `2 × windows` tests.
+pub const SCAN_FAMILY_ALPHA: f64 = 0.01;
+
+/// Tallies of each event class in a trace (or a slice of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Total events.
+    pub events: u64,
+    /// `send` events (committed symbols).
+    pub sends: u64,
+    /// `del` events (commits destroyed before delivery).
+    pub deletions: u64,
+    /// `recv` events (genuine deliveries).
+    pub receipts: u64,
+    /// `ins` events (spurious deliveries).
+    pub insertions: u64,
+    /// `ack` events (feedback publications).
+    pub acks: u64,
+}
+
+impl EventCounts {
+    /// Tallies one event.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.events += 1;
+        match event.kind {
+            TraceEventKind::Send(_) => self.sends += 1,
+            TraceEventKind::Recv(_) => self.receipts += 1,
+            TraceEventKind::Delete(_) => self.deletions += 1,
+            TraceEventKind::Insert(_) => self.insertions += 1,
+            TraceEventKind::Ack => self.acks += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.events += other.events;
+        self.sends += other.sends;
+        self.deletions += other.deletions;
+        self.receipts += other.receipts;
+        self.insertions += other.insertions;
+        self.acks += other.acks;
+    }
+
+    /// Deliveries: the `P_i` denominator (`recv + ins`).
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.receipts + self.insertions
+    }
+}
+
+/// Maximum-likelihood estimate of one Bernoulli rate with two 95%
+/// confidence intervals.
+///
+/// The Wilson score interval is the closed form the rest of the
+/// workspace reports; the likelihood-ratio interval inverts the
+/// binomial deviance (`G² ≤ χ²₁(0.95)`) and is asymptotically
+/// equivalent but slightly tighter off-centre. Disagreement between
+/// the two is itself a small-sample warning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Observed successes.
+    pub successes: u64,
+    /// Observed Bernoulli trials.
+    pub trials: u64,
+    /// Maximum-likelihood point estimate `successes / trials`.
+    pub mle: f64,
+    /// 95% Wilson score interval.
+    pub wilson: ProportionInterval,
+    /// 95% likelihood-ratio interval.
+    pub likelihood_ratio: ProportionInterval,
+}
+
+impl RateEstimate {
+    /// Estimates a rate from `successes` out of `trials`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Inference`] when `trials` is zero or
+    /// `successes > trials`.
+    pub fn from_counts(successes: u64, trials: u64) -> Result<Self, TraceError> {
+        let wilson = wilson_interval(successes, trials, Z_95)
+            .map_err(|e| TraceError::Inference(e.to_string()))?;
+        Ok(RateEstimate {
+            successes,
+            trials,
+            mle: successes as f64 / trials as f64,
+            wilson,
+            likelihood_ratio: likelihood_ratio_interval(successes, trials),
+        })
+    }
+}
+
+/// Binomial log-likelihood `k·ln(p) + (n−k)·ln(1−p)` (constants
+/// dropped), with the `0·ln(0) = 0` convention.
+fn log_likelihood(k: u64, n: u64, p: f64) -> f64 {
+    let mut ll = 0.0;
+    if k > 0 {
+        ll += k as f64 * p.ln();
+    }
+    if n > k {
+        ll += (n - k) as f64 * (1.0 - p).ln();
+    }
+    ll
+}
+
+/// 95% likelihood-ratio interval: the set of `p` whose deviance
+/// `2·(ℓ(p̂) − ℓ(p))` stays below [`LR_CHI2_95`], found by bisection
+/// on each side of the MLE (the deviance is monotone away from it).
+fn likelihood_ratio_interval(k: u64, n: u64) -> ProportionInterval {
+    let mle = k as f64 / n as f64;
+    let ll_hat = log_likelihood(k, n, mle);
+    let inside = |p: f64| 2.0 * (ll_hat - log_likelihood(k, n, p)) <= LR_CHI2_95;
+
+    // Bisect [lo_in, lo_out] down to the boundary. 64 halvings reach
+    // f64 resolution from any starting bracket.
+    let bisect = |mut p_in: f64, mut p_out: f64| {
+        for _ in 0..64 {
+            let mid = 0.5 * (p_in + p_out);
+            if inside(mid) {
+                p_in = mid;
+            } else {
+                p_out = mid;
+            }
+        }
+        0.5 * (p_in + p_out)
+    };
+
+    let lower = if k == 0 { 0.0 } else { bisect(mle, 0.0) };
+    let upper = if k == n { 1.0 } else { bisect(mle, 1.0) };
+    ProportionInterval {
+        estimate: mle,
+        lower,
+        upper,
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// relative error < 1.2e-9). Used to turn the Bonferroni-corrected
+/// per-test α of the stationarity scan into a |z| threshold.
+fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile of p = {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Two-proportion z statistic for `k1/n1` vs `k2/n2` under the pooled
+/// null (0 when either sample is empty or the pooled rate is
+/// degenerate, i.e. no evidence either way).
+fn two_proportion_z(k1: u64, n1: u64, k2: u64, n2: u64) -> f64 {
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let p1 = k1 as f64 / n1 as f64;
+    let p2 = k2 as f64 / n2 as f64;
+    let pool = (k1 + k2) as f64 / (n1 + n2) as f64;
+    let var = pool * (1.0 - pool) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (p1 - p2) / var.sqrt()
+}
+
+/// One window of the change-point scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window index (time order).
+    pub window: usize,
+    /// Event tallies inside the window.
+    pub counts: EventCounts,
+    /// Window-local deletion rate (`NaN`-free: 0 when no sends).
+    pub p_d: f64,
+    /// Window-local insertion rate (0 when no deliveries).
+    pub p_i: f64,
+    /// z statistic of the window's `P_d` against the rest of the
+    /// trace pooled.
+    pub z_p_d: f64,
+    /// z statistic of the window's `P_i` against the rest pooled.
+    pub z_p_i: f64,
+}
+
+/// Result of the windowed change-point scan.
+///
+/// The trace is cut into [`DEFAULT_BLOCK_EVENTS`]-event blocks during
+/// the streaming pass, the blocks are regrouped into at most
+/// `windows` contiguous windows, and each window's `P_d` and `P_i`
+/// are tested against the rest of the trace with a two-proportion z
+/// test. A window whose |z| exceeds the Bonferroni-corrected
+/// [`threshold`](StationarityScan::threshold) flags the trace as
+/// non-stationary: the MLE then describes a *mixture* of regimes, and
+/// its confidence intervals are too narrow to trust.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationarityScan {
+    /// Per-window statistics, in time order.
+    pub windows: Vec<WindowStats>,
+    /// |z| threshold: the two-sided normal quantile at
+    /// [`SCAN_FAMILY_ALPHA`] split across `2 × windows` tests.
+    pub threshold: f64,
+    /// Indices of windows exceeding the threshold on either rate.
+    pub flagged: Vec<usize>,
+    /// `true` when no window is flagged.
+    pub stationary: bool,
+}
+
+/// Complete inference result for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceInference {
+    /// Whole-trace event tallies.
+    pub counts: EventCounts,
+    /// Deletion probability: MLE `deletions / sends` with CIs.
+    pub p_d: RateEstimate,
+    /// Insertion probability: MLE `insertions / deliveries` with CIs.
+    pub p_i: RateEstimate,
+    /// Windowed change-point scan.
+    pub stationarity: StationarityScan,
+}
+
+/// Streaming inference accumulator.
+///
+/// Feed events in trace order via
+/// [`observe`](InferenceBuilder::observe); the builder keeps the
+/// whole-trace tallies plus per-block tallies for the change-point
+/// scan — O(events / block_events) memory, never the events
+/// themselves.
+#[derive(Debug, Clone)]
+pub struct InferenceBuilder {
+    block_events: u64,
+    totals: EventCounts,
+    blocks: Vec<EventCounts>,
+}
+
+impl Default for InferenceBuilder {
+    fn default() -> Self {
+        InferenceBuilder::new()
+    }
+}
+
+impl InferenceBuilder {
+    /// A builder with the default block granularity
+    /// ([`DEFAULT_BLOCK_EVENTS`]).
+    #[must_use]
+    pub fn new() -> Self {
+        InferenceBuilder::with_block_events(DEFAULT_BLOCK_EVENTS)
+    }
+
+    /// A builder cutting change-point blocks every `block_events`
+    /// events (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_block_events(block_events: u64) -> Self {
+        InferenceBuilder {
+            block_events: block_events.max(1),
+            totals: EventCounts::default(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Tallies one event.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        if self
+            .blocks
+            .last()
+            .is_none_or(|b| b.events >= self.block_events)
+        {
+            self.blocks.push(EventCounts::default());
+        }
+        self.blocks
+            .last_mut()
+            .expect("block pushed above")
+            .observe(event);
+        self.totals.observe(event);
+    }
+
+    /// Events observed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.totals.events
+    }
+
+    /// Finishes the pass: estimates both rates and runs the
+    /// change-point scan over at most `windows` windows, fanning the
+    /// per-window tests across `threads` workers (`0` = all cores;
+    /// the scan is deterministic at any thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Inference`] when the trace contains no
+    /// `send` events (no `P_d` evidence) or no deliveries (no `P_i`
+    /// evidence).
+    pub fn finish(self, windows: usize, threads: usize) -> Result<TraceInference, TraceError> {
+        let totals = self.totals;
+        if totals.sends == 0 {
+            return Err(TraceError::Inference(
+                "no send events: cannot estimate P_d".to_owned(),
+            ));
+        }
+        if totals.deliveries() == 0 {
+            return Err(TraceError::Inference(
+                "no recv/ins events: cannot estimate P_i".to_owned(),
+            ));
+        }
+        let p_d = RateEstimate::from_counts(totals.deletions, totals.sends)?;
+        let p_i = RateEstimate::from_counts(totals.insertions, totals.deliveries())?;
+        let stationarity = scan_windows(&self.blocks, &totals, windows, threads);
+        Ok(TraceInference {
+            counts: totals,
+            p_d,
+            p_i,
+            stationarity,
+        })
+    }
+}
+
+/// Regroups blocks into at most `windows` contiguous windows and
+/// tests each against the rest of the trace.
+fn scan_windows(
+    blocks: &[EventCounts],
+    totals: &EventCounts,
+    windows: usize,
+    threads: usize,
+) -> StationarityScan {
+    let wanted = windows.max(1).min(blocks.len().max(1));
+    let mut grouped: Vec<EventCounts> = Vec::with_capacity(wanted);
+    if blocks.is_empty() {
+        grouped.push(EventCounts::default());
+    } else {
+        // Spread `blocks` across `wanted` windows as evenly as the
+        // block granularity allows (first windows take the remainder).
+        let per = blocks.len() / wanted;
+        let extra = blocks.len() % wanted;
+        let mut start = 0;
+        for w in 0..wanted {
+            let len = per + usize::from(w < extra);
+            let mut acc = EventCounts::default();
+            for b in &blocks[start..start + len] {
+                acc.merge(b);
+            }
+            grouped.push(acc);
+            start += len;
+        }
+    }
+
+    let tests = 2 * grouped.len();
+    let threshold = normal_quantile(1.0 - SCAN_FAMILY_ALPHA / (2.0 * tests as f64));
+    let config = EngineConfig::seeded(0).with_threads(threads);
+    let stats = par_map(&config, &grouped, |w, counts| {
+        let rest_sends = totals.sends - counts.sends;
+        let rest_dels = totals.deletions - counts.deletions;
+        let rest_deliv = totals.deliveries() - counts.deliveries();
+        let rest_ins = totals.insertions - counts.insertions;
+        WindowStats {
+            window: w,
+            counts: *counts,
+            p_d: ratio(counts.deletions, counts.sends),
+            p_i: ratio(counts.insertions, counts.deliveries()),
+            z_p_d: two_proportion_z(counts.deletions, counts.sends, rest_dels, rest_sends),
+            z_p_i: two_proportion_z(counts.insertions, counts.deliveries(), rest_ins, rest_deliv),
+        }
+    });
+    let flagged: Vec<usize> = stats
+        .iter()
+        .filter(|s| s.z_p_d.abs() > threshold || s.z_p_i.abs() > threshold)
+        .map(|s| s.window)
+        .collect();
+    StationarityScan {
+        stationary: flagged.is_empty(),
+        windows: stats,
+        threshold,
+        flagged,
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A capacity figure at the MLE point with its 95% confidence range
+/// (Wilson intervals propagated through the bound formula).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityInterval {
+    /// Bound evaluated at the point estimates.
+    pub estimate: f64,
+    /// Bound at the pessimistic CI corner.
+    pub lower: f64,
+    /// Bound at the optimistic CI corner.
+    pub upper: f64,
+}
+
+/// Capacity bounds (bits per symbol slot) implied by an inference,
+/// for a `bits`-wide channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceBounds {
+    /// Symbol width the bounds are computed for.
+    pub bits: u32,
+    /// Theorem 1/4 erasure upper bound `N·(1 − P_d)`, decreasing in
+    /// `P_d` (so its CI comes from `P_d`'s interval reversed).
+    pub upper_bound: CapacityInterval,
+    /// Converted-channel capacity `C_conv` at the measured `P_i`.
+    pub conv: CapacityInterval,
+    /// Theorem 5 constructive lower bound
+    /// `(1 − P_d)/(1 − P_i) · C_conv`; `None` when the point
+    /// estimates fall outside the theorem's domain (`p_i < 1`,
+    /// `p_d + p_i ≤ 1`). CI corners outside the domain clamp to the
+    /// trivial bound 0.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub lower_bound: Option<CapacityInterval>,
+}
+
+/// Evaluates the paper's capacity bounds at an inference's point
+/// estimates, propagating the Wilson 95% intervals through each
+/// (monotone) bound formula.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Inference`] when `bits` is outside the
+/// supported alphabet range.
+pub fn capacity_bounds_with_ci(
+    bits: u32,
+    inference: &TraceInference,
+) -> Result<TraceBounds, TraceError> {
+    let numeric = |e: nsc_core::CoreError| TraceError::Inference(e.to_string());
+    let p_d = inference.p_d.wilson;
+    let p_i = inference.p_i.wilson;
+
+    // N·(1 − p_d) decreases in p_d: CI endpoints swap.
+    let upper_bound = CapacityInterval {
+        estimate: erasure_upper_bound(bits, p_d.estimate)
+            .map_err(numeric)?
+            .value(),
+        lower: erasure_upper_bound(bits, p_d.upper)
+            .map_err(numeric)?
+            .value(),
+        upper: erasure_upper_bound(bits, p_d.lower)
+            .map_err(numeric)?
+            .value(),
+    };
+    // C_conv decreases in p_i: same reversal.
+    let conv = CapacityInterval {
+        estimate: converted_channel_capacity(bits, p_i.estimate)
+            .map_err(numeric)?
+            .value(),
+        lower: converted_channel_capacity(bits, p_i.upper)
+            .map_err(numeric)?
+            .value(),
+        upper: converted_channel_capacity(bits, p_i.lower)
+            .map_err(numeric)?
+            .value(),
+    };
+    // Theorem 5 decreases in both rates; a pessimistic corner outside
+    // the domain means the theorem guarantees nothing there → 0.
+    let lower_bound = theorem5_lower_bound(bits, p_d.estimate, p_i.estimate)
+        .ok()
+        .map(|point| {
+            let at = |pd: f64, pi: f64| {
+                theorem5_lower_bound(bits, pd, pi)
+                    .map(|b| b.value())
+                    .unwrap_or(0.0)
+            };
+            CapacityInterval {
+                estimate: point.value(),
+                lower: at(p_d.upper, p_i.upper),
+                upper: at(p_d.lower, p_i.lower),
+            }
+        });
+    Ok(TraceBounds {
+        bits,
+        upper_bound,
+        conv,
+        lower_bound,
+    })
+}
+
+/// Runs the whole inference over an iterator of events (e.g. a
+/// [`crate::TraceReader`]), streaming through an
+/// [`InferenceBuilder`].
+///
+/// # Errors
+///
+/// Propagates event-stream errors and the same conditions as
+/// [`InferenceBuilder::finish`].
+pub fn infer_events<I>(
+    events: I,
+    windows: usize,
+    threads: usize,
+) -> Result<TraceInference, TraceError>
+where
+    I: IntoIterator<Item = Result<TraceEvent, TraceError>>,
+{
+    let mut builder = InferenceBuilder::new();
+    for event in events {
+        builder.observe(&event?);
+    }
+    builder.finish(windows, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(tick: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent::new(tick, kind)
+    }
+
+    /// A deterministic synthetic trace: exactly `dels` of the `sends`
+    /// commits deleted and `ins` of the deliveries spurious, spread
+    /// evenly (Bresenham-style) so the trace is stationary.
+    fn synthetic(sends: u64, dels: u64, recvs: u64, ins: u64) -> Vec<TraceEvent> {
+        let spread = |i: u64, hits: u64, total: u64| (i * hits) / total != ((i + 1) * hits) / total;
+        let mut events = Vec::new();
+        let mut tick = 0;
+        for i in 0..sends {
+            events.push(event(tick, TraceEventKind::Send(1)));
+            if spread(i, dels, sends) {
+                events.push(event(tick, TraceEventKind::Delete(1)));
+            }
+            tick += 1;
+        }
+        let deliveries = recvs + ins;
+        for i in 0..deliveries {
+            let kind = if spread(i, ins, deliveries) {
+                TraceEventKind::Insert(0)
+            } else {
+                TraceEventKind::Recv(1)
+            };
+            events.push(event(tick, kind));
+            tick += 1;
+        }
+        events
+    }
+
+    #[test]
+    fn mle_matches_construction() {
+        let events = synthetic(1000, 250, 600, 200);
+        let inf = infer_events(events.into_iter().map(Ok), 4, 1).unwrap();
+        assert_eq!(inf.counts.sends, 1000);
+        assert_eq!(inf.counts.deliveries(), 800);
+        assert!((inf.p_d.mle - 0.25).abs() < 1e-12);
+        assert!((inf.p_i.mle - 0.25).abs() < 1e-12);
+        assert!(inf.p_d.wilson.contains(0.25));
+        assert!(inf.p_d.likelihood_ratio.lower < 0.25 && 0.25 < inf.p_d.likelihood_ratio.upper);
+    }
+
+    #[test]
+    fn lr_and_wilson_intervals_agree_asymptotically() {
+        let r = RateEstimate::from_counts(300, 1000).unwrap();
+        assert!((r.likelihood_ratio.lower - r.wilson.lower).abs() < 0.005);
+        assert!((r.likelihood_ratio.upper - r.wilson.upper).abs() < 0.005);
+        // Degenerate corners stay in [0, 1].
+        let zero = RateEstimate::from_counts(0, 50).unwrap();
+        assert_eq!(zero.likelihood_ratio.lower, 0.0);
+        assert!(zero.likelihood_ratio.upper > 0.0 && zero.likelihood_ratio.upper < 0.2);
+        let full = RateEstimate::from_counts(50, 50).unwrap();
+        assert_eq!(full.likelihood_ratio.upper, 1.0);
+        assert!(full.likelihood_ratio.lower > 0.8);
+        assert!(RateEstimate::from_counts(1, 0).is_err());
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_points() {
+        assert!((normal_quantile(0.975) - Z_95).abs() < 1e-8);
+        assert!((normal_quantile(0.5)).abs() < 1e-12);
+        assert!((normal_quantile(0.025) + Z_95).abs() < 1e-8);
+        // Deep-tail branch.
+        assert!(normal_quantile(1e-6) < -4.0);
+    }
+
+    #[test]
+    fn stationary_trace_passes_scan() {
+        let events = synthetic(20_000, 5_000, 12_000, 3_000);
+        let inf = infer_events(events.into_iter().map(Ok), DEFAULT_WINDOWS, 1).unwrap();
+        // The construction is deterministic round-robin, but sends
+        // and deliveries are phase-separated, so scan windows see
+        // different mixes; rates inside each class are constant, so
+        // no window deviates.
+        assert!(
+            inf.stationarity.stationary,
+            "{:?}",
+            inf.stationarity.flagged
+        );
+        assert!(inf.stationarity.threshold > Z_95);
+    }
+
+    #[test]
+    fn change_point_is_flagged() {
+        // First half: P_d = 0; second half: P_d = 0.9.
+        let mut events = synthetic(20_000, 0, 100, 0);
+        let last = events.last().map_or(0, |e| e.tick);
+        events.extend(
+            synthetic(20_000, 18_000, 100, 0)
+                .into_iter()
+                .map(|e| TraceEvent::new(e.tick + last + 1, e.kind)),
+        );
+        let inf = infer_events(events.into_iter().map(Ok), DEFAULT_WINDOWS, 1).unwrap();
+        assert!(!inf.stationarity.stationary);
+        assert!(!inf.stationarity.flagged.is_empty());
+    }
+
+    #[test]
+    fn scan_is_thread_invariant() {
+        let events = synthetic(50_000, 10_000, 30_000, 5_000);
+        let serial = infer_events(events.clone().into_iter().map(Ok), 8, 1).unwrap();
+        let parallel = infer_events(events.into_iter().map(Ok), 8, 4).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bounds_propagate_intervals() {
+        let events = synthetic(10_000, 2_000, 7_000, 1_000);
+        let inf = infer_events(events.into_iter().map(Ok), 4, 1).unwrap();
+        let b = capacity_bounds_with_ci(3, &inf).unwrap();
+        assert!((b.upper_bound.estimate - 3.0 * 0.8).abs() < 1e-9);
+        assert!(b.upper_bound.lower < b.upper_bound.estimate);
+        assert!(b.upper_bound.upper > b.upper_bound.estimate);
+        let t5 = b.lower_bound.expect("inside Theorem 5 domain");
+        assert!(t5.lower <= t5.estimate && t5.estimate <= t5.upper);
+        assert!(t5.estimate > 0.0);
+        assert!(t5.estimate <= b.upper_bound.estimate);
+        assert!(b.conv.estimate <= 3.0);
+    }
+
+    #[test]
+    fn empty_evidence_is_an_inference_error() {
+        let only_acks = vec![event(0, TraceEventKind::Ack)];
+        let err = infer_events(only_acks.into_iter().map(Ok), 4, 1).unwrap_err();
+        assert!(matches!(err, TraceError::Inference(_)));
+        let no_deliveries = vec![event(0, TraceEventKind::Send(1))];
+        let err = infer_events(no_deliveries.into_iter().map(Ok), 4, 1).unwrap_err();
+        assert!(err.to_string().contains("P_i"), "{err}");
+    }
+}

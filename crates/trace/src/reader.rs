@@ -1,0 +1,298 @@
+//! Validating, streaming JSONL reader for `nsc-trace/v1` streams.
+
+use crate::error::TraceError;
+use crate::format::{RawEvent, TraceEvent, TraceHeader};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A streaming trace reader.
+///
+/// Parses and validates the header eagerly (in [`TraceReader::new`]),
+/// then yields one event per call to
+/// [`read_event`](TraceReader::read_event) — or per iterator step —
+/// holding only the current line in memory. Arbitrarily large traces
+/// stream in constant space.
+///
+/// Validation is strict and every rejection carries a 1-based
+/// line/column position: malformed JSON, unknown fields or event
+/// kinds, symbols outside the declared alphabet, and decreasing tick
+/// timestamps all fail with [`TraceError::Malformed`].
+///
+/// # Example
+///
+/// ```
+/// use nsc_trace::TraceReader;
+///
+/// let text = "{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1}\n\
+///             {\"t\":0,\"ev\":\"send\",\"sym\":1}\n\
+///             {\"t\":3,\"ev\":\"recv\",\"sym\":1}\n";
+/// let mut r = TraceReader::new(text.as_bytes())?;
+/// assert_eq!(r.header().alphabet_bits, 1);
+/// let events: Vec<_> = r.by_ref().collect::<Result<_, _>>()?;
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(r.events_read(), 2);
+/// # Ok::<(), nsc_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: BufRead> {
+    source: R,
+    header: TraceHeader,
+    /// Line number of the last line consumed (header = 1).
+    line: u64,
+    last_tick: Option<u64>,
+    events: u64,
+    buf: String,
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the file cannot be opened and
+    /// the same conditions as [`TraceReader::new`] otherwise.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Reads and validates the header line from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] positioned at line 1 when
+    /// the stream is empty, the header is not valid JSON, it carries
+    /// unknown fields, or it violates a header invariant (wrong
+    /// schema, alphabet width outside `1..=16`, bad tick rate);
+    /// [`TraceError::Io`] on read failure.
+    pub fn new(mut source: R) -> Result<Self, TraceError> {
+        let mut buf = String::new();
+        if source.read_line(&mut buf)? == 0 {
+            return Err(TraceError::malformed(
+                1,
+                "empty stream: expected an nsc-trace/v1 header",
+            ));
+        }
+        let header: TraceHeader = serde_json::from_str(buf.trim_end_matches(['\n', '\r']))
+            .map_err(|e| TraceError::json(1, &e))?;
+        header
+            .validate()
+            .map_err(|msg| TraceError::malformed(1, msg))?;
+        Ok(TraceReader {
+            source,
+            header,
+            line: 1,
+            last_tick: None,
+            events: 0,
+            buf,
+            done: false,
+        })
+    }
+
+    /// The validated header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Events successfully read so far.
+    #[must_use]
+    pub fn events_read(&self) -> u64 {
+        self.events
+    }
+
+    /// Reads the next event, or `None` at end of stream.
+    ///
+    /// After an error the reader is poisoned: every further call
+    /// returns `None` rather than resynchronising on corrupt input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] with the offending line and
+    /// column for invalid JSON, blank lines, unknown fields or event
+    /// kinds, symbols outside the declared alphabet, and decreasing
+    /// ticks; [`TraceError::Io`] on read failure.
+    pub fn read_event(&mut self) -> Result<Option<TraceEvent>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.next_event() {
+            Ok(Some(event)) => Ok(Some(event)),
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceError> {
+        self.buf.clear();
+        if self.source.read_line(&mut self.buf)? == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        let line = self.buf.trim_end_matches(['\n', '\r']);
+        if line.trim().is_empty() {
+            return Err(TraceError::malformed(
+                self.line,
+                "blank line inside the event stream",
+            ));
+        }
+        let raw: RawEvent =
+            serde_json::from_str(line).map_err(|e| TraceError::json(self.line, &e))?;
+        let event = raw
+            .into_event()
+            .map_err(|msg| TraceError::malformed(self.line, msg))?;
+        if let Some(sym) = event.kind.symbol() {
+            if u64::from(sym) >= 1u64 << self.header.alphabet_bits {
+                return Err(TraceError::malformed(
+                    self.line,
+                    format!(
+                        "symbol {sym} outside the declared {}-bit alphabet",
+                        self.header.alphabet_bits
+                    ),
+                ));
+            }
+        }
+        if let Some(last) = self.last_tick {
+            if event.tick < last {
+                return Err(TraceError::malformed(
+                    self.line,
+                    format!("tick {} decreases (previous event at {last})", event.tick),
+                ));
+            }
+        }
+        self.last_tick = Some(event.tick);
+        self.events += 1;
+        Ok(Some(event))
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_event().transpose()
+    }
+}
+
+/// Reads an entire trace from `source` into memory: the header and
+/// every event. Convenience for small traces and tests; streaming
+/// consumers should drive [`TraceReader`] directly.
+///
+/// # Errors
+///
+/// Same conditions as [`TraceReader::new`] and
+/// [`TraceReader::read_event`].
+pub fn read_trace<R: BufRead>(source: R) -> Result<(TraceHeader, Vec<TraceEvent>), TraceError> {
+    let mut reader = TraceReader::new(source)?;
+    let mut events = Vec::new();
+    while let Some(event) = reader.read_event()? {
+        events.push(event);
+    }
+    Ok((reader.header, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceEventKind, TRACE_SCHEMA};
+    use crate::writer::write_trace;
+
+    fn sample() -> String {
+        let mut s = format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"alphabet_bits\":2}}\n");
+        s.push_str("{\"t\":0,\"ev\":\"send\",\"sym\":3}\n");
+        s.push_str("{\"t\":0,\"ev\":\"del\",\"sym\":1}\n");
+        s.push_str("{\"t\":2,\"ev\":\"ins\",\"sym\":3}\n");
+        s.push_str("{\"t\":2,\"ev\":\"ack\"}\n");
+        s
+    }
+
+    #[test]
+    fn reads_valid_stream() {
+        let (header, events) = read_trace(sample().as_bytes()).unwrap();
+        assert_eq!(header.alphabet_bits, 2);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], TraceEvent::new(0, TraceEventKind::Send(3)));
+        assert_eq!(events[3], TraceEvent::new(2, TraceEventKind::Ack));
+    }
+
+    #[test]
+    fn missing_final_newline_is_fine() {
+        let mut text = sample();
+        text.pop();
+        assert_eq!(read_trace(text.as_bytes()).unwrap().1.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_headers_with_line_1() {
+        for (text, needle) in [
+            ("", "empty stream"),
+            (
+                "{\"schema\":\"nsc-trace/v9\",\"alphabet_bits\":1}\n",
+                "nsc-trace/v9",
+            ),
+            (
+                "{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":77}\n",
+                "alphabet_bits",
+            ),
+            ("{\"schema\":\"nsc-trace/v1\"}\n", "alphabet_bits"),
+            ("not json\n", "expected"),
+        ] {
+            let err = TraceReader::new(text.as_bytes()).expect_err(text);
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "{text:?}: {msg}");
+            assert!(msg.contains(needle), "{text:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_events_with_position() {
+        // (appended line, expected needle); each case appends to the
+        // 5-line sample, so the defect is on line 6.
+        for (bad, needle) in [
+            ("{\"t\":3,\"ev\":\"send\"", "line 6"), // truncated JSON
+            ("{\"t\":3,\"ev\":\"send\",\"sym\":4}", "alphabet"), // symbol out of range
+            ("{\"t\":1,\"ev\":\"ack\"}", "decreases"), // tick goes backwards
+            ("{\"t\":3,\"ev\":\"warp\",\"sym\":0}", "warp"), // unknown kind
+            ("   ", "blank"),                       // blank line
+        ] {
+            let text = format!("{}{bad}\n", sample());
+            let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+            let mut err = None;
+            for item in reader.by_ref() {
+                if let Err(e) = item {
+                    err = Some(e);
+                }
+            }
+            let msg = err.expect(bad).to_string();
+            assert!(msg.contains("line 6"), "{bad:?}: {msg}");
+            assert!(msg.contains(needle), "{bad:?}: {msg}");
+            // Poisoned after the error: no resynchronisation.
+            assert!(reader.read_event().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let events = vec![
+            TraceEvent::new(0, TraceEventKind::Send(2)),
+            TraceEvent::new(1, TraceEventKind::Recv(2)),
+            TraceEvent::new(9, TraceEventKind::Insert(0)),
+        ];
+        let header =
+            crate::format::TraceHeader::new(2).with_manifest(serde_json::json!({"k": [1, 2]}));
+        let mut out = Vec::new();
+        write_trace(&mut out, &header, events.clone()).unwrap();
+        let (back_header, back_events) = read_trace(out.as_slice()).unwrap();
+        assert_eq!(back_header, header);
+        assert_eq!(back_events, events);
+    }
+}

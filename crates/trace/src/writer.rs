@@ -1,0 +1,189 @@
+//! Validating JSONL writer for `nsc-trace/v1` streams.
+
+use crate::error::TraceError;
+use crate::format::{RawEvent, TraceEvent, TraceHeader};
+use std::io::Write;
+
+/// A streaming trace writer.
+///
+/// Writes the header on construction, then one line per event,
+/// enforcing on the way **out** exactly what [`crate::TraceReader`]
+/// enforces on the way in: symbols inside the declared alphabet and
+/// non-decreasing ticks. A `TraceWriter` therefore cannot produce a
+/// file its own reader rejects.
+///
+/// # Example
+///
+/// ```
+/// use nsc_trace::{TraceEvent, TraceEventKind, TraceHeader, TraceWriter};
+///
+/// let mut out = Vec::new();
+/// let mut w = TraceWriter::new(&mut out, &TraceHeader::new(1))?;
+/// w.write_event(TraceEvent::new(0, TraceEventKind::Send(1)))?;
+/// w.write_event(TraceEvent::new(1, TraceEventKind::Recv(1)))?;
+/// w.finish()?;
+/// assert_eq!(String::from_utf8(out).unwrap().lines().count(), 3);
+/// # Ok::<(), nsc_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    bits: u32,
+    events: u64,
+    last_tick: Option<u64>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Validates `header` and writes it as line 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] (line 1) when the header
+    /// violates its invariants, or [`TraceError::Io`] on write
+    /// failure.
+    pub fn new(mut sink: W, header: &TraceHeader) -> Result<Self, TraceError> {
+        header
+            .validate()
+            .map_err(|msg| TraceError::malformed(1, msg))?;
+        let line = serde_json::to_string(header).map_err(|e| TraceError::json(1, &e))?;
+        sink.write_all(line.as_bytes())?;
+        sink.write_all(b"\n")?;
+        Ok(TraceWriter {
+            sink,
+            bits: header.alphabet_bits,
+            events: 0,
+            last_tick: None,
+        })
+    }
+
+    /// Appends one event line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] — positioned at the line the
+    /// event *would have* occupied — when the symbol is outside the
+    /// declared alphabet or the tick decreases, and [`TraceError::Io`]
+    /// on write failure.
+    pub fn write_event(&mut self, event: TraceEvent) -> Result<(), TraceError> {
+        let line = self.events + 2; // header is line 1
+        if let Some(sym) = event.kind.symbol() {
+            if u64::from(sym) >= 1u64 << self.bits {
+                return Err(TraceError::malformed(
+                    line,
+                    format!(
+                        "symbol {sym} outside the declared {}-bit alphabet",
+                        self.bits
+                    ),
+                ));
+            }
+        }
+        if let Some(last) = self.last_tick {
+            if event.tick < last {
+                return Err(TraceError::malformed(
+                    line,
+                    format!("tick {} decreases (previous event at {last})", event.tick),
+                ));
+            }
+        }
+        let json = serde_json::to_string(&RawEvent::from_event(&event))
+            .map_err(|e| TraceError::json(line, &e))?;
+        self.sink.write_all(json.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.events += 1;
+        self.last_tick = Some(event.tick);
+        Ok(())
+    }
+
+    /// Appends every event from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`write_event`](Self::write_event)
+    /// failure; events before it are already written.
+    pub fn write_events<I>(&mut self, events: I) -> Result<(), TraceError>
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for event in events {
+            self.write_event(event)?;
+        }
+        Ok(())
+    }
+
+    /// Events written so far (excluding the header).
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the flush fails.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Writes a complete trace — header plus events — to `sink`,
+/// returning the number of event lines written.
+///
+/// # Errors
+///
+/// Same conditions as [`TraceWriter::new`] and
+/// [`TraceWriter::write_event`].
+pub fn write_trace<W, I>(sink: W, header: &TraceHeader, events: I) -> Result<u64, TraceError>
+where
+    W: Write,
+    I: IntoIterator<Item = TraceEvent>,
+{
+    let mut writer = TraceWriter::new(sink, header)?;
+    writer.write_events(events)?;
+    let written = writer.events_written();
+    writer.finish()?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceEventKind;
+
+    #[test]
+    fn rejects_invalid_headers_and_events() {
+        assert!(TraceWriter::new(Vec::new(), &TraceHeader::new(0)).is_err());
+
+        let mut w = TraceWriter::new(Vec::new(), &TraceHeader::new(2)).unwrap();
+        let err = w
+            .write_event(TraceEvent::new(0, TraceEventKind::Send(4)))
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        w.write_event(TraceEvent::new(5, TraceEventKind::Send(3)))
+            .unwrap();
+        let err = w
+            .write_event(TraceEvent::new(4, TraceEventKind::Ack))
+            .unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("decreases"), "{err}");
+        assert_eq!(w.events_written(), 1);
+    }
+
+    #[test]
+    fn write_trace_emits_one_line_per_record() {
+        let events = vec![
+            TraceEvent::new(0, TraceEventKind::Send(1)),
+            TraceEvent::new(0, TraceEventKind::Delete(0)),
+            TraceEvent::new(2, TraceEventKind::Ack),
+        ];
+        let mut out = Vec::new();
+        let n = write_trace(&mut out, &TraceHeader::new(1), events).unwrap();
+        assert_eq!(n, 3);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("{\"schema\":\"nsc-trace/v1\""));
+        assert!(text.ends_with('\n'));
+    }
+}

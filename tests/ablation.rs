@@ -40,14 +40,14 @@ fn correction_is_burst_invariant() {
 
     let bursty_ch = bursty(20.0, avg);
     let out_bursty = bursty_ch.transmit(&msg, &mut StdRng::seed_from_u64(2));
-    let a_bursty = assess_from_event_log(traditional, &out_bursty.events, &policy).unwrap();
+    let a_bursty = assess_from_event_log(traditional, 1, &out_bursty.events, &policy).unwrap();
 
     let flat = nsc_channel::di::DeletionInsertionChannel::new(
         Alphabet::binary(),
         bursty_ch.average_params().unwrap(),
     );
     let out_flat = flat.transmit(&msg, &mut StdRng::seed_from_u64(3));
-    let a_flat = assess_from_event_log(traditional, &out_flat.events, &policy).unwrap();
+    let a_flat = assess_from_event_log(traditional, 1, &out_flat.events, &policy).unwrap();
 
     let b = a_bursty.report.corrected.value();
     let f = a_flat.report.corrected.value();

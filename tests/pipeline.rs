@@ -78,8 +78,8 @@ fn abstract_channel_audit_matches_configuration() {
     let msg = random_message(3, 60_000, 5);
     let mut rng = StdRng::seed_from_u64(6);
     let out = channel.transmit(&msg, &mut rng);
-    let a =
-        assess_from_event_log(BitsPerTick(3.0), &out.events, &SeverityPolicy::default()).unwrap();
+    let a = assess_from_event_log(BitsPerTick(3.0), 3, &out.events, &SeverityPolicy::default())
+        .unwrap();
     assert!(a.report.p_d.contains(p_d), "{:?}", a.report.p_d);
     assert!((a.report.corrected.value() - 3.0 * (1.0 - p_d)).abs() < 0.05);
 }

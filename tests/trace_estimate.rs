@@ -1,0 +1,170 @@
+//! End-to-end acceptance tests for the `nsc_trace` subsystem: the
+//! `record` → `estimate` pipeline, the golden fixture, byte-level
+//! thread invariance, and line-numbered rejection of corrupt traces.
+
+use nsc_trace::{read_trace, TraceReader};
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nsc-trace-it-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn cli(args: &[&str]) -> Result<String, String> {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    nsc_cli::run(&owned)
+}
+
+fn cli_json(args: &[&str]) -> Value {
+    serde_json::from_str(&cli(args).expect("command succeeds")).expect("valid JSON")
+}
+
+/// The headline acceptance criterion: `nsc record` a campaign, then
+/// `nsc estimate` from nothing but the trace file, and the campaign's
+/// measured `(P_d, P_i)` fall inside the estimate's reported 95%
+/// intervals — deterministically at any thread count.
+#[test]
+fn record_then_estimate_reproduces_campaign_parameters() {
+    let run_record = |threads: &str, tag: &str| -> (Value, Vec<u8>) {
+        let path = temp_path(tag);
+        let doc = cli_json(&[
+            "record",
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "2",
+            "--len",
+            "400",
+            "--trials",
+            "10",
+            "--seed",
+            "17",
+            "--threads",
+            threads,
+            "--trace-out",
+            path.to_str().unwrap(),
+            "--format",
+            "json",
+        ]);
+        let bytes = fs::read(&path).unwrap();
+        let _ = fs::remove_file(&path);
+        (doc, bytes)
+    };
+    let (doc_serial, trace_serial) = run_record("1", "serial");
+    let (_, trace_parallel) = run_record("4", "parallel");
+    // The capture is byte-identical at any --threads setting: its
+    // header embeds only the deterministic manifest.
+    assert_eq!(trace_serial, trace_parallel);
+
+    // The trace parses and its header carries the campaign manifest.
+    let (header, events) = read_trace(trace_serial.as_slice()).unwrap();
+    assert_eq!(header.alphabet_bits, 2);
+    assert_eq!(header.manifest["master_seed"], 17);
+    assert!(!events.is_empty());
+    assert_eq!(doc_serial["trace"]["events"], events.len() as u64);
+
+    // Estimate from the trace alone.
+    let path = temp_path("estimate");
+    fs::write(&path, &trace_serial).unwrap();
+    let est = cli_json(&[
+        "estimate",
+        "--trace",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    let _ = fs::remove_file(&path);
+
+    let in_wilson = |rate: &Value, truth: f64| {
+        let lo = rate["wilson"]["lower"].as_f64().unwrap();
+        let hi = rate["wilson"]["upper"].as_f64().unwrap();
+        assert!(
+            lo <= truth && truth <= hi,
+            "campaign value {truth} outside reported 95% interval [{lo}, {hi}]"
+        );
+    };
+    let p_d = doc_serial["summary"]["p_d"]["mean"].as_f64().unwrap();
+    let p_i = doc_serial["summary"]["p_i"]["mean"].as_f64().unwrap();
+    in_wilson(&est["results"]["p_d"], p_d);
+    in_wilson(&est["results"]["p_i"], p_i);
+
+    // The estimate embeds the recording's provenance end-to-end.
+    assert_eq!(est["trace"]["manifest"]["master_seed"], 17);
+    assert!(est["results"]["bounds"]["upper_bound"]["estimate"].is_number());
+}
+
+/// The golden fixture has hand-counted events, so the estimator's
+/// output is known exactly: P_d = 2/8, P_i = 2/(2+6).
+#[test]
+fn golden_fixture_estimates_exactly() {
+    let est = cli_json(&[
+        "estimate",
+        "--trace",
+        &fixture("golden.jsonl"),
+        "--format",
+        "json",
+    ]);
+    let counts = &est["results"]["counts"];
+    assert_eq!(counts["sends"], 8);
+    assert_eq!(counts["deletions"], 2);
+    assert_eq!(counts["receipts"], 6);
+    assert_eq!(counts["insertions"], 2);
+    assert_eq!(counts["acks"], 1);
+    assert!((est["results"]["p_d"]["mle"].as_f64().unwrap() - 0.25).abs() < 1e-12);
+    assert!((est["results"]["p_i"]["mle"].as_f64().unwrap() - 0.25).abs() < 1e-12);
+    assert_eq!(est["results"]["stationarity"]["stationary"], true);
+    // Header metadata flows through.
+    assert_eq!(est["trace"]["schema"], "nsc-trace/v1");
+    assert_eq!(est["trace"]["alphabet_bits"], 2);
+    assert_eq!(est["trace"]["manifest"]["source"], "golden fixture");
+}
+
+/// `estimate --format json` is identical at any thread count once
+/// `manifest.execution` (timing) is removed — the same invariant CI
+/// checks with `jq 'del(.manifest.execution)'`.
+#[test]
+fn golden_estimate_json_is_thread_invariant_sans_execution() {
+    let with_threads = |t: &str| -> Value {
+        let mut doc = cli_json(&[
+            "estimate",
+            "--trace",
+            &fixture("golden.jsonl"),
+            "--threads",
+            t,
+            "--format",
+            "json",
+        ]);
+        doc["manifest"].as_object_mut().unwrap().remove("execution");
+        doc
+    };
+    assert_eq!(
+        serde_json::to_string_pretty(&with_threads("1")).unwrap(),
+        serde_json::to_string_pretty(&with_threads("4")).unwrap()
+    );
+}
+
+/// Corrupt traces are rejected with 1-based line positions, both at
+/// the library layer and through the CLI.
+#[test]
+fn corrupt_fixtures_fail_with_line_numbers() {
+    let truncated = fixture("corrupt_truncated.jsonl");
+    let err = cli(&["estimate", "--trace", &truncated]).unwrap_err();
+    assert!(err.contains("line 3"), "{err}");
+
+    let versioned = fixture("corrupt_version.jsonl");
+    let err = cli(&["estimate", "--trace", &versioned]).unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    assert!(err.contains("nsc-trace/v9"), "{err}");
+
+    // Same positions from the streaming reader directly.
+    let mut reader = TraceReader::open(&truncated).unwrap();
+    assert!(reader.read_event().unwrap().is_some()); // line 2 is fine
+    let err = reader.read_event().unwrap_err();
+    assert!(err.to_string().contains("line 3"), "{err}");
+    assert!(TraceReader::open(&versioned).is_err());
+}
