@@ -2,8 +2,7 @@
 //! lattice.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nsc_channel::alphabet::{Alphabet, Symbol};
-use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_bench::setup::through_channel;
 use nsc_coding::bits::random_bits;
 use nsc_coding::conv::ConvCode;
 use nsc_coding::lattice::DriftLattice;
@@ -12,18 +11,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const DATA_BITS: usize = 200;
-
-fn through_channel(bits: &[bool], p_d: f64, seed: u64) -> Vec<bool> {
-    let ch =
-        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::deletion_only(p_d).unwrap());
-    let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    ch.transmit(&input, &mut rng)
-        .received
-        .iter()
-        .map(|s| s.index() == 1)
-        .collect()
-}
 
 fn bench_watermark(c: &mut Criterion) {
     let code = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 0xF00D).unwrap();

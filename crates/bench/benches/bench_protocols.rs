@@ -1,6 +1,7 @@
 //! E3/E4/E6/E7 kernel benchmarks: protocol runners.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsc_bench::setup::message as setup_message;
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use nsc_channel::di::{DeletionInsertionChannel, DiParams};
 use nsc_core::protocols::resend::run_resend;
@@ -15,9 +16,7 @@ use rand::SeedableRng;
 const MSG_LEN: usize = 10_000;
 
 fn message() -> Vec<Symbol> {
-    let a = Alphabet::new(4).unwrap();
-    let mut rng = StdRng::seed_from_u64(1);
-    (0..MSG_LEN).map(|_| a.random(&mut rng)).collect()
+    setup_message(4, MSG_LEN, 1)
 }
 
 fn bench_resend(c: &mut Criterion) {

@@ -2,41 +2,8 @@
 //! write → read → infer pipeline on a ~100k-event trace.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nsc_trace::{
-    write_trace, InferenceBuilder, TraceEvent, TraceEventKind, TraceHeader, TraceReader,
-};
-
-/// A deterministic ~100k-event stationary trace: every fourth send is
-/// deleted, every eighth delivery attempt is preceded by an
-/// insertion. No RNG — the bench input is byte-stable across runs.
-fn synthetic_events(sends: u64) -> Vec<TraceEvent> {
-    let mut events = Vec::with_capacity(3 * sends as usize);
-    let mut tick = 0u64;
-    for i in 0..sends {
-        events.push(TraceEvent::new(tick, TraceEventKind::Send((i % 4) as u32)));
-        tick += 1;
-        if i % 4 == 0 {
-            events.push(TraceEvent::new(
-                tick,
-                TraceEventKind::Delete((i % 4) as u32),
-            ));
-        } else {
-            if i % 8 == 1 {
-                events.push(TraceEvent::new(tick, TraceEventKind::Insert(0)));
-            }
-            events.push(TraceEvent::new(tick, TraceEventKind::Recv((i % 4) as u32)));
-        }
-        tick += 1;
-    }
-    events
-}
-
-fn serialized_trace(sends: u64) -> (Vec<u8>, u64) {
-    let events = synthetic_events(sends);
-    let mut file = Vec::new();
-    let written = write_trace(&mut file, &TraceHeader::new(2), events).unwrap();
-    (file, written)
-}
+use nsc_bench::setup::{serialized_trace, synthetic_events};
+use nsc_trace::{write_trace, InferenceBuilder, TraceHeader, TraceReader};
 
 fn bench_reader_throughput(c: &mut Criterion) {
     // ~40k sends → ~90k events → a few MiB of JSONL.

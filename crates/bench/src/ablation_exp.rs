@@ -167,6 +167,7 @@ pub fn rows_e11_cfg(cfg: &EngineConfig) -> Vec<E11Row> {
             watermark_ber: ber,
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E11.
@@ -263,6 +264,7 @@ pub fn rows_e12_cfg(cfg: &EngineConfig) -> Vec<E12Row> {
             waits_per_symbol: out.waits as f64 / out.received.len() as f64,
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E12.

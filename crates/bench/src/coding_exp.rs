@@ -80,6 +80,7 @@ pub fn rows_cfg(cfg: &EngineConfig) -> Vec<E9Row> {
             .collect(),
         feedback_capacity: 1.0 - p_d,
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E9.

@@ -25,6 +25,12 @@
 //! Every experiment takes a seed and is fully deterministic. The
 //! `experiments` binary prints all tables; `EXPERIMENTS.md` archives
 //! a run.
+//!
+//! Two support modules sit beside the experiments: [`setup`] holds
+//! the deterministic fixtures shared by the criterion benches and
+//! the regression suites, and [`perf`] holds the in-process
+//! micro-benchmark suites behind `nsc bench` and
+//! `scripts/bench_export`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -35,8 +41,10 @@ pub mod bounds_exp;
 pub mod channel_fidelity;
 pub mod coding_exp;
 pub mod json_out;
+pub mod perf;
 pub mod protocol_exp;
 pub mod sched_exp;
+pub mod setup;
 pub mod table;
 pub mod timing_exp;
 pub mod wide_exp;

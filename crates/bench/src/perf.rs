@@ -1,0 +1,338 @@
+//! In-process micro-benchmark suites for the engine and trace hot
+//! paths.
+//!
+//! Criterion (under `benches/`) is the statistician's harness; these
+//! suites are the *regression* harness: a handful of kernels timed
+//! with [`Instant`], reported as the median ns/op over a few
+//! repetitions, cheap enough to run in CI on every push. `nsc bench`
+//! drives them, and `scripts/bench_export` turns the JSON into the
+//! committed `BENCH_engine.json` / `BENCH_trace.json` baselines and
+//! checks fresh runs against them.
+//!
+//! Absolute ns/op is only comparable on the machine recorded in the
+//! result's fingerprint. The ratios between kernels of one run —
+//! `trial_rng` vs `std_rng`, `trace_write_manual` vs
+//! `trace_write_serde` — are comparable anywhere, which is what the
+//! CI guards lean on.
+
+use crate::setup::{serialized_trace, synthetic_events};
+use nsc_core::engine::{run_campaign, EngineConfig, Mechanism, TrialPlan, TrialRng};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::Serialize;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Schema identifier embedded in every suite report.
+pub const BENCH_SCHEMA: &str = "nsc-bench/v1";
+
+/// Workload size: `Quick` finishes in well under a second per suite
+/// (the CI setting); `Full` runs the criterion-sized inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small inputs for smoke runs.
+    Quick,
+    /// Criterion-sized inputs for committed baselines.
+    Full,
+}
+
+impl Profile {
+    /// Parses a profile name as spelled on the CLI.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Profile> {
+        match name {
+            "quick" => Some(Profile::Quick),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Campaign kernel size: (message length, trials).
+    fn campaign(self) -> (usize, usize) {
+        match self {
+            Profile::Quick => (500, 8),
+            Profile::Full => (2_000, 32),
+        }
+    }
+
+    /// Raw-generator kernel size in `next_u64` draws.
+    fn rng_draws(self) -> u64 {
+        match self {
+            Profile::Quick => 1_000_000,
+            Profile::Full => 8_000_000,
+        }
+    }
+
+    /// Trace kernel size in sends (events ≈ 2.3 × sends).
+    fn trace_sends(self) -> u64 {
+        match self {
+            Profile::Quick => 5_000,
+            Profile::Full => 40_000,
+        }
+    }
+}
+
+/// One timed kernel.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    /// Kernel name, stable across versions — the regression key.
+    pub name: String,
+    /// What one "op" is: `trial`, `draw`, or `event`.
+    pub unit: String,
+    /// Operations per repetition.
+    pub ops: u64,
+    /// Median over the repetitions of (wall ns / ops).
+    pub median_ns_per_op: f64,
+}
+
+/// One suite's report: every kernel at one profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuiteReport {
+    /// Suite name: `engine` or `trace`.
+    pub suite: String,
+    /// Profile the kernels ran at.
+    pub profile: String,
+    /// Recorded repetitions per kernel (after one warm-up).
+    pub reps: usize,
+    /// Per-kernel medians.
+    pub results: Vec<BenchResult>,
+}
+
+impl SuiteReport {
+    /// Looks up a kernel's median by name.
+    #[must_use]
+    pub fn median(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns_per_op)
+    }
+}
+
+/// Identifies the machine a measurement is only comparable on.
+#[must_use]
+pub fn machine_fingerprint() -> serde_json::Value {
+    json!({
+        "arch": std::env::consts::ARCH,
+        "os": std::env::consts::OS,
+        "cores": std::thread::available_parallelism().map_or(1, usize::from),
+        "cpu_model": cpu_model(),
+    })
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Times `kernel` (which returns its op count) `reps` times after one
+/// unrecorded warm-up; the median is the upper median for even
+/// `reps`.
+fn measure<F>(name: &str, unit: &str, reps: usize, mut kernel: F) -> BenchResult
+where
+    F: FnMut() -> u64,
+{
+    let reps = reps.max(1);
+    let mut ops = kernel();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        ops = kernel();
+        let ns = start.elapsed().as_nanos() as f64;
+        samples.push(ns / ops.max(1) as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    BenchResult {
+        name: name.to_owned(),
+        unit: unit.to_owned(),
+        ops,
+        median_ns_per_op: samples[samples.len() / 2],
+    }
+}
+
+/// The engine suite: serial single-thread campaigns over three §3
+/// mechanisms (the `nsc trials` hot path end to end) plus the raw
+/// generators under them.
+///
+/// # Panics
+///
+/// Never in practice: every kernel runs a validated plan.
+#[must_use]
+pub fn engine_suite(profile: Profile, reps: usize) -> SuiteReport {
+    let (len, trials) = profile.campaign();
+    let mut results = Vec::new();
+    for (name, mechanism) in [
+        ("campaign_unsync", Mechanism::Unsynchronized),
+        ("campaign_counter", Mechanism::Counter),
+        ("campaign_slotted", Mechanism::Slotted { slot_len: 8 }),
+    ] {
+        let plan = TrialPlan::new(mechanism, 2, len, 0.5);
+        results.push(measure(name, "trial", reps, || {
+            let summary = run_campaign(&EngineConfig::serial(7), &plan, trials).unwrap();
+            black_box(summary.rate.mean);
+            trials as u64
+        }));
+    }
+    let draws = profile.rng_draws();
+    results.push(measure("trial_rng", "draw", reps, || {
+        let mut rng = TrialRng::seed_from_u64(1);
+        let mut acc = 0u64;
+        for _ in 0..draws {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        black_box(acc);
+        draws
+    }));
+    results.push(measure("std_rng", "draw", reps, || {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut acc = 0u64;
+        for _ in 0..draws {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        black_box(acc);
+        draws
+    }));
+    SuiteReport {
+        suite: "engine".to_owned(),
+        profile: profile.name().to_owned(),
+        reps,
+        results,
+    }
+}
+
+/// The trace suite: the manual JSONL writer against the serde
+/// rendering it replaced, and the canonical-line reader fast path
+/// against the serde fallback.
+///
+/// # Panics
+///
+/// Never in practice: the synthetic trace satisfies every format
+/// invariant.
+#[must_use]
+pub fn trace_suite(profile: Profile, reps: usize) -> SuiteReport {
+    use nsc_trace::{read_trace, write_trace, TraceHeader};
+
+    let sends = profile.trace_sends();
+    let events = synthetic_events(sends);
+    let (file, written) = serialized_trace(sends);
+    // The same trace with one extra space inside each event object:
+    // equally valid JSON, but off the canonical byte shape, so every
+    // line takes the reader's serde fallback.
+    let fallback_file: String = String::from_utf8(file.clone())
+        .unwrap()
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 0 {
+                format!("{line}\n")
+            } else {
+                format!("{{ {}\n", &line[1..])
+            }
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    results.push(measure("trace_write_manual", "event", reps, || {
+        let mut sink = Vec::with_capacity(file.len());
+        write_trace(&mut sink, &TraceHeader::new(2), events.iter().copied()).unwrap();
+        black_box(sink.len());
+        written
+    }));
+    results.push(measure("trace_write_serde", "event", reps, || {
+        // The pre-optimization writer body: one serde_json string
+        // per event.
+        let mut sink = Vec::with_capacity(file.len());
+        for event in &events {
+            sink.extend_from_slice(serde_json::to_string(event).unwrap().as_bytes());
+            sink.push(b'\n');
+        }
+        black_box(sink.len());
+        written
+    }));
+    results.push(measure("trace_read_canonical", "event", reps, || {
+        let (_, parsed) = read_trace(file.as_slice()).unwrap();
+        black_box(parsed.len()) as u64
+    }));
+    results.push(measure("trace_read_serde", "event", reps, || {
+        let (_, parsed) = read_trace(fallback_file.as_bytes()).unwrap();
+        black_box(parsed.len()) as u64
+    }));
+    SuiteReport {
+        suite: "trace".to_owned(),
+        profile: profile.name().to_owned(),
+        reps,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_report_every_kernel() {
+        let engine = engine_suite(Profile::Quick, 1);
+        let names: Vec<&str> = engine.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "campaign_unsync",
+                "campaign_counter",
+                "campaign_slotted",
+                "trial_rng",
+                "std_rng"
+            ]
+        );
+        for r in &engine.results {
+            assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
+            assert!(r.ops > 0, "{}: {r:?}", r.name);
+        }
+
+        let trace = trace_suite(Profile::Quick, 1);
+        let names: Vec<&str> = trace.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "trace_write_manual",
+                "trace_write_serde",
+                "trace_read_canonical",
+                "trace_read_serde"
+            ]
+        );
+        assert!(trace.median("trace_write_manual").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fingerprint_has_stable_keys() {
+        let fp = machine_fingerprint();
+        for key in ["arch", "os", "cores", "cpu_model"] {
+            assert!(fp.get(key).is_some(), "missing {key}");
+        }
+        assert!(fp["cores"].as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in [Profile::Quick, Profile::Full] {
+            assert_eq!(Profile::parse(p.name()), Some(p));
+        }
+        assert_eq!(Profile::parse("leisurely"), None);
+    }
+}

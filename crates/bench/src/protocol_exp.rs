@@ -80,6 +80,7 @@ pub fn rows_e3_cfg(cfg: &EngineConfig) -> Vec<E3Row> {
             uses_per_symbol: out.channel_uses as f64 / msg.len() as f64,
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E3.
@@ -183,6 +184,7 @@ pub fn rows_e4_cfg(cfg: &EngineConfig) -> Vec<E4Row> {
             thm4_upper: erasure_upper_bound(E4_BITS, p_d).expect("valid").value(),
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E4.
@@ -273,6 +275,7 @@ pub fn rows_e6_cfg(cfg: &EngineConfig) -> Vec<E6Row> {
             rate: out.rate(E6_BITS).value(),
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E6.
@@ -346,6 +349,7 @@ pub fn rows_e7_cfg(q: f64, cfg: &EngineConfig) -> Vec<E7Row> {
         let out = run_slotted(&msg, &mut s, slot_len, usize::MAX).expect("valid run");
         out.reliable_rate(E7_BITS).value()
     })
+    .expect("engine delivered every row")
     .into_iter()
     .fold(0.0f64, f64::max);
     // Perfect feedback: counter protocol.
@@ -423,7 +427,8 @@ pub fn run_e7_cfg(cfg: &EngineConfig) -> String {
             ]);
         }
         format!("\n### q = {q}\n\n{}", t.render())
-    });
+    })
+    .expect("engine delivered every row");
     for s in sections {
         out.push_str(&s);
     }

@@ -1,0 +1,86 @@
+//! Shared benchmark fixtures.
+//!
+//! The criterion benches under `benches/` and the in-process
+//! [`crate::perf`] suites measure the same kernels, so they must
+//! measure the same inputs. Each fixture here is deterministic —
+//! seeded RNG or no RNG at all — so a benchmark's input bytes are
+//! stable across runs and across the two harnesses.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_trace::{write_trace, TraceEvent, TraceEventKind, TraceHeader};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded random message over a `bits`-wide alphabet.
+///
+/// # Panics
+///
+/// Panics when `bits` is outside the alphabet's supported range.
+#[must_use]
+pub fn message(bits: u32, len: usize, seed: u64) -> Vec<Symbol> {
+    let a = Alphabet::new(bits).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| a.random(&mut rng)).collect()
+}
+
+/// Passes a bit string through a deletion-only binary channel and
+/// returns the received bits.
+///
+/// # Panics
+///
+/// Panics when `p_d` is not a probability.
+#[must_use]
+pub fn through_channel(bits: &[bool], p_d: f64, seed: u64) -> Vec<bool> {
+    let ch =
+        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::deletion_only(p_d).unwrap());
+    let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ch.transmit(&input, &mut rng)
+        .received
+        .iter()
+        .map(|s| s.index() == 1)
+        .collect()
+}
+
+/// A deterministic stationary trace of roughly `2.3 * sends` events
+/// over a 2-bit alphabet: every fourth send is deleted, every eighth
+/// delivery attempt is preceded by an insertion. No RNG — the bench
+/// input is byte-stable across runs.
+#[must_use]
+pub fn synthetic_events(sends: u64) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(3 * sends as usize);
+    let mut tick = 0u64;
+    for i in 0..sends {
+        events.push(TraceEvent::new(tick, TraceEventKind::Send((i % 4) as u32)));
+        tick += 1;
+        if i % 4 == 0 {
+            events.push(TraceEvent::new(
+                tick,
+                TraceEventKind::Delete((i % 4) as u32),
+            ));
+        } else {
+            if i % 8 == 1 {
+                events.push(TraceEvent::new(tick, TraceEventKind::Insert(0)));
+            }
+            events.push(TraceEvent::new(tick, TraceEventKind::Recv((i % 4) as u32)));
+        }
+        tick += 1;
+    }
+    events
+}
+
+/// [`synthetic_events`] serialized as an `nsc-trace/v1` file, plus
+/// the event count.
+///
+/// # Panics
+///
+/// Never in practice: the synthetic events satisfy every writer
+/// invariant.
+#[must_use]
+pub fn serialized_trace(sends: u64) -> (Vec<u8>, u64) {
+    let events = synthetic_events(sends);
+    let mut file = Vec::new();
+    let written = write_trace(&mut file, &TraceHeader::new(2), events).unwrap();
+    (file, written)
+}

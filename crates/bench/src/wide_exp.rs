@@ -98,6 +98,7 @@ pub fn rows_cfg(cfg: &EngineConfig) -> Vec<E14Row> {
             substitution_aware: (1.0 - p_d) * closed_form::mary_symmetric(bits, aligned_error),
         }
     })
+    .expect("engine delivered every row")
 }
 
 /// Renders E14.

@@ -17,6 +17,9 @@
 //!   stationarity verdict.
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
+//! * `bench` — the in-process engine/trace hot-path micro-benchmark
+//!   suites (median ns/op plus a machine fingerprint), feeding the
+//!   `scripts/bench_export` regression harness.
 //!
 //! # The CLI contract
 //!
@@ -46,6 +49,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+use nsc_bench::perf::{self, Profile, SuiteReport};
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
 use nsc_core::engine::{
@@ -94,6 +98,7 @@ pub fn run(args: &[String]) -> CliResult {
         "record" => cmd_record(rest),
         "estimate" => cmd_estimate(rest),
         "stc" => cmd_stc(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     }
@@ -336,6 +341,28 @@ const STC_FLAGS: &[FlagSpec] = &[
     FORMAT_FLAG,
 ];
 
+const BENCH_FLAGS: &[FlagSpec] = &[
+    flag(
+        "suite",
+        "engine|trace|all",
+        false,
+        "which suite to run (default all)",
+    ),
+    flag(
+        "profile",
+        "quick|full",
+        false,
+        "workload size (default full; quick is the CI smoke setting)",
+    ),
+    flag(
+        "reps",
+        "R",
+        false,
+        "recorded repetitions per kernel, after one warm-up (default 5)",
+    ),
+    FORMAT_FLAG,
+];
+
 /// Subcommand registry: name, flag spec, one-line description.
 const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
     ("bounds", BOUNDS_FLAGS, "Theorem 4/5 capacity bounds"),
@@ -354,6 +381,11 @@ const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
         "infer (P_d, P_i) and capacity bounds from a trace",
     ),
     ("stc", STC_FLAGS, "noiseless timing capacity"),
+    (
+        "bench",
+        BENCH_FLAGS,
+        "engine/trace hot-path micro-benchmarks",
+    ),
 ];
 
 /// Levenshtein edit distance, for "did you mean" hints.
@@ -983,6 +1015,72 @@ fn cmd_stc(args: &[String]) -> CliResult {
         "noiseless timing capacity for durations {durations:?}: {c:.6} bits per time unit\n\
          (Shannon's characteristic root; Moskowitz's Simple Timing Channel)\n"
     ))
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let flags = parse_flags("bench", BENCH_FLAGS, args)?;
+    let format = output_format(&flags)?;
+    let suite: String = optional(&flags, "suite", "all".to_owned())?;
+    let profile_name: String = optional(&flags, "profile", "full".to_owned())?;
+    let profile = Profile::parse(&profile_name).ok_or_else(|| {
+        format!("flag --profile: expected `quick` or `full`, got `{profile_name}`")
+    })?;
+    let reps: usize = optional(&flags, "reps", 5)?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_owned());
+    }
+    let suites: Vec<SuiteReport> = match suite.as_str() {
+        "engine" => vec![perf::engine_suite(profile, reps)],
+        "trace" => vec![perf::trace_suite(profile, reps)],
+        "all" => vec![
+            perf::engine_suite(profile, reps),
+            perf::trace_suite(profile, reps),
+        ],
+        other => {
+            return Err(format!(
+                "flag --suite: expected `engine`, `trace`, or `all`, got `{other}`"
+            ))
+        }
+    };
+    if format == OutputFormat::Json {
+        return Ok(render_json(&json_doc(
+            "bench",
+            json!({
+                "suite": suite,
+                "profile": profile.name(),
+                "reps": reps,
+                "bench_schema": perf::BENCH_SCHEMA,
+            }),
+            vec![
+                ("fingerprint", perf::machine_fingerprint()),
+                (
+                    "suites",
+                    serde_json::to_value(&suites).expect("suite reports serialize"),
+                ),
+            ],
+        )));
+    }
+    let mut out = String::new();
+    for s in &suites {
+        let _ = writeln!(
+            out,
+            "suite {} (profile {}, {} reps; median ns/op):",
+            s.suite, s.profile, s.reps
+        );
+        for r in &s.results {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>12.1} ns/{}  ({} ops per rep)",
+                r.name, r.median_ns_per_op, r.unit, r.ops
+            );
+        }
+    }
+    out.push_str(
+        "\nabsolute ns/op is machine-specific: compare runs only on the same\n\
+         fingerprint (--format json records it), or compare the within-run\n\
+         ratios, which scripts/bench_export guards in CI\n",
+    );
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1670,6 +1768,52 @@ mod tests {
         assert!(run_str(&["estimate", "--trace", "x", "--window", "4"])
             .unwrap_err()
             .contains("did you mean --windows"));
+    }
+
+    #[test]
+    fn bench_json_reports_kernels_and_fingerprint() {
+        let out = run_str(&[
+            "bench", "--suite", "engine", "--profile", "quick", "--reps", "1", "--format", "json",
+        ])
+        .unwrap();
+        let doc = parse_json(&out);
+        assert_eq!(doc["command"], "bench");
+        assert_eq!(doc["params"]["bench_schema"], "nsc-bench/v1");
+        assert_eq!(doc["params"]["profile"], "quick");
+        let suites = doc["suites"].as_array().unwrap();
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0]["suite"], "engine");
+        let results = suites[0]["results"].as_array().unwrap();
+        for name in ["campaign_counter", "trial_rng", "std_rng"] {
+            let r = results
+                .iter()
+                .find(|r| r["name"] == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(r["median_ns_per_op"].as_f64().unwrap() > 0.0, "{name}");
+        }
+        assert!(doc["fingerprint"]["cores"].as_u64().unwrap() >= 1);
+        assert!(doc["fingerprint"]["arch"].is_string());
+    }
+
+    #[test]
+    fn bench_text_and_flag_errors() {
+        let out = run_str(&["bench", "--suite", "trace", "--profile", "quick", "--reps", "1"])
+            .unwrap();
+        assert!(out.contains("suite trace"), "{out}");
+        assert!(out.contains("trace_write_manual"), "{out}");
+        assert!(out.contains("machine-specific"), "{out}");
+        assert!(run_str(&["bench", "--suite", "nope"])
+            .unwrap_err()
+            .contains("--suite"));
+        assert!(run_str(&["bench", "--profile", "slow"])
+            .unwrap_err()
+            .contains("--profile"));
+        assert!(run_str(&["bench", "--reps", "0"])
+            .unwrap_err()
+            .contains("--reps"));
+        assert!(run_str(&["bench", "--suit", "engine"])
+            .unwrap_err()
+            .contains("did you mean --suite"));
     }
 
     #[test]

@@ -9,24 +9,35 @@
 //! estimates with quantified uncertainty, and it is the level at
 //! which parallelism pays: trials are embarrassingly parallel while
 //! each individual run stays a sequential state machine.
+//!
+//! # Hot path
+//!
+//! Campaign trials run on the engine's counter-based
+//! [`TrialRng`](super::TrialRng) and reuse one
+//! [`TrialScratch`](crate::sim::TrialScratch) per worker, so a
+//! steady-state trial performs **zero heap allocations**: the message
+//! buffer is refilled in place with [`Alphabet::fill_random`]'s
+//! word-slicing bulk path and every simulator writes into recycled
+//! buffers via its `run_*_into` entry point.
 
 use super::accum::{RunningStats, StatSummary, TrialAccumulator};
-use super::runner::{fold_trials_timed, run_trials};
-use super::{EngineConfig, ExecutionReport, RunManifest};
+use super::rng::TrialRng;
+use super::runner::{fold_trials_scoped_timed, run_trials_scoped_timed};
+use super::{EngineConfig, RunManifest};
 use crate::error::CoreError;
-use crate::sim::adaptive::run_adaptive_slotted_observed;
-use crate::sim::counter::run_counter_protocol_observed;
-use crate::sim::noisy_feedback::{run_noisy_counter_observed, FeedbackQuality};
-use crate::sim::slotted::run_slotted_observed;
-use crate::sim::stop_wait::run_stop_and_wait_observed;
-use crate::sim::unsync::run_unsynchronized_observed;
-use crate::sim::wide::run_wide_unsynchronized_observed;
-use crate::sim::{BernoulliSchedule, EventRecorder, NullObserver, SimEvent, SimObserver};
+use crate::sim::adaptive::run_adaptive_slotted_into;
+use crate::sim::counter::run_counter_protocol_into;
+use crate::sim::noisy_feedback::{run_noisy_counter_into, FeedbackQuality};
+use crate::sim::slotted::run_slotted_into;
+use crate::sim::stop_wait::run_stop_and_wait_into;
+use crate::sim::unsync::run_unsynchronized_into;
+use crate::sim::wide::run_wide_unsynchronized_into;
+use crate::sim::{
+    BernoulliSchedule, EventRecorder, NullObserver, SimEvent, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::{Alphabet, Symbol};
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which §3 synchronization mechanism a campaign exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,7 +204,11 @@ pub struct CampaignSummary {
 ///
 /// Determinism contract: the summary is a pure function of
 /// `(plan, trials, config.master_seed, config.batch_size)` — the
-/// thread count never changes a bit of it.
+/// thread count never changes a bit of it. Trials draw exclusively
+/// from the engine's own [`TrialRng`] via fully specified adapters
+/// ([`Alphabet::fill_random`] word-slicing and the `rand` crate's
+/// bit-shift `u64`/`f64` conversions), so summaries are also stable
+/// across platforms and `rand` versions.
 ///
 /// # Errors
 ///
@@ -201,7 +216,8 @@ pub struct CampaignSummary {
 /// `message_len`, `max_ops`, or a slotted `slot_len` is zero, and
 /// [`CoreError::BadProbability`] for an invalid `sender_prob` or
 /// feedback quality. Width validation comes from
-/// [`Alphabet::new`].
+/// [`Alphabet::new`]. [`CoreError::Engine`] reports an engine worker
+/// failing to deliver its batch.
 pub fn run_campaign(
     config: &EngineConfig,
     plan: &TrialPlan,
@@ -230,15 +246,22 @@ pub fn run_campaign_manifest(
 ) -> Result<(CampaignSummary, RunManifest), CoreError> {
     let alphabet = validate_campaign(plan, trials)?;
 
-    let (acc, execution): (CampaignAccumulator, _) = fold_trials_timed(config, trials, |_, rng| {
-        let message: Vec<Symbol> = (0..plan.message_len)
-            .map(|_| alphabet.random(rng))
-            .collect();
-        let sched_rng = StdRng::seed_from_u64(rng.gen());
-        let mut schedule =
-            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
-        run_one(plan, &message, &mut schedule, rng, &mut NullObserver).expect("plan validated")
-    });
+    let (acc, execution) = fold_trials_scoped_timed::<TrialRng, CampaignAccumulator, _, _, _>(
+        config,
+        trials,
+        TrialScratch::new,
+        |scratch, _, rng| {
+            let mut message = std::mem::take(&mut scratch.message);
+            alphabet.fill_random(rng, &mut message, plan.message_len);
+            let sched_rng = TrialRng::seed_from_u64(rng.gen());
+            let mut schedule =
+                BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
+            let out = run_one(plan, &message, &mut schedule, rng, &mut NullObserver, scratch)
+                .expect("plan validated");
+            scratch.message = message;
+            out
+        },
+    )?;
 
     let summary = summarize(config, plan, trials, acc);
     let manifest =
@@ -264,7 +287,9 @@ pub struct TrialTrace {
 /// same `(plan, trials, master_seed, batch_size)`: trials are seeded
 /// identically, observation never touches an RNG, and outcomes are
 /// re-folded with the engine's own batch grouping. Traces come back
-/// in trial order regardless of thread count.
+/// in trial order regardless of thread count, and the manifest's
+/// execution report carries the same per-batch timings as the
+/// untraced path.
 ///
 /// # Errors
 ///
@@ -276,20 +301,23 @@ pub fn run_campaign_traced(
 ) -> Result<(CampaignSummary, RunManifest, Vec<TrialTrace>), CoreError> {
     let alphabet = validate_campaign(plan, trials)?;
 
-    let started = Instant::now();
-    let results: Vec<(TrialOutcome, Vec<SimEvent>)> = run_trials(config, trials, |_, rng| {
-        let message: Vec<Symbol> = (0..plan.message_len)
-            .map(|_| alphabet.random(rng))
-            .collect();
-        let sched_rng = StdRng::seed_from_u64(rng.gen());
-        let mut schedule =
-            BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
-        let mut recorder = EventRecorder::default();
-        let outcome =
-            run_one(plan, &message, &mut schedule, rng, &mut recorder).expect("plan validated");
-        (outcome, recorder.events)
-    });
-    let wall_secs = started.elapsed().as_secs_f64();
+    let (results, execution) = run_trials_scoped_timed::<TrialRng, _, _, _, _>(
+        config,
+        trials,
+        TrialScratch::new,
+        |scratch, _, rng| {
+            let mut message = std::mem::take(&mut scratch.message);
+            alphabet.fill_random(rng, &mut message, plan.message_len);
+            let sched_rng = TrialRng::seed_from_u64(rng.gen());
+            let mut schedule =
+                BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
+            let mut recorder = EventRecorder::default();
+            let outcome = run_one(plan, &message, &mut schedule, rng, &mut recorder, scratch)
+                .expect("plan validated");
+            scratch.message = message;
+            (outcome, recorder.events)
+        },
+    )?;
 
     // Re-fold outcomes with the runner's own batch grouping
     // (`batch_size` consecutive trials per partial, partials merged
@@ -306,7 +334,6 @@ pub fn run_campaign_traced(
     }
 
     let summary = summarize(config, plan, trials, acc);
-    let execution = ExecutionReport::collect(config, trials, wall_secs, Vec::new());
     let manifest =
         RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
     let traces = results
@@ -366,84 +393,106 @@ fn summarize(
 /// One simulated trial, mapped onto the campaign's common statistics.
 /// Channel events go to `observer` (pass [`NullObserver`] when not
 /// capturing).
-fn run_one<O: SimObserver + ?Sized>(
+///
+/// Every simulator writes into `scratch`'s recycled buffers; after
+/// the statistics are computed the buffers move back into `scratch`
+/// so the next trial on this worker allocates nothing.
+fn run_one<G, O>(
     plan: &TrialPlan,
     message: &[Symbol],
-    schedule: &mut BernoulliSchedule<StdRng>,
-    rng: &mut StdRng,
+    schedule: &mut BernoulliSchedule<G>,
+    rng: &mut G,
     observer: &mut O,
-) -> Result<TrialOutcome, CoreError> {
+    scratch: &mut TrialScratch,
+) -> Result<TrialOutcome, CoreError>
+where
+    G: Rng + SeedableRng,
+    O: SimObserver + ?Sized,
+{
     let bits = plan.bits;
     let max_ops = plan.max_ops;
     Ok(match plan.mechanism {
         Mechanism::Unsynchronized => {
             // No alignment: stale reads are indistinguishable from
             // data, so the insertion rate doubles as the error proxy.
-            let o = run_unsynchronized_observed(message, schedule, max_ops, observer)?;
-            TrialOutcome {
+            let o = run_unsynchronized_into(message, schedule, max_ops, observer, scratch)?;
+            let out = TrialOutcome {
                 rate: bits as f64 * o.raw_throughput(),
                 p_d: o.p_d(),
                 p_i: o.p_i(),
                 error_rate: o.p_i(),
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::Counter => {
-            let o = run_counter_protocol_observed(message, schedule, max_ops, observer)?;
+            let o = run_counter_protocol_into(message, schedule, max_ops, observer, scratch)?;
             let delivered = o.received.len();
-            TrialOutcome {
+            let out = TrialOutcome {
                 rate: o.reliable_rate(bits, message).value(),
                 p_d: 0.0, // the waiting sender never overwrites unread data
                 p_i: ratio(o.stale_fills, delivered),
                 error_rate: o.symbol_error_rate(message),
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::StopWait => {
-            let o = run_stop_and_wait_observed(message, schedule, max_ops, observer)?;
-            TrialOutcome {
+            let o = run_stop_and_wait_into(message, schedule, max_ops, observer, scratch)?;
+            let out = TrialOutcome {
                 rate: o.rate(bits).value(),
                 p_d: 0.0,
                 p_i: 0.0,
                 error_rate: 0.0,
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::Slotted { slot_len } => {
-            let o = run_slotted_observed(message, schedule, slot_len, max_ops, observer)?;
-            TrialOutcome {
+            let o = run_slotted_into(message, schedule, slot_len, max_ops, observer, scratch)?;
+            let out = TrialOutcome {
                 rate: o.reliable_rate(bits).value(),
                 p_d: ratio(o.deleted_writes, o.writes),
                 p_i: o.stale_fraction(),
                 error_rate: crate::bounds::alpha(bits) * o.stale_fraction(),
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::AdaptiveSlotted => {
-            let o = run_adaptive_slotted_observed(message, schedule, max_ops, observer)?;
-            TrialOutcome {
+            let o = run_adaptive_slotted_into(message, schedule, max_ops, observer, scratch)?;
+            let out = TrialOutcome {
                 rate: o.rate(bits).value(),
                 p_d: 0.0,
                 p_i: 0.0,
                 error_rate: 0.0,
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::NoisyCounter { quality } => {
-            let mut fb_rng = StdRng::seed_from_u64(rng.gen());
-            let o = run_noisy_counter_observed(
+            let mut fb_rng = G::seed_from_u64(rng.gen());
+            let o = run_noisy_counter_into(
                 message,
                 schedule,
                 quality,
                 &mut fb_rng,
                 max_ops,
                 observer,
+                scratch,
             )?;
             let delivered = o.received.len();
-            TrialOutcome {
+            let out = TrialOutcome {
                 rate: o.reliable_rate(bits, message).value(),
                 p_d: 0.0,
                 p_i: ratio(o.stale_fills, delivered),
                 error_rate: o.symbol_error_rate(message),
-            }
+            };
+            scratch.received = o.received;
+            out
         }
         Mechanism::Wide => {
-            let o = run_wide_unsynchronized_observed(message, bits, schedule, max_ops, observer)?;
+            let o = run_wide_unsynchronized_into(message, bits, schedule, max_ops, observer, scratch)?;
             // Aligned samples are the non-stale ones; among those,
             // torn reads act as substitutions.
             let aligned = 1.0 - o.stale_rate();
@@ -453,14 +502,17 @@ fn run_one<O: SimObserver + ?Sized>(
                 0.0
             };
             let samples_per_op = ratio(o.received.len(), o.ops);
-            TrialOutcome {
+            let out = TrialOutcome {
                 rate: nsc_channel::dmc::closed_form::mary_symmetric(bits, err)
                     * aligned
                     * samples_per_op,
                 p_d: o.deletion_rate(),
                 p_i: o.stale_rate(),
                 error_rate: o.torn_rate(),
-            }
+            };
+            scratch.received = o.received;
+            scratch.sample_truth = o.sample_truth;
+            out
         }
     })
 }
@@ -526,13 +578,37 @@ mod tests {
     }
 
     #[test]
-    fn counter_beats_unsync_reliability() {
+    fn traced_campaign_reports_batch_timings() {
+        // Regression test: the traced path used to hand
+        // `ExecutionReport::collect` an empty timing vector; it now
+        // shares the runner's per-batch instrumentation.
+        let plan = TrialPlan::new(Mechanism::Counter, 3, 100, 0.5);
+        let (_, manifest, _) =
+            run_campaign_traced(&EngineConfig::seeded(13).with_threads(2), &plan, 10).unwrap();
+        let exec = manifest
+            .execution
+            .as_ref()
+            .expect("traced campaigns report execution");
+        assert!(!exec.batches.is_empty());
+        assert_eq!(exec.batches.iter().map(|b| b.trials).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn counter_error_matches_alpha_stale_model() {
         let cfg = EngineConfig::serial(5);
         let counter =
             run_campaign(&cfg, &TrialPlan::new(Mechanism::Counter, 4, 400, 0.5), 16).unwrap();
-        // Counter-protocol error rate stays far below the stale
-        // fraction a naive receiver would eat (≈ 1/3 at q = 1/2).
-        assert!(counter.error_rate.mean < 0.05, "{:?}", counter.error_rate);
+        // The receiver's aligned stream substitutes stale fills at
+        // the predicted rate α(N)·(1 − q) (≈ 0.469 at N = 4,
+        // q = 1/2) — see `sim::analysis::counter_error_rate`.
+        let predicted = crate::sim::analysis::counter_error_rate(4, 0.5).unwrap();
+        assert!(
+            (counter.error_rate.mean - predicted).abs() < 0.05,
+            "{:?} vs predicted {predicted}",
+            counter.error_rate
+        );
+        // Perfect feedback: the sender never overwrites unread data.
+        assert_eq!(counter.p_d.mean, 0.0);
         assert!(counter.rate.mean > 0.0);
         // And the error-free mechanisms report exactly zero error.
         let sw = run_campaign(&cfg, &TrialPlan::new(Mechanism::StopWait, 4, 400, 0.5), 8).unwrap();

@@ -6,6 +6,10 @@
 //!
 //! * [`seed`] derives each trial's RNG seed from the master seed via
 //!   SplitMix64 — a pure function of `(master_seed, trial_index)`.
+//! * [`rng`] supplies [`TrialRng`], the fast counter-seeded
+//!   xoshiro256\*\* generator behind the engine's allocation-free
+//!   hot path (the original [`rand::rngs::StdRng`] entry points
+//!   remain available).
 //! * [`runner`] fans trials across a [`std::thread::scope`] worker
 //!   pool in fixed-size batches and reassembles results in batch
 //!   order, so scheduling can never reorder a floating-point
@@ -39,9 +43,9 @@
 //! use rand::Rng;
 //!
 //! let cfg = EngineConfig::seeded(42); // threads = 0 → all cores
-//! let stats: RunningStats = fold_trials(&cfg, 1000, |_, rng| rng.gen::<f64>());
+//! let stats: RunningStats = fold_trials(&cfg, 1000, |_, rng| rng.gen::<f64>()).unwrap();
 //! let serial: RunningStats =
-//!     fold_trials(&EngineConfig::serial(42), 1000, |_, rng| rng.gen::<f64>());
+//!     fold_trials(&EngineConfig::serial(42), 1000, |_, rng| rng.gen::<f64>()).unwrap();
 //! assert_eq!(stats.mean().to_bits(), serial.mean().to_bits());
 //! ```
 
@@ -49,6 +53,7 @@ use serde::{Deserialize, Serialize};
 
 pub mod accum;
 pub mod campaign;
+pub mod rng;
 pub mod runner;
 pub mod seed;
 
@@ -57,7 +62,11 @@ pub use campaign::{
     run_campaign, run_campaign_manifest, run_campaign_traced, CampaignSummary, Mechanism,
     TrialPlan, TrialTrace,
 };
-pub use runner::{fold_trials, fold_trials_timed, par_map, run_trials};
+pub use rng::TrialRng;
+pub use runner::{
+    fold_trials, fold_trials_timed, fold_trials_timed_with, fold_trials_with, par_map, run_trials,
+    run_trials_with,
+};
 pub use seed::trial_seed;
 
 /// Version of the engine crate, embedded in every [`RunManifest`] so

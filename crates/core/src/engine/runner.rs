@@ -4,10 +4,20 @@
 //! only on the trial count and the configured batch size — never on
 //! the thread count. Idle workers claim the next batch index from an
 //! atomic cursor (work stealing by index), compute the whole batch,
-//! and ship the result back tagged with its index; the engine then
-//! reassembles (or merges) strictly in batch-index order. Together
-//! with per-trial seeding ([`super::seed::trial_seed`]) this makes
-//! every aggregate bit-identical at any `--threads` setting.
+//! and write the result into a pre-sized slot vector at that index;
+//! the engine then reassembles (or merges) strictly in batch-index
+//! order. Together with per-trial seeding
+//! ([`super::seed::trial_seed`]) this makes every aggregate
+//! bit-identical at any `--threads` setting.
+//!
+//! Two generator families plug into the same scaffolding: the
+//! original [`StdRng`] entry points ([`run_trials`], [`fold_trials`],
+//! [`fold_trials_timed`]) and the generic `_with` variants that
+//! accept any seedable generator — in particular the fast
+//! [`super::rng::TrialRng`]. Each worker also owns a reusable
+//! *context* (scratch buffers) created once per worker and threaded
+//! through every batch it claims, so steady-state trials can run
+//! without heap allocation.
 //!
 //! The pool is built on [`std::thread::scope`] so borrowed closures
 //! need no `'static` bound and a panicking trial propagates to the
@@ -16,57 +26,83 @@
 use super::accum::TrialAccumulator;
 use super::seed::trial_seed;
 use super::{BatchTiming, EngineConfig, ExecutionReport};
+use crate::error::CoreError;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
+/// One result cell of the reassembly vector. Interior mutability is
+/// sound here because the atomic cursor hands each batch index to
+/// exactly one worker, so no two threads ever touch the same slot,
+/// and the scope join publishes every write before the cells are
+/// read.
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: see `Slot` — disjoint per-index writes, read only after
+// all workers have joined.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
 /// Runs `units` independent work items and returns their results in
-/// index order. The scheduling-invariance workhorse behind
-/// [`run_trials`], [`fold_trials`] and [`par_map`].
-fn batched<R, W>(config: &EngineConfig, units: usize, work: W) -> Vec<R>
+/// index order. Each worker builds one context with `init` and reuses
+/// it for every unit it claims. The scheduling-invariance workhorse
+/// behind every public entry point.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if a unit finished without
+/// depositing a result — which can only happen if the pool logic
+/// itself is broken, so the error exists to fail loudly instead of
+/// panicking deep inside an unwrap.
+fn batched_ctx<R, C, I, W>(
+    config: &EngineConfig,
+    units: usize,
+    init: I,
+    work: W,
+) -> Result<Vec<R>, CoreError>
 where
     R: Send,
-    W: Fn(usize) -> R + Sync,
+    I: Fn() -> C + Sync,
+    W: Fn(&mut C, usize) -> R + Sync,
 {
     let threads = config.effective_threads().min(units.max(1));
-    let mut out: Vec<Option<R>> = Vec::with_capacity(units);
-    out.resize_with(units, || None);
     if threads <= 1 {
-        for (b, slot) in out.iter_mut().enumerate() {
-            *slot = Some(work(b));
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        thread::scope(|s| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let work = &work;
-                s.spawn(move || loop {
+        let mut ctx = init();
+        return Ok((0..units).map(|b| work(&mut ctx, b)).collect());
+    }
+    let slots: Vec<Slot<R>> = (0..units).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let slots = &slots;
+            let cursor = &cursor;
+            let init = &init;
+            let work = &work;
+            s.spawn(move || {
+                let mut ctx = init();
+                loop {
                     let b = cursor.fetch_add(1, Ordering::Relaxed);
                     if b >= units {
                         break;
                     }
-                    let r = work(b);
-                    if tx.send((b, r)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            // Collect on the scope's own thread; ends when every
-            // worker has dropped its sender.
-            for (b, r) in rx {
-                out[b] = Some(r);
-            }
-        });
-    }
-    out.into_iter()
-        .map(|r| r.expect("every unit completed"))
+                    let r = work(&mut ctx, b);
+                    // SAFETY: `b` came from a fetch_add, so this
+                    // thread is the only writer of slot `b`.
+                    unsafe { *slots[b].0.get() = Some(r) };
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(b, slot)| {
+            slot.0
+                .into_inner()
+                .ok_or_else(|| CoreError::Engine(format!("batch {b} produced no result")))
+        })
         .collect()
 }
 
@@ -88,21 +124,53 @@ fn batch_count(config: &EngineConfig, trials: usize) -> usize {
 /// `trial_fn` receives the trial index and a [`StdRng`] seeded with
 /// [`trial_seed`]`(master_seed, index)`; it must derive all its
 /// randomness from that RNG for the determinism contract to hold.
-pub fn run_trials<T, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> Vec<T>
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn run_trials<T, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> Result<Vec<T>, CoreError>
 where
     T: Send,
     F: Fn(u64, &mut StdRng) -> T + Sync,
 {
-    let batches = batched(config, batch_count(config, trials), |b| {
-        let (lo, hi) = batch_bounds(config, trials, b);
-        (lo..hi)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
-                trial_fn(i as u64, &mut rng)
-            })
-            .collect::<Vec<T>>()
-    });
-    batches.into_iter().flatten().collect()
+    run_trials_with::<StdRng, T, F>(config, trials, trial_fn)
+}
+
+/// [`run_trials`] generalized over the generator type: `G` is seeded
+/// per trial with `G::seed_from_u64(trial_seed(master_seed, index))`.
+/// Use [`super::rng::TrialRng`] for allocation- and
+/// key-schedule-free trials.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn run_trials_with<G, T, F>(
+    config: &EngineConfig,
+    trials: usize,
+    trial_fn: F,
+) -> Result<Vec<T>, CoreError>
+where
+    G: RngCore + SeedableRng,
+    T: Send,
+    F: Fn(u64, &mut G) -> T + Sync,
+{
+    let batches = batched_ctx(
+        config,
+        batch_count(config, trials),
+        || (),
+        |(), b| {
+            let (lo, hi) = batch_bounds(config, trials, b);
+            (lo..hi)
+                .map(|i| {
+                    let mut rng = G::seed_from_u64(trial_seed(config.master_seed, i as u64));
+                    trial_fn(i as u64, &mut rng)
+                })
+                .collect::<Vec<T>>()
+        },
+    )?;
+    Ok(batches.into_iter().flatten().collect())
 }
 
 /// Runs `trials` trials and folds their outcomes into a single
@@ -112,25 +180,55 @@ where
 /// partials are then merged in ascending batch index. Both the batch
 /// boundaries and the merge order are independent of the thread
 /// count, so the result is **bit-identical** for any `--threads`.
-pub fn fold_trials<A, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> A
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn fold_trials<A, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> Result<A, CoreError>
 where
-    A: TrialAccumulator + Default,
+    A: TrialAccumulator + Default + Send,
     F: Fn(u64, &mut StdRng) -> A::Outcome + Sync,
 {
-    let partials = batched(config, batch_count(config, trials), |b| {
-        let (lo, hi) = batch_bounds(config, trials, b);
-        let mut acc = A::default();
-        for i in lo..hi {
-            let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
-            acc.record(trial_fn(i as u64, &mut rng));
-        }
-        acc
-    });
+    fold_trials_with::<StdRng, A, F>(config, trials, trial_fn)
+}
+
+/// [`fold_trials`] generalized over the generator type (see
+/// [`run_trials_with`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn fold_trials_with<G, A, F>(
+    config: &EngineConfig,
+    trials: usize,
+    trial_fn: F,
+) -> Result<A, CoreError>
+where
+    G: RngCore + SeedableRng,
+    A: TrialAccumulator + Default + Send,
+    F: Fn(u64, &mut G) -> A::Outcome + Sync,
+{
+    let partials = batched_ctx(
+        config,
+        batch_count(config, trials),
+        || (),
+        |(), b| {
+            let (lo, hi) = batch_bounds(config, trials, b);
+            let mut acc = A::default();
+            for i in lo..hi {
+                let mut rng = G::seed_from_u64(trial_seed(config.master_seed, i as u64));
+                acc.record(trial_fn(i as u64, &mut rng));
+            }
+            acc
+        },
+    )?;
     let mut total = A::default();
     for p in partials {
         total.merge(p);
     }
-    total
+    Ok(total)
 }
 
 /// [`fold_trials`], additionally reporting how the run executed:
@@ -141,23 +239,72 @@ where
 /// same config — timing is observed around the work, never threaded
 /// into it — so callers can surface the [`ExecutionReport`] while
 /// keeping the statistics inside the determinism contract.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
 pub fn fold_trials_timed<A, F>(
     config: &EngineConfig,
     trials: usize,
     trial_fn: F,
-) -> (A, ExecutionReport)
+) -> Result<(A, ExecutionReport), CoreError>
 where
-    A: TrialAccumulator + Default,
+    A: TrialAccumulator + Default + Send,
     F: Fn(u64, &mut StdRng) -> A::Outcome + Sync,
 {
+    fold_trials_timed_with::<StdRng, A, F>(config, trials, trial_fn)
+}
+
+/// [`fold_trials_timed`] generalized over the generator type (see
+/// [`run_trials_with`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn fold_trials_timed_with<G, A, F>(
+    config: &EngineConfig,
+    trials: usize,
+    trial_fn: F,
+) -> Result<(A, ExecutionReport), CoreError>
+where
+    G: RngCore + SeedableRng,
+    A: TrialAccumulator + Default + Send,
+    F: Fn(u64, &mut G) -> A::Outcome + Sync,
+{
+    fold_trials_scoped_timed::<G, A, (), _, _>(config, trials, || (), |(), i, rng| {
+        trial_fn(i, rng)
+    })
+}
+
+/// The scratch-threading fold: like [`fold_trials_timed_with`], but
+/// every worker builds one context with `init` and the trial closure
+/// receives it mutably — the engine's zero-allocation hot path.
+///
+/// The context is *observational* state (buffers); trial outcomes
+/// must remain a pure function of `(trial_index, rng)` for the
+/// determinism contract to hold.
+pub(crate) fn fold_trials_scoped_timed<G, A, C, I, F>(
+    config: &EngineConfig,
+    trials: usize,
+    init: I,
+    trial_fn: F,
+) -> Result<(A, ExecutionReport), CoreError>
+where
+    G: RngCore + SeedableRng,
+    A: TrialAccumulator + Default + Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, &mut G) -> A::Outcome + Sync,
+{
     let started = Instant::now();
-    let partials = batched(config, batch_count(config, trials), |b| {
+    let partials = batched_ctx(config, batch_count(config, trials), init, |ctx, b| {
         let (lo, hi) = batch_bounds(config, trials, b);
         let batch_started = Instant::now();
         let mut acc = A::default();
         for i in lo..hi {
-            let mut rng = StdRng::seed_from_u64(trial_seed(config.master_seed, i as u64));
-            acc.record(trial_fn(i as u64, &mut rng));
+            let mut rng = G::seed_from_u64(trial_seed(config.master_seed, i as u64));
+            acc.record(trial_fn(ctx, i as u64, &mut rng));
         }
         let timing = BatchTiming {
             batch: b,
@@ -165,7 +312,7 @@ where
             wall_secs: batch_started.elapsed().as_secs_f64(),
         };
         (acc, timing)
-    });
+    })?;
     let mut total = A::default();
     let mut batches = Vec::with_capacity(partials.len());
     for (p, timing) in partials {
@@ -173,25 +320,74 @@ where
         batches.push(timing);
     }
     let report = ExecutionReport::collect(config, trials, started.elapsed().as_secs_f64(), batches);
-    (total, report)
+    Ok((total, report))
+}
+
+/// The scratch-threading run: like [`run_trials_with`] but with a
+/// per-worker context and an [`ExecutionReport`] with per-batch
+/// timings (see [`fold_trials_scoped_timed`]).
+pub(crate) fn run_trials_scoped_timed<G, T, C, I, F>(
+    config: &EngineConfig,
+    trials: usize,
+    init: I,
+    trial_fn: F,
+) -> Result<(Vec<T>, ExecutionReport), CoreError>
+where
+    G: RngCore + SeedableRng,
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, &mut G) -> T + Sync,
+{
+    let started = Instant::now();
+    let partials = batched_ctx(config, batch_count(config, trials), init, |ctx, b| {
+        let (lo, hi) = batch_bounds(config, trials, b);
+        let batch_started = Instant::now();
+        let outs: Vec<T> = (lo..hi)
+            .map(|i| {
+                let mut rng = G::seed_from_u64(trial_seed(config.master_seed, i as u64));
+                trial_fn(ctx, i as u64, &mut rng)
+            })
+            .collect();
+        let timing = BatchTiming {
+            batch: b,
+            trials: hi - lo,
+            wall_secs: batch_started.elapsed().as_secs_f64(),
+        };
+        (outs, timing)
+    })?;
+    let mut out = Vec::with_capacity(trials);
+    let mut batches = Vec::with_capacity(partials.len());
+    for (outs, timing) in partials {
+        out.extend(outs);
+        batches.push(timing);
+    }
+    let report = ExecutionReport::collect(config, trials, started.elapsed().as_secs_f64(), batches);
+    Ok((out, report))
 }
 
 /// Maps `f` over `items` in parallel, returning results in input
 /// order. For deterministic-per-item work (grid points, experiment
 /// rows) that needs no RNG plumbing; each item is its own batch.
-pub fn par_map<T, U, F>(config: &EngineConfig, items: &[T], f: F) -> Vec<U>
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn par_map<T, U, F>(config: &EngineConfig, items: &[T], f: F) -> Result<Vec<U>, CoreError>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    batched(config, items.len(), |i| f(i, &items[i]))
+    batched_ctx(config, items.len(), || (), |(), i| f(i, &items[i]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::accum::RunningStats;
+    use super::super::rng::TrialRng;
     use super::*;
+    use proptest::prelude::*;
     use rand::Rng;
 
     fn cfg(threads: usize) -> EngineConfig {
@@ -200,18 +396,31 @@ mod tests {
 
     #[test]
     fn run_trials_identical_across_thread_counts() {
-        let serial: Vec<u64> = run_trials(&cfg(1), 103, |_, rng| rng.gen::<u64>());
+        let serial: Vec<u64> = run_trials(&cfg(1), 103, |_, rng| rng.gen::<u64>()).unwrap();
         for threads in [2, 4, 8] {
-            let parallel = run_trials(&cfg(threads), 103, |_, rng| rng.gen::<u64>());
+            let parallel = run_trials(&cfg(threads), 103, |_, rng| rng.gen::<u64>()).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn trialrng_path_identical_across_thread_counts() {
+        let serial: Vec<u64> =
+            run_trials_with::<TrialRng, _, _>(&cfg(1), 103, |_, rng| rng.gen::<u64>()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                run_trials_with::<TrialRng, _, _>(&cfg(threads), 103, |_, rng| rng.gen::<u64>())
+                    .unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
         }
     }
 
     #[test]
     fn fold_trials_bit_identical_across_thread_counts() {
-        let serial: RunningStats = fold_trials(&cfg(1), 257, |_, rng| rng.gen::<f64>());
+        let serial: RunningStats = fold_trials(&cfg(1), 257, |_, rng| rng.gen::<f64>()).unwrap();
         for threads in [2, 4, 8] {
-            let parallel: RunningStats = fold_trials(&cfg(threads), 257, |_, rng| rng.gen::<f64>());
+            let parallel: RunningStats =
+                fold_trials(&cfg(threads), 257, |_, rng| rng.gen::<f64>()).unwrap();
             // Bitwise equality, not approximate: fixed batch
             // boundaries + in-order merge is the whole point.
             assert_eq!(serial.mean().to_bits(), parallel.mean().to_bits());
@@ -222,10 +431,21 @@ mod tests {
 
     #[test]
     fn trial_fn_sees_index_matched_seed() {
-        let outs = run_trials(&cfg(4), 50, |i, rng| (i, rng.gen::<u64>()));
+        let outs = run_trials(&cfg(4), 50, |i, rng| (i, rng.gen::<u64>())).unwrap();
         for (k, (i, v)) in outs.iter().enumerate() {
             assert_eq!(*i, k as u64);
             let mut expect = StdRng::seed_from_u64(trial_seed(99, k as u64));
+            assert_eq!(*v, expect.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn trialrng_trial_fn_sees_index_matched_seed() {
+        let outs =
+            run_trials_with::<TrialRng, _, _>(&cfg(4), 50, |i, rng| (i, rng.gen::<u64>())).unwrap();
+        for (k, (i, v)) in outs.iter().enumerate() {
+            assert_eq!(*i, k as u64);
+            let mut expect = TrialRng::from_trial(99, k as u64);
             assert_eq!(*v, expect.gen::<u64>());
         }
     }
@@ -236,17 +456,18 @@ mod tests {
         let squares = par_map(&cfg(8), &items, |i, &x| {
             assert_eq!(i, x);
             x * x
-        });
+        })
+        .unwrap();
         assert_eq!(squares, items.iter().map(|x| x * x).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_trials_and_empty_items() {
-        let v: Vec<u8> = run_trials(&cfg(4), 0, |_, _| 0u8);
+        let v: Vec<u8> = run_trials(&cfg(4), 0, |_, _| 0u8).unwrap();
         assert!(v.is_empty());
-        let s: RunningStats = fold_trials(&cfg(4), 0, |_, rng| rng.gen::<f64>());
+        let s: RunningStats = fold_trials(&cfg(4), 0, |_, rng| rng.gen::<f64>()).unwrap();
         assert_eq!(s.count(), 0);
-        let m: Vec<u8> = par_map(&cfg(4), &[] as &[u8], |_, &x| x);
+        let m: Vec<u8> = par_map(&cfg(4), &[] as &[u8], |_, &x| x).unwrap();
         assert!(m.is_empty());
     }
 
@@ -254,8 +475,8 @@ mod tests {
     fn auto_threads_still_deterministic() {
         let auto = EngineConfig::seeded(7); // threads = 0 → all cores
         let one = EngineConfig::serial(7);
-        let a: RunningStats = fold_trials(&auto, 64, |_, rng| rng.gen::<f64>());
-        let b: RunningStats = fold_trials(&one, 64, |_, rng| rng.gen::<f64>());
+        let a: RunningStats = fold_trials(&auto, 64, |_, rng| rng.gen::<f64>()).unwrap();
+        let b: RunningStats = fold_trials(&one, 64, |_, rng| rng.gen::<f64>()).unwrap();
         assert_eq!(a.mean().to_bits(), b.mean().to_bits());
     }
 
@@ -263,9 +484,9 @@ mod tests {
     fn timed_fold_matches_untimed_and_reports_batches() {
         for threads in [1usize, 4] {
             let c = cfg(threads);
-            let plain: RunningStats = fold_trials(&c, 100, |_, rng| rng.gen::<f64>());
+            let plain: RunningStats = fold_trials(&c, 100, |_, rng| rng.gen::<f64>()).unwrap();
             let (timed, report): (RunningStats, _) =
-                fold_trials_timed(&c, 100, |_, rng| rng.gen::<f64>());
+                fold_trials_timed(&c, 100, |_, rng| rng.gen::<f64>()).unwrap();
             assert_eq!(plain.mean().to_bits(), timed.mean().to_bits());
             assert_eq!(plain.variance().to_bits(), timed.variance().to_bits());
             assert_eq!(report.threads_requested, threads);
@@ -277,6 +498,51 @@ mod tests {
                 assert!(b.wall_secs >= 0.0);
             }
             assert!(report.wall_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scoped_run_reports_batches_and_reuses_context() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let c = cfg(1);
+        let (outs, report) = run_trials_scoped_timed::<StdRng, _, _, _, _>(
+            &c,
+            100,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::with_capacity(64)
+            },
+            |buf, i, _| {
+                buf.clear();
+                buf.push(i as u8);
+                buf[0]
+            },
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 100);
+        assert_eq!(outs[9], 9);
+        // Serial path: exactly one context for the whole run.
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(report.batches.len(), 100usize.div_ceil(c.batch_size));
+        assert_eq!(report.batches.iter().map(|b| b.trials).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn scoped_fold_matches_unscoped() {
+        for threads in [1usize, 4] {
+            let c = cfg(threads);
+            let plain: RunningStats =
+                fold_trials_with::<TrialRng, _, _>(&c, 100, |_, rng| rng.gen::<f64>()).unwrap();
+            let (scoped, report): (RunningStats, _) = fold_trials_scoped_timed::<TrialRng, _, _, _, _>(
+                &c,
+                100,
+                || (),
+                |(), _, rng| rng.gen::<f64>(),
+            )
+            .unwrap();
+            assert_eq!(plain.mean().to_bits(), scoped.mean().to_bits());
+            assert_eq!(report.batches.len(), 100usize.div_ceil(c.batch_size));
         }
     }
 
@@ -294,9 +560,60 @@ mod tests {
         // grouping, but each must equal its own serial run.
         for c in [tiny, huge] {
             let serial = EngineConfig { threads: 1, ..c };
-            let a: Vec<u64> = run_trials(&c, 33, |_, rng| rng.gen());
-            let b: Vec<u64> = run_trials(&serial, 33, |_, rng| rng.gen());
+            let a: Vec<u64> = run_trials(&c, 33, |_, rng| rng.gen()).unwrap();
+            let b: Vec<u64> = run_trials(&serial, 33, |_, rng| rng.gen()).unwrap();
             assert_eq!(a, b);
+        }
+    }
+
+    /// Reproduces `fold_trials`' merge from `run_trials`' outcomes:
+    /// fold each batch-sized chunk into its own accumulator, then
+    /// merge in chunk order.
+    fn manual_fold(config: &EngineConfig, outcomes: &[f64]) -> RunningStats {
+        let mut total = RunningStats::default();
+        for chunk in outcomes.chunks(config.batch_size.max(1)) {
+            let mut acc = RunningStats::default();
+            for &x in chunk {
+                acc.record(x);
+            }
+            total.merge(acc);
+        }
+        total
+    }
+
+    proptest! {
+        // Satellite: run_trials + manual fold must equal fold_trials
+        // bit-for-bit, across thread counts, for BOTH generator
+        // paths. This pins the fold to "exactly the outcome stream,
+        // grouped by batch, merged in order" — no hidden
+        // reordering, no extra RNG draws.
+        #[test]
+        fn fold_equals_manual_fold_for_both_rng_paths(
+            trials in 0usize..200,
+            master in any::<u64>(),
+        ) {
+            for threads in [1usize, 2, 7] {
+                let c = EngineConfig::seeded(master).with_threads(threads);
+
+                let outs = run_trials(&c, trials, |_, rng| rng.gen::<f64>()).unwrap();
+                let manual = manual_fold(&c, &outs);
+                let folded: RunningStats =
+                    fold_trials(&c, trials, |_, rng| rng.gen::<f64>()).unwrap();
+                prop_assert_eq!(manual.count(), folded.count());
+                prop_assert_eq!(manual.mean().to_bits(), folded.mean().to_bits());
+                prop_assert_eq!(manual.variance().to_bits(), folded.variance().to_bits());
+
+                let outs =
+                    run_trials_with::<TrialRng, _, _>(&c, trials, |_, rng| rng.gen::<f64>())
+                        .unwrap();
+                let manual = manual_fold(&c, &outs);
+                let folded: RunningStats =
+                    fold_trials_with::<TrialRng, _, _>(&c, trials, |_, rng| rng.gen::<f64>())
+                        .unwrap();
+                prop_assert_eq!(manual.count(), folded.count());
+                prop_assert_eq!(manual.mean().to_bits(), folded.mean().to_bits());
+                prop_assert_eq!(manual.variance().to_bits(), folded.variance().to_bits());
+            }
         }
     }
 }

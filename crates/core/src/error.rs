@@ -25,6 +25,9 @@ pub enum CoreError {
     Channel(ChannelError),
     /// An underlying numerical error.
     Numeric(InfoError),
+    /// The trial engine failed to execute a run (e.g. a worker died
+    /// before delivering its batch).
+    Engine(String),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::BadSimulation(msg) => write!(f, "bad simulation setup: {msg}"),
             CoreError::Channel(e) => write!(f, "channel error: {e}"),
             CoreError::Numeric(e) => write!(f, "numerical error: {e}"),
+            CoreError::Engine(msg) => write!(f, "engine failure: {msg}"),
         }
     }
 }
@@ -92,6 +96,7 @@ mod tests {
             CoreError::BadSimulation("empty message".to_owned()),
             CoreError::Channel(ChannelError::BadSymbolWidth(0)),
             CoreError::Numeric(InfoError::InvalidProbability(3.0)),
+            CoreError::Engine("batch 3 produced no result".to_owned()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -18,7 +18,9 @@
 //! Figure 5.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{
+    Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -115,15 +117,37 @@ pub fn run_counter_protocol_observed<S: OpSchedule + ?Sized, O: SimObserver + ?S
     max_ops: usize,
     observer: &mut O,
 ) -> Result<CounterOutcome, CoreError> {
+    run_counter_protocol_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+}
+
+/// [`run_counter_protocol_observed`], reusing `scratch`'s received
+/// buffer instead of allocating one. The outcome takes ownership of
+/// the buffer; move `outcome.received` back into `scratch.received`
+/// after reducing the outcome to keep subsequent trials
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_counter_protocol_into<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<CounterOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
     if max_ops == 0 {
         return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
     }
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
     let mut mailbox = Mailbox::new();
     let mut out = CounterOutcome {
-        received: Vec::new(),
+        received,
         ops: 0,
         sender_ops: 0,
         receiver_ops: 0,

@@ -45,6 +45,7 @@ pub mod wide;
 use nsc_channel::alphabet::Symbol;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The two communicating subjects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -313,6 +314,46 @@ impl SimObserver for EventRecorder {
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     fn observe(&mut self, event: SimEvent) {
         (**self).observe(event);
+    }
+}
+
+/// Reusable buffers for the protocol runners' `run_*_into` entry
+/// points — the engine's allocation-free hot path.
+///
+/// Each runner *takes* the buffers it needs (leaving empty vectors
+/// behind), runs with them, and either restores internal buffers
+/// itself (ack queue, bit region) or hands ownership to its outcome
+/// (received stream, sample truth), in which case the caller is
+/// expected to move them back once it has reduced the outcome —
+/// see `engine::campaign`. Because a taken-and-never-restored buffer
+/// is just an empty `Vec`, forgetting to restore costs a fresh
+/// allocation on the next trial, never correctness.
+///
+/// Buffers are observational state: a runner's outcome is identical
+/// whether the scratch arrives hot (capacity from a previous trial)
+/// or cold ([`TrialScratch::default`]).
+#[derive(Debug, Clone, Default)]
+pub struct TrialScratch {
+    /// Message under transmission (filled by the campaign driver).
+    pub message: Vec<Symbol>,
+    /// The receiver's symbol stream.
+    pub received: Vec<Symbol>,
+    /// Ground-truth sample classification (wide/torn-write runs).
+    pub sample_truth: Vec<wide::SampleKind>,
+    /// In-flight feedback publications (noisy-counter runs).
+    pub acks: VecDeque<usize>,
+    /// The wide shared region's bit array.
+    pub region: Vec<bool>,
+    /// Event log for traced runs.
+    pub events: Vec<SimEvent>,
+}
+
+impl TrialScratch {
+    /// Empty scratch; buffers grow to steady-state capacity during
+    /// the first trial that uses them.
+    #[must_use]
+    pub fn new() -> Self {
+        TrialScratch::default()
     }
 }
 

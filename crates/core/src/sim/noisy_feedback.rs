@@ -21,11 +21,12 @@
 //! information rate".
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{
+    Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Feedback imperfection knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,6 +157,43 @@ where
     R: rand::Rng + ?Sized,
     O: SimObserver + ?Sized,
 {
+    run_noisy_counter_into(
+        message,
+        schedule,
+        quality,
+        rng,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`run_noisy_counter_observed`], reusing `scratch`'s received
+/// buffer and ack queue instead of allocating them. The ack queue is
+/// restored to the scratch before returning; the outcome takes
+/// ownership of the received buffer — move `outcome.received` back
+/// into `scratch.received` after reducing the outcome to keep
+/// subsequent trials allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message or zero
+/// `max_ops`, and propagates [`FeedbackQuality::validated`] errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_noisy_counter_into<S, R, O>(
+    message: &[Symbol],
+    schedule: &mut S,
+    quality: FeedbackQuality,
+    rng: &mut R,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<NoisyCounterOutcome, CoreError>
+where
+    S: OpSchedule + ?Sized,
+    R: rand::Rng + ?Sized,
+    O: SimObserver + ?Sized,
+{
     let quality = quality.validated()?;
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
@@ -163,9 +201,11 @@ where
     if max_ops == 0 {
         return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
     }
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
     let mut mailbox = Mailbox::new();
     let mut out = NoisyCounterOutcome {
-        received: Vec::new(),
+        received,
         ops: 0,
         waits: 0,
         stale_fills: 0,
@@ -174,7 +214,8 @@ where
     let mut s_count = 0usize;
     let mut r_count = 0usize;
     // Pipeline of published counts; the sender sees the front.
-    let mut pipeline: VecDeque<usize> = VecDeque::new();
+    let mut pipeline = std::mem::take(&mut scratch.acks);
+    pipeline.clear();
     let mut sender_view = 0usize;
     while out.ops < max_ops && r_count < message.len() {
         let Some(party) = schedule.next_op() else {
@@ -245,6 +286,7 @@ where
         }
     }
     out.received.truncate(message.len());
+    scratch.acks = pipeline;
     Ok(out)
 }
 

@@ -12,7 +12,9 @@
 //! never beat perfect feedback — experiment E7 measures the gap.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{
+    Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -106,6 +108,34 @@ pub fn run_slotted_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
     max_ops: usize,
     observer: &mut O,
 ) -> Result<SlottedOutcome, CoreError> {
+    run_slotted_into(
+        message,
+        schedule,
+        slot_len,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`run_slotted_observed`], reusing `scratch`'s received buffer
+/// instead of allocating one. The outcome takes ownership of the
+/// buffer; move `outcome.received` back into `scratch.received`
+/// after reducing the outcome to keep subsequent trials
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty,
+/// `slot_len` is zero, or `max_ops` is zero.
+pub fn run_slotted_into<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    slot_len: usize,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<SlottedOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -115,9 +145,11 @@ pub fn run_slotted_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
     if max_ops == 0 {
         return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
     }
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
     let mut mailbox = Mailbox::new();
     let mut out = SlottedOutcome {
-        received: Vec::new(),
+        received,
         ops: 0,
         deleted_writes: 0,
         stale_reads: 0,

@@ -11,7 +11,9 @@
 //! exactly that wasted time.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{
+    Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::Symbol;
 use nsc_info::BitsPerTick;
 use serde::{Deserialize, Serialize};
@@ -98,19 +100,41 @@ pub fn run_stop_and_wait_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Size
     max_ops: usize,
     observer: &mut O,
 ) -> Result<StopWaitOutcome, CoreError> {
+    run_stop_and_wait_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+}
+
+/// [`run_stop_and_wait_observed`], reusing `scratch`'s received
+/// buffer instead of allocating one. The outcome takes ownership of
+/// the buffer; move `outcome.received` back into `scratch.received`
+/// after reducing the outcome to keep subsequent trials
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_stop_and_wait_into<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<StopWaitOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
     if max_ops == 0 {
         return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
     }
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
     let mut mailbox = Mailbox::new();
     // The two synchronization variables of Figure 1. `data_ready`
     // is written by the sender, read by the receiver; `acked` the
     // other way round. Initially the channel is idle and acked.
     let mut data_ready = false;
     let mut out = StopWaitOutcome {
-        received: Vec::new(),
+        received,
         ops: 0,
         sender_waits: 0,
         receiver_waits: 0,

@@ -7,7 +7,9 @@
 //! — the inputs to the paper's estimation recipe.
 
 use crate::error::CoreError;
-use crate::sim::{Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{
+    Mailbox, NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::Symbol;
 use serde::{Deserialize, Serialize};
 
@@ -112,15 +114,37 @@ pub fn run_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Siz
     max_ops: usize,
     observer: &mut O,
 ) -> Result<UnsyncOutcome, CoreError> {
+    run_unsynchronized_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+}
+
+/// [`run_unsynchronized_observed`], reusing `scratch`'s received
+/// buffer instead of allocating one. The outcome takes ownership of
+/// the buffer; move `outcome.received` back into `scratch.received`
+/// after reducing the outcome to keep subsequent trials
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] when the message is empty or
+/// `max_ops` is zero.
+pub fn run_unsynchronized_into<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<UnsyncOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
     if max_ops == 0 {
         return Err(CoreError::BadSimulation("max_ops is zero".to_owned()));
     }
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
     let mut mailbox = Mailbox::new();
     let mut out = UnsyncOutcome {
-        received: Vec::new(),
+        received,
         ops: 0,
         writes: 0,
         deleted_writes: 0,

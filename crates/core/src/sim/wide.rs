@@ -17,7 +17,7 @@
 //! = deletion; re-read = insertion.
 
 use crate::error::CoreError;
-use crate::sim::{NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver};
+use crate::sim::{NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +129,36 @@ pub fn run_wide_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver +
     max_ops: usize,
     observer: &mut O,
 ) -> Result<WideOutcome, CoreError> {
+    run_wide_unsynchronized_into(
+        message,
+        bits,
+        schedule,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
+}
+
+/// [`run_wide_unsynchronized_observed`], reusing `scratch`'s
+/// received, sample-truth and bit-region buffers instead of
+/// allocating them. The region is restored to the scratch before
+/// returning; the outcome takes ownership of the other two — move
+/// `outcome.received` / `outcome.sample_truth` back into the scratch
+/// after reducing the outcome to keep subsequent trials
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSimulation`] for an empty message, a
+/// symbol outside the `bits`-wide alphabet, or zero `max_ops`.
+pub fn run_wide_unsynchronized_into<S: OpSchedule + ?Sized, O: SimObserver + ?Sized>(
+    message: &[Symbol],
+    bits: u32,
+    schedule: &mut S,
+    max_ops: usize,
+    observer: &mut O,
+    scratch: &mut TrialScratch,
+) -> Result<WideOutcome, CoreError> {
     if message.is_empty() {
         return Err(CoreError::BadSimulation("message is empty".to_owned()));
     }
@@ -144,10 +174,16 @@ pub fn run_wide_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver +
         }
     }
     let width = bits as usize;
-    let mut region = vec![false; width];
+    let mut region = std::mem::take(&mut scratch.region);
+    region.clear();
+    region.resize(width, false);
+    let mut received = std::mem::take(&mut scratch.received);
+    received.clear();
+    let mut sample_truth = std::mem::take(&mut scratch.sample_truth);
+    sample_truth.clear();
     let mut out = WideOutcome {
-        received: Vec::new(),
-        sample_truth: Vec::new(),
+        received,
+        sample_truth,
         ops: 0,
         symbols_written: 0,
         deletions: 0,
@@ -223,6 +259,7 @@ pub fn run_wide_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver +
             }
         }
     }
+    scratch.region = region;
     Ok(out)
 }
 

@@ -187,7 +187,7 @@ pub fn sweep_bounds_with(
             bits,
             bounds,
         })
-    });
+    })?;
     let points = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(CapacitySweep { points, skipped })
 }

@@ -226,6 +226,102 @@ impl RawEvent {
     }
 }
 
+/// Renders `event` into `buf` (cleared first) in exactly the bytes
+/// `serde_json::to_string(&RawEvent::from_event(event))` would
+/// produce: `{"t":N,"ev":"kind"}` for acks,
+/// `{"t":N,"ev":"kind","sym":M}` otherwise, with no whitespace.
+///
+/// This is the writer's allocation-free fast path: all event fields
+/// are integers or fixed strings, so hand-rolling the line skips the
+/// serde machinery entirely. Byte identity with the serde renderer is
+/// pinned by tests in this module and in the integration suite.
+pub(crate) fn render_event_line(buf: &mut Vec<u8>, event: &TraceEvent) {
+    buf.clear();
+    buf.extend_from_slice(b"{\"t\":");
+    push_u64(buf, event.tick);
+    buf.extend_from_slice(b",\"ev\":\"");
+    buf.extend_from_slice(event.kind.name().as_bytes());
+    buf.push(b'"');
+    if let Some(sym) = event.kind.symbol() {
+        buf.extend_from_slice(b",\"sym\":");
+        push_u64(buf, u64::from(sym));
+    }
+    buf.push(b'}');
+}
+
+/// Appends `value` in decimal to `buf`.
+fn push_u64(buf: &mut Vec<u8>, mut value: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[at..]);
+}
+
+/// Parses one body line **only when it has the exact canonical shape**
+/// [`render_event_line`] produces — the reader's fast path. Any
+/// deviation (whitespace, reordered keys, leading zeros, unknown
+/// kinds, a `sym` on an ack, trailing bytes, out-of-range integers)
+/// returns `None`, and the caller falls back to the strict serde
+/// path, so acceptance and error reporting are bit-for-bit unchanged.
+pub(crate) fn parse_canonical_event(line: &str) -> Option<TraceEvent> {
+    let rest = line.as_bytes().strip_prefix(b"{\"t\":")?;
+    let (tick, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(b",\"ev\":\"")?;
+    // Kind names are fixed; match the name and closing quote at once.
+    let (name_len, sym_required) = match rest {
+        [b's', b'e', b'n', b'd', b'"', ..] => (5, true),
+        [b'r', b'e', b'c', b'v', b'"', ..] => (5, true),
+        [b'd', b'e', b'l', b'"', ..] => (4, true),
+        [b'i', b'n', b's', b'"', ..] => (4, true),
+        [b'a', b'c', b'k', b'"', ..] => (4, false),
+        _ => return None,
+    };
+    let kind_name = &rest[..name_len - 1];
+    let rest = &rest[name_len..];
+    let (sym, rest) = if sym_required {
+        let rest = rest.strip_prefix(b",\"sym\":")?;
+        let (sym, rest) = take_u64(rest)?;
+        (Some(u32::try_from(sym).ok()?), rest)
+    } else {
+        (None, rest)
+    };
+    if rest != b"}" {
+        return None;
+    }
+    let kind = match (kind_name, sym) {
+        (b"send", Some(s)) => TraceEventKind::Send(s),
+        (b"recv", Some(s)) => TraceEventKind::Recv(s),
+        (b"del", Some(s)) => TraceEventKind::Delete(s),
+        (b"ins", Some(s)) => TraceEventKind::Insert(s),
+        (b"ack", None) => TraceEventKind::Ack,
+        _ => return None,
+    };
+    Some(TraceEvent { tick, kind })
+}
+
+/// Reads a canonical JSON integer (digits, no leading zero unless the
+/// value is exactly `0`, no overflow) off the front of `bytes`.
+fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let digits = bytes.iter().take_while(|b| b.is_ascii_digit()).count();
+    if digits == 0 || (digits > 1 && bytes[0] == b'0') {
+        return None;
+    }
+    let mut value = 0u64;
+    for &b in &bytes[..digits] {
+        value = value
+            .checked_mul(10)?
+            .checked_add(u64::from(b - b'0'))?;
+    }
+    Some((value, &bytes[digits..]))
+}
+
 impl Serialize for TraceEvent {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         RawEvent::from_event(self).serialize(serializer)
@@ -300,6 +396,64 @@ mod tests {
             assert_eq!(serde_json::to_string(&event).unwrap(), wire);
             let back: TraceEvent = serde_json::from_str(wire).unwrap();
             assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn manual_renderer_matches_serde_byte_for_byte() {
+        let mut buf = Vec::new();
+        for tick in [0u64, 1, 9, 10, 12345, u64::MAX] {
+            for kind in [
+                TraceEventKind::Send(0),
+                TraceEventKind::Recv(1),
+                TraceEventKind::Delete(65_535),
+                TraceEventKind::Insert(u32::MAX),
+                TraceEventKind::Ack,
+            ] {
+                let event = TraceEvent::new(tick, kind);
+                render_event_line(&mut buf, &event);
+                let serde_line = serde_json::to_string(&RawEvent::from_event(&event)).unwrap();
+                assert_eq!(buf, serde_line.as_bytes(), "{serde_line}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_parser_inverts_renderer() {
+        let mut buf = Vec::new();
+        for tick in [0u64, 7, 1_000_000, u64::MAX] {
+            for kind in [
+                TraceEventKind::Send(3),
+                TraceEventKind::Recv(0),
+                TraceEventKind::Delete(12),
+                TraceEventKind::Insert(u32::MAX),
+                TraceEventKind::Ack,
+            ] {
+                let event = TraceEvent::new(tick, kind);
+                render_event_line(&mut buf, &event);
+                let line = std::str::from_utf8(&buf).unwrap();
+                assert_eq!(parse_canonical_event(line), Some(event), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_parser_rejects_every_deviation() {
+        // Valid JSON the serde path accepts, but not canonical — the
+        // fast path must step aside, not guess.
+        for non_canonical in [
+            "{\"ev\":\"send\",\"t\":0,\"sym\":1}", // reordered keys
+            "{\"t\": 0,\"ev\":\"send\",\"sym\":1}", // whitespace
+            "{\"t\":00,\"ev\":\"ack\"}",          // leading zero
+            "{\"t\":0,\"ev\":\"ack\"} ",          // trailing bytes
+            "{\"t\":0,\"ev\":\"ack\",\"sym\":1}", // ack with sym
+            "{\"t\":0,\"ev\":\"warp\",\"sym\":1}", // unknown kind
+            "{\"t\":0,\"ev\":\"send\"}",          // missing sym
+            "{\"t\":0,\"ev\":\"send\",\"sym\":4294967296}", // sym > u32
+            "{\"t\":18446744073709551616,\"ev\":\"ack\"}", // tick > u64
+            "",
+        ] {
+            assert_eq!(parse_canonical_event(non_canonical), None, "{non_canonical}");
         }
     }
 

@@ -385,7 +385,7 @@ impl InferenceBuilder {
         }
         let p_d = RateEstimate::from_counts(totals.deletions, totals.sends)?;
         let p_i = RateEstimate::from_counts(totals.insertions, totals.deliveries())?;
-        let stationarity = scan_windows(&self.blocks, &totals, windows, threads);
+        let stationarity = scan_windows(&self.blocks, &totals, windows, threads)?;
         Ok(TraceInference {
             counts: totals,
             p_d,
@@ -402,7 +402,7 @@ fn scan_windows(
     totals: &EventCounts,
     windows: usize,
     threads: usize,
-) -> StationarityScan {
+) -> Result<StationarityScan, TraceError> {
     let wanted = windows.max(1).min(blocks.len().max(1));
     let mut grouped: Vec<EventCounts> = Vec::with_capacity(wanted);
     if blocks.is_empty() {
@@ -440,18 +440,19 @@ fn scan_windows(
             z_p_d: two_proportion_z(counts.deletions, counts.sends, rest_dels, rest_sends),
             z_p_i: two_proportion_z(counts.insertions, counts.deliveries(), rest_ins, rest_deliv),
         }
-    });
+    })
+    .map_err(|e| TraceError::Inference(e.to_string()))?;
     let flagged: Vec<usize> = stats
         .iter()
         .filter(|s| s.z_p_d.abs() > threshold || s.z_p_i.abs() > threshold)
         .map(|s| s.window)
         .collect();
-    StationarityScan {
+    Ok(StationarityScan {
         stationary: flagged.is_empty(),
         windows: stats,
         threshold,
         flagged,
-    }
+    })
 }
 
 fn ratio(num: u64, den: u64) -> f64 {

@@ -1,7 +1,7 @@
 //! Validating, streaming JSONL reader for `nsc-trace/v1` streams.
 
 use crate::error::TraceError;
-use crate::format::{RawEvent, TraceEvent, TraceHeader};
+use crate::format::{parse_canonical_event, RawEvent, TraceEvent, TraceHeader};
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
@@ -145,11 +145,20 @@ impl<R: BufRead> TraceReader<R> {
                 "blank line inside the event stream",
             ));
         }
-        let raw: RawEvent =
-            serde_json::from_str(line).map_err(|e| TraceError::json(self.line, &e))?;
-        let event = raw
-            .into_event()
-            .map_err(|msg| TraceError::malformed(self.line, msg))?;
+        // Fast path: the exact canonical line shape our own writer
+        // produces parses without serde. Anything else — reordered
+        // keys, whitespace, or an actual defect — falls back to the
+        // strict serde path, so foreign-but-valid lines still parse
+        // and errors keep their exact positions and messages.
+        let event = match parse_canonical_event(line) {
+            Some(event) => event,
+            None => {
+                let raw: RawEvent =
+                    serde_json::from_str(line).map_err(|e| TraceError::json(self.line, &e))?;
+                raw.into_event()
+                    .map_err(|msg| TraceError::malformed(self.line, msg))?
+            }
+        };
         if let Some(sym) = event.kind.symbol() {
             if u64::from(sym) >= 1u64 << self.header.alphabet_bits {
                 return Err(TraceError::malformed(
@@ -278,6 +287,28 @@ mod tests {
             // Poisoned after the error: no resynchronisation.
             assert!(reader.read_event().unwrap().is_none());
         }
+    }
+
+    #[test]
+    fn non_canonical_but_valid_lines_still_parse_via_fallback() {
+        // Reordered keys and whitespace skip the fast path but are
+        // legal JSON for the strict wire shape — the serde fallback
+        // must accept them exactly as before.
+        let text = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"alphabet_bits\":2}}\n\
+             {{\"ev\":\"send\",\"t\":0,\"sym\":1}}\n\
+             {{\"t\": 1, \"ev\": \"recv\", \"sym\": 1}}\n\
+             {{\"sym\":2,\"ev\":\"ins\",\"t\":4}}\n"
+        );
+        let (_, events) = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::new(0, TraceEventKind::Send(1)),
+                TraceEvent::new(1, TraceEventKind::Recv(1)),
+                TraceEvent::new(4, TraceEventKind::Insert(2)),
+            ]
+        );
     }
 
     #[test]

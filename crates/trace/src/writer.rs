@@ -1,7 +1,7 @@
 //! Validating JSONL writer for `nsc-trace/v1` streams.
 
 use crate::error::TraceError;
-use crate::format::{RawEvent, TraceEvent, TraceHeader};
+use crate::format::{render_event_line, TraceEvent, TraceHeader};
 use std::io::Write;
 
 /// A streaming trace writer.
@@ -31,6 +31,11 @@ pub struct TraceWriter<W: Write> {
     bits: u32,
     events: u64,
     last_tick: Option<u64>,
+    /// Reusable line buffer for the manual serializer: event lines
+    /// are all-integer, so rendering them by hand (byte-identical to
+    /// the serde form — pinned by tests) keeps the per-event path
+    /// allocation-free.
+    line_buf: Vec<u8>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -53,6 +58,7 @@ impl<W: Write> TraceWriter<W> {
             bits: header.alphabet_bits,
             events: 0,
             last_tick: None,
+            line_buf: Vec::with_capacity(64),
         })
     }
 
@@ -85,10 +91,9 @@ impl<W: Write> TraceWriter<W> {
                 ));
             }
         }
-        let json = serde_json::to_string(&RawEvent::from_event(&event))
-            .map_err(|e| TraceError::json(line, &e))?;
-        self.sink.write_all(json.as_bytes())?;
-        self.sink.write_all(b"\n")?;
+        render_event_line(&mut self.line_buf, &event);
+        self.line_buf.push(b'\n');
+        self.sink.write_all(&self.line_buf)?;
         self.events += 1;
         self.last_tick = Some(event.tick);
         Ok(())
@@ -169,6 +174,26 @@ mod tests {
         assert!(err.to_string().contains("line 3"), "{err}");
         assert!(err.to_string().contains("decreases"), "{err}");
         assert_eq!(w.events_written(), 1);
+    }
+
+    #[test]
+    fn manual_lines_are_byte_identical_to_serde_rendering() {
+        use crate::format::RawEvent;
+        let events = vec![
+            TraceEvent::new(0, TraceEventKind::Send(3)),
+            TraceEvent::new(0, TraceEventKind::Delete(0)),
+            TraceEvent::new(1, TraceEventKind::Recv(3)),
+            TraceEvent::new(7, TraceEventKind::Insert(2)),
+            TraceEvent::new(7, TraceEventKind::Ack),
+            TraceEvent::new(u64::MAX, TraceEventKind::Ack),
+        ];
+        let mut out = Vec::new();
+        write_trace(&mut out, &TraceHeader::new(2), events.clone()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for (line, event) in text.lines().skip(1).zip(&events) {
+            let serde_line = serde_json::to_string(&RawEvent::from_event(event)).unwrap();
+            assert_eq!(line, serde_line);
+        }
     }
 
     #[test]

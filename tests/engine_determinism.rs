@@ -5,8 +5,8 @@
 //! and partial results merge in fixed batch order.
 
 use nsc_core::engine::{
-    fold_trials, run_campaign, run_campaign_manifest, run_trials, EngineConfig, Mechanism,
-    RunningStats, TrialPlan,
+    fold_trials, fold_trials_with, run_campaign, run_campaign_manifest, run_trials, EngineConfig,
+    Mechanism, RunningStats, TrialPlan, TrialRng,
 };
 use nsc_core::sweep::{sweep_bounds, sweep_bounds_manifest, sweep_bounds_with, Grid};
 
@@ -47,11 +47,12 @@ fn sweep_with_engine_matches_serial_sweep() {
 
 #[test]
 fn raw_trial_results_keep_trial_order() {
-    let serial: Vec<u64> = run_trials(&EngineConfig::serial(3), 100, |seed, _| seed);
+    let serial: Vec<u64> = run_trials(&EngineConfig::serial(3), 100, |seed, _| seed).unwrap();
     let parallel: Vec<u64> =
         run_trials(&EngineConfig::seeded(3).with_threads(4), 100, |seed, _| {
             seed
-        });
+        })
+        .unwrap();
     assert_eq!(serial, parallel);
     // Seeds are distinct per trial index.
     let mut sorted = serial.clone();
@@ -102,6 +103,32 @@ fn folded_statistics_bit_identical() {
             500,
             |_, rng| rng.gen::<f64>(),
         )
+        .unwrap()
+    };
+    let reference = run(1);
+    for threads in [2usize, 4, 7] {
+        let got = run(threads);
+        assert_eq!(reference.count(), got.count());
+        assert_eq!(reference.mean().to_bits(), got.mean().to_bits());
+        assert_eq!(
+            reference.variance().to_bits(),
+            got.variance().to_bits(),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn trialrng_fold_bit_identical_across_threads() {
+    // Same contract as above, on the engine's own fast generator.
+    use rand::Rng;
+    let run = |threads: usize| -> RunningStats {
+        fold_trials_with::<TrialRng, _, _>(
+            &EngineConfig::seeded(42).with_threads(threads),
+            500,
+            |_, rng| rng.gen::<f64>(),
+        )
+        .unwrap()
     };
     let reference = run(1);
     for threads in [2usize, 4, 7] {
