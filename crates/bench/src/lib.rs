@@ -32,9 +32,6 @@
 //! micro-benchmark suites behind `nsc bench` and
 //! `scripts/bench_export`.
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod ablation_exp;
 pub mod baseline_exp;
 pub mod bounds_exp;

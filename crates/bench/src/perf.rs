@@ -153,6 +153,7 @@ where
     let mut ops = kernel();
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
+        // nsc-lint: allow(wall-clock, reason = "benchmark sampling measures wall-clock by definition; medians never feed results")
         let start = Instant::now();
         ops = kernel();
         let ns = start.elapsed().as_nanos() as f64;

@@ -44,9 +44,6 @@
 //! # Ok::<(), nsc_channel::ChannelError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod alphabet;
 pub mod burst;
 pub mod di;

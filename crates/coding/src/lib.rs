@@ -33,9 +33,6 @@
 //! # Ok::<(), nsc_coding::CodingError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod bits;
 pub mod conv;
 pub mod error;

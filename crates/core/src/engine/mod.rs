@@ -19,6 +19,9 @@
 //!   merge).
 //! * [`campaign`] routes the §3 protocol simulators through the
 //!   engine as ready-made multi-trial campaigns.
+//! * `model` (compiled under `--features loom` / `--cfg loom`)
+//!   model-checks the worker pool's one-writer-per-slot protocol
+//!   across every thread interleaving.
 //!
 //! # Determinism contract
 //!
@@ -53,6 +56,8 @@ use serde::{Deserialize, Serialize};
 
 pub mod accum;
 pub mod campaign;
+#[cfg(any(loom, feature = "loom"))]
+pub mod model;
 pub mod rng;
 pub mod runner;
 pub mod seed;

@@ -1,0 +1,293 @@
+//! An exhaustive interleaving model of the slot-vector worker pool.
+//!
+//! [`super::runner`]'s `unsafe` batch reassembly rests on one claim:
+//! the atomic-cursor protocol gives every slot exactly one writer,
+//! and the scope join orders all writes before all reads. This
+//! module model-checks that claim the way `loom` would — by running
+//! an abstract version of the pool under **every** thread
+//! interleaving — without taking `loom` as a dependency: the model
+//! is a few dozen lines of pure `std` and explores the full schedule
+//! space of small configurations by depth-first search.
+//!
+//! Two claim protocols are modeled:
+//!
+//! * [`Claim::FetchAdd`] — the real pool: claiming a batch index is
+//!   one atomic read-modify-write step. RMW atomicity is exactly
+//!   what makes `Ordering::Relaxed` sufficient for mutual exclusion,
+//!   and the model verifies it: no interleaving produces a
+//!   double-claimed slot, a skipped slot, or a merge that reads an
+//!   unwritten slot.
+//! * [`Claim::LoadThenStore`] — a seeded mutant that splits the
+//!   claim into a load step and a store step, the bug a naive
+//!   "cursor" would have. The model **must** find a double-write
+//!   here; that failing run is the checker's own liveness proof,
+//!   just like the linter's seeded-violation fixture.
+//!
+//! The model covers the pool protocol (claim → write → repeat,
+//! join → ascending merge). It deliberately does not model weak
+//! memory reordering of the slot payloads themselves: the
+//! happens-before edge from `thread::scope`'s join is a Rust/C++11
+//! guarantee the model takes as an axiom, as loom does for
+//! `JoinHandle::join`.
+//!
+//! Run with `cargo test -p nsc-core --features loom` (or
+//! `RUSTFLAGS="--cfg loom" cargo test -p nsc-core`).
+
+/// Which claim protocol the model executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The real pool: `cursor.fetch_add(1)` — claim is one atomic
+    /// step.
+    FetchAdd,
+    /// The seeded bug: `let b = cursor;` then `cursor = b + 1;` as
+    /// two separately schedulable steps.
+    LoadThenStore,
+}
+
+/// A model configuration: how many abstract workers race over how
+/// many slots.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Worker thread count (keep ≤ 3: the schedule space is
+    /// factorial).
+    pub threads: usize,
+    /// Slot count (`units` in the real pool).
+    pub units: usize,
+    /// Per-execution step budget; racy protocols can livelock, so
+    /// executions longer than this are counted as `truncated` rather
+    /// than explored forever.
+    pub max_steps: usize,
+}
+
+impl ModelConfig {
+    /// A config with a budget comfortably above any fair execution's
+    /// length (`3 × (threads + 2·units) + 8`).
+    #[must_use]
+    pub fn new(threads: usize, units: usize) -> Self {
+        ModelConfig {
+            threads,
+            units,
+            max_steps: 3 * (threads + 2 * units) + 8,
+        }
+    }
+}
+
+/// What the exploration found.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Complete executions explored (every thread terminated and the
+    /// merge ran).
+    pub executions: u64,
+    /// Executions abandoned by the step budget (0 for the real
+    /// protocol, which cannot livelock).
+    pub truncated: u64,
+    /// Distinct invariant violations, each with the count of
+    /// executions exhibiting it.
+    pub violations: Vec<(String, u64)>,
+}
+
+impl Outcome {
+    /// True when no interleaving violated any invariant.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn record(&mut self, v: String) {
+        if let Some(entry) = self.violations.iter_mut().find(|(m, _)| *m == v) {
+            entry.1 += 1;
+        } else {
+            self.violations.push((v, 1));
+        }
+    }
+}
+
+/// Per-thread control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// About to claim (the single RMW step, or the load half).
+    Claim,
+    /// `LoadThenStore` only: holds the loaded cursor value, about to
+    /// store `loaded + 1`.
+    Store { loaded: usize },
+    /// Claimed slot `b`, about to write it.
+    Write { b: usize },
+    /// Terminated (observed `cursor >= units`).
+    Done,
+}
+
+/// One explorable execution state. Cloned at every branch point —
+/// states are tiny (a few words per thread/slot), and the DFS depth
+/// is bounded by the step budget.
+#[derive(Debug, Clone)]
+struct State {
+    cursor: usize,
+    /// `writes[slot]` = which threads wrote it, in write order.
+    writes: Vec<Vec<usize>>,
+    phases: Vec<Phase>,
+    steps: usize,
+}
+
+/// Exhaustively explores every interleaving of `cfg.threads` workers
+/// under the given claim protocol and checks the pool invariants:
+///
+/// 1. no slot is ever written twice (one writer per slot);
+/// 2. after all workers terminate, the ascending-index merge finds
+///    every slot written (none skipped, none unwritten).
+pub fn explore(cfg: &ModelConfig, claim: Claim) -> Outcome {
+    let mut out = Outcome::default();
+    let state = State {
+        cursor: 0,
+        writes: vec![Vec::new(); cfg.units],
+        phases: vec![Phase::Claim; cfg.threads],
+        steps: 0,
+    };
+    dfs(cfg, claim, state, &mut out);
+    out
+}
+
+fn dfs(cfg: &ModelConfig, claim: Claim, state: State, out: &mut Outcome) {
+    let runnable: Vec<usize> = (0..cfg.threads)
+        .filter(|&t| state.phases[t] != Phase::Done)
+        .collect();
+
+    if runnable.is_empty() {
+        // All workers joined: run the merge, in ascending slot
+        // order, exactly as `batched_ctx` reassembles.
+        out.executions += 1;
+        for (slot, writers) in state.writes.iter().enumerate() {
+            match writers.len() {
+                1 => {}
+                0 => out.record(format!("merge found slot {slot} unwritten")),
+                n => out.record(format!("slot {slot} written {n} times")),
+            }
+        }
+        return;
+    }
+
+    if state.steps >= cfg.max_steps {
+        out.truncated += 1;
+        return;
+    }
+
+    for t in runnable {
+        let mut s = state.clone();
+        s.steps += 1;
+        match s.phases[t] {
+            Phase::Claim => match claim {
+                Claim::FetchAdd => {
+                    // One atomic step: read and advance the cursor.
+                    // No other thread can observe the intermediate
+                    // state — that is what RMW atomicity means, at
+                    // any memory ordering.
+                    let b = s.cursor;
+                    s.cursor += 1;
+                    s.phases[t] = if b >= cfg.units {
+                        Phase::Done
+                    } else {
+                        Phase::Write { b }
+                    };
+                }
+                Claim::LoadThenStore => {
+                    // The load half: another thread may interleave
+                    // before the store half below.
+                    s.phases[t] = Phase::Store { loaded: s.cursor };
+                }
+            },
+            Phase::Store { loaded } => {
+                s.cursor = loaded + 1;
+                s.phases[t] = if loaded >= cfg.units {
+                    Phase::Done
+                } else {
+                    Phase::Write { b: loaded }
+                };
+            }
+            Phase::Write { b } => {
+                // The real pool writes through an `UnsafeCell` here;
+                // a second writer to the same slot would be the UB
+                // the SAFETY comment rules out.
+                s.writes[b].push(t);
+                if s.writes[b].len() > 1 {
+                    // Report at first occurrence but keep exploring
+                    // this branch no further: the invariant is
+                    // already broken.
+                    out.record(format!("slot {b} written {} times", s.writes[b].len()));
+                    return;
+                }
+                s.phases[t] = Phase::Claim;
+            }
+            Phase::Done => unreachable!("Done threads are filtered out of `runnable`"),
+        }
+        dfs(cfg, claim, s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_add_protocol_holds_across_all_interleavings() {
+        for (threads, units) in [(1, 3), (2, 1), (2, 2), (2, 3), (3, 2), (2, 4), (3, 3)] {
+            let out = explore(&ModelConfig::new(threads, units), Claim::FetchAdd);
+            assert!(
+                out.holds(),
+                "{threads} threads / {units} units: {:?}",
+                out.violations
+            );
+            assert!(out.executions > 0);
+            assert_eq!(
+                out.truncated, 0,
+                "the RMW protocol cannot livelock, so no execution may hit the step budget"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_execution_is_unique_and_clean() {
+        let out = explore(&ModelConfig::new(1, 4), Claim::FetchAdd);
+        assert!(out.holds());
+        assert_eq!(out.executions, 1, "one thread has exactly one schedule");
+    }
+
+    #[test]
+    fn zero_units_terminate_immediately() {
+        let out = explore(&ModelConfig::new(3, 0), Claim::FetchAdd);
+        assert!(out.holds());
+        assert!(out.executions > 0);
+    }
+
+    #[test]
+    fn contention_produces_many_interleavings() {
+        // Sanity that the explorer actually branches: 2 threads over
+        // 2 units must yield well over a handful of schedules.
+        let out = explore(&ModelConfig::new(2, 2), Claim::FetchAdd);
+        assert!(out.executions > 10, "only {} executions", out.executions);
+    }
+
+    #[test]
+    fn seeded_racy_claim_is_caught() {
+        // The checker's liveness proof: splitting the claim into
+        // load + store steps must produce a double-write in some
+        // interleaving. If this ever stops failing, the model lost
+        // its teeth.
+        let out = explore(&ModelConfig::new(2, 2), Claim::LoadThenStore);
+        assert!(
+            !out.holds(),
+            "the load-then-store mutant must violate one-writer-per-slot"
+        );
+        assert!(
+            out.violations
+                .iter()
+                .any(|(m, _)| m.contains("written 2 times")),
+            "expected a double-write violation, got {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn racy_claim_caught_even_with_three_threads() {
+        let out = explore(&ModelConfig::new(3, 2), Claim::LoadThenStore);
+        assert!(!out.holds());
+    }
+}

@@ -39,10 +39,31 @@ use std::time::Instant;
 /// exactly one worker, so no two threads ever touch the same slot,
 /// and the scope join publishes every write before the cells are
 /// read.
+///
+/// The **one-writer-per-slot invariant**, stated precisely:
+///
+/// 1. every slot index `b < units` is claimed by exactly one
+///    `fetch_add` winner (RMW atomicity: no two threads can observe
+///    the same counter value, at any memory ordering);
+/// 2. a worker writes slot `b` only after claiming `b`, and writes
+///    it exactly once;
+/// 3. no slot is read until `thread::scope` has joined every worker,
+///    and the join synchronizes-with each worker's termination, so
+///    all writes happen-before all reads.
+///
+/// (1)+(2) give mutually exclusive writes; (3) gives publication.
+/// A loom-style model checks this protocol across every
+/// interleaving — see `engine::model`, compiled under
+/// `--features loom` or `--cfg loom` — and write-once is also
+/// `debug_assert!`ed at the write site.
 struct Slot<R>(UnsafeCell<Option<R>>);
 
-// SAFETY: see `Slot` — disjoint per-index writes, read only after
-// all workers have joined.
+// SAFETY: `Sync` here promises that `&Slot<R>` may cross threads.
+// The only cross-thread access is the worker-pool protocol above:
+// writes are mutually exclusive per slot (atomic-cursor claims) and
+// reads are join-ordered after all writes, so no `&Slot` access ever
+// races. `R: Send` is required because the value written on a worker
+// thread is dropped/consumed on the merging thread.
 unsafe impl<R: Send> Sync for Slot<R> {}
 
 /// Runs `units` independent work items and returns their results in
@@ -88,9 +109,22 @@ where
                         break;
                     }
                     let r = work(&mut ctx, b);
-                    // SAFETY: `b` came from a fetch_add, so this
-                    // thread is the only writer of slot `b`.
-                    unsafe { *slots[b].0.get() = Some(r) };
+                    // SAFETY: `b` came from this thread's own
+                    // `fetch_add`, and RMW atomicity guarantees every
+                    // `fetch_add` returns a distinct value — so this
+                    // thread is the only writer of slot `b`, ever
+                    // (one-writer-per-slot, invariant (1)+(2) on
+                    // `Slot`). No reader exists until the enclosing
+                    // `thread::scope` joins, which orders this write
+                    // before all reads (invariant (3)).
+                    unsafe {
+                        let cell = slots[b].0.get();
+                        debug_assert!(
+                            (*cell).is_none(),
+                            "slot {b} written twice: one-writer-per-slot violated"
+                        );
+                        *cell = Some(r);
+                    }
                 }
             });
         }
@@ -99,9 +133,15 @@ where
         .into_iter()
         .enumerate()
         .map(|(b, slot)| {
-            slot.0
-                .into_inner()
-                .ok_or_else(|| CoreError::Engine(format!("batch {b} produced no result")))
+            let result = slot.0.into_inner();
+            // Every slot must have been written exactly once before
+            // the merge: exactly-once is asserted at the write site
+            // (no prior value) and here (some value present).
+            debug_assert!(
+                result.is_some(),
+                "slot {b} never written: the cursor skipped a batch"
+            );
+            result.ok_or_else(|| CoreError::Engine(format!("batch {b} produced no result")))
         })
         .collect()
 }
@@ -297,9 +337,11 @@ where
     I: Fn() -> C + Sync,
     F: Fn(&mut C, u64, &mut G) -> A::Outcome + Sync,
 {
+    // nsc-lint: allow(wall-clock, reason = "BatchTiming/ExecutionReport are observational; timing never feeds the accumulator")
     let started = Instant::now();
     let partials = batched_ctx(config, batch_count(config, trials), init, |ctx, b| {
         let (lo, hi) = batch_bounds(config, trials, b);
+        // nsc-lint: allow(wall-clock, reason = "per-batch wall-clock is reported, never folded into results")
         let batch_started = Instant::now();
         let mut acc = A::default();
         for i in lo..hi {
@@ -338,9 +380,11 @@ where
     I: Fn() -> C + Sync,
     F: Fn(&mut C, u64, &mut G) -> T + Sync,
 {
+    // nsc-lint: allow(wall-clock, reason = "BatchTiming/ExecutionReport are observational; timing never feeds the outcomes")
     let started = Instant::now();
     let partials = batched_ctx(config, batch_count(config, trials), init, |ctx, b| {
         let (lo, hi) = batch_bounds(config, trials, b);
+        // nsc-lint: allow(wall-clock, reason = "per-batch wall-clock is reported, never folded into results")
         let batch_started = Instant::now();
         let outs: Vec<T> = (lo..hi)
             .map(|i| {

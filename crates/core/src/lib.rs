@@ -44,9 +44,6 @@
 //! # Ok::<(), nsc_core::CoreError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod bounds;
 pub mod degradation;
 pub mod engine;

@@ -209,6 +209,7 @@ pub fn sweep_bounds_manifest(
     p_i_grid: &Grid,
     widths: &[u32],
 ) -> Result<(CapacitySweep, RunManifest), CoreError> {
+    // nsc-lint: allow(wall-clock, reason = "sweep wall-clock feeds manifest.execution, which determinism diffs strip")
     let started = Instant::now();
     let sweep = sweep_bounds_with(config, p_d_grid, p_i_grid, widths)?;
     let evaluated = sweep.points.len();

@@ -1,0 +1,275 @@
+//! The allocation-free `run_*_into` entry points must be *bit-identical*
+//! to their allocating counterparts — hot or cold scratch, every
+//! mechanism, every seed.
+//!
+//! This is the contract `TrialScratch` documents ("buffers are
+//! observational state") turned into a test: each of the seven §3
+//! mechanism runners is executed twice from identical RNG states —
+//! once through the allocating wrapper, once through `run_*_into`
+//! with a deliberately *dirty* reused scratch — and the two outcome
+//! structs are compared with derived `PartialEq`, which for the `f64`
+//! fields means bit-for-bit equality of every float.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_core::sim::adaptive::{run_adaptive_slotted, run_adaptive_slotted_into};
+use nsc_core::sim::counter::{run_counter_protocol, run_counter_protocol_into};
+use nsc_core::sim::noisy_feedback::{run_noisy_counter, run_noisy_counter_into, FeedbackQuality};
+use nsc_core::sim::slotted::{run_slotted, run_slotted_into};
+use nsc_core::sim::stop_wait::{run_stop_and_wait, run_stop_and_wait_into};
+use nsc_core::sim::unsync::{run_unsynchronized, run_unsynchronized_into};
+use nsc_core::sim::wide::{run_wide_unsynchronized, run_wide_unsynchronized_into, SampleKind};
+use nsc_core::sim::{BernoulliSchedule, NullObserver, TrialScratch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+const SEEDS: [u64; 3] = [1, 2, 7];
+const BITS: u32 = 2;
+const MSG_LEN: usize = 64;
+const MAX_OPS: usize = 4_000;
+const SENDER_PROB: f64 = 0.55;
+
+fn message(seed: u64) -> Vec<Symbol> {
+    let a = Alphabet::new(BITS).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    (0..MSG_LEN).map(|_| a.random(&mut rng)).collect()
+}
+
+/// A fresh schedule whose RNG stream depends only on `seed`, so the
+/// allocating and `_into` runs of a pair draw identical schedules.
+fn schedule(seed: u64) -> BernoulliSchedule<StdRng> {
+    BernoulliSchedule::new(SENDER_PROB, StdRng::seed_from_u64(seed)).unwrap()
+}
+
+/// A scratch polluted with stale garbage from "a previous trial":
+/// non-empty buffers, wrong lengths, nonsense contents. If any runner
+/// reads (rather than clears) leftover state, the paired outcomes
+/// diverge and the `assert_eq!` below names the mechanism and seed.
+fn dirty_scratch() -> TrialScratch {
+    TrialScratch {
+        message: vec![Symbol::from_index(3); 17],
+        received: vec![Symbol::from_index(2); 999],
+        sample_truth: vec![SampleKind::Stale; 123],
+        acks: VecDeque::from(vec![usize::MAX, 0, 42]),
+        region: vec![true; 77],
+        events: Vec::new(),
+    }
+}
+
+#[test]
+fn unsynchronized_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        let base = run_unsynchronized(&msg, &mut schedule(seed), MAX_OPS).unwrap();
+        let into = run_unsynchronized_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "unsync diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn counter_protocol_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        let base = run_counter_protocol(&msg, &mut schedule(seed), MAX_OPS).unwrap();
+        let into = run_counter_protocol_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "counter diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn stop_and_wait_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        let base = run_stop_and_wait(&msg, &mut schedule(seed), MAX_OPS).unwrap();
+        let into = run_stop_and_wait_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "stop-wait diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn slotted_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        for slot_len in [1, 3] {
+            let msg = message(seed);
+            let base = run_slotted(&msg, &mut schedule(seed), slot_len, MAX_OPS).unwrap();
+            let into = run_slotted_into(
+                &msg,
+                &mut schedule(seed),
+                slot_len,
+                MAX_OPS,
+                &mut NullObserver,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(
+                base, into,
+                "slotted(slot_len={slot_len}) diverged at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_slotted_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        let base = run_adaptive_slotted(&msg, &mut schedule(seed), MAX_OPS).unwrap();
+        let into = run_adaptive_slotted_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "adaptive diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn noisy_counter_into_matches_allocating() {
+    let quality = FeedbackQuality {
+        p_loss: 0.2,
+        delay: 2,
+    };
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        // The feedback RNG is a second stream; pair it by seed too.
+        let base = run_noisy_counter(
+            &msg,
+            &mut schedule(seed),
+            quality,
+            &mut StdRng::seed_from_u64(seed ^ 0xfeed),
+            MAX_OPS,
+        )
+        .unwrap();
+        let into = run_noisy_counter_into(
+            &msg,
+            &mut schedule(seed),
+            quality,
+            &mut StdRng::seed_from_u64(seed ^ 0xfeed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "noisy-counter diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn wide_into_matches_allocating() {
+    let mut scratch = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+        let base = run_wide_unsynchronized(&msg, BITS, &mut schedule(seed), MAX_OPS).unwrap();
+        let into = run_wide_unsynchronized_into(
+            &msg,
+            BITS,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(base, into, "wide diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn scratch_reuse_across_mechanisms_is_inert() {
+    // One scratch threaded through *all* mechanisms back to back —
+    // the cross-contamination case the per-mechanism tests cannot
+    // see. Each hot outcome must equal a cold-scratch rerun.
+    let mut hot = dirty_scratch();
+    for seed in SEEDS {
+        let msg = message(seed);
+
+        let h = run_unsynchronized_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut hot,
+        )
+        .unwrap();
+        let c = run_unsynchronized_into(
+            &msg,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut TrialScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(h, c, "unsync hot/cold diverged at seed {seed}");
+
+        let h = run_wide_unsynchronized_into(
+            &msg,
+            BITS,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut hot,
+        )
+        .unwrap();
+        let c = run_wide_unsynchronized_into(
+            &msg,
+            BITS,
+            &mut schedule(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut TrialScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(h, c, "wide hot/cold diverged at seed {seed}");
+
+        let h = run_noisy_counter_into(
+            &msg,
+            &mut schedule(seed),
+            FeedbackQuality::perfect(),
+            &mut StdRng::seed_from_u64(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut hot,
+        )
+        .unwrap();
+        let c = run_noisy_counter_into(
+            &msg,
+            &mut schedule(seed),
+            FeedbackQuality::perfect(),
+            &mut StdRng::seed_from_u64(seed),
+            MAX_OPS,
+            &mut NullObserver,
+            &mut TrialScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(h, c, "noisy-counter hot/cold diverged at seed {seed}");
+    }
+}

@@ -38,9 +38,6 @@
 //! assert!((result.capacity - closed_form).abs() < 1e-9);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod blahut;
 pub mod dist;
 pub mod entropy;

@@ -38,9 +38,6 @@
 //! # Ok::<(), nsc_sched::SchedError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod covert;
 pub mod error;
 pub mod mitigation;

@@ -57,9 +57,6 @@
 //! # Ok::<(), nsc_trace::TraceError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
-
 pub mod capture;
 pub mod error;
 pub mod format;

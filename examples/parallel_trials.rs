@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 20_050_605;
 
     header("1. Serial baseline (--threads 1)");
+    // nsc-lint: allow(wall-clock, reason = "the example prints wall-clock to show the speed-up; statistics stay seed-pure")
     let start = Instant::now();
     let serial = run_campaign(&EngineConfig::serial(seed), &plan, trials)?;
     let serial_time = start.elapsed();
@@ -34,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     header("2. Worker pool (--threads = all cores)");
     let cfg = EngineConfig::seeded(seed);
+    // nsc-lint: allow(wall-clock, reason = "the example prints wall-clock to show the speed-up; statistics stay seed-pure")
     let start = Instant::now();
     let parallel = run_campaign(&cfg, &plan, trials)?;
     let parallel_time = start.elapsed();

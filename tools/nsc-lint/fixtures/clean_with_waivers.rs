@@ -1,0 +1,59 @@
+//! Clean fixture: correctly annotated code the linter must accept.
+//!
+//! Exercises every suppression path — reasoned waivers (standalone
+//! and trailing), `SAFETY:` comments on `unsafe`, string/comment
+//! immunity, and `#[cfg(test)]` exemption — so the self-test can pin
+//! "exit 0, zero violations" alongside the seeded-violation file's
+//! "exit 1, eight violations".
+
+// nsc-lint: allow(wall-clock, reason = "observational batch timing, never folded into results")
+fn timed() { let _ = std::time::Instant::now(); }
+
+fn also_timed() {
+    let _ = std::time::Instant::now(); // nsc-lint: allow(wall-clock, reason = "bench fingerprint")
+}
+
+// nsc-lint: allow(unordered-collections, reason = "lookup-only; iteration never reaches results")
+fn lookup(m: &std::collections::HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}
+
+struct Slot(std::cell::UnsafeCell<Option<u64>>);
+
+// SAFETY: the atomic cursor hands each index to exactly one worker,
+// so no two threads touch the same slot.
+unsafe impl Sync for Slot {}
+
+fn write(slot: &Slot, v: u64) {
+    // SAFETY: `slot` was claimed via fetch_add, making this thread
+    // its only writer.
+    unsafe { *slot.0.get() = Some(v) };
+}
+
+fn prose() {
+    // This comment mentions thread_rng, HashMap, mpsc, and
+    // Instant::now without triggering anything.
+    let _ = "thread_rng HashMap mpsc Instant::now SystemTime::now";
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use unordered collections freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn t() {
+        let mut s = HashSet::new();
+        s.insert(1u32);
+        assert!(s.contains(&1));
+    }
+}
+
+fn main() {
+    timed();
+    also_timed();
+    // nsc-lint: allow(unordered-collections, reason = "constructing the lookup-only map")
+    lookup(&std::collections::HashMap::new());
+    write(&Slot(std::cell::UnsafeCell::new(None)), 7);
+    prose();
+}

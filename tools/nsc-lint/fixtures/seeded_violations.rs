@@ -1,0 +1,46 @@
+//! Seeded-violation fixture: every rule must fire on this file.
+//!
+//! CI runs `nsc-lint` against this fixture and *requires* a non-zero
+//! exit — proving the linter is alive — before trusting its clean
+//! verdict on the workspace. This file is never compiled (it lives
+//! outside any cargo target directory) and is excluded from default
+//! workspace walks (`fixtures/` directories are skipped); it is only
+//! linted when passed explicitly.
+//!
+//! Expected violations, in order:
+//!   line 20: wall-clock            (Instant::now)
+//!   line 23: wall-clock            (SystemTime::now)
+//!   line 26: ambient-rng           (thread_rng)
+//!   line 29: ambient-rng           (rand::random)
+//!   line 32: unordered-collections (HashMap)
+//!   line 35: mpsc-merge            (mpsc)
+//!   line 37: undocumented-unsafe   (no SAFETY comment)
+//!   line 39: bad-waiver            (unknown rule name)
+
+fn a() { let _ = std::time::Instant::now(); }
+
+#[allow(dead_code)]
+fn b() { let _ = std::time::SystemTime::now(); }
+
+#[allow(dead_code)]
+fn c() { let _rng = rand::thread_rng(); }
+
+#[allow(dead_code)]
+fn d() { let _x: u64 = rand::random(); }
+
+#[allow(dead_code)]
+fn e(m: std::collections::HashMap<u32, u32>) { drop(m); }
+
+#[allow(dead_code)]
+fn f() { let (_tx, _rx) = std::sync::mpsc::channel::<u32>(); }
+
+fn g(p: *mut u32) { unsafe { *p = 1 }; }
+
+// nsc-lint: allow(made-up-rule, reason = "unknown rules are bad waivers")
+fn h() {}
+
+fn main() {
+    a();
+    g(std::ptr::null_mut());
+    h();
+}

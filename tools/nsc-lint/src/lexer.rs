@@ -1,0 +1,513 @@
+//! A minimal Rust lexer: just enough fidelity to lint determinism
+//! invariants without a full parser.
+//!
+//! The scanner distinguishes the token classes that matter for
+//! `nsc-lint`'s rules — identifiers (including keywords), punctuation,
+//! comments (line/block, doc or not), string/char literals, and
+//! lifetimes — and attaches a 1-based line/column to every token.
+//! Comment *text* is preserved because waivers and `SAFETY:`
+//! annotations live there; string literal *content* is deliberately
+//! discarded so `"thread_rng"` inside a message can never trip a
+//! rule.
+//!
+//! Handled edge cases: nested block comments, raw strings with any
+//! number of `#` guards (`r#"…"#`), byte/C strings (`b"…"`, `c"…"`),
+//! raw identifiers (`r#type`), escaped char literals (`'\''`), and
+//! the char-literal/lifetime ambiguity (`'a'` vs `'a`).
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Instant`, `mod`, …).
+    Ident,
+    /// A single punctuation character (`:`, `#`, `{`, …).
+    Punct(char),
+    /// A comment; `text` keeps the full comment including markers.
+    Comment {
+        /// `///`, `//!`, `/** … */`, `/*! … */`.
+        doc: bool,
+    },
+    /// String literal of any flavor (content discarded).
+    Str,
+    /// Char or byte literal (content discarded).
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A numeric literal (content discarded).
+    Number,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier or comment text; empty for literals/punctuation.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True for any comment token.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment { .. })
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs
+/// simply consume the rest of the input as their own token, which is
+/// good enough for linting (the compiler proper will reject the file
+/// anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => {
+                let start = s.pos;
+                while let Some(c) = s.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                let text = src[start..s.pos].to_owned();
+                let doc = text.starts_with("///") || text.starts_with("//!");
+                toks.push(Tok {
+                    kind: TokKind::Comment { doc },
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'/' if s.peek_at(1) == Some(b'*') => {
+                let start = s.pos;
+                s.bump();
+                s.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (s.peek(), s.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = src[start..s.pos].to_owned();
+                let doc = text.starts_with("/**") || text.starts_with("/*!");
+                toks.push(Tok {
+                    kind: TokKind::Comment { doc },
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                scan_string(&mut s);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_literal(&s) => {
+                scan_prefixed_literal(&mut s);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'r' if s.peek_at(1) == Some(b'#') && s.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`.
+                s.bump();
+                s.bump();
+                let text = scan_ident(&mut s);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                if scan_char_or_lifetime(&mut s) {
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let text = scan_ident(&mut s);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                // Numbers can contain `_`, `.`, exponents and type
+                // suffixes; consume the contiguous alnum-ish run.
+                while let Some(c) = s.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        // Stop at `..` (range) and method calls on
+                        // literals like `1.max(2)`.
+                        if c == b'.'
+                            && (s.peek_at(1) == Some(b'.')
+                                || s.peek_at(1).is_some_and(is_ident_start))
+                        {
+                            break;
+                        }
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                s.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// True when the scanner sits on `r"`, `r#"`, `b"`, `br"`, `c"`,
+/// `cr#"`, `b'`, … — a prefixed string/byte/char literal rather than
+/// an identifier starting with that letter.
+fn starts_prefixed_literal(s: &Scanner<'_>) -> bool {
+    let mut i = 1;
+    // Optional second prefix letter (`br`, `cr`).
+    if matches!(s.peek_at(i), Some(b'r')) && s.peek() != Some(b'r') {
+        i += 1;
+    }
+    // Any number of `#` guards only makes sense before `"`.
+    let mut j = i;
+    while s.peek_at(j) == Some(b'#') {
+        j += 1;
+    }
+    if j > i {
+        return s.peek_at(j) == Some(b'"');
+    }
+    matches!(s.peek_at(i), Some(b'"')) || (s.peek() == Some(b'b') && s.peek_at(i) == Some(b'\''))
+}
+
+fn scan_prefixed_literal(s: &mut Scanner<'_>) {
+    // Consume prefix letters.
+    while matches!(s.peek(), Some(b'r') | Some(b'b') | Some(b'c')) {
+        s.bump();
+    }
+    let mut guards = 0usize;
+    while s.peek() == Some(b'#') {
+        guards += 1;
+        s.bump();
+    }
+    match s.peek() {
+        Some(b'"') if guards > 0 => {
+            // Raw string: ends at `"` followed by `guards` hashes.
+            s.bump();
+            loop {
+                match s.bump() {
+                    None => break,
+                    Some(b'"') => {
+                        let mut k = 0;
+                        while k < guards && s.peek() == Some(b'#') {
+                            s.bump();
+                            k += 1;
+                        }
+                        if k == guards {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Some(b'"') => scan_string(s),
+        Some(b'\'') => {
+            // Byte char literal `b'x'`.
+            s.bump();
+            loop {
+                match s.bump() {
+                    None | Some(b'\'') => break,
+                    Some(b'\\') => {
+                        s.bump();
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn scan_string(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    loop {
+        match s.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                s.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn scan_ident(s: &mut Scanner<'_>) -> String {
+    let start = s.pos;
+    while let Some(c) = s.peek() {
+        if is_ident_continue(c) {
+            s.bump();
+        } else {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&s.src[start..s.pos]).into_owned()
+}
+
+/// Consumes a `'…` construct; returns `true` for a char literal,
+/// `false` for a lifetime.
+fn scan_char_or_lifetime(s: &mut Scanner<'_>) -> bool {
+    s.bump(); // the opening quote
+    match s.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: `'\n'`, `'\''`, `'\u{…}'`.
+            s.bump();
+            s.bump();
+            while let Some(c) = s.peek() {
+                s.bump();
+                if c == b'\'' {
+                    break;
+                }
+            }
+            true
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char, `'a` / `'static` is a lifetime.
+            let mut k = 1;
+            while s.peek_at(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if s.peek_at(k) == Some(b'\'') {
+                for _ in 0..=k {
+                    s.bump();
+                }
+                true
+            } else {
+                while s.peek().is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                false
+            }
+        }
+        Some(b'\'') => {
+            // `''` — malformed; treat as char and move on.
+            s.bump();
+            true
+        }
+        Some(_) => {
+            // `'+'` and friends.
+            s.bump();
+            if s.peek() == Some(b'\'') {
+                s.bump();
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_positions() {
+        let toks = lex("fn main() {\n    let x = 1;\n}\n");
+        assert!(toks[0].is_ident("fn"));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn string_content_is_opaque() {
+        assert_eq!(
+            idents(r#"let s = "thread_rng Instant::now";"#),
+            ["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r##"let s = r#"quote " and thread_rng"# ; after"##;
+        assert_eq!(idents(src), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(
+            idents(r#"let b = b"thread_rng"; let c = c"x";"#),
+            ["let", "b", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert!(toks[0].is_comment());
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let toks = lex("/// docs\n//! inner docs\n// plain\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::Comment { doc: true });
+        assert_eq!(toks[1].kind, TokKind::Comment { doc: true });
+        assert_eq!(toks[2].kind, TokKind::Comment { doc: false });
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("let c: char = 'a'; fn f<'a>(x: &'a str) {} let q = '\\'';");
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 2, "{toks:?}");
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = lex("static S: &'static str = \"x\";");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_loop() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let s = r#\"unterminated");
+    }
+
+    #[test]
+    fn numbers_with_method_calls() {
+        // `1.max(2)` must not swallow `max` into the number token.
+        assert_eq!(
+            idents("let x = 1.max(2) + 1.0e3 + 0xff_u32;"),
+            ["let", "x", "max"]
+        );
+    }
+}

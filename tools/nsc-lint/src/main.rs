@@ -1,0 +1,340 @@
+//! `nsc-lint` — the workspace's determinism-invariant checker.
+//!
+//! The trial engine's contract is that every result is a pure
+//! function of `(--seed, trial index)`: byte-identical across thread
+//! counts, RNG generators, and runs. That contract is easy to break
+//! silently — one `Instant::now` in a result path, one `HashMap`
+//! iteration, one `mpsc` merge — so this tool machine-checks the
+//! rules the contract rests on (see [`rules::RULES`]):
+//!
+//! * `wall-clock` — no `Instant::now`/`SystemTime::now` outside
+//!   waived observational-timing sites (`BatchTiming`, bench
+//!   fingerprinting);
+//! * `ambient-rng` — no `thread_rng`/`rand::random`/`from_entropy`/
+//!   `OsRng` anywhere;
+//! * `unordered-collections` — no `HashMap`/`HashSet` in
+//!   result-affecting code (use `BTreeMap`/`BTreeSet`, or waive with
+//!   proof the collection is never iterated);
+//! * `mpsc-merge` — no `mpsc` in merge paths (the slot-vector pool
+//!   owns reassembly);
+//! * `undocumented-unsafe` — every `unsafe` needs an adjacent
+//!   `// SAFETY:` comment;
+//! * `bad-waiver` — malformed waivers are themselves violations.
+//!
+//! Waiver syntax, on the offending line or the line directly above:
+//!
+//! ```text
+//! // nsc-lint: allow(<rule>, reason = "<non-empty justification>")
+//! ```
+//!
+//! Exit codes: `0` clean, `1` at least one violation, `2` usage or
+//! I/O error — suitable for CI gating. `--format json` emits an
+//! `nsc-lint/v1` document on stdout.
+//!
+//! The linter is deliberately dependency-free (std only, lexical
+//! analysis — no syntax tree) so it builds and runs even where the
+//! crate graph cannot, and cannot itself destabilize the workspace.
+
+mod lexer;
+mod rules;
+
+use rules::{check_file, FileReport, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never scanned during a workspace walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    root: PathBuf,
+    /// Explicit files/dirs to lint; empty means "walk the root".
+    paths: Vec<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    "usage: nsc-lint [--format text|json] [--root DIR] [--list-rules] [PATH ...]\n\
+     \n\
+     With no PATH, walks DIR (default: the current directory) for *.rs\n\
+     files, skipping target/, .git/, and fixtures/ directories.\n\
+     Explicit PATHs are linted exactly as given (fixtures included).\n\
+     Exit codes: 0 clean, 1 violations found, 2 usage/IO error."
+        .to_owned()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value (text|json)")?;
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format: expected text|json, got `{other}`")),
+                };
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(opts)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping
+/// [`SKIP_DIRS`], in sorted (deterministic) order.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
+        .map(|r| r.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Test code (integration tests, benches) is exempt from the
+/// determinism rules; see [`rules::check_file`].
+fn is_test_path(path: &Path) -> bool {
+    path.components()
+        .any(|c| matches!(c.as_os_str().to_str(), Some("tests") | Some("benches")))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(reports: &[(String, FileReport)], files_scanned: usize) -> String {
+    let mut v_items = Vec::new();
+    let mut w_items = Vec::new();
+    for (file, rep) in reports {
+        for v in &rep.violations {
+            v_items.push(format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"column\": {}, \
+                 \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                v.rule,
+                json_escape(file),
+                v.line,
+                v.col,
+                json_escape(&v.message),
+                json_escape(&v.snippet)
+            ));
+        }
+        for w in &rep.waivers {
+            w_items.push(format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \
+                 \"used\": {}}}",
+                w.rule,
+                json_escape(file),
+                w.line,
+                json_escape(&w.reason),
+                w.used
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"schema\": \"nsc-lint/v1\",\n  \"files_scanned\": {},\n  \
+         \"violation_count\": {},\n  \"violations\": [\n{}\n  ],\n  \
+         \"waivers\": [\n{}\n  ]\n}}\n",
+        files_scanned,
+        v_items.len(),
+        v_items.join(",\n"),
+        w_items.join(",\n")
+    )
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for r in RULES {
+            println!(
+                "{:<24} {}",
+                r.name,
+                r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut files = Vec::new();
+    if opts.paths.is_empty() {
+        walk(&opts.root, &mut files)?;
+    } else {
+        for p in &opts.paths {
+            if p.is_dir() {
+                walk(p, &mut files)?;
+            } else {
+                files.push(p.clone());
+            }
+        }
+    }
+
+    let mut reports: Vec<(String, FileReport)> = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rep = check_file(&src, is_test_path(path));
+        let display = path
+            .strip_prefix(&opts.root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        if !rep.violations.is_empty() || !rep.waivers.is_empty() {
+            reports.push((display, rep));
+        }
+    }
+    reports.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let violation_count: usize = reports.iter().map(|(_, r)| r.violations.len()).sum();
+
+    match opts.format {
+        Format::Json => print!("{}", render_json(&reports, files.len())),
+        Format::Text => {
+            for (file, rep) in &reports {
+                for v in &rep.violations {
+                    println!("{file}:{}:{}: [{}] {}", v.line, v.col, v.rule, v.message);
+                    if !v.snippet.is_empty() {
+                        println!("    {}", v.snippet);
+                    }
+                }
+            }
+            let waivers: usize = reports.iter().map(|(_, r)| r.waivers.len()).sum();
+            let unused: usize = reports
+                .iter()
+                .flat_map(|(_, r)| &r.waivers)
+                .filter(|w| !w.used)
+                .count();
+            for (file, rep) in &reports {
+                for w in rep.waivers.iter().filter(|w| !w.used) {
+                    eprintln!(
+                        "note: unused waiver for `{}` at {file}:{} ({})",
+                        w.rule, w.line, w.reason
+                    );
+                }
+            }
+            println!(
+                "nsc-lint: {} violation(s), {} file(s) scanned, {} waiver(s) ({} unused)",
+                violation_count,
+                files.len(),
+                waivers,
+                unused
+            );
+        }
+    }
+
+    Ok(if violation_count == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_default() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.format, Format::Text);
+        assert!(o.paths.is_empty());
+    }
+
+    #[test]
+    fn args_full() {
+        let o = parse_args(&[
+            "--format".into(),
+            "json".into(),
+            "--root".into(),
+            "/tmp".into(),
+            "a.rs".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.root, PathBuf::from("/tmp"));
+        assert_eq!(o.paths, vec![PathBuf::from("a.rs")]);
+    }
+
+    #[test]
+    fn args_reject_unknown() {
+        assert!(parse_args(&["--wat".into()]).is_err());
+        assert!(parse_args(&["--format".into(), "yaml".into()]).is_err());
+    }
+
+    #[test]
+    fn test_paths_detected() {
+        assert!(is_test_path(Path::new("crates/core/tests/properties.rs")));
+        assert!(is_test_path(Path::new(
+            "crates/bench/benches/bench_channel.rs"
+        )));
+        assert!(!is_test_path(Path::new("crates/core/src/engine/runner.rs")));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_document_is_well_formed_when_empty() {
+        let doc = render_json(&[], 0);
+        assert!(doc.contains("\"schema\": \"nsc-lint/v1\""));
+        assert!(doc.contains("\"violation_count\": 0"));
+    }
+}

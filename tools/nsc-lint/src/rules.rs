@@ -1,0 +1,635 @@
+//! The determinism rules and the per-file checking engine.
+//!
+//! Every rule is lexical: it works on the token stream produced by
+//! [`crate::lexer`], never on resolved types. That makes the linter
+//! fast and dependency-free at the cost of precision, which is why
+//! every rule supports an explicit, reasoned waiver:
+//!
+//! ```text
+//! // nsc-lint: allow(wall-clock, reason = "observational timing only")
+//! let started = Instant::now();
+//! ```
+//!
+//! A waiver covers its own line and the line directly below it, and
+//! must name a known rule and a non-empty reason; anything else is
+//! itself a violation (`bad-waiver`).
+//!
+//! Test code — files under a `tests/` or `benches/` directory, and
+//! `#[cfg(test)]` items — is exempt from the determinism rules
+//! (`wall-clock`, `ambient-rng`, `unordered-collections`,
+//! `mpsc-merge`) because test assertions do not feed results.
+//! `undocumented-unsafe` and `bad-waiver` apply everywhere.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A lint rule's stable name and one-line rationale.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable kebab-case rule name, used in waivers and reports.
+    pub name: &'static str,
+    /// Why violating the rule threatens the determinism contract.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime::now feed ambient time into code; results must \
+                  depend only on the seed. Waive only for observational timing \
+                  (BatchTiming, ExecutionReport, bench fingerprints).",
+    },
+    RuleInfo {
+        name: "ambient-rng",
+        summary: "thread_rng/rand::random/from_entropy/OsRng draw entropy outside the \
+                  seeded TrialRng/StdRng derivation chain.",
+    },
+    RuleInfo {
+        name: "unordered-collections",
+        summary: "HashMap/HashSet iteration order is randomized per process; use \
+                  BTreeMap/BTreeSet (or waive with proof the map is never iterated).",
+    },
+    RuleInfo {
+        name: "mpsc-merge",
+        summary: "mpsc delivers in arrival order, which depends on scheduling; merge \
+                  paths must use the slot-vector pool's index-ordered reassembly.",
+    },
+    RuleInfo {
+        name: "undocumented-unsafe",
+        summary: "every `unsafe` block/impl/fn needs an adjacent `// SAFETY:` comment \
+                  stating the invariant it relies on.",
+    },
+    RuleInfo {
+        name: "bad-waiver",
+        summary: "a `nsc-lint:` comment that does not parse, names an unknown rule, or \
+                  gives an empty reason.",
+    },
+];
+
+/// True when `name` is a known rule.
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired (a [`RULES`] name).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The waiver comment's line; covers this line and the next.
+    pub line: u32,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether any violation was actually suppressed by it.
+    pub used: bool,
+}
+
+/// Everything the engine found in one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations, sorted by (line, col).
+    pub violations: Vec<Violation>,
+    /// All syntactically valid waivers, used or not.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Rules suspended inside test code.
+const TEST_EXEMPT: &[&str] = &[
+    "wall-clock",
+    "ambient-rng",
+    "unordered-collections",
+    "mpsc-merge",
+];
+
+/// Checks one file's source. `test_file` marks the whole file as test
+/// code (integration tests, benches).
+pub fn check_file(src: &str, test_file: bool) -> FileReport {
+    let toks = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        let text = lines.get(line as usize - 1).copied().unwrap_or("").trim();
+        let mut s: String = text.chars().take(120).collect();
+        if s.len() < text.len() {
+            s.push('…');
+        }
+        s
+    };
+
+    let mut report = FileReport::default();
+
+    // ---- Waivers (from comment tokens). -------------------------
+    // Doc comments are excluded: rustdoc prose *describing* the
+    // waiver syntax must not be parsed as a waiver.
+    for t in toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Comment { doc: false }))
+    {
+        let Some(idx) = t.text.find("nsc-lint:") else {
+            continue;
+        };
+        match parse_waiver(&t.text[idx + "nsc-lint:".len()..]) {
+            Ok((rule, reason)) => {
+                if !known_rule(&rule) {
+                    report.violations.push(Violation {
+                        rule: "bad-waiver",
+                        line: t.line,
+                        col: t.col,
+                        message: format!("waiver names unknown rule `{rule}`"),
+                        snippet: snippet(t.line),
+                    });
+                } else if reason.trim().is_empty() {
+                    report.violations.push(Violation {
+                        rule: "bad-waiver",
+                        line: t.line,
+                        col: t.col,
+                        message: format!("waiver for `{rule}` has an empty reason"),
+                        snippet: snippet(t.line),
+                    });
+                } else {
+                    report.waivers.push(Waiver {
+                        rule,
+                        line: t.line,
+                        reason,
+                        used: false,
+                    });
+                }
+            }
+            Err(why) => report.violations.push(Violation {
+                rule: "bad-waiver",
+                line: t.line,
+                col: t.col,
+                message: format!("unparseable nsc-lint comment: {why}"),
+                snippet: snippet(t.line),
+            }),
+        }
+    }
+
+    // ---- #[cfg(test)] regions (line ranges). --------------------
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let test_regions = cfg_test_regions(&code);
+    let in_test = |line: u32| -> bool {
+        test_file
+            || test_regions
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    };
+
+    // ---- Per-line comment text, for the SAFETY rule. ------------
+    let mut comment_on_line: Vec<(u32, &str)> = toks
+        .iter()
+        .filter(|t| t.is_comment())
+        .map(|t| (t.line, t.text.as_str()))
+        .collect();
+    comment_on_line.sort_by_key(|&(l, _)| l);
+    let comment_text = |line: u32| -> Option<&str> {
+        comment_on_line
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, t)| t)
+    };
+    // Block comments span lines; record every line they cover.
+    let mut comment_lines: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut safety_lines: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        let span = t.text.matches('\n').count() as u32;
+        for l in t.line..=t.line + span {
+            comment_lines.insert(l);
+            if t.text.contains("SAFETY:") {
+                safety_lines.insert(l);
+            }
+        }
+    }
+
+    // ---- Candidate violations from the code-token stream. -------
+    let mut found: Vec<Violation> = Vec::new();
+    let ident = |i: usize, name: &str| -> bool { code.get(i).is_some_and(|t| t.is_ident(name)) };
+    let path_sep = |i: usize| -> bool {
+        code.get(i).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" | "SystemTime" if path_sep(i + 1) && ident(i + 3, "now") => {
+                found.push(Violation {
+                    rule: "wall-clock",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{}::now() reads ambient time; results must be a function of the \
+                         seed alone",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                });
+            }
+            "thread_rng" | "from_entropy" | "OsRng" => {
+                found.push(Violation {
+                    rule: "ambient-rng",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}` draws OS entropy; derive randomness from trial_seed() instead",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                });
+            }
+            "rand" if path_sep(i + 1) && ident(i + 3, "random") => {
+                found.push(Violation {
+                    rule: "ambient-rng",
+                    line: t.line,
+                    col: t.col,
+                    message: "`rand::random` uses the ambient thread RNG".to_owned(),
+                    snippet: snippet(t.line),
+                });
+            }
+            "HashMap" | "HashSet" => {
+                found.push(Violation {
+                    rule: "unordered-collections",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}` has randomized iteration order; use the BTree equivalent or \
+                         waive with proof it is never iterated",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                });
+            }
+            "mpsc" => {
+                found.push(Violation {
+                    rule: "mpsc-merge",
+                    line: t.line,
+                    col: t.col,
+                    message: "mpsc delivery order depends on scheduling; use the slot-vector \
+                              pool's index-ordered reassembly"
+                        .to_owned(),
+                    snippet: snippet(t.line),
+                });
+            }
+            "unsafe" => {
+                // Accepted if a `SAFETY:` comment sits on the same
+                // line or in the contiguous comment block directly
+                // above.
+                let mut ok = comment_text(t.line).is_some_and(|c| c.contains("SAFETY:"));
+                let mut l = t.line - 1;
+                while !ok && l >= 1 && comment_lines.contains(&l) {
+                    if safety_lines.contains(&l) {
+                        ok = true;
+                    }
+                    l -= 1;
+                }
+                if !ok {
+                    found.push(Violation {
+                        rule: "undocumented-unsafe",
+                        line: t.line,
+                        col: t.col,
+                        message: "`unsafe` without an adjacent `// SAFETY:` comment stating \
+                                  the invariant it relies on"
+                            .to_owned(),
+                        snippet: snippet(t.line),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Apply test exemptions and waivers. ---------------------
+    for v in found {
+        if TEST_EXEMPT.contains(&v.rule) && in_test(v.line) {
+            continue;
+        }
+        let waived = report
+            .waivers
+            .iter_mut()
+            .find(|w| w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line));
+        if let Some(w) = waived {
+            w.used = true;
+            continue;
+        }
+        report.violations.push(v);
+    }
+    report.violations.sort_by_key(|v| (v.line, v.col));
+    report
+}
+
+/// Parses the tail of a `nsc-lint:` comment:
+/// `allow(<rule>, reason = "<text>")`.
+fn parse_waiver(rest: &str) -> Result<(String, String), &'static str> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>, reason = \"…\")`");
+    };
+    let Some(comma) = rest.find(',') else {
+        return Err("missing `, reason = \"…\"`");
+    };
+    let rule = rest[..comma].trim().to_owned();
+    let tail = rest[comma + 1..].trim_start();
+    let Some(tail) = tail.strip_prefix("reason") else {
+        return Err("missing `reason =`");
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('=') else {
+        return Err("missing `=` after `reason`");
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('"') else {
+        return Err("reason must be a quoted string");
+    };
+    let Some(close) = tail.rfind('"') else {
+        return Err("unterminated reason string");
+    };
+    Ok((rule, tail[..close].to_owned()))
+}
+
+/// Finds `(first_line, last_line)` spans of items annotated
+/// `#[cfg(test)]` (or any `cfg(...)` mentioning the `test` ident,
+/// e.g. `cfg(all(test, feature = "x"))`).
+fn cfg_test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        // Match `#[cfg( … test … )]`.
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = code[i].line;
+        // Scan the attribute's bracket-balanced contents.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        // `cfg_attr(test, …)` does NOT make the item test-only (it
+        // only toggles attributes), so require `cfg` exactly.
+        let is_cfg = code.get(j).is_some_and(|t| t.is_ident("cfg"));
+        let mut mentions_test = false;
+        while j < code.len() && depth > 0 {
+            let t = code[j];
+            match t.kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                TokKind::Ident if t.text == "test" => mentions_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(is_cfg && mentions_test) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then consume the item: either
+        // up to a `;` (no body) or through its brace-balanced body.
+        let mut k = j;
+        while k + 1 < code.len() && code[k].is_punct('#') && code[k + 1].is_punct('[') {
+            let mut d = 1i32;
+            k += 2;
+            while k < code.len() && d > 0 {
+                match code[k].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        let mut end_line = attr_start_line;
+        let mut d = 0i32;
+        let mut entered = false;
+        while k < code.len() {
+            let t = code[k];
+            end_line = t.line;
+            match t.kind {
+                TokKind::Punct('{') => {
+                    d += 1;
+                    entered = true;
+                }
+                TokKind::Punct('}') => {
+                    d -= 1;
+                    if entered && d == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if !entered => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((attr_start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(src: &str) -> Vec<&'static str> {
+        check_file(src, false)
+            .violations
+            .iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_fires() {
+        assert_eq!(
+            rules_fired("fn f() { let t = Instant::now(); }"),
+            ["wall-clock"]
+        );
+        assert_eq!(
+            rules_fired("fn f() { let t = std::time::SystemTime::now(); }"),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn wall_clock_ignores_other_now() {
+        assert!(rules_fired("fn f() { let t = clock.now(); }").is_empty());
+        assert!(rules_fired("fn f() { let t: Instant = saved; }").is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_fires() {
+        assert_eq!(
+            rules_fired("let mut r = rand::thread_rng();"),
+            ["ambient-rng"]
+        );
+        assert_eq!(rules_fired("let x: u8 = rand::random();"), ["ambient-rng"]);
+        assert_eq!(
+            rules_fired("let r = StdRng::from_entropy();"),
+            ["ambient-rng"]
+        );
+    }
+
+    #[test]
+    fn unordered_collections_fires() {
+        assert_eq!(
+            rules_fired("use std::collections::HashMap;"),
+            ["unordered-collections"]
+        );
+    }
+
+    #[test]
+    fn mpsc_fires() {
+        assert_eq!(rules_fired("use std::sync::mpsc;"), ["mpsc-merge"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        assert!(rules_fired(r#"let s = "thread_rng HashMap mpsc Instant::now";"#).is_empty());
+        assert!(rules_fired("// thread_rng HashMap mpsc in prose\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(
+            rules_fired("fn f() { unsafe { danger() } }"),
+            ["undocumented-unsafe"]
+        );
+        assert!(rules_fired(
+            "fn f() {\n    // SAFETY: slot b has one writer.\n    unsafe { danger() }\n}"
+        )
+        .is_empty());
+        assert!(rules_fired(
+            "// SAFETY: disjoint indices.\n// (see Slot docs)\nunsafe impl Sync for S {}"
+        )
+        .is_empty());
+        assert!(rules_fired("fn f() { unsafe { danger() } } // SAFETY: same line\n").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_must_be_adjacent() {
+        let src = "// SAFETY: stale, far away.\nfn g() {}\n\nfn f() { unsafe { danger() } }";
+        assert_eq!(rules_fired(src), ["undocumented-unsafe"]);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_is_marked_used() {
+        let src = "// nsc-lint: allow(wall-clock, reason = \"observational timing only\")\n\
+                   let t = Instant::now();";
+        let rep = check_file(src, false);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.waivers.len(), 1);
+        assert!(rep.waivers[0].used);
+        assert_eq!(rep.waivers[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn trailing_waiver_on_same_line() {
+        let src = "let t = Instant::now(); // nsc-lint: allow(wall-clock, reason = \"bench\")";
+        assert!(check_file(src, false).violations.is_empty());
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "// nsc-lint: allow(ambient-rng, reason = \"mismatch\")\n\
+                   let t = Instant::now();";
+        assert_eq!(rules_fired(src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn waiver_does_not_leak_past_next_line() {
+        let src = "// nsc-lint: allow(wall-clock, reason = \"one line only\")\n\
+                   fn pad() {}\n\
+                   let t = Instant::now();";
+        assert_eq!(rules_fired(src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn bad_waivers_are_violations() {
+        assert_eq!(
+            rules_fired("// nsc-lint: allow(no-such-rule, reason = \"x\")"),
+            ["bad-waiver"]
+        );
+        assert_eq!(
+            rules_fired("// nsc-lint: allow(wall-clock, reason = \"\")"),
+            ["bad-waiver"]
+        );
+        assert_eq!(
+            rules_fired("// nsc-lint: allow(wall-clock)"),
+            ["bad-waiver"]
+        );
+        assert_eq!(rules_fired("// nsc-lint: disallow(x)"), ["bad-waiver"]);
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_waivers() {
+        // Rustdoc prose describing the syntax is not a waiver…
+        let src = "/// nsc-lint: allow(<rule>, reason = \"…\")\nfn f() {}";
+        let rep = check_file(src, false);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert!(rep.waivers.is_empty());
+        // …and a doc comment cannot suppress a violation either.
+        let src = "/// nsc-lint: allow(wall-clock, reason = \"docs\")\nfn f() { Instant::now(); }";
+        assert_eq!(rules_fired(src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashSet;\n\
+                       #[test]\n\
+                       fn t() { let mut r = rand::thread_rng(); }\n\
+                   }\n";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_mod_is_not_exempt() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashSet;\n\
+                   }\n\
+                   use std::collections::HashMap;\n";
+        assert_eq!(rules_fired(src), ["unordered-collections"]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_exempt_too() {
+        let src = "#[cfg(any(test, loom))]\nmod model { use std::collections::HashSet; }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { danger() } }\n}";
+        assert_eq!(rules_fired(src), ["undocumented-unsafe"]);
+    }
+
+    #[test]
+    fn test_file_exemption_covers_whole_file() {
+        let rep = check_file("let t = Instant::now();", true);
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn violations_sorted_by_position() {
+        let src = "use std::sync::mpsc;\nuse std::collections::HashMap;\n";
+        let rep = check_file(src, false);
+        assert_eq!(rep.violations[0].line, 1);
+        assert_eq!(rep.violations[1].line, 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end self-tests: run the built `nsc-lint` binary against
+//! the committed fixtures and the real workspace.
+//!
+//! The seeded-violation fixture is the linter's liveness proof: a
+//! linter that silently stopped matching would pass the workspace
+//! *and* pass the fixture, so CI (and this test) require the fixture
+//! to fail with exactly the expected rule set.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nsc-lint"))
+        .args(args)
+        .output()
+        .expect("nsc-lint binary runs")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+/// The workspace root, two levels above `tools/nsc-lint`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tools/nsc-lint sits two levels below the root")
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_violations_are_all_caught() {
+    let fix = fixture("seeded_violations.rs");
+    let out = lint(&["--format", "json", &fix]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded fixture must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\": \"nsc-lint/v1\""));
+    assert!(json.contains("\"violation_count\": 8"), "{json}");
+    for (rule, count) in [
+        ("wall-clock", 2),
+        ("ambient-rng", 2),
+        ("unordered-collections", 1),
+        ("mpsc-merge", 1),
+        ("undocumented-unsafe", 1),
+        ("bad-waiver", 1),
+    ] {
+        let hits = json.matches(&format!("\"rule\": \"{rule}\"")).count();
+        assert_eq!(hits, count, "rule {rule}: {json}");
+    }
+}
+
+#[test]
+fn seeded_violation_lines_match_the_fixture_header() {
+    let fix = fixture("seeded_violations.rs");
+    let out = lint(&[&fix]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    for line in [20, 23, 26, 29, 32, 35, 37, 39] {
+        assert!(
+            text.contains(&format!(":{line}:")),
+            "expected a violation on line {line}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_passes_with_used_waivers() {
+    let fix = fixture("clean_with_waivers.rs");
+    let out = lint(&["--format", "json", &fix]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"violation_count\": 0"), "{json}");
+    // Every waiver in the clean fixture suppresses something real.
+    assert!(json.contains("\"used\": true"), "{json}");
+    assert!(!json.contains("\"used\": false"), "{json}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = workspace_root();
+    let out = lint(&["--root", root.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{text}"
+    );
+    assert!(text.contains("0 violation(s)"), "{text}");
+}
+
+#[test]
+fn json_output_on_the_workspace_parses_minimally() {
+    let root = workspace_root();
+    let out = lint(&["--root", root.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.trim_end().ends_with('}'));
+    assert!(json.contains("\"schema\": \"nsc-lint/v1\""));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = lint(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = lint(&["--root", "/no/such/dir/anywhere"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "wall-clock",
+        "ambient-rng",
+        "unordered-collections",
+        "mpsc-merge",
+        "undocumented-unsafe",
+        "bad-waiver",
+    ] {
+        assert!(text.contains(rule), "{text}");
+    }
+}
