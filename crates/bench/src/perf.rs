@@ -16,7 +16,7 @@
 //! CI guards lean on.
 
 use crate::setup::{serialized_trace, synthetic_events};
-use nsc_core::engine::{run_campaign, EngineConfig, Mechanism, TrialPlan, TrialRng};
+use nsc_core::engine::{run_campaign, EngineConfig, KernelKind, Mechanism, TrialPlan, TrialRng};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::Serialize;
@@ -57,11 +57,13 @@ impl Profile {
         }
     }
 
-    /// Campaign kernel size: (message length, trials).
+    /// Campaign kernel size: (message length, trials). Trial counts
+    /// are at least one full 64-trial lane block, so the bitsliced
+    /// rows measure packed lanes rather than a mostly-masked tail.
     fn campaign(self) -> (usize, usize) {
         match self {
-            Profile::Quick => (500, 8),
-            Profile::Full => (2_000, 32),
+            Profile::Quick => (500, 64),
+            Profile::Full => (2_000, 128),
         }
     }
 
@@ -169,27 +171,39 @@ where
 }
 
 /// The engine suite: serial single-thread campaigns over three §3
-/// mechanisms (the `nsc trials` hot path end to end) plus the raw
-/// generators under them.
+/// mechanisms (the `nsc trials` hot path end to end), once per
+/// requested execution kernel, plus the raw generators under them.
+///
+/// Row names carry the kernel (`campaign_unsync_scalar`,
+/// `campaign_unsync_bitsliced`, …) so `scripts/bench_export` can
+/// guard the scalar/bitsliced ratio within one run. Mechanisms
+/// without a bitsliced twin simply have no bitsliced row.
 ///
 /// # Panics
 ///
 /// Never in practice: every kernel runs a validated plan.
 #[must_use]
-pub fn engine_suite(profile: Profile, reps: usize) -> SuiteReport {
+pub fn engine_suite(profile: Profile, reps: usize, kernels: &[KernelKind]) -> SuiteReport {
     let (len, trials) = profile.campaign();
     let mut results = Vec::new();
-    for (name, mechanism) in [
-        ("campaign_unsync", Mechanism::Unsynchronized),
-        ("campaign_counter", Mechanism::Counter),
-        ("campaign_slotted", Mechanism::Slotted { slot_len: 8 }),
+    for (mech_name, mechanism) in [
+        ("unsync", Mechanism::Unsynchronized),
+        ("counter", Mechanism::Counter),
+        ("slotted", Mechanism::Slotted { slot_len: 8 }),
     ] {
-        let plan = TrialPlan::new(mechanism, 2, len, 0.5);
-        results.push(measure(name, "trial", reps, || {
-            let summary = run_campaign(&EngineConfig::serial(7), &plan, trials).unwrap();
-            black_box(summary.rate.mean);
-            trials as u64
-        }));
+        for &kernel in kernels {
+            if kernel == KernelKind::Bitsliced && !mechanism.has_bitsliced_kernel() {
+                continue;
+            }
+            let plan = TrialPlan::new(mechanism, 2, len, 0.5);
+            let cfg = EngineConfig::serial(7).with_kernel(kernel);
+            let name = format!("campaign_{mech_name}_{}", kernel.name());
+            results.push(measure(&name, "trial", reps, || {
+                let summary = run_campaign(&cfg, &plan, trials).unwrap();
+                black_box(summary.rate.mean);
+                trials as u64
+            }));
+        }
     }
     let draws = profile.rng_draws();
     results.push(measure("trial_rng", "draw", reps, || {
@@ -289,14 +303,21 @@ mod tests {
 
     #[test]
     fn suites_report_every_kernel() {
-        let engine = engine_suite(Profile::Quick, 1);
+        let engine = engine_suite(
+            Profile::Quick,
+            1,
+            &[KernelKind::Scalar, KernelKind::Bitsliced],
+        );
         let names: Vec<&str> = engine.results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
             [
-                "campaign_unsync",
-                "campaign_counter",
-                "campaign_slotted",
+                "campaign_unsync_scalar",
+                "campaign_unsync_bitsliced",
+                "campaign_counter_scalar",
+                "campaign_counter_bitsliced",
+                "campaign_slotted_scalar",
+                "campaign_slotted_bitsliced",
                 "trial_rng",
                 "std_rng"
             ]
@@ -305,6 +326,23 @@ mod tests {
             assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
             assert!(r.ops > 0, "{}: {r:?}", r.name);
         }
+
+        let scalar_only = engine_suite(Profile::Quick, 1, &[KernelKind::Scalar]);
+        let names: Vec<&str> = scalar_only
+            .results
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "campaign_unsync_scalar",
+                "campaign_counter_scalar",
+                "campaign_slotted_scalar",
+                "trial_rng",
+                "std_rng"
+            ]
+        );
 
         let trace = trace_suite(Profile::Quick, 1);
         let names: Vec<&str> = trace.results.iter().map(|r| r.name.as_str()).collect();

@@ -50,8 +50,8 @@ use nsc_bench::perf::{self, Profile, SuiteReport};
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
 use nsc_core::engine::{
-    run_campaign_manifest, run_campaign_traced, EngineConfig, ExecutionReport, Mechanism,
-    RunManifest, StatSummary, TrialPlan,
+    run_campaign_manifest, run_campaign_traced, EngineConfig, ExecutionReport, KernelKind,
+    Mechanism, RunManifest, StatSummary, TrialPlan,
 };
 use nsc_core::estimator::assess_from_counts;
 use nsc_core::sim::noisy_feedback::FeedbackQuality;
@@ -237,7 +237,7 @@ const SWEEP_FLAGS: &[FlagSpec] = &[
 
 /// The campaign flag table, shared by `trials` (capture optional)
 /// and `record` (capture required).
-const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 13] {
+const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 14] {
     [
         flag(
             "mechanism",
@@ -272,6 +272,12 @@ const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 13] {
             false,
             "operation budget per trial (default 64*len, min 4096)",
         ),
+        flag(
+            "kernel",
+            "scalar|bitsliced",
+            false,
+            "execution kernel (default scalar); bitsliced packs 64 trials per u64 lane, output bit-identical",
+        ),
         mech_flag(
             "slot-len",
             "L",
@@ -301,9 +307,9 @@ const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 13] {
     ]
 }
 
-const TRIALS_FLAG_TABLE: [FlagSpec; 13] = campaign_flag_table(false);
+const TRIALS_FLAG_TABLE: [FlagSpec; 14] = campaign_flag_table(false);
 const TRIALS_FLAGS: &[FlagSpec] = &TRIALS_FLAG_TABLE;
-const RECORD_FLAG_TABLE: [FlagSpec; 13] = campaign_flag_table(true);
+const RECORD_FLAG_TABLE: [FlagSpec; 14] = campaign_flag_table(true);
 const RECORD_FLAGS: &[FlagSpec] = &RECORD_FLAG_TABLE;
 
 const ESTIMATE_FLAGS: &[FlagSpec] = &[
@@ -356,6 +362,12 @@ const BENCH_FLAGS: &[FlagSpec] = &[
         "R",
         false,
         "recorded repetitions per kernel, after one warm-up (default 5)",
+    ),
+    flag(
+        "kernel",
+        "scalar|bitsliced|all",
+        false,
+        "engine-suite execution kernels to time (default all)",
     ),
     FORMAT_FLAG,
 ];
@@ -467,6 +479,30 @@ fn check_mechanism_flags(
         }
     }
     Ok(())
+}
+
+/// "Did you mean" suffix for an invalid flag *value*, mirroring the
+/// treatment typo'd flag *names* get.
+fn value_suggestion(raw: &str, valid: &[&str]) -> String {
+    valid
+        .iter()
+        .map(|v| (edit_distance(raw, v), *v))
+        .min_by_key(|&(d, _)| d)
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, best)| format!(" (did you mean `{best}`?)"))
+        .unwrap_or_default()
+}
+
+/// Parses `--kernel` for campaign subcommands (default scalar).
+fn parse_kernel(flags: &BTreeMap<String, String>) -> Result<KernelKind, String> {
+    match flags.get("kernel").map(String::as_str) {
+        None | Some("scalar") => Ok(KernelKind::Scalar),
+        Some("bitsliced") => Ok(KernelKind::Bitsliced),
+        Some(other) => Err(format!(
+            "flag --kernel: expected `scalar` or `bitsliced`, got `{other}`{}",
+            value_suggestion(other, &["scalar", "bitsliced"])
+        )),
+    }
 }
 
 /// Output rendering selected by `--format`.
@@ -741,11 +777,21 @@ fn campaign_command(cmd: &str, spec: &[FlagSpec], args: &[String]) -> CliResult 
             .parse()
             .map_err(|_| format!("flag --max-ops: cannot parse `{raw}`"))?;
     }
+    let kernel = parse_kernel(&flags)?;
     let trace_out = flags.get("trace-out").cloned();
     if trace_out.is_none() && spec.iter().any(|f| f.name == "trace-out" && f.required) {
         return Err("missing required flag --trace-out".to_owned());
     }
-    let cfg = EngineConfig::seeded(seed).with_threads(threads);
+    if kernel == KernelKind::Bitsliced && trace_out.is_some() {
+        return Err(
+            "--kernel bitsliced cannot capture traces (bitsliced lanes record counts, \
+             not per-operation events); rerun with --kernel scalar"
+                .to_owned(),
+        );
+    }
+    let cfg = EngineConfig::seeded(seed)
+        .with_threads(threads)
+        .with_kernel(kernel);
     let (summary, manifest, capture) = match &trace_out {
         None => {
             let (summary, manifest) =
@@ -818,6 +864,11 @@ fn campaign_command(cmd: &str, spec: &[FlagSpec], args: &[String]) -> CliResult 
     let _ = writeln!(out, "mechanism       : {}", summary.mechanism);
     let _ = writeln!(out, "bits / q / len  : {bits} / {q} / {len}");
     let _ = writeln!(out, "trials / seed   : {trials} / {seed}");
+    // Printed only off the default so the scalar text output stays
+    // byte-identical to the pre---kernel rendering.
+    if kernel == KernelKind::Bitsliced {
+        let _ = writeln!(out, "kernel          : bitsliced (64 trials per u64 lane)");
+    }
     let _ = writeln!(out, "rate bits/op    : {}", stat(&summary.rate));
     let _ = writeln!(out, "P_d^            : {}", stat(&summary.p_d));
     let _ = writeln!(out, "P_i^            : {}", stat(&summary.p_i));
@@ -1027,11 +1078,22 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if reps == 0 {
         return Err("--reps must be at least 1".to_owned());
     }
+    let kernels: &[KernelKind] = match flags.get("kernel").map(String::as_str) {
+        None | Some("all") => &[KernelKind::Scalar, KernelKind::Bitsliced],
+        Some("scalar") => &[KernelKind::Scalar],
+        Some("bitsliced") => &[KernelKind::Bitsliced],
+        Some(other) => {
+            return Err(format!(
+                "flag --kernel: expected `scalar`, `bitsliced`, or `all`, got `{other}`{}",
+                value_suggestion(other, &["scalar", "bitsliced", "all"])
+            ))
+        }
+    };
     let suites: Vec<SuiteReport> = match suite.as_str() {
-        "engine" => vec![perf::engine_suite(profile, reps)],
+        "engine" => vec![perf::engine_suite(profile, reps, kernels)],
         "trace" => vec![perf::trace_suite(profile, reps)],
         "all" => vec![
-            perf::engine_suite(profile, reps),
+            perf::engine_suite(profile, reps, kernels),
             perf::trace_suite(profile, reps),
         ],
         other => {
@@ -1068,7 +1130,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         for r in &s.results {
             let _ = writeln!(
                 out,
-                "  {:<22} {:>12.1} ns/{}  ({} ops per rep)",
+                "  {:<26} {:>12.1} ns/{}  ({} ops per rep)",
                 r.name, r.median_ns_per_op, r.unit, r.ops
             );
         }
@@ -1477,6 +1539,125 @@ mod tests {
     }
 
     #[test]
+    fn trials_bitsliced_kernel_matches_scalar_json() {
+        // The CLI face of the kernel-equivalence contract: at any
+        // thread count, scalar and bitsliced JSON differ only in
+        // manifest.execution (where the kernel itself is reported).
+        let json_with = |kernel: &str, threads: &str| {
+            run_str(&[
+                "trials",
+                "--mechanism",
+                "counter",
+                "--bits",
+                "2",
+                "--len",
+                "200",
+                "--trials",
+                "70",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+                "--kernel",
+                kernel,
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let mut scalar = parse_json(&json_with("scalar", "1"));
+        for threads in ["1", "4"] {
+            let mut bitsliced = parse_json(&json_with("bitsliced", threads));
+            assert_eq!(bitsliced["manifest"]["execution"]["kernel"], "bitsliced");
+            strip_execution(&mut scalar);
+            strip_execution(&mut bitsliced);
+            assert_eq!(
+                serde_json::to_string_pretty(&scalar).unwrap(),
+                serde_json::to_string_pretty(&bitsliced).unwrap()
+            );
+        }
+        // The kernel is an execution detail, not a parameter: it must
+        // stay out of `params`, or the equivalence diff above (and the
+        // CI job mirroring it) would be vacuous.
+        assert!(scalar["params"].get("kernel").is_none());
+    }
+
+    #[test]
+    fn trials_kernel_flag_errors_and_text() {
+        // Typo'd kernel values get the did-you-mean treatment.
+        let err = run_str(&[
+            "trials",
+            "--mechanism",
+            "counter",
+            "--bits",
+            "2",
+            "--kernel",
+            "bitslice",
+        ])
+        .unwrap_err();
+        assert!(err.contains("flag --kernel"), "{err}");
+        assert!(err.contains("did you mean `bitsliced`"), "{err}");
+        // Mechanisms without a bitsliced twin are rejected by the
+        // engine with a pointer back to --kernel scalar.
+        let err = run_str(&[
+            "trials",
+            "--mechanism",
+            "stop-wait",
+            "--bits",
+            "1",
+            "--len",
+            "64",
+            "--trials",
+            "3",
+            "--kernel",
+            "bitsliced",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no bitsliced kernel"), "{err}");
+        // Trace capture needs per-operation events, which lanes
+        // cannot record; both `trials --trace-out` and `record`
+        // reject the combination up front.
+        let err = run_str(&[
+            "record",
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "1",
+            "--len",
+            "64",
+            "--trials",
+            "3",
+            "--kernel",
+            "bitsliced",
+            "--trace-out",
+            "/tmp/never-written.jsonl",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--kernel scalar"), "{err}");
+        // Text output gains a kernel line only off the default.
+        let base = [
+            "trials",
+            "--mechanism",
+            "unsync",
+            "--bits",
+            "1",
+            "--len",
+            "64",
+            "--trials",
+            "3",
+        ];
+        let scalar = run_str(&base).unwrap();
+        assert!(!scalar.contains("kernel          :"), "{scalar}");
+        let mut args = base.to_vec();
+        args.extend(["--kernel", "bitsliced"]);
+        let bitsliced = run_str(&args).unwrap();
+        assert!(
+            bitsliced.contains("kernel          : bitsliced"),
+            "{bitsliced}"
+        );
+    }
+
+    #[test]
     fn trials_all_mechanisms_render() {
         for mech in [
             "unsync",
@@ -1771,7 +1952,15 @@ mod tests {
     #[test]
     fn bench_json_reports_kernels_and_fingerprint() {
         let out = run_str(&[
-            "bench", "--suite", "engine", "--profile", "quick", "--reps", "1", "--format", "json",
+            "bench",
+            "--suite",
+            "engine",
+            "--profile",
+            "quick",
+            "--reps",
+            "1",
+            "--format",
+            "json",
         ])
         .unwrap();
         let doc = parse_json(&out);
@@ -1782,7 +1971,12 @@ mod tests {
         assert_eq!(suites.len(), 1);
         assert_eq!(suites[0]["suite"], "engine");
         let results = suites[0]["results"].as_array().unwrap();
-        for name in ["campaign_counter", "trial_rng", "std_rng"] {
+        for name in [
+            "campaign_counter_scalar",
+            "campaign_counter_bitsliced",
+            "trial_rng",
+            "std_rng",
+        ] {
             let r = results
                 .iter()
                 .find(|r| r["name"] == name)
@@ -1791,12 +1985,44 @@ mod tests {
         }
         assert!(doc["fingerprint"]["cores"].as_u64().unwrap() >= 1);
         assert!(doc["fingerprint"]["arch"].is_string());
+
+        // --kernel scalar prunes the bitsliced rows.
+        let out = run_str(&[
+            "bench",
+            "--suite",
+            "engine",
+            "--profile",
+            "quick",
+            "--reps",
+            "1",
+            "--kernel",
+            "scalar",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let doc = parse_json(&out);
+        let results = doc["suites"][0]["results"].as_array().unwrap();
+        assert!(results
+            .iter()
+            .any(|r| r["name"] == "campaign_unsync_scalar"));
+        assert!(!results
+            .iter()
+            .any(|r| r["name"].as_str().unwrap().contains("bitsliced")));
     }
 
     #[test]
     fn bench_text_and_flag_errors() {
-        let out = run_str(&["bench", "--suite", "trace", "--profile", "quick", "--reps", "1"])
-            .unwrap();
+        let out = run_str(&[
+            "bench",
+            "--suite",
+            "trace",
+            "--profile",
+            "quick",
+            "--reps",
+            "1",
+        ])
+        .unwrap();
         assert!(out.contains("suite trace"), "{out}");
         assert!(out.contains("trace_write_manual"), "{out}");
         assert!(out.contains("machine-specific"), "{out}");
@@ -1812,6 +2038,10 @@ mod tests {
         assert!(run_str(&["bench", "--suit", "engine"])
             .unwrap_err()
             .contains("did you mean --suite"));
+        // Kernel values are validated before any suite runs.
+        let err = run_str(&["bench", "--kernel", "bitslice"]).unwrap_err();
+        assert!(err.contains("flag --kernel"), "{err}");
+        assert!(err.contains("did you mean `bitsliced`"), "{err}");
     }
 
     #[test]

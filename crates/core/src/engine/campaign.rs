@@ -22,10 +22,11 @@
 
 use super::accum::{RunningStats, StatSummary, TrialAccumulator};
 use super::rng::TrialRng;
-use super::runner::{fold_trials_scoped_timed, run_trials_scoped_timed};
-use super::{EngineConfig, RunManifest};
+use super::runner::{fold_trials_scoped_timed, run_blocks_scoped_timed, run_trials_scoped_timed};
+use super::{EngineConfig, KernelKind, RunManifest};
 use crate::error::CoreError;
 use crate::sim::adaptive::run_adaptive_slotted_into;
+use crate::sim::bitsliced::{self, LaneRng};
 use crate::sim::counter::run_counter_protocol_into;
 use crate::sim::noisy_feedback::{run_noisy_counter_into, FeedbackQuality};
 use crate::sim::slotted::run_slotted_into;
@@ -36,7 +37,7 @@ use crate::sim::{
     BernoulliSchedule, EventRecorder, NullObserver, SimEvent, SimObserver, TrialScratch,
 };
 use nsc_channel::alphabet::{Alphabet, Symbol};
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Which §3 synchronization mechanism a campaign exercises.
@@ -77,6 +78,17 @@ impl Mechanism {
             Mechanism::NoisyCounter { .. } => "noisy-counter",
             Mechanism::Wide => "wide",
         }
+    }
+
+    /// Whether [`KernelKind::Bitsliced`] covers this mechanism. The
+    /// three §3 hot paths have bitsliced twins in
+    /// [`crate::sim::bitsliced`]; everything else runs scalar-only.
+    #[must_use]
+    pub fn has_bitsliced_kernel(&self) -> bool {
+        matches!(
+            self,
+            Mechanism::Unsynchronized | Mechanism::Counter | Mechanism::Slotted { .. }
+        )
     }
 }
 
@@ -245,6 +257,9 @@ pub fn run_campaign_manifest(
     trials: usize,
 ) -> Result<(CampaignSummary, RunManifest), CoreError> {
     let alphabet = validate_campaign(plan, trials)?;
+    if config.kernel == KernelKind::Bitsliced {
+        return run_campaign_bitsliced(config, plan, trials, alphabet);
+    }
 
     let (acc, execution) = fold_trials_scoped_timed::<TrialRng, CampaignAccumulator, _, _, _>(
         config,
@@ -256,8 +271,15 @@ pub fn run_campaign_manifest(
             let sched_rng = TrialRng::seed_from_u64(rng.gen());
             let mut schedule =
                 BernoulliSchedule::new(plan.sender_prob, sched_rng).expect("probability validated");
-            let out = run_one(plan, &message, &mut schedule, rng, &mut NullObserver, scratch)
-                .expect("plan validated");
+            let out = run_one(
+                plan,
+                &message,
+                &mut schedule,
+                rng,
+                &mut NullObserver,
+                scratch,
+            )
+            .expect("plan validated");
             scratch.message = message;
             out
         },
@@ -300,6 +322,14 @@ pub fn run_campaign_traced(
     trials: usize,
 ) -> Result<(CampaignSummary, RunManifest, Vec<TrialTrace>), CoreError> {
     let alphabet = validate_campaign(plan, trials)?;
+    if config.kernel == KernelKind::Bitsliced {
+        // The lane kernels track counts, not per-tick events; there
+        // is nothing to hand an observer.
+        return Err(CoreError::BadSimulation(
+            "trace capture requires the scalar kernel (bitsliced lanes record counts, not events)"
+                .to_owned(),
+        ));
+    }
 
     let (results, execution) = run_trials_scoped_timed::<TrialRng, _, _, _, _>(
         config,
@@ -345,6 +375,178 @@ pub fn run_campaign_traced(
         })
         .collect();
     Ok((summary, manifest, traces))
+}
+
+/// The [`KernelKind::Bitsliced`] campaign driver: 64 trials per
+/// `u64` lane through [`crate::sim::bitsliced`].
+///
+/// Bit-identity with the scalar path rests on three invariants:
+///
+/// 1. **Seeding replay** — each lane's schedule generator state is
+///    derived by replaying trial `i`'s scalar seeding verbatim
+///    ([`TrialRng::from_trial`], the message draw's word
+///    consumption, then the schedule split), so lane `l` of a block
+///    sees exactly the Bernoulli stream scalar trial `i` would.
+/// 2. **Count equality** — the lane kernels produce per-trial counts
+///    equal to the scalar simulators' (pinned by the
+///    `sim::bitsliced` equivalence tests), and the mappers below
+///    repeat the scalar outcome arithmetic operation for operation.
+/// 3. **Fold replay** — the flat outcome stream is re-folded with
+///    the engine's own `batch_size` grouping, reproducing
+///    [`fold_trials_scoped_timed`]'s Welford merge tree exactly.
+///
+/// Blocks of 64 trials are the parallel work unit, so thread count
+/// remains a pure wall-clock knob here too.
+fn run_campaign_bitsliced(
+    config: &EngineConfig,
+    plan: &TrialPlan,
+    trials: usize,
+    alphabet: Alphabet,
+) -> Result<(CampaignSummary, RunManifest), CoreError> {
+    let threshold = bitsliced::bernoulli_threshold(plan.sender_prob);
+    let bits = plan.bits;
+    let len = plan.message_len;
+    let max_ops = plan.max_ops;
+    let master = config.master_seed;
+
+    let (outcomes, execution) = match plan.mechanism {
+        Mechanism::Unsynchronized => run_blocks_scoped_timed(
+            config,
+            trials,
+            bitsliced::LANES,
+            || (),
+            |(), _, range| {
+                let n = range.len();
+                let mut rng = LaneRng::new();
+                for (lane, i) in range.enumerate() {
+                    rng.set_lane(lane, lane_schedule_state(master, i as u64, alphabet, len));
+                }
+                let o = bitsliced::run_unsync_lanes(&mut rng, n, len, threshold, max_ops);
+                (0..n)
+                    .map(|l| {
+                        let p_i = ratio_u64(o.stale_reads[l], o.reads[l]);
+                        TrialOutcome {
+                            rate: bits as f64 * ratio_u64(o.reads[l] - o.stale_reads[l], o.ops[l]),
+                            p_d: ratio_u64(o.deleted_writes[l], o.writes[l]),
+                            p_i,
+                            error_rate: p_i,
+                        }
+                    })
+                    .collect()
+            },
+        )?,
+        Mechanism::Counter => run_blocks_scoped_timed(
+            config,
+            trials,
+            bitsliced::LANES,
+            || (vec![0u16; bitsliced::LANES * len], Vec::with_capacity(len)),
+            |(slab, scratch), _, range| {
+                let n = range.len();
+                let mut rng = LaneRng::new();
+                for (lane, i) in range.enumerate() {
+                    let mut trial = TrialRng::from_trial(master, i as u64);
+                    alphabet.fill_random(&mut trial, scratch, len);
+                    for (dst, s) in slab[lane * len..(lane + 1) * len].iter_mut().zip(&*scratch) {
+                        *dst = s.index() as u16;
+                    }
+                    rng.set_lane(lane, TrialRng::seed_from_u64(trial.gen()).state());
+                }
+                let o = bitsliced::run_counter_lanes(&mut rng, slab, n, len, threshold, max_ops);
+                (0..n)
+                    .map(|l| {
+                        let e = ratio_u64(o.errors[l], o.delivered[l]);
+                        TrialOutcome {
+                            rate: nsc_channel::dmc::closed_form::mary_symmetric(bits, e)
+                                * ratio_u64(o.delivered[l], o.ops[l]),
+                            p_d: 0.0, // the waiting sender never overwrites unread data
+                            p_i: ratio_u64(o.stale_fills[l], o.delivered[l]),
+                            error_rate: e,
+                        }
+                    })
+                    .collect()
+            },
+        )?,
+        Mechanism::Slotted { slot_len } => run_blocks_scoped_timed(
+            config,
+            trials,
+            bitsliced::LANES,
+            || (),
+            |(), _, range| {
+                let n = range.len();
+                let mut rng = LaneRng::new();
+                for (lane, i) in range.enumerate() {
+                    rng.set_lane(lane, lane_schedule_state(master, i as u64, alphabet, len));
+                }
+                let o =
+                    bitsliced::run_slotted_lanes(&mut rng, n, len, slot_len, threshold, max_ops);
+                (0..n)
+                    .map(|l| {
+                        let sf = ratio_u64(o.stale_reads[l], o.delivered[l]);
+                        let e = crate::bounds::alpha(bits) * sf;
+                        TrialOutcome {
+                            rate: nsc_channel::dmc::closed_form::mary_symmetric(bits, e)
+                                * ratio_u64(o.delivered[l], o.ops[l]),
+                            p_d: ratio_u64(o.deleted_writes[l], o.writes[l]),
+                            p_i: sf,
+                            error_rate: e,
+                        }
+                    })
+                    .collect()
+            },
+        )?,
+        other => {
+            return Err(CoreError::BadSimulation(format!(
+                "mechanism {} has no bitsliced kernel (supported: unsync, counter, slotted); \
+                 rerun with --kernel scalar",
+                other.name()
+            )))
+        }
+    };
+
+    // Re-fold the flat outcome stream with the runner's own batch
+    // grouping (`batch_size` consecutive trials per partial, partials
+    // merged in order) so the Welford merge tree — and therefore
+    // every f64 — matches the scalar `fold_trials` path exactly.
+    let size = config.batch_size.max(1);
+    let mut acc = CampaignAccumulator::default();
+    for chunk in outcomes.chunks(size) {
+        let mut part = CampaignAccumulator::default();
+        for outcome in chunk {
+            part.record(*outcome);
+        }
+        acc.merge(part);
+    }
+
+    let summary = summarize(config, plan, trials, acc);
+    let manifest =
+        RunManifest::new(config, plan.describe(), Some(trials)).with_execution(execution);
+    Ok((summary, manifest))
+}
+
+/// Seeds one bitsliced lane exactly as the scalar path seeds trial
+/// `i`: derive the trial generator, let the message draw consume its
+/// words, then split off the schedule generator and capture its
+/// state.
+///
+/// The unsync and slotted statistics never read message *content* —
+/// their counts depend only on who acted when — so the driver
+/// advances past [`Alphabet::fill_random`]'s word consumption
+/// (`⌈len / ⌊64/N⌋⌉` words) instead of materializing symbols.
+fn lane_schedule_state(master: u64, trial: u64, alphabet: Alphabet, len: usize) -> [u64; 4] {
+    let mut rng = TrialRng::from_trial(master, trial);
+    let per_word = (64 / alphabet.bits()) as usize;
+    for _ in 0..len.div_ceil(per_word) {
+        rng.next_u64();
+    }
+    TrialRng::seed_from_u64(rng.gen()).state()
+}
+
+fn ratio_u64(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 /// Shared parameter validation; returns the campaign's alphabet.
@@ -492,7 +694,8 @@ where
             out
         }
         Mechanism::Wide => {
-            let o = run_wide_unsynchronized_into(message, bits, schedule, max_ops, observer, scratch)?;
+            let o =
+                run_wide_unsynchronized_into(message, bits, schedule, max_ops, observer, scratch)?;
             // Aligned samples are the non-stale ones; among those,
             // torn reads act as substitutions.
             let aligned = 1.0 - o.stale_rate();
@@ -591,6 +794,64 @@ mod tests {
             .expect("traced campaigns report execution");
         assert!(!exec.batches.is_empty());
         assert_eq!(exec.batches.iter().map(|b| b.trials).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn bitsliced_kernel_matches_scalar_bit_for_bit() {
+        // 70 trials = one full 64-lane block plus a 6-lane tail, so
+        // tail masking and the batch-grouping re-fold both matter.
+        for mech in [
+            Mechanism::Unsynchronized,
+            Mechanism::Counter,
+            Mechanism::Slotted { slot_len: 3 },
+        ] {
+            assert!(mech.has_bitsliced_kernel());
+            let plan = TrialPlan::new(mech, 3, 120, 0.5);
+            let scalar = run_campaign(&EngineConfig::serial(11), &plan, 70).unwrap();
+            for threads in [1usize, 4] {
+                let cfg = EngineConfig::seeded(11)
+                    .with_threads(threads)
+                    .with_kernel(KernelKind::Bitsliced);
+                let bitsliced = run_campaign(&cfg, &plan, 70).unwrap();
+                assert_eq!(
+                    scalar,
+                    bitsliced,
+                    "mechanism {} threads {threads}",
+                    mech.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_kernel_rejects_unsupported_requests() {
+        let cfg = EngineConfig::serial(5).with_kernel(KernelKind::Bitsliced);
+        for mech in [
+            Mechanism::StopWait,
+            Mechanism::AdaptiveSlotted,
+            Mechanism::Wide,
+        ] {
+            assert!(!mech.has_bitsliced_kernel());
+            let plan = TrialPlan::new(mech, 3, 100, 0.5);
+            let err = run_campaign(&cfg, &plan, 4).unwrap_err();
+            assert!(
+                err.to_string().contains("no bitsliced kernel"),
+                "{err} ({})",
+                mech.name()
+            );
+        }
+        // Trace capture needs per-tick events, which lanes don't record.
+        let plan = TrialPlan::new(Mechanism::Counter, 3, 100, 0.5);
+        assert!(run_campaign_traced(&cfg, &plan, 4).is_err());
+        // The kernel is reported observationally in the manifest.
+        let (_, manifest) = run_campaign_manifest(&cfg, &plan, 4).unwrap();
+        assert_eq!(
+            manifest
+                .execution
+                .expect("campaigns report execution")
+                .kernel,
+            KernelKind::Bitsliced
+        );
     }
 
     #[test]

@@ -84,6 +84,43 @@ pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 /// the machine.
 pub const DEFAULT_BATCH_SIZE: usize = 32;
 
+/// Which trial-execution kernel a campaign runs on.
+///
+/// The kernel is an *execution strategy*, not a model parameter:
+/// both kernels must produce bit-identical per-trial statistics for
+/// the same `(plan, master_seed, batch_size)`, so it lives next to
+/// `threads` in the config and is reported only in the observational
+/// [`ExecutionReport`], never in determinism-checked payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelKind {
+    /// One trial at a time through the [`crate::sim`] state machines —
+    /// the reference oracle every other kernel is checked against.
+    #[default]
+    Scalar,
+    /// 64 trials per `u64` lane through
+    /// [`crate::sim::bitsliced`] — same statistics, ~3–13× the
+    /// throughput on the converted mechanisms.
+    Bitsliced,
+}
+
+impl KernelKind {
+    /// Stable machine-readable name, used by the CLI and in JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Bitsliced => "bitsliced",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of the trial engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -96,6 +133,11 @@ pub struct EngineConfig {
     /// boundaries are what make aggregation order — and therefore
     /// floating-point results — independent of the thread count.
     pub batch_size: usize,
+    /// Execution kernel ([`KernelKind::Scalar`] unless asked
+    /// otherwise). Like `threads`, a wall-clock knob: campaigns
+    /// produce bit-identical statistics on every kernel.
+    #[serde(default)]
+    pub kernel: KernelKind,
 }
 
 impl EngineConfig {
@@ -106,6 +148,7 @@ impl EngineConfig {
             master_seed,
             threads: 0,
             batch_size: DEFAULT_BATCH_SIZE,
+            kernel: KernelKind::Scalar,
         }
     }
 
@@ -124,6 +167,12 @@ impl EngineConfig {
     #[must_use]
     pub fn with_threads(self, threads: usize) -> Self {
         EngineConfig { threads, ..self }
+    }
+
+    /// Returns a copy with the given execution kernel.
+    #[must_use]
+    pub fn with_kernel(self, kernel: KernelKind) -> Self {
+        EngineConfig { kernel, ..self }
     }
 
     /// The number of workers the runner will actually spawn.
@@ -166,6 +215,11 @@ pub struct ExecutionReport {
     pub threads_requested: usize,
     /// Workers actually available ([`EngineConfig::effective_threads`]).
     pub effective_threads: usize,
+    /// Execution kernel the run used. Observational like everything
+    /// else here: both kernels yield bit-identical statistics, so the
+    /// kernel may differ between runs that compare equal.
+    #[serde(default)]
+    pub kernel: KernelKind,
     /// Total wall-clock seconds for the run.
     pub wall_secs: f64,
     /// Aggregate throughput, trials per wall-clock second (0 when the
@@ -187,6 +241,7 @@ impl ExecutionReport {
         ExecutionReport {
             threads_requested: config.threads,
             effective_threads: config.effective_threads(),
+            kernel: config.kernel,
             wall_secs,
             trials_per_sec: if wall_secs > 0.0 {
                 trials as f64 / wall_secs
@@ -273,10 +328,32 @@ mod tests {
         assert_eq!(c.master_seed, 9);
         assert_eq!(c.threads, 0);
         assert_eq!(c.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(c.kernel, KernelKind::Scalar);
         assert!(c.effective_threads() >= 1);
         let s = EngineConfig::serial(9);
         assert_eq!(s.threads, 1);
         assert_eq!(s.effective_threads(), 1);
         assert_eq!(s.with_threads(5).effective_threads(), 5);
+        let b = s.with_kernel(KernelKind::Bitsliced);
+        assert_eq!(b.kernel, KernelKind::Bitsliced);
+        assert_eq!(b.threads, 1);
+    }
+
+    #[test]
+    fn kernel_kind_serde_names_are_lowercase() {
+        assert_eq!(
+            serde_json::to_string(&KernelKind::Bitsliced).unwrap(),
+            "\"bitsliced\""
+        );
+        assert_eq!(
+            serde_json::to_string(&KernelKind::Scalar).unwrap(),
+            "\"scalar\""
+        );
+        // Configs serialized before the kernel field existed still
+        // deserialize (defaulting to the scalar oracle).
+        let legacy: EngineConfig =
+            serde_json::from_str(r#"{"master_seed":1,"threads":2,"batch_size":8}"#).unwrap();
+        assert_eq!(legacy.kernel, KernelKind::Scalar);
+        assert_eq!(KernelKind::Bitsliced.to_string(), "bitsliced");
     }
 }

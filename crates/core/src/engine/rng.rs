@@ -44,14 +44,22 @@ impl TrialRng {
         Self::seed_from_u64(trial_seed(master_seed, index))
     }
 
+    /// The raw xoshiro256\*\* state words, in order.
+    ///
+    /// The bitsliced kernels ([`crate::sim::bitsliced`]) use this to
+    /// install a trial's schedule generator into a lane of their
+    /// structure-of-arrays `LaneRng`, which then replays the exact
+    /// stream this generator would produce.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Advances the state and returns the next 64-bit word
     /// (xoshiro256\*\*: `rotl(s1 * 5, 7) * 9`).
     #[inline]
     fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

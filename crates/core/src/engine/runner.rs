@@ -169,7 +169,11 @@ fn batch_count(config: &EngineConfig, trials: usize) -> usize {
 ///
 /// Returns [`CoreError::Engine`] if the worker pool failed to
 /// deliver a batch (an internal invariant violation).
-pub fn run_trials<T, F>(config: &EngineConfig, trials: usize, trial_fn: F) -> Result<Vec<T>, CoreError>
+pub fn run_trials<T, F>(
+    config: &EngineConfig,
+    trials: usize,
+    trial_fn: F,
+) -> Result<Vec<T>, CoreError>
 where
     T: Send,
     F: Fn(u64, &mut StdRng) -> T + Sync,
@@ -313,9 +317,7 @@ where
     A: TrialAccumulator + Default + Send,
     F: Fn(u64, &mut G) -> A::Outcome + Sync,
 {
-    fold_trials_scoped_timed::<G, A, (), _, _>(config, trials, || (), |(), i, rng| {
-        trial_fn(i, rng)
-    })
+    fold_trials_scoped_timed::<G, A, (), _, _>(config, trials, || (), |(), i, rng| trial_fn(i, rng))
 }
 
 /// The scratch-threading fold: like [`fold_trials_timed_with`], but
@@ -396,6 +398,61 @@ where
             batch: b,
             trials: hi - lo,
             wall_secs: batch_started.elapsed().as_secs_f64(),
+        };
+        (outs, timing)
+    })?;
+    let mut out = Vec::with_capacity(trials);
+    let mut batches = Vec::with_capacity(partials.len());
+    for (outs, timing) in partials {
+        out.extend(outs);
+        batches.push(timing);
+    }
+    let report = ExecutionReport::collect(config, trials, started.elapsed().as_secs_f64(), batches);
+    Ok((out, report))
+}
+
+/// The lane-block run behind the bitsliced campaign kernel: cuts
+/// `trials` into fixed `block`-sized units (the kernel's lane width,
+/// not `batch_size`), hands each worker whole units, and reassembles
+/// the per-trial outcomes in trial order.
+///
+/// `block_fn` receives the worker's context, the block index, and
+/// the block's trial range; it must return exactly one outcome per
+/// trial in the range, in trial order. Block boundaries depend only
+/// on `(trials, block)`, so the flat outcome stream is independent
+/// of the thread count; callers re-fold it with the engine's own
+/// `batch_size` grouping to get aggregates bit-identical to
+/// [`fold_trials`].
+pub(crate) fn run_blocks_scoped_timed<T, C, I, F>(
+    config: &EngineConfig,
+    trials: usize,
+    block: usize,
+    init: I,
+    block_fn: F,
+) -> Result<(Vec<T>, ExecutionReport), CoreError>
+where
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let block = block.max(1);
+    // nsc-lint: allow(wall-clock, reason = "BatchTiming/ExecutionReport are observational; timing never feeds the outcomes")
+    let started = Instant::now();
+    let partials = batched_ctx(config, trials.div_ceil(block), init, |ctx, b| {
+        let lo = b * block;
+        let hi = (lo + block).min(trials);
+        // nsc-lint: allow(wall-clock, reason = "per-block wall-clock is reported, never folded into results")
+        let block_started = Instant::now();
+        let outs = block_fn(ctx, b, lo..hi);
+        debug_assert_eq!(
+            outs.len(),
+            hi - lo,
+            "block {b} returned a wrong outcome count"
+        );
+        let timing = BatchTiming {
+            batch: b,
+            trials: hi - lo,
+            wall_secs: block_started.elapsed().as_secs_f64(),
         };
         (outs, timing)
     })?;
@@ -578,15 +635,40 @@ mod tests {
             let c = cfg(threads);
             let plain: RunningStats =
                 fold_trials_with::<TrialRng, _, _>(&c, 100, |_, rng| rng.gen::<f64>()).unwrap();
-            let (scoped, report): (RunningStats, _) = fold_trials_scoped_timed::<TrialRng, _, _, _, _>(
-                &c,
-                100,
-                || (),
-                |(), _, rng| rng.gen::<f64>(),
-            )
-            .unwrap();
+            let (scoped, report): (RunningStats, _) =
+                fold_trials_scoped_timed::<TrialRng, _, _, _, _>(
+                    &c,
+                    100,
+                    || (),
+                    |(), _, rng| rng.gen::<f64>(),
+                )
+                .unwrap();
             assert_eq!(plain.mean().to_bits(), scoped.mean().to_bits());
             assert_eq!(report.batches.len(), 100usize.div_ceil(c.batch_size));
+        }
+    }
+
+    #[test]
+    fn block_run_covers_trials_in_order_and_reports_timings() {
+        for threads in [1usize, 4] {
+            let c = cfg(threads);
+            let (outs, report) = run_blocks_scoped_timed(
+                &c,
+                103,
+                64,
+                || (),
+                |(), b, range| {
+                    assert_eq!(range.start, b * 64);
+                    range.map(|i| i as u64).collect()
+                },
+            )
+            .unwrap();
+            assert_eq!(outs, (0u64..103).collect::<Vec<_>>(), "threads = {threads}");
+            // 103 trials in 64-wide blocks: one full block + a tail.
+            assert_eq!(report.batches.len(), 2);
+            assert_eq!(report.batches[0].trials, 64);
+            assert_eq!(report.batches[1].trials, 39);
+            assert_eq!(report.batches.iter().map(|b| b.trials).sum::<usize>(), 103);
         }
     }
 

@@ -84,7 +84,13 @@ pub fn run_adaptive_slotted_observed<S: OpSchedule + ?Sized, O: SimObserver + ?S
     max_ops: usize,
     observer: &mut O,
 ) -> Result<AdaptiveOutcome, CoreError> {
-    run_adaptive_slotted_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+    run_adaptive_slotted_into(
+        message,
+        schedule,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
 }
 
 /// [`run_adaptive_slotted_observed`], reusing `scratch`'s received

@@ -1,0 +1,933 @@
+//! Bitsliced trial kernels: 64 trials per `u64` lane.
+//!
+//! The scalar runners in [`super::unsync`], [`super::counter`] and
+//! [`super::slotted`] spend most of their time on one unpredictable
+//! branch per tick — *who got the operation* — plus the boolean
+//! mailbox bookkeeping hanging off it. This module runs **64
+//! independent trials in lockstep**, one trial per bit of a `u64`:
+//! every Boolean of per-trial state (mailbox freshness, slot
+//! acted-flags, liveness) becomes one word, every per-tick decision
+//! becomes straight-line mask algebra, and per-trial tallies live in
+//! carry-save [`VerticalCounter`]s so that counting across all 64
+//! trials costs a handful of word operations per tick. Integer state
+//! that must stay addressable (the counter protocol's cursors) is
+//! kept in structure-of-arrays form so its update loops
+//! autovectorize. No `std::simd`, no `#[cfg(target_feature)]`: plain
+//! `u64` array code that LLVM lowers the same way on every target,
+//! which is what keeps the results cross-platform deterministic (see
+//! the `kernel-divergence` nsc-lint rule).
+//!
+//! # Exact equivalence with the scalar oracle
+//!
+//! The scalar path stays the oracle; these kernels must reproduce its
+//! per-trial statistics **bit for bit**. Three facts make that
+//! possible without simulating anything approximately:
+//!
+//! 1. **Lockstep ops.** Each converted mechanism consumes exactly one
+//!    schedule operation per loop iteration (there is no
+//!    pause-without-consuming), so a trial's local `ops` count equals
+//!    the global tick index for as long as the trial is live. One
+//!    shared tick loop is therefore exact — and the slotted
+//!    mechanism's slot index `tick / slot_len` is common to all
+//!    lanes.
+//! 2. **Exact Bernoulli thresholding.** The scalar schedule draws
+//!    `rng.gen::<f64>() < q`, where `rand`'s `Standard` f64 is
+//!    `(next_u64() >> 11) as f64 * 2^-53`. Because multiplying by a
+//!    power of two is exact, that comparison is *identical* to the
+//!    integer test `(next_u64() >> 11) < ceil(q * 2^53)` — see
+//!    [`bernoulli_threshold`]. One xoshiro step per lane thus yields
+//!    the lane's schedule draw with zero floating-point involvement.
+//! 3. **Per-lane generator replay.** Each lane carries the full
+//!    xoshiro256** state of its trial's schedule RNG
+//!    (structure-of-arrays across lanes, stepped in lockstep), so
+//!    lane `l` consumes *the same stream* the scalar trial would.
+//!    Inactive lanes keep stepping — their draws are masked out, and
+//!    a finished trial's statistics are already frozen, so the extra
+//!    draws cannot be observed.
+//!
+//! # Lane packing and the tail
+//!
+//! A block packs up to [`LANES`] consecutive trials; a campaign whose
+//! trial count is not a multiple of 64 ends with a partial block.
+//! Tail lanes beyond `n_lanes` are simply never in the `active`
+//! mask: their RNG draws and state updates happen (keeping every
+//! loop a fixed-trip-count, vectorizable `0..LANES`) but are masked
+//! out of every statistic. Because each lane's outcome is a pure
+//! function of its own seeded state — lanes never exchange
+//! information — the packing (which trial sits in which lane, how
+//! many lanes a block has) is unobservable in the results: this is
+//! what makes the bitsliced path packing-invariant and lets it share
+//! the scalar path's determinism contract.
+
+/// Trials per block: one per bit of the `u64` lane masks.
+pub const LANES: usize = 64;
+
+/// Mask with the low `n` lane bits set (`n <= 64`).
+#[must_use]
+pub fn lane_mask(n: usize) -> u64 {
+    if n >= LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// The integer threshold equivalent to the scalar Bernoulli draw
+/// `rng.gen::<f64>() < q`.
+///
+/// `rand`'s `Standard` distribution for `f64` produces
+/// `(next_u64() >> 11) as f64 * 2^-53`. Scaling by `2^53` is exact
+/// (a pure exponent shift), so for the 53-bit integer
+/// `m = next_u64() >> 11`:
+///
+/// ```text
+/// m * 2^-53 < q  ⇔  m < q * 2^53  ⇔  m < ceil(q * 2^53)
+/// ```
+///
+/// (the last step because `m` is an integer and the comparison is
+/// strict). `q = 1` gives `2^53`, which every `m` is below; `q = 0`
+/// gives `0`, which no `m` is below.
+#[must_use]
+pub fn bernoulli_threshold(q: f64) -> u64 {
+    (q * 9_007_199_254_740_992.0).ceil() as u64
+}
+
+/// A 64-lane vertical counter: plane `p` holds bit `p` of every
+/// lane's tally, so "increment these lanes" is a carry-save ripple
+/// add of the lane mask — a couple of word operations amortized,
+/// independent of how many lanes incremented. This is what lets the
+/// kernels tally per-trial statistics every tick without a 64-wide
+/// accumulation loop.
+#[derive(Debug, Clone)]
+pub struct VerticalCounter {
+    planes: [u64; 64],
+    used: usize,
+}
+
+impl Default for VerticalCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VerticalCounter {
+    /// All lanes at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        VerticalCounter {
+            planes: [0; 64],
+            used: 0,
+        }
+    }
+
+    /// Adds 1 to every lane whose bit is set in `mask`.
+    #[inline]
+    pub fn add(&mut self, mask: u64) {
+        let mut carry = mask;
+        let mut p = 0;
+        while carry != 0 {
+            let sum = self.planes[p] ^ carry;
+            carry &= self.planes[p];
+            self.planes[p] = sum;
+            p += 1;
+        }
+        if p > self.used {
+            self.used = p;
+        }
+    }
+
+    /// The tally of one lane.
+    #[must_use]
+    pub fn get(&self, lane: usize) -> u64 {
+        let mut v = 0u64;
+        for p in 0..self.used {
+            v |= ((self.planes[p] >> lane) & 1) << p;
+        }
+        v
+    }
+
+    /// All 64 tallies, lane-indexed.
+    #[must_use]
+    pub fn to_array(&self) -> [u64; LANES] {
+        let mut out = [0u64; LANES];
+        for (lane, v) in out.iter_mut().enumerate() {
+            *v = self.get(lane);
+        }
+        out
+    }
+
+    /// Lanes whose tally equals `c` exactly.
+    ///
+    /// The kernels use this to catch a cursor *arriving* at a
+    /// boundary (e.g. `next_to_send == len - 1` just before the write
+    /// that completes the message), replacing a per-tick 64-wide
+    /// `>= len` recomputation with a handful of plane comparisons.
+    #[must_use]
+    pub fn eq_mask(&self, c: u64) -> u64 {
+        let needed = (64 - c.leading_zeros()) as usize;
+        let top = self.used.max(needed);
+        let mut eq = u64::MAX;
+        for p in 0..top {
+            let plane = self.planes[p];
+            eq &= if (c >> p) & 1 == 1 { plane } else { !plane };
+        }
+        eq
+    }
+}
+
+/// 64 xoshiro256** generators in structure-of-arrays form, stepped in
+/// lockstep.
+///
+/// Each lane replays exactly the stream of one
+/// [`TrialRng`](crate::engine::rng::TrialRng): the recurrence below
+/// is the same one, applied to every lane per call so the state
+/// arrays stay contiguous and the step loop autovectorizes. The
+/// scrambler's `* 5` / `* 9` are spelled as shift-adds — the same
+/// value on every input, but cheap vector shifts and adds where a
+/// generic 64-bit vector multiply is a slow multi-µop instruction.
+#[derive(Debug, Clone)]
+pub struct LaneRng {
+    s0: [u64; LANES],
+    s1: [u64; LANES],
+    s2: [u64; LANES],
+    s3: [u64; LANES],
+}
+
+impl Default for LaneRng {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LaneRng {
+    /// All lanes in an arbitrary nonzero state (never used for
+    /// results; lanes are re-seeded per block).
+    #[must_use]
+    pub fn new() -> Self {
+        LaneRng {
+            s0: [1; LANES],
+            s1: [2; LANES],
+            s2: [3; LANES],
+            s3: [4; LANES],
+        }
+    }
+
+    /// Installs one lane's xoshiro256** state (word order as
+    /// [`TrialRng`](crate::engine::rng::TrialRng) holds it).
+    pub fn set_lane(&mut self, lane: usize, state: [u64; 4]) {
+        self.s0[lane] = state[0];
+        self.s1[lane] = state[1];
+        self.s2[lane] = state[2];
+        self.s3[lane] = state[3];
+    }
+
+    /// Steps every lane once and packs the 64 Bernoulli outcomes into
+    /// one mask: bit `l` is set iff lane `l`'s draw satisfies
+    /// `(word >> 11) < threshold` — i.e. the scalar schedule would
+    /// have granted the **sender** the operation (see
+    /// [`bernoulli_threshold`]).
+    ///
+    /// The comparison is computed as the sign bit of
+    /// `(word >> 11) - threshold`: both operands are at most `2^53`,
+    /// so the subtraction cannot wrap and the sign bit *is* the
+    /// strict `<`. Vector ISAs without unsigned 64-bit compares
+    /// (plain SSE2) still lower subtract-and-shift cheaply, so the
+    /// draw stays a couple of vector ops on every target.
+    #[inline]
+    pub fn next_sender_mask(&mut self, threshold: u64) -> u64 {
+        let mut mask = 0u64;
+        for l in 0..LANES {
+            let x = self.s1[l];
+            let x5 = (x << 2).wrapping_add(x);
+            let rot = x5.rotate_left(7);
+            let result = (rot << 3).wrapping_add(rot);
+            let t = x << 17;
+            self.s2[l] ^= self.s0[l];
+            self.s3[l] ^= x;
+            self.s1[l] ^= self.s2[l];
+            self.s0[l] ^= self.s3[l];
+            self.s2[l] ^= t;
+            self.s3[l] = self.s3[l].rotate_left(45);
+            mask |= ((result >> 11).wrapping_sub(threshold) >> 63) << l;
+        }
+        mask
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose (recursive delta-swaps à la
+/// Hacker's Delight §7-3, oriented so that afterwards bit `j` of
+/// word `i` is the old bit `i` of word `j`). The kernels use it to
+/// turn 64 per-tick lane masks into 64 per-lane tick words.
+fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        // Swap the high-bit half-block of each low word with the
+        // low-bit half-block of its partner `j` words below.
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Batched per-lane event counter: per-tick lane masks are buffered
+/// and, once 64 have accumulated, transposed and popcounted into the
+/// per-lane tallies — a few amortized operations per tick, cheaper
+/// than rippling a [`VerticalCounter`] when nothing needs the running
+/// value mid-run. Use it for statistics that are only read at the end
+/// of a block; use `VerticalCounter` when the kernel must compare the
+/// running count every tick.
+struct MaskAccumulator {
+    buf: [u64; 64],
+    fill: usize,
+    counts: [u64; LANES],
+}
+
+impl MaskAccumulator {
+    fn new() -> Self {
+        MaskAccumulator {
+            buf: [0; 64],
+            fill: 0,
+            counts: [0; LANES],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, mask: u64) {
+        self.buf[self.fill] = mask;
+        self.fill += 1;
+        if self.fill == 64 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let mut t = self.buf;
+        transpose64(&mut t);
+        for (l, c) in self.counts.iter_mut().enumerate() {
+            *c += u64::from(t[l].count_ones());
+        }
+        // Re-zero so a final partial flush sees empty tail slots.
+        self.buf = [0; 64];
+        self.fill = 0;
+    }
+
+    fn finish(mut self) -> [u64; LANES] {
+        if self.fill > 0 {
+            self.flush();
+        }
+        self.counts
+    }
+}
+
+/// Per-lane statistics from [`run_unsync_lanes`], mirroring
+/// [`super::unsync::UnsyncOutcome`]'s counters (the received stream
+/// itself is not materialized — no campaign statistic reads its
+/// contents).
+#[derive(Debug, Clone)]
+pub struct UnsyncLanes {
+    /// Operations consumed per lane.
+    pub ops: [u64; LANES],
+    /// Writes per lane (equals the final send cursor).
+    pub writes: [u64; LANES],
+    /// Overwrites of an unread symbol per lane (deletions).
+    pub deleted_writes: [u64; LANES],
+    /// Receiver operations per lane.
+    pub reads: [u64; LANES],
+    /// Reads of an already-read value per lane (insertions).
+    pub stale_reads: [u64; LANES],
+}
+
+/// Runs up to [`LANES`] unsynchronized trials in lockstep — the
+/// bitsliced twin of [`super::unsync::run_unsynchronized_into`]
+/// restricted to a Bernoulli schedule. Lane `l`'s counters are
+/// bit-identical to a scalar run whose schedule RNG starts from the
+/// state installed in `rng` lane `l`.
+#[must_use]
+pub fn run_unsync_lanes(
+    rng: &mut LaneRng,
+    n_lanes: usize,
+    len: usize,
+    threshold: u64,
+    max_ops: usize,
+) -> UnsyncLanes {
+    let len = len as u64;
+    let mut ops = [0u64; LANES];
+    // The send cursor must be comparable against `len - 1` every
+    // tick (it decides `sent_all`), so it lives in a ripple-carry
+    // vertical counter; the pure statistics only matter at the end
+    // and go through batched transpose-popcount accumulators.
+    let mut next = VerticalCounter::new();
+    let mut deleted = MaskAccumulator::new();
+    let mut reads = MaskAccumulator::new();
+    let mut stale = MaskAccumulator::new();
+    // One bit per lane: mailbox freshness, "message fully written",
+    // liveness.
+    let mut fresh: u64 = 0;
+    let mut sent_all: u64 = if len == 0 { u64::MAX } else { 0 };
+    let last = len.wrapping_sub(1);
+    let mut active: u64 = lane_mask(n_lanes);
+    let budget = max_ops as u64;
+    let mut tick: u64 = 0;
+    while tick < budget {
+        // Scalar loop top: stop once everything was written and the
+        // last write consumed. A lane leaving here has consumed
+        // exactly `tick` operations.
+        let mut done = sent_all & !fresh & active;
+        active &= !done;
+        while done != 0 {
+            let l = done.trailing_zeros() as usize;
+            ops[l] = tick;
+            done &= done - 1;
+        }
+        if active == 0 {
+            break;
+        }
+        let sender = rng.next_sender_mask(threshold);
+        // Sender with symbols left: write (an idle post-message
+        // sender still consumes the op).
+        let write = sender & active & !sent_all;
+        deleted.push(write & fresh);
+        fresh |= write;
+        // A lane writing its last symbol has sent everything; catch
+        // the cursor at len-1 *before* incrementing it.
+        sent_all |= write & next.eq_mask(last);
+        next.add(write);
+        // Receiver: read, stale iff the mailbox was not fresh.
+        let recv = !sender & active;
+        stale.push(recv & !fresh);
+        reads.push(recv);
+        fresh &= !recv;
+        tick += 1;
+    }
+    // Lanes still live when the budget ran out consumed every op.
+    while active != 0 {
+        let l = active.trailing_zeros() as usize;
+        ops[l] = budget;
+        active &= active - 1;
+    }
+    UnsyncLanes {
+        ops,
+        // A write happens exactly when the cursor advances.
+        writes: next.to_array(),
+        deleted_writes: deleted.finish(),
+        reads: reads.finish(),
+        stale_reads: stale.finish(),
+    }
+}
+
+/// Per-lane statistics from [`run_counter_lanes`], mirroring the
+/// fields of [`super::counter::CounterOutcome`] that campaign
+/// statistics consume, plus the symbol-error count the scalar path
+/// derives by comparing `received` against the message.
+#[derive(Debug, Clone)]
+pub struct CounterLanes {
+    /// Operations consumed per lane.
+    pub ops: [u64; LANES],
+    /// Positions delivered per lane (the scalar `received.len()`
+    /// after truncation).
+    pub delivered: [u64; LANES],
+    /// Positions filled by stale reads per lane.
+    pub stale_fills: [u64; LANES],
+    /// Delivered positions that differ from the message per lane.
+    pub errors: [u64; LANES],
+}
+
+/// Runs up to [`LANES`] counter-protocol trials — the bitsliced twin
+/// of [`super::counter::run_counter_protocol_into`] restricted to a
+/// Bernoulli schedule.
+///
+/// Unlike the two Boolean-state mechanisms, the counter protocol
+/// needs a per-lane message gather on every tick (the written symbol
+/// and the delivery check both read `message[R]`), so running the
+/// lanes in strict lockstep buys nothing: the per-tick work is
+/// already O(lanes). Instead the kernel keeps the bitsliced part
+/// where it pays — the schedule RNG, 64 Bernoulli draws per xoshiro
+/// sweep — and *transposes* each 64-tick chunk of lane masks into 64
+/// per-lane tick words, which every live lane then replays with a
+/// branch-free scalar loop (select-based writes, no 3-way
+/// `R ⋛ S` branch, sequential slab access). Lanes retire
+/// individually the moment their `R` reaches the message length.
+///
+/// `symbols` is the lane-major message slab: lane `l`'s message
+/// occupies `symbols[l * len .. (l + 1) * len]`, one `u16` symbol
+/// index per position (the alphabet is at most 16 bits wide). Only
+/// the first `n_lanes` regions are read.
+///
+/// # Panics
+///
+/// Panics when the slab is smaller than `n_lanes * len` or the
+/// message is empty (the campaign layer validates both).
+#[must_use]
+pub fn run_counter_lanes(
+    rng: &mut LaneRng,
+    symbols: &[u16],
+    n_lanes: usize,
+    len: usize,
+    threshold: u64,
+    max_ops: usize,
+) -> CounterLanes {
+    assert!(symbols.len() >= n_lanes * len, "lane-major slab too small");
+    assert!(len > 0, "message is empty");
+    let len_u = len as u64;
+    let last = len - 1;
+    let budget = max_ops as u64;
+    // Lanes still running when the budget ran out consumed every op;
+    // retiring lanes overwrite their slot with the exact tick.
+    let mut ops = [budget; LANES];
+    // Sender count `S` and receiver count `R` of Appendix A, plus
+    // the per-lane mailbox (value, freshness) and tallies — all
+    // horizontal: the replay walks one lane at a time.
+    let mut s = [0u64; LANES];
+    let mut r = [0u64; LANES];
+    let mut mbox = [0u16; LANES];
+    let mut fresh = [0u64; LANES];
+    let mut stale = [0u64; LANES];
+    let mut errors = [0u64; LANES];
+    // Tail lanes are born retired.
+    let mut finished: u64 = !lane_mask(n_lanes);
+    let mut masks = [0u64; 64];
+    let mut base: u64 = 0;
+    while base < budget && finished != u64::MAX {
+        let lim = (budget - base).min(64);
+        for m in masks.iter_mut().take(lim as usize) {
+            *m = rng.next_sender_mask(threshold);
+        }
+        for m in masks.iter_mut().skip(lim as usize) {
+            *m = 0;
+        }
+        // masks[t] bit l  →  masks[l] bit t: each live lane now owns
+        // one word of schedule draws for this chunk.
+        transpose64(&mut masks);
+        for l in 0..LANES {
+            if finished & (1 << l) != 0 {
+                continue;
+            }
+            let lane_msg = &symbols[l * len..(l + 1) * len];
+            let mut w = masks[l];
+            let mut rl = r[l];
+            let mut sl = s[l];
+            let mut mb = mbox[l];
+            let mut fr = fresh[l];
+            let mut er = errors[l];
+            let mut st = stale[l];
+            let mut t: u64 = 0;
+            while t < lim {
+                // Scalar loop top: the run ends once R reaches the
+                // message length.
+                if rl >= len_u {
+                    ops[l] = base + t;
+                    finished |= 1 << l;
+                    break;
+                }
+                let draw = w & 1;
+                w >>= 1;
+                // R == S → send message[S]; R > S → skip ahead and
+                // send message[R]; R < S → wait. In both writing
+                // branches message[R] lands in the mailbox and the
+                // cursor at R + 1 (for R == S they coincide), so one
+                // in-bounds load at R serves the write — and it is
+                // the same word the delivery check compares against.
+                let v = lane_msg[(rl as usize).min(last)];
+                let wr = draw & u64::from(rl >= sl);
+                let sel16 = (wr as u16).wrapping_neg();
+                let sel64 = wr.wrapping_neg();
+                mb = (mb & !sel16) | (v & sel16);
+                sl = (sl & !sel64) | ((rl + 1) & sel64);
+                // Receiver: the read fills position R; stale iff the
+                // mailbox was not fresh, an error iff the value
+                // differs from message[R].
+                let rd = draw ^ 1;
+                st += rd & (fr ^ 1);
+                er += rd & u64::from(mb != v);
+                fr = (fr | wr) & (rd ^ 1);
+                rl += rd;
+                t += 1;
+            }
+            r[l] = rl;
+            s[l] = sl;
+            mbox[l] = mb;
+            fresh[l] = fr;
+            errors[l] = er;
+            stale[l] = st;
+        }
+        base += lim;
+    }
+    CounterLanes {
+        ops,
+        // Every receiver op fills exactly one position.
+        delivered: r,
+        stale_fills: stale,
+        errors,
+    }
+}
+
+/// Per-lane statistics from [`run_slotted_lanes`], mirroring the
+/// fields of [`super::slotted::SlottedOutcome`] that campaign
+/// statistics consume (`delivered` is the scalar `received.len()`).
+#[derive(Debug, Clone)]
+pub struct SlottedLanes {
+    /// Operations consumed per lane.
+    pub ops: [u64; LANES],
+    /// Writes per lane (equals the final send cursor).
+    pub writes: [u64; LANES],
+    /// Overwrites of an unread symbol per lane (deletions).
+    pub deleted_writes: [u64; LANES],
+    /// Serviced read slots per lane.
+    pub delivered: [u64; LANES],
+    /// Stale reads per lane (insertions).
+    pub stale_reads: [u64; LANES],
+}
+
+/// Runs up to [`LANES`] slotted trials in lockstep — the bitsliced
+/// twin of [`super::slotted::run_slotted_into`] restricted to a
+/// Bernoulli schedule.
+///
+/// Because every live lane's `ops` equals the global tick, the slot
+/// index `tick / slot_len` and its send/read parity are common
+/// knowledge across lanes; only the per-slot acted flag is per-lane.
+///
+/// # Panics
+///
+/// Panics when `slot_len` is zero (the campaign layer validates it).
+#[must_use]
+pub fn run_slotted_lanes(
+    rng: &mut LaneRng,
+    n_lanes: usize,
+    len: usize,
+    slot_len: usize,
+    threshold: u64,
+    max_ops: usize,
+) -> SlottedLanes {
+    assert!(slot_len > 0, "slot_len is zero");
+    let len = len as u64;
+    let slot_len = slot_len as u64;
+    let mut ops = [0u64; LANES];
+    // Send cursor vertical (compared against len-1 every write);
+    // pure statistics batched.
+    let mut next = VerticalCounter::new();
+    let mut deleted = MaskAccumulator::new();
+    let mut delivered = MaskAccumulator::new();
+    let mut stale = MaskAccumulator::new();
+    let mut fresh: u64 = 0;
+    let mut acted: u64 = 0;
+    let mut finished: u64 = if len == 0 { u64::MAX } else { 0 };
+    let last = len.wrapping_sub(1);
+    let mut active: u64 = lane_mask(n_lanes);
+    let budget = max_ops as u64;
+    let mut tick: u64 = 0;
+    while tick < budget {
+        // Scalar loop top: the run ends once the message is fully
+        // written.
+        let mut done = finished & active;
+        active &= !done;
+        while done != 0 {
+            let l = done.trailing_zeros() as usize;
+            ops[l] = tick;
+            done &= done - 1;
+        }
+        if active == 0 {
+            break;
+        }
+        // Slot boundaries are global (lockstep ops): a new slot
+        // resets every lane's acted flag.
+        if tick > 0 && tick % slot_len == 0 {
+            acted = 0;
+        }
+        let slot = tick / slot_len;
+        let is_send_slot = slot % 2 == 0;
+        let sender = rng.next_sender_mask(threshold);
+        if is_send_slot {
+            // First sender op of the slot writes; everything else in
+            // the slot is wasted.
+            let write = sender & active & !acted;
+            deleted.push(write & fresh);
+            fresh |= write;
+            acted |= write;
+            finished |= write & next.eq_mask(last);
+            next.add(write);
+        } else {
+            // First receiver op of the slot reads.
+            let read = !sender & active & !acted;
+            stale.push(read & !fresh);
+            delivered.push(read);
+            fresh &= !read;
+            acted |= read;
+        }
+        tick += 1;
+    }
+    while active != 0 {
+        let l = active.trailing_zeros() as usize;
+        ops[l] = budget;
+        active &= active - 1;
+    }
+    SlottedLanes {
+        ops,
+        // A write happens exactly when the cursor advances.
+        writes: next.to_array(),
+        deleted_writes: deleted.finish(),
+        delivered: delivered.finish(),
+        stale_reads: stale.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::rng::TrialRng;
+    use crate::sim::counter::run_counter_protocol;
+    use crate::sim::slotted::run_slotted;
+    use crate::sim::unsync::run_unsynchronized;
+    use crate::sim::BernoulliSchedule;
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use rand::{Rng, RngCore, SeedableRng};
+
+    const Q: f64 = 0.55;
+    const LEN: usize = 64;
+    const MAX_OPS: usize = 4_000;
+
+    /// The satellite pin: the threshold-mask draw must agree with the
+    /// scalar `TrialRng` f64 draw on the *same* words, for easy and
+    /// adversarial probabilities alike.
+    #[test]
+    fn threshold_mask_matches_scalar_f64_draws() {
+        let probs = [
+            0.0,
+            1.0,
+            0.5,
+            0.55,
+            0.25,
+            1e-17,
+            1.0 - 1e-16,
+            f64::from_bits(0x3FE5_5555_5555_5555), // near 2/3, odd mantissa
+        ];
+        for q in probs {
+            let t = bernoulli_threshold(q);
+            let mut ints = TrialRng::seed_from_u64(0xC0FF_EE00 ^ q.to_bits());
+            let mut floats = ints.clone();
+            for _ in 0..4_096 {
+                let masked = (ints.next_u64() >> 11) < t;
+                let scalar = floats.gen::<f64>() < q;
+                assert_eq!(masked, scalar, "q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_endpoints() {
+        assert_eq!(bernoulli_threshold(0.0), 0);
+        assert_eq!(bernoulli_threshold(1.0), 1u64 << 53);
+    }
+
+    /// Each lane's packed bit stream must equal the scalar Bernoulli
+    /// schedule drawn from the same starting state.
+    #[test]
+    fn lane_rng_replays_trial_rng_streams() {
+        let t = bernoulli_threshold(Q);
+        let mut lanes = LaneRng::new();
+        let scalars: Vec<TrialRng> = (0..LANES as u64)
+            .map(|l| TrialRng::from_trial(99, l))
+            .collect();
+        for (l, s) in scalars.iter().enumerate() {
+            lanes.set_lane(l, s.state());
+        }
+        let mut scalars = scalars;
+        for _ in 0..512 {
+            let mask = lanes.next_sender_mask(t);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                let expect = s.gen::<f64>() < Q;
+                assert_eq!((mask >> l) & 1 == 1, expect, "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_counter_tallies_and_compares() {
+        let mut c = VerticalCounter::new();
+        let mut reference = [0u64; LANES];
+        let mut mask = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1000 {
+            mask = mask.rotate_left(9) ^ 0x5DEE_CE66_D519_B2BAu64;
+            c.add(mask);
+            for (l, v) in reference.iter_mut().enumerate() {
+                *v += (mask >> l) & 1;
+            }
+        }
+        assert_eq!(c.to_array(), reference);
+        for probe in [0u64, 1, 250, 500, reference[0]] {
+            let mut expect = 0u64;
+            for (l, v) in reference.iter().enumerate() {
+                expect |= u64::from(*v == probe) << l;
+            }
+            assert_eq!(c.eq_mask(probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn transpose64_matches_naive() {
+        let mut m = [0u64; 64];
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for w in m.iter_mut() {
+            x = x.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
+            *w = x;
+        }
+        let mut t = m;
+        transpose64(&mut t);
+        for i in 0..64 {
+            for j in 0..64 {
+                assert_eq!((t[i] >> j) & 1, (m[j] >> i) & 1, "({i},{j})");
+            }
+        }
+        // An involution: transposing back restores the original.
+        transpose64(&mut t);
+        assert_eq!(t, m);
+    }
+
+    fn lane_message(bits: u32, seed: u64, lane: u64, len: usize) -> (Vec<Symbol>, TrialRng) {
+        let a = Alphabet::new(bits).unwrap();
+        let mut rng = TrialRng::from_trial(seed, lane);
+        let mut msg = Vec::new();
+        a.fill_random(&mut rng, &mut msg, len);
+        (msg, rng)
+    }
+
+    /// Seeds `n` lanes the way the campaign driver does and returns
+    /// the per-lane messages for scalar reference runs.
+    fn seed_lanes(
+        rng: &mut LaneRng,
+        bits: u32,
+        seed: u64,
+        n: usize,
+        len: usize,
+    ) -> Vec<Vec<Symbol>> {
+        let mut msgs = Vec::new();
+        for l in 0..n {
+            let (msg, mut trial_rng) = lane_message(bits, seed, l as u64, len);
+            let sched = TrialRng::seed_from_u64(trial_rng.gen());
+            rng.set_lane(l, sched.state());
+            msgs.push(msg);
+        }
+        msgs
+    }
+
+    fn scalar_schedule(bits: u32, seed: u64, lane: u64, len: usize) -> BernoulliSchedule<TrialRng> {
+        let (_, mut trial_rng) = lane_message(bits, seed, lane, len);
+        BernoulliSchedule::new(Q, TrialRng::seed_from_u64(trial_rng.gen())).unwrap()
+    }
+
+    #[test]
+    fn unsync_lanes_match_scalar_runner() {
+        for seed in [1u64, 2, 7] {
+            for n in [LANES, 7, 1] {
+                let mut rng = LaneRng::new();
+                let msgs = seed_lanes(&mut rng, 2, seed, n, LEN);
+                let t = bernoulli_threshold(Q);
+                let out = run_unsync_lanes(&mut rng, n, LEN, t, MAX_OPS);
+                for l in 0..n {
+                    let mut sched = scalar_schedule(2, seed, l as u64, LEN);
+                    let base = run_unsynchronized(&msgs[l], &mut sched, MAX_OPS).unwrap();
+                    assert_eq!(out.ops[l], base.ops as u64, "seed {seed} lane {l}");
+                    assert_eq!(out.writes[l], base.writes as u64, "seed {seed} lane {l}");
+                    assert_eq!(out.deleted_writes[l], base.deleted_writes as u64);
+                    assert_eq!(out.reads[l], base.reads as u64);
+                    assert_eq!(out.stale_reads[l], base.stale_reads as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_lanes_match_scalar_runner() {
+        for seed in [1u64, 2, 7] {
+            for n in [LANES, 7, 1] {
+                let mut rng = LaneRng::new();
+                let msgs = seed_lanes(&mut rng, 3, seed, n, LEN);
+                let mut slab = vec![0u16; LANES * LEN];
+                for (l, msg) in msgs.iter().enumerate() {
+                    for (i, sym) in msg.iter().enumerate() {
+                        slab[l * LEN + i] = sym.index() as u16;
+                    }
+                }
+                let t = bernoulli_threshold(Q);
+                let out = run_counter_lanes(&mut rng, &slab, n, LEN, t, MAX_OPS);
+                for l in 0..n {
+                    let mut sched = scalar_schedule(3, seed, l as u64, LEN);
+                    let base = run_counter_protocol(&msgs[l], &mut sched, MAX_OPS).unwrap();
+                    let errors = base
+                        .received
+                        .iter()
+                        .zip(&msgs[l])
+                        .filter(|(r, m)| r != m)
+                        .count();
+                    assert_eq!(out.ops[l], base.ops as u64, "seed {seed} lane {l}");
+                    assert_eq!(out.delivered[l], base.received.len() as u64);
+                    assert_eq!(out.stale_fills[l], base.stale_fills as u64);
+                    assert_eq!(out.errors[l], errors as u64, "seed {seed} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slotted_lanes_match_scalar_runner() {
+        for seed in [1u64, 2, 7] {
+            for slot_len in [1usize, 3, 8] {
+                for n in [LANES, 7, 1] {
+                    let mut rng = LaneRng::new();
+                    let msgs = seed_lanes(&mut rng, 2, seed, n, LEN);
+                    let t = bernoulli_threshold(Q);
+                    let out = run_slotted_lanes(&mut rng, n, LEN, slot_len, t, MAX_OPS);
+                    for l in 0..n {
+                        let mut sched = scalar_schedule(2, seed, l as u64, LEN);
+                        let base = run_slotted(&msgs[l], &mut sched, slot_len, MAX_OPS).unwrap();
+                        assert_eq!(out.ops[l], base.ops as u64, "slot {slot_len} lane {l}");
+                        assert_eq!(out.writes[l], base.writes as u64);
+                        assert_eq!(out.deleted_writes[l], base.deleted_writes as u64);
+                        assert_eq!(out.delivered[l], base.received.len() as u64);
+                        assert_eq!(out.stale_reads[l], base.stale_reads as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane-order invariance: permuting which trial sits in which
+    /// lane permutes the outputs and changes nothing else.
+    #[test]
+    fn lane_packing_is_invariant() {
+        let t = bernoulli_threshold(Q);
+        let states: Vec<[u64; 4]> = (0..LANES as u64)
+            .map(|l| TrialRng::from_trial(5, l).state())
+            .collect();
+        let mut fwd = LaneRng::new();
+        let mut rev = LaneRng::new();
+        for (l, st) in states.iter().enumerate() {
+            fwd.set_lane(l, *st);
+            rev.set_lane(LANES - 1 - l, *st);
+        }
+        let a = run_unsync_lanes(&mut fwd, LANES, LEN, t, MAX_OPS);
+        let b = run_unsync_lanes(&mut rev, LANES, LEN, t, MAX_OPS);
+        for l in 0..LANES {
+            let m = LANES - 1 - l;
+            assert_eq!(a.ops[l], b.ops[m]);
+            assert_eq!(a.writes[l], b.writes[m]);
+            assert_eq!(a.deleted_writes[l], b.deleted_writes[m]);
+            assert_eq!(a.reads[l], b.reads[m]);
+            assert_eq!(a.stale_reads[l], b.stale_reads[m]);
+        }
+    }
+
+    #[test]
+    fn lane_mask_edges() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+    }
+}

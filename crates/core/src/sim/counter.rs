@@ -12,6 +12,13 @@
 //! * `R > S` — insertions occurred; **skip** to `message[R]` so the
 //!   next symbol lands at the right position in the received stream.
 //!
+//! This state machine has a bitsliced twin
+//! ([`crate::sim::bitsliced::run_counter_lanes`], 64 trials per
+//! `u64` lane) that must stay in lockstep: any semantic change here
+//! needs the mirror change there, and `tests/kernel_equivalence.rs`
+//! plus the in-crate bitsliced suite will fail until the two agree
+//! bit-for-bit.
+//!
 //! The result is a *synchronous but substituted* channel: position
 //! `k` of the received stream equals `message[k]` unless it was
 //! filled by a stale read — the converted M-ary symmetric channel of
@@ -117,7 +124,13 @@ pub fn run_counter_protocol_observed<S: OpSchedule + ?Sized, O: SimObserver + ?S
     max_ops: usize,
     observer: &mut O,
 ) -> Result<CounterOutcome, CoreError> {
-    run_counter_protocol_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+    run_counter_protocol_into(
+        message,
+        schedule,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
 }
 
 /// [`run_counter_protocol_observed`], reusing `scratch`'s received

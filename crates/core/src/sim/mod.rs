@@ -35,6 +35,7 @@
 
 pub mod adaptive;
 pub mod analysis;
+pub mod bitsliced;
 pub mod counter;
 pub mod noisy_feedback;
 pub mod slotted;

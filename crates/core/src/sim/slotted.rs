@@ -10,6 +10,13 @@
 //! (insertion); if the receiver missed its slot, the sender's next
 //! write overwrites (deletion). §4.2.2 argues such a mechanism can
 //! never beat perfect feedback — experiment E7 measures the gap.
+//!
+//! This state machine has a bitsliced twin
+//! ([`crate::sim::bitsliced::run_slotted_lanes`], 64 trials per
+//! `u64` lane) that must stay in lockstep: any semantic change here
+//! needs the mirror change there, and `tests/kernel_equivalence.rs`
+//! plus the in-crate bitsliced suite will fail until the two agree
+//! bit-for-bit.
 
 use crate::error::CoreError;
 use crate::sim::{

@@ -100,7 +100,13 @@ pub fn run_stop_and_wait_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Size
     max_ops: usize,
     observer: &mut O,
 ) -> Result<StopWaitOutcome, CoreError> {
-    run_stop_and_wait_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+    run_stop_and_wait_into(
+        message,
+        schedule,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
 }
 
 /// [`run_stop_and_wait_observed`], reusing `scratch`'s received

@@ -5,6 +5,13 @@
 //! deletions (overwrites) and insertions (stale reads) exactly as §3.1
 //! describes. This run *measures* the `P_d` and `P_i` a system induces
 //! — the inputs to the paper's estimation recipe.
+//!
+//! This state machine has a bitsliced twin
+//! ([`crate::sim::bitsliced::run_unsync_lanes`], 64 trials per `u64`
+//! lane) that must stay in lockstep: any semantic change here needs
+//! the mirror change there, and `tests/kernel_equivalence.rs` plus
+//! the in-crate bitsliced suite will fail until the two agree
+//! bit-for-bit.
 
 use crate::error::CoreError;
 use crate::sim::{
@@ -114,7 +121,13 @@ pub fn run_unsynchronized_observed<S: OpSchedule + ?Sized, O: SimObserver + ?Siz
     max_ops: usize,
     observer: &mut O,
 ) -> Result<UnsyncOutcome, CoreError> {
-    run_unsynchronized_into(message, schedule, max_ops, observer, &mut TrialScratch::new())
+    run_unsynchronized_into(
+        message,
+        schedule,
+        max_ops,
+        observer,
+        &mut TrialScratch::new(),
+    )
 }
 
 /// [`run_unsynchronized_observed`], reusing `scratch`'s received

@@ -17,7 +17,9 @@
 //! = deletion; re-read = insertion.
 
 use crate::error::CoreError;
-use crate::sim::{NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch};
+use crate::sim::{
+    NullObserver, OpSchedule, Party, SimEvent, SimEventKind, SimObserver, TrialScratch,
+};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use serde::{Deserialize, Serialize};
 

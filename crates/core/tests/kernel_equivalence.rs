@@ -1,0 +1,146 @@
+//! The bitsliced kernel's contract, as integration tests: for every
+//! converted mechanism, `KernelKind::Bitsliced` produces the *same
+//! bytes* as the scalar oracle — any seed, any thread count, any lane
+//! packing (trial counts that leave a masked tail lane included).
+//!
+//! Two layers:
+//!
+//! * a pinned unit check that one `LaneRng::next_sender_mask` call is
+//!   exactly 64 scalar Bernoulli draws — bit `l` of the mask equals
+//!   both `(next_u64() >> 11) < bernoulli_threshold(q)` and rand's
+//!   own `gen::<f64>() < q` on the lane's `TrialRng`;
+//! * a proptest over trial counts not divisible by 64, comparing the
+//!   serialized `CampaignSummary` of scalar and bitsliced runs across
+//!   seeds {1, 2, 7} and thread counts {1, 2, 7}.
+//!
+//! Comparison is on `serde_json::to_string` output, so "equal" means
+//! bit-for-bit equal floats, not approximately equal statistics.
+
+use nsc_core::engine::{
+    run_campaign_manifest, EngineConfig, KernelKind, Mechanism, TrialPlan, TrialRng,
+};
+use nsc_core::sim::bitsliced::{bernoulli_threshold, LaneRng, LANES};
+use proptest::prelude::*;
+use rand::{Rng, RngCore, SeedableRng};
+
+const MECHANISMS: [Mechanism; 3] = [
+    Mechanism::Unsynchronized,
+    Mechanism::Counter,
+    Mechanism::Slotted { slot_len: 3 },
+];
+
+/// Serialized summary of one campaign — the byte string two kernels
+/// must agree on.
+fn summary_json(
+    kernel: KernelKind,
+    threads: usize,
+    seed: u64,
+    plan: &TrialPlan,
+    trials: usize,
+) -> String {
+    let cfg = EngineConfig::seeded(seed)
+        .with_threads(threads)
+        .with_kernel(kernel);
+    let (summary, _) = run_campaign_manifest(&cfg, plan, trials).expect("campaign runs");
+    serde_json::to_string(&summary).expect("summaries serialize")
+}
+
+#[test]
+fn lane_bernoulli_masks_pin_to_scalar_trial_rng_draws() {
+    // One next_sender_mask call must be 64 scalar draws, including
+    // the degenerate never-send / always-send thresholds.
+    for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+        let t = bernoulli_threshold(q);
+        let mut lanes = LaneRng::new();
+        let mut scalars: Vec<TrialRng> = (0..LANES as u64)
+            .map(|i| TrialRng::from_trial(42, i))
+            .collect();
+        for (lane, rng) in scalars.iter().enumerate() {
+            lanes.set_lane(lane, rng.state());
+        }
+        for step in 0..64 {
+            let mask = lanes.next_sender_mask(t);
+            for (lane, rng) in scalars.iter_mut().enumerate() {
+                // rand 0.8's gen::<f64>() is (next_u64() >> 11) * 2^-53,
+                // so `< q` on the float and `< threshold` on the high
+                // 53 bits must be the same predicate.
+                let f: f64 = rng.clone().gen();
+                let word = rng.next_u64();
+                let bit = (mask >> lane) & 1 == 1;
+                assert_eq!(bit, (word >> 11) < t, "q={q} step={step} lane={lane}");
+                assert_eq!(bit, f < q, "q={q} step={step} lane={lane}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_spans_the_unit_interval_exactly() {
+    assert_eq!(bernoulli_threshold(0.0), 0);
+    assert_eq!(bernoulli_threshold(1.0), 1u64 << 53);
+    // Strictly inside the range for interior q.
+    let t = bernoulli_threshold(0.5);
+    assert!((1..(1u64 << 53)).contains(&t));
+}
+
+#[test]
+fn full_block_packings_match_too() {
+    // Exact multiples of 64 (no masked tail) — the complement of the
+    // proptest below.
+    let plan = TrialPlan::new(Mechanism::Unsynchronized, 2, 80, 0.5);
+    for trials in [64usize, 128] {
+        let scalar = summary_json(KernelKind::Scalar, 1, 7, &plan, trials);
+        let bitsliced = summary_json(KernelKind::Bitsliced, 1, 7, &plan, trials);
+        assert_eq!(scalar, bitsliced, "trials={trials}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bitsliced_is_bit_identical_across_tail_packings_seeds_and_threads(
+        trials in (1usize..=193).prop_filter("tail-lane packings", |t| t % 64 != 0),
+        seed in prop::sample::select(vec![1u64, 2, 7]),
+    ) {
+        for mechanism in MECHANISMS {
+            let plan = TrialPlan::new(mechanism, 2, 80, 0.5);
+            let scalar = summary_json(KernelKind::Scalar, 1, seed, &plan, trials);
+            for threads in [1usize, 2, 7] {
+                let bitsliced = summary_json(KernelKind::Bitsliced, threads, seed, &plan, trials);
+                prop_assert_eq!(
+                    &scalar,
+                    &bitsliced,
+                    "{} diverged: trials={} seed={} threads={}",
+                    mechanism.name(),
+                    trials,
+                    seed,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeding_replay_consumes_the_message_words_exactly() {
+    // The bitsliced driver re-derives each lane's schedule RNG by
+    // discarding the words `Alphabet::fill_random` consumed. Pin the
+    // word count here: for bits = 2 (32 symbols per word), a 80-symbol
+    // message costs ceil(80 / 32) = 3 words.
+    let mut a = TrialRng::from_trial(9, 4);
+    let mut b = TrialRng::from_trial(9, 4);
+    let alphabet = nsc_channel::alphabet::Alphabet::new(2).unwrap();
+    let mut symbols = Vec::new();
+    alphabet.fill_random(&mut a, &mut symbols, 80);
+    assert_eq!(symbols.len(), 80);
+    for _ in 0..3 {
+        b.next_u64();
+    }
+    // Both generators must now be at the same stream position, so the
+    // schedule RNG derived next is identical either way.
+    assert_eq!(
+        TrialRng::seed_from_u64(a.gen()).state(),
+        TrialRng::seed_from_u64(b.gen()).state()
+    );
+}

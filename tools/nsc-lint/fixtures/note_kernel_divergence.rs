@@ -1,0 +1,21 @@
+//! Fixture: ISA-gated code that must draw a `kernel-divergence`
+//! *note* — reported for review, but never failing the lint (exit 0,
+//! `violation_count` 0), because the rule is advisory.
+//!
+//! Lines with expected notes: 9, 16, 20.
+
+#![allow(dead_code)]
+
+#[cfg(target_feature = "avx2")]
+fn lanes_avx2(xs: &mut [u64]) {
+    for x in xs.iter_mut() {
+        *x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+#[cfg(not(target_feature = "avx2"))]
+fn lanes_avx2(_xs: &mut [u64]) {}
+
+fn pick() -> bool {
+    cfg!(target_feature = "avx2")
+}

@@ -19,6 +19,10 @@
 //!   owns reassembly);
 //! * `undocumented-unsafe` — every `unsafe` needs an adjacent
 //!   `// SAFETY:` comment;
+//! * `kernel-divergence` — note-level: `cfg(target_feature)`-gated
+//!   code in a result path is flagged for review (reported, never
+//!   counted toward the exit code) because ISA dispatch can make the
+//!   same seed produce different bytes on different machines;
 //! * `bad-waiver` — malformed waivers are themselves violations.
 //!
 //! Waiver syntax, on the offending line or the line directly above:
@@ -151,12 +155,15 @@ fn json_escape(s: &str) -> String {
 fn render_json(reports: &[(String, FileReport)], files_scanned: usize) -> String {
     let mut v_items = Vec::new();
     let mut w_items = Vec::new();
+    let mut notes = 0usize;
     for (file, rep) in reports {
         for v in &rep.violations {
+            notes += usize::from(v.is_note());
             v_items.push(format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"column\": {}, \
-                 \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"column\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
                 v.rule,
+                if v.is_note() { "note" } else { "deny" },
                 json_escape(file),
                 v.line,
                 v.col,
@@ -176,12 +183,14 @@ fn render_json(reports: &[(String, FileReport)], files_scanned: usize) -> String
             ));
         }
     }
+    // Notes inform; only deny-level findings count as violations.
     format!(
         "{{\n  \"schema\": \"nsc-lint/v1\",\n  \"files_scanned\": {},\n  \
-         \"violation_count\": {},\n  \"violations\": [\n{}\n  ],\n  \
+         \"violation_count\": {},\n  \"note_count\": {},\n  \"violations\": [\n{}\n  ],\n  \
          \"waivers\": [\n{}\n  ]\n}}\n",
         files_scanned,
-        v_items.len(),
+        v_items.len() - notes,
+        notes,
         v_items.join(",\n"),
         w_items.join(",\n")
     )
@@ -231,14 +240,28 @@ fn run() -> Result<ExitCode, String> {
     }
     reports.sort_by(|a, b| a.0.cmp(&b.0));
 
-    let violation_count: usize = reports.iter().map(|(_, r)| r.violations.len()).sum();
+    // Note-level findings are reported but never gate the exit code.
+    let violation_count: usize = reports
+        .iter()
+        .flat_map(|(_, r)| &r.violations)
+        .filter(|v| !v.is_note())
+        .count();
+    let note_count: usize = reports
+        .iter()
+        .flat_map(|(_, r)| &r.violations)
+        .filter(|v| v.is_note())
+        .count();
 
     match opts.format {
         Format::Json => print!("{}", render_json(&reports, files.len())),
         Format::Text => {
             for (file, rep) in &reports {
                 for v in &rep.violations {
-                    println!("{file}:{}:{}: [{}] {}", v.line, v.col, v.rule, v.message);
+                    let sev = if v.is_note() { "note " } else { "" };
+                    println!(
+                        "{file}:{}:{}: {sev}[{}] {}",
+                        v.line, v.col, v.rule, v.message
+                    );
                     if !v.snippet.is_empty() {
                         println!("    {}", v.snippet);
                     }
@@ -259,8 +282,10 @@ fn run() -> Result<ExitCode, String> {
                 }
             }
             println!(
-                "nsc-lint: {} violation(s), {} file(s) scanned, {} waiver(s) ({} unused)",
+                "nsc-lint: {} violation(s), {} note(s), {} file(s) scanned, {} waiver(s) \
+                 ({} unused)",
                 violation_count,
+                note_count,
                 files.len(),
                 waivers,
                 unused

@@ -29,6 +29,9 @@ pub struct RuleInfo {
     pub name: &'static str,
     /// Why violating the rule threatens the determinism contract.
     pub summary: &'static str,
+    /// Note-level rules inform (reported, never counted toward the
+    /// violation total or the exit code). Deny-level rules gate CI.
+    pub note: bool,
 }
 
 /// Every rule the linter knows, in report order.
@@ -38,31 +41,45 @@ pub const RULES: &[RuleInfo] = &[
         summary: "Instant::now/SystemTime::now feed ambient time into code; results must \
                   depend only on the seed. Waive only for observational timing \
                   (BatchTiming, ExecutionReport, bench fingerprints).",
+        note: false,
     },
     RuleInfo {
         name: "ambient-rng",
         summary: "thread_rng/rand::random/from_entropy/OsRng draw entropy outside the \
                   seeded TrialRng/StdRng derivation chain.",
+        note: false,
     },
     RuleInfo {
         name: "unordered-collections",
         summary: "HashMap/HashSet iteration order is randomized per process; use \
                   BTreeMap/BTreeSet (or waive with proof the map is never iterated).",
+        note: false,
     },
     RuleInfo {
         name: "mpsc-merge",
         summary: "mpsc delivers in arrival order, which depends on scheduling; merge \
                   paths must use the slot-vector pool's index-ordered reassembly.",
+        note: false,
     },
     RuleInfo {
         name: "undocumented-unsafe",
         summary: "every `unsafe` block/impl/fn needs an adjacent `// SAFETY:` comment \
                   stating the invariant it relies on.",
+        note: false,
+    },
+    RuleInfo {
+        name: "kernel-divergence",
+        summary: "note: cfg(target_feature)-gated code in a result path can make the \
+                  same seed produce different bytes on different machines; keep ISA \
+                  dispatch out of result paths or pin equivalence the way the \
+                  kernel-equivalence CI job pins scalar vs bitsliced.",
+        note: true,
     },
     RuleInfo {
         name: "bad-waiver",
         summary: "a `nsc-lint:` comment that does not parse, names an unknown rule, or \
                   gives an empty reason.",
+        note: false,
     },
 ];
 
@@ -84,6 +101,15 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+}
+
+impl Violation {
+    /// True when the fired rule is note-level (reported but not
+    /// counted toward the violation total or the exit code).
+    #[must_use]
+    pub fn is_note(&self) -> bool {
+        RULES.iter().any(|r| r.name == self.rule && r.note)
+    }
 }
 
 /// A parsed waiver comment.
@@ -114,6 +140,7 @@ const TEST_EXEMPT: &[&str] = &[
     "ambient-rng",
     "unordered-collections",
     "mpsc-merge",
+    "kernel-divergence",
 ];
 
 /// Checks one file's source. `test_file` marks the whole file as test
@@ -312,6 +339,57 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
             }
             _ => {}
         }
+    }
+
+    // ---- kernel-divergence (note): ISA-gated code. --------------
+    // Fires on `#[cfg(target_feature = …)]` / `#[cfg_attr(…)]`
+    // attributes and `cfg!(target_feature = …)` expressions: both
+    // compile the same source to machine-dependent *behavior*, which
+    // is how a seed stops being the whole story.
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let (open, start) = if t.is_punct('#') && code.get(i + 1).is_some_and(|c| c.is_punct('[')) {
+            ('[', i + 2)
+        } else if t.kind == TokKind::Ident
+            && t.text == "cfg"
+            && code.get(i + 1).is_some_and(|c| c.is_punct('!'))
+        {
+            ('(', i + 3)
+        } else {
+            i += 1;
+            continue;
+        };
+        let close = match open {
+            '[' => ']',
+            _ => ')',
+        };
+        let mut j = start;
+        let mut depth = 1i32;
+        let mut mentions = false;
+        while j < code.len() && depth > 0 {
+            let c = code[j];
+            if c.is_punct(open) {
+                depth += 1;
+            } else if c.is_punct(close) {
+                depth -= 1;
+            } else if c.kind == TokKind::Ident && c.text == "target_feature" {
+                mentions = true;
+            }
+            j += 1;
+        }
+        if mentions {
+            found.push(Violation {
+                rule: "kernel-divergence",
+                line: t.line,
+                col: t.col,
+                message: "target_feature-gated code makes behavior ISA-dependent; keep it \
+                          out of result paths or pin cross-ISA equivalence in CI"
+                    .to_owned(),
+                snippet: snippet(t.line),
+            });
+        }
+        i = j.max(i + 1);
     }
 
     // ---- Apply test exemptions and waivers. ---------------------
@@ -623,6 +701,46 @@ mod tests {
     fn test_file_exemption_covers_whole_file() {
         let rep = check_file("let t = Instant::now();", true);
         assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn kernel_divergence_fires_as_a_note() {
+        for src in [
+            "#[cfg(target_feature = \"avx2\")]\nfn fast() {}",
+            "#[cfg_attr(target_feature = \"avx2\", inline)]\nfn fast() {}",
+            "#[target_feature(enable = \"avx2\")]\nunsafe fn fast() {} // SAFETY: caller checks",
+            "fn f() -> bool { cfg!(target_feature = \"avx2\") }",
+        ] {
+            let rep = check_file(src, false);
+            let fired: Vec<&str> = rep.violations.iter().map(|v| v.rule).collect();
+            assert!(fired.contains(&"kernel-divergence"), "{src}: {fired:?}");
+            for v in &rep.violations {
+                if v.rule == "kernel-divergence" {
+                    assert!(v.is_note(), "{src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_divergence_ignores_other_cfgs_and_is_waivable() {
+        assert!(rules_fired("#[cfg(feature = \"simd\")]\nfn f() {}").is_empty());
+        assert!(rules_fired("#[cfg(target_os = \"linux\")]\nfn f() {}").is_empty());
+        // Test code is not a result path.
+        let src = "#[cfg(test)]\nmod t {\n    #[cfg(target_feature = \"avx2\")]\n    fn f() {}\n}";
+        assert!(rules_fired(src).is_empty());
+        // The standard waiver machinery applies.
+        let src = "// nsc-lint: allow(kernel-divergence, reason = \"output pinned by CI\")\n\
+                   #[cfg(target_feature = \"avx2\")]\nfn f() {}";
+        let rep = check_file(src, false);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert!(rep.waivers[0].used);
+    }
+
+    #[test]
+    fn deny_rules_are_not_notes() {
+        let rep = check_file("fn f() { let t = Instant::now(); }", false);
+        assert!(!rep.violations[0].is_note());
     }
 
     #[test]

@@ -114,6 +114,30 @@ fn json_output_on_the_workspace_parses_minimally() {
 }
 
 #[test]
+fn kernel_divergence_notes_do_not_fail_the_lint() {
+    let fix = fixture("note_kernel_divergence.rs");
+    let out = lint(&["--format", "json", &fix]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "notes must not gate the exit code: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"violation_count\": 0"), "{json}");
+    assert!(json.contains("\"note_count\": 3"), "{json}");
+    assert_eq!(json.matches("\"rule\": \"kernel-divergence\"").count(), 3);
+    assert_eq!(json.matches("\"severity\": \"note\"").count(), 3);
+
+    // The text rendering marks them as notes too.
+    let out = lint(&[&fix]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("note [kernel-divergence]"), "{text}");
+    assert!(text.contains("0 violation(s), 3 note(s)"), "{text}");
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let out = lint(&["--format", "yaml"]);
     assert_eq!(out.status.code(), Some(2));
@@ -134,6 +158,7 @@ fn list_rules_names_every_rule() {
         "unordered-collections",
         "mpsc-merge",
         "undocumented-unsafe",
+        "kernel-divergence",
         "bad-waiver",
     ] {
         assert!(text.contains(rule), "{text}");
