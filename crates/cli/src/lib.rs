@@ -58,10 +58,11 @@ use nsc_core::sim::noisy_feedback::FeedbackQuality;
 use nsc_core::sweep::{sweep_bounds_manifest, Grid};
 use nsc_info::timing::noiseless_timing_capacity;
 use nsc_info::BitsPerTick;
+use nsc_serve::{query_status, replay_trace, Endpoint, LoadgenConfig, ServeConfig, Server};
 use nsc_trace::infer::DEFAULT_WINDOWS;
 use nsc_trace::{
-    capacity_bounds_with_ci, events_from_trials, write_trace, CapacityInterval, InferenceBuilder,
-    RateEstimate, TraceHeader, TraceReader, TRACE_SCHEMA,
+    capacity_bounds_with_ci, check_finite_json, events_from_trials, write_trace, CapacityInterval,
+    InferenceBuilder, RateEstimate, TraceHeader, TraceReader, TRACE_SCHEMA,
 };
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
@@ -96,6 +97,8 @@ pub fn run(args: &[String]) -> CliResult {
         "estimate" => cmd_estimate(rest),
         "stc" => cmd_stc(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     }
@@ -120,7 +123,11 @@ pub fn usage() -> String {
         let _ = write!(out, "\n  nsc {name} — {blurb}\n");
         for f in *spec {
             let req = if f.required { " (required)" } else { "" };
-            let _ = writeln!(out, "    --{} {}  {}{req}", f.name, f.value, f.help);
+            if f.takes_value {
+                let _ = writeln!(out, "    --{} {}  {}{req}", f.name, f.value, f.help);
+            } else {
+                let _ = writeln!(out, "    --{}  {}{req}", f.name, f.help);
+            }
         }
     }
     out.push_str(
@@ -141,7 +148,14 @@ pub fn usage() -> String {
          trace and reports the maximum-likelihood (P_d, P_i) with Wilson\n\
          and likelihood-ratio 95% intervals, the Theorem 1/4 upper bound,\n\
          the Theorem 5 lower bound, and a windowed change-point scan;\n\
-         `estimate --trace -` reads the trace from stdin.\n",
+         `estimate --trace -` reads the trace from stdin.\n\
+         \n\
+         `serve` runs the same estimator online: nsc-trace/v1 streams\n\
+         over --tcp/--unix connections feed per-stream incremental\n\
+         estimators (bounded memory), queried live with `serve --status`.\n\
+         Replaying a recorded trace matches `estimate` byte for byte.\n\
+         `loadgen` replays a trace file against a running server over\n\
+         many connections and reports sustained events/sec.\n",
     );
     out
 }
@@ -158,6 +172,9 @@ struct FlagSpec {
     help: &'static str,
     /// Mechanisms the flag applies to (`trials` only); `None` = all.
     mechanisms: Option<&'static [&'static str]>,
+    /// Whether the flag consumes the next argument as its value;
+    /// `false` makes it a bare switch (present/absent).
+    takes_value: bool,
 }
 
 const fn flag(
@@ -172,6 +189,18 @@ const fn flag(
         required,
         help,
         mechanisms: None,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: "",
+        required: false,
+        help,
+        mechanisms: None,
+        takes_value: false,
     }
 }
 
@@ -187,6 +216,7 @@ const fn mech_flag(
         required: false,
         help,
         mechanisms: Some(mechanisms),
+        takes_value: true,
     }
 }
 
@@ -302,6 +332,7 @@ const fn campaign_flag_table(trace_required: bool) -> [FlagSpec; 14] {
             required: trace_required,
             help: "write an nsc-trace/v1 capture of every trial to FILE",
             mechanisms: None,
+            takes_value: true,
         },
         FORMAT_FLAG,
     ]
@@ -372,6 +403,74 @@ const BENCH_FLAGS: &[FlagSpec] = &[
     FORMAT_FLAG,
 ];
 
+const SERVE_FLAGS: &[FlagSpec] = &[
+    flag(
+        "tcp",
+        "ADDR",
+        false,
+        "TCP listen/query address, e.g. 127.0.0.1:7070",
+    ),
+    flag(
+        "unix",
+        "PATH",
+        false,
+        "Unix-domain socket listen/query path",
+    ),
+    flag(
+        "shards",
+        "N",
+        false,
+        "stream-registry shards (default 8; ≥ 1)",
+    ),
+    flag(
+        "windows",
+        "W",
+        false,
+        "change-point scan windows per snapshot (default 8; ≥ 1)",
+    ),
+    flag(
+        "threads",
+        "T",
+        false,
+        "scan worker threads, 0 = one per core (default 0)",
+    ),
+    switch(
+        "status",
+        "query a running server's status endpoint instead of serving",
+    ),
+    FORMAT_FLAG,
+];
+
+const LOADGEN_FLAGS: &[FlagSpec] = &[
+    flag(
+        "trace",
+        "FILE",
+        true,
+        "nsc-trace/v1 file to replay against the server",
+    ),
+    flag("tcp", "ADDR", false, "server TCP address to stream to"),
+    flag("unix", "PATH", false, "server Unix-domain socket path"),
+    flag(
+        "connections",
+        "C",
+        false,
+        "concurrent connections, each streaming the whole trace (default 1; ≥ 1)",
+    ),
+    flag(
+        "rate",
+        "R",
+        false,
+        "target events/sec across all connections, 0 = unthrottled (default 0)",
+    ),
+    flag(
+        "repeat",
+        "K",
+        false,
+        "whole-trace repetitions per connection, tick-shifted (default 1; ≥ 1)",
+    ),
+    FORMAT_FLAG,
+];
+
 /// Subcommand registry: name, flag spec, one-line description.
 const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
     ("bounds", BOUNDS_FLAGS, "Theorem 4/5 capacity bounds"),
@@ -394,6 +493,16 @@ const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
         "bench",
         BENCH_FLAGS,
         "engine/trace hot-path micro-benchmarks",
+    ),
+    (
+        "serve",
+        SERVE_FLAGS,
+        "online streaming estimation server (nsc-serve/v1 status endpoint)",
+    ),
+    (
+        "loadgen",
+        LOADGEN_FLAGS,
+        "replay a trace against a running server and measure events/sec",
     ),
 ];
 
@@ -446,13 +555,20 @@ fn parse_flags(
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{key}`"));
         };
-        if !spec.iter().any(|f| f.name == name) {
+        let Some(spec_flag) = spec.iter().find(|f| f.name == name) else {
             return Err(unknown_flag(cmd, spec, name));
-        }
-        let Some(value) = it.next() else {
-            return Err(format!("flag --{name} needs a value"));
         };
-        if map.insert(name.to_owned(), value.clone()).is_some() {
+        let value = if spec_flag.takes_value {
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            value.clone()
+        } else {
+            // A bare switch: present ⇒ "true", never consumes an
+            // argument.
+            "true".to_owned()
+        };
+        if map.insert(name.to_owned(), value).is_some() {
             return Err(format!("flag --{name} given more than once"));
         }
     }
@@ -568,12 +684,47 @@ fn optional<T: std::str::FromStr>(
     }
 }
 
+/// Rejects a parsed `f64` flag value that is `NaN`/`±inf`: both
+/// parse successfully from the command line but poison every
+/// downstream computation and decay to `null` in JSON output, so
+/// they are stopped at the flag boundary.
+fn reject_non_finite(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    value: f64,
+) -> Result<f64, String> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        let raw = flags.get(name).map(String::as_str).unwrap_or_default();
+        Err(format!(
+            "flag --{name}: expected a finite number, got `{raw}`"
+        ))
+    }
+}
+
+/// [`need`] for `f64` flags, with the finiteness check.
+fn need_finite(flags: &BTreeMap<String, String>, name: &str) -> Result<f64, String> {
+    let value = need(flags, name)?;
+    reject_non_finite(flags, name, value)
+}
+
+/// [`optional`] for `f64` flags, with the finiteness check.
+fn optional_finite(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: f64,
+) -> Result<f64, String> {
+    let value = optional(flags, name, default)?;
+    reject_non_finite(flags, name, value)
+}
+
 fn cmd_bounds(args: &[String]) -> CliResult {
     let flags = parse_flags("bounds", BOUNDS_FLAGS, args)?;
     let format = output_format(&flags)?;
     let bits: u32 = need(&flags, "bits")?;
-    let p_d: f64 = need(&flags, "p-d")?;
-    let p_i: f64 = optional(&flags, "p-i", 0.0)?;
+    let p_d: f64 = need_finite(&flags, "p-d")?;
+    let p_i: f64 = optional_finite(&flags, "p-i", 0.0)?;
     let b = capacity_bounds(bits, p_d, p_i).map_err(|e| e.to_string())?;
     if format == OutputFormat::Json {
         return Ok(render_json(&json_doc(
@@ -609,7 +760,7 @@ fn cmd_bounds(args: &[String]) -> CliResult {
 fn cmd_correct(args: &[String]) -> CliResult {
     let flags = parse_flags("correct", CORRECT_FLAGS, args)?;
     let format = output_format(&flags)?;
-    let traditional: f64 = need(&flags, "traditional")?;
+    let traditional: f64 = need_finite(&flags, "traditional")?;
     let deletions: u64 = need(&flags, "deletions")?;
     let attempts: u64 = need(&flags, "attempts")?;
     let a = assess_from_counts(
@@ -655,7 +806,7 @@ fn cmd_convert(args: &[String]) -> CliResult {
     let flags = parse_flags("convert", CONVERT_FLAGS, args)?;
     let format = output_format(&flags)?;
     let bits: u32 = need(&flags, "bits")?;
-    let p_i: f64 = need(&flags, "p-i")?;
+    let p_i: f64 = need_finite(&flags, "p-i")?;
     let c = converted_channel_capacity(bits, p_i).map_err(|e| e.to_string())?;
     if format == OutputFormat::Json {
         return Ok(render_json(&json_doc(
@@ -743,9 +894,15 @@ fn campaign_command(cmd: &str, spec: &[FlagSpec], args: &[String]) -> CliResult 
     let format = output_format(&flags)?;
     let mech_name: String = need(&flags, "mechanism")?;
     let bits: u32 = need(&flags, "bits")?;
-    let q: f64 = optional(&flags, "q", 0.5)?;
+    let q: f64 = optional_finite(&flags, "q", 0.5)?;
     let len: usize = optional(&flags, "len", 2_000)?;
+    if len == 0 {
+        return Err("--len must be at least 1".to_owned());
+    }
     let trials: usize = optional(&flags, "trials", 32)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
     let seed: u64 = optional(&flags, "seed", 0)?;
     let threads: usize = optional(&flags, "threads", 0)?;
     let mechanism = match mech_name.as_str() {
@@ -758,7 +915,7 @@ fn campaign_command(cmd: &str, spec: &[FlagSpec], args: &[String]) -> CliResult 
         "adaptive" => Mechanism::AdaptiveSlotted,
         "noisy-counter" => Mechanism::NoisyCounter {
             quality: FeedbackQuality {
-                p_loss: optional(&flags, "p-loss", 0.0)?,
+                p_loss: optional_finite(&flags, "p-loss", 0.0)?,
                 delay: optional(&flags, "delay", 0)?,
             },
         },
@@ -892,6 +1049,9 @@ fn cmd_estimate(args: &[String]) -> CliResult {
     let format = output_format(&flags)?;
     let source: String = need(&flags, "trace")?;
     let windows: usize = optional(&flags, "windows", DEFAULT_WINDOWS)?;
+    if windows == 0 {
+        return Err("--windows must be at least 1".to_owned());
+    }
     let threads: usize = optional(&flags, "threads", 0)?;
     let label = if source == "-" {
         "<stdin>".to_owned()
@@ -925,6 +1085,11 @@ fn cmd_estimate(args: &[String]) -> CliResult {
         .map_err(|e| format!("{label}: {e}"))?;
     let bounds =
         capacity_bounds_with_ci(header.alphabet_bits, &inference).map_err(|e| e.to_string())?;
+    // Guard the source structs before any JSON rendering: `json!`
+    // silently decays a NaN/inf to null, so the check must run here.
+    check_finite_json(&inference)
+        .and_then(|()| check_finite_json(&bounds))
+        .map_err(|e| format!("{label}: {e}"))?;
 
     let cfg = EngineConfig::seeded(0).with_threads(threads);
     let manifest = RunManifest::new(
@@ -1139,6 +1304,183 @@ fn cmd_bench(args: &[String]) -> CliResult {
         "\nabsolute ns/op is machine-specific: compare runs only on the same\n\
          fingerprint (--format json records it), or compare the within-run\n\
          ratios, which scripts/bench_export guards in CI\n",
+    );
+    Ok(out)
+}
+
+/// The endpoints named by `--tcp` / `--unix`, TCP first (the
+/// preferred endpoint when a single one is needed, e.g. `--status`).
+fn serve_endpoints(cmd: &str, flags: &BTreeMap<String, String>) -> Result<Vec<Endpoint>, String> {
+    let mut endpoints = Vec::new();
+    if let Some(addr) = flags.get("tcp") {
+        endpoints.push(Endpoint::Tcp(addr.clone()));
+    }
+    if let Some(path) = flags.get("unix") {
+        #[cfg(unix)]
+        endpoints.push(Endpoint::Unix(std::path::PathBuf::from(path)));
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err("--unix sockets are unsupported on this platform".to_owned());
+        }
+    }
+    if endpoints.is_empty() {
+        return Err(format!(
+            "{cmd} needs at least one endpoint: --tcp ADDR and/or --unix PATH"
+        ));
+    }
+    Ok(endpoints)
+}
+
+fn render_status_text(status: &Value) -> String {
+    let mut out = String::new();
+    let totals = &status["totals"];
+    let throughput = &status["throughput"];
+    let _ = writeln!(
+        out,
+        "streams         : {} ({} connections, {} events)",
+        totals["streams"], totals["connections"], totals["events"]
+    );
+    let _ = writeln!(
+        out,
+        "throughput      : {:.0} events/sec over {:.3}s ingest (uptime {:.3}s)",
+        throughput["events_per_sec"].as_f64().unwrap_or(0.0),
+        throughput["ingest_secs"].as_f64().unwrap_or(0.0),
+        throughput["uptime_secs"].as_f64().unwrap_or(0.0)
+    );
+    let empty = Vec::new();
+    for s in status["streams"].as_array().unwrap_or(&empty) {
+        let label = format!("stream {}", s["stream"]);
+        match s["status"].as_str().unwrap_or("?") {
+            "ok" => {
+                let _ = writeln!(
+                    out,
+                    "{label:<16}: {} events, P_d {:.6}, P_i {:.6}, upper {:.6} bits/slot",
+                    s["events"],
+                    s["p_d"]["mle"].as_f64().unwrap_or(0.0),
+                    s["p_i"]["mle"].as_f64().unwrap_or(0.0),
+                    s["bounds"]["upper_bound"]["estimate"]
+                        .as_f64()
+                        .unwrap_or(0.0)
+                );
+            }
+            other => {
+                let _ = writeln!(
+                    out,
+                    "{label:<16}: {} events, {other} ({})",
+                    s["events"],
+                    s["reason"].as_str().unwrap_or("no reason recorded")
+                );
+            }
+        }
+        if let Some(error) = s["error"].as_str() {
+            let _ = writeln!(out, "{:<16}: stream error: {error}", "");
+        }
+    }
+    out
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let flags = parse_flags("serve", SERVE_FLAGS, args)?;
+    let format = output_format(&flags)?;
+    let shards: usize = optional(&flags, "shards", 8)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_owned());
+    }
+    let windows: usize = optional(&flags, "windows", DEFAULT_WINDOWS)?;
+    if windows == 0 {
+        return Err("--windows must be at least 1".to_owned());
+    }
+    let threads: usize = optional(&flags, "threads", 0)?;
+    let endpoints = serve_endpoints("serve", &flags)?;
+    if flags.contains_key("status") {
+        let status = query_status(&endpoints[0])?;
+        // The server already guards its own floats; re-checking the
+        // parsed reply keeps the client honest about what it prints.
+        check_finite_json(&status).map_err(|e| e.to_string())?;
+        if format == OutputFormat::Json {
+            return Ok(render_json(&status));
+        }
+        return Ok(render_status_text(&status));
+    }
+    let server = Server::bind(
+        &endpoints,
+        ServeConfig {
+            shards,
+            windows,
+            threads,
+        },
+    )
+    .map_err(|e| format!("cannot bind server: {e}"))?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("nsc serve: listening on tcp {addr}");
+    }
+    server.wait();
+    Ok(String::new())
+}
+
+fn cmd_loadgen(args: &[String]) -> CliResult {
+    let flags = parse_flags("loadgen", LOADGEN_FLAGS, args)?;
+    let format = output_format(&flags)?;
+    let trace: String = need(&flags, "trace")?;
+    let connections: usize = optional(&flags, "connections", 1)?;
+    if connections == 0 {
+        return Err("--connections must be at least 1".to_owned());
+    }
+    let rate: f64 = optional_finite(&flags, "rate", 0.0)?;
+    if rate < 0.0 {
+        return Err(format!("flag --rate: must be non-negative, got `{rate}`"));
+    }
+    let repeat: u64 = optional(&flags, "repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".to_owned());
+    }
+    let endpoints = serve_endpoints("loadgen", &flags)?;
+    let config = LoadgenConfig {
+        connections,
+        rate,
+        repeat,
+    };
+    let report = replay_trace(&endpoints[0], std::path::Path::new(&trace), &config)?;
+    if format == OutputFormat::Json {
+        let doc = json_doc(
+            "loadgen",
+            json!({
+                "trace": trace,
+                "connections": connections,
+                "rate": rate,
+                "repeat": repeat,
+            }),
+            vec![("results", report.json())],
+        );
+        check_finite_json(&doc).map_err(|e| e.to_string())?;
+        return Ok(render_json(&doc));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed        : {trace} × {repeat} over {connections} connection(s)"
+    );
+    let _ = writeln!(
+        out,
+        "events          : {} total ({} per connection)",
+        report.events_sent, report.events_per_connection
+    );
+    let _ = writeln!(
+        out,
+        "throughput      : {:.0} events/sec over {:.3}s",
+        report.events_per_sec, report.wall_secs
+    );
+    let errors = report
+        .acks
+        .iter()
+        .filter(|a| a.get("error").is_some())
+        .count();
+    let _ = writeln!(
+        out,
+        "acks            : {} ok, {} with errors",
+        report.acks.len() - errors,
+        errors
     );
     Ok(out)
 }
@@ -2050,5 +2392,164 @@ mod tests {
         assert!(out.contains("0.694242"), "{out}");
         assert!(run_str(&["stc", "--durations", "1,zebra"]).is_err());
         assert!(run_str(&["stc"]).is_err());
+    }
+
+    #[test]
+    fn non_finite_flag_values_are_rejected() {
+        // `"nan".parse::<f64>()` succeeds, so before the fix these
+        // poisoned the math and surfaced as JSON `null`s.
+        for (args, flag) in [
+            (&["bounds", "--bits", "4", "--p-d", "nan"][..], "--p-d"),
+            (
+                &["bounds", "--bits", "4", "--p-d", "0.1", "--p-i", "inf"],
+                "--p-i",
+            ),
+            (&["convert", "--bits", "4", "--p-i", "-inf"], "--p-i"),
+            (
+                &[
+                    "correct",
+                    "--traditional",
+                    "NaN",
+                    "--deletions",
+                    "1",
+                    "--attempts",
+                    "8",
+                ],
+                "--traditional",
+            ),
+            (
+                &[
+                    "trials",
+                    "--mechanism",
+                    "counter",
+                    "--bits",
+                    "2",
+                    "--q",
+                    "nan",
+                ],
+                "--q",
+            ),
+            (
+                &[
+                    "loadgen",
+                    "--trace",
+                    "/nonexistent/x.jsonl",
+                    "--tcp",
+                    "127.0.0.1:1",
+                    "--rate",
+                    "inf",
+                ],
+                "--rate",
+            ),
+        ] {
+            let err = run_str(args).unwrap_err();
+            assert!(err.contains(flag), "{args:?}: {err}");
+            assert!(err.contains("finite"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_numeric_flags_are_rejected() {
+        // Each of these zeros used to reach the library layer (or a
+        // divide) instead of failing at the flag boundary. The
+        // checks run before any file or socket is touched.
+        for (args, flag) in [
+            (
+                &[
+                    "estimate",
+                    "--trace",
+                    "/nonexistent/x.jsonl",
+                    "--windows",
+                    "0",
+                ][..],
+                "--windows",
+            ),
+            (
+                &[
+                    "trials",
+                    "--mechanism",
+                    "counter",
+                    "--bits",
+                    "2",
+                    "--trials",
+                    "0",
+                ],
+                "--trials",
+            ),
+            (
+                &[
+                    "trials",
+                    "--mechanism",
+                    "counter",
+                    "--bits",
+                    "2",
+                    "--len",
+                    "0",
+                ],
+                "--len",
+            ),
+            (
+                &["serve", "--tcp", "127.0.0.1:1", "--shards", "0"],
+                "--shards",
+            ),
+            (
+                &["serve", "--tcp", "127.0.0.1:1", "--windows", "0"],
+                "--windows",
+            ),
+            (
+                &[
+                    "loadgen",
+                    "--trace",
+                    "/nonexistent/x.jsonl",
+                    "--tcp",
+                    "127.0.0.1:1",
+                    "--connections",
+                    "0",
+                ],
+                "--connections",
+            ),
+            (
+                &[
+                    "loadgen",
+                    "--trace",
+                    "/nonexistent/x.jsonl",
+                    "--tcp",
+                    "127.0.0.1:1",
+                    "--repeat",
+                    "0",
+                ],
+                "--repeat",
+            ),
+        ] {
+            let err = run_str(args).unwrap_err();
+            assert!(err.contains(flag), "{args:?}: {err}");
+            assert!(err.contains("at least"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_and_loadgen_need_an_endpoint() {
+        let err = run_str(&["serve"]).unwrap_err();
+        assert!(err.contains("endpoint"), "{err}");
+        let err = run_str(&["loadgen", "--trace", "x.jsonl"]).unwrap_err();
+        assert!(err.contains("endpoint"), "{err}");
+    }
+
+    #[test]
+    fn serve_status_flag_queries_a_running_server() {
+        let server = nsc_serve::Server::bind(
+            &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let addr = server.tcp_addr().unwrap().to_string();
+        let out = run_str(&["serve", "--status", "--tcp", &addr, "--format", "json"]).unwrap();
+        let doc = parse_json(&out);
+        assert_eq!(doc["schema"], "nsc-serve/v1");
+        assert_eq!(doc["totals"]["streams"], json!(0));
+        // The text rendering works on the same document.
+        let text = run_str(&["serve", "--status", "--tcp", &addr]).unwrap();
+        assert!(text.contains("streams         : 0"), "{text}");
+        server.shutdown();
     }
 }

@@ -1,0 +1,66 @@
+//! Online streaming estimation service for non-synchronous
+//! covert-channel traces.
+//!
+//! `nsc estimate` is batch-only: it replays a finished
+//! `nsc-trace/v1` file. This crate is the long-running counterpart —
+//! the ROADMAP's "monitor heavy traffic from millions of users"
+//! direction: a server that accepts live `nsc-trace/v1` event
+//! streams over TCP and Unix-domain sockets and maintains, per
+//! stream, the paper's full estimation pipeline *online*:
+//!
+//! * incremental maximum-likelihood `(P_d, P_i)` with Wilson and
+//!   likelihood-ratio 95% intervals,
+//! * the Bonferroni windowed change-point scan in **bounded memory**
+//!   (the [`InferenceBuilder`] compacts its per-block tallies once
+//!   they would exceed [`DEFAULT_MAX_BLOCKS`], so a stream of any
+//!   length occupies `O(max_blocks)` space),
+//! * live Theorem 1/4 upper and Theorem 5 lower capacity bounds,
+//!   recomputed on every status snapshot.
+//!
+//! # The batch path stays the oracle
+//!
+//! The server does not re-implement inference. Each stream owns the
+//! same [`InferenceBuilder`] that `nsc estimate` drives, fed through
+//! the same [`TraceReader`] — so streaming a recorded trace through
+//! the server reproduces the batch estimates **bit for bit**, no
+//! matter how the bytes were chunked across socket writes or how
+//! many connections streamed concurrently. The integration suite and
+//! a CI job replay a golden trace at several connection counts and
+//! diff the `--status` snapshot against `nsc estimate` output.
+//!
+//! # Wire protocol
+//!
+//! One connection carries either:
+//!
+//! * a **status query** — the literal line `status`; the server
+//!   replies with one `nsc-serve/v1` JSON document (per-stream
+//!   counts, estimates, alarm state, throughput counters) and closes;
+//! * a **trace stream** — an `nsc-trace/v1` header line followed by
+//!   event lines, exactly the on-disk format. On end of stream (the
+//!   client half-closes its write side) the server replies with one
+//!   ack line `{"schema":"nsc-serve/v1","stream":ID,"events":N}`.
+//!
+//! A final event line without a trailing newline is accepted, since
+//! socket streams routinely end mid-buffer.
+//!
+//! # Modules
+//!
+//! * [`server`] — [`Server`]: listeners, the sharded stream
+//!   registry, the status endpoint, [`query_status`].
+//! * [`stream`] — [`OnlineStream`], one connection's estimator
+//!   state and its JSON snapshot.
+//! * [`loadgen`] — [`replay_trace`]: replays a recorded trace at a
+//!   configurable rate and connection fan-out to measure sustained
+//!   events/sec.
+//!
+//! [`InferenceBuilder`]: nsc_trace::InferenceBuilder
+//! [`DEFAULT_MAX_BLOCKS`]: nsc_trace::DEFAULT_MAX_BLOCKS
+//! [`TraceReader`]: nsc_trace::TraceReader
+
+pub mod loadgen;
+pub mod server;
+pub mod stream;
+
+pub use loadgen::{replay_trace, LoadgenConfig, LoadgenReport};
+pub use server::{query_status, Endpoint, ServeConfig, Server, SERVE_SCHEMA};
+pub use stream::OnlineStream;

@@ -1,0 +1,334 @@
+//! Trace replay load generator: `nsc loadgen`'s engine.
+//!
+//! Replays a recorded `nsc-trace/v1` file against a running server
+//! at a configurable event rate and connection fan-out, and reports
+//! the sustained throughput. Every connection streams the **whole**
+//! trace (`repeat` times, tick-shifted so timestamps stay
+//! non-decreasing), so with the replay-oracle property each
+//! resulting server stream must report estimates byte-identical to
+//! `nsc estimate` on the file — which is exactly what the CI serve
+//! job diffs.
+//!
+//! The event lines are pre-rendered once with
+//! [`render_event_line`] (the canonical byte shape the reader
+//! fast-paths) and shared across connections, so the generator
+//! measures the server, not its own formatting.
+
+use crate::server::Endpoint;
+use nsc_trace::format::render_event_line;
+use nsc_trace::{read_trace, TraceEvent, TraceHeader};
+use serde_json::{json, Value};
+use std::io::{BufReader, Read};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Events per write/pacing chunk.
+const CHUNK_EVENTS: usize = 1024;
+
+/// Load generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Concurrent connections, each streaming the whole trace.
+    pub connections: usize,
+    /// Target events/sec across all connections; `0` = unthrottled.
+    pub rate: f64,
+    /// Whole-trace repetitions per connection (tick-shifted).
+    pub repeat: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            connections: 1,
+            rate: 0.0,
+            repeat: 1,
+        }
+    }
+}
+
+/// What a replay run achieved.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Connections opened.
+    pub connections: usize,
+    /// Events streamed per connection.
+    pub events_per_connection: u64,
+    /// Events streamed in total.
+    pub events_sent: u64,
+    /// Wall-clock of the whole replay (connect through final ack).
+    pub wall_secs: f64,
+    /// `events_sent / wall_secs` (0 when the clock saw no time).
+    pub events_per_sec: f64,
+    /// The server's per-connection ack lines, in connection order.
+    pub acks: Vec<Value>,
+}
+
+impl LoadgenReport {
+    /// The report as a JSON object (the `results` body of
+    /// `nsc loadgen --format json`).
+    #[must_use]
+    pub fn json(&self) -> Value {
+        json!({
+            "connections": self.connections,
+            "events_per_connection": self.events_per_connection,
+            "events_sent": self.events_sent,
+            "wall_secs": self.wall_secs,
+            "events_per_sec": self.events_per_sec,
+            "acks": self.acks,
+        })
+    }
+}
+
+/// Pre-rendered replay payload: the header line plus every
+/// (tick-shifted) event line, with chunk boundaries for pacing.
+struct Payload {
+    bytes: Vec<u8>,
+    /// Byte offset and cumulative event count at each chunk end.
+    chunks: Vec<(usize, u64)>,
+    events: u64,
+}
+
+fn render_payload(header: &TraceHeader, events: &[TraceEvent], repeat: u64) -> Payload {
+    let mut bytes = serde_json::to_vec(header).expect("trace headers serialize");
+    bytes.push(b'\n');
+    let mut chunks = Vec::new();
+    let mut line = Vec::with_capacity(48);
+    let mut rendered: u64 = 0;
+    let span = events.last().map_or(1, |e| e.tick + 1);
+    for r in 0..repeat {
+        let shift = span * r;
+        for event in events {
+            let shifted = TraceEvent::new(event.tick + shift, event.kind);
+            render_event_line(&mut line, &shifted);
+            bytes.extend_from_slice(&line);
+            bytes.push(b'\n');
+            rendered += 1;
+            if rendered % (CHUNK_EVENTS as u64) == 0 {
+                chunks.push((bytes.len(), rendered));
+            }
+        }
+    }
+    if chunks.last().map_or(true, |&(end, _)| end != bytes.len()) {
+        chunks.push((bytes.len(), rendered));
+    }
+    Payload {
+        bytes,
+        chunks,
+        events: rendered,
+    }
+}
+
+/// Streams `payload` over one connection, paced to `rate` events/sec
+/// (0 = unthrottled), half-closes, and returns the server's ack.
+fn stream_connection(endpoint: &Endpoint, payload: &Payload, rate: f64) -> Result<Value, String> {
+    let mut conn = endpoint
+        .connect()
+        .map_err(|e| format!("cannot connect: {e}"))?;
+    // nsc-lint: allow(wall-clock, reason = "loadgen pacing and throughput measurement are observational by definition")
+    let started = Instant::now();
+    let mut from = 0usize;
+    for &(to, events_done) in &payload.chunks {
+        conn.write_all(&payload.bytes[from..to])
+            .map_err(|e| format!("cannot stream trace: {e}"))?;
+        from = to;
+        if rate > 0.0 {
+            let target = events_done as f64 / rate;
+            let elapsed = started.elapsed().as_secs_f64();
+            if elapsed < target {
+                thread::sleep(Duration::from_secs_f64(target - elapsed));
+            }
+        }
+    }
+    conn.flush()
+        .map_err(|e| format!("cannot flush trace: {e}"))?;
+    conn.shutdown_write()
+        .map_err(|e| format!("cannot half-close: {e}"))?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)
+        .map_err(|e| format!("cannot read ack: {e}"))?;
+    let line = reply
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| "server closed without an ack line".to_owned())?;
+    serde_json::from_str(line).map_err(|e| format!("ack is not valid JSON: {e} (got {line:?})"))
+}
+
+/// Replays `trace` against `endpoint` per `config` and reports the
+/// sustained throughput.
+///
+/// # Errors
+///
+/// A human-readable message for invalid knobs (zero connections or
+/// repetitions, a non-finite or negative rate), an unreadable or
+/// invalid trace file, or any connection failure.
+pub fn replay_trace(
+    endpoint: &Endpoint,
+    trace: &Path,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, String> {
+    if config.connections == 0 {
+        return Err("loadgen needs at least one connection".to_owned());
+    }
+    if config.repeat == 0 {
+        return Err("loadgen needs at least one repetition".to_owned());
+    }
+    if !config.rate.is_finite() || config.rate < 0.0 {
+        return Err(format!(
+            "loadgen rate must be a finite non-negative number, got {}",
+            config.rate
+        ));
+    }
+    let file = std::fs::File::open(trace)
+        .map_err(|e| format!("cannot open trace file {}: {e}", trace.display()))?;
+    let (header, events) =
+        read_trace(BufReader::new(file)).map_err(|e| format!("{}: {e}", trace.display()))?;
+    if events.is_empty() {
+        return Err(format!(
+            "{}: trace has no events to replay",
+            trace.display()
+        ));
+    }
+    let payload = Arc::new(render_payload(&header, &events, config.repeat));
+    let per_conn_rate = if config.rate > 0.0 {
+        config.rate / config.connections as f64
+    } else {
+        0.0
+    };
+    // nsc-lint: allow(wall-clock, reason = "loadgen pacing and throughput measurement are observational by definition")
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.connections)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            let payload = Arc::clone(&payload);
+            thread::spawn(move || stream_connection(&endpoint, &payload, per_conn_rate))
+        })
+        .collect();
+    let mut acks = Vec::with_capacity(workers.len());
+    for worker in workers {
+        acks.push(worker.join().map_err(|_| "connection thread panicked")??);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let events_sent = payload.events * config.connections as u64;
+    Ok(LoadgenReport {
+        connections: config.connections,
+        events_per_connection: payload.events,
+        events_sent,
+        wall_secs,
+        events_per_sec: if wall_secs > 0.0 {
+            events_sent as f64 / wall_secs
+        } else {
+            0.0
+        },
+        acks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{query_status, ServeConfig, Server};
+    use nsc_trace::{write_trace, TraceEvent, TraceEventKind};
+
+    fn temp_trace(events: &[TraceEvent]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "nsc-loadgen-test-{}-{:p}.jsonl",
+            std::process::id(),
+            events.as_ptr()
+        ));
+        let file = std::fs::File::create(&path).unwrap();
+        write_trace(file, &TraceHeader::new(1), events.to_vec()).unwrap();
+        path
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(0, TraceEventKind::Send(1)),
+            TraceEvent::new(1, TraceEventKind::Recv(1)),
+            TraceEvent::new(2, TraceEventKind::Send(0)),
+            TraceEvent::new(3, TraceEventKind::Delete(0)),
+            TraceEvent::new(4, TraceEventKind::Insert(1)),
+        ]
+    }
+
+    #[test]
+    fn replay_fans_out_and_acks_every_connection() {
+        let server = Server::bind(
+            &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+            ServeConfig {
+                shards: 4,
+                windows: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let endpoint = Endpoint::Tcp(server.tcp_addr().unwrap().to_string());
+        let path = temp_trace(&sample_events());
+        let report = replay_trace(
+            &endpoint,
+            &path,
+            &LoadgenConfig {
+                connections: 3,
+                rate: 0.0,
+                repeat: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.events_per_connection, 20);
+        assert_eq!(report.events_sent, 60);
+        assert_eq!(report.acks.len(), 3);
+        for ack in &report.acks {
+            assert_eq!(ack["events"], serde_json::json!(20));
+            assert!(ack.get("error").is_none());
+        }
+        let status = query_status(&endpoint).unwrap();
+        assert_eq!(status["totals"]["events"], serde_json::json!(60));
+        assert_eq!(status["totals"]["streams"], serde_json::json!(3));
+        server.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected() {
+        let endpoint = Endpoint::Tcp("127.0.0.1:1".to_owned());
+        let path = temp_trace(&sample_events());
+        let zero_conns = LoadgenConfig {
+            connections: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(replay_trace(&endpoint, &path, &zero_conns)
+            .unwrap_err()
+            .contains("connection"));
+        let zero_repeat = LoadgenConfig {
+            repeat: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(replay_trace(&endpoint, &path, &zero_repeat)
+            .unwrap_err()
+            .contains("repetition"));
+        let nan_rate = LoadgenConfig {
+            rate: f64::NAN,
+            ..LoadgenConfig::default()
+        };
+        assert!(replay_trace(&endpoint, &path, &nan_rate)
+            .unwrap_err()
+            .contains("finite"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn payload_shifts_ticks_across_repetitions() {
+        let events = sample_events();
+        let payload = render_payload(&TraceHeader::new(1), &events, 3);
+        assert_eq!(payload.events, 15);
+        let text = String::from_utf8(payload.bytes.clone()).unwrap();
+        // Repetition 1 starts at tick span = 5, repetition 2 at 10:
+        // ticks never decrease, so the reader accepts the replay.
+        assert!(text.contains("{\"t\":5,\"ev\":\"send\",\"sym\":1}"));
+        assert!(text.contains("{\"t\":14,\"ev\":\"ins\",\"sym\":1}"));
+        let parsed = nsc_trace::read_trace(payload.bytes.as_slice()).unwrap();
+        assert_eq!(parsed.1.len(), 15);
+    }
+}

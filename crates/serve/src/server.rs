@@ -1,0 +1,649 @@
+//! The streaming estimation server: listeners, the sharded stream
+//! registry, and the status endpoint.
+//!
+//! # Sharding
+//!
+//! Connections are sharded by stream id across a fixed vector of
+//! shards, echoing the engine runner's slot-vector pool discipline:
+//! every stream has exactly **one writer** (its connection's handler
+//! thread), state lives in a fixed slot vector indexed by
+//! `id % shards`, and readers (the status endpoint) walk the shards
+//! in index order and the streams in id order — so a status snapshot
+//! is ordered deterministically no matter how the connections
+//! interleaved. Shard maps are `BTreeMap`, never `HashMap`, for the
+//! same reason.
+//!
+//! # Bounded memory
+//!
+//! A stream's estimator is an [`OnlineStream`] wrapping the batch
+//! [`InferenceBuilder`](nsc_trace::InferenceBuilder), whose
+//! change-point blocks compact once they would exceed
+//! [`DEFAULT_MAX_BLOCKS`](nsc_trace::DEFAULT_MAX_BLOCKS) — per-stream
+//! memory is `O(max_blocks)` regardless of stream length, which the
+//! `--status` document reports per stream as `blocks_held`.
+
+use crate::stream::OnlineStream;
+use nsc_trace::{check_finite_json, TraceReader};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Cursor, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Schema identifier of every JSON document the server emits.
+pub const SERVE_SCHEMA: &str = "nsc-serve/v1";
+
+/// Events a handler thread applies per registry-lock acquisition:
+/// large enough that lock traffic never dominates the parse loop,
+/// small enough that status snapshots stay live.
+const EVENT_BATCH: usize = 256;
+
+/// Poll interval of the non-blocking accept loops.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Sentinel for "no event seen yet" in the ingest-window atomics.
+const NO_EVENT: u64 = u64::MAX;
+
+/// Where a server listens or a client connects.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7070`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A connected client socket: read + write plus a write half-close,
+/// which is how a streaming client says "end of trace" and then
+/// waits for the server's ack line.
+pub trait Conn: Read + Write + Send {
+    /// Closes the write half so the server sees end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown failure.
+    fn shutdown_write(&mut self) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+}
+
+impl Endpoint {
+    /// Connects a client socket to this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying connect failure.
+    pub fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Box::new(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Box::new(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Registry shards (stream id modulo `shards` picks the slot).
+    pub shards: usize,
+    /// Change-point scan windows per status snapshot.
+    pub windows: usize,
+    /// Worker threads for the per-snapshot scan (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            windows: nsc_trace::DEFAULT_WINDOWS,
+            threads: 0,
+        }
+    }
+}
+
+/// Shared server state: configuration, counters, and the sharded
+/// stream registry.
+struct SharedState {
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    next_stream: AtomicU64,
+    connections: AtomicU64,
+    events: AtomicU64,
+    /// Microseconds (since server start) of the first/last event
+    /// applied — the ingest window the throughput counters cover.
+    first_event_us: AtomicU64,
+    last_event_us: AtomicU64,
+    started: Instant,
+    /// Slot vector: shard `id % shards` owns stream `id`. One writer
+    /// per stream (its handler thread); the shard mutex guards only
+    /// the map structure.
+    shards: Vec<Mutex<BTreeMap<u64, Arc<Mutex<OnlineStream>>>>>,
+}
+
+impl SharedState {
+    fn new(config: ServeConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(BTreeMap::new()))
+            .collect();
+        SharedState {
+            config,
+            shutdown: AtomicBool::new(false),
+            next_stream: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            first_event_us: AtomicU64::new(NO_EVENT),
+            last_event_us: AtomicU64::new(NO_EVENT),
+            // nsc-lint: allow(wall-clock, reason = "uptime/throughput counters are observational, reported under status.throughput which determinism diffs strip")
+            started: Instant::now(),
+            shards,
+        }
+    }
+
+    fn register(&self, stream: OnlineStream) -> (u64, Arc<Mutex<OnlineStream>>) {
+        let id = stream.id();
+        let slot = Arc::new(Mutex::new(stream));
+        let shard = &self.shards[(id as usize) % self.shards.len()];
+        shard
+            .lock()
+            .expect("shard mutex poisoned")
+            .insert(id, Arc::clone(&slot));
+        (id, slot)
+    }
+
+    fn note_events(&self, n: usize) {
+        self.events.fetch_add(n as u64, Ordering::Relaxed);
+        let now_us = self.started.elapsed().as_micros() as u64;
+        self.first_event_us.fetch_min(now_us, Ordering::Relaxed);
+        // NO_EVENT is u64::MAX: fetch_min absorbs it naturally above,
+        // but fetch_max would keep it forever — swap it out first.
+        let _ = self.last_event_us.compare_exchange(
+            NO_EVENT,
+            now_us,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.last_event_us.fetch_max(now_us, Ordering::Relaxed);
+    }
+
+    /// Assembles the `nsc-serve/v1` status document. Streams are
+    /// reported in id order; every float is finite by construction
+    /// and re-checked by the caller before hitting a socket.
+    fn status_json(&self) -> Value {
+        let uptime_secs = self.started.elapsed().as_secs_f64();
+        let events = self.events.load(Ordering::Relaxed);
+        let first = self.first_event_us.load(Ordering::Relaxed);
+        let last = self.last_event_us.load(Ordering::Relaxed);
+        let ingest_secs = if first == NO_EVENT || last == NO_EVENT || last < first {
+            0.0
+        } else {
+            // Floor at 1µs so a burst faster than the clock's
+            // resolution reports a finite rate, never +inf.
+            ((last - first).max(1)) as f64 / 1e6
+        };
+        let events_per_sec = if ingest_secs > 0.0 {
+            events as f64 / ingest_secs
+        } else {
+            0.0
+        };
+        let mut ordered: BTreeMap<u64, Arc<Mutex<OnlineStream>>> = BTreeMap::new();
+        for shard in &self.shards {
+            for (id, slot) in shard.lock().expect("shard mutex poisoned").iter() {
+                ordered.insert(*id, Arc::clone(slot));
+            }
+        }
+        let streams: Vec<Value> = ordered
+            .values()
+            .map(|slot| {
+                slot.lock()
+                    .expect("stream mutex poisoned")
+                    .snapshot(self.config.windows, self.config.threads)
+            })
+            .collect();
+        json!({
+            "schema": SERVE_SCHEMA,
+            "command": "status",
+            "config": {
+                "shards": self.shards.len(),
+                "windows": self.config.windows,
+                "threads": self.config.threads,
+            },
+            "totals": {
+                "connections": self.connections.load(Ordering::Relaxed),
+                "streams": streams.len(),
+                "events": events,
+            },
+            "throughput": {
+                "uptime_secs": uptime_secs,
+                "ingest_secs": ingest_secs,
+                "events_per_sec": events_per_sec,
+            },
+            "streams": streams,
+        })
+    }
+}
+
+/// One line of `nsc-serve/v1` JSON plus newline, flushed.
+fn write_json_line<W: Write>(writer: &mut W, doc: &Value) -> io::Result<()> {
+    let mut line = serde_json::to_vec(doc).map_err(io::Error::other)?;
+    line.push(b'\n');
+    writer.write_all(&line)?;
+    writer.flush()
+}
+
+/// Handles one accepted connection: a `status` query or a trace
+/// stream (see the crate docs for the wire protocol).
+fn handle_connection<R: Read, W: Write>(state: &Arc<SharedState>, read: R, mut write: W) {
+    state.connections.fetch_add(1, Ordering::Relaxed);
+    let mut source = BufReader::new(read);
+    let mut first = String::new();
+    match source.read_line(&mut first) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    if first.trim() == "status" {
+        let status = state.status_json();
+        let doc = match check_finite_json(&status) {
+            Ok(()) => status,
+            Err(e) => json!({"schema": SERVE_SCHEMA, "error": e.to_string()}),
+        };
+        let _ = write_json_line(&mut write, &doc);
+        return;
+    }
+    // A trace stream: re-attach the already-consumed header line in
+    // front of the socket and hand the whole thing to the strict
+    // reader — chunk boundaries, CRLF, and a missing final newline
+    // are all its problem, handled identically to the batch path.
+    let chained = Cursor::new(first.into_bytes()).chain(source);
+    let mut reader = match TraceReader::new(chained) {
+        Ok(reader) => reader,
+        Err(e) => {
+            let _ = write_json_line(
+                &mut write,
+                &json!({"schema": SERVE_SCHEMA, "error": e.to_string()}),
+            );
+            return;
+        }
+    };
+    let id = state.next_stream.fetch_add(1, Ordering::Relaxed) + 1;
+    let (_, slot) = state.register(OnlineStream::new(id, reader.header().alphabet_bits));
+    let mut batch = Vec::with_capacity(EVENT_BATCH);
+    let mut failure: Option<String> = None;
+    loop {
+        batch.clear();
+        let mut eof = false;
+        while batch.len() < EVENT_BATCH {
+            match reader.read_event() {
+                Ok(Some(event)) => batch.push(event),
+                Ok(None) => {
+                    eof = true;
+                    break;
+                }
+                Err(e) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let mut stream = slot.lock().expect("stream mutex poisoned");
+            for event in &batch {
+                stream.observe(event);
+            }
+            drop(stream);
+            state.note_events(batch.len());
+        }
+        if eof || failure.is_some() {
+            break;
+        }
+    }
+    let events = reader.events_read();
+    let ack = match failure {
+        None => json!({"schema": SERVE_SCHEMA, "stream": id, "events": events}),
+        Some(message) => {
+            slot.lock()
+                .expect("stream mutex poisoned")
+                .set_error(message.clone());
+            json!({"schema": SERVE_SCHEMA, "stream": id, "events": events, "error": message})
+        }
+    };
+    let _ = write_json_line(&mut write, &ack);
+}
+
+/// The running server: bound listeners, acceptor threads, and the
+/// shared registry. Dropping without [`shutdown`](Server::shutdown)
+/// detaches the threads (the process-exit path of the CLI).
+pub struct Server {
+    state: Arc<SharedState>,
+    acceptors: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tcp_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds every endpoint and starts accepting connections.
+    ///
+    /// TCP endpoints may use port `0`; the chosen port is available
+    /// from [`tcp_addr`](Server::tcp_addr). A stale Unix socket file
+    /// at the requested path is removed before binding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bind failure; no endpoints means
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn bind(endpoints: &[Endpoint], config: ServeConfig) -> io::Result<Server> {
+        if endpoints.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "nsc serve needs at least one listen endpoint",
+            ));
+        }
+        let state = Arc::new(SharedState::new(config));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        #[cfg(unix)]
+        let mut unix_path = None;
+        for endpoint in endpoints {
+            match endpoint {
+                Endpoint::Tcp(addr) => {
+                    let listener = TcpListener::bind(addr.as_str())?;
+                    listener.set_nonblocking(true)?;
+                    tcp_addr = Some(listener.local_addr()?);
+                    acceptors.push(spawn_tcp_acceptor(
+                        listener,
+                        Arc::clone(&state),
+                        Arc::clone(&handlers),
+                    ));
+                }
+                #[cfg(unix)]
+                Endpoint::Unix(path) => {
+                    let _ = std::fs::remove_file(path);
+                    let listener = UnixListener::bind(path)?;
+                    listener.set_nonblocking(true)?;
+                    unix_path = Some(path.clone());
+                    acceptors.push(spawn_unix_acceptor(
+                        listener,
+                        Arc::clone(&state),
+                        Arc::clone(&handlers),
+                    ));
+                }
+            }
+        }
+        Ok(Server {
+            state,
+            acceptors,
+            handlers,
+            tcp_addr,
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address, when a TCP endpoint was requested.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The current status document (the same one the `status` wire
+    /// query returns).
+    #[must_use]
+    pub fn status(&self) -> Value {
+        self.state.status_json()
+    }
+
+    /// Blocks until [`shutdown`](Server::shutdown) is called from
+    /// another thread (or forever, for the CLI's run-until-killed
+    /// mode).
+    pub fn wait(&self) {
+        while !self.state.shutdown.load(Ordering::Relaxed) {
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Stops accepting, joins every acceptor and every finished
+    /// handler thread, and removes the Unix socket file. Handler
+    /// threads still blocked on a live client connection are joined
+    /// too — callers should close their clients first.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn spawn_tcp_acceptor(
+    listener: TcpListener,
+    state: Arc<SharedState>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((sock, _)) => {
+                if sock.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Ok(writer) = sock.try_clone() else {
+                    continue;
+                };
+                let conn_state = Arc::clone(&state);
+                let handle = thread::spawn(move || handle_connection(&conn_state, sock, writer));
+                handlers.lock().expect("handler list poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    })
+}
+
+#[cfg(unix)]
+fn spawn_unix_acceptor(
+    listener: UnixListener,
+    state: Arc<SharedState>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((sock, _)) => {
+                if sock.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Ok(writer) = sock.try_clone() else {
+                    continue;
+                };
+                let conn_state = Arc::clone(&state);
+                let handle = thread::spawn(move || handle_connection(&conn_state, sock, writer));
+                handlers.lock().expect("handler list poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    })
+}
+
+/// Queries a running server's status endpoint: connects, sends the
+/// literal `status` line, and parses the one-line JSON reply.
+///
+/// # Errors
+///
+/// A human-readable message on connect/write/read failure or a
+/// non-JSON reply.
+pub fn query_status(endpoint: &Endpoint) -> Result<Value, String> {
+    let mut conn = endpoint
+        .connect()
+        .map_err(|e| format!("cannot connect to status endpoint: {e}"))?;
+    conn.write_all(b"status\n")
+        .and_then(|()| conn.flush())
+        .map_err(|e| format!("cannot send status query: {e}"))?;
+    conn.shutdown_write()
+        .map_err(|e| format!("cannot half-close status query: {e}"))?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)
+        .map_err(|e| format!("cannot read status reply: {e}"))?;
+    serde_json::from_str(reply.trim())
+        .map_err(|e| format!("status reply is not valid JSON: {e} (got {reply:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_trace::TRACE_SCHEMA;
+
+    fn tcp_server() -> (Server, Endpoint) {
+        let server = Server::bind(
+            &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+            ServeConfig {
+                shards: 4,
+                windows: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let endpoint = Endpoint::Tcp(server.tcp_addr().unwrap().to_string());
+        (server, endpoint)
+    }
+
+    fn stream_text(endpoint: &Endpoint, text: &str) -> Value {
+        let mut conn = endpoint.connect().unwrap();
+        conn.write_all(text.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        conn.shutdown_write().unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        serde_json::from_str(reply.trim()).unwrap()
+    }
+
+    #[test]
+    fn streams_ack_and_appear_in_status() {
+        let (server, endpoint) = tcp_server();
+        let trace = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"alphabet_bits\":1}}\n\
+             {{\"t\":0,\"ev\":\"send\",\"sym\":1}}\n\
+             {{\"t\":1,\"ev\":\"recv\",\"sym\":1}}\n\
+             {{\"t\":2,\"ev\":\"send\",\"sym\":0}}\n\
+             {{\"t\":3,\"ev\":\"del\",\"sym\":0}}"
+        );
+        // No trailing newline on the last line: socket streams end
+        // mid-buffer and every event must still count.
+        let ack = stream_text(&endpoint, &trace);
+        assert_eq!(ack["schema"], json!(SERVE_SCHEMA));
+        assert_eq!(ack["events"], json!(4));
+        assert!(ack.get("error").is_none());
+        let status = query_status(&endpoint).unwrap();
+        assert_eq!(status["schema"], json!(SERVE_SCHEMA));
+        assert_eq!(status["totals"]["events"], json!(4));
+        assert_eq!(status["streams"][0]["events"], json!(4));
+        assert_eq!(status["streams"][0]["status"], json!("ok"));
+        assert!(status["throughput"]["events_per_sec"].as_f64().unwrap() >= 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_stream_reports_error_but_keeps_partial_counts() {
+        let (server, endpoint) = tcp_server();
+        let trace = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"alphabet_bits\":1}}\n\
+             {{\"t\":0,\"ev\":\"send\",\"sym\":1}}\n\
+             {{\"t\":1,\"ev\":\"warp\"}}\n"
+        );
+        let ack = stream_text(&endpoint, &trace);
+        assert_eq!(ack["events"], json!(1));
+        assert!(ack["error"].as_str().unwrap().contains("warp"));
+        let status = query_status(&endpoint).unwrap();
+        assert_eq!(status["streams"][0]["events"], json!(1));
+        assert!(status["streams"][0]["error"]
+            .as_str()
+            .unwrap()
+            .contains("warp"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_header_is_rejected_with_an_error_line() {
+        let (server, endpoint) = tcp_server();
+        let reply = stream_text(
+            &endpoint,
+            "{\"schema\":\"nsc-trace/v9\",\"alphabet_bits\":1}\n",
+        );
+        assert!(reply["error"].as_str().unwrap().contains("nsc-trace/v9"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_status_document_is_finite_and_wellformed() {
+        let (server, endpoint) = tcp_server();
+        let status = query_status(&endpoint).unwrap();
+        assert_eq!(status["totals"]["streams"], json!(0));
+        assert_eq!(status["throughput"]["events_per_sec"], json!(0.0));
+        check_finite_json(&status).unwrap();
+        server.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_endpoint_round_trips() {
+        let dir = std::env::temp_dir().join(format!("nsc-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.sock");
+        let server = Server::bind(
+            &[Endpoint::Unix(path.clone())],
+            ServeConfig {
+                shards: 2,
+                windows: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let endpoint = Endpoint::Unix(path.clone());
+        let trace = format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"alphabet_bits\":1}}\n\
+             {{\"t\":0,\"ev\":\"send\",\"sym\":1}}\n\
+             {{\"t\":1,\"ev\":\"recv\",\"sym\":1}}\n"
+        );
+        let ack = stream_text(&endpoint, &trace);
+        assert_eq!(ack["events"], json!(2));
+        let status = query_status(&endpoint).unwrap();
+        assert_eq!(status["totals"]["events"], json!(2));
+        server.shutdown();
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

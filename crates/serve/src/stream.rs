@@ -1,0 +1,191 @@
+//! Per-stream online estimator state.
+
+use nsc_trace::{capacity_bounds_with_ci, check_finite_json, InferenceBuilder, TraceEvent};
+use serde_json::{json, Map, Value};
+
+/// One connection's online estimator: the same [`InferenceBuilder`]
+/// the batch `nsc estimate` path drives, plus stream identity and
+/// error state.
+///
+/// Because the builder's state is a pure function of the event
+/// sequence, a stream that replays a recorded trace ends up —
+/// regardless of socket chunking — in exactly the state the batch
+/// path reaches on the same file, which is what makes the server's
+/// snapshots bit-identical to `nsc estimate` output.
+#[derive(Debug, Clone)]
+pub struct OnlineStream {
+    id: u64,
+    alphabet_bits: u32,
+    builder: InferenceBuilder,
+    error: Option<String>,
+}
+
+impl OnlineStream {
+    /// A fresh stream with the default (batch-identical) estimator
+    /// limits.
+    #[must_use]
+    pub fn new(id: u64, alphabet_bits: u32) -> Self {
+        OnlineStream {
+            id,
+            alphabet_bits,
+            builder: InferenceBuilder::new(),
+            error: None,
+        }
+    }
+
+    /// The server-assigned stream id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Events observed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.builder.events()
+    }
+
+    /// Tallies one validated event.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.builder.observe(event);
+    }
+
+    /// Records a terminal stream error (a malformed line, an I/O
+    /// failure); the tallies up to the error remain visible.
+    pub fn set_error(&mut self, message: String) {
+        self.error = Some(message);
+    }
+
+    /// The per-stream status object: identity and counters always;
+    /// the full estimate block (`counts`/`p_d`/`p_i`/`stationarity`/
+    /// `bounds`, field-for-field the `results` object of
+    /// `nsc estimate --format json`) when the stream supports
+    /// inference, or `status: "insufficient"` with a reason when it
+    /// is degenerate (no sends, no deliveries). Every float is
+    /// guarded finite before rendering — a `NaN` can only surface as
+    /// a typed error, never as a silent JSON `null`.
+    #[must_use]
+    pub fn snapshot(&self, windows: usize, threads: usize) -> Value {
+        let mut obj = Map::new();
+        obj.insert("stream".to_owned(), json!(self.id));
+        obj.insert("alphabet_bits".to_owned(), json!(self.alphabet_bits));
+        obj.insert("events".to_owned(), json!(self.builder.events()));
+        obj.insert("blocks_held".to_owned(), json!(self.builder.blocks_held()));
+        if let Some(error) = &self.error {
+            obj.insert("error".to_owned(), json!(error));
+        }
+        let estimate = self.builder.infer(windows, threads).and_then(|inf| {
+            capacity_bounds_with_ci(self.alphabet_bits, &inf).map(|bounds| (inf, bounds))
+        });
+        match estimate {
+            Ok((inf, bounds)) => {
+                // The finite guard must run on the source structs:
+                // `json!` already converts NaN to null.
+                let guarded = check_finite_json(&inf).and_then(|()| check_finite_json(&bounds));
+                match guarded {
+                    Ok(()) => {
+                        obj.insert("status".to_owned(), json!("ok"));
+                        obj.insert("counts".to_owned(), json!(inf.counts));
+                        obj.insert("p_d".to_owned(), json!(inf.p_d));
+                        obj.insert("p_i".to_owned(), json!(inf.p_i));
+                        obj.insert("stationarity".to_owned(), json!(inf.stationarity));
+                        obj.insert("bounds".to_owned(), json!(bounds));
+                    }
+                    Err(e) => {
+                        obj.insert("status".to_owned(), json!("non-finite"));
+                        obj.insert("reason".to_owned(), json!(e.to_string()));
+                    }
+                }
+            }
+            Err(e) => {
+                obj.insert("status".to_owned(), json!("insufficient"));
+                obj.insert("reason".to_owned(), json!(e.to_string()));
+            }
+        }
+        Value::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_trace::{infer_events, TraceEventKind};
+
+    fn ev(tick: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent::new(tick, kind)
+    }
+
+    fn feed(stream: &mut OnlineStream, events: &[TraceEvent]) {
+        for e in events {
+            stream.observe(e);
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev(0, TraceEventKind::Send(1)),
+            ev(1, TraceEventKind::Delete(1)),
+            ev(2, TraceEventKind::Send(0)),
+            ev(3, TraceEventKind::Recv(0)),
+            ev(4, TraceEventKind::Send(1)),
+            ev(5, TraceEventKind::Recv(1)),
+            ev(6, TraceEventKind::Insert(1)),
+            ev(7, TraceEventKind::Send(0)),
+            ev(8, TraceEventKind::Recv(0)),
+        ]
+    }
+
+    #[test]
+    fn snapshot_matches_batch_inference() {
+        let events = sample();
+        let mut stream = OnlineStream::new(7, 1);
+        feed(&mut stream, &events);
+        let snap = stream.snapshot(4, 1);
+        assert_eq!(snap["stream"], json!(7));
+        assert_eq!(snap["status"], json!("ok"));
+        let batch = infer_events(events.into_iter().map(Ok), 4, 1).unwrap();
+        assert_eq!(snap["counts"], json!(batch.counts));
+        assert_eq!(snap["p_d"], json!(batch.p_d));
+        assert_eq!(snap["p_i"], json!(batch.p_i));
+        assert_eq!(snap["stationarity"], json!(batch.stationarity));
+        let bounds = capacity_bounds_with_ci(1, &batch).unwrap();
+        assert_eq!(snap["bounds"], json!(bounds));
+    }
+
+    #[test]
+    fn degenerate_stream_reports_insufficient_not_null() {
+        let mut stream = OnlineStream::new(1, 2);
+        let snap = stream.snapshot(4, 1);
+        assert_eq!(snap["status"], json!("insufficient"));
+        assert!(snap.get("p_d").is_none());
+        // Only acks: still no P_d evidence.
+        feed(&mut stream, &[ev(0, TraceEventKind::Ack)]);
+        let snap = stream.snapshot(4, 1);
+        assert_eq!(snap["status"], json!("insufficient"));
+        assert!(snap["reason"].as_str().unwrap().contains("P_d"));
+        // Sends but no deliveries: no P_i evidence.
+        feed(&mut stream, &[ev(1, TraceEventKind::Send(1))]);
+        let snap = stream.snapshot(4, 1);
+        assert_eq!(snap["status"], json!("insufficient"));
+        assert!(snap["reason"].as_str().unwrap().contains("P_i"));
+        // No null anywhere in the snapshot (serde_json's NaN decay).
+        assert!(!serde_json::to_string(&snap).unwrap().contains("null"));
+    }
+
+    #[test]
+    fn stream_error_is_recorded_alongside_partial_tallies() {
+        let mut stream = OnlineStream::new(3, 1);
+        feed(
+            &mut stream,
+            &[
+                ev(0, TraceEventKind::Send(1)),
+                ev(1, TraceEventKind::Recv(1)),
+            ],
+        );
+        stream.set_error("trace line 4, column 1: blank line".to_owned());
+        let snap = stream.snapshot(4, 1);
+        assert_eq!(snap["events"], json!(2));
+        assert!(snap["error"].as_str().unwrap().contains("line 4"));
+        assert_eq!(snap["status"], json!("ok"));
+    }
+}

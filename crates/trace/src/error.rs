@@ -22,6 +22,10 @@ pub enum TraceError {
     /// The trace is well-formed but cannot support the requested
     /// inference (e.g. no send events to estimate `P_d` from).
     Inference(String),
+    /// A value destined for JSON output contains a non-finite `f64`
+    /// (`NaN`/`±inf`), which `serde_json` would silently render as
+    /// `null`. The payload names the offending field path.
+    NonFinite(String),
 }
 
 impl TraceError {
@@ -55,6 +59,9 @@ impl fmt::Display for TraceError {
                 message,
             } => write!(f, "trace line {line}, column {column}: {message}"),
             TraceError::Inference(msg) => write!(f, "trace inference error: {msg}"),
+            TraceError::NonFinite(path) => {
+                write!(f, "non-finite f64 in JSON output at {path}")
+            }
         }
     }
 }

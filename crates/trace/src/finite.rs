@@ -1,0 +1,627 @@
+//! Serializer-level guard against non-finite floats in JSON output.
+//!
+//! `serde_json` silently renders `NaN` and `±inf` as `null` — at
+//! [`serde_json::to_value`] time, before any post-hoc inspection can
+//! tell a poisoned float from a legitimate absent field. Every JSON
+//! document the workspace emits (`nsc estimate`, `nsc serve
+//! --status`) is diffed by `jq`-based determinism checks that a
+//! surprise `null` would quietly satisfy, so the guard has to run on
+//! the **source struct**: [`check_finite_json`] walks a
+//! [`Serialize`] value with a checking serializer that rejects the
+//! first non-finite `f64`/`f32` it sees, naming the field path.
+//! [`to_finite_value`] is the checked replacement for
+//! [`serde_json::to_value`].
+
+use serde::ser::{self, Impossible, Serialize};
+use serde_json::Value;
+
+use crate::error::TraceError;
+
+/// Verifies that serializing `value` would emit only finite floats.
+///
+/// # Errors
+///
+/// Returns [`TraceError::NonFinite`] naming the path of the first
+/// `NaN`/`±inf` `f64` (or `f32`) encountered.
+pub fn check_finite_json<T: Serialize + ?Sized>(value: &T) -> Result<(), TraceError> {
+    let mut state = State {
+        path: Vec::new(),
+        pending_key: None,
+    };
+    value
+        .serialize(FiniteCheck { state: &mut state })
+        .map_err(|e| TraceError::NonFinite(e.0))
+}
+
+/// [`serde_json::to_value`], but failing loudly on non-finite floats
+/// instead of letting them decay to `null`.
+///
+/// # Errors
+///
+/// [`TraceError::NonFinite`] when `value` holds a `NaN`/`±inf`
+/// float; [`TraceError::Inference`] when `serde_json` itself cannot
+/// represent the value.
+pub fn to_finite_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, TraceError> {
+    check_finite_json(value)?;
+    serde_json::to_value(value).map_err(|e| TraceError::Inference(e.to_string()))
+}
+
+/// Error carrying the dotted path to the offending float.
+#[derive(Debug)]
+struct NonFinite(String);
+
+impl std::fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite f64 at {}", self.0)
+    }
+}
+
+impl std::error::Error for NonFinite {}
+
+impl ser::Error for NonFinite {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        NonFinite(msg.to_string())
+    }
+}
+
+/// Shared walk state: the current field path plus the map key being
+/// captured (map keys arrive through their own serializer call).
+struct State {
+    path: Vec<String>,
+    pending_key: Option<String>,
+}
+
+impl State {
+    fn location(&self) -> String {
+        if self.path.is_empty() {
+            "<root>".to_owned()
+        } else {
+            self.path.join(".")
+        }
+    }
+}
+
+/// The checking serializer: output-free, errors on the first
+/// non-finite float. Reborrowed (`FiniteCheck { state: &mut
+/// *self.state }`) at every recursion so one `State` threads through
+/// the whole walk.
+struct FiniteCheck<'a> {
+    state: &'a mut State,
+}
+
+impl<'a> FiniteCheck<'a> {
+    fn reborrow(&mut self) -> FiniteCheck<'_> {
+        FiniteCheck {
+            state: &mut *self.state,
+        }
+    }
+
+    fn check(&self, v: f64) -> Result<(), NonFinite> {
+        if v.is_finite() {
+            Ok(())
+        } else {
+            Err(NonFinite(format!("{} ({v})", self.state.location())))
+        }
+    }
+}
+
+impl<'a> ser::Serializer for FiniteCheck<'a> {
+    type Ok = ();
+    type Error = NonFinite;
+    type SerializeSeq = SeqCheck<'a>;
+    type SerializeTuple = SeqCheck<'a>;
+    type SerializeTupleStruct = SeqCheck<'a>;
+    type SerializeTupleVariant = SeqCheck<'a>;
+    type SerializeMap = FiniteCheck<'a>;
+    type SerializeStruct = FiniteCheck<'a>;
+    type SerializeStructVariant = FiniteCheck<'a>;
+
+    fn serialize_bool(self, _: bool) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_i8(self, _: i8) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_i16(self, _: i16) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_i32(self, _: i32) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_i64(self, _: i64) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_u8(self, _: u8) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_u16(self, _: u16) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_u32(self, _: u32) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_u64(self, _: u64) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), NonFinite> {
+        self.check(f64::from(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), NonFinite> {
+        self.check(v)
+    }
+    fn serialize_char(self, _: char) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_str(self, _: &str) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_bytes(self, _: &[u8]) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), NonFinite> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+    ) -> Result<(), NonFinite> {
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        mut self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        self.state.path.push(variant.to_owned());
+        let result = value.serialize(self.reborrow());
+        self.state.path.pop();
+        result
+    }
+    fn serialize_seq(self, _: Option<usize>) -> Result<SeqCheck<'a>, NonFinite> {
+        Ok(SeqCheck {
+            state: self.state,
+            index: 0,
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqCheck<'a>, NonFinite> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _: &'static str,
+        len: usize,
+    ) -> Result<SeqCheck<'a>, NonFinite> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        _: usize,
+    ) -> Result<SeqCheck<'a>, NonFinite> {
+        self.state.path.push(variant.to_owned());
+        Ok(SeqCheck {
+            state: self.state,
+            index: 0,
+        })
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<FiniteCheck<'a>, NonFinite> {
+        Ok(self)
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<FiniteCheck<'a>, NonFinite> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        _: usize,
+    ) -> Result<FiniteCheck<'a>, NonFinite> {
+        self.state.path.push(variant.to_owned());
+        Ok(self)
+    }
+}
+
+impl ser::SerializeStruct for FiniteCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        self.state.path.push(key.to_owned());
+        let result = value.serialize(self.reborrow());
+        self.state.path.pop();
+        result
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for FiniteCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(mut self) -> Result<(), NonFinite> {
+        self.state.path.pop();
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for FiniteCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), NonFinite> {
+        let mut captured = None;
+        key.serialize(KeyCapture {
+            slot: &mut captured,
+        })?;
+        self.state.pending_key = Some(captured.unwrap_or_else(|| "<key>".to_owned()));
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        let key = self
+            .state
+            .pending_key
+            .take()
+            .unwrap_or_else(|| "<key>".to_owned());
+        self.state.path.push(key);
+        let result = value.serialize(self.reborrow());
+        self.state.path.pop();
+        result
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+}
+
+/// Sequence walker: path segments are bracketed indices.
+struct SeqCheck<'a> {
+    state: &'a mut State,
+    index: usize,
+}
+
+impl SeqCheck<'_> {
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        self.state.path.push(format!("[{}]", self.index));
+        self.index += 1;
+        let result = value.serialize(FiniteCheck {
+            state: &mut *self.state,
+        });
+        self.state.path.pop();
+        result
+    }
+}
+
+impl ser::SerializeSeq for SeqCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for SeqCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for SeqCheck<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NonFinite> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), NonFinite> {
+        self.state.path.pop();
+        Ok(())
+    }
+}
+
+/// Captures a map key's string form; non-string keys fall back to a
+/// placeholder rather than failing the walk.
+struct KeyCapture<'a> {
+    slot: &'a mut Option<String>,
+}
+
+impl KeyCapture<'_> {
+    fn record(self, text: String) -> Result<(), NonFinite> {
+        *self.slot = Some(text);
+        Ok(())
+    }
+}
+
+impl ser::Serializer for KeyCapture<'_> {
+    type Ok = ();
+    type Error = NonFinite;
+    type SerializeSeq = Impossible<(), NonFinite>;
+    type SerializeTuple = Impossible<(), NonFinite>;
+    type SerializeTupleStruct = Impossible<(), NonFinite>;
+    type SerializeTupleVariant = Impossible<(), NonFinite>;
+    type SerializeMap = Impossible<(), NonFinite>;
+    type SerializeStruct = Impossible<(), NonFinite>;
+    type SerializeStructVariant = Impossible<(), NonFinite>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_char(self, v: char) -> Result<(), NonFinite> {
+        self.record(v.to_string())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), NonFinite> {
+        self.record(v.to_owned())
+    }
+    fn serialize_bytes(self, _: &[u8]) -> Result<(), NonFinite> {
+        self.record("<bytes>".to_owned())
+    }
+    fn serialize_none(self) -> Result<(), NonFinite> {
+        self.record("<none>".to_owned())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), NonFinite> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), NonFinite> {
+        self.record("<unit>".to_owned())
+    }
+    fn serialize_unit_struct(self, name: &'static str) -> Result<(), NonFinite> {
+        self.record(name.to_owned())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+    ) -> Result<(), NonFinite> {
+        self.record(variant.to_owned())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), NonFinite> {
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a sequence"))
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a tuple"))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeTupleStruct, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a tuple"))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeTupleVariant, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a tuple"))
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a map"))
+    }
+    fn serialize_struct(
+        self,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeStruct, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a struct"))
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self::SerializeStructVariant, NonFinite> {
+        Err(ser::Error::custom("map key cannot be a struct"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use serde_json::json;
+
+    #[derive(Serialize)]
+    struct Nested {
+        label: String,
+        value: f64,
+    }
+
+    #[derive(Serialize)]
+    struct Doc {
+        count: u64,
+        inner: Vec<Nested>,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        maybe: Option<f64>,
+    }
+
+    fn doc(value: f64, maybe: Option<f64>) -> Doc {
+        Doc {
+            count: 3,
+            inner: vec![
+                Nested {
+                    label: "ok".to_owned(),
+                    value: 0.5,
+                },
+                Nested {
+                    label: "probe".to_owned(),
+                    value,
+                },
+            ],
+            maybe,
+        }
+    }
+
+    #[test]
+    fn finite_documents_pass() {
+        check_finite_json(&doc(1.25, Some(0.75))).unwrap();
+        check_finite_json(&doc(f64::MAX, None)).unwrap();
+        let v = to_finite_value(&doc(1.25, None)).unwrap();
+        assert_eq!(v["inner"][1]["value"], json!(1.25));
+    }
+
+    #[test]
+    fn nan_is_rejected_with_a_path() {
+        let err = check_finite_json(&doc(f64::NAN, None)).unwrap_err();
+        let TraceError::NonFinite(path) = &err else {
+            panic!("expected NonFinite, got {err:?}");
+        };
+        assert!(path.contains("inner.[1].value"), "{path}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn infinities_are_rejected_anywhere() {
+        assert!(check_finite_json(&doc(f64::INFINITY, None)).is_err());
+        let err = check_finite_json(&doc(0.0, Some(f64::NEG_INFINITY))).unwrap_err();
+        let TraceError::NonFinite(path) = err else {
+            panic!("wrong variant");
+        };
+        assert!(path.contains("maybe"), "{path}");
+    }
+
+    #[test]
+    fn map_keys_name_the_offending_entry() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("good".to_owned(), 1.0_f64);
+        map.insert("bad".to_owned(), f64::NAN);
+        let err = check_finite_json(&map).unwrap_err();
+        let TraceError::NonFinite(path) = err else {
+            panic!("wrong variant");
+        };
+        assert!(path.contains("bad"), "{path}");
+    }
+
+    #[test]
+    fn serde_json_null_decay_is_the_bug_this_guards() {
+        // Document the failure mode: serde_json renders NaN as null
+        // with no error, which is exactly what the guard pre-empts.
+        let silent = serde_json::to_value(f64::NAN).unwrap();
+        assert!(silent.is_null());
+        assert!(matches!(
+            to_finite_value(&f64::NAN),
+            Err(TraceError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn json_values_are_checked_too() {
+        // A pre-rendered Value can't hold NaN (it is already null),
+        // but the checker must still accept legitimate nulls.
+        let v = json!({"manifest": null, "p": 0.25});
+        check_finite_json(&v).unwrap();
+    }
+}

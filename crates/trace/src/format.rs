@@ -235,7 +235,13 @@ impl RawEvent {
 /// are integers or fixed strings, so hand-rolling the line skips the
 /// serde machinery entirely. Byte identity with the serde renderer is
 /// pinned by tests in this module and in the integration suite.
-pub(crate) fn render_event_line(buf: &mut Vec<u8>, event: &TraceEvent) {
+/// Renders `event` as its canonical wire line (no trailing newline)
+/// into `buf`, clearing it first. This is the exact byte shape
+/// [`parse_canonical_event`] fast-paths, shared by [`TraceWriter`]
+/// and the `nsc loadgen` replay path.
+///
+/// [`TraceWriter`]: crate::writer::TraceWriter
+pub fn render_event_line(buf: &mut Vec<u8>, event: &TraceEvent) {
     buf.clear();
     buf.extend_from_slice(b"{\"t\":");
     push_u64(buf, event.tick);
@@ -315,9 +321,7 @@ fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
     }
     let mut value = 0u64;
     for &b in &bytes[..digits] {
-        value = value
-            .checked_mul(10)?
-            .checked_add(u64::from(b - b'0'))?;
+        value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
     }
     Some((value, &bytes[digits..]))
 }
@@ -442,18 +446,22 @@ mod tests {
         // Valid JSON the serde path accepts, but not canonical — the
         // fast path must step aside, not guess.
         for non_canonical in [
-            "{\"ev\":\"send\",\"t\":0,\"sym\":1}", // reordered keys
+            "{\"ev\":\"send\",\"t\":0,\"sym\":1}",  // reordered keys
             "{\"t\": 0,\"ev\":\"send\",\"sym\":1}", // whitespace
-            "{\"t\":00,\"ev\":\"ack\"}",          // leading zero
-            "{\"t\":0,\"ev\":\"ack\"} ",          // trailing bytes
-            "{\"t\":0,\"ev\":\"ack\",\"sym\":1}", // ack with sym
-            "{\"t\":0,\"ev\":\"warp\",\"sym\":1}", // unknown kind
-            "{\"t\":0,\"ev\":\"send\"}",          // missing sym
+            "{\"t\":00,\"ev\":\"ack\"}",            // leading zero
+            "{\"t\":0,\"ev\":\"ack\"} ",            // trailing bytes
+            "{\"t\":0,\"ev\":\"ack\",\"sym\":1}",   // ack with sym
+            "{\"t\":0,\"ev\":\"warp\",\"sym\":1}",  // unknown kind
+            "{\"t\":0,\"ev\":\"send\"}",            // missing sym
             "{\"t\":0,\"ev\":\"send\",\"sym\":4294967296}", // sym > u32
             "{\"t\":18446744073709551616,\"ev\":\"ack\"}", // tick > u64
             "",
         ] {
-            assert_eq!(parse_canonical_event(non_canonical), None, "{non_canonical}");
+            assert_eq!(
+                parse_canonical_event(non_canonical),
+                None,
+                "{non_canonical}"
+            );
         }
     }
 

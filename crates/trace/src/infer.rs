@@ -42,6 +42,13 @@ pub const DEFAULT_BLOCK_EVENTS: u64 = 1024;
 /// Default number of windows the change-point scan compares.
 pub const DEFAULT_WINDOWS: usize = 8;
 
+/// Default ceiling on the number of change-point blocks an
+/// [`InferenceBuilder`] keeps before compacting (merging adjacent
+/// block pairs and doubling the block granularity). Bounds the
+/// builder's memory at `O(max_blocks)` regardless of trace length —
+/// the property the `nsc serve` per-stream estimators rely on.
+pub const DEFAULT_MAX_BLOCKS: usize = 4096;
+
 /// Family-wise false-alarm rate of the stationarity scan, split
 /// Bonferroni-style across its `2 × windows` tests.
 pub const SCAN_FAMILY_ALPHA: f64 = 0.01;
@@ -120,9 +127,16 @@ impl RateEstimate {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Inference`] when `trials` is zero or
+    /// Returns [`TraceError::Inference`] when `trials` is zero (the
+    /// `0/0` degenerate shape: no Bernoulli evidence at all, so the
+    /// MLE is undefined and must not silently become `NaN`) or when
     /// `successes > trials`.
     pub fn from_counts(successes: u64, trials: u64) -> Result<Self, TraceError> {
+        if trials == 0 {
+            return Err(TraceError::Inference(format!(
+                "cannot estimate a rate from zero trials ({successes}/0 is undefined)"
+            )));
+        }
         let wilson = wilson_interval(successes, trials, Z_95)
             .map_err(|e| TraceError::Inference(e.to_string()))?;
         Ok(RateEstimate {
@@ -305,11 +319,19 @@ pub struct TraceInference {
 /// Feed events in trace order via
 /// [`observe`](InferenceBuilder::observe); the builder keeps the
 /// whole-trace tallies plus per-block tallies for the change-point
-/// scan — O(events / block_events) memory, never the events
-/// themselves.
+/// scan — never the events themselves. Memory is **bounded**: when
+/// the block list would exceed `max_blocks`
+/// ([`DEFAULT_MAX_BLOCKS`] by default), adjacent blocks are merged
+/// pairwise and the block granularity doubles, so arbitrarily long
+/// streams fit in `O(max_blocks)` space. The builder's state is a
+/// pure function of the event sequence — chunking, connection
+/// framing, and thread counts cannot change it — which is what makes
+/// the `nsc serve` online path bit-identical to batch
+/// [`infer_events`].
 #[derive(Debug, Clone)]
 pub struct InferenceBuilder {
     block_events: u64,
+    max_blocks: usize,
     totals: EventCounts,
     blocks: Vec<EventCounts>,
 }
@@ -322,18 +344,30 @@ impl Default for InferenceBuilder {
 
 impl InferenceBuilder {
     /// A builder with the default block granularity
-    /// ([`DEFAULT_BLOCK_EVENTS`]).
+    /// ([`DEFAULT_BLOCK_EVENTS`]) and block ceiling
+    /// ([`DEFAULT_MAX_BLOCKS`]).
     #[must_use]
     pub fn new() -> Self {
         InferenceBuilder::with_block_events(DEFAULT_BLOCK_EVENTS)
     }
 
     /// A builder cutting change-point blocks every `block_events`
-    /// events (`0` is treated as `1`).
+    /// events (`0` is treated as `1`), with the default block
+    /// ceiling.
     #[must_use]
     pub fn with_block_events(block_events: u64) -> Self {
+        InferenceBuilder::with_limits(block_events, DEFAULT_MAX_BLOCKS)
+    }
+
+    /// A builder with an explicit block granularity **and** block
+    /// ceiling (`0` is treated as `1` for both; the ceiling is
+    /// rounded up to an even count so pairwise compaction always
+    /// makes progress).
+    #[must_use]
+    pub fn with_limits(block_events: u64, max_blocks: usize) -> Self {
         InferenceBuilder {
             block_events: block_events.max(1),
+            max_blocks: max_blocks.max(2),
             totals: EventCounts::default(),
             blocks: Vec::new(),
         }
@@ -346,6 +380,9 @@ impl InferenceBuilder {
             .last()
             .is_none_or(|b| b.events >= self.block_events)
         {
+            if self.blocks.len() >= self.max_blocks {
+                self.compact();
+            }
             self.blocks.push(EventCounts::default());
         }
         self.blocks
@@ -355,23 +392,60 @@ impl InferenceBuilder {
         self.totals.observe(event);
     }
 
+    /// Merges adjacent block pairs in place and doubles the block
+    /// granularity: the bounded-memory step. An odd trailing block is
+    /// kept as-is (it simply fills to the new granularity).
+    fn compact(&mut self) {
+        let len = self.blocks.len();
+        let mut write = 0;
+        let mut read = 0;
+        while read < len {
+            let mut merged = self.blocks[read];
+            if read + 1 < len {
+                merged.merge(&self.blocks[read + 1]);
+            }
+            self.blocks[write] = merged;
+            write += 1;
+            read += 2;
+        }
+        self.blocks.truncate(write);
+        self.block_events = self.block_events.saturating_mul(2);
+    }
+
     /// Events observed so far.
     #[must_use]
     pub fn events(&self) -> u64 {
         self.totals.events
     }
 
-    /// Finishes the pass: estimates both rates and runs the
+    /// Whole-stream tallies observed so far.
+    #[must_use]
+    pub fn counts(&self) -> &EventCounts {
+        &self.totals
+    }
+
+    /// Number of change-point blocks currently held (bounded by the
+    /// builder's block ceiling).
+    #[must_use]
+    pub fn blocks_held(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs the inference over the events observed *so far* without
+    /// consuming the builder: estimates both rates and runs the
     /// change-point scan over at most `windows` windows, fanning the
     /// per-window tests across `threads` workers (`0` = all cores;
-    /// the scan is deterministic at any thread count).
+    /// the scan is deterministic at any thread count). This is the
+    /// `nsc serve` snapshot path — the builder keeps accumulating
+    /// afterwards.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Inference`] when the trace contains no
-    /// `send` events (no `P_d` evidence) or no deliveries (no `P_i`
-    /// evidence).
-    pub fn finish(self, windows: usize, threads: usize) -> Result<TraceInference, TraceError> {
+    /// Returns [`TraceError::Inference`] when the stream so far
+    /// contains no `send` events (no `P_d` evidence) or no deliveries
+    /// (no `P_i` evidence) — the `0/0` degenerate shapes that must
+    /// never silently become `NaN` estimates.
+    pub fn infer(&self, windows: usize, threads: usize) -> Result<TraceInference, TraceError> {
         let totals = self.totals;
         if totals.sends == 0 {
             return Err(TraceError::Inference(
@@ -392,6 +466,16 @@ impl InferenceBuilder {
             p_i,
             stationarity,
         })
+    }
+
+    /// Finishes the pass: [`infer`](InferenceBuilder::infer), by
+    /// value. Kept for callers that are done streaming.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`infer`](InferenceBuilder::infer).
+    pub fn finish(self, windows: usize, threads: usize) -> Result<TraceInference, TraceError> {
+        self.infer(windows, threads)
     }
 }
 
@@ -715,5 +799,79 @@ mod tests {
         let no_deliveries = vec![event(0, TraceEventKind::Send(1))];
         let err = infer_events(no_deliveries.into_iter().map(Ok), 4, 1).unwrap_err();
         assert!(err.to_string().contains("P_i"), "{err}");
+    }
+
+    #[test]
+    fn zero_trials_is_a_typed_error_not_nan() {
+        // The 0/0 shape must surface as TraceError::Inference — never
+        // as a NaN estimate that serde_json would render as null.
+        let err = RateEstimate::from_counts(0, 0).unwrap_err();
+        assert!(matches!(err, TraceError::Inference(_)));
+        assert!(err.to_string().contains("zero trials"), "{err}");
+    }
+
+    #[test]
+    fn builder_infer_is_nonconsuming_and_matches_finish() {
+        let events = synthetic(2_000, 500, 1_200, 300);
+        let mut builder = InferenceBuilder::new();
+        for e in &events {
+            builder.observe(e);
+        }
+        let snapshot = builder.infer(4, 1).unwrap();
+        // Builder still usable after the snapshot.
+        assert_eq!(builder.events(), snapshot.counts.events);
+        assert_eq!(builder.counts().sends, 2_000);
+        let finished = builder.finish(4, 1).unwrap();
+        assert_eq!(snapshot, finished);
+    }
+
+    #[test]
+    fn builder_infer_reports_degenerate_streams() {
+        let mut builder = InferenceBuilder::new();
+        assert!(matches!(
+            builder.infer(4, 1).unwrap_err(),
+            TraceError::Inference(_)
+        ));
+        builder.observe(&event(0, TraceEventKind::Send(1)));
+        let err = builder.infer(4, 1).unwrap_err();
+        assert!(err.to_string().contains("P_i"), "{err}");
+        builder.observe(&event(1, TraceEventKind::Recv(1)));
+        assert!(builder.infer(4, 1).is_ok());
+    }
+
+    #[test]
+    fn compaction_bounds_blocks_and_preserves_inference() {
+        // Tiny limits force many compaction rounds: thousands of
+        // single-event blocks squeezed into at most 8 held blocks.
+        let events = synthetic(4_000, 1_000, 2_400, 600);
+        let mut bounded = InferenceBuilder::with_limits(1, 8);
+        for e in &events {
+            bounded.observe(e);
+        }
+        assert!(bounded.blocks_held() <= 8, "{}", bounded.blocks_held());
+        // Totals — and therefore the MLEs and CIs — are unaffected by
+        // compaction; only scan granularity coarsens.
+        let inf = bounded.infer(4, 1).unwrap();
+        let batch = infer_events(events.into_iter().map(Ok), 4, 1).unwrap();
+        assert_eq!(inf.counts, batch.counts);
+        assert_eq!(inf.p_d, batch.p_d);
+        assert_eq!(inf.p_i, batch.p_i);
+    }
+
+    #[test]
+    fn default_limits_match_batch_exactly() {
+        // At default limits the serve-path builder is the batch path:
+        // byte-identical JSON, the replay-oracle property.
+        let events = synthetic(5_000, 1_250, 3_000, 750);
+        let mut builder = InferenceBuilder::new();
+        for e in &events {
+            builder.observe(e);
+        }
+        let online = builder.infer(DEFAULT_WINDOWS, 1).unwrap();
+        let batch = infer_events(events.into_iter().map(Ok), DEFAULT_WINDOWS, 1).unwrap();
+        assert_eq!(
+            serde_json::to_string(&online).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
     }
 }

@@ -59,6 +59,7 @@
 
 pub mod capture;
 pub mod error;
+pub mod finite;
 pub mod format;
 pub mod infer;
 pub mod reader;
@@ -66,10 +67,12 @@ pub mod writer;
 
 pub use capture::{capture_sched_trace, events_from_log, events_from_trials, trace_event};
 pub use error::TraceError;
+pub use finite::{check_finite_json, to_finite_value};
 pub use format::{TraceEvent, TraceEventKind, TraceHeader, MAX_ALPHABET_BITS, TRACE_SCHEMA};
 pub use infer::{
     capacity_bounds_with_ci, infer_events, CapacityInterval, EventCounts, InferenceBuilder,
-    RateEstimate, StationarityScan, TraceBounds, TraceInference, WindowStats, DEFAULT_WINDOWS,
+    RateEstimate, StationarityScan, TraceBounds, TraceInference, WindowStats, DEFAULT_MAX_BLOCKS,
+    DEFAULT_WINDOWS,
 };
 pub use reader::{read_trace, TraceReader};
 pub use writer::{write_trace, TraceWriter};

@@ -1,0 +1,174 @@
+//! Property tests pinning the serve-path ⇄ batch-path oracle: the
+//! incremental [`InferenceBuilder`] (what `nsc serve` drives per
+//! stream) and the batch [`infer_events`] (what `nsc estimate`
+//! drives) must agree **byte for byte** on any valid event sequence,
+//! regardless of how the bytes were chunked in transit. Three laws:
+//!
+//! 1. **Incremental = batch** — observing events one at a time and
+//!    then calling `infer` produces a serialization identical to the
+//!    batch path, including identical error messages on degenerate
+//!    (no-send / no-delivery) streams.
+//! 2. **Chunking is invisible** — delivering the serialized trace
+//!    through arbitrary read-boundary splits (socket-style partial
+//!    reads, tiny `BufReader` capacities, a missing final newline)
+//!    reaches the same builder state as observing the events
+//!    directly.
+//! 3. **Compaction preserves the estimates** — a bounded-memory
+//!    builder (the serve default) reports the same counts and rate
+//!    estimates as an unbounded one; only the change-point block
+//!    granularity may differ.
+
+use nsc_trace::{
+    infer_events, write_trace, InferenceBuilder, TraceError, TraceEvent, TraceEventKind,
+    TraceHeader, TraceReader,
+};
+use proptest::prelude::*;
+use std::io::{BufReader, Read};
+
+/// Builds a valid event stream from raw proptest fuel: tick deltas
+/// keep timestamps non-decreasing, symbols are masked into range.
+fn assemble(bits: u32, raw: &[(u64, u8, u32)]) -> Vec<TraceEvent> {
+    let mask = (1u32 << bits) - 1;
+    let mut tick = 0u64;
+    raw.iter()
+        .map(|&(delta, kind, sym)| {
+            tick += delta;
+            let sym = sym & mask;
+            let kind = match kind {
+                0 => TraceEventKind::Send(sym),
+                1 => TraceEventKind::Recv(sym),
+                2 => TraceEventKind::Delete(sym),
+                3 => TraceEventKind::Insert(sym),
+                _ => TraceEventKind::Ack,
+            };
+            TraceEvent::new(tick, kind)
+        })
+        .collect()
+}
+
+/// A reader that refuses to return more than one chunk per `read`
+/// call: simulates socket-style partial delivery at arbitrary byte
+/// boundaries (a line may be split anywhere, including mid-number).
+struct ChunkedRead {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+}
+
+impl Read for ChunkedRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let next_cut = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&c| c > self.pos)
+            .unwrap_or(self.data.len());
+        let n = buf.len().min(next_cut - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Both inference outcomes, byte for byte: identical serializations
+/// on success, identical messages on (expected, typed) failure.
+fn assert_same_outcome(
+    a: Result<nsc_trace::TraceInference, TraceError>,
+    b: Result<nsc_trace::TraceInference, TraceError>,
+) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        ),
+        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn incremental_builder_matches_batch_byte_for_byte(
+        bits in 1u32..=4,
+        raw in proptest::collection::vec((0u64..3, 0u8..5, 0u32..=u32::MAX), 0..300),
+        windows in 1usize..12,
+    ) {
+        let events = assemble(bits, &raw);
+        let batch = infer_events(events.iter().copied().map(Ok), windows, 1);
+        let mut builder = InferenceBuilder::new();
+        for event in &events {
+            builder.observe(event);
+        }
+        assert_same_outcome(batch, builder.infer(windows, 1))?;
+        prop_assert_eq!(builder.events(), events.len() as u64);
+    }
+
+    #[test]
+    fn chunked_delivery_reaches_the_same_state(
+        bits in 1u32..=4,
+        raw in proptest::collection::vec((0u64..3, 0u8..5, 0u32..=u32::MAX), 1..200),
+        cut_seeds in proptest::collection::vec(0usize..100_000, 0..16),
+        cap in 1usize..64,
+        drop_final_newline in any::<bool>(),
+    ) {
+        let events = assemble(bits, &raw);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &TraceHeader::new(bits), events.clone()).unwrap();
+        if drop_final_newline {
+            bytes.pop();
+        }
+        let mut cuts: Vec<usize> = cut_seeds.iter().map(|s| s % bytes.len()).collect();
+        cuts.sort_unstable();
+        let source = ChunkedRead { data: bytes, cuts, pos: 0 };
+        let mut reader = TraceReader::new(BufReader::with_capacity(cap, source)).unwrap();
+        let mut streamed = InferenceBuilder::new();
+        while let Some(event) = reader.read_event().unwrap() {
+            streamed.observe(&event);
+        }
+        prop_assert_eq!(streamed.events(), events.len() as u64);
+        let mut direct = InferenceBuilder::new();
+        for event in &events {
+            direct.observe(event);
+        }
+        assert_same_outcome(direct.infer(8, 1), streamed.infer(8, 1))?;
+    }
+
+    #[test]
+    fn compacted_builder_preserves_the_estimates(
+        bits in 1u32..=3,
+        raw in proptest::collection::vec((0u64..3, 0u8..5, 0u32..=u32::MAX), 1..400),
+        block_events in 1u64..4,
+        max_blocks in 2usize..10,
+    ) {
+        let events = assemble(bits, &raw);
+        let mut compact = InferenceBuilder::with_limits(block_events, max_blocks);
+        let mut full = InferenceBuilder::new();
+        for event in &events {
+            compact.observe(event);
+            full.observe(event);
+        }
+        prop_assert!(compact.blocks_held() <= max_blocks);
+        match (full.infer(8, 1), compact.infer(8, 1)) {
+            (Ok(f), Ok(c)) => {
+                prop_assert_eq!(
+                    serde_json::to_string(&f.counts).unwrap(),
+                    serde_json::to_string(&c.counts).unwrap()
+                );
+                prop_assert_eq!(
+                    serde_json::to_string(&f.p_d).unwrap(),
+                    serde_json::to_string(&c.p_d).unwrap()
+                );
+                prop_assert_eq!(
+                    serde_json::to_string(&f.p_i).unwrap(),
+                    serde_json::to_string(&c.p_i).unwrap()
+                );
+            }
+            (Err(f), Err(c)) => prop_assert_eq!(f.to_string(), c.to_string()),
+            (f, c) => prop_assert!(false, "paths disagree: {f:?} vs {c:?}"),
+        }
+    }
+}

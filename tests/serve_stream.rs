@@ -1,0 +1,166 @@
+//! End-to-end acceptance tests for `nsc serve`: the **replay
+//! oracle** (streaming a recorded trace through the server
+//! reproduces `nsc estimate` byte for byte, at multiple connection
+//! fan-outs), the no-final-newline wire case, and degenerate streams
+//! surfacing as typed statuses instead of JSON `null`s.
+
+use nsc_serve::server::Conn;
+use nsc_serve::{query_status, replay_trace, Endpoint, LoadgenConfig, ServeConfig, Server};
+use nsc_trace::DEFAULT_WINDOWS;
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn cli_json(args: &[&str]) -> Value {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    serde_json::from_str(&nsc_cli::run(&owned).expect("command succeeds")).expect("valid JSON")
+}
+
+fn bind(shards: usize) -> (Server, Endpoint) {
+    let server = Server::bind(
+        &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+        ServeConfig {
+            shards,
+            windows: DEFAULT_WINDOWS,
+            threads: 0,
+        },
+    )
+    .expect("bind on an ephemeral port");
+    let endpoint = Endpoint::Tcp(server.tcp_addr().unwrap().to_string());
+    (server, endpoint)
+}
+
+/// The headline acceptance criterion: replay the golden fixture at
+/// several connection counts and diff every estimate field in the
+/// server's status against the batch `nsc estimate` JSON — byte for
+/// byte, since both paths drive the same `InferenceBuilder`.
+#[test]
+fn replayed_golden_trace_matches_batch_estimate_at_every_fanout() {
+    let golden = fixture("golden.jsonl");
+    let est = cli_json(&["estimate", "--trace", &golden, "--format", "json"]);
+    let results = &est["results"];
+    let trace_events = est["trace"]["events"].as_u64().unwrap();
+
+    for connections in [1usize, 4] {
+        let (server, endpoint) = bind(4);
+        let report = replay_trace(
+            &endpoint,
+            Path::new(&golden),
+            &LoadgenConfig {
+                connections,
+                rate: 0.0,
+                repeat: 1,
+            },
+        )
+        .expect("replay succeeds");
+        assert_eq!(report.connections, connections);
+        assert_eq!(report.events_per_connection, trace_events);
+        for ack in &report.acks {
+            assert_eq!(ack["schema"], "nsc-serve/v1");
+            assert_eq!(ack["events"], serde_json::json!(trace_events));
+            assert!(ack.get("error").is_none(), "unexpected ack error: {ack}");
+        }
+
+        let status = query_status(&endpoint).expect("status query succeeds");
+        let streams = status["streams"].as_array().unwrap();
+        assert_eq!(streams.len(), connections);
+        for stream in streams {
+            assert_eq!(stream["status"], "ok", "stream not ok: {stream}");
+            for key in ["counts", "p_d", "p_i", "stationarity", "bounds"] {
+                assert_eq!(
+                    serde_json::to_string(&stream[key]).unwrap(),
+                    serde_json::to_string(&results[key]).unwrap(),
+                    "field `{key}` diverges from batch at {connections} connections"
+                );
+            }
+        }
+        // The whole status document is null-free: every non-finite
+        // or undefined quantity must surface as a typed status.
+        assert!(!serde_json::to_string(&status).unwrap().contains("null"));
+        server.shutdown();
+    }
+}
+
+/// A stream whose last line arrives without a trailing newline (the
+/// sender flushed and half-closed mid-line) still counts every
+/// event, exactly like `TraceReader` on a file.
+#[test]
+fn stream_without_final_newline_still_counts_every_event() {
+    let (server, endpoint) = bind(2);
+    let mut conn = endpoint.connect().unwrap();
+    conn.write_all(
+        b"{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1}\n\
+          {\"t\":0,\"ev\":\"send\",\"sym\":1}\n\
+          {\"t\":1,\"ev\":\"recv\",\"sym\":1}\n\
+          {\"t\":2,\"ev\":\"send\",\"sym\":0}\n\
+          {\"t\":3,\"ev\":\"del\",\"sym\":0}",
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    conn.shutdown_write().unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    let ack: Value = serde_json::from_str(reply.trim()).unwrap();
+    assert_eq!(ack["events"], serde_json::json!(4));
+    assert!(ack.get("error").is_none());
+
+    let status = query_status(&endpoint).unwrap();
+    assert_eq!(status["streams"][0]["events"], serde_json::json!(4));
+    assert_eq!(status["streams"][0]["status"], "ok");
+    server.shutdown();
+}
+
+/// An acks-only stream reports `status: "insufficient"` with the
+/// typed inference reason (never a `NaN`-decayed `null`); a
+/// malformed line mid-stream reports the ack error but keeps the
+/// partial tallies visible.
+#[test]
+fn degenerate_and_malformed_streams_report_typed_statuses() {
+    let (server, endpoint) = bind(2);
+
+    // Acks only: no P_d evidence.
+    let mut conn = endpoint.connect().unwrap();
+    conn.write_all(
+        b"{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1}\n{\"t\":0,\"ev\":\"ack\"}\n",
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    conn.shutdown_write().unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+
+    // Valid prefix, then garbage: the error is positioned, the two
+    // valid events stay tallied.
+    let mut conn = endpoint.connect().unwrap();
+    conn.write_all(
+        b"{\"schema\":\"nsc-trace/v1\",\"alphabet_bits\":1}\n\
+          {\"t\":0,\"ev\":\"send\",\"sym\":1}\n\
+          {\"t\":1,\"ev\":\"recv\",\"sym\":1}\n\
+          not json\n",
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    conn.shutdown_write().unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    let ack: Value = serde_json::from_str(reply.trim()).unwrap();
+    assert_eq!(ack["events"], serde_json::json!(2));
+    assert!(ack["error"].as_str().unwrap().contains("line 4"), "{ack}");
+
+    let status = query_status(&endpoint).unwrap();
+    let streams = status["streams"].as_array().unwrap();
+    assert_eq!(streams.len(), 2);
+    assert_eq!(streams[0]["status"], "insufficient");
+    assert!(streams[0]["reason"].as_str().unwrap().contains("P_d"));
+    // The malformed stream still infers from its two valid events.
+    assert_eq!(streams[1]["status"], "ok");
+    assert_eq!(streams[1]["events"], serde_json::json!(2));
+    assert!(streams[1]["error"].as_str().unwrap().contains("line 4"));
+    // No nulls anywhere, even with errors and degenerate streams.
+    assert!(!serde_json::to_string(&status).unwrap().contains("null"));
+    server.shutdown();
+}
