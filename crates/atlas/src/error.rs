@@ -1,0 +1,132 @@
+//! Error type for the atlas subsystem.
+
+use nsc_core::CoreError;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors produced by the atlas store and runner.
+#[derive(Debug)]
+pub enum AtlasError {
+    /// An underlying bounds/engine error from `nsc-core`.
+    Core(CoreError),
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A store file violated the `nsc-atlas/v1` format.
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// 1-based line number of the rejected record.
+        line: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// An atlas specification or store argument was invalid.
+    BadSpec(String),
+    /// `nsc atlas report` was asked for a grid the store has not
+    /// finished: reports never simulate, so missing cells are an
+    /// error, not work.
+    MissingCells {
+        /// Cells of the requested grid present in the store.
+        present: usize,
+        /// Cells of the requested grid absent from the store.
+        missing: usize,
+    },
+}
+
+impl AtlasError {
+    /// Wraps an I/O error with the path it happened on.
+    pub fn io(path: &Path, source: std::io::Error) -> Self {
+        AtlasError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// Builds a line-positioned format violation.
+    pub fn malformed(path: &Path, line: u64, message: impl Into<String>) -> Self {
+        AtlasError::Malformed {
+            path: path.to_path_buf(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::Core(e) => write!(f, "core error: {e}"),
+            AtlasError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            AtlasError::Malformed {
+                path,
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", path.display()),
+            AtlasError::BadSpec(msg) => write!(f, "bad atlas spec: {msg}"),
+            AtlasError::MissingCells { present, missing } => write!(
+                f,
+                "store covers {present} of {} grid cells ({missing} missing): \
+                 run `nsc atlas resume` to complete it before reporting",
+                present + missing
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtlasError::Core(e) => Some(e),
+            AtlasError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AtlasError {
+    fn from(e: CoreError) -> Self {
+        AtlasError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_positioned() {
+        let errs: Vec<AtlasError> = vec![
+            AtlasError::Core(CoreError::BadSimulation("x".into())),
+            AtlasError::io(
+                Path::new("/tmp/store"),
+                std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            ),
+            AtlasError::malformed(Path::new("shard-00.jsonl"), 7, "bad record"),
+            AtlasError::BadSpec("no widths".into()),
+            AtlasError::MissingCells {
+                present: 3,
+                missing: 2,
+            },
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errs[2].to_string().contains(":7:"));
+        assert!(errs[4].to_string().contains("3 of 5"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = AtlasError::Core(CoreError::BadSimulation("x".into()));
+        assert!(e.source().is_some());
+        assert!(AtlasError::BadSpec("x".into()).source().is_none());
+    }
+}

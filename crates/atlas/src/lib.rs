@@ -1,0 +1,42 @@
+//! Resumable, content-addressed capacity atlas over the
+//! `(P_d, P_i, N)` plane.
+//!
+//! The paper's Theorem 5 is a single lower bound; the atlas surveys
+//! it against the erasure upper bound, the Kanoria–Montanari
+//! small-deletion expansion, a VTR-style no-feedback achievable
+//! rate, and a simulated engine campaign — over a whole parameter
+//! rectangle at once, with a verdict per cell saying where the
+//! paper's bound is loose.
+//!
+//! The subsystem is three layers:
+//!
+//! * [`manifest`] — the per-cell [`CellManifest`] (every
+//!   determinism-relevant input), its content-hash
+//!   [`cache key`](CellManifest::cache_key), and the per-cell
+//!   [`CellResult`]/[`Verdict`].
+//! * [`store`] — the sharded, append-only `nsc-atlas/v1` JSONL
+//!   [`AtlasStore`]: one flushed line per completed cell, strict
+//!   line-positioned validation on reload.
+//! * [`runner`] — [`run`]/[`report`] over an [`AtlasSpec`]: cache
+//!   hits skip simulation entirely, so a killed run resumes by
+//!   rerunning the same command, and a finished store renders
+//!   reports without touching the engine.
+//!
+//! The headline invariant, enforced in CI: a fresh run and any
+//! kill/resume sequence over the same spec produce **byte-identical**
+//! reports (after stripping the observational
+//! `manifest.execution` section) at any thread count and on either
+//! kernel.
+
+pub mod error;
+pub mod manifest;
+pub mod runner;
+pub mod store;
+
+pub use error::AtlasError;
+pub use manifest::{
+    schedule_bias, CellKnobs, CellManifest, CellResult, Verdict, ATLAS_SCHEMA,
+    THEOREM5_LOOSE_THRESHOLD,
+};
+pub use runner::{report, run, AtlasReport, AtlasSpec, AtlasTotals, RunTotals, ShardSummary};
+pub use store::{AtlasStore, CellRecord, DEFAULT_SHARDS};

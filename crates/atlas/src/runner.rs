@@ -1,0 +1,535 @@
+//! The grid-campaign runner: enumerate cells, skip cache hits,
+//! simulate the misses, and assemble the deterministic report.
+//!
+//! # Cell semantics
+//!
+//! Each cell `(P_d, P_i, N)` is evaluated two ways:
+//!
+//! * **Analytically** — every bound family of
+//!   [`nsc_core::bounds::capacity_bound_families`] at exactly
+//!   `(P_d, P_i, N)`, plus the derived tightness
+//!   [`Verdict`](crate::manifest::Verdict).
+//! * **By simulation** — a deterministic engine campaign of the
+//!   spec's mechanism. In this codebase's model the non-synchrony is
+//!   *generated* by the operation schedule, not injected as channel
+//!   parameters: under Bernoulli-`q` scheduling the unsynchronized
+//!   baseline induces `P_d = q` and `P_i = 1 − q`
+//!   ([`nsc_core::sim::analysis`]). The runner therefore maps the
+//!   cell's coordinates onto the one schedule degree of freedom as
+//!   `q = P_d / (P_d + P_i)` (`0.5` at the origin) — the cell fixes
+//!   the sender/receiver *imbalance* that produces its nominal
+//!   deletion/insertion mix — and the campaign measures what the
+//!   mechanism achieves (and which `P_d`, `P_i` it actually
+//!   induces) at that imbalance. The measured values are reported
+//!   next to the nominal coordinates rather than silently assumed
+//!   equal.
+//!
+//! # Determinism
+//!
+//! A report is a pure function of `(spec, store contents)`: cell
+//! seeds derive from coordinates, campaigns are engine-deterministic
+//! at any thread count and kernel, cells are sorted by coordinate,
+//! and shard assignment is content-addressed. This is what the
+//! fresh-run ≡ resumed-run byte-equality oracle in CI checks.
+
+use crate::error::AtlasError;
+use crate::manifest::{CellKnobs, CellManifest, CellResult, Verdict, ATLAS_SCHEMA};
+use crate::store::{AtlasStore, CellRecord};
+use nsc_core::bounds::capacity_bound_families;
+use nsc_core::engine::{run_campaign, KernelKind, Mechanism, TrialPlan};
+use nsc_core::sweep::Grid;
+use nsc_core::EngineConfig;
+use serde::{Deserialize, Serialize};
+
+/// The full specification of an atlas: grid, mechanism, and every
+/// determinism-relevant knob. Execution strategy (threads, kernel)
+/// is deliberately *not* part of the spec — see
+/// [`crate::manifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AtlasSpec {
+    /// Symbol widths surveyed (the `N` axis).
+    pub widths: Vec<u32>,
+    /// Deletion-probability grid.
+    pub p_d: Grid,
+    /// Insertion-probability grid.
+    pub p_i: Grid,
+    /// Mechanism simulated per cell. Restricted to mechanisms with a
+    /// bitsliced kernel twin so every atlas can be driven — and
+    /// byte-compared — on either kernel.
+    pub mechanism: Mechanism,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Message length in symbols per trial.
+    pub message_len: usize,
+    /// Atlas master seed; each cell's campaign seed derives from it
+    /// and the cell coordinates.
+    pub master_seed: u64,
+    /// Engine batch size (fixes the floating-point merge order).
+    pub batch_size: usize,
+}
+
+impl AtlasSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtlasError::BadSpec`] for an empty width list, a
+    /// mechanism without a bitsliced twin, or zero trials, message
+    /// length, or batch size.
+    pub fn validate(&self) -> Result<(), AtlasError> {
+        if self.widths.is_empty() {
+            return Err(AtlasError::BadSpec("need at least one width".into()));
+        }
+        if !self.mechanism.has_bitsliced_kernel() {
+            return Err(AtlasError::BadSpec(format!(
+                "mechanism `{}` has no bitsliced kernel; the atlas only runs \
+                 kernel-equivalent mechanisms (unsync, counter, slotted)",
+                self.mechanism.name()
+            )));
+        }
+        if self.trials == 0 {
+            return Err(AtlasError::BadSpec("need at least one trial".into()));
+        }
+        if self.message_len == 0 {
+            return Err(AtlasError::BadSpec("need a nonempty message".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(AtlasError::BadSpec("need a nonzero batch size".into()));
+        }
+        Ok(())
+    }
+
+    /// The non-coordinate cell inputs of the spec, as passed to
+    /// [`CellManifest::new`].
+    pub fn knobs(&self) -> CellKnobs {
+        CellKnobs {
+            trials: self.trials,
+            message_len: self.message_len,
+            master_seed: self.master_seed,
+            batch_size: self.batch_size,
+        }
+    }
+
+    /// Enumerates the grid into per-cell manifests in deterministic
+    /// `(width, p_d, p_i)` row-major order, skipping points outside
+    /// the parameter simplex (`p_d + p_i > 1` or `p_i = 1`) exactly
+    /// like [`nsc_core::sweep`]. Returns the manifests and the
+    /// skipped count (reported, so truncation is never silent).
+    ///
+    /// # Errors
+    ///
+    /// As [`AtlasSpec::validate`].
+    pub fn cells(&self) -> Result<(Vec<CellManifest>, usize), AtlasError> {
+        self.validate()?;
+        let knobs = self.knobs();
+        let mut cells = Vec::new();
+        let mut skipped = 0usize;
+        for &bits in &self.widths {
+            for &p_d in &self.p_d.values() {
+                for &p_i in &self.p_i.values() {
+                    if p_d + p_i > 1.0 || p_i >= 1.0 {
+                        skipped += 1;
+                        continue;
+                    }
+                    cells.push(CellManifest::new(&self.mechanism, bits, p_d, p_i, &knobs));
+                }
+            }
+        }
+        Ok((cells, skipped))
+    }
+
+    /// Stable one-line descriptor of the spec, recorded in the CLI
+    /// run manifest so an atlas can be re-run from its own output.
+    pub fn describe(&self) -> String {
+        format!(
+            "atlas(mechanism={}, widths={:?}, p_d=[{}..{}; {}], p_i=[{}..{}; {}], \
+             trials={}, len={}, seed={}, batch={})",
+            self.mechanism,
+            self.widths,
+            self.p_d.start,
+            self.p_d.end,
+            self.p_d.points,
+            self.p_i.start,
+            self.p_i.end,
+            self.p_i.points,
+            self.trials,
+            self.message_len,
+            self.master_seed,
+            self.batch_size
+        )
+    }
+}
+
+/// Aggregate counters over a report's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AtlasTotals {
+    /// Completed cells in the report.
+    pub cells: usize,
+    /// Grid points outside the parameter simplex.
+    pub skipped: usize,
+    /// Cells where Theorem 5 is loose
+    /// ([`crate::manifest::THEOREM5_LOOSE_THRESHOLD`]).
+    pub theorem5_loose: usize,
+    /// Cells where another family beats Theorem 5.
+    pub theorem5_beaten: usize,
+}
+
+/// Per-shard cell count of the report's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Report cells stored in this shard.
+    pub cells: usize,
+}
+
+/// The atlas report: every completed cell of a spec's grid plus
+/// aggregate verdicts — a pure function of `(spec, store contents)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AtlasReport {
+    /// Always [`ATLAS_SCHEMA`].
+    pub schema: String,
+    /// The spec the report covers.
+    pub spec: AtlasSpec,
+    /// Aggregate counters.
+    pub totals: AtlasTotals,
+    /// Sharded distribution of the report's cells.
+    pub shards: Vec<ShardSummary>,
+    /// Completed cells sorted by `(bits, p_d, p_i)`.
+    pub cells: Vec<CellRecord>,
+}
+
+/// Observational outcome of one `run` invocation: how much work the
+/// cache saved. Reported in the CLI's `manifest.execution` section
+/// only — two runs reaching the same final store may differ here and
+/// still produce byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Cells simulated by this invocation.
+    pub computed: usize,
+    /// Cells skipped because the store already held them.
+    pub cached: usize,
+    /// Cells left uncomputed by a `max_cells` cap.
+    pub pending: usize,
+}
+
+/// Simulates one cell and evaluates its bounds.
+fn compute_cell(
+    mechanism: Mechanism,
+    manifest: &CellManifest,
+    threads: usize,
+    kernel: KernelKind,
+) -> Result<CellResult, AtlasError> {
+    debug_assert_eq!(mechanism.to_string(), manifest.mechanism);
+    // The plan is reconstructed field-by-field from the manifest (not
+    // re-derived from a spec) so a cached manifest is sufficient to
+    // reproduce its cell exactly.
+    let plan = TrialPlan {
+        mechanism,
+        bits: manifest.bits,
+        message_len: manifest.message_len,
+        sender_prob: manifest.sender_prob,
+        max_ops: manifest.max_ops,
+    };
+    let config = EngineConfig {
+        master_seed: manifest.cell_seed,
+        threads,
+        batch_size: manifest.batch_size,
+        kernel,
+    };
+    let summary = run_campaign(&config, &plan, manifest.trials)?;
+    let families = capacity_bound_families(manifest.bits, manifest.p_d, manifest.p_i)?;
+    Ok(CellResult {
+        bounds: families,
+        achieved: summary.rate,
+        measured_p_d: summary.p_d,
+        measured_p_i: summary.p_i,
+        verdict: Verdict::from_families(&families),
+    })
+}
+
+/// Runs (or resumes) an atlas: enumerates the spec's cells, serves
+/// cache hits from the store without simulating, computes at most
+/// `max_cells` misses (all of them when `None`), and assembles the
+/// report over every cell completed so far.
+///
+/// Interrupting a run loses nothing but the cell in flight: each
+/// completed cell is flushed to the store before the next begins,
+/// and a subsequent `run` with the same spec picks up where the dead
+/// one stopped. `resume` is this same function — resumption is a
+/// property of the store, not a separate code path.
+///
+/// # Errors
+///
+/// Propagates spec validation, engine, and store errors.
+pub fn run(
+    store: &mut AtlasStore,
+    spec: &AtlasSpec,
+    threads: usize,
+    kernel: KernelKind,
+    max_cells: Option<usize>,
+) -> Result<(AtlasReport, RunTotals), AtlasError> {
+    let (cells, skipped) = spec.cells()?;
+    let mut totals = RunTotals {
+        computed: 0,
+        cached: 0,
+        pending: 0,
+    };
+    let mut records: Vec<CellRecord> = Vec::with_capacity(cells.len());
+    for manifest in cells {
+        let key = manifest.cache_key();
+        if let Some(record) = store.get(&key) {
+            totals.cached += 1;
+            records.push(record.clone());
+            continue;
+        }
+        if max_cells.is_some_and(|cap| totals.computed >= cap) {
+            totals.pending += 1;
+            continue;
+        }
+        let result = compute_cell(spec.mechanism, &manifest, threads, kernel)?;
+        let record = CellRecord::new(manifest, result);
+        store.insert(record.clone())?;
+        totals.computed += 1;
+        records.push(record);
+    }
+    Ok((assemble(store, spec, records, skipped), totals))
+}
+
+/// Builds the report for a spec whose grid the store has already
+/// completed. Never simulates.
+///
+/// # Errors
+///
+/// Returns [`AtlasError::MissingCells`] when any grid cell is absent
+/// from the store, plus spec validation errors.
+pub fn report(store: &AtlasStore, spec: &AtlasSpec) -> Result<AtlasReport, AtlasError> {
+    let (cells, skipped) = spec.cells()?;
+    let total = cells.len();
+    let mut records: Vec<CellRecord> = Vec::with_capacity(total);
+    for manifest in cells {
+        if let Some(record) = store.get(&manifest.cache_key()) {
+            records.push(record.clone());
+        }
+    }
+    if records.len() != total {
+        return Err(AtlasError::MissingCells {
+            present: records.len(),
+            missing: total - records.len(),
+        });
+    }
+    Ok(assemble(store, spec, records, skipped))
+}
+
+/// Sorts completed cells and derives the aggregate sections.
+fn assemble(
+    store: &AtlasStore,
+    spec: &AtlasSpec,
+    mut records: Vec<CellRecord>,
+    skipped: usize,
+) -> AtlasReport {
+    records.sort_by(|a, b| {
+        a.manifest
+            .bits
+            .cmp(&b.manifest.bits)
+            .then(a.manifest.p_d.total_cmp(&b.manifest.p_d))
+            .then(a.manifest.p_i.total_cmp(&b.manifest.p_i))
+    });
+    let mut shards = vec![0usize; store.shards()];
+    let mut loose = 0usize;
+    let mut beaten = 0usize;
+    for r in &records {
+        shards[store.shard_index(&r.key)] += 1;
+        if r.result.verdict.theorem5_loose {
+            loose += 1;
+        }
+        if r.result.verdict.theorem5_beaten {
+            beaten += 1;
+        }
+    }
+    AtlasReport {
+        schema: ATLAS_SCHEMA.to_owned(),
+        spec: spec.clone(),
+        totals: AtlasTotals {
+            cells: records.len(),
+            skipped,
+            theorem5_loose: loose,
+            theorem5_beaten: beaten,
+        },
+        shards: shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, cells)| ShardSummary { shard, cells })
+            .collect(),
+        cells: records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "nsc-atlas-runner-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn small_spec() -> AtlasSpec {
+        AtlasSpec {
+            widths: vec![1, 2],
+            p_d: Grid::new(0.0, 0.5, 2).unwrap(),
+            p_i: Grid::new(0.0, 0.5, 2).unwrap(),
+            mechanism: Mechanism::Counter,
+            trials: 8,
+            message_len: 8,
+            master_seed: 7,
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        let mut s = small_spec();
+        s.widths.clear();
+        assert!(s.validate().is_err());
+        let mut s = small_spec();
+        s.mechanism = Mechanism::StopWait;
+        assert!(matches!(s.validate(), Err(AtlasError::BadSpec(_))));
+        let mut s = small_spec();
+        s.trials = 0;
+        assert!(s.validate().is_err());
+        assert!(small_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn cells_enumerate_the_simplex_with_skip_count() {
+        let mut spec = small_spec();
+        spec.p_d = Grid::new(0.0, 1.0, 3).unwrap();
+        spec.p_i = Grid::new(0.0, 1.0, 3).unwrap();
+        let (cells, skipped) = spec.cells().unwrap();
+        // Per width: 3×3 = 9 points; (p_i = 1) kills 3, p_d+p_i > 1
+        // kills (1, 0.5) and (0.5, 1)-already-counted… enumerate:
+        // kept = (0,0) (0,.5) (.5,0) (.5,.5) (1,0) → 5, skipped 4.
+        assert_eq!(cells.len(), 2 * 5);
+        assert_eq!(skipped, 2 * 4);
+        // Deterministic order and seeds derived from coordinates.
+        let again = spec.cells().unwrap().0;
+        assert_eq!(cells, again);
+    }
+
+    #[test]
+    fn run_computes_once_then_serves_from_cache() {
+        let root = temp_root("cache");
+        let spec = small_spec();
+        let mut store = AtlasStore::create(&root, 2).unwrap();
+        let (report_a, t_a) = run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(t_a.computed, report_a.totals.cells);
+        assert_eq!(t_a.cached, 0);
+        assert_eq!(t_a.pending, 0);
+
+        let (report_b, t_b) = run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(t_b.computed, 0, "second run must be all cache hits");
+        assert_eq!(t_b.cached, report_a.totals.cells);
+        assert_eq!(report_a, report_b);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn capped_run_resumes_to_the_same_report() {
+        let root_fresh = temp_root("oracle-fresh");
+        let root_resumed = temp_root("oracle-resumed");
+        let spec = small_spec();
+
+        let mut fresh = AtlasStore::create(&root_fresh, 2).unwrap();
+        let (fresh_report, _) = run(&mut fresh, &spec, 1, KernelKind::Scalar, None).unwrap();
+
+        // Kill the run after 3 cells (the cap models the kill)…
+        let mut interrupted = AtlasStore::create(&root_resumed, 2).unwrap();
+        let (partial, t) = run(&mut interrupted, &spec, 1, KernelKind::Scalar, Some(3)).unwrap();
+        assert_eq!(t.computed, 3);
+        assert!(t.pending > 0);
+        assert_eq!(
+            partial.totals.cells, 3,
+            "partial report holds only completed cells"
+        );
+
+        // …reopen the store and resume: only the remainder computes.
+        let mut reopened = AtlasStore::open(&root_resumed).unwrap();
+        let (resumed_report, t2) = run(&mut reopened, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(t2.cached, 3);
+        assert_eq!(t2.computed, fresh_report.totals.cells - 3);
+        assert_eq!(resumed_report, fresh_report);
+        std::fs::remove_dir_all(&root_fresh).unwrap();
+        std::fs::remove_dir_all(&root_resumed).unwrap();
+    }
+
+    #[test]
+    fn report_requires_a_complete_store() {
+        let root = temp_root("report");
+        let spec = small_spec();
+        let mut store = AtlasStore::create(&root, 2).unwrap();
+        run(&mut store, &spec, 1, KernelKind::Scalar, Some(2)).unwrap();
+        assert!(matches!(
+            report(&store, &spec),
+            Err(AtlasError::MissingCells { present: 2, .. })
+        ));
+        let (full, _) = run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(report(&store, &spec).unwrap(), full);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn overlapping_grids_share_cached_cells() {
+        let root = temp_root("overlap");
+        let spec = small_spec();
+        let mut store = AtlasStore::create(&root, 2).unwrap();
+        run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        // A wider grid that contains the old one as a sub-grid: the
+        // shared cells must be cache hits.
+        let mut wider = spec.clone();
+        wider.widths = vec![1, 2, 4];
+        let (_, t) = run(&mut store, &wider, 1, KernelKind::Scalar, None).unwrap();
+        assert!(t.cached > 0, "sub-grid cells must hit the cache");
+        assert_eq!(t.cached + t.computed, wider.cells().unwrap().0.len());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn report_counts_loose_cells_at_narrow_widths() {
+        // N = 1 with insertions is the paper's loose regime.
+        let root = temp_root("loose");
+        let spec = AtlasSpec {
+            widths: vec![1],
+            p_d: Grid::fixed(0.0),
+            p_i: Grid::new(0.0, 0.45, 2).unwrap(),
+            mechanism: Mechanism::Counter,
+            trials: 4,
+            message_len: 8,
+            master_seed: 1,
+            batch_size: 4,
+        };
+        let mut store = AtlasStore::create(&root, 1).unwrap();
+        let (rep, _) = run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(rep.totals.cells, 2);
+        assert_eq!(rep.totals.theorem5_loose, 1, "the p_i = 0.45 cell");
+        assert_eq!(rep.totals.theorem5_beaten, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn describe_round_trips_the_knobs() {
+        let d = small_spec().describe();
+        assert!(d.starts_with("atlas(mechanism=counter"), "{d}");
+        assert!(d.contains("widths=[1, 2]"), "{d}");
+        assert!(d.contains("trials=8"), "{d}");
+    }
+}

@@ -1,0 +1,465 @@
+//! The sharded, append-only `nsc-atlas/v1` on-disk cell store.
+//!
+//! # Layout
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store/
+//!   meta.json        {"schema":"nsc-atlas/v1","shards":4}
+//!   shard-00.jsonl   one completed cell per line
+//!   shard-01.jsonl
+//!   ...
+//! ```
+//!
+//! Each shard line is a self-contained [`CellRecord`]:
+//! `{"schema":"nsc-atlas/v1","key":…,"manifest":…,"result":…}`. A
+//! cell's shard is chosen by its cache key (`key mod shards`), so the
+//! assignment is a pure function of cell identity — independent of
+//! completion order, thread count, and kernel. Shard files exist only
+//! once they hold a record.
+//!
+//! # Durability and resume
+//!
+//! Records are appended and flushed one at a time, the moment a cell
+//! completes. A killed run therefore leaves a store containing
+//! exactly the cells that finished; reopening it and re-running the
+//! same grid skips every cached cell (the runner recomputes each
+//! cell's key and looks it up here) and simulates only the remainder.
+//! Loading is strict: unknown fields, malformed JSON, a wrong schema
+//! tag, a duplicate key, or a key that does not match its manifest's
+//! content hash all fail with a line-positioned error rather than
+//! silently dropping or trusting the record.
+
+use crate::error::AtlasError;
+use crate::manifest::{CellManifest, CellResult, ATLAS_SCHEMA};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Default shard count for new stores.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// The store's `meta.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct StoreMeta {
+    /// Always [`ATLAS_SCHEMA`].
+    schema: String,
+    /// Number of shards cell records are spread over.
+    shards: usize,
+}
+
+/// One completed cell as persisted in a shard (and surfaced in
+/// reports): the content-hash key, the full manifest it hashes, and
+/// the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CellRecord {
+    /// Always [`ATLAS_SCHEMA`].
+    pub schema: String,
+    /// [`CellManifest::cache_key`] of `manifest`.
+    pub key: String,
+    /// The cell's complete input record.
+    pub manifest: CellManifest,
+    /// The cell's bounds, achieved rate, and verdict.
+    pub result: CellResult,
+}
+
+impl CellRecord {
+    /// Builds a record, deriving the key from the manifest.
+    pub fn new(manifest: CellManifest, result: CellResult) -> Self {
+        CellRecord {
+            schema: ATLAS_SCHEMA.to_owned(),
+            key: manifest.cache_key(),
+            manifest,
+            result,
+        }
+    }
+}
+
+/// An open atlas store: the on-disk shard directory plus an in-memory
+/// index of every record, keyed by cache key.
+#[derive(Debug)]
+pub struct AtlasStore {
+    root: PathBuf,
+    shards: usize,
+    records: BTreeMap<String, CellRecord>,
+}
+
+impl AtlasStore {
+    /// Creates a new store at `root` (the directory may exist but
+    /// must not already hold a store), writing `meta.json` eagerly so
+    /// a store killed before its first completed cell still reopens.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::BadSpec`] when `shards` is zero or a store
+    /// already exists at `root`; [`AtlasError::Io`] on filesystem
+    /// failure.
+    pub fn create<P: AsRef<Path>>(root: P, shards: usize) -> Result<Self, AtlasError> {
+        let root = root.as_ref().to_path_buf();
+        if shards == 0 {
+            return Err(AtlasError::BadSpec("store needs at least one shard".into()));
+        }
+        let meta_path = root.join("meta.json");
+        if meta_path.exists() {
+            return Err(AtlasError::BadSpec(format!(
+                "store already exists at {}",
+                root.display()
+            )));
+        }
+        std::fs::create_dir_all(&root).map_err(|e| AtlasError::io(&root, e))?;
+        let meta = StoreMeta {
+            schema: ATLAS_SCHEMA.to_owned(),
+            shards,
+        };
+        let text = serde_json::to_string(&meta).expect("meta serializes");
+        std::fs::write(&meta_path, text + "\n").map_err(|e| AtlasError::io(&meta_path, e))?;
+        Ok(AtlasStore {
+            root,
+            shards,
+            records: BTreeMap::new(),
+        })
+    }
+
+    /// Opens an existing store, loading and validating every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::Io`] when `root` holds no `meta.json` or a file
+    /// cannot be read; [`AtlasError::Malformed`] for schema
+    /// violations, duplicate keys, or key/manifest hash mismatches.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self, AtlasError> {
+        let root = root.as_ref().to_path_buf();
+        let meta_path = root.join("meta.json");
+        let text =
+            std::fs::read_to_string(&meta_path).map_err(|e| AtlasError::io(&meta_path, e))?;
+        let meta: StoreMeta = serde_json::from_str(text.trim())
+            .map_err(|e| AtlasError::malformed(&meta_path, 1, format!("bad meta: {e}")))?;
+        if meta.schema != ATLAS_SCHEMA {
+            return Err(AtlasError::malformed(
+                &meta_path,
+                1,
+                format!("schema `{}`, expected `{ATLAS_SCHEMA}`", meta.schema),
+            ));
+        }
+        if meta.shards == 0 {
+            return Err(AtlasError::malformed(&meta_path, 1, "zero shards"));
+        }
+        let mut store = AtlasStore {
+            root,
+            shards: meta.shards,
+            records: BTreeMap::new(),
+        };
+        for shard in 0..store.shards {
+            store.load_shard(shard)?;
+        }
+        Ok(store)
+    }
+
+    /// Opens the store at `root`, creating it (with `shards` shards)
+    /// if none exists yet — the entry point `nsc atlas run` uses.
+    ///
+    /// # Errors
+    ///
+    /// As [`AtlasStore::create`] and [`AtlasStore::open`].
+    pub fn create_or_open<P: AsRef<Path>>(root: P, shards: usize) -> Result<Self, AtlasError> {
+        if root.as_ref().join("meta.json").exists() {
+            Self::open(root)
+        } else {
+            Self::create(root, shards)
+        }
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard:02}.jsonl"))
+    }
+
+    fn load_shard(&mut self, shard: usize) -> Result<(), AtlasError> {
+        let path = self.shard_path(shard);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            // A shard with no records yet was never created.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(AtlasError::io(&path, e)),
+        };
+        for (idx, line) in BufReader::new(file).lines().enumerate() {
+            let lineno = idx as u64 + 1;
+            let line = line.map_err(|e| AtlasError::io(&path, e))?;
+            if line.trim().is_empty() {
+                // A record is flushed as one atomic line; an empty
+                // trailing line would mean a torn write.
+                return Err(AtlasError::malformed(&path, lineno, "empty record line"));
+            }
+            let record: CellRecord = serde_json::from_str(&line)
+                .map_err(|e| AtlasError::malformed(&path, lineno, e.to_string()))?;
+            self.validate_record(&record, &path, lineno, shard)?;
+            self.records.insert(record.key.clone(), record);
+        }
+        Ok(())
+    }
+
+    fn validate_record(
+        &self,
+        record: &CellRecord,
+        path: &Path,
+        lineno: u64,
+        shard: usize,
+    ) -> Result<(), AtlasError> {
+        if record.schema != ATLAS_SCHEMA {
+            return Err(AtlasError::malformed(
+                path,
+                lineno,
+                format!("schema `{}`, expected `{ATLAS_SCHEMA}`", record.schema),
+            ));
+        }
+        let expected = record.manifest.cache_key();
+        if record.key != expected {
+            return Err(AtlasError::malformed(
+                path,
+                lineno,
+                format!(
+                    "key `{}` does not match manifest content hash `{expected}`",
+                    record.key
+                ),
+            ));
+        }
+        if self.shard_index(&record.key) != shard {
+            return Err(AtlasError::malformed(
+                path,
+                lineno,
+                format!(
+                    "key `{}` belongs in shard {}, found in shard {shard}",
+                    record.key,
+                    self.shard_index(&record.key)
+                ),
+            ));
+        }
+        if self.records.contains_key(&record.key) {
+            return Err(AtlasError::malformed(
+                path,
+                lineno,
+                format!("duplicate key `{}`", record.key),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Which shard a cache key lives in: the key's leading 64 bits
+    /// modulo the shard count — a pure function of cell identity.
+    pub fn shard_index(&self, key: &str) -> usize {
+        let head = key.get(..16).unwrap_or(key);
+        let value = u64::from_str_radix(head, 16).unwrap_or(0);
+        (value % self.shards as u64) as usize
+    }
+
+    /// Appends one completed cell and flushes it to disk before
+    /// returning, so a kill after this call never loses the cell.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::BadSpec`] when the key is already present (the
+    /// runner checks the cache before simulating, so a duplicate
+    /// insert is a logic error worth loud failure);
+    /// [`AtlasError::Io`] on filesystem failure.
+    pub fn insert(&mut self, record: CellRecord) -> Result<(), AtlasError> {
+        if self.records.contains_key(&record.key) {
+            return Err(AtlasError::BadSpec(format!(
+                "cell `{}` is already cached",
+                record.key
+            )));
+        }
+        let path = self.shard_path(self.shard_index(&record.key));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| AtlasError::io(&path, e))?;
+        let mut line = serde_json::to_string(&record).expect("records serialize");
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .map_err(|e| AtlasError::io(&path, e))?;
+        file.flush().map_err(|e| AtlasError::io(&path, e))?;
+        self.records.insert(record.key.clone(), record);
+        Ok(())
+    }
+
+    /// Looks a cell up by cache key.
+    pub fn get(&self, key: &str) -> Option<&CellRecord> {
+        self.records.get(key)
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Verdict;
+    use nsc_core::bounds::capacity_bound_families;
+    use nsc_core::engine::Mechanism;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("nsc-atlas-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn record(bits: u32, p_d: f64, p_i: f64) -> CellRecord {
+        let knobs = crate::manifest::CellKnobs {
+            trials: 16,
+            message_len: 8,
+            master_seed: 7,
+            batch_size: 32,
+        };
+        let manifest = CellManifest::new(&Mechanism::Counter, bits, p_d, p_i, &knobs);
+        let families = capacity_bound_families(bits, p_d, p_i).unwrap();
+        let stat = |mean: f64| nsc_core::engine::StatSummary {
+            n: 16,
+            mean,
+            std_error: 0.01,
+            ci95_lo: mean - 0.02,
+            ci95_hi: mean + 0.02,
+        };
+        let result = CellResult {
+            bounds: families,
+            achieved: stat(0.25),
+            measured_p_d: stat(p_d),
+            measured_p_i: stat(p_i),
+            verdict: Verdict::from_families(&families),
+        };
+        CellRecord::new(manifest, result)
+    }
+
+    #[test]
+    fn create_insert_reopen_round_trip() {
+        let root = temp_root("roundtrip");
+        let mut store = AtlasStore::create(&root, 3).unwrap();
+        assert!(store.is_empty());
+        let records = [
+            record(1, 0.0, 0.0),
+            record(2, 0.25, 0.0),
+            record(4, 0.25, 0.25),
+            record(8, 0.5, 0.125),
+        ];
+        for r in &records {
+            store.insert(r.clone()).unwrap();
+        }
+        assert_eq!(store.len(), 4);
+
+        let reopened = AtlasStore::open(&root).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.shards(), 3);
+        for r in &records {
+            assert_eq!(reopened.get(&r.key), Some(r));
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store_and_open_requires_one() {
+        let root = temp_root("exists");
+        AtlasStore::create(&root, 2).unwrap();
+        assert!(matches!(
+            AtlasStore::create(&root, 2),
+            Err(AtlasError::BadSpec(_))
+        ));
+        // create_or_open reopens instead.
+        let store = AtlasStore::create_or_open(&root, 99).unwrap();
+        assert_eq!(store.shards(), 2, "existing meta wins over the argument");
+        std::fs::remove_dir_all(&root).unwrap();
+        assert!(matches!(
+            AtlasStore::open(&root),
+            Err(AtlasError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let root = temp_root("dup");
+        let mut store = AtlasStore::create(&root, 2).unwrap();
+        let r = record(4, 0.25, 0.0);
+        store.insert(r.clone()).unwrap();
+        assert!(matches!(store.insert(r), Err(AtlasError::BadSpec(_))));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tampered_manifest_fails_key_check_on_load() {
+        let root = temp_root("tamper");
+        let mut store = AtlasStore::create(&root, 1).unwrap();
+        store.insert(record(4, 0.25, 0.0)).unwrap();
+        let shard = root.join("shard-00.jsonl");
+        let text = std::fs::read_to_string(&shard).unwrap();
+        // Flip the trial count without re-keying: the content hash
+        // no longer matches.
+        let tampered = text.replace("\"trials\":16", "\"trials\":17");
+        assert_ne!(tampered, text);
+        std::fs::write(&shard, tampered).unwrap();
+        let err = AtlasStore::open(&root).unwrap_err();
+        assert!(
+            matches!(err, AtlasError::Malformed { line: 1, .. }),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_json_are_rejected_with_line_numbers() {
+        let root = temp_root("strict");
+        let mut store = AtlasStore::create(&root, 1).unwrap();
+        store.insert(record(1, 0.0, 0.0)).unwrap();
+        let shard = root.join("shard-00.jsonl");
+        let good = std::fs::read_to_string(&shard).unwrap();
+        std::fs::write(&shard, format!("{good}not json\n")).unwrap();
+        let err = AtlasStore::open(&root).unwrap_err();
+        assert!(
+            matches!(err, AtlasError::Malformed { line: 2, .. }),
+            "{err:?}"
+        );
+        std::fs::write(
+            &shard,
+            good.trim_end().replace("}}", "},\"extra\":1}") + "\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            AtlasStore::open(&root),
+            Err(AtlasError::Malformed { line: 1, .. })
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_within_range() {
+        let root = temp_root("shardidx");
+        let store = AtlasStore::create(&root, 4).unwrap();
+        for r in [record(1, 0.0, 0.0), record(8, 0.5, 0.25)] {
+            let s = store.shard_index(&r.key);
+            assert!(s < 4);
+            assert_eq!(s, store.shard_index(&r.key));
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Cache-key stability: a golden test pinning the content hash for a
+//! fully explicit manifest, plus property tests that every semantic
+//! field change changes the key while no-op re-serialization never
+//! does.
+//!
+//! The golden pin is what makes cache compatibility a *reviewed*
+//! decision: any change to the canonical rendering or the hash shows
+//! up here as a failing test, forcing the author to either revert or
+//! consciously accept that every existing store goes cold.
+
+use nsc_atlas::manifest::cell_seed;
+use nsc_atlas::{AtlasSpec, CellKnobs, CellManifest};
+use nsc_core::engine::Mechanism;
+use nsc_core::sweep::Grid;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A manifest with every field explicit (no `ENGINE_VERSION` or
+/// `BOUND_FAMILY_VERSIONS` snapshotting), so the golden value cannot
+/// drift with workspace version bumps — only with deliberate changes
+/// to the canonical rendering or the hash itself.
+fn golden_manifest() -> CellManifest {
+    CellManifest {
+        bits: 4,
+        p_d: 0.25,
+        p_i: 0.125,
+        mechanism: "counter".to_owned(),
+        trials: 64,
+        message_len: 32,
+        sender_prob: 0.5,
+        max_ops: 4096,
+        master_seed: 7,
+        cell_seed: cell_seed(7, 4, 0.25, 0.125),
+        batch_size: 32,
+        engine_version: "0.1.0-golden".to_owned(),
+        bound_versions: [
+            ("erasure".to_owned(), 1),
+            ("kanoria-montanari".to_owned(), 1),
+            ("theorem5".to_owned(), 1),
+            ("vtr".to_owned(), 1),
+        ]
+        .into_iter()
+        .collect::<BTreeMap<_, _>>(),
+    }
+}
+
+#[test]
+fn golden_cell_seed_and_cache_key() {
+    assert_eq!(cell_seed(7, 4, 0.25, 0.125), 0x81c8_3e4a_6000_b941);
+    let m = golden_manifest();
+    assert_eq!(
+        String::from_utf8(m.canonical_bytes()).unwrap(),
+        "nsc-atlas/v1|cell|bits=4|p_d=3fd0000000000000|p_i=3fc0000000000000|\
+         mechanism=counter|trials=64|len=32|q=3fe0000000000000|max_ops=4096|\
+         master_seed=0000000000000007|cell_seed=81c83e4a6000b941|batch_size=32|\
+         engine=0.1.0-golden|bounds=[erasure:1,kanoria-montanari:1,theorem5:1,vtr:1]"
+    );
+    assert_eq!(m.cache_key(), "63bb788fa6788634c549ed022ce87109");
+}
+
+#[test]
+fn golden_keys_for_a_fixed_grid() {
+    // The full key list of a small fixed grid, pinned: cache
+    // compatibility of whole stores, not just one cell.
+    let spec = AtlasSpec {
+        widths: vec![1, 4],
+        p_d: Grid::new(0.0, 0.5, 2).unwrap(),
+        p_i: Grid::fixed(0.0),
+        mechanism: Mechanism::Counter,
+        trials: 16,
+        message_len: 8,
+        master_seed: 42,
+        batch_size: 32,
+    };
+    let (cells, skipped) = spec.cells().unwrap();
+    assert_eq!(skipped, 0);
+    let keys: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            // Pin the version-dependent fields to golden values so
+            // this list, like the single-cell golden, only moves
+            // when the canonical rendering moves.
+            let mut c = c.clone();
+            c.engine_version = "0.1.0-golden".to_owned();
+            c.bound_versions = golden_manifest().bound_versions;
+            c.cache_key()
+        })
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "45441b10199dee3bc7268a69002e08cc",
+            "c568a4e7025e8645b0aa5f92abd3cb1f",
+            "de274d2f87bd1258b96c3cc40e3fdde7",
+            "f29986339c576121ad53bfda66f35c7f",
+        ]
+    );
+}
+
+proptest! {
+    #[test]
+    fn any_param_change_changes_the_key(
+        bits in 1u32..=16,
+        p_d_steps in 0u32..=10,
+        p_i_steps in 0u32..=9,
+        trials in 1usize..=512,
+        len in 1usize..=128,
+        seed in any::<u64>(),
+        version in 1u32..=8,
+    ) {
+        let p_d = f64::from(p_d_steps) * 0.05;
+        let p_i = f64::from(p_i_steps) * 0.05;
+        let knobs = CellKnobs { trials, message_len: len, master_seed: seed, batch_size: 32 };
+        let base = CellManifest::new(&Mechanism::Counter, bits, p_d, p_i, &knobs);
+        let base_key = base.cache_key();
+
+        // Grid point.
+        let moved = CellManifest::new(&Mechanism::Counter, bits, p_d + 0.001, p_i, &knobs);
+        prop_assert_ne!(moved.cache_key(), base_key.clone());
+
+        // Seed.
+        let reseeded = CellManifest::new(
+            &Mechanism::Counter, bits, p_d, p_i,
+            &CellKnobs { master_seed: seed.wrapping_add(1), ..knobs },
+        );
+        prop_assert_ne!(reseeded.cache_key(), base_key.clone());
+
+        // Bound-family version.
+        let mut rebound = base.clone();
+        rebound.bound_versions.insert("theorem5".to_owned(), version + 1);
+        prop_assert_ne!(rebound.cache_key(), base_key.clone());
+
+        // Engine version.
+        let mut reengined = base.clone();
+        reengined.engine_version.push_str("-next");
+        prop_assert_ne!(reengined.cache_key(), base_key);
+    }
+
+    #[test]
+    fn reserialization_is_a_no_op_for_the_key(
+        bits in 1u32..=16,
+        p_d_steps in 0u32..=10,
+        p_i_steps in 0u32..=9,
+        trials in 1usize..=512,
+        seed in any::<u64>(),
+    ) {
+        let p_d = f64::from(p_d_steps) * 0.05;
+        let p_i = f64::from(p_i_steps) * 0.05;
+        let knobs = CellKnobs { trials, message_len: 16, master_seed: seed, batch_size: 32 };
+        let m = CellManifest::new(&Mechanism::Counter, bits, p_d, p_i, &knobs);
+        let key = m.cache_key();
+        // JSON round-trip.
+        let back: CellManifest =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        prop_assert_eq!(back.cache_key(), key.clone());
+        // Pretty-printed round-trip (different byte stream, same
+        // manifest).
+        let back: CellManifest =
+            serde_json::from_str(&serde_json::to_string_pretty(&m).unwrap()).unwrap();
+        prop_assert_eq!(back.cache_key(), key.clone());
+        // And a second round-trip of the round-trip.
+        let again: CellManifest =
+            serde_json::from_str(&serde_json::to_string(&back).unwrap()).unwrap();
+        prop_assert_eq!(again.cache_key(), key);
+    }
+
+    #[test]
+    fn distinct_coordinates_never_collide_on_a_grid(
+        seed in any::<u64>(),
+    ) {
+        let spec = AtlasSpec {
+            widths: vec![1, 2, 4, 8],
+            p_d: Grid::new(0.0, 0.5, 4).unwrap(),
+            p_i: Grid::new(0.0, 0.5, 4).unwrap(),
+            mechanism: Mechanism::Counter,
+            trials: 8,
+            message_len: 8,
+            master_seed: seed,
+            batch_size: 32,
+        };
+        let (cells, _) = spec.cells().unwrap();
+        let mut keys: Vec<String> = cells.iter().map(CellManifest::cache_key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), total);
+    }
+}

@@ -1,0 +1,132 @@
+//! The resume oracle at the library level: a killed-and-resumed atlas
+//! must produce a report **byte-identical** to an uninterrupted fresh
+//! run — at any thread count, on either kernel, resumed by a
+//! different execution configuration than the one that started it.
+//!
+//! (The CI `atlas` job re-checks the same invariant end-to-end
+//! through the CLI with `jq -S` diffs; this file is the fast,
+//! debuggable version.)
+
+use nsc_atlas::{report, run, AtlasSpec, AtlasStore};
+use nsc_core::engine::{KernelKind, Mechanism};
+use nsc_core::sweep::Grid;
+use std::path::PathBuf;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "nsc-atlas-oracle-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn spec(mechanism: Mechanism) -> AtlasSpec {
+    AtlasSpec {
+        widths: vec![1, 4],
+        p_d: Grid::new(0.0, 0.5, 2).unwrap(),
+        p_i: Grid::new(0.0, 0.5, 2).unwrap(),
+        mechanism,
+        trials: 16,
+        message_len: 8,
+        master_seed: 11,
+        batch_size: 8,
+    }
+}
+
+/// Serialized report bytes of a fresh, uninterrupted run.
+fn fresh_report_bytes(tag: &str, threads: usize, kernel: KernelKind) -> String {
+    let root = temp_root(tag);
+    let mut store = AtlasStore::create(&root, 3).unwrap();
+    let (report, totals) =
+        run(&mut store, &spec(Mechanism::Counter), threads, kernel, None).unwrap();
+    assert_eq!(totals.cached, 0);
+    std::fs::remove_dir_all(&root).unwrap();
+    serde_json::to_string(&report).unwrap()
+}
+
+#[test]
+fn resumed_run_is_byte_identical_to_fresh_run() {
+    let fresh = fresh_report_bytes("fresh", 1, KernelKind::Scalar);
+
+    // Kill after 2 cells, resume in two further slices, then finish.
+    let root = temp_root("resumed");
+    let mut store = AtlasStore::create(&root, 3).unwrap();
+    let s = spec(Mechanism::Counter);
+    run(&mut store, &s, 1, KernelKind::Scalar, Some(2)).unwrap();
+    drop(store);
+    let mut store = AtlasStore::open(&root).unwrap();
+    run(&mut store, &s, 1, KernelKind::Scalar, Some(1)).unwrap();
+    drop(store);
+    let mut store = AtlasStore::open(&root).unwrap();
+    let (resumed, totals) = run(&mut store, &s, 1, KernelKind::Scalar, None).unwrap();
+    assert_eq!(totals.cached, 3, "all previously completed cells must hit");
+    assert_eq!(serde_json::to_string(&resumed).unwrap(), fresh);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn report_bytes_are_thread_count_invariant() {
+    let one = fresh_report_bytes("threads-1", 1, KernelKind::Scalar);
+    let four = fresh_report_bytes("threads-4", 4, KernelKind::Scalar);
+    assert_eq!(one, four);
+}
+
+#[test]
+fn report_bytes_are_kernel_invariant() {
+    let scalar = fresh_report_bytes("kernel-scalar", 2, KernelKind::Scalar);
+    let bitsliced = fresh_report_bytes("kernel-bitsliced", 2, KernelKind::Bitsliced);
+    assert_eq!(scalar, bitsliced);
+}
+
+#[test]
+fn cross_kernel_resume_serves_cached_cells_without_simulation() {
+    // Start bitsliced, kill, resume scalar: the cache keys must hit
+    // (kernel is not part of cell identity) and the final report
+    // must equal an all-scalar fresh run's bytes.
+    let fresh = fresh_report_bytes("xk-fresh", 1, KernelKind::Scalar);
+    let root = temp_root("xk-resumed");
+    let s = spec(Mechanism::Counter);
+    let mut store = AtlasStore::create(&root, 3).unwrap();
+    run(&mut store, &s, 4, KernelKind::Bitsliced, Some(3)).unwrap();
+    drop(store);
+    let mut store = AtlasStore::open(&root).unwrap();
+    let (resumed, totals) = run(&mut store, &s, 1, KernelKind::Scalar, None).unwrap();
+    assert_eq!(
+        totals.cached, 3,
+        "bitsliced-computed cells must hit from a scalar run"
+    );
+    assert_eq!(serde_json::to_string(&resumed).unwrap(), fresh);
+
+    // A complete store renders the report without any simulation.
+    let (rerun, totals) = run(&mut store, &s, 1, KernelKind::Scalar, None).unwrap();
+    assert_eq!(totals.computed, 0, "complete store must not simulate");
+    assert_eq!(totals.cached, rerun.totals.cells);
+    assert_eq!(report(&store, &s).unwrap(), rerun);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn unsync_and_slotted_mechanisms_hold_the_oracle_too() {
+    for (tag, mechanism) in [
+        ("unsync", Mechanism::Unsynchronized),
+        ("slotted", Mechanism::Slotted { slot_len: 4 }),
+    ] {
+        let s = spec(mechanism);
+        let root_a = temp_root(&format!("{tag}-a"));
+        let mut store = AtlasStore::create(&root_a, 2).unwrap();
+        let (fresh, _) = run(&mut store, &s, 2, KernelKind::Bitsliced, None).unwrap();
+        std::fs::remove_dir_all(&root_a).unwrap();
+
+        let root_b = temp_root(&format!("{tag}-b"));
+        let mut store = AtlasStore::create(&root_b, 2).unwrap();
+        run(&mut store, &s, 1, KernelKind::Scalar, Some(2)).unwrap();
+        let (resumed, _) = run(&mut store, &s, 4, KernelKind::Bitsliced, None).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "{tag}"
+        );
+        std::fs::remove_dir_all(&root_b).unwrap();
+    }
+}

@@ -6,14 +6,14 @@
 //! with [`Instant`], reported as the median ns/op over a few
 //! repetitions, cheap enough to run in CI on every push. `nsc bench`
 //! drives them, and `scripts/bench_export` turns the JSON into the
-//! committed `BENCH_engine.json` / `BENCH_trace.json` baselines and
-//! checks fresh runs against them.
+//! committed `BENCH_engine.json` / `BENCH_trace.json` /
+//! `BENCH_atlas.json` baselines and checks fresh runs against them.
 //!
 //! Absolute ns/op is only comparable on the machine recorded in the
 //! result's fingerprint. The ratios between kernels of one run —
 //! `trial_rng` vs `std_rng`, `trace_write_manual` vs
-//! `trace_write_serde` — are comparable anywhere, which is what the
-//! CI guards lean on.
+//! `trace_write_serde`, `atlas_cached` vs `atlas_cold` — are
+//! comparable anywhere, which is what the CI guards lean on.
 
 use crate::setup::{serialized_trace, synthetic_events};
 use nsc_core::engine::{run_campaign, EngineConfig, KernelKind, Mechanism, TrialPlan, TrialRng};
@@ -82,6 +82,15 @@ impl Profile {
             Profile::Full => 40_000,
         }
     }
+
+    /// Atlas grid size: (widths, points per probability axis, trials
+    /// per cell, message length).
+    fn atlas(self) -> (Vec<u32>, usize, usize, usize) {
+        match self {
+            Profile::Quick => (vec![1, 2], 2, 16, 64),
+            Profile::Full => (vec![1, 2, 4], 3, 32, 256),
+        }
+    }
 }
 
 /// One timed kernel.
@@ -100,7 +109,7 @@ pub struct BenchResult {
 /// One suite's report: every kernel at one profile.
 #[derive(Debug, Clone, Serialize)]
 pub struct SuiteReport {
-    /// Suite name: `engine` or `trace`.
+    /// Suite name: `engine`, `trace`, or `atlas`.
     pub suite: String,
     /// Profile the kernels ran at.
     pub profile: String,
@@ -297,6 +306,73 @@ pub fn trace_suite(profile: Profile, reps: usize) -> SuiteReport {
     }
 }
 
+/// The atlas suite: one small grid campaign computed cold (fresh
+/// store, every cell simulated) against the identical campaign served
+/// entirely from the cell cache. The `atlas_cached` / `atlas_cold`
+/// ratio is the cache's whole value proposition — resume must be much
+/// cheaper than recomputation — and the ratio guard in
+/// `scripts/bench_export` keeps it honest.
+///
+/// # Panics
+///
+/// Never in practice: the spec is validated, and the stores live in
+/// fresh per-process directories under `std::env::temp_dir()`.
+#[must_use]
+pub fn atlas_suite(profile: Profile, reps: usize) -> SuiteReport {
+    use nsc_atlas::{AtlasSpec, AtlasStore};
+    use nsc_core::sweep::Grid;
+
+    let (widths, points, trials, message_len) = profile.atlas();
+    let spec = AtlasSpec {
+        widths,
+        p_d: Grid::new(0.0, 0.5, points).unwrap(),
+        p_i: Grid::new(0.0, 0.5, points).unwrap(),
+        mechanism: Mechanism::Counter,
+        trials,
+        message_len,
+        master_seed: 7,
+        batch_size: 32,
+    };
+    let root = std::env::temp_dir().join(format!(
+        "nsc-bench-atlas-{}-{}",
+        profile.name(),
+        std::process::id()
+    ));
+    let cold_root = root.join("cold");
+    let cached_root = root.join("cached");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut results = Vec::new();
+    results.push(measure("atlas_cold", "cell", reps, || {
+        let _ = std::fs::remove_dir_all(&cold_root);
+        let mut store = AtlasStore::create(&cold_root, 4).unwrap();
+        let (report, totals) =
+            nsc_atlas::run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(totals.cached, 0, "cold rep must simulate every cell");
+        black_box(report.totals.cells) as u64
+    }));
+
+    // Populate once; every cached rep re-opens the store (paying the
+    // shard-load cost resume actually pays) and must simulate nothing.
+    let mut seed_store = AtlasStore::create(&cached_root, 4).unwrap();
+    nsc_atlas::run(&mut seed_store, &spec, 1, KernelKind::Scalar, None).unwrap();
+    drop(seed_store);
+    results.push(measure("atlas_cached", "cell", reps, || {
+        let mut store = AtlasStore::open(&cached_root).unwrap();
+        let (report, totals) =
+            nsc_atlas::run(&mut store, &spec, 1, KernelKind::Scalar, None).unwrap();
+        assert_eq!(totals.computed, 0, "cached rep must serve every cell");
+        black_box(report.totals.cells) as u64
+    }));
+    let _ = std::fs::remove_dir_all(&root);
+    SuiteReport {
+        suite: "atlas".to_owned(),
+        profile: profile.name().to_owned(),
+        reps,
+        results,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +432,15 @@ mod tests {
             ]
         );
         assert!(trace.median("trace_write_manual").unwrap() > 0.0);
+
+        let atlas = atlas_suite(Profile::Quick, 1);
+        let names: Vec<&str> = atlas.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["atlas_cold", "atlas_cached"]);
+        for r in &atlas.results {
+            assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
+            assert!(r.ops > 0, "{}: {r:?}", r.name);
+            assert_eq!(r.unit, "cell");
+        }
     }
 
     #[test]

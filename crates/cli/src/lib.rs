@@ -17,9 +17,14 @@
 //!   stationarity verdict.
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
-//! * `bench` — the in-process engine/trace hot-path micro-benchmark
-//!   suites (median ns/op plus a machine fingerprint), feeding the
-//!   `scripts/bench_export` regression harness.
+//! * `bench` — the in-process engine/trace/atlas hot-path
+//!   micro-benchmark suites (median ns/op plus a machine
+//!   fingerprint), feeding the `scripts/bench_export` regression
+//!   harness.
+//! * `atlas` — the resumable, content-addressed capacity atlas over
+//!   the `(P_d, P_i, N)` plane: `run` simulates cache misses into a
+//!   sharded `nsc-atlas/v1` store, `resume` picks a killed run back
+//!   up, `report` renders a completed store without simulating.
 //!
 //! # The CLI contract
 //!
@@ -46,12 +51,13 @@
 //! The library exposes [`run`] so tests can drive the CLI without a
 //! process boundary; `main.rs` is a two-liner.
 
+use nsc_atlas::{AtlasReport, AtlasSpec, AtlasStore, RunTotals, DEFAULT_SHARDS};
 use nsc_bench::perf::{self, Profile, SuiteReport};
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
 use nsc_core::engine::{
     run_campaign_manifest, run_campaign_traced, EngineConfig, ExecutionReport, KernelKind,
-    Mechanism, RunManifest, StatSummary, TrialPlan,
+    Mechanism, RunManifest, StatSummary, TrialPlan, ENGINE_VERSION,
 };
 use nsc_core::estimator::assess_from_counts;
 use nsc_core::sim::noisy_feedback::FeedbackQuality;
@@ -97,6 +103,7 @@ pub fn run(args: &[String]) -> CliResult {
         "estimate" => cmd_estimate(rest),
         "stc" => cmd_stc(rest),
         "bench" => cmd_bench(rest),
+        "atlas" => cmd_atlas(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -149,6 +156,17 @@ pub fn usage() -> String {
          and likelihood-ratio 95% intervals, the Theorem 1/4 upper bound,\n\
          the Theorem 5 lower bound, and a windowed change-point scan;\n\
          `estimate --trace -` reads the trace from stdin.\n\
+         \n\
+         `atlas run` surveys every bound family (Theorem 4 erasure upper\n\
+         bound, Theorem 5, the Kanoria-Montanari small-deletion expansion,\n\
+         a VTR-style achievable rate) plus a simulated campaign over a\n\
+         (P_d, P_i, N) grid, caching each cell in a content-addressed\n\
+         nsc-atlas/v1 store as it completes: kill it at any point and\n\
+         `atlas resume` (or re-running the same command) picks up where it\n\
+         stopped, and the finished report is byte-identical to an\n\
+         uninterrupted run (after stripping manifest.execution) at any\n\
+         --threads and --kernel. `atlas report` renders a completed store\n\
+         without simulating anything.\n\
          \n\
          `serve` runs the same estimator online: nsc-trace/v1 streams\n\
          over --tcp/--unix connections feed per-stream incremental\n\
@@ -378,7 +396,7 @@ const STC_FLAGS: &[FlagSpec] = &[
 const BENCH_FLAGS: &[FlagSpec] = &[
     flag(
         "suite",
-        "engine|trace|all",
+        "engine|trace|atlas|all",
         false,
         "which suite to run (default all)",
     ),
@@ -399,6 +417,84 @@ const BENCH_FLAGS: &[FlagSpec] = &[
         "scalar|bitsliced|all",
         false,
         "engine-suite execution kernels to time (default all)",
+    ),
+    FORMAT_FLAG,
+];
+
+const ATLAS_FLAGS: &[FlagSpec] = &[
+    flag(
+        "store",
+        "DIR",
+        true,
+        "nsc-atlas/v1 store directory (created by `run`, reused to resume)",
+    ),
+    flag(
+        "widths",
+        "N1,N2,...",
+        false,
+        "comma-separated symbol widths to survey (default 1,4)",
+    ),
+    flag(
+        "p-d",
+        "A:B:K",
+        false,
+        "deletion-probability grid start:end:points, or one fixed value (default 0:0.5:4)",
+    ),
+    flag(
+        "p-i",
+        "A:B:K",
+        false,
+        "insertion-probability grid start:end:points, or one fixed value (default 0:0.5:4)",
+    ),
+    flag(
+        "mechanism",
+        "M",
+        false,
+        "unsync | counter | slotted — kernel-equivalent mechanisms only (default counter)",
+    ),
+    mech_flag(
+        "slot-len",
+        "L",
+        "operations per slot (default 8)",
+        &["slotted"],
+    ),
+    flag("trials", "K", false, "trials per cell (default 32)"),
+    flag(
+        "len",
+        "L",
+        false,
+        "message length in symbols per trial (default 128)",
+    ),
+    flag("seed", "S", false, "atlas master seed (default 0)"),
+    flag(
+        "batch",
+        "B",
+        false,
+        "engine batch size; part of each cell's identity (default 32)",
+    ),
+    flag(
+        "shards",
+        "N",
+        false,
+        "store shard count, `run` on a fresh store only (default 4)",
+    ),
+    flag(
+        "max-cells",
+        "C",
+        false,
+        "stop after simulating C cells (run/resume; models a killed run)",
+    ),
+    flag(
+        "threads",
+        "T",
+        false,
+        "worker threads, 0 = one per core (default 0)",
+    ),
+    flag(
+        "kernel",
+        "scalar|bitsliced",
+        false,
+        "execution kernel (default scalar); reports are byte-identical either way",
     ),
     FORMAT_FLAG,
 ];
@@ -492,7 +588,12 @@ const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
     (
         "bench",
         BENCH_FLAGS,
-        "engine/trace hot-path micro-benchmarks",
+        "engine/trace/atlas hot-path micro-benchmarks",
+    ),
+    (
+        "atlas",
+        ATLAS_FLAGS,
+        "resumable cached capacity atlas over (P_d, P_i, N); modes: run | resume | report",
     ),
     (
         "serve",
@@ -1257,13 +1358,16 @@ fn cmd_bench(args: &[String]) -> CliResult {
     let suites: Vec<SuiteReport> = match suite.as_str() {
         "engine" => vec![perf::engine_suite(profile, reps, kernels)],
         "trace" => vec![perf::trace_suite(profile, reps)],
+        "atlas" => vec![perf::atlas_suite(profile, reps)],
         "all" => vec![
             perf::engine_suite(profile, reps, kernels),
             perf::trace_suite(profile, reps),
+            perf::atlas_suite(profile, reps),
         ],
         other => {
             return Err(format!(
-                "flag --suite: expected `engine`, `trace`, or `all`, got `{other}`"
+                "flag --suite: expected `engine`, `trace`, `atlas`, or `all`, got `{other}`{}",
+                value_suggestion(other, &["engine", "trace", "atlas", "all"])
             ))
         }
     };
@@ -1306,6 +1410,291 @@ fn cmd_bench(args: &[String]) -> CliResult {
          ratios, which scripts/bench_export guards in CI\n",
     );
     Ok(out)
+}
+
+/// Parses an atlas axis flag: either `start:end:points` or a single
+/// fixed value.
+fn parse_atlas_grid(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: &str,
+) -> Result<Grid, String> {
+    let raw = flags.get(name).map_or(default, String::as_str);
+    let num = |s: &str| -> Result<f64, String> {
+        let v: f64 = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{s}` in `{raw}`"))?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!(
+                "flag --{name}: expected a finite number in `{raw}`"
+            ))
+        }
+    };
+    let parts: Vec<&str> = raw.split(':').collect();
+    match parts.as_slice() {
+        [value] => Ok(Grid::fixed(num(value)?)),
+        [start, end, points] => {
+            let points: usize = points
+                .trim()
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse point count in `{raw}`"))?;
+            Grid::new(num(start)?, num(end)?, points).map_err(|e| format!("flag --{name}: {e}"))
+        }
+        _ => Err(format!(
+            "flag --{name}: expected `start:end:points` or a single value, got `{raw}`"
+        )),
+    }
+}
+
+/// `nsc atlas run|resume|report` — the resumable capacity atlas.
+fn cmd_atlas(args: &[String]) -> CliResult {
+    let Some((mode, rest)) = args.split_first() else {
+        return Err("atlas needs a mode: nsc atlas run|resume|report [--flags]".to_owned());
+    };
+    let mode = mode.as_str();
+    if !matches!(mode, "run" | "resume" | "report") {
+        return Err(format!(
+            "unknown atlas mode `{mode}` (expected run | resume | report){}",
+            value_suggestion(mode, &["run", "resume", "report"])
+        ));
+    }
+    let flags = parse_flags("atlas", ATLAS_FLAGS, rest)?;
+    let format = output_format(&flags)?;
+    let store_path: String = need(&flags, "store")?;
+    let widths_raw: String = optional(&flags, "widths", "1,4".to_owned())?;
+    let widths: Vec<u32> = widths_raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("flag --widths: cannot parse `{s}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let p_d = parse_atlas_grid(&flags, "p-d", "0:0.5:4")?;
+    let p_i = parse_atlas_grid(&flags, "p-i", "0:0.5:4")?;
+    let mech_name: String = optional(&flags, "mechanism", "counter".to_owned())?;
+    let mechanism = match mech_name.as_str() {
+        "unsync" => Mechanism::Unsynchronized,
+        "counter" => Mechanism::Counter,
+        "slotted" => Mechanism::Slotted {
+            slot_len: optional(&flags, "slot-len", 8)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown atlas mechanism `{other}` (expected unsync | counter | slotted; \
+                 the atlas only runs kernel-equivalent mechanisms){}",
+                value_suggestion(other, &["unsync", "counter", "slotted"])
+            ))
+        }
+    };
+    check_mechanism_flags(&flags, ATLAS_FLAGS, mechanism.name())?;
+    let trials: usize = optional(&flags, "trials", 32)?;
+    let len: usize = optional(&flags, "len", 128)?;
+    let seed: u64 = optional(&flags, "seed", 0)?;
+    let batch: usize = optional(&flags, "batch", 32)?;
+    let shards: usize = optional(&flags, "shards", DEFAULT_SHARDS)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_owned());
+    }
+    let threads: usize = optional(&flags, "threads", 0)?;
+    let kernel = parse_kernel(&flags)?;
+    let max_cells: Option<usize> = match flags.get("max-cells") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("flag --max-cells: cannot parse `{raw}`"))?,
+        ),
+    };
+    if mode == "report" && max_cells.is_some() {
+        return Err("--max-cells does not apply to `atlas report` (it never simulates)".to_owned());
+    }
+    if mode != "run" && flags.contains_key("shards") {
+        return Err(format!(
+            "--shards applies to `atlas run` on a fresh store only; \
+             `atlas {mode}` takes the shard count from the store's meta.json"
+        ));
+    }
+    let spec = AtlasSpec {
+        widths,
+        p_d,
+        p_i,
+        mechanism,
+        trials,
+        message_len: len,
+        master_seed: seed,
+        batch_size: batch,
+    };
+
+    // nsc-lint: allow(wall-clock, reason = "atlas wall-clock feeds manifest.execution, which determinism diffs strip")
+    let started = Instant::now();
+    let mut store = match mode {
+        "run" => AtlasStore::create_or_open(&store_path, shards),
+        // resume/report refuse to invent an empty store: a missing
+        // one means the path is wrong, not that there is no work.
+        _ => AtlasStore::open(&store_path),
+    }
+    .map_err(|e| e.to_string())?;
+    let (atlas, totals) = if mode == "report" {
+        let atlas = nsc_atlas::report(&store, &spec).map_err(|e| e.to_string())?;
+        let cached = atlas.totals.cells;
+        (
+            atlas,
+            RunTotals {
+                computed: 0,
+                cached,
+                pending: 0,
+            },
+        )
+    } else {
+        nsc_atlas::run(&mut store, &spec, threads, kernel, max_cells).map_err(|e| e.to_string())?
+    };
+
+    if format == OutputFormat::Json {
+        // `mode` and `store` are deliberately NOT params: which
+        // invocation produced a report (run vs resume vs report) and
+        // where the store lives are observational, so they join the
+        // execution section below and `del(.manifest.execution)`
+        // alone makes fresh and resumed documents byte-identical.
+        let mut params = Map::new();
+        params.insert("mechanism".to_owned(), json!(mechanism.name()));
+        if let Mechanism::Slotted { slot_len } = mechanism {
+            params.insert("slot_len".to_owned(), json!(slot_len));
+        }
+        params.insert("widths".to_owned(), json!(spec.widths));
+        params.insert(
+            "p_d".to_owned(),
+            serde_json::to_value(spec.p_d).expect("grids serialize"),
+        );
+        params.insert(
+            "p_i".to_owned(),
+            serde_json::to_value(spec.p_i).expect("grids serialize"),
+        );
+        params.insert("trials".to_owned(), json!(trials));
+        params.insert("len".to_owned(), json!(len));
+        params.insert("seed".to_owned(), json!(seed));
+        params.insert("batch".to_owned(), json!(batch));
+        params.insert("shards".to_owned(), json!(store.shards()));
+        // Hand-built manifest with the same shape contract as the
+        // engine's RunManifest: everything observational — including
+        // the cache-hit split, which depends on what a previous
+        // (possibly killed) run left behind — lives under
+        // `execution`, so `del(.manifest.execution)` yields a
+        // byte-stable document.
+        let manifest = json!({
+            "engine_version": ENGINE_VERSION,
+            "plan": spec.describe(),
+            "master_seed": seed,
+            "batch_size": batch,
+            "trials": trials,
+            "execution": {
+                "mode": mode,
+                "store": store_path,
+                "threads_requested": threads,
+                "kernel": kernel,
+                "wall_secs": started.elapsed().as_secs_f64(),
+                "computed_cells": totals.computed,
+                "cached_cells": totals.cached,
+                "pending_cells": totals.pending,
+            },
+        });
+        return Ok(render_json(&json_doc(
+            "atlas",
+            Value::Object(params),
+            vec![
+                ("manifest", manifest),
+                (
+                    "atlas",
+                    serde_json::to_value(&atlas).expect("atlas reports serialize"),
+                ),
+            ],
+        )));
+    }
+    Ok(render_atlas_text(
+        &store_path,
+        &store,
+        &spec,
+        &atlas,
+        &totals,
+    ))
+}
+
+/// Human-readable atlas rendering: run summary, verdict totals, and
+/// one row per completed cell.
+fn render_atlas_text(
+    store_path: &str,
+    store: &AtlasStore,
+    spec: &AtlasSpec,
+    atlas: &AtlasReport,
+    totals: &RunTotals,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store           : {store_path} ({} shard(s), {})",
+        store.shards(),
+        atlas.schema
+    );
+    let _ = writeln!(out, "spec            : {}", spec.describe());
+    let _ = writeln!(
+        out,
+        "cells           : {} completed, {} skipped (outside the simplex)",
+        atlas.totals.cells, atlas.totals.skipped
+    );
+    let _ = writeln!(
+        out,
+        "this invocation : {} computed, {} cached, {} pending",
+        totals.computed, totals.cached, totals.pending
+    );
+    let _ = writeln!(
+        out,
+        "theorem 5       : loose at {} cell(s) (best lower < {:.0}% of the upper bound), \
+         beaten at {}",
+        atlas.totals.theorem5_loose,
+        100.0 * nsc_atlas::THEOREM5_LOOSE_THRESHOLD,
+        atlas.totals.theorem5_beaten
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8}  {:<10} {:>7}",
+        "N", "P_d", "P_i", "upper", "thm5", "km", "vtr", "best", "tight"
+    );
+    let opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>8.3}"),
+        None => format!("{:>8}", "-"),
+    };
+    for r in &atlas.cells {
+        let b = &r.result.bounds;
+        let v = &r.result.verdict;
+        let tight = match v.tightness {
+            Some(t) => format!("{:>6.1}%", 100.0 * t),
+            None => format!("{:>7}", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "{:>3} {:>6.3} {:>6.3} {:>8.3} {} {} {}  {:<10} {tight}{}",
+            r.manifest.bits,
+            r.manifest.p_d,
+            r.manifest.p_i,
+            b.upper.value(),
+            opt(b.theorem5.map(|x| x.value())),
+            opt(b.kanoria_montanari.map(|x| x.value())),
+            opt(b.vtr.map(|x| x.value())),
+            v.best_lower_family.as_deref().unwrap_or("-"),
+            if v.theorem5_loose { "  [loose]" } else { "" }
+        );
+    }
+    if totals.pending > 0 {
+        let _ = writeln!(
+            out,
+            "\npartial atlas: {} cell(s) still pending — rerun (or `nsc atlas resume`) \
+             to finish; completed cells are cached and will not re-simulate",
+            totals.pending
+        );
+    }
+    out
 }
 
 /// The endpoints named by `--tcp` / `--unix`, TCP first (the
@@ -2384,6 +2773,40 @@ mod tests {
         let err = run_str(&["bench", "--kernel", "bitslice"]).unwrap_err();
         assert!(err.contains("flag --kernel"), "{err}");
         assert!(err.contains("did you mean `bitsliced`"), "{err}");
+        // Suite typos get a hint too.
+        let err = run_str(&["bench", "--suite", "atlsa"]).unwrap_err();
+        assert!(err.contains("did you mean `atlas`"), "{err}");
+    }
+
+    #[test]
+    fn bench_atlas_suite_reports_cache_rows() {
+        let out = run_str(&[
+            "bench",
+            "--suite",
+            "atlas",
+            "--profile",
+            "quick",
+            "--reps",
+            "1",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let doc = parse_json(&out);
+        let suites = doc["suites"].as_array().unwrap();
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0]["suite"], "atlas");
+        let names: Vec<&str> = suites[0]["results"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["atlas_cold", "atlas_cached"]);
+        for r in suites[0]["results"].as_array().unwrap() {
+            assert_eq!(r["unit"], "cell");
+            assert!(r["median_ns_per_op"].as_f64().unwrap() > 0.0);
+        }
     }
 
     #[test]
@@ -2533,6 +2956,157 @@ mod tests {
         assert!(err.contains("endpoint"), "{err}");
         let err = run_str(&["loadgen", "--trace", "x.jsonl"]).unwrap_err();
         assert!(err.contains("endpoint"), "{err}");
+    }
+
+    /// A scratch store directory for one atlas CLI test.
+    fn atlas_store_dir(tag: &str) -> String {
+        let root =
+            std::env::temp_dir().join(format!("nsc-cli-atlas-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root.to_string_lossy().into_owned()
+    }
+
+    /// Runs `nsc atlas <mode>` on a small fixed grid plus `extra`
+    /// flags, always in `--format json`.
+    fn run_atlas(mode: &str, store: &str, extra: &[&str]) -> CliResult {
+        let mut args = vec![
+            "atlas", mode, "--store", store, "--widths", "1,2", "--p-d", "0:0.5:2", "--p-i",
+            "0:0.5:2", "--trials", "4", "--len", "8", "--seed", "3", "--format", "json",
+        ];
+        args.extend_from_slice(extra);
+        run_str(&args)
+    }
+
+    #[test]
+    fn atlas_fresh_and_resumed_runs_are_byte_identical() {
+        let fresh_dir = atlas_store_dir("fresh");
+        let mut fresh = parse_json(&run_atlas("run", &fresh_dir, &[]).unwrap());
+        assert_eq!(fresh["schema"], JSON_SCHEMA);
+        assert_eq!(fresh["atlas"]["schema"], "nsc-atlas/v1");
+        assert_eq!(fresh["manifest"]["execution"]["cached_cells"], json!(0));
+
+        // Kill after 2 cells, then resume: the cache serves the 2
+        // completed cells and the final document matches byte for
+        // byte once the observational section is stripped.
+        let resumed_dir = atlas_store_dir("resumed");
+        let partial = parse_json(&run_atlas("run", &resumed_dir, &["--max-cells", "2"]).unwrap());
+        assert_eq!(partial["manifest"]["execution"]["computed_cells"], json!(2));
+        assert!(
+            partial["manifest"]["execution"]["pending_cells"]
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        let mut resumed = parse_json(&run_atlas("resume", &resumed_dir, &[]).unwrap());
+        assert_eq!(resumed["manifest"]["execution"]["cached_cells"], json!(2));
+
+        strip_execution(&mut fresh);
+        strip_execution(&mut resumed);
+        assert_eq!(
+            serde_json::to_string(&fresh).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+        let _ = std::fs::remove_dir_all(&resumed_dir);
+    }
+
+    #[test]
+    fn atlas_reports_are_thread_and_kernel_invariant() {
+        let dir_a = atlas_store_dir("scalar");
+        let dir_b = atlas_store_dir("bitsliced");
+        let mut a = parse_json(&run_atlas("run", &dir_a, &["--threads", "1"]).unwrap());
+        let mut b = parse_json(
+            &run_atlas("run", &dir_b, &["--threads", "4", "--kernel", "bitsliced"]).unwrap(),
+        );
+        strip_execution(&mut a);
+        strip_execution(&mut b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn atlas_report_mode_never_simulates_and_needs_a_complete_store() {
+        let dir = atlas_store_dir("report");
+        run_atlas("run", &dir, &["--max-cells", "1"]).unwrap();
+        let err = run_atlas("report", &dir, &[]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+
+        let mut full = parse_json(&run_atlas("resume", &dir, &[]).unwrap());
+        let report = parse_json(&run_atlas("report", &dir, &[]).unwrap());
+        assert_eq!(report["manifest"]["execution"]["computed_cells"], json!(0));
+        assert_eq!(report["manifest"]["execution"]["mode"], json!("report"));
+        // A rerun of a complete store is all cache hits…
+        let rerun = parse_json(&run_atlas("run", &dir, &[]).unwrap());
+        assert_eq!(rerun["manifest"]["execution"]["computed_cells"], json!(0));
+        // …and the atlas body is identical across run/resume/report
+        // (the mode only shows up in manifest.execution).
+        let mut report = report;
+        let mut rerun = rerun;
+        strip_execution(&mut full);
+        strip_execution(&mut report);
+        strip_execution(&mut rerun);
+        assert_eq!(full["atlas"], report["atlas"]);
+        assert_eq!(full["atlas"], rerun["atlas"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atlas_flag_validation() {
+        let dir = atlas_store_dir("flags");
+        // Mode is mandatory and typo'd modes get a hint.
+        assert!(run_str(&["atlas"])
+            .unwrap_err()
+            .contains("run|resume|report"));
+        let err = run_str(&["atlas", "reprot", "--store", &dir]).unwrap_err();
+        assert!(err.contains("did you mean `report`"), "{err}");
+        // report never simulates, so a cell cap is a contradiction.
+        let err = run_atlas("report", &dir, &["--max-cells", "1"]).unwrap_err();
+        assert!(err.contains("--max-cells"), "{err}");
+        // The shard count is fixed at store creation.
+        let err = run_atlas("resume", &dir, &["--shards", "2"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        // resume/report refuse to invent a store.
+        let err = run_atlas("resume", &dir, &[]).unwrap_err();
+        assert!(err.contains("meta.json"), "{err}");
+        // Grid syntax and mechanism gating.
+        let err = run_str(&["atlas", "run", "--store", &dir, "--p-d", "0:0.5"]).unwrap_err();
+        assert!(err.contains("start:end:points"), "{err}");
+        let err = run_str(&["atlas", "run", "--store", &dir, "--mechanism", "wide"]).unwrap_err();
+        assert!(err.contains("kernel-equivalent"), "{err}");
+        let err = run_str(&[
+            "atlas",
+            "run",
+            "--store",
+            &dir,
+            "--mechanism",
+            "counter",
+            "--slot-len",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--slot-len does not apply"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atlas_text_rendering_summarizes_verdicts() {
+        let dir = atlas_store_dir("text");
+        // N = 1 with insertions is the loose regime for Theorem 5.
+        let out = run_str(&[
+            "atlas", "run", "--store", &dir, "--widths", "1", "--p-d", "0", "--p-i", "0:0.45:2",
+            "--trials", "4", "--len", "8",
+        ])
+        .unwrap();
+        assert!(out.contains("store           : "), "{out}");
+        assert!(out.contains("cells           : 2 completed"), "{out}");
+        assert!(out.contains("loose at 1 cell(s)"), "{out}");
+        assert!(out.contains("[loose]"), "{out}");
+        assert!(out.contains("theorem5"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

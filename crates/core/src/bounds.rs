@@ -24,6 +24,31 @@
 //!   `(1 − P_d)/(1 − P_i) · C_conv`.
 //! * [`convergence_ratio`] — equations (6)–(7): with `P_i = P_d` and
 //!   `N → ∞` the lower and upper bounds converge.
+//!
+//! # Bound families beyond the paper
+//!
+//! Theorem 5 is one point in a literature of tighter results; two of
+//! them (both retrieved in PAPERS.md) are implemented here so the
+//! capacity atlas can report where the paper's bound is loose:
+//!
+//! * [`kanoria_montanari_expansion`] — Kanoria–Montanari's
+//!   small-deletion-probability series for the binary deletion
+//!   channel, `C = 1 + p·log2(p) − A₁·p + O(p^{2−ε})`, lifted to
+//!   `N`-bit symbols.
+//! * [`vtr_achievable_rate`] — a Venkataramanan–Tatikonda–Ramchandran
+//!   style achievable rate for combined deletion+insertion channels
+//!   without feedback, from the Gallager-form random-coding baseline
+//!   their results dominate: `1 − H₃(p_d, p_i, 1 − p_d − p_i)` per
+//!   bit.
+//!
+//! [`capacity_bound_families`] evaluates every family at one channel
+//! point with per-family domain gating, and — because independently
+//! derived bounds under different assumptions *can* numerically cross
+//! — reports a crossing as the typed
+//! [`CoreError::CrossedBounds`] instead of a silently negative gap.
+//! Each family's formula carries a version in
+//! [`BOUND_FAMILY_VERSIONS`]; the atlas embeds those versions in its
+//! cell manifests so a formula change invalidates cached cells.
 
 use crate::error::{check_prob, CoreError};
 use nsc_info::entropy::binary_entropy;
@@ -39,7 +64,28 @@ pub struct CapacityBounds {
     pub upper: BitsPerSymbol,
 }
 
+/// Numerical slack granted before two bounds are declared *crossed*:
+/// a lower bound may exceed an upper bound by at most this much and
+/// still be attributed to floating-point round-off.
+const CROSSING_TOLERANCE: f64 = 1e-9;
+
 impl CapacityBounds {
+    /// Builds a certified interval, rejecting a crossed pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CrossedBounds`] when `lower` exceeds
+    /// `upper` by more than floating-point round-off slack.
+    pub fn checked(lower: BitsPerSymbol, upper: BitsPerSymbol) -> Result<Self, CoreError> {
+        if lower.value() > upper.value() + CROSSING_TOLERANCE {
+            return Err(CoreError::CrossedBounds {
+                lower: lower.value(),
+                upper: upper.value(),
+            });
+        }
+        Ok(CapacityBounds { lower, upper })
+    }
+
     /// Width of the interval.
     pub fn gap(&self) -> f64 {
         self.upper.value() - self.lower.value()
@@ -219,12 +265,215 @@ pub fn theorem5_lower_bound(bits: u32, p_d: f64, p_i: f64) -> Result<BitsPerSymb
 /// # Errors
 ///
 /// Propagates the errors of [`theorem5_lower_bound`] and
-/// [`erasure_upper_bound`].
+/// [`erasure_upper_bound`], and returns
+/// [`CoreError::CrossedBounds`] if the two ever numerically cross
+/// (instead of a silently negative [`CapacityBounds::gap`]).
 pub fn capacity_bounds(bits: u32, p_d: f64, p_i: f64) -> Result<CapacityBounds, CoreError> {
-    Ok(CapacityBounds {
-        lower: theorem5_lower_bound(bits, p_d, p_i)?,
-        upper: erasure_upper_bound(bits, p_d)?,
-    })
+    CapacityBounds::checked(
+        theorem5_lower_bound(bits, p_d, p_i)?,
+        erasure_upper_bound(bits, p_d)?,
+    )
+}
+
+/// Formula versions of every implemented bound family, as
+/// `(family name, version)` pairs in a fixed order.
+///
+/// The atlas embeds this map in each cell manifest (and therefore in
+/// each cell's cache key), so bumping a version here invalidates every
+/// cached cell that was computed with the older formula. Bump a
+/// family's version whenever its numerical output changes for *any*
+/// input.
+pub const BOUND_FAMILY_VERSIONS: &[(&str, u32)] = &[
+    ("erasure", 1),
+    ("theorem5", 1),
+    ("kanoria-montanari", 1),
+    ("vtr", 1),
+];
+
+/// Largest deletion probability at which the Kanoria–Montanari series
+/// is served: the expansion is proved for `p → 0` with an `O(p^{2−ε})`
+/// remainder, and past `p ≈ 0.1` the dropped terms are no longer
+/// negligible at the precision the atlas reports.
+pub const KM_MAX_P_D: f64 = 0.1;
+
+/// The first-order coefficient `A₁` of the Kanoria–Montanari
+/// expansion,
+///
+/// `A₁ = log2(2e) − Σ_{l≥1} 2^{−l−1} · l · log2(l) ≈ 1.15416`,
+///
+/// evaluated by direct summation (the tail beyond `l = 64` is below
+/// `2^{−58}` and cannot move an `f64`).
+pub fn kanoria_montanari_a1() -> f64 {
+    let mut sum = 0.0;
+    for l in 1u32..=64 {
+        let lf = f64::from(l);
+        sum += 0.5f64.powi(l as i32 + 1) * lf * lf.log2();
+    }
+    (2.0 * std::f64::consts::E).log2() - sum
+}
+
+/// Kanoria–Montanari small-deletion-probability expansion of the
+/// deletion-channel capacity, lifted to `N`-bit symbols.
+///
+/// For the *binary* deletion channel Kanoria–Montanari prove
+///
+/// `C(p) = 1 + p·log2(p) − A₁·p + O(p^{2−ε})`,
+///
+/// with `A₁` as in [`kanoria_montanari_a1`]. An `N`-bit symbol
+/// deletion channel is a binary deletion channel on the first bit
+/// track plus `N − 1` further bit tracks that are erased exactly when
+/// the symbol is deleted, giving the lift
+///
+/// `C_N(p) = (N − 1)·(1 − p) + C(p)`.
+///
+/// This is a deletion-only family: the caller
+/// ([`capacity_bound_families`]) only serves it at `P_i = 0`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] when `p_d` is not a
+/// probability and [`CoreError::UnsupportedChannel`] when
+/// `p_d > `[`KM_MAX_P_D`] (outside the expansion's trust region).
+pub fn kanoria_montanari_expansion(bits: u32, p_d: f64) -> Result<BitsPerSymbol, CoreError> {
+    check_prob("p_d", p_d)?;
+    if p_d > KM_MAX_P_D {
+        return Err(CoreError::UnsupportedChannel(format!(
+            "Kanoria-Montanari expansion is only trusted for p_d <= {KM_MAX_P_D}, got {p_d}"
+        )));
+    }
+    // p·log2(p) → 0 as p → 0; define the limit value explicitly so
+    // p_d = 0 does not produce 0 · (−inf) = NaN.
+    let p_log_p = if p_d > 0.0 { p_d * p_d.log2() } else { 0.0 };
+    let binary = 1.0 + p_log_p - kanoria_montanari_a1() * p_d;
+    Ok(BitsPerSymbol(
+        (f64::from(bits) - 1.0) * (1.0 - p_d) + binary,
+    ))
+}
+
+/// A Venkataramanan–Tatikonda–Ramchandran style achievable rate for
+/// the combined deletion-insertion channel *without* feedback: the
+/// Gallager-form random-coding baseline their Theorem 1 dominates,
+///
+/// `C ≥ N · max(0, 1 − H₃(P_d, P_i, 1 − P_d − P_i))`,
+///
+/// where `H₃` is the ternary entropy of the per-slot event
+/// (deleted / insertion-replaced / clean). Unlike
+/// [`theorem5_lower_bound`] this needs no feedback channel, so it
+/// lower-bounds a *harder* operating regime; where it exceeds
+/// Theorem 5 the paper's protocol is provably leaving rate unused.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] for invalid probabilities and
+/// [`CoreError::UnsupportedChannel`] when `p_d > 0.5` or `p_i > 0.5`
+/// (outside the random-coding derivation's regime; also exactly the
+/// region where `H(p) ≥ p` makes the rate provably at most the
+/// erasure upper bound).
+pub fn vtr_achievable_rate(bits: u32, p_d: f64, p_i: f64) -> Result<BitsPerSymbol, CoreError> {
+    check_prob("p_d", p_d)?;
+    check_prob("p_i", p_i)?;
+    if p_d > 0.5 || p_i > 0.5 {
+        return Err(CoreError::UnsupportedChannel(format!(
+            "VTR achievable rate is only derived for p_d, p_i <= 0.5, got p_d = {p_d}, p_i = {p_i}"
+        )));
+    }
+    let term = |p: f64| if p > 0.0 { -p * p.log2() } else { 0.0 };
+    let clean = (1.0 - p_d - p_i).max(0.0);
+    let h3 = term(p_d) + term(p_i) + term(clean);
+    Ok(BitsPerSymbol((f64::from(bits) * (1.0 - h3)).max(0.0)))
+}
+
+/// Every implemented bound family evaluated at one channel point.
+///
+/// Lower-bound families whose derivation does not cover the point
+/// (e.g. Kanoria–Montanari at `P_i > 0`, VTR at `P_d > 0.5`) are
+/// `None` rather than extrapolated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundFamilies {
+    /// Erasure-channel upper bound (Theorems 1/4), always defined.
+    pub upper: BitsPerSymbol,
+    /// Theorem 5 lower bound, `None` when `p_i = 1` or
+    /// `p_d + p_i > 1`.
+    pub theorem5: Option<BitsPerSymbol>,
+    /// Kanoria–Montanari expansion, `None` unless `p_i = 0` and
+    /// `p_d ≤ `[`KM_MAX_P_D`].
+    pub kanoria_montanari: Option<BitsPerSymbol>,
+    /// VTR-style achievable rate, `None` when `p_d > 0.5` or
+    /// `p_i > 0.5`.
+    pub vtr: Option<BitsPerSymbol>,
+}
+
+impl BoundFamilies {
+    /// The best (largest) defined lower bound and the name of the
+    /// family that provides it, or `None` if no family covers this
+    /// point. Ties go to the family listed first in
+    /// [`BOUND_FAMILY_VERSIONS`] order, keeping the winner
+    /// deterministic.
+    pub fn best_lower(&self) -> Option<(&'static str, BitsPerSymbol)> {
+        let candidates = [
+            ("theorem5", self.theorem5),
+            ("kanoria-montanari", self.kanoria_montanari),
+            ("vtr", self.vtr),
+        ];
+        let mut best: Option<(&'static str, BitsPerSymbol)> = None;
+        for (name, bound) in candidates {
+            if let Some(b) = bound {
+                if best.is_none_or(|(_, cur)| b.value() > cur.value()) {
+                    best = Some((name, b));
+                }
+            }
+        }
+        best
+    }
+
+    /// Validates that no lower bound crosses the upper bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CrossedBounds`] carrying the offending
+    /// pair when the best lower bound exceeds the upper bound by more
+    /// than floating-point round-off slack.
+    pub fn checked(self) -> Result<Self, CoreError> {
+        if let Some((_, lower)) = self.best_lower() {
+            if lower.value() > self.upper.value() + CROSSING_TOLERANCE {
+                return Err(CoreError::CrossedBounds {
+                    lower: lower.value(),
+                    upper: self.upper.value(),
+                });
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// Evaluates all bound families of [`BOUND_FAMILY_VERSIONS`] at one
+/// channel point, with per-family domain gating: a lower-bound family
+/// that does not cover `(p_d, p_i)` is reported as `None` instead of
+/// being extrapolated outside its derivation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadProbability`] for invalid probabilities and
+/// [`CoreError::CrossedBounds`] if a served lower bound numerically
+/// exceeds the upper bound.
+pub fn capacity_bound_families(bits: u32, p_d: f64, p_i: f64) -> Result<BoundFamilies, CoreError> {
+    check_prob("p_d", p_d)?;
+    check_prob("p_i", p_i)?;
+    let upper = erasure_upper_bound(bits, p_d)?;
+    let theorem5 = theorem5_lower_bound(bits, p_d, p_i).ok();
+    let kanoria_montanari = if p_i == 0.0 {
+        kanoria_montanari_expansion(bits, p_d).ok()
+    } else {
+        None
+    };
+    let vtr = vtr_achievable_rate(bits, p_d, p_i).ok();
+    BoundFamilies {
+        upper,
+        theorem5,
+        kanoria_montanari,
+        vtr,
+    }
+    .checked()
 }
 
 /// Equations (6)–(7): with `P_i = P_d = p`, the ratio
@@ -417,5 +666,195 @@ mod tests {
         };
         assert_eq!(b.tightness(), 1.0);
         assert_eq!(b.gap(), 0.0);
+    }
+
+    #[test]
+    fn crossed_bounds_are_a_typed_error_not_a_negative_gap() {
+        // Satellite: a lower bound exceeding an upper bound must
+        // surface as CoreError::CrossedBounds, never as gap() < 0.
+        let err = CapacityBounds::checked(BitsPerSymbol(1.5), BitsPerSymbol(1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::CrossedBounds {
+                lower: 1.5,
+                upper: 1.0
+            }
+        );
+        // Round-off-scale excess is tolerated, not reported.
+        let ok = CapacityBounds::checked(BitsPerSymbol(1.0 + 1e-12), BitsPerSymbol(1.0)).unwrap();
+        assert!(ok.gap() <= 0.0);
+        // The same typed error comes out of BoundFamilies::checked.
+        let fams = BoundFamilies {
+            upper: BitsPerSymbol(1.0),
+            theorem5: Some(BitsPerSymbol(0.5)),
+            kanoria_montanari: None,
+            vtr: Some(BitsPerSymbol(2.0)),
+        };
+        assert_eq!(
+            fams.checked().unwrap_err(),
+            CoreError::CrossedBounds {
+                lower: 2.0,
+                upper: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn a1_matches_the_literature_value() {
+        // Kanoria–Montanari report A1 ≈ 1.15416.
+        assert!(
+            (kanoria_montanari_a1() - 1.15416).abs() < 1e-4,
+            "A1 = {}",
+            kanoria_montanari_a1()
+        );
+    }
+
+    #[test]
+    fn km_tends_to_one_minus_entropy_as_p_to_zero() {
+        // Satellite limit case: C_KM(p) − (1 − H(p)) =
+        // −A₁·p − (1−p)·log2(1−p) ≈ 0.2885·p, i.e. nonnegative,
+        // O(p), and vanishing as p → 0.
+        let mut last_ratio = 0.0;
+        for &p in &[1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
+            let km = kanoria_montanari_expansion(1, p).unwrap().value();
+            let diff = km - (1.0 - binary_entropy(p));
+            assert!(diff >= 0.0, "p={p}: diff={diff}");
+            assert!(diff <= 0.3 * p, "p={p}: diff={diff} not O(p)");
+            // diff/p converges to 1/ln2 − A₁ ≈ 0.288531 *from below*
+            // (the −p²/(2 ln 2) correction shrinks with p): monotone
+            // increase, bounded by the limit.
+            assert!(diff / p >= last_ratio - 1e-12, "p={p}");
+            assert!(diff / p <= 0.2886, "p={p}: ratio={}", diff / p);
+            last_ratio = diff / p;
+        }
+        // Exact agreement in the p = 0 limit.
+        assert_eq!(kanoria_montanari_expansion(1, 0.0).unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn km_respects_erasure_upper_bound_and_domain() {
+        for bits in [1u32, 2, 4, 8] {
+            for i in 0..=10 {
+                let p = i as f64 * 0.01;
+                let km = kanoria_montanari_expansion(bits, p).unwrap().value();
+                let upper = erasure_upper_bound(bits, p).unwrap().value();
+                assert!(km <= upper + 1e-12, "bits={bits} p={p}: {km} > {upper}");
+            }
+        }
+        // Past the trust region the family refuses to extrapolate.
+        assert!(matches!(
+            kanoria_montanari_expansion(4, 0.2),
+            Err(CoreError::UnsupportedChannel(_))
+        ));
+        assert!(kanoria_montanari_expansion(4, -0.1).is_err());
+    }
+
+    #[test]
+    fn vtr_never_exceeds_erasure_upper_bound() {
+        // Satellite limit case, over the family's whole domain.
+        for bits in [1u32, 2, 4, 8, 16] {
+            for i in 0..=10 {
+                for j in 0..=10 {
+                    let p_d = i as f64 * 0.05;
+                    let p_i = j as f64 * 0.05;
+                    let vtr = vtr_achievable_rate(bits, p_d, p_i).unwrap().value();
+                    let upper = erasure_upper_bound(bits, p_d).unwrap().value();
+                    assert!(
+                        vtr <= upper + 1e-12,
+                        "bits={bits} p_d={p_d} p_i={p_i}: {vtr} > {upper}"
+                    );
+                }
+            }
+        }
+        assert!(matches!(
+            vtr_achievable_rate(4, 0.6, 0.0),
+            Err(CoreError::UnsupportedChannel(_))
+        ));
+        assert!(matches!(
+            vtr_achievable_rate(4, 0.0, 0.6),
+            Err(CoreError::UnsupportedChannel(_))
+        ));
+    }
+
+    #[test]
+    fn all_families_agree_on_the_noiseless_channel() {
+        // Satellite limit case: at P_d = P_i = 0 every family is
+        // exactly the synchronous capacity N.
+        for bits in [1u32, 2, 4, 8, 16] {
+            let f = capacity_bound_families(bits, 0.0, 0.0).unwrap();
+            let n = f64::from(bits);
+            assert_eq!(f.upper.value(), n);
+            assert_eq!(f.theorem5.unwrap().value(), n);
+            assert_eq!(f.kanoria_montanari.unwrap().value(), n);
+            assert_eq!(f.vtr.unwrap().value(), n);
+        }
+    }
+
+    #[test]
+    fn families_are_domain_gated() {
+        // Insertions disable the deletion-only KM expansion.
+        let f = capacity_bound_families(4, 0.05, 0.1).unwrap();
+        assert!(f.kanoria_montanari.is_none());
+        assert!(f.theorem5.is_some());
+        assert!(f.vtr.is_some());
+        // Heavy deletions disable VTR and KM but not Theorem 5.
+        let f = capacity_bound_families(4, 0.7, 0.1).unwrap();
+        assert!(f.vtr.is_none());
+        assert!(f.kanoria_montanari.is_none());
+        assert!(f.theorem5.is_some());
+        // Off the simplex only the upper bound survives.
+        let f = capacity_bound_families(4, 0.7, 0.6).unwrap();
+        assert!(f.theorem5.is_none());
+        assert!(f.best_lower().is_none());
+    }
+
+    #[test]
+    fn best_lower_picks_the_largest_family_deterministically() {
+        let f = BoundFamilies {
+            upper: BitsPerSymbol(4.0),
+            theorem5: Some(BitsPerSymbol(2.0)),
+            kanoria_montanari: Some(BitsPerSymbol(3.0)),
+            vtr: Some(BitsPerSymbol(1.0)),
+        };
+        assert_eq!(
+            f.best_lower(),
+            Some(("kanoria-montanari", BitsPerSymbol(3.0)))
+        );
+        // Ties go to the earlier family in BOUND_FAMILY_VERSIONS
+        // order.
+        let f = BoundFamilies {
+            upper: BitsPerSymbol(4.0),
+            theorem5: Some(BitsPerSymbol(3.0)),
+            kanoria_montanari: Some(BitsPerSymbol(3.0)),
+            vtr: None,
+        };
+        assert_eq!(f.best_lower(), Some(("theorem5", BitsPerSymbol(3.0))));
+    }
+
+    #[test]
+    fn bound_family_versions_cover_every_family() {
+        let names: Vec<&str> = BOUND_FAMILY_VERSIONS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["erasure", "theorem5", "kanoria-montanari", "vtr"],
+            "BOUND_FAMILY_VERSIONS drifted from the implemented set"
+        );
+        assert!(BOUND_FAMILY_VERSIONS.iter().all(|&(_, v)| v >= 1));
+    }
+
+    #[test]
+    fn families_checked_on_the_sweep_grid() {
+        // No family crossing anywhere on the standard grid: the
+        // gating regions were chosen so each family is provably below
+        // the erasure bound on its own domain.
+        for bits in [1u32, 4, 8] {
+            for i in 0..20 {
+                for j in 0..20 {
+                    let p_d = i as f64 * 0.05;
+                    let p_i = j as f64 * 0.05;
+                    capacity_bound_families(bits, p_d, p_i).unwrap();
+                }
+            }
+        }
     }
 }

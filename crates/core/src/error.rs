@@ -28,6 +28,21 @@ pub enum CoreError {
     /// The trial engine failed to execute a run (e.g. a worker died
     /// before delivering its batch).
     Engine(String),
+    /// A lower capacity bound numerically exceeded an upper bound.
+    ///
+    /// Mathematically impossible inside one consistent model, but
+    /// reachable once *multiple* bound families with different
+    /// assumptions (feedback vs none, series expansions with
+    /// truncation error) are evaluated on the same channel point —
+    /// exactly the situation the capacity atlas creates. Surfacing it
+    /// as a typed error keeps a crossing from hiding inside a
+    /// silently negative interval width.
+    CrossedBounds {
+        /// The offending lower bound, bits per symbol slot.
+        lower: f64,
+        /// The upper bound it exceeded, bits per symbol slot.
+        upper: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +56,11 @@ impl fmt::Display for CoreError {
             CoreError::Channel(e) => write!(f, "channel error: {e}"),
             CoreError::Numeric(e) => write!(f, "numerical error: {e}"),
             CoreError::Engine(msg) => write!(f, "engine failure: {msg}"),
+            CoreError::CrossedBounds { lower, upper } => write!(
+                f,
+                "crossed capacity bounds: lower bound {lower} bits/slot exceeds \
+                 upper bound {upper} bits/slot"
+            ),
         }
     }
 }
@@ -97,6 +117,10 @@ mod tests {
             CoreError::Channel(ChannelError::BadSymbolWidth(0)),
             CoreError::Numeric(InfoError::InvalidProbability(3.0)),
             CoreError::Engine("batch 3 produced no result".to_owned()),
+            CoreError::CrossedBounds {
+                lower: 1.5,
+                upper: 1.0,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
