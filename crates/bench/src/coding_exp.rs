@@ -5,6 +5,10 @@
 //! feedback capacity `1 − p_d` of Theorem 3 — reproducing the paper's
 //! qualitative claim that non-synchronized communication is possible
 //! but far less effective and needs sophisticated codes.
+//!
+//! Decoding runs through `evaluate_codec`'s scratch-reused hot path
+//! (one `CodecScratch` per evaluation point, DESIGN §13), so the
+//! sweep allocates per frame only on the encode side.
 
 use crate::table::{f4, Table};
 use nsc_coding::conv::ConvCode;

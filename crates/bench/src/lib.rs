@@ -26,11 +26,13 @@
 //! `experiments` binary prints all tables; `EXPERIMENTS.md` archives
 //! a run.
 //!
-//! Two support modules sit beside the experiments: [`setup`] holds
+//! Three support modules sit beside the experiments: [`setup`] holds
 //! the deterministic fixtures shared by the criterion benches and
-//! the regression suites, and [`perf`] holds the in-process
+//! the regression suites, [`perf`] holds the in-process
 //! micro-benchmark suites behind `nsc bench` and
-//! `scripts/bench_export`.
+//! `scripts/bench_export`, and [`seed_decode`] freezes the
+//! pre-optimization watermark decode path as the `coding` suite's
+//! reference kernel.
 
 pub mod ablation_exp;
 pub mod baseline_exp;
@@ -41,6 +43,7 @@ pub mod json_out;
 pub mod perf;
 pub mod protocol_exp;
 pub mod sched_exp;
+pub mod seed_decode;
 pub mod setup;
 pub mod table;
 pub mod timing_exp;

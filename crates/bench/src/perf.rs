@@ -7,12 +7,14 @@
 //! repetitions, cheap enough to run in CI on every push. `nsc bench`
 //! drives them, and `scripts/bench_export` turns the JSON into the
 //! committed `BENCH_engine.json` / `BENCH_trace.json` /
-//! `BENCH_atlas.json` baselines and checks fresh runs against them.
+//! `BENCH_atlas.json` / `BENCH_coding.json` baselines and checks
+//! fresh runs against them.
 //!
 //! Absolute ns/op is only comparable on the machine recorded in the
 //! result's fingerprint. The ratios between kernels of one run —
 //! `trial_rng` vs `std_rng`, `trace_write_manual` vs
-//! `trace_write_serde`, `atlas_cached` vs `atlas_cold` — are
+//! `trace_write_serde`, `atlas_cached` vs `atlas_cold`,
+//! `decode_watermark_scratch` vs `decode_watermark_seed` — are
 //! comparable anywhere, which is what the CI guards lean on.
 
 use crate::setup::{serialized_trace, synthetic_events};
@@ -91,6 +93,14 @@ impl Profile {
             Profile::Full => (vec![1, 2, 4], 3, 32, 256),
         }
     }
+
+    /// Coding kernel size: (data bits per frame, frames per rep).
+    fn coding(self) -> (usize, usize) {
+        match self {
+            Profile::Quick => (64, 2),
+            Profile::Full => (200, 4),
+        }
+    }
 }
 
 /// One timed kernel.
@@ -109,7 +119,7 @@ pub struct BenchResult {
 /// One suite's report: every kernel at one profile.
 #[derive(Debug, Clone, Serialize)]
 pub struct SuiteReport {
-    /// Suite name: `engine`, `trace`, or `atlas`.
+    /// Suite name: `engine`, `trace`, `atlas`, or `coding`.
     pub suite: String,
     /// Profile the kernels ran at.
     pub profile: String,
@@ -373,6 +383,101 @@ pub fn atlas_suite(profile: Profile, reps: usize) -> SuiteReport {
     }
 }
 
+/// The coding suite: the frozen pre-optimization watermark decode
+/// chain ([`crate::seed_decode`]) against the current allocating
+/// wrapper and the scratch-reused hot path, on identical noisy
+/// frames, plus the end-to-end engine-routed coded campaign. The
+/// `decode_watermark_scratch` / `decode_watermark_seed` ratio is the
+/// DESIGN §13 headline number, and `scripts/bench_export` guards it
+/// at ≥3×.
+///
+/// # Panics
+///
+/// Never in practice: the deletion rate is mild enough that every
+/// pre-built frame decodes, and the campaign plan is validated.
+#[must_use]
+pub fn coding_suite(profile: Profile, reps: usize) -> SuiteReport {
+    use crate::seed_decode::SeedWatermarkDecoder;
+    use nsc_channel::alphabet::{Alphabet, Symbol};
+    use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+    use nsc_coding::campaign::{run_coded_campaign, CodedPlan};
+    use nsc_coding::conv::ConvCode;
+    use nsc_coding::rate::Codec;
+    use nsc_coding::watermark::{WatermarkCode, WatermarkScratch};
+
+    let (k, frames) = profile.coding();
+    let (p_d, p_i, p_s) = (0.03, 0.0, 0.0);
+    let codec = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 99).unwrap();
+    let reference = SeedWatermarkDecoder::standard(3, 99);
+    let channel = DeletionInsertionChannel::new(
+        Alphabet::binary(),
+        DiParams::new(p_d, p_i, p_s).unwrap(),
+    );
+    // Pre-build the noisy frames so the kernels time decoding only.
+    let received: Vec<Vec<bool>> = (0..frames as u64)
+        .map(|f| {
+            let data =
+                nsc_coding::bits::random_bits(k, &mut StdRng::seed_from_u64(f));
+            let sent = codec.encode(&data).unwrap();
+            let symbols: Vec<Symbol> = sent
+                .iter()
+                .map(|&b| Symbol::from_index(u32::from(b)))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(1_000 + f);
+            channel
+                .transmit(&symbols, &mut rng)
+                .received
+                .iter()
+                .map(|s| s.index() == 1)
+                .collect()
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    results.push(measure("decode_watermark_seed", "frame", reps, || {
+        for frame in &received {
+            black_box(reference.decode(frame, k, p_d, p_i, p_s).unwrap().len());
+        }
+        frames as u64
+    }));
+    results.push(measure("decode_watermark_alloc", "frame", reps, || {
+        for frame in &received {
+            black_box(codec.decode(frame, k, p_d, p_i, p_s).unwrap().len());
+        }
+        frames as u64
+    }));
+    let mut scratch = WatermarkScratch::new();
+    let mut out = Vec::new();
+    results.push(measure("decode_watermark_scratch", "frame", reps, || {
+        for frame in &received {
+            codec
+                .decode_into(&mut scratch, frame, k, p_d, p_i, p_s, &mut out)
+                .unwrap();
+            black_box(out.len());
+        }
+        frames as u64
+    }));
+    let plan = CodedPlan {
+        data_bits: k,
+        p_d,
+        p_i,
+        p_s,
+    };
+    let campaign_codec = Codec::Watermark(codec.clone());
+    let cfg = EngineConfig::serial(7);
+    results.push(measure("coded_campaign", "trial", reps, || {
+        let (summary, _) = run_coded_campaign(&cfg, &campaign_codec, &plan, frames).unwrap();
+        black_box(summary.effective_rate);
+        frames as u64
+    }));
+    SuiteReport {
+        suite: "coding".to_owned(),
+        profile: profile.name().to_owned(),
+        reps,
+        results,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +545,22 @@ mod tests {
             assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
             assert!(r.ops > 0, "{}: {r:?}", r.name);
             assert_eq!(r.unit, "cell");
+        }
+
+        let coding = coding_suite(Profile::Quick, 1);
+        let names: Vec<&str> = coding.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "decode_watermark_seed",
+                "decode_watermark_alloc",
+                "decode_watermark_scratch",
+                "coded_campaign"
+            ]
+        );
+        for r in &coding.results {
+            assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
+            assert!(r.ops > 0, "{}: {r:?}", r.name);
         }
     }
 

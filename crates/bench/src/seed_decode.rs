@@ -1,0 +1,399 @@
+//! The pre-optimization watermark decode path, preserved as the
+//! `coding` bench suite's reference kernel.
+//!
+//! This is a faithful copy of the decode chain as it stood before
+//! the allocation-free banded rewrite (DESIGN §13): a `Vec<Row>`
+//! drift lattice with per-row heap allocation and bounds-checked
+//! `get`/`add` banded access, a backward pass that allocates a `vals`
+//! buffer per row, and a Viterbi decoder that allocates its survivor
+//! matrix and per-branch output vectors per call. The `coding` suite
+//! times it against `WatermarkCode::decode_into` on the same frames,
+//! and `scripts/bench_export` guards the ratio — the same pattern as
+//! `trace_write_serde` vs `trace_write_manual`.
+//!
+//! Keep the body in sync with nothing: it is intentionally frozen.
+
+use nsc_coding::CodingError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A banded row of lattice probabilities: `probs[j - lo]` holds the
+/// value for received-position `j`.
+#[derive(Debug, Clone)]
+struct Row {
+    lo: usize,
+    probs: Vec<f64>,
+}
+
+impl Row {
+    fn zeros(lo: usize, hi: usize) -> Row {
+        Row {
+            lo,
+            probs: vec![0.0; hi.saturating_sub(lo) + 1],
+        }
+    }
+
+    #[inline]
+    fn get(&self, j: usize) -> f64 {
+        if j < self.lo || j >= self.lo + self.probs.len() {
+            0.0
+        } else {
+            self.probs[j - self.lo]
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, j: usize, v: f64) {
+        if j >= self.lo && j < self.lo + self.probs.len() {
+            self.probs[j - self.lo] += v;
+        }
+    }
+
+    fn normalize(&mut self) -> f64 {
+        let sum: f64 = self.probs.iter().sum();
+        if sum > 0.0 {
+            for p in &mut self.probs {
+                *p /= sum;
+            }
+        }
+        sum
+    }
+}
+
+/// The effective probability that a received data-carrying bit
+/// differs from the watermark bit.
+fn effective_flip(f: f64, p_s: f64) -> f64 {
+    f * (1.0 - p_s) + (1.0 - f) * p_s
+}
+
+/// The seed watermark decoder: sparse watermark inner code over a
+/// rate-1/v convolutional outer code, decoded with the frozen
+/// pre-optimization row-allocating lattice and allocating Viterbi.
+#[derive(Debug, Clone)]
+pub struct SeedWatermarkDecoder {
+    constraint: u32,
+    generators: Vec<u32>,
+    block_len: usize,
+    watermark_seed: u64,
+}
+
+impl SeedWatermarkDecoder {
+    /// A decoder matching `WatermarkCode::new(standard_half_rate(),
+    /// block_len, watermark_seed)`.
+    #[must_use]
+    pub fn standard(block_len: usize, watermark_seed: u64) -> Self {
+        SeedWatermarkDecoder {
+            constraint: 3,
+            generators: vec![0o7, 0o5],
+            block_len,
+            watermark_seed,
+        }
+    }
+
+    fn outputs_per_input(&self) -> usize {
+        self.generators.len()
+    }
+
+    fn tail_bits(&self) -> usize {
+        (self.constraint - 1) as usize
+    }
+
+    fn coded_len(&self, k: usize) -> usize {
+        (k + self.tail_bits()) * self.outputs_per_input()
+    }
+
+    /// Transmitted frame length for `k` data bits.
+    #[must_use]
+    pub fn frame_len(&self, k: usize) -> usize {
+        self.coded_len(k) * self.block_len
+    }
+
+    /// Decodes a received stream exactly like the seed
+    /// `WatermarkCode::decode` did.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice and Viterbi errors, as the seed did.
+    pub fn decode(
+        &self,
+        received: &[bool],
+        k: usize,
+        p_d: f64,
+        p_i: f64,
+        p_s: f64,
+    ) -> Result<Vec<bool>, CodingError> {
+        let frame_len = self.frame_len(k);
+        let mut rng = StdRng::seed_from_u64(self.watermark_seed);
+        let w: Vec<bool> = (0..frame_len).map(|_| rng.gen::<bool>()).collect();
+        let priors: Vec<f64> = (0..frame_len)
+            .map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 })
+            .collect();
+        let post = seed_posteriors(p_d, p_i, p_s, &w, &priors, received)?;
+        let coded_len = self.coded_len(k);
+        let mut llrs = Vec::with_capacity(coded_len);
+        for b in 0..coded_len {
+            let p1 = post[b * self.block_len].clamp(1e-12, 1.0 - 1e-12);
+            llrs.push(((1.0 - p1) / p1).ln());
+        }
+        self.decode_soft(&llrs)
+    }
+
+    fn output_for(&self, state: u32, input: bool) -> Vec<bool> {
+        let reg = (state << 1) | input as u32;
+        self.generators
+            .iter()
+            .map(|&g| (reg & g).count_ones() % 2 == 1)
+            .collect()
+    }
+
+    /// The seed soft Viterbi: per-step survivor rows and per-branch
+    /// output vectors allocated on the heap.
+    fn decode_soft(&self, llrs: &[f64]) -> Result<Vec<bool>, CodingError> {
+        let v = self.outputs_per_input();
+        if !llrs.len().is_multiple_of(v) || llrs.len() / v < self.tail_bits() {
+            return Err(CodingError::BadLength {
+                got: llrs.len(),
+                need: format!("a positive multiple of {v} covering the tail"),
+            });
+        }
+        let steps = llrs.len() / v;
+        let n_states = 1usize << (self.constraint - 1);
+        let neg_inf = f64::NEG_INFINITY;
+        let mut metric = vec![neg_inf; n_states];
+        metric[0] = 0.0;
+        let mut survivors: Vec<Vec<(u32, bool)>> = Vec::with_capacity(steps);
+        let mask = (n_states - 1) as u32;
+        for t in 0..steps {
+            let group = &llrs[t * v..(t + 1) * v];
+            let mut next = vec![neg_inf; n_states];
+            let mut surv = vec![(0u32, false); n_states];
+            for (s, &m) in metric.iter().enumerate() {
+                if m == neg_inf {
+                    continue;
+                }
+                for input in [false, true] {
+                    let out = self.output_for(s as u32, input);
+                    let branch: f64 = out
+                        .iter()
+                        .zip(group)
+                        .map(|(&b, &l)| if b { -l } else { l })
+                        .sum();
+                    let ns = (((s as u32) << 1) | input as u32) & mask;
+                    let cand = m + branch;
+                    if cand > next[ns as usize] {
+                        next[ns as usize] = cand;
+                        surv[ns as usize] = (s as u32, input);
+                    }
+                }
+            }
+            metric = next;
+            survivors.push(surv);
+        }
+        let mut state = 0u32;
+        let mut bits = Vec::with_capacity(steps);
+        for t in (0..steps).rev() {
+            let (prev, input) = survivors[t][state as usize];
+            bits.push(input);
+            state = prev;
+        }
+        bits.reverse();
+        bits.truncate(steps - self.tail_bits());
+        Ok(bits)
+    }
+}
+
+/// The seed forward–backward pass: one heap-allocated `Row` per
+/// lattice row per pass, plus a fresh `vals` buffer per backward row.
+#[allow(clippy::too_many_lines)]
+fn seed_posteriors(
+    p_d: f64,
+    p_i: f64,
+    p_s: f64,
+    watermark: &[bool],
+    priors: &[f64],
+    received: &[bool],
+) -> Result<Vec<f64>, CodingError> {
+    let n = watermark.len();
+    let m = received.len();
+    let max_ins = if p_i == 0.0 {
+        0
+    } else {
+        let mut k = 1usize;
+        let mut mass = p_i;
+        while mass > 1e-9 && k < 24 {
+            mass *= p_i;
+            k += 1;
+        }
+        k
+    };
+    let slack = 12usize;
+    if m > n * (max_ins + 1) {
+        return Err(CodingError::DecodeFailure(format!(
+            "received {m} bits but at most {} are reachable",
+            n * (max_ins + 1)
+        )));
+    }
+    let diffusion = (4.0 * (n as f64 * (p_d + p_i)).sqrt()).ceil() as usize;
+    let hw = n.abs_diff(m) + diffusion + slack;
+    let band = |i: usize| {
+        let center = (i * m + n / 2) / n;
+        let lo = center.saturating_sub(hw);
+        let hi = (center + hw).min(m);
+        (lo, hi)
+    };
+    let p_t = 1.0 - p_d - p_i;
+    let ins_weight: Vec<f64> = (0..=max_ins)
+        .scan(1.0f64, |acc, _| {
+            let w = *acc;
+            *acc *= p_i * 0.5;
+            Some(w)
+        })
+        .collect();
+
+    // ---- Forward pass ----
+    let mut alpha: Vec<Row> = Vec::with_capacity(n + 1);
+    {
+        let (lo, hi) = band(0);
+        let mut row = Row::zeros(lo, hi);
+        row.add(0, 1.0);
+        alpha.push(row);
+    }
+    for i in 0..n {
+        let (lo, hi) = band(i + 1);
+        let mut next = Row::zeros(lo, hi);
+        let f_eff = effective_flip(priors[i], p_s);
+        let cur = &alpha[i];
+        for (off, &a) in cur.probs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let j = cur.lo + off;
+            for (k, &wk) in ins_weight.iter().enumerate() {
+                if j + k > m {
+                    break;
+                }
+                let base = a * wk;
+                next.add(j + k, base * p_d);
+                if j + k < m {
+                    let e = if received[j + k] == watermark[i] {
+                        1.0 - f_eff
+                    } else {
+                        f_eff
+                    };
+                    next.add(j + k + 1, base * p_t * e);
+                }
+            }
+        }
+        next.normalize();
+        alpha.push(next);
+    }
+    if alpha[n].get(m) == 0.0 {
+        return Err(CodingError::DecodeFailure(
+            "no drift path reaches the received length (widen the band or check parameters)"
+                .to_owned(),
+        ));
+    }
+
+    // ---- Backward pass ----
+    let mut beta: Vec<Row> = (0..=n)
+        .map(|i| {
+            let (lo, hi) = band(i);
+            Row::zeros(lo, hi)
+        })
+        .collect();
+    beta[n].add(m, 1.0);
+    for i in (0..n).rev() {
+        let f_eff = effective_flip(priors[i], p_s);
+        let (lo, hi) = (beta[i].lo, beta[i].lo + beta[i].probs.len() - 1);
+        let mut vals = vec![0.0f64; hi - lo + 1];
+        for (idx, v) in vals.iter_mut().enumerate() {
+            let j = lo + idx;
+            let mut acc = 0.0;
+            for (k, &wk) in ins_weight.iter().enumerate() {
+                if j + k > m {
+                    break;
+                }
+                acc += wk * p_d * beta[i + 1].get(j + k);
+                if j + k < m {
+                    let e = if received[j + k] == watermark[i] {
+                        1.0 - f_eff
+                    } else {
+                        f_eff
+                    };
+                    acc += wk * p_t * e * beta[i + 1].get(j + k + 1);
+                }
+            }
+            *v = acc;
+        }
+        beta[i].probs.copy_from_slice(&vals);
+        beta[i].normalize();
+    }
+
+    // ---- Posteriors ----
+    let mut post = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = priors[i];
+        let cur = &alpha[i];
+        let nxt = &beta[i + 1];
+        let mut mass = [0.0f64; 2];
+        for (off, &a) in cur.probs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let j = cur.lo + off;
+            for (k, &wk) in ins_weight.iter().enumerate() {
+                if j + k > m {
+                    break;
+                }
+                let base = a * wk;
+                let del = base * p_d * nxt.get(j + k);
+                mass[0] += del * (1.0 - f);
+                mass[1] += del * f;
+                if j + k < m {
+                    let b = nxt.get(j + k + 1);
+                    if b > 0.0 {
+                        let tx = base * p_t * b;
+                        let e0 = if received[j + k] == watermark[i] {
+                            1.0 - p_s
+                        } else {
+                            p_s
+                        };
+                        let e1 = if received[j + k] == watermark[i] {
+                            p_s
+                        } else {
+                            1.0 - p_s
+                        };
+                        mass[0] += tx * (1.0 - f) * e0;
+                        mass[1] += tx * f * e1;
+                    }
+                }
+            }
+        }
+        let total = mass[0] + mass[1];
+        post.push(if total > 0.0 { mass[1] / total } else { f });
+    }
+    Ok(post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_coding::conv::ConvCode;
+    use nsc_coding::watermark::WatermarkCode;
+
+    #[test]
+    fn seed_decoder_matches_current_codec_on_clean_frames() {
+        // The frozen reference must decode frames produced by the
+        // current encoder: same watermark stream, same framing.
+        let codec = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 99).unwrap();
+        let seed = SeedWatermarkDecoder::standard(3, 99);
+        let data: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let sent = codec.encode(&data).unwrap();
+        assert_eq!(seed.frame_len(40), sent.len());
+        assert_eq!(seed.decode(&sent, 40, 0.0, 0.0, 0.0).unwrap(), data);
+        assert_eq!(
+            codec.decode(&sent, 40, 0.0, 0.0, 0.0).unwrap(),
+            seed.decode(&sent, 40, 0.0, 0.0, 0.0).unwrap()
+        );
+    }
+}

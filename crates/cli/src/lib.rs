@@ -17,7 +17,11 @@
 //!   stationarity verdict.
 //! * `stc` — Shannon/Moskowitz noiseless timing capacity from symbol
 //!   durations.
-//! * `bench` — the in-process engine/trace/atlas hot-path
+//! * `coded` — an engine-scale coded campaign: encode → deletion-
+//!   insertion channel → scratch-reused decode for one §4.1 codec,
+//!   reporting BER / frame-success / effective-rate statistics that
+//!   are bit-identical at any `--threads` and `--decoder` setting.
+//! * `bench` — the in-process engine/trace/atlas/coding hot-path
 //!   micro-benchmark suites (median ns/op plus a machine
 //!   fingerprint), feeding the `scripts/bench_export` regression
 //!   harness.
@@ -53,6 +57,13 @@
 
 use nsc_atlas::{AtlasReport, AtlasSpec, AtlasStore, RunTotals, DEFAULT_SHARDS};
 use nsc_bench::perf::{self, Profile, SuiteReport};
+use nsc_coding::campaign::{run_coded_campaign_with, CodedPlan, DecoderBackend};
+use nsc_coding::conv::ConvCode;
+use nsc_coding::marker::MarkerCode;
+use nsc_coding::rate::Codec;
+use nsc_coding::repetition::RepetitionCode;
+use nsc_coding::watermark::WatermarkCode;
+use nsc_coding::watermark_ldpc::LdpcWatermarkCode;
 use nsc_core::bounds::{capacity_bounds, converted_channel_capacity};
 use nsc_core::degradation::SeverityPolicy;
 use nsc_core::engine::{
@@ -102,6 +113,7 @@ pub fn run(args: &[String]) -> CliResult {
         "record" => cmd_record(rest),
         "estimate" => cmd_estimate(rest),
         "stc" => cmd_stc(rest),
+        "coded" => cmd_coded(rest),
         "bench" => cmd_bench(rest),
         "atlas" => cmd_atlas(rest),
         "serve" => cmd_serve(rest),
@@ -156,6 +168,14 @@ pub fn usage() -> String {
          and likelihood-ratio 95% intervals, the Theorem 1/4 upper bound,\n\
          the Theorem 5 lower bound, and a windowed change-point scan;\n\
          `estimate --trace -` reads the trace from stdin.\n\
+         \n\
+         `coded` runs the §4.1 coded pipeline at engine scale: each trial\n\
+         encodes a random frame, transmits it through the binary\n\
+         deletion-insertion channel, and decodes it through the\n\
+         scratch-reused hot path, reporting BER, frame success, and the\n\
+         effective rate next to the nominal code rate. Summaries are\n\
+         bit-identical at any --threads and --decoder setting; the\n\
+         decoder backend is recorded only in manifest.execution.\n\
          \n\
          `atlas run` surveys every bound family (Theorem 4 erasure upper\n\
          bound, Theorem 5, the Kanoria-Montanari small-deletion expansion,\n\
@@ -393,10 +413,59 @@ const STC_FLAGS: &[FlagSpec] = &[
     FORMAT_FLAG,
 ];
 
+const CODED_FLAGS: &[FlagSpec] = &[
+    flag(
+        "codec",
+        "C",
+        true,
+        "watermark | watermark-ldpc | marker | repetition | sequential",
+    ),
+    flag(
+        "data-bits",
+        "K",
+        false,
+        "data bits per frame (default 64; must be positive)",
+    ),
+    flag("p-d", "X", true, "deletion probability per coded bit"),
+    flag(
+        "p-i",
+        "Y",
+        false,
+        "insertion probability per channel use (default 0)",
+    ),
+    flag(
+        "p-s",
+        "Z",
+        false,
+        "substitution probability per transmitted bit (default 0)",
+    ),
+    flag("trials", "K", false, "frames to simulate (default 32)"),
+    flag("seed", "S", false, "engine master seed (default 0)"),
+    flag(
+        "threads",
+        "T",
+        false,
+        "worker threads, 0 = one per core (default 0)",
+    ),
+    flag(
+        "block-len",
+        "B",
+        false,
+        "watermark sparse block length (default 3; watermark codecs only)",
+    ),
+    flag(
+        "decoder",
+        "scratch|allocating",
+        false,
+        "decode entry points to exercise (default scratch); summaries are bit-identical either way",
+    ),
+    FORMAT_FLAG,
+];
+
 const BENCH_FLAGS: &[FlagSpec] = &[
     flag(
         "suite",
-        "engine|trace|atlas|all",
+        "engine|trace|atlas|coding|all",
         false,
         "which suite to run (default all)",
     ),
@@ -586,9 +655,14 @@ const SUBCOMMANDS: &[(&str, &[FlagSpec], &str)] = &[
     ),
     ("stc", STC_FLAGS, "noiseless timing capacity"),
     (
+        "coded",
+        CODED_FLAGS,
+        "engine-scale coded campaign over the deletion-insertion channel",
+    ),
+    (
         "bench",
         BENCH_FLAGS,
-        "engine/trace/atlas hot-path micro-benchmarks",
+        "engine/trace/atlas/coding hot-path micro-benchmarks",
     ),
     (
         "atlas",
@@ -1332,6 +1406,160 @@ fn cmd_stc(args: &[String]) -> CliResult {
     ))
 }
 
+/// Rejects a probability flag outside `[0, 1]` at the flag boundary,
+/// in the standard flag-diagnostic format (mirroring
+/// [`reject_non_finite`]).
+fn reject_out_of_range(name: &str, value: f64) -> Result<f64, String> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(format!(
+            "flag --{name}: probability must be in [0, 1], got `{value}`"
+        ))
+    }
+}
+
+/// Builds the `--codec` instance for `nsc coded`. Construction seeds
+/// are fixed, so the codec — and therefore the campaign summary — is
+/// a pure function of the flags.
+fn parse_codec(raw: &str, data_bits: usize, block_len: usize) -> Result<Codec, String> {
+    match raw {
+        "watermark" => Ok(Codec::Watermark(
+            WatermarkCode::new(ConvCode::standard_half_rate(), block_len, 0xBEEF)
+                .map_err(|e| format!("flag --block-len: {e}"))?,
+        )),
+        "watermark-ldpc" => Ok(Codec::LdpcWatermark(
+            LdpcWatermarkCode::new(data_bits, data_bits, 3, block_len, 0xBEEF)
+                .map_err(|e| e.to_string())?,
+        )),
+        "marker" => Ok(Codec::Marker(MarkerCode::default_params())),
+        "repetition" => Ok(Codec::Repetition(
+            RepetitionCode::new(5).expect("odd factor"),
+        )),
+        "sequential" => Ok(Codec::Sequential {
+            code: ConvCode::standard_half_rate(),
+            max_expansions: 100_000,
+        }),
+        other => Err(format!(
+            "flag --codec: expected `watermark`, `watermark-ldpc`, `marker`, `repetition`, or `sequential`, got `{other}`{}",
+            value_suggestion(
+                other,
+                &["watermark", "watermark-ldpc", "marker", "repetition", "sequential"]
+            )
+        )),
+    }
+}
+
+/// `nsc coded` — an engine-scale coded campaign: encode → deletion-
+/// insertion channel → scratch-reused decode (DESIGN §13).
+fn cmd_coded(args: &[String]) -> CliResult {
+    let flags = parse_flags("coded", CODED_FLAGS, args)?;
+    let format = output_format(&flags)?;
+    let codec_name: String = need(&flags, "codec")?;
+    let data_bits: usize = optional(&flags, "data-bits", 64)?;
+    if data_bits == 0 {
+        return Err(
+            "flag --data-bits: a frame must carry at least one data bit, got `0`".to_owned(),
+        );
+    }
+    let p_d = reject_out_of_range("p-d", need_finite(&flags, "p-d")?)?;
+    let p_i = reject_out_of_range("p-i", optional_finite(&flags, "p-i", 0.0)?)?;
+    let p_s = reject_out_of_range("p-s", optional_finite(&flags, "p-s", 0.0)?)?;
+    let trials: usize = optional(&flags, "trials", 32)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+    let seed: u64 = optional(&flags, "seed", 0)?;
+    let threads: usize = optional(&flags, "threads", 0)?;
+    let block_len: usize = optional(&flags, "block-len", 3)?;
+    if flags.contains_key("block-len")
+        && !matches!(codec_name.as_str(), "watermark" | "watermark-ldpc")
+    {
+        return Err(format!(
+            "flag --block-len does not apply to codec `{codec_name}` (applies to: watermark, watermark-ldpc)"
+        ));
+    }
+    let backend = match flags.get("decoder").map(String::as_str) {
+        None | Some("scratch") => DecoderBackend::Scratch,
+        Some("allocating") => DecoderBackend::Allocating,
+        Some(other) => {
+            return Err(format!(
+                "flag --decoder: expected `scratch` or `allocating`, got `{other}`{}",
+                value_suggestion(other, &["scratch", "allocating"])
+            ))
+        }
+    };
+    let codec = parse_codec(&codec_name, data_bits, block_len)?;
+    let plan = CodedPlan {
+        data_bits,
+        p_d,
+        p_i,
+        p_s,
+    };
+    let cfg = EngineConfig::seeded(seed).with_threads(threads);
+    let (summary, manifest) =
+        run_coded_campaign_with(&cfg, &codec, &plan, trials, backend).map_err(|e| e.to_string())?;
+    if format == OutputFormat::Json {
+        // The decoder backend is an execution strategy, not a model
+        // parameter: both backends produce bit-identical summaries, so
+        // it is recorded inside `manifest.execution` — the one section
+        // determinism checks strip — and nowhere else.
+        let mut mjson = manifest_json(&manifest);
+        if let Some(exec) = mjson.get_mut("execution").and_then(Value::as_object_mut) {
+            exec.insert("decoder".to_owned(), json!(backend.name()));
+        }
+        return Ok(render_json(&json_doc(
+            "coded",
+            json!({
+                "codec": summary.codec,
+                "data_bits": data_bits,
+                "p_d": p_d,
+                "p_i": p_i,
+                "p_s": p_s,
+                "trials": trials,
+                "seed": seed,
+            }),
+            vec![
+                ("manifest", mjson),
+                (
+                    "results",
+                    serde_json::to_value(&summary).expect("summaries serialize"),
+                ),
+            ],
+        )));
+    }
+    let stat = |s: &StatSummary| {
+        format!(
+            "{:.6}  (95% CI [{:.6}, {:.6}])",
+            s.mean, s.ci95_lo, s.ci95_hi
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "codec           : {}", summary.codec);
+    let _ = writeln!(out, "data bits/frame : {data_bits}");
+    let _ = writeln!(out, "P_d / P_i / P_s : {p_d} / {p_i} / {p_s}");
+    let _ = writeln!(out, "trials          : {trials}  (seed {seed})");
+    let _ = writeln!(
+        out,
+        "nominal rate    : {:.6} data bits per channel bit",
+        summary.nominal_rate
+    );
+    let _ = writeln!(out, "BER             : {}", stat(&summary.ber));
+    let _ = writeln!(out, "frame success   : {}", stat(&summary.frame_success));
+    let _ = writeln!(
+        out,
+        "effective rate  : {:.6}  (nominal rate × frame success)",
+        summary.effective_rate
+    );
+    let _ = writeln!(out, "decode failures : {}", summary.decode_failures);
+    let _ = writeln!(
+        out,
+        "decoder         : {}  (both backends are bit-identical)",
+        backend.name()
+    );
+    Ok(out)
+}
+
 fn cmd_bench(args: &[String]) -> CliResult {
     let flags = parse_flags("bench", BENCH_FLAGS, args)?;
     let format = output_format(&flags)?;
@@ -1359,15 +1587,17 @@ fn cmd_bench(args: &[String]) -> CliResult {
         "engine" => vec![perf::engine_suite(profile, reps, kernels)],
         "trace" => vec![perf::trace_suite(profile, reps)],
         "atlas" => vec![perf::atlas_suite(profile, reps)],
+        "coding" => vec![perf::coding_suite(profile, reps)],
         "all" => vec![
             perf::engine_suite(profile, reps, kernels),
             perf::trace_suite(profile, reps),
             perf::atlas_suite(profile, reps),
+            perf::coding_suite(profile, reps),
         ],
         other => {
             return Err(format!(
-                "flag --suite: expected `engine`, `trace`, `atlas`, or `all`, got `{other}`{}",
-                value_suggestion(other, &["engine", "trace", "atlas", "all"])
+                "flag --suite: expected `engine`, `trace`, `atlas`, `coding`, or `all`, got `{other}`{}",
+                value_suggestion(other, &["engine", "trace", "atlas", "coding", "all"])
             ))
         }
     };
@@ -2807,6 +3037,123 @@ mod tests {
             assert_eq!(r["unit"], "cell");
             assert!(r["median_ns_per_op"].as_f64().unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn coded_campaign_text_happy_path() {
+        let out = run_str(&[
+            "coded",
+            "--codec",
+            "watermark",
+            "--data-bits",
+            "24",
+            "--p-d",
+            "0.05",
+            "--trials",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("codec           : watermark+conv"), "{out}");
+        assert!(out.contains("nominal rate"), "{out}");
+        assert!(out.contains("decode failures"), "{out}");
+        assert!(out.contains("decoder         : scratch"), "{out}");
+    }
+
+    #[test]
+    fn coded_json_is_thread_and_backend_invariant() {
+        // The decoder-equivalence contract the CI matrix enforces:
+        // after stripping manifest.execution, the JSON document is
+        // byte-identical across thread counts AND decoder backends.
+        let base = |extra: &[&str]| {
+            let mut args = vec![
+                "coded",
+                "--codec",
+                "marker",
+                "--data-bits",
+                "24",
+                "--p-d",
+                "0.04",
+                "--trials",
+                "4",
+                "--seed",
+                "11",
+                "--format",
+                "json",
+            ];
+            args.extend_from_slice(extra);
+            parse_json(&run_str(&args).unwrap())
+        };
+        let reference = base(&["--threads", "1"]);
+        assert_eq!(
+            reference["manifest"]["execution"]["decoder"], "scratch",
+            "backend must be recorded in the observational section"
+        );
+        let variants = [
+            base(&["--threads", "4"]),
+            base(&["--threads", "1", "--decoder", "allocating"]),
+            base(&["--threads", "4", "--decoder", "allocating"]),
+        ];
+        let mut expect = reference.clone();
+        strip_execution(&mut expect);
+        for mut doc in variants {
+            strip_execution(&mut doc);
+            assert_eq!(doc, expect);
+        }
+    }
+
+    #[test]
+    fn coded_flag_validation() {
+        // Satellite contract: degenerate frames and malformed
+        // probabilities die at the flag boundary in the standard
+        // diagnostic format.
+        let err = run_str(&["coded", "--codec", "watermark", "--p-d", "nan"]).unwrap_err();
+        assert!(err.contains("flag --p-d") && err.contains("finite"), "{err}");
+        let err = run_str(&[
+            "coded", "--codec", "watermark", "--p-d", "0.05", "--p-s", "inf",
+        ])
+        .unwrap_err();
+        assert!(err.contains("flag --p-s") && err.contains("finite"), "{err}");
+        let err = run_str(&[
+            "coded", "--codec", "watermark", "--p-d", "0.05", "--p-s", "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("flag --p-s") && err.contains("[0, 1]"), "{err}");
+        let err = run_str(&[
+            "coded",
+            "--codec",
+            "watermark",
+            "--p-d",
+            "0.05",
+            "--data-bits",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("flag --data-bits"), "{err}");
+        let err = run_str(&["coded", "--codec", "watermrak", "--p-d", "0.05"]).unwrap_err();
+        assert!(err.contains("did you mean `watermark`"), "{err}");
+        let err = run_str(&[
+            "coded",
+            "--codec",
+            "marker",
+            "--p-d",
+            "0.05",
+            "--block-len",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--block-len does not apply"), "{err}");
+        let err = run_str(&[
+            "coded", "--codec", "watermark", "--p-d", "0.05", "--decoder", "banded",
+        ])
+        .unwrap_err();
+        assert!(err.contains("flag --decoder"), "{err}");
+        assert!(run_str(&[
+            "coded", "--codec", "watermark", "--p-d", "0.05", "--trials", "0"
+        ])
+        .unwrap_err()
+        .contains("--trials"));
     }
 
     #[test]

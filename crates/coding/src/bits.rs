@@ -7,6 +7,13 @@ pub fn random_bits<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<bool> {
     (0..n).map(|_| rng.gen::<bool>()).collect()
 }
 
+/// Draws `n` uniformly random bits into a reused buffer (cleared
+/// first). Draw-for-draw identical to [`random_bits`].
+pub fn random_bits_into<R: Rng + ?Sized>(n: usize, rng: &mut R, out: &mut Vec<bool>) {
+    out.clear();
+    out.extend((0..n).map(|_| rng.gen::<bool>()));
+}
+
 /// Bit error rate between two equal-length bit strings.
 ///
 /// # Panics

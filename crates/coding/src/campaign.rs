@@ -1,0 +1,435 @@
+//! Engine-scale coded campaigns: encode → deletion-insertion channel
+//! → scratch-reused decode, under the trial engine's determinism
+//! contract.
+//!
+//! This is the end-to-end coded pipeline (ROADMAP item 5): each trial
+//! draws a random data frame, encodes it with a [`Codec`], transmits
+//! the coded bits through [`DeletionInsertionChannel`], decodes the
+//! received stream, and records bit-error/frame-success statistics.
+//! Trials run on [`fold_trials_scoped_timed`] with one
+//! [`CodecScratch`] per worker, so after warm-up the decode hot path
+//! performs no heap allocation (see DESIGN §13) and — because batch
+//! boundaries and the merge order are fixed — the summary is
+//! **bit-identical at any thread count**.
+//!
+//! Decode failures (a sequential decoder exhausting its expansion
+//! budget, a drift lattice with no consistent path) are measured
+//! behaviour, not errors: the frame counts as a total loss (decoded
+//! as all-zero) and the failure is tallied in
+//! [`CodedSummary::decode_failures`].
+
+use crate::bits::{bit_error_rate, random_bits_into};
+use crate::error::CodingError;
+use crate::rate::{decode_received, prepare_sequential, Codec, CodecScratch};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_core::engine::{
+    fold_trials_scoped_timed, EngineConfig, RunManifest, RunningStats, StatSummary,
+    TrialAccumulator,
+};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Which decode entry points a campaign exercises.
+///
+/// The backend is an *execution strategy*, not a model parameter:
+/// both must produce bit-identical summaries for the same plan and
+/// engine config (the allocating APIs are thin wrappers over the
+/// scratch ones), so it is reported only in observational output
+/// (`manifest.execution`), never in determinism-checked payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DecoderBackend {
+    /// Per-worker [`CodecScratch`] reused across trials — the
+    /// allocation-free hot path.
+    #[default]
+    Scratch,
+    /// A fresh scratch per trial, i.e. the behaviour of the
+    /// allocating `decode` wrappers. Exists so the equivalence
+    /// harness can diff the two.
+    Allocating,
+}
+
+impl DecoderBackend {
+    /// Stable machine-readable name, used by the CLI and in JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderBackend::Scratch => "scratch",
+            DecoderBackend::Allocating => "allocating",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scratch" => Some(DecoderBackend::Scratch),
+            "allocating" => Some(DecoderBackend::Allocating),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DecoderBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-trial plan of a coded campaign: frame size and channel
+/// parameters. The codec rides alongside (it is not serializable
+/// itself).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodedPlan {
+    /// Data bits per frame.
+    pub data_bits: usize,
+    /// Deletion probability per coded bit.
+    pub p_d: f64,
+    /// Insertion probability per channel use.
+    pub p_i: f64,
+    /// Substitution probability per transmitted bit.
+    pub p_s: f64,
+}
+
+impl CodedPlan {
+    /// Stable one-line descriptor for the [`RunManifest`]. The
+    /// decoder backend is deliberately absent: the plan is part of
+    /// the determinism-checked payload and both backends must
+    /// produce identical results.
+    #[must_use]
+    pub fn describe(&self, codec: &Codec) -> String {
+        format!(
+            "coded codec={} data_bits={} p_d={} p_i={} p_s={}",
+            codec.name(),
+            self.data_bits,
+            self.p_d,
+            self.p_i,
+            self.p_s
+        )
+    }
+}
+
+/// Aggregated result of a coded campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodedSummary {
+    /// Codec name ([`Codec::name`]).
+    pub codec: String,
+    /// Data bits per frame.
+    pub data_bits: usize,
+    /// Deletion probability per coded bit.
+    pub p_d: f64,
+    /// Insertion probability per channel use.
+    pub p_i: f64,
+    /// Substitution probability per transmitted bit.
+    pub p_s: f64,
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Master seed the per-trial seeds were derived from.
+    pub master_seed: u64,
+    /// Nominal code rate (data bits per transmitted bit).
+    pub nominal_rate: f64,
+    /// Per-frame bit error rate.
+    pub ber: StatSummary,
+    /// Fraction of frames decoded without any bit error.
+    pub frame_success: StatSummary,
+    /// Effective reliable throughput: `nominal_rate × mean frame
+    /// success` — the whole-frame goodput figure experiment E9 uses.
+    pub effective_rate: f64,
+    /// Frames on which the decoder reported failure (counted as
+    /// total losses in the statistics above).
+    pub decode_failures: u64,
+}
+
+/// What one trial contributes to the campaign statistics.
+#[derive(Clone, Copy)]
+struct CodedOutcome {
+    ber: f64,
+    frame_ok: f64,
+    decode_failed: bool,
+}
+
+/// Per-batch partial: one [`RunningStats`] per statistic plus the
+/// failure tally.
+#[derive(Default)]
+struct CodedAccumulator {
+    ber: RunningStats,
+    frame_ok: RunningStats,
+    decode_failures: u64,
+}
+
+impl TrialAccumulator for CodedAccumulator {
+    type Outcome = CodedOutcome;
+
+    fn record(&mut self, o: CodedOutcome) {
+        self.ber.push(o.ber);
+        self.frame_ok.push(o.frame_ok);
+        self.decode_failures += u64::from(o.decode_failed);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.ber.merge(other.ber);
+        self.frame_ok.merge(other.frame_ok);
+        self.decode_failures += other.decode_failures;
+    }
+}
+
+/// Per-worker working memory: the codec scratch plus the frame
+/// buffers the trial loop cycles through.
+#[derive(Default)]
+struct CampaignScratch {
+    codec: CodecScratch,
+    data: Vec<bool>,
+    symbols: Vec<Symbol>,
+    received: Vec<bool>,
+}
+
+/// Runs `trials` independent coded frames under the engine and
+/// aggregates BER / frame-success / goodput statistics, using the
+/// scratch-reused decode path.
+///
+/// Determinism contract: the summary and the manifest's
+/// reproducibility fields are a pure function of
+/// `(codec, plan, trials, config.master_seed, config.batch_size)` —
+/// the thread count and decoder backend never change a bit of them.
+///
+/// # Errors
+///
+/// Returns [`CodingError::BadParameter`] when `trials` or
+/// `plan.data_bits` is zero or a channel probability is invalid,
+/// [`CodingError::BadLength`] when `plan.data_bits` does not match an
+/// LDPC codec's frame size, and [`CodingError::Engine`] when the
+/// worker pool failed to deliver a batch.
+pub fn run_coded_campaign(
+    config: &EngineConfig,
+    codec: &Codec,
+    plan: &CodedPlan,
+    trials: usize,
+) -> Result<(CodedSummary, RunManifest), CodingError> {
+    run_coded_campaign_with(config, codec, plan, trials, DecoderBackend::Scratch)
+}
+
+/// [`run_coded_campaign`] with an explicit [`DecoderBackend`] — the
+/// equivalence harness's entry point. Both backends must produce
+/// bit-identical summaries.
+///
+/// # Errors
+///
+/// Same contract as [`run_coded_campaign`].
+pub fn run_coded_campaign_with(
+    config: &EngineConfig,
+    codec: &Codec,
+    plan: &CodedPlan,
+    trials: usize,
+    backend: DecoderBackend,
+) -> Result<(CodedSummary, RunManifest), CodingError> {
+    if plan.data_bits == 0 || trials == 0 {
+        return Err(CodingError::BadParameter(
+            "data_bits and trials must be positive".to_owned(),
+        ));
+    }
+    if let Codec::LdpcWatermark(c) = codec {
+        if plan.data_bits != c.data_len() {
+            return Err(CodingError::BadLength {
+                got: plan.data_bits,
+                need: format!("exactly {} (LDPC frame size)", c.data_len()),
+            });
+        }
+    }
+    let params = DiParams::new(plan.p_d, plan.p_i, plan.p_s)
+        .map_err(|e| CodingError::BadParameter(e.to_string()))?;
+    let channel = DeletionInsertionChannel::new(Alphabet::binary(), params);
+    let seq_decoder = prepare_sequential(codec, plan.p_d, plan.p_i, plan.p_s)?;
+    // The encoded frame length is a pure function of the codec and
+    // `data_bits`, so one probe encode fixes the nominal rate.
+    let probe = codec.encode(&vec![false; plan.data_bits])?;
+    let nominal_rate = codec.nominal_rate(plan.data_bits, probe.len());
+
+    let (acc, execution) = fold_trials_scoped_timed::<StdRng, CodedAccumulator, _, _, _>(
+        config,
+        trials,
+        CampaignScratch::default,
+        |scratch, _trial, rng| {
+            random_bits_into(plan.data_bits, rng, &mut scratch.data);
+            let sent = codec.encode(&scratch.data).expect("plan validated");
+            scratch.symbols.clear();
+            scratch
+                .symbols
+                .extend(sent.iter().map(|&b| Symbol::from_index(b as u32)));
+            let transmission = channel.transmit(&scratch.symbols, rng);
+            scratch.received.clear();
+            scratch
+                .received
+                .extend(transmission.received.iter().map(|s| s.index() == 1));
+            let decode = match backend {
+                DecoderBackend::Scratch => decode_received(
+                    codec,
+                    seq_decoder.as_ref(),
+                    &mut scratch.codec,
+                    &scratch.received,
+                    plan.data_bits,
+                    plan.p_d,
+                    plan.p_i,
+                    plan.p_s,
+                ),
+                DecoderBackend::Allocating => {
+                    let mut fresh = CodecScratch::new();
+                    let r = decode_received(
+                        codec,
+                        seq_decoder.as_ref(),
+                        &mut fresh,
+                        &scratch.received,
+                        plan.data_bits,
+                        plan.p_d,
+                        plan.p_i,
+                        plan.p_s,
+                    );
+                    scratch.codec.decoded.clear();
+                    scratch.codec.decoded.extend_from_slice(&fresh.decoded);
+                    r
+                }
+            };
+            let decode_failed = decode.is_err();
+            if decode_failed {
+                // A failed frame is a total loss: score it as an
+                // all-zero decode, exactly like `evaluate_codec`.
+                scratch.codec.decoded.clear();
+                scratch.codec.decoded.resize(plan.data_bits, false);
+            }
+            let ber = bit_error_rate(&scratch.codec.decoded, &scratch.data);
+            CodedOutcome {
+                ber,
+                frame_ok: if ber == 0.0 && !decode_failed { 1.0 } else { 0.0 },
+                decode_failed,
+            }
+        },
+    )
+    .map_err(|e| CodingError::Engine(e.to_string()))?;
+
+    let summary = CodedSummary {
+        codec: codec.name().to_owned(),
+        data_bits: plan.data_bits,
+        p_d: plan.p_d,
+        p_i: plan.p_i,
+        p_s: plan.p_s,
+        trials,
+        master_seed: config.master_seed,
+        nominal_rate,
+        ber: acc.ber.into(),
+        frame_success: acc.frame_ok.into(),
+        effective_rate: nominal_rate * acc.frame_ok.mean(),
+        decode_failures: acc.decode_failures,
+    };
+    let manifest =
+        RunManifest::new(config, plan.describe(codec), Some(trials)).with_execution(execution);
+    Ok((summary, manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ConvCode;
+    use crate::marker::MarkerCode;
+    use crate::repetition::RepetitionCode;
+    use crate::watermark::WatermarkCode;
+    use crate::watermark_ldpc::LdpcWatermarkCode;
+
+    fn watermark() -> Codec {
+        Codec::Watermark(WatermarkCode::new(ConvCode::standard_half_rate(), 3, 11).unwrap())
+    }
+
+    fn plan(p_d: f64, p_i: f64) -> CodedPlan {
+        CodedPlan {
+            data_bits: 48,
+            p_d,
+            p_i,
+            p_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = EngineConfig::serial(1);
+        let p = plan(0.05, 0.0);
+        assert!(run_coded_campaign(&cfg, &watermark(), &CodedPlan { data_bits: 0, ..p }, 3).is_err());
+        assert!(run_coded_campaign(&cfg, &watermark(), &p, 0).is_err());
+        assert!(run_coded_campaign(&cfg, &watermark(), &CodedPlan { p_d: 1.5, ..p }, 3).is_err());
+        let ldpc = Codec::LdpcWatermark(LdpcWatermarkCode::new(100, 100, 3, 3, 7).unwrap());
+        assert!(matches!(
+            run_coded_campaign(&cfg, &ldpc, &p, 3),
+            Err(CodingError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn noiseless_channel_gives_perfect_frames() {
+        let cfg = EngineConfig::serial(5);
+        for codec in [
+            watermark(),
+            Codec::Marker(MarkerCode::default_params()),
+            Codec::Repetition(RepetitionCode::new(3).unwrap()),
+        ] {
+            let (s, m) = run_coded_campaign(&cfg, &codec, &plan(0.0, 0.0), 4).unwrap();
+            assert_eq!(s.frame_success.mean, 1.0, "{}", codec.name());
+            assert_eq!(s.ber.mean, 0.0);
+            assert_eq!(s.decode_failures, 0);
+            assert!((s.effective_rate - s.nominal_rate).abs() < 1e-12);
+            assert_eq!(m.trials, Some(4));
+            assert!(m.execution.is_some());
+        }
+    }
+
+    #[test]
+    fn summary_is_thread_count_invariant() {
+        let p = plan(0.05, 0.02);
+        let codec = watermark();
+        let base = run_coded_campaign(&EngineConfig::serial(42), &codec, &p, 7)
+            .unwrap()
+            .0;
+        for threads in [2usize, 7] {
+            let cfg = EngineConfig::seeded(42).with_threads(threads);
+            let (s, _) = run_coded_campaign(&cfg, &codec, &p, 7).unwrap();
+            assert_eq!(s, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn backends_are_bit_identical() {
+        let p = plan(0.06, 0.0);
+        for codec in [watermark(), Codec::Marker(MarkerCode::default_params())] {
+            let cfg = EngineConfig::seeded(9).with_threads(2);
+            let scratch =
+                run_coded_campaign_with(&cfg, &codec, &p, 6, DecoderBackend::Scratch).unwrap();
+            let alloc =
+                run_coded_campaign_with(&cfg, &codec, &p, 6, DecoderBackend::Allocating).unwrap();
+            assert_eq!(scratch.0, alloc.0, "{}", codec.name());
+            assert_eq!(
+                scratch.1.deterministic(),
+                alloc.1.deterministic(),
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_budget_exhaustion_is_counted_not_fatal() {
+        let codec = Codec::Sequential {
+            code: ConvCode::standard_half_rate(),
+            max_expansions: 3,
+        };
+        let (s, _) =
+            run_coded_campaign(&EngineConfig::serial(3), &codec, &plan(0.1, 0.0), 3).unwrap();
+        assert_eq!(s.decode_failures, 3);
+        assert_eq!(s.frame_success.mean, 0.0);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [DecoderBackend::Scratch, DecoderBackend::Allocating] {
+            assert_eq!(DecoderBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(DecoderBackend::parse("banded"), None);
+    }
+}

@@ -33,6 +33,31 @@ pub struct ConvCode {
     generators: Vec<u32>,
 }
 
+/// Reusable Viterbi working memory: path metrics, the flattened
+/// survivor table, and the per-state branch-output table. A scratch
+/// is fully re-derived per decode, so it may be shared across codes
+/// and frame lengths; after warm-up [`ConvCode::decode_soft_into`]
+/// performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiScratch {
+    metric: Vec<f64>,
+    next: Vec<f64>,
+    /// `survivors[t * n_states + s]` = (previous state, input bit).
+    survivors: Vec<(u32, bool)>,
+    /// `outputs[(s * 2 + input) * v + j]` = coded bit `j` on the
+    /// branch from state `s` with the given input — the allocation
+    /// the seed decoder paid per branch, paid once per decode here.
+    outputs: Vec<bool>,
+}
+
+impl ViterbiScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ConvCode {
     /// Creates a code with the given constraint length (memory + 1)
     /// and generator polynomials (bit `k` of a generator taps the
@@ -108,13 +133,24 @@ impl ConvCode {
     /// the tail bits itself as explicit zero inputs.
     pub fn encode_prefix(&self, data: &[bool]) -> Vec<bool> {
         let mut out = Vec::with_capacity(data.len() * self.outputs_per_input());
+        self.encode_prefix_into(data, &mut out);
+        out
+    }
+
+    /// [`Self::encode_prefix`] into a reused buffer (cleared first).
+    pub fn encode_prefix_into(&self, data: &[bool], out: &mut Vec<bool>) {
+        out.clear();
         let mut state = 0u32;
         let mask = (1 << (self.constraint - 1)) - 1;
         for &bit in data {
-            out.extend(self.output_for(state, bit));
+            let reg = (state << 1) | bit as u32;
+            out.extend(
+                self.generators
+                    .iter()
+                    .map(|&g| (reg & g).count_ones() % 2 == 1),
+            );
             state = ((state << 1) | bit as u32) & mask;
         }
-        out
     }
 
     /// Encodes `data`, appending `constraint − 1` zero tail bits to
@@ -151,11 +187,33 @@ impl ConvCode {
     /// ratio of coded bit `i` (`> 0` favours 0, `< 0` favours 1); the
     /// branch metric is correlation against `±llr`.
     ///
+    /// Allocating convenience wrapper over
+    /// [`Self::decode_soft_into`]; the two are bit-identical by
+    /// construction.
+    ///
     /// # Errors
     ///
     /// Returns [`CodingError::BadLength`] when the input is not a
     /// whole frame.
     pub fn decode_soft(&self, llrs: &[f64]) -> Result<Vec<bool>, CodingError> {
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        self.decode_soft_into(llrs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode_soft`] into caller-owned working memory; the
+    /// decoded data bits replace the contents of `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode_soft`].
+    pub fn decode_soft_into(
+        &self,
+        llrs: &[f64],
+        scratch: &mut ViterbiScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
         let v = self.outputs_per_input();
         if !llrs.len().is_multiple_of(v) || llrs.len() / v < self.tail_bits() {
             return Err(CodingError::BadLength {
@@ -166,50 +224,64 @@ impl ConvCode {
         let steps = llrs.len() / v;
         let n_states = 1usize << (self.constraint - 1);
         let neg_inf = f64::NEG_INFINITY;
-        let mut metric = vec![neg_inf; n_states];
-        metric[0] = 0.0;
-        // survivors[t][s] = (previous state, input bit).
-        let mut survivors: Vec<Vec<(u32, bool)>> = Vec::with_capacity(steps);
+        // Branch-output table, one entry per (state, input, output).
+        scratch.outputs.clear();
+        for s in 0..n_states {
+            for input in [false, true] {
+                let reg = ((s as u32) << 1) | input as u32;
+                scratch
+                    .outputs
+                    .extend(self.generators.iter().map(|&g| (reg & g).count_ones() % 2 == 1));
+            }
+        }
+        scratch.metric.clear();
+        scratch.metric.resize(n_states, neg_inf);
+        scratch.metric[0] = 0.0;
+        scratch.next.clear();
+        scratch.next.resize(n_states, neg_inf);
+        scratch.survivors.clear();
+        scratch.survivors.resize(steps * n_states, (0u32, false));
         let mask = (n_states - 1) as u32;
         for t in 0..steps {
             let group = &llrs[t * v..(t + 1) * v];
-            let mut next = vec![neg_inf; n_states];
-            let mut surv = vec![(0u32, false); n_states];
-            for (s, &m) in metric.iter().enumerate() {
+            let surv = &mut scratch.survivors[t * n_states..(t + 1) * n_states];
+            for x in scratch.next.iter_mut() {
+                *x = neg_inf;
+            }
+            for (s, &m) in scratch.metric.iter().enumerate() {
                 if m == neg_inf {
                     continue;
                 }
                 for input in [false, true] {
-                    let out = self.output_for(s as u32, input);
+                    let branch_out = &scratch.outputs[(s * 2 + input as usize) * v..][..v];
                     // Correlation metric: +llr when the coded bit is
                     // 0, −llr when it is 1.
-                    let branch: f64 = out
+                    let branch: f64 = branch_out
                         .iter()
                         .zip(group)
                         .map(|(&b, &l)| if b { -l } else { l })
                         .sum();
                     let ns = (((s as u32) << 1) | input as u32) & mask;
                     let cand = m + branch;
-                    if cand > next[ns as usize] {
-                        next[ns as usize] = cand;
+                    if cand > scratch.next[ns as usize] {
+                        scratch.next[ns as usize] = cand;
                         surv[ns as usize] = (s as u32, input);
                     }
                 }
             }
-            metric = next;
-            survivors.push(surv);
+            std::mem::swap(&mut scratch.metric, &mut scratch.next);
         }
         // Trace back from the all-zero state (the tail guarantees it).
         let mut state = 0u32;
-        let mut bits = Vec::with_capacity(steps);
+        out.clear();
         for t in (0..steps).rev() {
-            let (prev, input) = survivors[t][state as usize];
-            bits.push(input);
+            let (prev, input) = scratch.survivors[t * n_states + state as usize];
+            out.push(input);
             state = prev;
         }
-        bits.reverse();
-        bits.truncate(steps - self.tail_bits());
-        Ok(bits)
+        out.reverse();
+        out.truncate(steps - self.tail_bits());
+        Ok(())
     }
 }
 

@@ -17,6 +17,10 @@ pub enum CodingError {
     /// Decoding failed irrecoverably (e.g. the drift lattice found no
     /// path consistent with the received length).
     DecodeFailure(String),
+    /// The trial engine failed to deliver a batch while running a
+    /// coded campaign (an internal invariant violation, not a coding
+    /// error per se).
+    Engine(String),
 }
 
 impl fmt::Display for CodingError {
@@ -27,6 +31,7 @@ impl fmt::Display for CodingError {
                 write!(f, "bad input length {got}: need {need}")
             }
             CodingError::DecodeFailure(msg) => write!(f, "decode failure: {msg}"),
+            CodingError::Engine(msg) => write!(f, "engine failure: {msg}"),
         }
     }
 }

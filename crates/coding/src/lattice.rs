@@ -16,8 +16,63 @@
 //! bit with probability `P_i`, deletes the queued bit with `P_d`, or
 //! transmits it with `P_t` (substituted with probability `P_s`), so a
 //! queued bit resolves after a geometric number of insertions.
+//!
+//! The hot path is allocation-free: both passes write into a caller
+//! owned [`DecoderScratch`] whose flat band buffers are reused across
+//! frames (see DESIGN §13 for the memory layout and the measured
+//! speedup over the row-of-`Vec`s seed decoder).
 
 use crate::error::CodingError;
+
+/// One lattice row's slice of the flat band buffers: values for
+/// received-position `j` live at `buf[start + (j - lo)]` for
+/// `j ∈ [lo, lo + len)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct RowSpan {
+    lo: usize,
+    start: usize,
+    len: usize,
+}
+
+/// Reusable decoder working memory: flat structure-of-arrays band
+/// storage for the forward and backward passes plus the small
+/// per-call side buffers.
+///
+/// A scratch starts empty and grows to the high-water mark of the
+/// frames pushed through it; after the first decode of a given shape
+/// every [`DriftLattice::posteriors_into`] call is allocation-free.
+/// The same scratch may be reused across lattices, frame lengths and
+/// codecs — every buffer is fully re-derived per call, so stale
+/// contents ("dirty" scratch) cannot leak into results.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderScratch {
+    /// Per-row band spans, shared by `alpha` and `beta` (both passes
+    /// use the same band).
+    rows: Vec<RowSpan>,
+    /// Forward messages, all rows concatenated.
+    alpha: Vec<f64>,
+    /// Backward messages, same layout as `alpha`. The seed decoder's
+    /// per-row `vals` staging vector is gone: the backward pass
+    /// writes row `i` directly while reading row `i + 1`.
+    beta: Vec<f64>,
+    /// `p_i^k (1/2)^k` for `k = 0..=max_ins`.
+    ins_weight: Vec<f64>,
+    /// Per-row emission window (σ = 0 case), indexed by received
+    /// position.
+    emit0: Vec<f64>,
+    /// Per-row emission window (σ = 1 case).
+    emit1: Vec<f64>,
+    /// Posterior output buffer.
+    post: Vec<f64>,
+}
+
+impl DecoderScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Drift-lattice decoder for the binary deletion-insertion channel.
 ///
@@ -49,49 +104,6 @@ pub struct DriftLattice {
     /// Extra half-width added to the drift band beyond the diffusion
     /// estimate.
     slack: usize,
-}
-
-/// A banded row of lattice probabilities: `probs[j - lo]` holds the
-/// value for received-position `j`.
-#[derive(Debug, Clone)]
-struct Row {
-    lo: usize,
-    probs: Vec<f64>,
-}
-
-impl Row {
-    fn zeros(lo: usize, hi: usize) -> Row {
-        Row {
-            lo,
-            probs: vec![0.0; hi.saturating_sub(lo) + 1],
-        }
-    }
-
-    #[inline]
-    fn get(&self, j: usize) -> f64 {
-        if j < self.lo || j >= self.lo + self.probs.len() {
-            0.0
-        } else {
-            self.probs[j - self.lo]
-        }
-    }
-
-    #[inline]
-    fn add(&mut self, j: usize, v: f64) {
-        if j >= self.lo && j < self.lo + self.probs.len() {
-            self.probs[j - self.lo] += v;
-        }
-    }
-
-    fn normalize(&mut self) -> f64 {
-        let sum: f64 = self.probs.iter().sum();
-        if sum > 0.0 {
-            for p in &mut self.probs {
-                *p /= sum;
-            }
-        }
-        sum
-    }
 }
 
 impl DriftLattice {
@@ -138,6 +150,16 @@ impl DriftLattice {
         })
     }
 
+    /// Overrides the extra band half-width added beyond the diffusion
+    /// estimate (default 12). Narrow bands trade reliability for
+    /// speed; the decoder reports [`CodingError::DecodeFailure`] when
+    /// the band no longer covers the realized drift.
+    #[must_use]
+    pub fn with_slack(mut self, slack: usize) -> Self {
+        self.slack = slack;
+        self
+    }
+
     /// The deletion rate.
     pub fn p_d(&self) -> f64 {
         self.p_d
@@ -161,7 +183,7 @@ impl DriftLattice {
     }
 
     fn band(&self, i: usize, n: usize, m: usize, hw: usize) -> (usize, usize) {
-        // `n > 0` is guaranteed by `posteriors`' validation.
+        // `n > 0` is guaranteed by `posteriors_into`'s validation.
         let center = (i * m + n / 2) / n;
         let lo = center.saturating_sub(hw);
         let hi = (center + hw).min(m);
@@ -171,6 +193,11 @@ impl DriftLattice {
     /// Computes `P(s_i = 1 | received)` for every transmitted
     /// position, where the transmitted bit was
     /// `t_i = watermark[i] ⊕ s_i` and `priors[i] = P(s_i = 1)`.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`Self::posteriors_into`]; the two are bit-identical by
+    /// construction. Hot paths should hold a [`DecoderScratch`] and
+    /// call `posteriors_into` directly.
     ///
     /// # Errors
     ///
@@ -187,6 +214,28 @@ impl DriftLattice {
         priors: &[f64],
         received: &[bool],
     ) -> Result<Vec<f64>, CodingError> {
+        let mut scratch = DecoderScratch::new();
+        Ok(self
+            .posteriors_into(&mut scratch, watermark, priors, received)?
+            .to_vec())
+    }
+
+    /// [`Self::posteriors`] into caller-owned working memory: after
+    /// the scratch has warmed up to the frame shape, the whole
+    /// forward–backward decode performs zero heap allocations. The
+    /// returned slice borrows the scratch's posterior buffer (one
+    /// entry per transmitted position).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::posteriors`].
+    pub fn posteriors_into<'s>(
+        &self,
+        scratch: &'s mut DecoderScratch,
+        watermark: &[bool],
+        priors: &[f64],
+        received: &[bool],
+    ) -> Result<&'s [f64], CodingError> {
         let n = watermark.len();
         let m = received.len();
         if n == 0 {
@@ -217,145 +266,300 @@ impl DriftLattice {
 
         let hw = self.half_width(n, m);
         let p_t = 1.0 - self.p_d - self.p_i;
+
         // Pre-compute p_i^k (1/2)^k for k = 0..=max_ins.
-        let ins_weight: Vec<f64> = (0..=self.max_ins)
-            .scan(1.0f64, |acc, _| {
-                let w = *acc;
-                *acc *= self.p_i * 0.5;
-                Some(w)
-            })
-            .collect();
+        scratch.ins_weight.clear();
+        let mut w = 1.0f64;
+        for _ in 0..=self.max_ins {
+            scratch.ins_weight.push(w);
+            w *= self.p_i * 0.5;
+        }
+
+        // Lay the band rows out back-to-back in one flat buffer per
+        // pass; `rows[i + 1].start == rows[i].start + rows[i].len`,
+        // which is what lets the passes split the buffer into a read
+        // row and a write row without aliasing.
+        scratch.rows.clear();
+        let mut total = 0usize;
+        for i in 0..=n {
+            let (lo, hi) = self.band(i, n, m, hw);
+            let len = hi - lo + 1;
+            scratch.rows.push(RowSpan {
+                lo,
+                start: total,
+                len,
+            });
+            total += len;
+        }
+        scratch.alpha.clear();
+        scratch.alpha.resize(total, 0.0);
+        scratch.beta.clear();
+        scratch.beta.resize(total, 0.0);
+        scratch.emit0.clear();
+        scratch.emit0.resize(m, 0.0);
+        scratch.emit1.clear();
+        scratch.emit1.resize(m, 0.0);
 
         // ---- Forward pass ----
-        let mut alpha: Vec<Row> = Vec::with_capacity(n + 1);
-        {
-            let (lo, hi) = self.band(0, n, m, hw);
-            let mut row = Row::zeros(lo, hi);
-            row.add(0, 1.0);
-            alpha.push(row);
-        }
+        // Row 0's band always contains j = 0 (its center is 0).
+        scratch.alpha[scratch.rows[0].start] = 1.0;
         for i in 0..n {
-            let (lo, hi) = self.band(i + 1, n, m, hw);
-            let mut next = Row::zeros(lo, hi);
+            let cur = scratch.rows[i];
+            let nxt = scratch.rows[i + 1];
             let f_eff = effective_flip(priors[i], self.p_s);
-            let cur = &alpha[i];
-            for (off, &a) in cur.probs.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let j = cur.lo + off;
-                for (k, &wk) in ins_weight.iter().enumerate() {
-                    if j + k > m {
-                        break;
+            // Emission for the data-carrying bit at received position
+            // t: indexed by `received[t] ⊕ watermark[i]`.
+            let emit_tab = [1.0 - f_eff, f_eff];
+            fill_emission(
+                &mut scratch.emit0,
+                received,
+                watermark[i],
+                &emit_tab,
+                cur.lo,
+                cur.len,
+                self.max_ins,
+            );
+            let (head, tail) = scratch.alpha.split_at_mut(nxt.start);
+            let cur_row = &head[cur.start..cur.start + cur.len];
+            let next_row = &mut tail[..nxt.len];
+            for (k, &wk) in scratch.ins_weight.iter().enumerate() {
+                let wd = wk * self.p_d;
+                let wt = wk * p_t;
+                // Deletion: consume bit i, emit only the k insertions
+                // — target j + k must land in the next band and never
+                // exceeds m.
+                if let Some((o_lo, o_hi)) =
+                    overlap(cur.lo + k, cur.len, nxt.lo, (nxt.lo + nxt.len - 1).min(m))
+                {
+                    let t0 = cur.lo + o_lo + k - nxt.lo;
+                    let src = &cur_row[o_lo..=o_hi];
+                    let dst = &mut next_row[t0..t0 + src.len()];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s * wd;
                     }
-                    let base = a * wk;
-                    // Deletion: consume bit i, emit only insertions.
-                    next.add(j + k, base * self.p_d);
-                    // Transmission: also emit the (possibly
-                    // substituted) data-carrying bit.
-                    if j + k < m {
-                        let e = if received[j + k] == watermark[i] {
-                            1.0 - f_eff
-                        } else {
-                            f_eff
-                        };
-                        next.add(j + k + 1, base * p_t * e);
+                }
+                // Transmission: also emit the (possibly substituted)
+                // data-carrying bit at position j + k < m.
+                if let Some((o_lo, o_hi)) = overlap(
+                    cur.lo + k + 1,
+                    cur.len,
+                    nxt.lo.max(1),
+                    (nxt.lo + nxt.len - 1).min(m),
+                ) {
+                    let t0 = cur.lo + o_lo + k + 1 - nxt.lo;
+                    let e0 = cur.lo + o_lo + k;
+                    let src = &cur_row[o_lo..=o_hi];
+                    let emit = &scratch.emit0[e0..e0 + src.len()];
+                    let dst = &mut next_row[t0..t0 + src.len()];
+                    for ((d, &s), &e) in dst.iter_mut().zip(src).zip(emit) {
+                        *d += s * wt * e;
                     }
                 }
             }
-            next.normalize();
-            alpha.push(next);
+            normalize(next_row);
         }
-        if alpha[n].get(m) == 0.0 {
-            return Err(CodingError::DecodeFailure(
-                "no drift path reaches the received length (widen the band or check parameters)"
-                    .to_owned(),
-            ));
+        {
+            let last = scratch.rows[n];
+            let reached = m >= last.lo
+                && m < last.lo + last.len
+                && scratch.alpha[last.start + (m - last.lo)] != 0.0;
+            if !reached {
+                return Err(CodingError::DecodeFailure(
+                    "no drift path reaches the received length (widen the band or check parameters)"
+                        .to_owned(),
+                ));
+            }
         }
 
         // ---- Backward pass ----
-        let mut beta: Vec<Row> = (0..=n)
-            .map(|i| {
-                let (lo, hi) = self.band(i, n, m, hw);
-                Row::zeros(lo, hi)
-            })
-            .collect();
-        beta[n].add(m, 1.0);
+        // Row n's band always contains j = m (its center is m).
+        {
+            let last = scratch.rows[n];
+            scratch.beta[last.start + (m - last.lo)] = 1.0;
+        }
         for i in (0..n).rev() {
+            let cur = scratch.rows[i];
+            let nxt = scratch.rows[i + 1];
             let f_eff = effective_flip(priors[i], self.p_s);
-            let (lo, hi) = (beta[i].lo, beta[i].lo + beta[i].probs.len() - 1);
-            let mut vals = vec![0.0f64; hi - lo + 1];
-            for (idx, v) in vals.iter_mut().enumerate() {
-                let j = lo + idx;
-                let mut acc = 0.0;
-                for (k, &wk) in ins_weight.iter().enumerate() {
-                    if j + k > m {
-                        break;
-                    }
-                    acc += wk * self.p_d * beta[i + 1].get(j + k);
-                    if j + k < m {
-                        let e = if received[j + k] == watermark[i] {
-                            1.0 - f_eff
-                        } else {
-                            f_eff
-                        };
-                        acc += wk * p_t * e * beta[i + 1].get(j + k + 1);
+            let emit_tab = [1.0 - f_eff, f_eff];
+            fill_emission(
+                &mut scratch.emit0,
+                received,
+                watermark[i],
+                &emit_tab,
+                cur.lo,
+                cur.len,
+                self.max_ins,
+            );
+            let (head, tail) = scratch.beta.split_at_mut(nxt.start);
+            let cur_row = &mut head[cur.start..cur.start + cur.len];
+            let next_row = &tail[..nxt.len];
+            for (k, &wk) in scratch.ins_weight.iter().enumerate() {
+                let wd = wk * self.p_d;
+                let wt = wk * p_t;
+                // Deletion term: read β_{i+1}(j + k).
+                if let Some((o_lo, o_hi)) =
+                    overlap(cur.lo + k, cur.len, nxt.lo, (nxt.lo + nxt.len - 1).min(m))
+                {
+                    let s0 = cur.lo + o_lo + k - nxt.lo;
+                    let dst = &mut cur_row[o_lo..=o_hi];
+                    let src = &next_row[s0..s0 + dst.len()];
+                    for (d, &b) in dst.iter_mut().zip(src) {
+                        *d += wd * b;
                     }
                 }
-                *v = acc;
+                // Transmission term: read β_{i+1}(j + k + 1) weighted
+                // by the emission at received position j + k < m.
+                if let Some((o_lo, o_hi)) = overlap(
+                    cur.lo + k + 1,
+                    cur.len,
+                    nxt.lo.max(1),
+                    (nxt.lo + nxt.len - 1).min(m),
+                ) {
+                    let s0 = cur.lo + o_lo + k + 1 - nxt.lo;
+                    let e0 = cur.lo + o_lo + k;
+                    let dst = &mut cur_row[o_lo..=o_hi];
+                    let src = &next_row[s0..s0 + dst.len()];
+                    let emit = &scratch.emit0[e0..e0 + dst.len()];
+                    for ((d, &b), &e) in dst.iter_mut().zip(src).zip(emit) {
+                        *d += wt * e * b;
+                    }
+                }
             }
-            beta[i].probs.copy_from_slice(&vals);
-            beta[i].normalize();
+            normalize(cur_row);
         }
 
         // ---- Posteriors ----
-        let mut post = Vec::with_capacity(n);
+        scratch.post.clear();
         for i in 0..n {
             let f = priors[i];
-            let cur = &alpha[i];
-            let nxt = &beta[i + 1];
+            let one_m_f = 1.0 - f;
+            let cur = scratch.rows[i];
+            let nxt = scratch.rows[i + 1];
+            // σ = 0 transmits t_i = w_i, σ = 1 transmits !w_i.
+            fill_emission(
+                &mut scratch.emit0,
+                received,
+                watermark[i],
+                &[1.0 - self.p_s, self.p_s],
+                cur.lo,
+                cur.len,
+                self.max_ins,
+            );
+            fill_emission(
+                &mut scratch.emit1,
+                received,
+                watermark[i],
+                &[self.p_s, 1.0 - self.p_s],
+                cur.lo,
+                cur.len,
+                self.max_ins,
+            );
+            let alpha_row = &scratch.alpha[cur.start..cur.start + cur.len];
+            let beta_row = &scratch.beta[nxt.start..nxt.start + nxt.len];
             // Accumulate P(s_i = sigma, received) for sigma in {0,1}.
             let mut mass = [0.0f64; 2];
-            for (off, &a) in cur.probs.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let j = cur.lo + off;
-                for (k, &wk) in ins_weight.iter().enumerate() {
-                    if j + k > m {
-                        break;
-                    }
-                    let base = a * wk;
-                    // Deletion paths carry no evidence about s_i.
-                    let del = base * self.p_d * nxt.get(j + k);
-                    mass[0] += del * (1.0 - f);
+            for (k, &wk) in scratch.ins_weight.iter().enumerate() {
+                // Deletion paths carry no evidence about s_i: they
+                // split between σ = 0 and σ = 1 by the prior alone.
+                if let Some((o_lo, o_hi)) =
+                    overlap(cur.lo + k, cur.len, nxt.lo, (nxt.lo + nxt.len - 1).min(m))
+                {
+                    let s0 = cur.lo + o_lo + k - nxt.lo;
+                    let a = &alpha_row[o_lo..=o_hi];
+                    let b = &beta_row[s0..s0 + a.len()];
+                    let dot: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+                    let del = wk * self.p_d * dot;
+                    mass[0] += del * one_m_f;
                     mass[1] += del * f;
-                    if j + k < m {
-                        let b = nxt.get(j + k + 1);
-                        if b > 0.0 {
-                            let tx = base * p_t * b;
-                            // sigma = 0: t_i = w_i.
-                            let e0 = if received[j + k] == watermark[i] {
-                                1.0 - self.p_s
-                            } else {
-                                self.p_s
-                            };
-                            // sigma = 1: t_i = !w_i.
-                            let e1 = if received[j + k] == watermark[i] {
-                                self.p_s
-                            } else {
-                                1.0 - self.p_s
-                            };
-                            mass[0] += tx * (1.0 - f) * e0;
-                            mass[1] += tx * f * e1;
-                        }
+                }
+                // Transmission paths weight each σ by its emission.
+                if let Some((o_lo, o_hi)) = overlap(
+                    cur.lo + k + 1,
+                    cur.len,
+                    nxt.lo.max(1),
+                    (nxt.lo + nxt.len - 1).min(m),
+                ) {
+                    let s0 = cur.lo + o_lo + k + 1 - nxt.lo;
+                    let e0 = cur.lo + o_lo + k;
+                    let a = &alpha_row[o_lo..=o_hi];
+                    let b = &beta_row[s0..s0 + a.len()];
+                    let em0 = &scratch.emit0[e0..e0 + a.len()];
+                    let em1 = &scratch.emit1[e0..e0 + a.len()];
+                    let mut t0 = 0.0f64;
+                    let mut t1 = 0.0f64;
+                    for (((&x, &y), &z0), &z1) in
+                        a.iter().zip(b.iter()).zip(em0.iter()).zip(em1.iter())
+                    {
+                        let ab = x * y;
+                        t0 += ab * z0;
+                        t1 += ab * z1;
                     }
+                    let wt = wk * (1.0 - self.p_d - self.p_i);
+                    mass[0] += wt * one_m_f * t0;
+                    mass[1] += wt * f * t1;
                 }
             }
             let total = mass[0] + mass[1];
-            post.push(if total > 0.0 { mass[1] / total } else { f });
+            scratch
+                .post
+                .push(if total > 0.0 { mass[1] / total } else { f });
         }
-        Ok(post)
+        Ok(&scratch.post)
+    }
+}
+
+/// Offsets `o` into a row starting at `lo_eff = row_lo + shift` (the
+/// caller folds its `j + k` shift into `lo_eff`) whose targets
+/// `lo_eff + o` land in `[t_lo, t_hi]`; `None` when the overlap is
+/// empty.
+#[inline]
+fn overlap(lo_eff: usize, len: usize, t_lo: usize, t_hi: usize) -> Option<(usize, usize)> {
+    if t_hi < lo_eff || len == 0 {
+        return None;
+    }
+    let o_lo = t_lo.saturating_sub(lo_eff);
+    let o_hi = (t_hi - lo_eff).min(len - 1);
+    (o_lo <= o_hi).then_some((o_lo, o_hi))
+}
+
+/// Fills `emit[t] = tab[received[t] ⊕ w]` over the window of
+/// received positions a row with band `[lo, lo + len)` can touch
+/// (`j + k` for `k ≤ max_ins`, clipped to `m - 1`). Branch-free:
+/// the two-entry table is indexed by the XOR of the bits, so the
+/// stored values are exactly the table entries.
+#[inline]
+fn fill_emission(
+    emit: &mut [f64],
+    received: &[bool],
+    w: bool,
+    tab: &[f64; 2],
+    lo: usize,
+    len: usize,
+    max_ins: usize,
+) {
+    let m = received.len();
+    if m == 0 {
+        return;
+    }
+    let hi = (lo + len - 1 + max_ins).min(m - 1);
+    if lo > hi {
+        return;
+    }
+    let wb = usize::from(w);
+    for (e, &r) in emit[lo..=hi].iter_mut().zip(&received[lo..=hi]) {
+        *e = tab[usize::from(r) ^ wb];
+    }
+}
+
+#[inline]
+fn normalize(row: &mut [f64]) {
+    let sum: f64 = row.iter().sum();
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for p in row {
+            *p *= inv;
+        }
     }
 }
 
@@ -509,5 +713,40 @@ mod tests {
         let l = DriftLattice::new(0.1, 0.1, 0.0).unwrap();
         let post = l.posteriors(&w, &vec![0.0; 300], &r).unwrap();
         assert!(post.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let (w, _s, t) = frame(400, 0.2, 12);
+        let r = send_through_channel(&t, 0.08, 0.04, 0.01, 13);
+        let l = DriftLattice::new(0.08, 0.04, 0.01).unwrap();
+        let priors = vec![0.2; 400];
+        let base = l.posteriors(&w, &priors, &r).unwrap();
+        // Dirty the scratch with a differently-shaped decode first.
+        let mut scratch = DecoderScratch::new();
+        let (w2, _s2, t2) = frame(90, 0.5, 14);
+        l.posteriors_into(&mut scratch, &w2, &vec![0.5; 90], &t2)
+            .unwrap();
+        let reused = l
+            .posteriors_into(&mut scratch, &w, &priors, &r)
+            .unwrap()
+            .to_vec();
+        assert_eq!(base, reused);
+    }
+
+    #[test]
+    fn narrow_band_reports_decode_failure() {
+        let (w, _s, t) = frame(800, 0.1, 15);
+        let r = send_through_channel(&t, 0.12, 0.0, 0.0, 16);
+        // A zero-slack, zero-diffusion band cannot absorb the drift of
+        // a 12% deletion rate over 800 bits: slack 0 with the
+        // diffusion estimate still covers it, so force the failure by
+        // pretending the channel is noiseless (half-width collapses to
+        // |n - m| which the *interior* rows cannot bridge).
+        let optimistic = DriftLattice::new(0.0, 0.0, 0.0).unwrap().with_slack(0);
+        assert!(matches!(
+            optimistic.posteriors(&w, &vec![0.1; 800], &r),
+            Err(CodingError::DecodeFailure(_))
+        ));
     }
 }

@@ -17,7 +17,10 @@
 //! * [`repetition`] — the negative baseline showing why synchronous
 //!   codes collapse under deletions;
 //! * [`rate`] — Monte-Carlo achievable-rate evaluation (experiment
-//!   E9's harness).
+//!   E9's harness);
+//! * [`campaign`] — engine-scale coded campaigns with per-worker
+//!   decode scratch: deterministic at any thread count,
+//!   allocation-free on the decode hot path (DESIGN §13).
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub mod bits;
+pub mod campaign;
 pub mod conv;
 pub mod error;
 pub mod interleave;

@@ -113,6 +113,24 @@ impl MarkerCode {
     /// Decoding itself always produces `k` bits — heavy noise shows
     /// up as bit errors, not failures.
     pub fn decode(&self, received: &[bool], k: usize) -> Result<Vec<bool>, CodingError> {
+        let mut out = Vec::new();
+        self.decode_into(received, k, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode`] into a caller-owned output buffer (the marker
+    /// decoder needs no other working memory); the decoded bits
+    /// replace the contents of `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    pub fn decode_into(
+        &self,
+        received: &[bool],
+        k: usize,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
         if k == 0 {
             return Err(CodingError::BadLength {
                 got: 0,
@@ -124,7 +142,8 @@ impl MarkerCode {
         // Search window proportional to the expected drift per
         // segment.
         let window = (seg_tx / 2).max(4);
-        let mut out = Vec::with_capacity(segments * self.period);
+        out.clear();
+        out.reserve(segments * self.period);
         let mut cursor: isize = 0;
         for _s in 0..segments {
             // Track alignment locally: under deletions/insertions the
@@ -150,7 +169,7 @@ impl MarkerCode {
             cursor = (start + seg_tx) as isize;
         }
         out.truncate(k);
-        Ok(out)
+        Ok(())
     }
 
     /// Finds the offset in `received`, within `window` of `guess`,

@@ -11,9 +11,9 @@ use crate::conv::ConvCode;
 use crate::error::CodingError;
 use crate::marker::MarkerCode;
 use crate::repetition::RepetitionCode;
-use crate::sequential::{SequentialConfig, SequentialDecoder};
-use crate::watermark::WatermarkCode;
-use crate::watermark_ldpc::LdpcWatermarkCode;
+use crate::sequential::{SequentialConfig, SequentialDecoder, SequentialScratch};
+use crate::watermark::{WatermarkCode, WatermarkScratch};
+use crate::watermark_ldpc::{LdpcWatermarkCode, LdpcWatermarkScratch};
 use nsc_channel::alphabet::{Alphabet, Symbol};
 use nsc_channel::di::{DeletionInsertionChannel, DiParams};
 use rand::rngs::StdRng;
@@ -70,6 +70,130 @@ impl Codec {
             Codec::Sequential { .. } => "sequential",
         }
     }
+
+    /// Encodes one data frame. The frame length must match
+    /// `data_len` (exactly [`LdpcWatermarkCode::data_len`] for the
+    /// LDPC variant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying encoder's validation errors.
+    pub fn encode(&self, data: &[bool]) -> Result<Vec<bool>, CodingError> {
+        match self {
+            Codec::Watermark(c) => c.encode(data),
+            Codec::LdpcWatermark(c) => c.encode(data),
+            Codec::Marker(c) => c.encode(data),
+            Codec::Repetition(c) => Ok(c.encode(data)),
+            Codec::Sequential { code, .. } => Ok(code.encode(data)),
+        }
+    }
+
+    /// Nominal code rate for `data_len` data bits per frame of
+    /// `encoded_len` transmitted bits.
+    pub fn nominal_rate(&self, data_len: usize, encoded_len: usize) -> f64 {
+        match self {
+            Codec::Watermark(c) => c.rate(data_len),
+            Codec::LdpcWatermark(c) => c.rate(),
+            Codec::Repetition(c) => c.rate(),
+            Codec::Marker(_) | Codec::Sequential { .. } => data_len as f64 / encoded_len as f64,
+        }
+    }
+}
+
+/// Reusable per-worker decode working memory covering every
+/// [`Codec`] variant plus the decoded-bits output buffer. One
+/// instance serves all trials of an evaluation or campaign worker;
+/// after the first frame the watermark/marker/repetition decode
+/// paths perform no heap allocation (see DESIGN §13).
+#[derive(Debug, Clone, Default)]
+pub struct CodecScratch {
+    pub(crate) watermark: WatermarkScratch,
+    pub(crate) ldpc: LdpcWatermarkScratch,
+    pub(crate) sequential: SequentialScratch,
+    /// Decoded data bits of the most recent frame.
+    pub(crate) decoded: Vec<bool>,
+}
+
+impl CodecScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded data bits of the most recent frame.
+    pub fn decoded(&self) -> &[bool] {
+        &self.decoded
+    }
+}
+
+/// Decodes one received frame for `codec` into `scratch.decoded`,
+/// reusing the scratch buffers across calls. `seq` must be the
+/// pre-constructed decoder when `codec` is [`Codec::Sequential`].
+pub(crate) fn decode_received(
+    codec: &Codec,
+    seq: Option<&SequentialDecoder>,
+    scratch: &mut CodecScratch,
+    received: &[bool],
+    data_len: usize,
+    p_d: f64,
+    p_i: f64,
+    p_s: f64,
+) -> Result<(), CodingError> {
+    match codec {
+        Codec::Watermark(c) => c.decode_into(
+            &mut scratch.watermark,
+            received,
+            data_len,
+            p_d,
+            p_i,
+            p_s,
+            &mut scratch.decoded,
+        ),
+        Codec::LdpcWatermark(c) => c.decode_into(
+            &mut scratch.ldpc,
+            received,
+            p_d,
+            p_i,
+            p_s,
+            &mut scratch.decoded,
+        ),
+        Codec::Marker(c) => c.decode_into(received, data_len, &mut scratch.decoded),
+        Codec::Repetition(c) => {
+            c.decode_into(received, data_len, &mut scratch.decoded);
+            Ok(())
+        }
+        Codec::Sequential { .. } => {
+            let decoder = seq.expect("sequential decoder must be pre-constructed");
+            decoder.decode_into(received, data_len, &mut scratch.sequential, &mut scratch.decoded)
+        }
+    }
+}
+
+/// Builds the sequential decoder for a [`Codec::Sequential`] (or
+/// `None` for the self-contained codecs), hoisted out of the trial
+/// loop so the per-trial path stays allocation-free.
+pub(crate) fn prepare_sequential(
+    codec: &Codec,
+    p_d: f64,
+    p_i: f64,
+    p_s: f64,
+) -> Result<Option<SequentialDecoder>, CodingError> {
+    match codec {
+        Codec::Sequential {
+            code,
+            max_expansions,
+        } => Ok(Some(SequentialDecoder::new(
+            code.clone(),
+            SequentialConfig {
+                p_d,
+                p_i,
+                p_s,
+                max_expansions: *max_expansions,
+            },
+        )?)),
+        _ => Ok(None),
+    }
 }
 
 /// Runs `trials` random frames of `data_len` bits through the channel
@@ -93,76 +217,50 @@ pub fn evaluate_codec(
             "data_len and trials must be positive".to_owned(),
         ));
     }
+    if let Codec::LdpcWatermark(c) = codec {
+        if data_len != c.data_len() {
+            return Err(CodingError::BadLength {
+                got: data_len,
+                need: format!("exactly {} (LDPC frame size)", c.data_len()),
+            });
+        }
+    }
     let params =
         DiParams::new(p_d, p_i, p_s).map_err(|e| CodingError::BadParameter(e.to_string()))?;
     let channel = DeletionInsertionChannel::new(Alphabet::binary(), params);
+    let seq_decoder = prepare_sequential(codec, p_d, p_i, p_s)?;
+    let mut scratch = CodecScratch::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total_ber = 0.0;
     let mut successes = 0usize;
     let mut nominal_rate = 0.0;
     for _ in 0..trials {
         let data = random_bits(data_len, &mut rng);
-        let (sent, decoded) = match codec {
-            Codec::Watermark(c) => {
-                let sent = c.encode(&data)?;
-                nominal_rate = c.rate(data_len);
-                let recv = transmit_bits(&channel, &sent, &mut rng);
-                let out = c.decode(&recv, data_len, p_d, p_i, p_s)?;
-                (sent, out)
+        let sent = codec.encode(&data)?;
+        nominal_rate = codec.nominal_rate(data_len, sent.len());
+        let recv = transmit_bits(&channel, &sent, &mut rng);
+        match decode_received(
+            codec,
+            seq_decoder.as_ref(),
+            &mut scratch,
+            &recv,
+            data_len,
+            p_d,
+            p_i,
+            p_s,
+        ) {
+            Ok(()) => {}
+            // A budget-exhausted sequential frame is a total loss,
+            // not an evaluation error: that is the measured
+            // behaviour. The other codecs always produce output, so
+            // their errors stay hard.
+            Err(_) if matches!(codec, Codec::Sequential { .. }) => {
+                scratch.decoded.clear();
+                scratch.decoded.resize(data_len, false);
             }
-            Codec::LdpcWatermark(c) => {
-                if data_len != c.data_len() {
-                    return Err(CodingError::BadLength {
-                        got: data_len,
-                        need: format!("exactly {} (LDPC frame size)", c.data_len()),
-                    });
-                }
-                let sent = c.encode(&data)?;
-                nominal_rate = c.rate();
-                let recv = transmit_bits(&channel, &sent, &mut rng);
-                let out = c.decode(&recv, p_d, p_i, p_s)?;
-                (sent, out)
-            }
-            Codec::Marker(c) => {
-                let sent = c.encode(&data)?;
-                nominal_rate = data_len as f64 / sent.len() as f64;
-                let recv = transmit_bits(&channel, &sent, &mut rng);
-                let out = c.decode(&recv, data_len)?;
-                (sent, out)
-            }
-            Codec::Repetition(c) => {
-                let sent = c.encode(&data);
-                nominal_rate = c.rate();
-                let recv = transmit_bits(&channel, &sent, &mut rng);
-                let out = c.decode(&recv, data_len);
-                (sent, out)
-            }
-            Codec::Sequential {
-                code,
-                max_expansions,
-            } => {
-                let decoder = SequentialDecoder::new(
-                    code.clone(),
-                    SequentialConfig {
-                        p_d,
-                        p_i,
-                        p_s,
-                        max_expansions: *max_expansions,
-                    },
-                )?;
-                let sent = code.encode(&data);
-                nominal_rate = data_len as f64 / sent.len() as f64;
-                let recv = transmit_bits(&channel, &sent, &mut rng);
-                // A budget-exhausted frame is a total loss, not an
-                // evaluation error: that is the measured behaviour.
-                let out = decoder
-                    .decode(&recv, data_len)
-                    .unwrap_or_else(|_| vec![false; data_len]);
-                (sent, out)
-            }
-        };
-        let _ = sent;
-        let ber = bit_error_rate(&decoded, &data);
+            Err(e) => return Err(e),
+        }
+        let ber = bit_error_rate(&scratch.decoded, &data);
         total_ber += ber;
         if ber == 0.0 {
             successes += 1;

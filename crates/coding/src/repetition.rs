@@ -54,6 +54,15 @@ impl RepetitionCode {
     /// there; a missing tail yields zeros.
     pub fn decode(&self, received: &[bool], k: usize) -> Vec<bool> {
         let mut out = Vec::with_capacity(k);
+        self.decode_into(received, k, &mut out);
+        out
+    }
+
+    /// [`Self::decode`] into a reused output buffer (cleared first);
+    /// bit-identical to the allocating form.
+    pub fn decode_into(&self, received: &[bool], k: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(k);
         for b in 0..k {
             let start = b * self.repeat;
             let mut ones = 0usize;
@@ -68,7 +77,6 @@ impl RepetitionCode {
             }
             out.push(total > 0 && ones * 2 > total);
         }
-        out
     }
 }
 

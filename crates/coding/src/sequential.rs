@@ -21,6 +21,25 @@ use crate::error::CodingError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Reusable search working memory for [`SequentialDecoder`]: the
+/// best-first heap, the event-enumeration stack, and the
+/// prefix-encode buffer, all of which keep their capacity across
+/// decodes. Per-node `data` clones remain — they are intrinsic to the
+/// stack algorithm (see DESIGN §13).
+#[derive(Debug, Clone, Default)]
+pub struct SequentialScratch {
+    heap: BinaryHeap<Node>,
+    stack: Vec<(usize, usize, f64)>,
+    coded: Vec<bool>,
+}
+
+impl SequentialScratch {
+    /// Creates an empty scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Configuration of the sequential decoder.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequentialConfig {
@@ -183,6 +202,25 @@ impl SequentialDecoder {
     ///   stream (typical at high event rates — the behaviour that
     ///   motivated watermark codes).
     pub fn decode(&self, received: &[bool], k: usize) -> Result<Vec<bool>, CodingError> {
+        let mut scratch = SequentialScratch::new();
+        let mut out = Vec::new();
+        self.decode_into(received, k, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode`] into caller-owned working memory; the decoded
+    /// data bits replace the contents of `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    pub fn decode_into(
+        &self,
+        received: &[bool],
+        k: usize,
+        scratch: &mut SequentialScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
         if k == 0 {
             return Err(CodingError::BadLength {
                 got: 0,
@@ -191,19 +229,19 @@ impl SequentialDecoder {
         }
         let total_inputs = k + self.code.tail_bits();
         let v = self.code.outputs_per_input();
-        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-        heap.push(Node {
+        scratch.heap.clear();
+        scratch.heap.push(Node {
             metric: 0.0,
             data: Vec::new(),
             consumed: 0,
         });
         let mut expansions = 0usize;
-        while let Some(node) = heap.pop() {
+        while let Some(node) = scratch.heap.pop() {
             if node.data.len() == total_inputs {
                 if node.consumed == received.len() {
-                    let mut data = node.data;
-                    data.truncate(k);
-                    return Ok(data);
+                    out.clear();
+                    out.extend_from_slice(&node.data[..k]);
+                    return Ok(());
                 }
                 // A finished path that has not explained the whole
                 // stream can still absorb trailing bits as insertions
@@ -212,7 +250,7 @@ impl SequentialDecoder {
                 n.metric += self.metric_insert();
                 n.consumed += 1;
                 if n.consumed <= received.len() {
-                    heap.push(n);
+                    scratch.heap.push(n);
                 }
                 continue;
             }
@@ -235,14 +273,15 @@ impl SequentialDecoder {
                 // Coded bits for this input, from a fresh encode of
                 // the prefix (the encoder is cheap; prefix encoding
                 // keeps Node small).
-                let coded = self.code.encode_prefix(&data);
-                let new_bits = &coded[(data.len() - 1) * v..data.len() * v];
+                self.code.encode_prefix_into(&data, &mut scratch.coded);
+                let new_bits = &scratch.coded[(data.len() - 1) * v..data.len() * v];
                 // For each coded bit: deletion or transmission, with
                 // optional insertions interleaved. Enumerate event
                 // strings with at most one insertion before each
                 // coded bit (the stack revisits for more).
                 self.expand_events(
-                    &mut heap,
+                    &mut scratch.heap,
+                    &mut scratch.stack,
                     node.metric,
                     data,
                     node.consumed,
@@ -259,9 +298,11 @@ impl SequentialDecoder {
     /// Pushes successor nodes covering all event strings for the
     /// freshly emitted coded bits: per coded bit, `0..=max_ins`
     /// insertions then deletion-or-transmission.
+    #[allow(clippy::too_many_arguments)]
     fn expand_events(
         &self,
         heap: &mut BinaryHeap<Node>,
+        stack: &mut Vec<(usize, usize, f64)>,
         base_metric: f64,
         data: Vec<bool>,
         base_consumed: usize,
@@ -272,7 +313,8 @@ impl SequentialDecoder {
         // insertion cap per bit; v is 2 or 3 in practice so the
         // fan-out stays modest.
         let max_ins = if self.config.p_i > 0.0 { 2 } else { 0 };
-        let mut stack: Vec<(usize, usize, f64)> = vec![(0, base_consumed, base_metric)];
+        stack.clear();
+        stack.push((0, base_consumed, base_metric));
         while let Some((bit_idx, consumed, metric)) = stack.pop() {
             if bit_idx == coded_bits.len() {
                 heap.push(Node {

@@ -20,11 +20,36 @@
 //! compare the rates achieved here (experiment E9) with the feedback
 //! capacity `N·(1 − P_d)` of Theorem 3.
 
-use crate::conv::ConvCode;
+use crate::conv::{ConvCode, ViterbiScratch};
 use crate::error::CodingError;
-use crate::lattice::DriftLattice;
+use crate::lattice::{DecoderScratch, DriftLattice};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Reusable decode working memory for [`WatermarkCode`]: the drift
+/// lattice's band scratch, the Viterbi scratch, and cached
+/// watermark/prior/LLR frames. After warm-up a full frame decode
+/// through [`WatermarkCode::decode_into`] performs zero heap
+/// allocations. The watermark/prior cache is keyed by
+/// `(seed, block_len, frame_len)`, so one scratch can serve many
+/// codecs without cross-contamination.
+#[derive(Debug, Clone, Default)]
+pub struct WatermarkScratch {
+    lattice: DecoderScratch,
+    viterbi: ViterbiScratch,
+    watermark: Vec<bool>,
+    priors: Vec<f64>,
+    llrs: Vec<f64>,
+    frame_key: Option<(u64, usize, usize)>,
+}
+
+impl WatermarkScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A watermark codec over the binary deletion-insertion channel.
 ///
@@ -101,14 +126,6 @@ impl WatermarkCode {
         crate::bits::random_bits(len, &mut StdRng::seed_from_u64(self.watermark_seed))
     }
 
-    /// Per-position sparse priors for a frame of `len` bits: 0.5 at
-    /// data-carrying positions (first of each block), 0 elsewhere.
-    fn priors(&self, len: usize) -> Vec<f64> {
-        (0..len)
-            .map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 })
-            .collect()
-    }
-
     /// Encodes data bits into the transmitted frame.
     ///
     /// # Errors
@@ -136,6 +153,9 @@ impl WatermarkCode {
     /// frame's data length `k` (frame framing is out of band, as in
     /// Davey & MacKay) and the channel parameters.
     ///
+    /// Allocating convenience wrapper over [`Self::decode_into`];
+    /// the two are bit-identical by construction.
+    ///
     /// # Errors
     ///
     /// Propagates lattice construction/decoding errors and outer-code
@@ -148,6 +168,29 @@ impl WatermarkCode {
         p_i: f64,
         p_s: f64,
     ) -> Result<Vec<bool>, CodingError> {
+        let mut scratch = WatermarkScratch::new();
+        let mut out = Vec::new();
+        self.decode_into(&mut scratch, received, k, p_d, p_i, p_s, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode`] into caller-owned working memory; the decoded
+    /// data bits replace the contents of `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_into(
+        &self,
+        scratch: &mut WatermarkScratch,
+        received: &[bool],
+        k: usize,
+        p_d: f64,
+        p_i: f64,
+        p_s: f64,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
         if k == 0 {
             return Err(CodingError::BadLength {
                 got: 0,
@@ -155,19 +198,38 @@ impl WatermarkCode {
             });
         }
         let frame_len = self.frame_len(k);
-        let w = self.watermark(frame_len);
-        let priors = self.priors(frame_len);
+        // Watermark and priors depend only on the cached key: rebuild
+        // them (deterministically) only when the key changes.
+        let key = (self.watermark_seed, self.block_len, frame_len);
+        if scratch.frame_key != Some(key) {
+            crate::bits::random_bits_into(
+                frame_len,
+                &mut StdRng::seed_from_u64(self.watermark_seed),
+                &mut scratch.watermark,
+            );
+            scratch.priors.clear();
+            scratch.priors.extend(
+                (0..frame_len).map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 }),
+            );
+            scratch.frame_key = Some(key);
+        }
         let lattice = DriftLattice::new(p_d, p_i, p_s)?;
-        let post = lattice.posteriors(&w, &priors, received)?;
+        let post = lattice.posteriors_into(
+            &mut scratch.lattice,
+            &scratch.watermark,
+            &scratch.priors,
+            received,
+        )?;
         // LLR of each outer coded bit from the posterior of its
         // data-carrying position.
         let coded_len = self.outer.coded_len(k);
-        let mut llrs = Vec::with_capacity(coded_len);
+        scratch.llrs.clear();
         for b in 0..coded_len {
             let p1 = post[b * self.block_len].clamp(1e-12, 1.0 - 1e-12);
-            llrs.push(((1.0 - p1) / p1).ln());
+            scratch.llrs.push(((1.0 - p1) / p1).ln());
         }
-        self.outer.decode_soft(&llrs)
+        self.outer
+            .decode_soft_into(&scratch.llrs, &mut scratch.viterbi, out)
     }
 }
 

@@ -9,10 +9,33 @@
 //! decision.
 
 use crate::error::CodingError;
-use crate::lattice::DriftLattice;
+use crate::lattice::{DecoderScratch, DriftLattice};
 use crate::ldpc::LdpcCode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Reusable decode working memory for [`LdpcWatermarkCode`]: the
+/// drift lattice's band scratch plus cached watermark/prior frames
+/// and the per-coded-bit posterior buffer handed to belief
+/// propagation. The inner lattice pass is allocation-free after
+/// warm-up; BP's message storage still allocates per decode (see
+/// DESIGN §13).
+#[derive(Debug, Clone, Default)]
+pub struct LdpcWatermarkScratch {
+    lattice: DecoderScratch,
+    watermark: Vec<bool>,
+    priors: Vec<f64>,
+    p_one: Vec<f64>,
+    frame_key: Option<(u64, usize, usize)>,
+}
+
+impl LdpcWatermarkScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A watermark codec with an LDPC outer code.
 ///
@@ -81,14 +104,17 @@ impl LdpcWatermarkCode {
         self.data_len() as f64 / self.frame_len() as f64
     }
 
-    fn watermark(&self) -> Vec<bool> {
+    /// The pseudorandom watermark frame shared by both ends.
+    pub fn watermark(&self) -> Vec<bool> {
         crate::bits::random_bits(
             self.frame_len(),
             &mut StdRng::seed_from_u64(self.watermark_seed),
         )
     }
 
-    fn priors(&self) -> Vec<f64> {
+    /// Per-position sparse priors: 0.5 at data-carrying positions
+    /// (first of each block), 0 elsewhere.
+    pub fn priors(&self) -> Vec<f64> {
         (0..self.frame_len())
             .map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 })
             .collect()
@@ -117,6 +143,9 @@ impl LdpcWatermarkCode {
 
     /// Decodes a received stream given the channel parameters.
     ///
+    /// Allocating convenience wrapper over [`Self::decode_into`];
+    /// the two are bit-identical by construction.
+    ///
     /// # Errors
     ///
     /// Propagates lattice and LDPC errors.
@@ -127,15 +156,58 @@ impl LdpcWatermarkCode {
         p_i: f64,
         p_s: f64,
     ) -> Result<Vec<bool>, CodingError> {
+        let mut scratch = LdpcWatermarkScratch::new();
+        let mut out = Vec::new();
+        self.decode_into(&mut scratch, received, p_d, p_i, p_s, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode`] into caller-owned working memory; the decoded
+    /// data bits replace the contents of `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    pub fn decode_into(
+        &self,
+        scratch: &mut LdpcWatermarkScratch,
+        received: &[bool],
+        p_d: f64,
+        p_i: f64,
+        p_s: f64,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
+        let frame_len = self.frame_len();
+        let key = (self.watermark_seed, self.block_len, frame_len);
+        if scratch.frame_key != Some(key) {
+            crate::bits::random_bits_into(
+                frame_len,
+                &mut StdRng::seed_from_u64(self.watermark_seed),
+                &mut scratch.watermark,
+            );
+            scratch.priors.clear();
+            scratch.priors.extend(
+                (0..frame_len).map(|i| if i % self.block_len == 0 { 0.5 } else { 0.0 }),
+            );
+            scratch.frame_key = Some(key);
+        }
         let lattice = DriftLattice::new(p_d, p_i, p_s)?;
-        let post = lattice.posteriors(&self.watermark(), &self.priors(), received)?;
+        let post = lattice.posteriors_into(
+            &mut scratch.lattice,
+            &scratch.watermark,
+            &scratch.priors,
+            received,
+        )?;
         // Per coded-bit posteriors at the data-carrying positions,
         // fed to belief propagation *as probabilities*.
-        let p_one: Vec<f64> = (0..self.outer.block_len())
-            .map(|b| post[b * self.block_len])
-            .collect();
-        self.outer
-            .decode_from_posteriors(&p_one, self.bp_iterations)
+        scratch.p_one.clear();
+        scratch
+            .p_one
+            .extend((0..self.outer.block_len()).map(|b| post[b * self.block_len]));
+        *out = self
+            .outer
+            .decode_from_posteriors(&scratch.p_one, self.bp_iterations)?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,234 @@
+//! The scratch-identity contract of the allocation-free decode hot
+//! path (DESIGN §13): every `*_into` entry point, fed a *dirty*
+//! scratch left over from decoding different frames, must be
+//! bit-identical to its allocating wrapper — across codecs, seeds,
+//! and engine thread counts — and the lattice posteriors it produces
+//! must stay inside `[0, 1]` with zero-prior positions pinned at
+//! exactly zero, at any band width.
+
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_coding::bits::random_bits;
+use nsc_coding::campaign::{run_coded_campaign_with, CodedPlan, DecoderBackend};
+use nsc_coding::conv::ConvCode;
+use nsc_coding::lattice::{DecoderScratch, DriftLattice};
+use nsc_coding::marker::MarkerCode;
+use nsc_coding::rate::Codec;
+use nsc_coding::repetition::RepetitionCode;
+use nsc_coding::sequential::{SequentialConfig, SequentialDecoder, SequentialScratch};
+use nsc_coding::watermark::{WatermarkCode, WatermarkScratch};
+use nsc_coding::watermark_ldpc::{LdpcWatermarkCode, LdpcWatermarkScratch};
+use nsc_core::engine::EngineConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn through_channel(bits: &[bool], p_d: f64, p_i: f64, p_s: f64, seed: u64) -> Vec<bool> {
+    let ch = DeletionInsertionChannel::new(
+        Alphabet::binary(),
+        DiParams::new(p_d, p_i, p_s).unwrap(),
+    );
+    let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ch.transmit(&input, &mut rng)
+        .received
+        .iter()
+        .map(|s| s.index() == 1)
+        .collect()
+}
+
+#[test]
+fn watermark_dirty_scratch_matches_allocating() {
+    let codec = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 99).unwrap();
+    // One scratch carried dirty through every (seed, frame size)
+    // combination: the reuse path must never leak state between
+    // frames.
+    let mut scratch = WatermarkScratch::new();
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 7] {
+        for k in [24usize, 60] {
+            let data = random_bits(k, &mut StdRng::seed_from_u64(seed));
+            let sent = codec.encode(&data).unwrap();
+            let recv = through_channel(&sent, 0.05, 0.02, 0.01, seed ^ 0xA5);
+            let fresh = codec.decode(&recv, k, 0.05, 0.02, 0.01).unwrap();
+            codec
+                .decode_into(&mut scratch, &recv, k, 0.05, 0.02, 0.01, &mut out)
+                .unwrap();
+            assert_eq!(out, fresh, "seed {seed}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn ldpc_watermark_dirty_scratch_matches_allocating() {
+    let codec = LdpcWatermarkCode::new(48, 48, 3, 3, 0xBEE).unwrap();
+    let mut scratch = LdpcWatermarkScratch::new();
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 7] {
+        let data = random_bits(48, &mut StdRng::seed_from_u64(seed));
+        let sent = codec.encode(&data).unwrap();
+        let recv = through_channel(&sent, 0.04, 0.0, 0.0, seed ^ 0x5A);
+        let fresh = codec.decode(&recv, 0.04, 0.0, 0.0).unwrap();
+        codec
+            .decode_into(&mut scratch, &recv, 0.04, 0.0, 0.0, &mut out)
+            .unwrap();
+        assert_eq!(out, fresh, "seed {seed}");
+    }
+}
+
+#[test]
+fn marker_and_repetition_dirty_buffers_match_allocating() {
+    let marker = MarkerCode::default_params();
+    let repetition = RepetitionCode::new(3).unwrap();
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 7] {
+        for k in [16usize, 40] {
+            let data = random_bits(k, &mut StdRng::seed_from_u64(seed));
+            let sent = marker.encode(&data).unwrap();
+            let recv = through_channel(&sent, 0.05, 0.0, 0.0, seed ^ 0x33);
+            let fresh = marker.decode(&recv, k).unwrap();
+            marker.decode_into(&recv, k, &mut out).unwrap();
+            assert_eq!(out, fresh, "marker seed {seed}, k {k}");
+
+            let sent = repetition.encode(&data);
+            let recv = through_channel(&sent, 0.05, 0.0, 0.0, seed ^ 0x44);
+            let fresh = repetition.decode(&recv, k);
+            repetition.decode_into(&recv, k, &mut out);
+            assert_eq!(out, fresh, "repetition seed {seed}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn sequential_dirty_scratch_matches_allocating() {
+    let code = ConvCode::standard_half_rate();
+    let decoder = SequentialDecoder::new(
+        ConvCode::standard_half_rate(),
+        SequentialConfig {
+            p_d: 0.02,
+            p_i: 0.0,
+            p_s: 0.0,
+            max_expansions: 50_000,
+        },
+    )
+    .unwrap();
+    let mut scratch = SequentialScratch::new();
+    let mut out = Vec::new();
+    for seed in [1u64, 2, 7] {
+        for k in [12usize, 20] {
+            let data = random_bits(k, &mut StdRng::seed_from_u64(seed));
+            let sent = code.encode(&data);
+            let recv = through_channel(&sent, 0.02, 0.0, 0.0, seed ^ 0x77);
+            let fresh = decoder.decode(&recv, k);
+            let reused = decoder.decode_into(&recv, k, &mut scratch, &mut out);
+            match (fresh, reused) {
+                (Ok(f), Ok(())) => assert_eq!(out, f, "seed {seed}, k {k}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed}, k {k}"),
+                (f, r) => panic!("divergent outcomes at seed {seed}, k {k}: {f:?} vs {r:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn lattice_dirty_scratch_matches_allocating_across_band_shapes() {
+    let lattice = DriftLattice::new(0.06, 0.03, 0.01).unwrap();
+    let mut scratch = DecoderScratch::new();
+    // Frame lengths chosen to force the band layout to grow, shrink,
+    // and grow again in one scratch lifetime.
+    for (len, seed) in [(90usize, 1u64), (30, 2), (150, 7)] {
+        let watermark = random_bits(len, &mut StdRng::seed_from_u64(seed));
+        let priors: Vec<f64> = (0..len)
+            .map(|i| if i % 3 == 0 { 0.5 } else { 0.0 })
+            .collect();
+        let received = through_channel(&watermark, 0.06, 0.03, 0.01, seed ^ 0x99);
+        let fresh = lattice.posteriors(&watermark, &priors, &received).unwrap();
+        let reused = lattice
+            .posteriors_into(&mut scratch, &watermark, &priors, &received)
+            .unwrap();
+        assert_eq!(reused, fresh.as_slice(), "len {len}");
+    }
+}
+
+#[test]
+fn campaign_summaries_identical_across_threads_and_backends() {
+    let plan = CodedPlan {
+        data_bits: 32,
+        p_d: 0.05,
+        p_i: 0.02,
+        p_s: 0.0,
+    };
+    let codec = Codec::Watermark(WatermarkCode::new(ConvCode::standard_half_rate(), 3, 11).unwrap());
+    let reference = run_coded_campaign_with(
+        &EngineConfig::serial(42),
+        &codec,
+        &plan,
+        9,
+        DecoderBackend::Scratch,
+    )
+    .unwrap()
+    .0;
+    for threads in [1usize, 2, 7] {
+        for backend in [DecoderBackend::Scratch, DecoderBackend::Allocating] {
+            let cfg = EngineConfig::seeded(42).with_threads(threads);
+            let (summary, manifest) =
+                run_coded_campaign_with(&cfg, &codec, &plan, 9, backend).unwrap();
+            assert_eq!(summary, reference, "threads {threads}, backend {backend}");
+            assert_eq!(
+                manifest.deterministic(),
+                run_coded_campaign_with(
+                    &EngineConfig::serial(42),
+                    &codec,
+                    &plan,
+                    9,
+                    DecoderBackend::Scratch
+                )
+                .unwrap()
+                .1
+                .deterministic(),
+                "threads {threads}, backend {backend}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At any band width (slack), the scratch path equals the
+    /// allocating path exactly, every posterior lies in `[0, 1]`, and
+    /// positions with a zero prior keep exactly zero posterior (no
+    /// rounding can ever invent probability mass for a
+    /// known-watermark position).
+    #[test]
+    fn posteriors_stay_probabilities_under_band_variation(
+        len in 12usize..60,
+        p_d in 0.0f64..0.12,
+        p_i in 0.0f64..0.08,
+        slack in 4usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let lattice = DriftLattice::new(p_d, p_i, 0.01).unwrap().with_slack(slack);
+        let watermark = random_bits(len, &mut StdRng::seed_from_u64(seed));
+        let priors: Vec<f64> = (0..len)
+            .map(|i| if i % 3 == 0 { 0.5 } else { 0.0 })
+            .collect();
+        let received = through_channel(&watermark, p_d, p_i, 0.01, seed ^ 0xC3);
+        let mut scratch = DecoderScratch::new();
+        let fresh = lattice.posteriors(&watermark, &priors, &received);
+        let reused = lattice
+            .posteriors_into(&mut scratch, &watermark, &priors, &received)
+            .map(<[f64]>::to_vec);
+        // A too-narrow band may legitimately fail to reach the
+        // received length — but both paths must agree on that too.
+        prop_assert_eq!(&fresh, &reused);
+        if let Ok(post) = fresh {
+            for (i, (&p, &prior)) in post.iter().zip(&priors).enumerate() {
+                prop_assert!((0.0..=1.0).contains(&p), "post[{}] = {}", i, p);
+                if prior == 0.0 {
+                    prop_assert!(p == 0.0, "zero-prior post[{}] = {}", i, p);
+                }
+            }
+        }
+    }
+}

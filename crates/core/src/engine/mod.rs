@@ -69,8 +69,8 @@ pub use campaign::{
 };
 pub use rng::TrialRng;
 pub use runner::{
-    fold_trials, fold_trials_timed, fold_trials_timed_with, fold_trials_with, par_map, run_trials,
-    run_trials_with,
+    fold_trials, fold_trials_scoped_timed, fold_trials_timed, fold_trials_timed_with,
+    fold_trials_with, par_map, run_trials, run_trials_scoped_timed, run_trials_with,
 };
 pub use seed::trial_seed;
 

@@ -327,7 +327,12 @@ where
 /// The context is *observational* state (buffers); trial outcomes
 /// must remain a pure function of `(trial_index, rng)` for the
 /// determinism contract to hold.
-pub(crate) fn fold_trials_scoped_timed<G, A, C, I, F>(
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn fold_trials_scoped_timed<G, A, C, I, F>(
     config: &EngineConfig,
     trials: usize,
     init: I,
@@ -370,7 +375,12 @@ where
 /// The scratch-threading run: like [`run_trials_with`] but with a
 /// per-worker context and an [`ExecutionReport`] with per-batch
 /// timings (see [`fold_trials_scoped_timed`]).
-pub(crate) fn run_trials_scoped_timed<G, T, C, I, F>(
+///
+/// # Errors
+///
+/// Returns [`CoreError::Engine`] if the worker pool failed to
+/// deliver a batch (an internal invariant violation).
+pub fn run_trials_scoped_timed<G, T, C, I, F>(
     config: &EngineConfig,
     trials: usize,
     init: I,
