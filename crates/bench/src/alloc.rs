@@ -1,0 +1,171 @@
+//! A counting global allocator: the runtime half of the allocation
+//! audit (DESIGN §14).
+//!
+//! `nsc-lint`'s `hot-alloc` rule is lexical — it flags allocation
+//! *patterns* inside hot regions but cannot see through calls. This
+//! module supplies the complementary runtime oracle: [`CountingAlloc`]
+//! wraps the system allocator and counts every allocation made while
+//! a census is recording, so tests can assert that a warm scratch
+//! path makes **zero** allocations, not merely that none are
+//! lexically visible.
+//!
+//! # Registration
+//!
+//! Counting only happens when `CountingAlloc` is the registered
+//! global allocator of the running binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: nsc_bench::alloc::CountingAlloc = nsc_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! This crate deliberately does **not** register it itself: a
+//! `#[global_allocator]` in a library would impose the allocator on
+//! every dependent binary and collide with any allocator they pick.
+//! Each census test binary (and `nsc-cli`, so `nsc bench` can report
+//! `allocs_per_iter`) registers its own static. Because counts are
+//! silently zero when some other allocator is registered, every
+//! census site must first check [`oracle_live`] — a census of a
+//! known allocation — so a mis-wired binary fails loudly instead of
+//! vacuously passing.
+//!
+//! # Scope
+//!
+//! The recording flag is thread-local: a census observes only
+//! allocations made by the calling thread, so parallel test threads
+//! do not pollute each other's counts. `alloc`, `alloc_zeroed`, and
+//! `realloc` each count as one allocation (a `Vec` growth doubling
+//! is an observable event); frees are not counted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation events observed since process start (recording threads
+/// only).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Bytes requested by those events.
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Whether the current thread is inside an [`alloc_census`].
+    /// `const` init keeps the TLS access itself allocation-free.
+    static RECORDING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Records one allocation event of `bytes` bytes if the current
+/// thread is censusing. `try_with` guards against TLS teardown during
+/// thread exit, when allocation can still occur.
+fn record(bytes: usize) {
+    if RECORDING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and counts
+/// allocation events made by threads inside an [`alloc_census`]. See
+/// the module docs for registration and scope.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds
+// the `GlobalAlloc` contract; the counting side effect touches only
+// an atomic and a thread-local flag and never observes or alters the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the GlobalAlloc contract; delegated to System unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        // SAFETY: forwarded verbatim under the caller's contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; delegated to System unchanged.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        // SAFETY: forwarded verbatim under the caller's contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; delegated to System unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim under the caller's contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: caller upholds the GlobalAlloc contract; delegated to System unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        // SAFETY: forwarded verbatim under the caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// What a closure allocated, as observed by [`alloc_census`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Census {
+    /// Allocation events (`alloc` + `alloc_zeroed` + `realloc`).
+    pub allocs: u64,
+    /// Total bytes those events requested.
+    pub bytes: u64,
+}
+
+/// Runs `f` with allocation recording enabled on the current thread
+/// and returns its result alongside the observed [`Census`].
+///
+/// Counts are all zero unless [`CountingAlloc`] is the binary's
+/// registered global allocator — pair with [`oracle_live`] to reject
+/// that false negative. Nested censuses are supported; the inner
+/// census's events are also visible to the outer one.
+pub fn alloc_census<R>(f: impl FnOnce() -> R) -> (R, Census) {
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let bytes_before = BYTES.load(Ordering::Relaxed);
+    let was_recording = RECORDING.with(|r| r.replace(true));
+    let out = f();
+    RECORDING.with(|r| r.set(was_recording));
+    (
+        out,
+        Census {
+            allocs: ALLOCS.load(Ordering::Relaxed) - allocs_before,
+            bytes: BYTES.load(Ordering::Relaxed) - bytes_before,
+        },
+    )
+}
+
+/// Returns `true` when the census oracle actually observes
+/// allocations — i.e. [`CountingAlloc`] is this binary's registered
+/// global allocator. Census tests must assert this up front:
+/// otherwise a "zero allocations" assertion passes vacuously in any
+/// binary that forgot the `#[global_allocator]` line.
+pub fn oracle_live() -> bool {
+    let (probe, census) = alloc_census(|| std::hint::black_box(vec![0u8; 4096]));
+    drop(probe);
+    census.allocs > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The bench crate's own unit-test binary does not register
+    // CountingAlloc, so only the pure bookkeeping is testable here;
+    // liveness is exercised by the per-crate `alloc_census`
+    // integration tests that do register it.
+
+    #[test]
+    fn census_of_nothing_is_zero() {
+        let ((), census) = alloc_census(|| ());
+        assert_eq!(census, Census::default());
+    }
+
+    #[test]
+    fn census_restores_the_recording_flag() {
+        let (inner, _) = alloc_census(|| {
+            let ((), nested) = alloc_census(|| ());
+            nested
+        });
+        assert_eq!(inner, Census::default());
+        assert!(!RECORDING.with(Cell::get));
+    }
+}

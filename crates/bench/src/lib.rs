@@ -26,15 +26,17 @@
 //! `experiments` binary prints all tables; `EXPERIMENTS.md` archives
 //! a run.
 //!
-//! Three support modules sit beside the experiments: [`setup`] holds
+//! Four support modules sit beside the experiments: [`setup`] holds
 //! the deterministic fixtures shared by the criterion benches and
 //! the regression suites, [`perf`] holds the in-process
 //! micro-benchmark suites behind `nsc bench` and
-//! `scripts/bench_export`, and [`seed_decode`] freezes the
+//! `scripts/bench_export`, [`seed_decode`] freezes the
 //! pre-optimization watermark decode path as the `coding` suite's
-//! reference kernel.
+//! reference kernel, and [`alloc`] holds the counting-allocator
+//! census oracle behind the allocation-audit tests (DESIGN §14).
 
 pub mod ablation_exp;
+pub mod alloc;
 pub mod baseline_exp;
 pub mod bounds_exp;
 pub mod channel_fidelity;

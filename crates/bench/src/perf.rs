@@ -114,6 +114,15 @@ pub struct BenchResult {
     pub ops: u64,
     /// Median over the repetitions of (wall ns / ops).
     pub median_ns_per_op: f64,
+    /// Heap allocations observed during one extra (untimed) kernel
+    /// repetition after the timed ones — the runtime side of the
+    /// allocation audit (DESIGN §14). `None` (omitted from JSON)
+    /// when [`crate::alloc::CountingAlloc`] is not the running
+    /// binary's global allocator; `nsc` registers it, so `nsc bench`
+    /// rows always carry a count and `scripts/bench_export` can hold
+    /// the scratch kernels to exactly zero.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub allocs_per_iter: Option<u64>,
 }
 
 /// One suite's report: every kernel at one profile.
@@ -181,17 +190,28 @@ where
         samples.push(ns / ops.max(1) as f64);
     }
     samples.sort_by(f64::total_cmp);
+    // One extra untimed repetition under the allocation census, after
+    // the timed ones, so the count is the kernel's *steady state* —
+    // warm-up allocations landed in the unrecorded first call.
+    let allocs_per_iter = crate::alloc::oracle_live().then(|| {
+        let (reported_ops, census) = crate::alloc::alloc_census(&mut kernel);
+        black_box(reported_ops);
+        census.allocs
+    });
     BenchResult {
         name: name.to_owned(),
         unit: unit.to_owned(),
         ops,
         median_ns_per_op: samples[samples.len() / 2],
+        allocs_per_iter,
     }
 }
 
 /// The engine suite: serial single-thread campaigns over three §3
 /// mechanisms (the `nsc trials` hot path end to end), once per
-/// requested execution kernel, plus the raw generators under them.
+/// requested execution kernel, plus the raw generators under them and
+/// the warm-scratch per-trial row (`trial_scratch_unsync`) whose
+/// `allocs_per_iter` the export script pins to zero.
 ///
 /// Row names carry the kernel (`campaign_unsync_scalar`,
 /// `campaign_unsync_bitsliced`, …) so `scripts/bench_export` can
@@ -243,6 +263,37 @@ pub fn engine_suite(profile: Profile, reps: usize, kernels: &[KernelKind]) -> Su
         black_box(acc);
         draws
     }));
+    // The per-trial scratch path: one warm `TrialScratch` driven
+    // straight through `run_unsynchronized_into`, skipping campaign
+    // assembly. Its ns/op is the floor under `campaign_unsync_scalar`,
+    // and its `allocs_per_iter` must be exactly zero — the scratch
+    // kernel `scripts/bench_export` holds to zero allocations.
+    {
+        use nsc_channel::alphabet::{Alphabet, Symbol};
+        use nsc_core::sim::unsync::run_unsynchronized_into;
+        use nsc_core::sim::{BernoulliSchedule, NullObserver, TrialScratch};
+
+        let alphabet = Alphabet::new(2).unwrap();
+        let mut msg_rng = StdRng::seed_from_u64(5);
+        let msg: Vec<Symbol> = (0..len).map(|_| alphabet.random(&mut msg_rng)).collect();
+        let mut scratch = TrialScratch::new();
+        results.push(measure("trial_scratch_unsync", "trial", reps, move || {
+            for t in 0..trials as u64 {
+                let mut sched = BernoulliSchedule::new(0.5, StdRng::seed_from_u64(t)).unwrap();
+                let outcome = run_unsynchronized_into(
+                    &msg,
+                    &mut sched,
+                    len * 64,
+                    &mut NullObserver,
+                    &mut scratch,
+                )
+                .unwrap();
+                black_box(outcome.ops);
+                scratch.received = outcome.received;
+            }
+            trials as u64
+        }));
+    }
     SuiteReport {
         suite: "engine".to_owned(),
         profile: profile.name().to_owned(),
@@ -500,12 +551,16 @@ mod tests {
                 "campaign_slotted_scalar",
                 "campaign_slotted_bitsliced",
                 "trial_rng",
-                "std_rng"
+                "std_rng",
+                "trial_scratch_unsync"
             ]
         );
         for r in &engine.results {
             assert!(r.median_ns_per_op > 0.0, "{}: {r:?}", r.name);
             assert!(r.ops > 0, "{}: {r:?}", r.name);
+            // This test binary does not register CountingAlloc, so
+            // the census field must be omitted, not zero.
+            assert_eq!(r.allocs_per_iter, None, "{}: {r:?}", r.name);
         }
 
         let scalar_only = engine_suite(Profile::Quick, 1, &[KernelKind::Scalar]);
@@ -521,7 +576,8 @@ mod tests {
                 "campaign_counter_scalar",
                 "campaign_slotted_scalar",
                 "trial_rng",
-                "std_rng"
+                "std_rng",
+                "trial_scratch_unsync"
             ]
         );
 

@@ -1627,11 +1627,19 @@ fn cmd_bench(args: &[String]) -> CliResult {
             s.suite, s.profile, s.reps
         );
         for r in &s.results {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  {:<26} {:>12.1} ns/{}  ({} ops per rep)",
                 r.name, r.median_ns_per_op, r.unit, r.ops
             );
+            // Present when the binary registers CountingAlloc (the
+            // `nsc` binary does); omitted in harnesses that don't.
+            match r.allocs_per_iter {
+                Some(allocs) => {
+                    let _ = writeln!(out, "  [{allocs} allocs/iter]");
+                }
+                None => out.push('\n'),
+            }
         }
     }
     out.push_str(

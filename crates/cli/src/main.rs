@@ -1,5 +1,14 @@
 //! Binary entry point for the `nsc` auditor CLI.
 
+/// The allocation-audit oracle (DESIGN §14): registering
+/// [`nsc_bench::alloc::CountingAlloc`] here is what lets
+/// `nsc bench --format json` report a real `allocs_per_iter` for
+/// every kernel row instead of omitting the field. Outside a census
+/// the counting hook is a single thread-local load, so the other
+/// subcommands pay nothing measurable.
+#[global_allocator]
+static ALLOC: nsc_bench::alloc::CountingAlloc = nsc_bench::alloc::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match nsc_cli::run(&args) {

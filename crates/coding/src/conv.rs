@@ -138,6 +138,7 @@ impl ConvCode {
     }
 
     /// [`Self::encode_prefix`] into a reused buffer (cleared first).
+    // nsc-lint: hot
     pub fn encode_prefix_into(&self, data: &[bool], out: &mut Vec<bool>) {
         out.clear();
         let mut state = 0u32;
@@ -208,6 +209,7 @@ impl ConvCode {
     /// # Errors
     ///
     /// Same conditions as [`Self::decode_soft`].
+    // nsc-lint: hot
     pub fn decode_soft_into(
         &self,
         llrs: &[f64],
@@ -218,6 +220,7 @@ impl ConvCode {
         if !llrs.len().is_multiple_of(v) || llrs.len() / v < self.tail_bits() {
             return Err(CodingError::BadLength {
                 got: llrs.len(),
+                // nsc-lint: allow(hot-alloc, reason = "cold validation path: a wrong-length frame aborts before the trellis pass starts")
                 need: format!("a positive multiple of {v} covering the tail"),
             });
         }

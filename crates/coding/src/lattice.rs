@@ -247,17 +247,20 @@ impl DriftLattice {
         if priors.len() != n {
             return Err(CodingError::BadLength {
                 got: priors.len(),
+                // nsc-lint: allow(hot-alloc, reason = "cold validation path: runs once per malformed call, never in the steady-state decode loop")
                 need: format!("one prior per transmitted bit ({n})"),
             });
         }
         for &f in priors {
             if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                // nsc-lint: allow(hot-alloc, reason = "cold validation path: runs once per malformed call, never in the steady-state decode loop")
                 return Err(CodingError::BadParameter(format!(
                     "prior {f} is not a probability"
                 )));
             }
         }
         if m > n * (self.max_ins + 1) {
+            // nsc-lint: allow(hot-alloc, reason = "cold rejection path: an unreachable received length aborts before the band loops")
             return Err(CodingError::DecodeFailure(format!(
                 "received {m} bits but at most {} are reachable",
                 n * (self.max_ins + 1)

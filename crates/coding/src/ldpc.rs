@@ -15,6 +15,37 @@ use crate::error::CodingError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Reusable belief-propagation working memory for [`LdpcCode`]: the
+/// flat check-to-variable message table (one slot per Tanner-graph
+/// edge), per-check message offsets, the variable-to-check messages
+/// for the check currently being updated, the hard-decision buffer,
+/// and the LLR buffer used by the posterior interface. After one
+/// warm-up decode, [`LdpcCode::decode_into`] makes no further heap
+/// allocations.
+#[derive(Debug, Clone, Default)]
+pub struct LdpcScratch {
+    /// Check-to-variable messages, all checks concatenated; the
+    /// messages of check `c` live at `offsets[c]..offsets[c + 1]`,
+    /// aligned with that check's neighbor list.
+    check_to_var: Vec<f64>,
+    /// Per-check start offsets into `check_to_var` (length `m + 1`).
+    offsets: Vec<usize>,
+    /// Variable-to-check messages for the check being updated.
+    incoming: Vec<f64>,
+    /// Hard decision per block bit.
+    hard: Vec<bool>,
+    /// LLRs derived from posteriors (posterior interface only).
+    llrs: Vec<f64>,
+}
+
+impl LdpcScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A systematic staircase LDPC code with `k` data bits and `m`
 /// parity bits (block length `k + m`).
 ///
@@ -168,9 +199,31 @@ impl LdpcCode {
     /// available hard decision is returned (errors surface as BER, as
     /// with every other codec here).
     pub fn decode(&self, llrs: &[f64], iterations: usize) -> Result<Vec<bool>, CodingError> {
+        let mut scratch = LdpcScratch::new();
+        let mut out = Vec::new();
+        self.decode_into(&mut scratch, llrs, iterations, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode`] into caller-owned working memory; the decoded
+    /// data bits replace the contents of `out`. Allocation-free once
+    /// `scratch` is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    // nsc-lint: hot
+    pub fn decode_into(
+        &self,
+        scratch: &mut LdpcScratch,
+        llrs: &[f64],
+        iterations: usize,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
         if llrs.len() != self.block_len() {
             return Err(CodingError::BadLength {
                 got: llrs.len(),
+                // nsc-lint: allow(hot-alloc, reason = "cold validation path: a wrong-length block aborts before belief propagation starts")
                 need: format!("block length {}", self.block_len()),
             });
         }
@@ -180,38 +233,40 @@ impl LdpcCode {
             ));
         }
         const NORMALIZATION: f64 = 0.75;
-        // Messages live on edges, stored per check aligned with
-        // check_adj.
-        let mut check_to_var: Vec<Vec<f64>> = self
-            .check_adj
-            .iter()
-            .map(|adj| vec![0.0; adj.len()])
-            .collect();
-        let mut hard = vec![false; self.block_len()];
+        // Messages live on edges, stored per check in one flat
+        // buffer: check `c` owns `offsets[c]..offsets[c + 1]`,
+        // aligned with check_adj[c].
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        let mut total = 0usize;
+        for adj in &self.check_adj {
+            total += adj.len();
+            scratch.offsets.push(total);
+        }
+        scratch.check_to_var.clear();
+        scratch.check_to_var.resize(total, 0.0);
+        scratch.hard.clear();
+        scratch.hard.resize(self.block_len(), false);
         for _ in 0..iterations {
             // Check update: for each check, combine the *extrinsic*
             // variable messages (llr + other checks' messages).
             for (c, adj) in self.check_adj.iter().enumerate() {
                 // Variable-to-check messages for this check.
-                let incoming: Vec<f64> = adj
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, &v)| {
-                        let mut msg = llrs[v];
-                        for &(c2, slot2) in &self.var_adj[v] {
-                            if c2 != c {
-                                msg += check_to_var[c2][slot2];
-                            }
+                scratch.incoming.clear();
+                for &v in adj {
+                    let mut msg = llrs[v];
+                    for &(c2, slot2) in &self.var_adj[v] {
+                        if c2 != c {
+                            msg += scratch.check_to_var[scratch.offsets[c2] + slot2];
                         }
-                        let _ = slot;
-                        msg
-                    })
-                    .collect();
+                    }
+                    scratch.incoming.push(msg);
+                }
                 // Min-sum: sign product and two smallest magnitudes.
                 let mut sign = 1.0f64;
                 let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
                 let mut argmin = 0usize;
-                for (i, &msg) in incoming.iter().enumerate() {
+                for (i, &msg) in scratch.incoming.iter().enumerate() {
                     if msg < 0.0 {
                         sign = -sign;
                     }
@@ -224,30 +279,36 @@ impl LdpcCode {
                         min2 = mag;
                     }
                 }
-                for (i, out) in check_to_var[c].iter_mut().enumerate() {
-                    let msg = incoming[i];
+                let base = scratch.offsets[c];
+                for (i, &msg) in scratch.incoming.iter().enumerate() {
                     let self_sign = if msg < 0.0 { -1.0 } else { 1.0 };
                     let mag = if i == argmin { min2 } else { min1 };
-                    *out = NORMALIZATION * sign * self_sign * mag.min(1e3);
+                    scratch.check_to_var[base + i] = NORMALIZATION * sign * self_sign * mag.min(1e3);
                 }
             }
             // Posterior + hard decision.
-            for (v, h) in hard.iter_mut().enumerate() {
+            for (v, h) in scratch.hard.iter_mut().enumerate() {
                 let mut l = llrs[v];
                 for &(c, slot) in &self.var_adj[v] {
-                    l += check_to_var[c][slot];
+                    l += scratch.check_to_var[scratch.offsets[c] + slot];
                 }
                 *h = l < 0.0;
             }
-            if self.check(&hard) {
+            if self.check(&scratch.hard) {
                 break;
             }
         }
-        Ok(hard[..self.k].to_vec())
+        out.clear();
+        out.extend_from_slice(&scratch.hard[..self.k]);
+        Ok(())
     }
 
     /// Convenience: decode from per-bit probabilities of being one
     /// (e.g. the drift lattice's posteriors), clamped away from 0/1.
+    ///
+    /// Allocating wrapper over
+    /// [`Self::decode_from_posteriors_into`]; the two are
+    /// bit-identical by construction.
     ///
     /// # Errors
     ///
@@ -257,14 +318,37 @@ impl LdpcCode {
         p_one: &[f64],
         iterations: usize,
     ) -> Result<Vec<bool>, CodingError> {
-        let llrs: Vec<f64> = p_one
-            .iter()
-            .map(|&p| {
-                let p = p.clamp(1e-9, 1.0 - 1e-9);
-                ((1.0 - p) / p).ln()
-            })
-            .collect();
-        self.decode(&llrs, iterations)
+        let mut scratch = LdpcScratch::new();
+        let mut out = Vec::new();
+        self.decode_from_posteriors_into(&mut scratch, p_one, iterations, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decode_from_posteriors`] into caller-owned working
+    /// memory. Allocation-free once `scratch` is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::decode`].
+    // nsc-lint: hot
+    pub fn decode_from_posteriors_into(
+        &self,
+        scratch: &mut LdpcScratch,
+        p_one: &[f64],
+        iterations: usize,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodingError> {
+        // Take the LLR buffer out of the scratch so the core decode
+        // can borrow the rest of it mutably alongside the LLR slice.
+        let mut llrs = std::mem::take(&mut scratch.llrs);
+        llrs.clear();
+        llrs.extend(p_one.iter().map(|&p| {
+            let p = p.clamp(1e-9, 1.0 - 1e-9);
+            ((1.0 - p) / p).ln()
+        }));
+        let result = self.decode_into(scratch, &llrs, iterations, out);
+        scratch.llrs = llrs;
+        result
     }
 }
 
@@ -388,6 +472,56 @@ mod tests {
         let block = c.encode(&data);
         let p_one: Vec<f64> = block.iter().map(|&b| if b { 0.95 } else { 0.05 }).collect();
         assert_eq!(c.decode_from_posteriors(&p_one, 30).unwrap(), data);
+    }
+
+    #[test]
+    fn dirty_scratch_decode_matches_allocating_decode() {
+        // One scratch reused across codes of different shapes and
+        // noise levels must reproduce the allocating interface
+        // bit-for-bit: every buffer is re-sized and re-zeroed per
+        // call, so stale state from a previous (larger) code cannot
+        // leak in.
+        let mut scratch = LdpcScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(k, m) in &[(256usize, 256usize), (64, 64), (100, 50)] {
+            let c = LdpcCode::new(k, m, 3, 7).unwrap();
+            for trial in 0..3 {
+                let data = random_bits(k, &mut rng);
+                let block = c.encode(&data);
+                let p = 0.04;
+                let llrs: Vec<f64> = block
+                    .iter()
+                    .map(|&b| {
+                        let flipped = rng.gen::<f64>() < p;
+                        let mag = ((1.0 - p) / p).ln();
+                        if b ^ flipped {
+                            -mag
+                        } else {
+                            mag
+                        }
+                    })
+                    .collect();
+                c.decode_into(&mut scratch, &llrs, 30, &mut out).unwrap();
+                assert_eq!(out, c.decode(&llrs, 30).unwrap(), "k={k} m={m} trial={trial}");
+                let p_one: Vec<f64> =
+                    block.iter().map(|&b| if b { 0.9 } else { 0.1 }).collect();
+                c.decode_from_posteriors_into(&mut scratch, &p_one, 30, &mut out)
+                    .unwrap();
+                assert_eq!(out, c.decode_from_posteriors(&p_one, 30).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_decode_validation_matches() {
+        let c = code();
+        let mut scratch = LdpcScratch::new();
+        let mut out = Vec::new();
+        assert!(c.decode_into(&mut scratch, &[0.0; 3], 10, &mut out).is_err());
+        assert!(c
+            .decode_into(&mut scratch, &vec![0.0; c.block_len()], 0, &mut out)
+            .is_err());
     }
 
     #[test]

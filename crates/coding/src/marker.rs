@@ -125,6 +125,7 @@ impl MarkerCode {
     /// # Errors
     ///
     /// Same conditions as [`Self::decode`].
+    // nsc-lint: hot
     pub fn decode_into(
         &self,
         received: &[bool],

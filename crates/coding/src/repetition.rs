@@ -60,6 +60,7 @@ impl RepetitionCode {
 
     /// [`Self::decode`] into a reused output buffer (cleared first);
     /// bit-identical to the allocating form.
+    // nsc-lint: hot
     pub fn decode_into(&self, received: &[bool], k: usize, out: &mut Vec<bool>) {
         out.clear();
         out.reserve(k);

@@ -22,15 +22,42 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Reusable search working memory for [`SequentialDecoder`]: the
-/// best-first heap, the event-enumeration stack, and the
-/// prefix-encode buffer, all of which keep their capacity across
-/// decodes. Per-node `data` clones remain — they are intrinsic to the
-/// stack algorithm (see DESIGN §13).
+/// best-first heap, the event-enumeration stack, the prefix-encode
+/// buffer, and the prefix arena, all of which keep their capacity
+/// across decodes.
+///
+/// Nodes do not own their data prefix: each hypothesized bit lives
+/// once in `arena` as a `(parent, bit)` link, and a node carries only
+/// the `u32` index of its last link. Materializing a prefix walks the
+/// parent chain into `prefix` — O(len), the same cost the per-node
+/// `Vec` clone used to pay, but with zero steady-state allocations
+/// (DESIGN §14 census) instead of one clone per successor node.
 #[derive(Debug, Clone, Default)]
 pub struct SequentialScratch {
     heap: BinaryHeap<Node>,
     stack: Vec<(usize, usize, f64)>,
     coded: Vec<bool>,
+    /// Prefix-tree links `(parent index, appended bit)`; cleared per
+    /// decode, capacity kept.
+    arena: Vec<(u32, bool)>,
+    /// Materialization buffer for the node currently being expanded.
+    prefix: Vec<bool>,
+}
+
+/// Sentinel arena index for the empty prefix.
+const ROOT: u32 = u32::MAX;
+
+/// Rebuilds the data prefix ending at arena link `tail` (length
+/// `len`) into `out`, walking the parent chain backwards.
+// nsc-lint: hot
+fn materialize(arena: &[(u32, bool)], mut tail: u32, len: u32, out: &mut Vec<bool>) {
+    out.clear();
+    out.resize(len as usize, false);
+    for slot in out.iter_mut().rev() {
+        let (parent, bit) = arena[tail as usize];
+        *slot = bit;
+        tail = parent;
+    }
 }
 
 impl SequentialScratch {
@@ -87,14 +114,23 @@ pub struct SequentialDecoder {
 }
 
 /// A search node: how much of the coded stream has been *sent*
-/// (hypothetically), the encoder's data prefix, and how much of the
-/// received stream is explained.
-#[derive(Debug, Clone)]
+/// (hypothetically), the encoder's data prefix (as an arena link),
+/// and how much of the received stream is explained.
+///
+/// Ordering uses `metric` alone, so replacing the owned prefix `Vec`
+/// with an arena index cannot change which node the heap pops next:
+/// the search trajectory — and therefore the decoded output — is
+/// bit-identical to the cloning implementation it replaced.
+#[derive(Debug, Clone, Copy)]
 struct Node {
     /// Fano metric (higher is better).
     metric: f64,
-    /// Data bits hypothesized so far (tail included).
-    data: Vec<bool>,
+    /// Arena index of the prefix's last `(parent, bit)` link;
+    /// [`ROOT`] for the empty prefix.
+    tail: u32,
+    /// Prefix length (tail bits included), cached so finished paths
+    /// are recognized without walking the chain.
+    len: u32,
     /// Received bits consumed so far.
     consumed: usize,
 }
@@ -214,6 +250,7 @@ impl SequentialDecoder {
     /// # Errors
     ///
     /// Same conditions as [`Self::decode`].
+    // nsc-lint: hot
     pub fn decode_into(
         &self,
         received: &[bool],
@@ -230,17 +267,20 @@ impl SequentialDecoder {
         let total_inputs = k + self.code.tail_bits();
         let v = self.code.outputs_per_input();
         scratch.heap.clear();
+        scratch.arena.clear();
         scratch.heap.push(Node {
             metric: 0.0,
-            data: Vec::new(),
+            tail: ROOT,
+            len: 0,
             consumed: 0,
         });
         let mut expansions = 0usize;
         while let Some(node) = scratch.heap.pop() {
-            if node.data.len() == total_inputs {
+            if node.len as usize == total_inputs {
                 if node.consumed == received.len() {
+                    materialize(&scratch.arena, node.tail, node.len, &mut scratch.prefix);
                     out.clear();
-                    out.extend_from_slice(&node.data[..k]);
+                    out.extend_from_slice(&scratch.prefix[..k]);
                     return Ok(());
                 }
                 // A finished path that has not explained the whole
@@ -256,25 +296,33 @@ impl SequentialDecoder {
             }
             expansions += 1;
             if expansions > self.config.max_expansions {
+                // nsc-lint: allow(hot-alloc, reason = "cold failure path: budget exhaustion ends the decode, nothing hot runs after it")
                 return Err(CodingError::DecodeFailure(format!(
                     "sequential decoder exhausted {} expansions",
                     self.config.max_expansions
                 )));
             }
             // The tail is known to be zeros; data bits branch.
-            let choices: &[bool] = if node.data.len() < k {
+            let choices: &[bool] = if (node.len as usize) < k {
                 &[false, true]
             } else {
                 &[false]
             };
+            // Materialize the parent prefix once per expansion; each
+            // choice appends its bit and pops it back off, so no
+            // per-successor copies are made.
+            materialize(&scratch.arena, node.tail, node.len, &mut scratch.prefix);
             for &b in choices {
-                let mut data = node.data.clone();
-                data.push(b);
+                debug_assert!(scratch.arena.len() < ROOT as usize);
+                let child = scratch.arena.len() as u32;
+                scratch.arena.push((node.tail, b));
+                scratch.prefix.push(b);
                 // Coded bits for this input, from a fresh encode of
                 // the prefix (the encoder is cheap; prefix encoding
                 // keeps Node small).
-                self.code.encode_prefix_into(&data, &mut scratch.coded);
-                let new_bits = &scratch.coded[(data.len() - 1) * v..data.len() * v];
+                self.code.encode_prefix_into(&scratch.prefix, &mut scratch.coded);
+                let dlen = scratch.prefix.len();
+                let new_bits = &scratch.coded[(dlen - 1) * v..dlen * v];
                 // For each coded bit: deletion or transmission, with
                 // optional insertions interleaved. Enumerate event
                 // strings with at most one insertion before each
@@ -283,11 +331,13 @@ impl SequentialDecoder {
                     &mut scratch.heap,
                     &mut scratch.stack,
                     node.metric,
-                    data,
+                    child,
+                    dlen as u32,
                     node.consumed,
                     new_bits,
                     received,
                 );
+                scratch.prefix.pop();
             }
         }
         Err(CodingError::DecodeFailure(
@@ -297,14 +347,18 @@ impl SequentialDecoder {
 
     /// Pushes successor nodes covering all event strings for the
     /// freshly emitted coded bits: per coded bit, `0..=max_ins`
-    /// insertions then deletion-or-transmission.
+    /// insertions then deletion-or-transmission. Every successor
+    /// shares the `(tail, len)` arena prefix — nodes are `Copy`, so
+    /// this pushes plain values, never clones.
+    // nsc-lint: hot
     #[allow(clippy::too_many_arguments)]
     fn expand_events(
         &self,
         heap: &mut BinaryHeap<Node>,
         stack: &mut Vec<(usize, usize, f64)>,
         base_metric: f64,
-        data: Vec<bool>,
+        tail: u32,
+        len: u32,
         base_consumed: usize,
         coded_bits: &[bool],
         received: &[bool],
@@ -319,7 +373,8 @@ impl SequentialDecoder {
             if bit_idx == coded_bits.len() {
                 heap.push(Node {
                     metric,
-                    data: data.clone(),
+                    tail,
+                    len,
                     consumed,
                 });
                 continue;

@@ -181,6 +181,7 @@ impl WatermarkCode {
     ///
     /// Same conditions as [`Self::decode`].
     #[allow(clippy::too_many_arguments)]
+    // nsc-lint: hot
     pub fn decode_into(
         &self,
         scratch: &mut WatermarkScratch,

@@ -10,19 +10,20 @@
 
 use crate::error::CodingError;
 use crate::lattice::{DecoderScratch, DriftLattice};
-use crate::ldpc::LdpcCode;
+use crate::ldpc::{LdpcCode, LdpcScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Reusable decode working memory for [`LdpcWatermarkCode`]: the
-/// drift lattice's band scratch plus cached watermark/prior frames
-/// and the per-coded-bit posterior buffer handed to belief
-/// propagation. The inner lattice pass is allocation-free after
-/// warm-up; BP's message storage still allocates per decode (see
-/// DESIGN §13).
+/// drift lattice's band scratch, cached watermark/prior frames, the
+/// per-coded-bit posterior buffer handed to belief propagation, and
+/// the BP message tables themselves ([`LdpcScratch`]). Both the inner
+/// lattice pass and the outer BP pass are allocation-free after
+/// warm-up (see DESIGN §14).
 #[derive(Debug, Clone, Default)]
 pub struct LdpcWatermarkScratch {
     lattice: DecoderScratch,
+    ldpc: LdpcScratch,
     watermark: Vec<bool>,
     priors: Vec<f64>,
     p_one: Vec<f64>,
@@ -168,6 +169,7 @@ impl LdpcWatermarkCode {
     /// # Errors
     ///
     /// Same conditions as [`Self::decode`].
+    // nsc-lint: hot
     pub fn decode_into(
         &self,
         scratch: &mut LdpcWatermarkScratch,
@@ -204,10 +206,12 @@ impl LdpcWatermarkCode {
         scratch
             .p_one
             .extend((0..self.outer.block_len()).map(|b| post[b * self.block_len]));
-        *out = self
-            .outer
-            .decode_from_posteriors(&scratch.p_one, self.bp_iterations)?;
-        Ok(())
+        self.outer.decode_from_posteriors_into(
+            &mut scratch.ldpc,
+            &scratch.p_one,
+            self.bp_iterations,
+            out,
+        )
     }
 }
 
@@ -279,6 +283,28 @@ mod tests {
         let back = c.decode(&recv, p_d, p_i, 0.0).unwrap();
         let ber = bit_error_rate(&back, &data);
         assert!(ber < 0.03, "ber = {ber}");
+    }
+
+    #[test]
+    fn dirty_scratch_decode_matches_allocating_decode() {
+        // A scratch reused across noise levels (and therefore across
+        // differently-shaped lattice bands and BP message tables)
+        // must reproduce the allocating decode bit-for-bit.
+        let c = codec();
+        let mut scratch = LdpcWatermarkScratch::new();
+        let mut out = Vec::new();
+        for (seed, &(p_d, p_i)) in [(0.0, 0.0), (0.06, 0.0), (0.04, 0.04)].iter().enumerate() {
+            let data = random_bits(200, &mut StdRng::seed_from_u64(seed as u64));
+            let sent = c.encode(&data).unwrap();
+            let recv = through_channel(&sent, p_d, p_i, seed as u64 + 10);
+            c.decode_into(&mut scratch, &recv, p_d, p_i, 0.0, &mut out)
+                .unwrap();
+            assert_eq!(
+                out,
+                c.decode(&recv, p_d, p_i, 0.0).unwrap(),
+                "p_d={p_d} p_i={p_i}"
+            );
+        }
     }
 
     #[test]

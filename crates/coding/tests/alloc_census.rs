@@ -1,0 +1,181 @@
+//! The runtime half of the allocation audit (DESIGN §14) for the
+//! coding crate: after one warm-up decode sizes the scratch, every
+//! decoder `*_into` entry point — the drift lattice's posteriors,
+//! every codec's decode, the convolutional soft path, and the LDPC
+//! belief-propagation core — must make **zero** heap allocations.
+
+use nsc_bench::alloc::{alloc_census, oracle_live, Census, CountingAlloc};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_channel::di::{DeletionInsertionChannel, DiParams};
+use nsc_coding::bits::random_bits;
+use nsc_coding::conv::{ConvCode, ViterbiScratch};
+use nsc_coding::lattice::{DecoderScratch, DriftLattice};
+use nsc_coding::ldpc::{LdpcCode, LdpcScratch};
+use nsc_coding::marker::MarkerCode;
+use nsc_coding::repetition::RepetitionCode;
+use nsc_coding::sequential::{SequentialConfig, SequentialDecoder, SequentialScratch};
+use nsc_coding::watermark::{WatermarkCode, WatermarkScratch};
+use nsc_coding::watermark_ldpc::{LdpcWatermarkCode, LdpcWatermarkScratch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn through_channel(bits: &[bool], p_d: f64, p_i: f64, p_s: f64, seed: u64) -> Vec<bool> {
+    let ch =
+        DeletionInsertionChannel::new(Alphabet::binary(), DiParams::new(p_d, p_i, p_s).unwrap());
+    let input: Vec<Symbol> = bits.iter().map(|&b| Symbol::from_index(b as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ch.transmit(&input, &mut rng)
+        .received
+        .iter()
+        .map(|s| s.index() == 1)
+        .collect()
+}
+
+fn warm_then_steady(mut decode: impl FnMut()) -> (Census, Census) {
+    assert!(
+        oracle_live(),
+        "CountingAlloc is not this binary's global allocator; censuses would be vacuous"
+    );
+    let ((), warm) = alloc_census(&mut decode);
+    let ((), steady) = alloc_census(&mut decode);
+    (warm, steady)
+}
+
+fn assert_steady_free(name: &str, decode: impl FnMut()) {
+    let (warm, steady) = warm_then_steady(decode);
+    assert!(warm.allocs > 0, "{name}: warm-up made no allocations — oracle or decode is miswired");
+    assert_eq!(
+        steady.allocs, 0,
+        "{name}: steady-state made {} allocations ({} bytes)",
+        steady.allocs, steady.bytes
+    );
+}
+
+#[test]
+fn lattice_posteriors_steady_state_is_allocation_free() {
+    let lattice = DriftLattice::new(0.06, 0.03, 0.01).unwrap();
+    let watermark = random_bits(120, &mut StdRng::seed_from_u64(1));
+    let priors: Vec<f64> = (0..120)
+        .map(|i| if i % 3 == 0 { 0.5 } else { 0.0 })
+        .collect();
+    let received = through_channel(&watermark, 0.06, 0.03, 0.01, 0x99);
+    let mut scratch = DecoderScratch::new();
+    assert_steady_free("lattice posteriors_into", || {
+        lattice
+            .posteriors_into(&mut scratch, &watermark, &priors, &received)
+            .unwrap();
+    });
+}
+
+#[test]
+fn watermark_decode_steady_state_is_allocation_free() {
+    let codec = WatermarkCode::new(ConvCode::standard_half_rate(), 3, 99).unwrap();
+    let data = random_bits(48, &mut StdRng::seed_from_u64(2));
+    let sent = codec.encode(&data).unwrap();
+    let recv = through_channel(&sent, 0.05, 0.02, 0.01, 0xA5);
+    let mut scratch = WatermarkScratch::new();
+    let mut out = Vec::new();
+    assert_steady_free("watermark decode_into", || {
+        codec
+            .decode_into(&mut scratch, &recv, 48, 0.05, 0.02, 0.01, &mut out)
+            .unwrap();
+    });
+}
+
+#[test]
+fn ldpc_watermark_decode_steady_state_is_allocation_free() {
+    let codec = LdpcWatermarkCode::new(48, 48, 3, 3, 0xBEE).unwrap();
+    let data = random_bits(48, &mut StdRng::seed_from_u64(3));
+    let sent = codec.encode(&data).unwrap();
+    let recv = through_channel(&sent, 0.04, 0.0, 0.0, 0x5A);
+    let mut scratch = LdpcWatermarkScratch::new();
+    let mut out = Vec::new();
+    assert_steady_free("ldpc watermark decode_into", || {
+        codec
+            .decode_into(&mut scratch, &recv, 0.04, 0.0, 0.0, &mut out)
+            .unwrap();
+    });
+}
+
+#[test]
+fn ldpc_bp_core_steady_state_is_allocation_free() {
+    let code = LdpcCode::new(128, 128, 3, 7).unwrap();
+    let data = random_bits(128, &mut StdRng::seed_from_u64(4));
+    let block = code.encode(&data);
+    let llrs: Vec<f64> = block.iter().map(|&b| if b { -3.0 } else { 3.0 }).collect();
+    let p_one: Vec<f64> = block.iter().map(|&b| if b { 0.9 } else { 0.1 }).collect();
+    let mut scratch = LdpcScratch::new();
+    let mut out = Vec::new();
+    assert_steady_free("ldpc decode_into", || {
+        code.decode_into(&mut scratch, &llrs, 40, &mut out).unwrap();
+    });
+    // The posterior interface adds one buffer (the derived LLRs) on
+    // top of the shared scratch: warm it once, then it too must be
+    // allocation-free.
+    code.decode_from_posteriors_into(&mut scratch, &p_one, 40, &mut out)
+        .unwrap();
+    let ((), steady_p) = alloc_census(|| {
+        code.decode_from_posteriors_into(&mut scratch, &p_one, 40, &mut out)
+            .unwrap();
+    });
+    assert_eq!(steady_p.allocs, 0, "posterior interface steady-state allocated");
+}
+
+#[test]
+fn sequential_decode_steady_state_is_allocation_free() {
+    let code = ConvCode::standard_half_rate();
+    let decoder = SequentialDecoder::new(
+        code.clone(),
+        SequentialConfig {
+            p_d: 0.02,
+            p_i: 0.02,
+            p_s: 0.0,
+            max_expansions: 100_000,
+        },
+    )
+    .unwrap();
+    let data = random_bits(40, &mut StdRng::seed_from_u64(5));
+    let sent = code.encode(&data);
+    let recv = through_channel(&sent, 0.02, 0.02, 0.0, 0x77);
+    let mut scratch = SequentialScratch::new();
+    let mut out = Vec::new();
+    assert_steady_free("sequential decode_into", || {
+        decoder.decode_into(&recv, 40, &mut scratch, &mut out).unwrap();
+    });
+}
+
+#[test]
+fn conv_soft_decode_steady_state_is_allocation_free() {
+    let code = ConvCode::standard_half_rate();
+    let data = random_bits(40, &mut StdRng::seed_from_u64(6));
+    let sent = code.encode(&data);
+    let llrs: Vec<f64> = sent.iter().map(|&b| if b { -2.0 } else { 2.0 }).collect();
+    let mut scratch = ViterbiScratch::new();
+    let mut out = Vec::new();
+    assert_steady_free("conv decode_soft_into", || {
+        code.decode_soft_into(&llrs, &mut scratch, &mut out).unwrap();
+    });
+}
+
+#[test]
+fn marker_and_repetition_decode_steady_state_is_allocation_free() {
+    let marker = MarkerCode::default_params();
+    let repetition = RepetitionCode::new(3).unwrap();
+    let data = random_bits(40, &mut StdRng::seed_from_u64(7));
+    let sent_m = marker.encode(&data).unwrap();
+    let recv_m = through_channel(&sent_m, 0.05, 0.0, 0.0, 0x33);
+    let sent_r = repetition.encode(&data);
+    let recv_r = through_channel(&sent_r, 0.05, 0.0, 0.0, 0x44);
+    let mut out = Vec::new();
+    assert_steady_free("marker decode_into", || {
+        marker.decode_into(&recv_m, 40, &mut out).unwrap();
+    });
+    assert!(oracle_live());
+    let ((), steady) = alloc_census(|| {
+        repetition.decode_into(&recv_r, 40, &mut out);
+    });
+    assert_eq!(steady.allocs, 0, "repetition decode_into steady-state allocated");
+}

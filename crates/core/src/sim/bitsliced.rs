@@ -349,6 +349,7 @@ pub struct UnsyncLanes {
 /// restricted to a Bernoulli schedule. Lane `l`'s counters are
 /// bit-identical to a scalar run whose schedule RNG starts from the
 /// state installed in `rng` lane `l`.
+// nsc-lint: hot
 #[must_use]
 pub fn run_unsync_lanes(
     rng: &mut LaneRng,
@@ -464,6 +465,7 @@ pub struct CounterLanes {
 ///
 /// Panics when the slab is smaller than `n_lanes * len` or the
 /// message is empty (the campaign layer validates both).
+// nsc-lint: hot
 #[must_use]
 pub fn run_counter_lanes(
     rng: &mut LaneRng,
@@ -596,6 +598,7 @@ pub struct SlottedLanes {
 /// # Panics
 ///
 /// Panics when `slot_len` is zero (the campaign layer validates it).
+// nsc-lint: hot
 #[must_use]
 pub fn run_slotted_lanes(
     rng: &mut LaneRng,

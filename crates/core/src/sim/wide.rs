@@ -170,6 +170,7 @@ pub fn run_wide_unsynchronized_into<S: OpSchedule + ?Sized, O: SimObserver + ?Si
     let alphabet = Alphabet::new(bits).map_err(|e| CoreError::BadSimulation(e.to_string()))?;
     for &s in message {
         if !alphabet.contains(s) {
+            // nsc-lint: allow(hot-alloc, reason = "cold validation path: a bad symbol aborts the trial before the op loop starts")
             return Err(CoreError::BadSimulation(format!(
                 "symbol {s} outside the {bits}-bit alphabet"
             )));

@@ -1,0 +1,232 @@
+//! The runtime half of the allocation audit (DESIGN §14): after one
+//! warm-up trial sizes a `TrialScratch`, every `run_*_into` mechanism
+//! runner and both bitsliced lane kernels must make **zero** heap
+//! allocations. `nsc-lint`'s `hot-alloc` rule pins the lexical
+//! patterns; this suite counts the actual events through
+//! [`CountingAlloc`], so an allocation hidden behind a call the lint
+//! cannot see still fails CI.
+//!
+//! Run in release mode (`cargo test --release --test alloc_census`):
+//! the assertions are identical either way, but release is what the
+//! bench path measures.
+
+use nsc_bench::alloc::{alloc_census, oracle_live, Census, CountingAlloc};
+use nsc_channel::alphabet::{Alphabet, Symbol};
+use nsc_core::sim::adaptive::run_adaptive_slotted_into;
+use nsc_core::sim::bitsliced::{
+    bernoulli_threshold, run_counter_lanes, run_slotted_lanes, run_unsync_lanes, LaneRng, LANES,
+};
+use nsc_core::sim::counter::run_counter_protocol_into;
+use nsc_core::sim::noisy_feedback::{run_noisy_counter_into, FeedbackQuality};
+use nsc_core::sim::slotted::run_slotted_into;
+use nsc_core::sim::stop_wait::run_stop_and_wait_into;
+use nsc_core::sim::unsync::run_unsynchronized_into;
+use nsc_core::sim::wide::run_wide_unsynchronized_into;
+use nsc_core::sim::{BernoulliSchedule, NullObserver, TrialScratch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const BITS: u32 = 2;
+const MSG_LEN: usize = 64;
+const MAX_OPS: usize = 4_000;
+const SENDER_PROB: f64 = 0.55;
+
+fn message(seed: u64) -> Vec<Symbol> {
+    let a = Alphabet::new(BITS).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    (0..MSG_LEN).map(|_| a.random(&mut rng)).collect()
+}
+
+fn schedule(seed: u64) -> BernoulliSchedule<StdRng> {
+    BernoulliSchedule::new(SENDER_PROB, StdRng::seed_from_u64(seed)).unwrap()
+}
+
+/// Runs `trial` twice — cold scratch, then warm — and returns both
+/// censuses. The trial must be deterministic (same seed both runs)
+/// so the warm run's buffer demands exactly match the cold run's.
+fn warm_then_steady(mut trial: impl FnMut()) -> (Census, Census) {
+    assert!(
+        oracle_live(),
+        "CountingAlloc is not this binary's global allocator; censuses would be vacuous"
+    );
+    let ((), warm) = alloc_census(&mut trial);
+    let ((), steady) = alloc_census(&mut trial);
+    (warm, steady)
+}
+
+/// Asserts the standard steady-state contract: the cold run sizes
+/// the buffers (and must be *seen* doing so — a second liveness
+/// guard), the warm run allocates nothing.
+fn assert_steady_free(name: &str, trial: impl FnMut()) {
+    let (warm, steady) = warm_then_steady(trial);
+    assert!(warm.allocs > 0, "{name}: warm-up made no allocations — oracle or trial is miswired");
+    assert_eq!(
+        steady.allocs, 0,
+        "{name}: steady-state made {} allocations ({} bytes)",
+        steady.allocs, steady.bytes
+    );
+}
+
+#[test]
+fn unsynchronized_steady_state_is_allocation_free() {
+    let msg = message(1);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("unsync", || {
+        let mut sched = schedule(11);
+        let o = run_unsynchronized_into(&msg, &mut sched, MAX_OPS, &mut NullObserver, &mut scratch)
+            .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn counter_steady_state_is_allocation_free() {
+    let msg = message(2);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("counter", || {
+        let mut sched = schedule(12);
+        let o =
+            run_counter_protocol_into(&msg, &mut sched, MAX_OPS, &mut NullObserver, &mut scratch)
+                .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn stop_and_wait_steady_state_is_allocation_free() {
+    let msg = message(3);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("stop_wait", || {
+        let mut sched = schedule(13);
+        let o = run_stop_and_wait_into(&msg, &mut sched, MAX_OPS, &mut NullObserver, &mut scratch)
+            .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn slotted_steady_state_is_allocation_free() {
+    let msg = message(4);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("slotted", || {
+        let mut sched = schedule(14);
+        let o = run_slotted_into(&msg, &mut sched, 4, MAX_OPS, &mut NullObserver, &mut scratch)
+            .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn adaptive_slotted_steady_state_is_allocation_free() {
+    let msg = message(5);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("adaptive", || {
+        let mut sched = schedule(15);
+        let o =
+            run_adaptive_slotted_into(&msg, &mut sched, MAX_OPS, &mut NullObserver, &mut scratch)
+                .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn noisy_counter_steady_state_is_allocation_free() {
+    let msg = message(6);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("noisy_counter", || {
+        let mut sched = schedule(16);
+        let mut fb_rng = StdRng::seed_from_u64(61);
+        let o = run_noisy_counter_into(
+            &msg,
+            &mut sched,
+            FeedbackQuality::perfect(),
+            &mut fb_rng,
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        scratch.received = o.received;
+    });
+}
+
+#[test]
+fn wide_steady_state_is_allocation_free() {
+    let msg = message(7);
+    let mut scratch = TrialScratch::new();
+    assert_steady_free("wide", || {
+        let mut sched = schedule(17);
+        let o = run_wide_unsynchronized_into(
+            &msg,
+            BITS,
+            &mut sched,
+            MAX_OPS,
+            &mut NullObserver,
+            &mut scratch,
+        )
+        .unwrap();
+        scratch.received = o.received;
+        scratch.sample_truth = o.sample_truth;
+    });
+}
+
+/// The bitsliced kernels return fixed-size counter arrays: they must
+/// never allocate — not even on the first batch.
+#[test]
+fn lane_kernels_never_allocate() {
+    assert!(oracle_live());
+    let mut rng = LaneRng::new();
+    for lane in 0..LANES {
+        rng.set_lane(lane, [lane as u64 + 1, 2, 3, 4]);
+    }
+    let threshold = bernoulli_threshold(SENDER_PROB);
+    let symbols: Vec<u16> = (0..LANES * MSG_LEN).map(|i| (i % 4) as u16).collect();
+    let (_, unsync) = alloc_census(|| {
+        black_box(run_unsync_lanes(&mut rng, LANES, MSG_LEN, threshold, MAX_OPS))
+    });
+    let (_, counter) = alloc_census(|| {
+        black_box(run_counter_lanes(
+            &mut rng, &symbols, LANES, MSG_LEN, threshold, MAX_OPS,
+        ))
+    });
+    let (_, slotted) = alloc_census(|| {
+        black_box(run_slotted_lanes(
+            &mut rng, LANES, MSG_LEN, 4, threshold, MAX_OPS,
+        ))
+    });
+    assert_eq!(unsync.allocs, 0, "unsync lanes allocated");
+    assert_eq!(counter.allocs, 0, "counter lanes allocated");
+    assert_eq!(slotted.allocs, 0, "slotted lanes allocated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// At any message length and seed, the cold run's allocation
+    /// count stays small (buffer growth is geometric, not per-op) and
+    /// the second identical trial is *exactly* allocation-free.
+    #[test]
+    fn warm_up_is_bounded_and_steady_state_is_zero(
+        len in 1usize..96,
+        seed in 0u64..1_000,
+    ) {
+        let a = Alphabet::new(BITS).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<Symbol> = (0..len).map(|_| a.random(&mut rng)).collect();
+        let mut scratch = TrialScratch::new();
+        let (warm, steady) = warm_then_steady(|| {
+            let mut sched = schedule(seed ^ 0xA5);
+            let o = run_unsynchronized_into(&msg, &mut sched, MAX_OPS, &mut NullObserver, &mut scratch)
+                .unwrap();
+            scratch.received = o.received;
+        });
+        prop_assert!(warm.allocs > 0);
+        prop_assert!(warm.allocs <= 64, "warm-up made {} allocations", warm.allocs);
+        prop_assert_eq!(steady.allocs, 0);
+    }
+}

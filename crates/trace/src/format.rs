@@ -241,6 +241,7 @@ impl RawEvent {
 /// and the `nsc loadgen` replay path.
 ///
 /// [`TraceWriter`]: crate::writer::TraceWriter
+// nsc-lint: hot
 pub fn render_event_line(buf: &mut Vec<u8>, event: &TraceEvent) {
     buf.clear();
     buf.extend_from_slice(b"{\"t\":");
@@ -256,6 +257,7 @@ pub fn render_event_line(buf: &mut Vec<u8>, event: &TraceEvent) {
 }
 
 /// Appends `value` in decimal to `buf`.
+// nsc-lint: hot
 fn push_u64(buf: &mut Vec<u8>, mut value: u64) {
     let mut digits = [0u8; 20];
     let mut at = digits.len();

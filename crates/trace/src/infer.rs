@@ -72,6 +72,7 @@ pub struct EventCounts {
 
 impl EventCounts {
     /// Tallies one event.
+    // nsc-lint: hot
     pub fn observe(&mut self, event: &TraceEvent) {
         self.events += 1;
         match event.kind {
@@ -374,6 +375,7 @@ impl InferenceBuilder {
     }
 
     /// Tallies one event.
+    // nsc-lint: hot
     pub fn observe(&mut self, event: &TraceEvent) {
         if self
             .blocks

@@ -1,0 +1,81 @@
+//! The runtime half of the allocation audit (DESIGN §14) for the
+//! trace crate: the writer's line renderer reuses its byte buffer and
+//! the streaming inference builder keeps bounded tallies, so both
+//! must be allocation-free in the steady state.
+
+use nsc_bench::alloc::{alloc_census, oracle_live, CountingAlloc};
+use nsc_trace::format::{render_event_line, TraceEvent, TraceEventKind};
+use nsc_trace::infer::InferenceBuilder;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn events() -> Vec<TraceEvent> {
+    (0..512u64)
+        .map(|t| {
+            let kind = match t % 5 {
+                0 => TraceEventKind::Send((t % 16) as u32),
+                1 => TraceEventKind::Recv((t % 16) as u32),
+                2 => TraceEventKind::Delete((t % 16) as u32),
+                3 => TraceEventKind::Insert((t % 16) as u32),
+                _ => TraceEventKind::Ack,
+            };
+            TraceEvent::new(t, kind)
+        })
+        .collect()
+}
+
+#[test]
+fn render_event_line_steady_state_is_allocation_free() {
+    assert!(
+        oracle_live(),
+        "CountingAlloc is not this binary's global allocator; censuses would be vacuous"
+    );
+    let events = events();
+    let mut buf = Vec::new();
+    // Warm-up: the longest line sizes the buffer once.
+    let ((), warm) = alloc_census(|| {
+        for e in &events {
+            render_event_line(&mut buf, e);
+            black_box(buf.as_slice());
+        }
+    });
+    assert!(warm.allocs > 0, "warm-up made no allocations — oracle miswired");
+    let ((), steady) = alloc_census(|| {
+        for e in &events {
+            render_event_line(&mut buf, e);
+            black_box(buf.as_slice());
+        }
+    });
+    assert_eq!(
+        steady.allocs, 0,
+        "render_event_line steady-state made {} allocations",
+        steady.allocs
+    );
+}
+
+#[test]
+fn inference_builder_observe_is_allocation_free_within_a_block() {
+    assert!(oracle_live());
+    let events = events();
+    // A block granularity beyond the event count: after the first
+    // block is pushed, `observe` only mutates fixed-size tallies.
+    let mut builder = InferenceBuilder::with_limits(1 << 20, 64);
+    let ((), warm) = alloc_census(|| {
+        for e in &events {
+            builder.observe(e);
+        }
+    });
+    assert!(warm.allocs > 0, "first block push should allocate — oracle miswired");
+    let ((), steady) = alloc_census(|| {
+        for e in &events {
+            builder.observe(e);
+        }
+    });
+    assert_eq!(
+        steady.allocs, 0,
+        "InferenceBuilder::observe steady-state made {} allocations",
+        steady.allocs
+    );
+}

@@ -1,0 +1,72 @@
+//! Hot-region seeded fixture: every allocation-audit rule must fire
+//! on this file.
+//!
+//! CI's `alloc-audit` job runs `nsc-lint` against this fixture and
+//! *requires* a non-zero exit — proving the hot-region scanner is
+//! alive — before trusting the linter's clean verdict on the
+//! workspace, exactly as `seeded_violations.rs` does for the
+//! determinism rules. This file is never compiled and is excluded
+//! from default workspace walks (`fixtures/` directories are
+//! skipped); it is only linted when passed explicitly.
+//!
+//! Expected diagnostics, in order (deny unless noted):
+//!   27:5  hot-alloc     (`Vec::new` in a marked-hot fn)
+//!   33:19 hot-alloc     (`.clone()` in a hot `impl` method)
+//!   39:17 hot-alloc     (`format!` in a hot fn)
+//!   40:45 hot-panic     (note: `.unwrap()` in the same hot fn)
+//!   54:1  unused-waiver (a `hot-alloc` waiver suppressing nothing)
+//! The *waived* `vec!` on line 47 and the allocations in the cold
+//! functions at the bottom must NOT be flagged.
+
+struct Frame {
+    bits: Vec<bool>,
+}
+
+// nsc-lint: hot
+fn hot_fresh_buffer() -> Vec<bool> {
+    Vec::new()
+}
+
+// nsc-lint: hot
+impl Frame {
+    fn hot_method(&self) -> Vec<bool> {
+        self.bits.clone()
+    }
+}
+
+// nsc-lint: hot
+fn hot_render(frame: &Frame) -> usize {
+    let label = format!("{} bits", frame.bits.len());
+    let first = frame.bits.first().copied().unwrap();
+    label.len() + usize::from(first)
+}
+
+// nsc-lint: hot
+fn hot_warmup_waived(n: usize) -> Vec<u8> {
+    // nsc-lint: allow(hot-alloc, reason = "warm-up: sized once per campaign, reused by every trial")
+    vec![0u8; n]
+}
+
+// nsc-lint: hot
+fn hot_stale_waiver(x: u64) -> u64 {
+    // The fn below allocates nothing, so this waiver is stale and
+    // must itself be flagged:
+    // nsc-lint: allow(hot-alloc, reason = "left behind after a refactor")
+    x.wrapping_mul(3)
+}
+
+fn cold_helper() -> Vec<bool> {
+    // Not in a hot region: allocation rules do not apply.
+    Vec::new()
+}
+
+fn main() {
+    let frame = Frame {
+        bits: cold_helper(),
+    };
+    let _ = hot_fresh_buffer();
+    let _ = frame.hot_method();
+    let _ = hot_render(&frame);
+    let _ = hot_warmup_waived(4);
+    let _ = hot_stale_waiver(7);
+}

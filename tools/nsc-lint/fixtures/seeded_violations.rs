@@ -1,4 +1,4 @@
-//! Seeded-violation fixture: every rule must fire on this file.
+//! Seeded fixture: every determinism rule fires here (hot-region rules: see `hot_violations.rs`).
 //!
 //! CI runs `nsc-lint` against this fixture and *requires* a non-zero
 //! exit — proving the linter is alive — before trusting its clean

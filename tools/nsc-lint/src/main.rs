@@ -23,6 +23,20 @@
 //!   code in a result path is flagged for review (reported, never
 //!   counted toward the exit code) because ISA dispatch can make the
 //!   same seed produce different bytes on different machines;
+//! * `hot-alloc` — no allocating expressions (`Vec::new`, `vec!`,
+//!   `.to_vec()`, `.clone()`, `.collect()`, `Box::new`,
+//!   `String::from`, `format!`, `with_capacity`) inside a declared
+//!   hot region: a `// nsc-lint: hot`-marked `fn`/`impl`, or any
+//!   `*_into`/`*_with_scratch` entry point under
+//!   `crates/core/src/sim/`, `crates/core/src/engine/`,
+//!   `crates/coding/src/lattice.rs`, or `crates/trace/src/`. The
+//!   static twin of the `alloc_census` runtime oracle in
+//!   `crates/bench` (DESIGN §14);
+//! * `hot-panic` — note-level: `unwrap`/`expect`/`panic!` inside a
+//!   hot region;
+//! * `unused-waiver` — a `hot-alloc`/`hot-panic` waiver that no
+//!   longer suppresses anything is stale bookkeeping and fails the
+//!   lint;
 //! * `bad-waiver` — malformed waivers are themselves violations.
 //!
 //! Waiver syntax, on the offending line or the line directly above:
@@ -42,7 +56,7 @@
 mod lexer;
 mod rules;
 
-use rules::{check_file, FileReport, RULES};
+use rules::{check_file_ctx, FileContext, FileReport, RULES};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -130,10 +144,22 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 }
 
 /// Test code (integration tests, benches) is exempt from the
-/// determinism rules; see [`rules::check_file`].
+/// determinism rules; see [`rules::check_file_ctx`].
 fn is_test_path(path: &Path) -> bool {
     path.components()
         .any(|c| matches!(c.as_os_str().to_str(), Some("tests") | Some("benches")))
+}
+
+/// Files whose `*_into`/`*_with_scratch` entry points are hot by
+/// default: the steady-state trial, decode, and trace-render paths.
+/// Matched on the path suffix so relative and absolute invocations
+/// agree.
+fn is_default_hot_path(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    ["crates/core/src/sim/", "crates/core/src/engine/", "crates/trace/src/"]
+        .iter()
+        .any(|dir| p.contains(dir))
+        || p.ends_with("crates/coding/src/lattice.rs")
 }
 
 fn json_escape(s: &str) -> String {
@@ -228,7 +254,13 @@ fn run() -> Result<ExitCode, String> {
     for path in &files {
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let rep = check_file(&src, is_test_path(path));
+        let rep = check_file_ctx(
+            &src,
+            FileContext {
+                test_file: is_test_path(path),
+                default_hot: is_default_hot_path(path),
+            },
+        );
         let display = path
             .strip_prefix(&opts.root)
             .unwrap_or(path)
@@ -349,6 +381,26 @@ mod tests {
             "crates/bench/benches/bench_channel.rs"
         )));
         assert!(!is_test_path(Path::new("crates/core/src/engine/runner.rs")));
+    }
+
+    #[test]
+    fn default_hot_paths_detected() {
+        for p in [
+            "crates/core/src/sim/unsync.rs",
+            "/abs/root/crates/core/src/sim/unsync.rs",
+            "crates/core/src/engine/campaign.rs",
+            "crates/coding/src/lattice.rs",
+            "crates/trace/src/format.rs",
+        ] {
+            assert!(is_default_hot_path(Path::new(p)), "{p}");
+        }
+        for p in [
+            "crates/coding/src/sequential.rs",
+            "crates/core/src/bounds.rs",
+            "crates/cli/src/lib.rs",
+        ] {
+            assert!(!is_default_hot_path(Path::new(p)), "{p}");
+        }
     }
 
     #[test]

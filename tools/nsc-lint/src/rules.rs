@@ -17,8 +17,33 @@
 //! Test code — files under a `tests/` or `benches/` directory, and
 //! `#[cfg(test)]` items — is exempt from the determinism rules
 //! (`wall-clock`, `ambient-rng`, `unordered-collections`,
-//! `mpsc-merge`) because test assertions do not feed results.
-//! `undocumented-unsafe` and `bad-waiver` apply everywhere.
+//! `mpsc-merge`) and from the hot-region rules (`hot-alloc`,
+//! `hot-panic`) because test assertions do not feed results and do
+//! not run on the trial hot path. `undocumented-unsafe` and
+//! `bad-waiver` apply everywhere.
+//!
+//! ## Hot regions
+//!
+//! The allocation-audit rules only fire inside *hot regions*: the
+//! brace-balanced bodies of functions that are part of the
+//! steady-state per-trial / per-decode path. A function is hot when
+//!
+//! * a `// nsc-lint: hot` comment precedes it (the marker attaches
+//!   to the next `fn` or `impl` item; on an `impl`, every method in
+//!   the block is hot), or
+//! * the file is in a default-hot path (`crates/core/src/sim/`,
+//!   `crates/core/src/engine/`, `crates/coding/src/lattice.rs`,
+//!   `crates/trace/src/`) and the function name ends in `_into` or
+//!   `_with_scratch` — the workspace's scratch-reuse entry-point
+//!   convention.
+//!
+//! Inside a hot region, `hot-alloc` (deny) flags allocating
+//! expressions and `hot-panic` (note) flags panicking ones. Warm-up
+//! or cold-error-path allocations carry the standard waiver — and a
+//! `hot-alloc`/`hot-panic` waiver that suppresses nothing is itself
+//! a violation (`unused-waiver`), so stale bookkeeping cannot
+//! accumulate: every waiver must still name a real, present
+//! allocation documented in DESIGN §14.
 
 use crate::lexer::{lex, Tok, TokKind};
 
@@ -74,6 +99,29 @@ pub const RULES: &[RuleInfo] = &[
                   dispatch out of result paths or pin equivalence the way the \
                   kernel-equivalence CI job pins scalar vs bitsliced.",
         note: true,
+    },
+    RuleInfo {
+        name: "hot-alloc",
+        summary: "allocating expression (Vec::new/vec!/to_vec/clone/collect/Box::new/\
+                  String::from/format!/with_capacity) inside a declared hot region; the \
+                  steady-state trial and decode paths must reuse scratch buffers. Waive \
+                  only warm-up or cold error-path allocations, each documented in \
+                  DESIGN \u{a7}14 and backed by the alloc_census runtime oracle.",
+        note: false,
+    },
+    RuleInfo {
+        name: "hot-panic",
+        summary: "note: unwrap/expect/panic! inside a hot region; prefer typed errors \
+                  on the per-trial path so a poisoned input cannot abort a campaign \
+                  mid-merge.",
+        note: true,
+    },
+    RuleInfo {
+        name: "unused-waiver",
+        summary: "a hot-alloc/hot-panic waiver that suppresses nothing; the allocation \
+                  it documented is gone, so the waiver is stale bookkeeping and must be \
+                  removed (keeps DESIGN \u{a7}14's warm-up table honest).",
+        note: false,
     },
     RuleInfo {
         name: "bad-waiver",
@@ -141,11 +189,39 @@ const TEST_EXEMPT: &[&str] = &[
     "unordered-collections",
     "mpsc-merge",
     "kernel-divergence",
+    "hot-alloc",
+    "hot-panic",
 ];
 
+/// How a file should be checked: whole-file test exemption and
+/// whether `*_into`/`*_with_scratch` functions are hot by default
+/// (both derived from the file's path by the caller).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileContext {
+    /// The whole file is test code (under `tests/` or `benches/`).
+    pub test_file: bool,
+    /// The file sits on a declared hot path, so scratch-reuse entry
+    /// points are hot without an explicit `// nsc-lint: hot` marker.
+    pub default_hot: bool,
+}
+
 /// Checks one file's source. `test_file` marks the whole file as test
-/// code (integration tests, benches).
+/// code (integration tests, benches); `*_into` entry points are not
+/// hot by default (use [`check_file_ctx`] for path-aware checking).
+#[cfg(test)]
 pub fn check_file(src: &str, test_file: bool) -> FileReport {
+    check_file_ctx(
+        src,
+        FileContext {
+            test_file,
+            default_hot: false,
+        },
+    )
+}
+
+/// Checks one file's source under an explicit [`FileContext`].
+pub fn check_file_ctx(src: &str, ctx: FileContext) -> FileReport {
+    let test_file = ctx.test_file;
     let toks = lex(src);
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
@@ -159,9 +235,10 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
 
     let mut report = FileReport::default();
 
-    // ---- Waivers (from comment tokens). -------------------------
+    // ---- Waivers and hot markers (from comment tokens). ---------
     // Doc comments are excluded: rustdoc prose *describing* the
     // waiver syntax must not be parsed as a waiver.
+    let mut hot_markers: Vec<u32> = Vec::new();
     for t in toks
         .iter()
         .filter(|t| matches!(t.kind, TokKind::Comment { doc: false }))
@@ -169,7 +246,14 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
         let Some(idx) = t.text.find("nsc-lint:") else {
             continue;
         };
-        match parse_waiver(&t.text[idx + "nsc-lint:".len()..]) {
+        let tail = &t.text[idx + "nsc-lint:".len()..];
+        // A `hot` tail marks the next `fn` or `impl` item as a hot
+        // region; it is an annotation, not a waiver.
+        if tail.trim().trim_end_matches("*/").trim() == "hot" {
+            hot_markers.push(t.line);
+            continue;
+        }
+        match parse_waiver(tail) {
             Ok((rule, reason)) => {
                 if !known_rule(&rule) {
                     report.violations.push(Violation {
@@ -215,6 +299,11 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
                 .iter()
                 .any(|&(lo, hi)| lo <= line && line <= hi)
     };
+
+    // ---- Hot regions (line ranges of hot function bodies). ------
+    let hot_spans = hot_regions(&code, &hot_markers, ctx.default_hot);
+    let in_hot =
+        |line: u32| -> bool { hot_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi) };
 
     // ---- Per-line comment text, for the SAFETY rule. ------------
     let mut comment_on_line: Vec<(u32, &str)> = toks
@@ -392,6 +481,60 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
         i = j.max(i + 1);
     }
 
+    // ---- Hot-region rules: hot-alloc (deny), hot-panic (note). --
+    let prev_dot = |i: usize| -> bool { i > 0 && code[i - 1].is_punct('.') };
+    let next_bang = |i: usize| -> bool { code.get(i + 1).is_some_and(|t| t.is_punct('!')) };
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !in_hot(t.line) {
+            continue;
+        }
+        let alloc: Option<&str> = match t.text.as_str() {
+            "Vec" if path_sep(i + 1) && ident(i + 3, "new") => Some("`Vec::new` allocates"),
+            "Box" if path_sep(i + 1) && ident(i + 3, "new") => Some("`Box::new` allocates"),
+            "String" if path_sep(i + 1) && ident(i + 3, "from") => {
+                Some("`String::from` allocates")
+            }
+            "vec" if next_bang(i) => Some("`vec!` allocates"),
+            "format" if next_bang(i) => Some("`format!` allocates"),
+            "to_vec" if prev_dot(i) => Some("`.to_vec()` allocates a fresh Vec"),
+            "clone" if prev_dot(i) => Some("`.clone()` deep-copies its receiver"),
+            "collect" if prev_dot(i) => Some("`.collect()` builds a fresh collection"),
+            "with_capacity" => Some("`with_capacity` allocates"),
+            _ => None,
+        };
+        if let Some(what) = alloc {
+            found.push(Violation {
+                rule: "hot-alloc",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{what} inside a hot region; reuse the scratch buffer, or waive a \
+                     documented warm-up/cold-path site (DESIGN \u{a7}14)"
+                ),
+                snippet: snippet(t.line),
+            });
+            continue;
+        }
+        let panics = match t.text.as_str() {
+            "unwrap" | "expect" => prev_dot(i),
+            "panic" => next_bang(i),
+            _ => false,
+        };
+        if panics {
+            found.push(Violation {
+                rule: "hot-panic",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` can panic inside a hot region; prefer a typed error so a bad \
+                     input cannot abort a campaign mid-merge",
+                    t.text
+                ),
+                snippet: snippet(t.line),
+            });
+        }
+    }
+
     // ---- Apply test exemptions and waivers. ---------------------
     for v in found {
         if TEST_EXEMPT.contains(&v.rule) && in_test(v.line) {
@@ -407,6 +550,31 @@ pub fn check_file(src: &str, test_file: bool) -> FileReport {
         }
         report.violations.push(v);
     }
+
+    // ---- Stale hot-rule waivers are violations. -----------------
+    // The §14 double-entry bookkeeping: every hot-alloc/hot-panic
+    // waiver documents a real, measured allocation; when the site is
+    // gone the waiver must go too, or the audit table lies.
+    let stale: Vec<(u32, String)> = report
+        .waivers
+        .iter()
+        .filter(|w| !w.used && (w.rule == "hot-alloc" || w.rule == "hot-panic"))
+        .filter(|w| !in_test(w.line))
+        .map(|w| (w.line, w.rule.clone()))
+        .collect();
+    for (line, rule) in stale {
+        report.violations.push(Violation {
+            rule: "unused-waiver",
+            line,
+            col: 1,
+            message: format!(
+                "waiver for `{rule}` suppresses nothing; the documented allocation is \
+                 gone, so remove the waiver (and its DESIGN \u{a7}14 table row)"
+            ),
+            snippet: snippet(line),
+        });
+    }
+
     report.violations.sort_by_key(|v| (v.line, v.col));
     report
 }
@@ -438,6 +606,98 @@ fn parse_waiver(rest: &str) -> Result<(String, String), &'static str> {
         return Err("unterminated reason string");
     };
     Ok((rule, tail[..close].to_owned()))
+}
+
+/// Finds `(first_line, last_line)` spans of hot function bodies.
+///
+/// A `// nsc-lint: hot` marker attaches to the next `fn` or `impl`
+/// keyword at or below the marker's line; a hot `impl` makes every
+/// method in its body hot. With `default_hot`, functions named
+/// `*_into` or `*_with_scratch` are hot without a marker (the
+/// workspace's scratch-reuse naming convention).
+fn hot_regions(code: &[&Tok], hot_markers: &[u32], default_hot: bool) -> Vec<(u32, u32)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Item {
+        Fn,
+        Impl,
+    }
+    // Every named `fn` and every `impl` keyword, in stream order, so
+    // markers can attach to the next item. (`impl` in type position
+    // — `-> impl Iterator` — also lands here, but the enclosing
+    // `fn` precedes it in the stream and absorbs any marker first.)
+    let mut items: Vec<(usize, Item)> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("fn") && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            items.push((i, Item::Fn));
+        } else if t.is_ident("impl") {
+            items.push((i, Item::Impl));
+        }
+    }
+    let mut marked = vec![false; items.len()];
+    for &m in hot_markers {
+        if let Some(slot) = items.iter().position(|&(i, _)| code[i].line >= m) {
+            marked[slot] = true;
+        }
+    }
+    // Hot impl bodies, as token-index spans.
+    let mut hot_impls: Vec<(usize, usize)> = Vec::new();
+    for (slot, &(i, item)) in items.iter().enumerate() {
+        if item == Item::Impl && marked[slot] {
+            if let Some((open, close)) = brace_body(code, i) {
+                hot_impls.push((open, close));
+            }
+        }
+    }
+    let mut regions = Vec::new();
+    for (slot, &(i, item)) in items.iter().enumerate() {
+        if item != Item::Fn {
+            continue;
+        }
+        let name = code[i + 1].text.as_str();
+        let hot = marked[slot]
+            || hot_impls.iter().any(|&(lo, hi)| lo < i && i < hi)
+            || (default_hot && (name.ends_with("_into") || name.ends_with("_with_scratch")));
+        if !hot {
+            continue;
+        }
+        if let Some((_, close)) = brace_body(code, i) {
+            regions.push((code[i].line, code[close].line));
+        }
+    }
+    regions
+}
+
+/// Finds the token indices of an item's body braces `{ … }`,
+/// scanning from `start` (the `fn`/`impl` keyword). Returns `None`
+/// for bodiless declarations (a `;` at nesting depth 0 comes first).
+fn brace_body(code: &[&Tok], start: usize) -> Option<(usize, usize)> {
+    let mut j = start + 1;
+    let mut nest = 0i32;
+    let open = loop {
+        let t = code.get(j)?;
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => nest -= 1,
+            TokKind::Punct('{') if nest == 0 => break j,
+            TokKind::Punct(';') if nest == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Finds `(first_line, last_line)` spans of items annotated
@@ -749,5 +1009,160 @@ mod tests {
         let rep = check_file(src, false);
         assert_eq!(rep.violations[0].line, 1);
         assert_eq!(rep.violations[1].line, 2);
+    }
+
+    // ---- Hot-region rules. --------------------------------------
+
+    fn rules_fired_hot(src: &str) -> Vec<&'static str> {
+        check_file_ctx(
+            src,
+            FileContext {
+                test_file: false,
+                default_hot: true,
+            },
+        )
+        .violations
+        .iter()
+        .map(|v| v.rule)
+        .collect()
+    }
+
+    #[test]
+    fn hot_marker_makes_the_next_fn_hot() {
+        let src = "// nsc-lint: hot\nfn decode(x: &[u8]) { let v = x.to_vec(); }";
+        assert_eq!(rules_fired(src), ["hot-alloc"]);
+    }
+
+    #[test]
+    fn unmarked_fns_are_cold() {
+        let src = "fn decode(x: &[u8]) { let v = x.to_vec(); let b = Vec::new(); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn default_hot_covers_scratch_entry_points_only() {
+        let hot = "fn decode_into(x: &[u8]) { let v = x.to_vec(); }";
+        assert_eq!(rules_fired_hot(hot), ["hot-alloc"]);
+        let hot = "fn run_with_scratch(x: &[u8]) { let v = vec![0u8; 4]; }";
+        assert_eq!(rules_fired_hot(hot), ["hot-alloc"]);
+        let cold = "fn decode(x: &[u8]) { let v = x.to_vec(); }";
+        assert!(rules_fired_hot(cold).is_empty());
+        // Without the path-derived default, the same names are cold.
+        let src = "fn decode_into(x: &[u8]) { let v = x.to_vec(); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn hot_impl_marks_every_method() {
+        let src = "// nsc-lint: hot\n\
+                   impl Decoder {\n\
+                       fn a(&self) { let v = Vec::new(); }\n\
+                       fn b(&self) { let s = String::from(\"x\"); }\n\
+                   }\n\
+                   fn outside() { let v = Vec::new(); }";
+        assert_eq!(rules_fired(src), ["hot-alloc", "hot-alloc"]);
+    }
+
+    #[test]
+    fn every_alloc_pattern_fires_in_a_hot_fn() {
+        for expr in [
+            "Vec::new()",
+            "vec![0u8; 4]",
+            "x.to_vec()",
+            "x.clone()",
+            "x.iter().map(|v| v).collect::<Vec<_>>()",
+            "Box::new(4)",
+            "String::from(\"s\")",
+            "format!(\"{x:?}\")",
+            "Vec::<u8>::with_capacity(8)",
+        ] {
+            let src = format!("fn f_into(x: &[u8]) {{ let v = {expr}; }}");
+            assert_eq!(rules_fired_hot(&src), ["hot-alloc"], "{expr}");
+        }
+        // `.collect` without a hot region never fires.
+        let src = "fn f(x: &[u8]) { let v: Vec<u8> = x.iter().copied().collect(); }";
+        assert!(rules_fired_hot(src).is_empty());
+    }
+
+    #[test]
+    fn hot_panic_is_a_note() {
+        let src = "// nsc-lint: hot\nfn f(x: Option<u8>) { let v = x.unwrap(); }";
+        let rep = check_file(src, false);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "hot-panic");
+        assert!(rep.violations[0].is_note());
+        let src = "// nsc-lint: hot\nfn f() { panic!(\"boom\"); }";
+        assert_eq!(rules_fired(src), ["hot-panic"]);
+        let src = "// nsc-lint: hot\nfn f(x: Option<u8>) { x.expect(\"set\"); }";
+        assert_eq!(rules_fired(src), ["hot-panic"]);
+    }
+
+    #[test]
+    fn hot_rules_are_test_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n    fn f_into(x: &[u8]) { let v = x.to_vec(); }\n}";
+        assert!(rules_fired_hot(src).is_empty());
+        let rep = check_file_ctx(
+            "fn f_into(x: &[u8]) { let v = x.to_vec(); }",
+            FileContext {
+                test_file: true,
+                default_hot: true,
+            },
+        );
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_waiver_round_trips() {
+        let src = "fn grow_into(buf: &mut Vec<u8>) {\n\
+                   // nsc-lint: allow(hot-alloc, reason = \"warm-up growth, measured once\")\n\
+                   buf.extend(core::iter::repeat(0).take(4).collect::<Vec<u8>>());\n\
+                   }";
+        let rep = check_file_ctx(
+            src,
+            FileContext {
+                test_file: false,
+                default_hot: true,
+            },
+        );
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.waivers.len(), 1);
+        assert!(rep.waivers[0].used);
+    }
+
+    #[test]
+    fn stale_hot_waivers_are_violations() {
+        // The waived line no longer allocates: the waiver itself
+        // must now fire, so §14's table cannot go stale silently.
+        let src = "fn f_into(x: &mut [u8]) {\n\
+                   // nsc-lint: allow(hot-alloc, reason = \"the alloc this documented is gone\")\n\
+                   x.sort_unstable();\n\
+                   }";
+        assert_eq!(rules_fired_hot(src), ["unused-waiver"]);
+        // Stale waivers for non-hot rules stay reported-but-not-
+        // gating (the pre-§14 behavior).
+        let src = "// nsc-lint: allow(wall-clock, reason = \"stale\")\nfn f() {}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn hot_marker_is_not_a_bad_waiver() {
+        let rep = check_file("// nsc-lint: hot\nfn f() {}", false);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert!(rep.waivers.is_empty());
+    }
+
+    #[test]
+    fn hot_region_ends_at_the_closing_brace() {
+        let src = "// nsc-lint: hot\n\
+                   fn hot_one() { let x = 1; }\n\
+                   fn cold_one() { let v = Vec::new(); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn bodiless_decls_do_not_swallow_the_file() {
+        let src = "trait T {\n    fn decode_into(&self, out: &mut Vec<u8>);\n}\n\
+                   fn after() { let v = Vec::new(); }";
+        assert!(rules_fired_hot(src).is_empty());
     }
 }

@@ -138,6 +138,48 @@ fn kernel_divergence_notes_do_not_fail_the_lint() {
 }
 
 #[test]
+fn hot_fixture_diagnostics_are_pinned_to_exact_positions() {
+    let fix = fixture("hot_violations.rs");
+    let out = lint(&["--format", "json", &fix]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "hot fixture must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"violation_count\": 4"), "{json}");
+    assert!(json.contains("\"note_count\": 1"), "{json}");
+    for (rule, count) in [("hot-alloc", 3), ("hot-panic", 1), ("unused-waiver", 1)] {
+        let hits = json.matches(&format!("\"rule\": \"{rule}\"")).count();
+        assert_eq!(hits, count, "rule {rule}: {json}");
+    }
+
+    // Text rendering pins each diagnostic to its exact line:col, and
+    // the single note does not gate the exit code on its own.
+    let out = lint(&[&fix]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    for pos in [":27:5:", ":33:19:", ":39:17:", ":40:45:", ":54:1:"] {
+        assert!(text.contains(pos), "expected a diagnostic at {pos}:\n{text}");
+    }
+    assert!(text.contains("note [hot-panic]"), "{text}");
+    assert!(text.contains("4 violation(s), 1 note(s)"), "{text}");
+}
+
+#[test]
+fn hot_waiver_round_trips_and_stale_waivers_are_flagged() {
+    let fix = fixture("hot_violations.rs");
+    let out = lint(&["--format", "json", &fix]);
+    let json = String::from_utf8(out.stdout).unwrap();
+    // The warm-up vec! waiver suppresses its allocation...
+    assert!(json.contains("\"used\": true"), "{json}");
+    // ...while the stale waiver surfaces as a violation, not a mere
+    // note, so CI refuses bookkeeping drift.
+    assert!(json.contains("\"rule\": \"unused-waiver\""), "{json}");
+    assert!(json.contains("\"used\": false"), "{json}");
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let out = lint(&["--format", "yaml"]);
     assert_eq!(out.status.code(), Some(2));
@@ -159,6 +201,9 @@ fn list_rules_names_every_rule() {
         "mpsc-merge",
         "undocumented-unsafe",
         "kernel-divergence",
+        "hot-alloc",
+        "hot-panic",
+        "unused-waiver",
         "bad-waiver",
     ] {
         assert!(text.contains(rule), "{text}");
