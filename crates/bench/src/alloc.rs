@@ -31,36 +31,51 @@
 //!
 //! # Scope
 //!
-//! The recording flag is thread-local: a census observes only
-//! allocations made by the calling thread, so parallel test threads
-//! do not pollute each other's counts. `alloc`, `alloc_zeroed`, and
-//! `realloc` each count as one allocation (a `Vec` growth doubling
-//! is an observable event); frees are not counted.
+//! The recording flag *and* the counters are thread-local: a census
+//! observes only allocations made by the calling thread, so parallel
+//! test threads (the default `cargo test` harness) do not pollute
+//! each other's counts — and, conversely, a kernel that allocates on
+//! worker threads it spawns reports zero. Only single-threaded
+//! kernels can meaningfully be censused. `alloc`, `alloc_zeroed`,
+//! and `realloc` each count as one allocation (a `Vec` growth
+//! doubling is an observable event); frees are not counted.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Allocation events observed since process start (recording threads
-/// only).
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-/// Bytes requested by those events.
-static BYTES: AtomicU64 = AtomicU64::new(0);
+/// Per-thread census state. Counters are monotonic for the thread's
+/// lifetime; [`alloc_census`] reads deltas, which also gives nested
+/// censuses for free.
+struct CensusState {
+    /// Whether this thread is inside an [`alloc_census`].
+    recording: Cell<bool>,
+    /// Allocation events observed by this thread while recording.
+    allocs: Cell<u64>,
+    /// Bytes requested by those events.
+    bytes: Cell<u64>,
+}
 
 thread_local! {
-    /// Whether the current thread is inside an [`alloc_census`].
     /// `const` init keeps the TLS access itself allocation-free.
-    static RECORDING: Cell<bool> = const { Cell::new(false) };
+    static STATE: CensusState = const {
+        CensusState {
+            recording: Cell::new(false),
+            allocs: Cell::new(0),
+            bytes: Cell::new(0),
+        }
+    };
 }
 
 /// Records one allocation event of `bytes` bytes if the current
 /// thread is censusing. `try_with` guards against TLS teardown during
 /// thread exit, when allocation can still occur.
 fn record(bytes: usize) {
-    if RECORDING.try_with(Cell::get).unwrap_or(false) {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
-    }
+    let _ = STATE.try_with(|s| {
+        if s.recording.get() {
+            s.allocs.set(s.allocs.get() + 1);
+            s.bytes.set(s.bytes.get() + bytes as u64);
+        }
+    });
 }
 
 /// A [`GlobalAlloc`] that delegates to [`System`] and counts
@@ -119,18 +134,19 @@ pub struct Census {
 /// that false negative. Nested censuses are supported; the inner
 /// census's events are also visible to the outer one.
 pub fn alloc_census<R>(f: impl FnOnce() -> R) -> (R, Census) {
-    let allocs_before = ALLOCS.load(Ordering::Relaxed);
-    let bytes_before = BYTES.load(Ordering::Relaxed);
-    let was_recording = RECORDING.with(|r| r.replace(true));
+    let (allocs_before, bytes_before, was_recording) = STATE.with(|s| {
+        let was = s.recording.replace(true);
+        (s.allocs.get(), s.bytes.get(), was)
+    });
     let out = f();
-    RECORDING.with(|r| r.set(was_recording));
-    (
-        out,
+    let census = STATE.with(|s| {
+        s.recording.set(was_recording);
         Census {
-            allocs: ALLOCS.load(Ordering::Relaxed) - allocs_before,
-            bytes: BYTES.load(Ordering::Relaxed) - bytes_before,
-        },
-    )
+            allocs: s.allocs.get() - allocs_before,
+            bytes: s.bytes.get() - bytes_before,
+        }
+    });
+    (out, census)
 }
 
 /// Returns `true` when the census oracle actually observes
@@ -166,6 +182,6 @@ mod tests {
             nested
         });
         assert_eq!(inner, Census::default());
-        assert!(!RECORDING.with(Cell::get));
+        assert!(!STATE.with(|s| s.recording.get()));
     }
 }

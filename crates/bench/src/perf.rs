@@ -121,6 +121,14 @@ pub struct BenchResult {
     /// binary's global allocator; `nsc` registers it, so `nsc bench`
     /// rows always carry a count and `scripts/bench_export` can hold
     /// the scratch kernels to exactly zero.
+    ///
+    /// The census is thread-scoped: it counts only allocations made
+    /// by the bench harness's own (calling) thread, so a kernel that
+    /// allocates on worker threads it spawns reports 0 vacuously.
+    /// Only single-threaded kernels may be pinned to zero in
+    /// `scripts/bench_export` (the currently guarded kernels —
+    /// `trial_scratch_unsync`, `trial_rng`, `std_rng`,
+    /// `decode_watermark_scratch` — all run on one thread).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub allocs_per_iter: Option<u64>,
 }

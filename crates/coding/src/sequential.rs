@@ -313,7 +313,14 @@ impl SequentialDecoder {
             // per-successor copies are made.
             materialize(&scratch.arena, node.tail, node.len, &mut scratch.prefix);
             for &b in choices {
-                debug_assert!(scratch.arena.len() < ROOT as usize);
+                // Hard check, not a debug_assert: in release mode a
+                // wrapped cast would silently corrupt parent links.
+                // `ROOT` (u32::MAX) is reserved as the sentinel.
+                if scratch.arena.len() >= ROOT as usize {
+                    return Err(CodingError::DecodeFailure(
+                        "sequential decoder arena exhausted the u32 index space".to_owned(),
+                    ));
+                }
                 let child = scratch.arena.len() as u32;
                 scratch.arena.push((node.tail, b));
                 scratch.prefix.push(b);

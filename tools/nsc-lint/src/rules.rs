@@ -125,8 +125,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "bad-waiver",
-        summary: "a `nsc-lint:` comment that does not parse, names an unknown rule, or \
-                  gives an empty reason.",
+        summary: "a `nsc-lint:` comment that does not parse, names an unknown rule, \
+                  gives an empty reason, or is a `hot` marker with no `fn`/`impl` item \
+                  below it to attach to.",
         note: false,
     },
 ];
@@ -238,7 +239,7 @@ pub fn check_file_ctx(src: &str, ctx: FileContext) -> FileReport {
     // ---- Waivers and hot markers (from comment tokens). ---------
     // Doc comments are excluded: rustdoc prose *describing* the
     // waiver syntax must not be parsed as a waiver.
-    let mut hot_markers: Vec<u32> = Vec::new();
+    let mut hot_markers: Vec<(u32, u32)> = Vec::new();
     for t in toks
         .iter()
         .filter(|t| matches!(t.kind, TokKind::Comment { doc: false }))
@@ -250,7 +251,7 @@ pub fn check_file_ctx(src: &str, ctx: FileContext) -> FileReport {
         // A `hot` tail marks the next `fn` or `impl` item as a hot
         // region; it is an annotation, not a waiver.
         if tail.trim().trim_end_matches("*/").trim() == "hot" {
-            hot_markers.push(t.line);
+            hot_markers.push((t.line, t.col));
             continue;
         }
         match parse_waiver(tail) {
@@ -301,7 +302,20 @@ pub fn check_file_ctx(src: &str, ctx: FileContext) -> FileReport {
     };
 
     // ---- Hot regions (line ranges of hot function bodies). ------
-    let hot_spans = hot_regions(&code, &hot_markers, ctx.default_hot);
+    let (hot_spans, orphan_markers) = hot_regions(&code, &hot_markers, ctx.default_hot);
+    // A marker that binds to nothing would silently leave its
+    // intended region cold — fail it like a malformed waiver.
+    for (line, col) in orphan_markers {
+        report.violations.push(Violation {
+            rule: "bad-waiver",
+            line,
+            col,
+            message: "`hot` marker has no `fn` or `impl` item below it to attach to, \
+                      so the region it meant to mark stays unchecked"
+                .to_owned(),
+            snippet: snippet(line),
+        });
+    }
     let in_hot =
         |line: u32| -> bool { hot_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi) };
 
@@ -608,14 +622,21 @@ fn parse_waiver(rest: &str) -> Result<(String, String), &'static str> {
     Ok((rule, tail[..close].to_owned()))
 }
 
-/// Finds `(first_line, last_line)` spans of hot function bodies.
+/// Finds `(first_line, last_line)` spans of hot function bodies,
+/// plus the `(line, col)` of every marker that attached to nothing
+/// (for the caller to report — a silently dropped marker would leave
+/// its intended region cold).
 ///
 /// A `// nsc-lint: hot` marker attaches to the next `fn` or `impl`
 /// keyword at or below the marker's line; a hot `impl` makes every
 /// method in its body hot. With `default_hot`, functions named
 /// `*_into` or `*_with_scratch` are hot without a marker (the
 /// workspace's scratch-reuse naming convention).
-fn hot_regions(code: &[&Tok], hot_markers: &[u32], default_hot: bool) -> Vec<(u32, u32)> {
+fn hot_regions(
+    code: &[&Tok],
+    hot_markers: &[(u32, u32)],
+    default_hot: bool,
+) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
     #[derive(Clone, Copy, PartialEq)]
     enum Item {
         Fn,
@@ -634,9 +655,12 @@ fn hot_regions(code: &[&Tok], hot_markers: &[u32], default_hot: bool) -> Vec<(u3
         }
     }
     let mut marked = vec![false; items.len()];
-    for &m in hot_markers {
+    let mut orphans: Vec<(u32, u32)> = Vec::new();
+    for &(m, c) in hot_markers {
         if let Some(slot) = items.iter().position(|&(i, _)| code[i].line >= m) {
             marked[slot] = true;
+        } else {
+            orphans.push((m, c));
         }
     }
     // Hot impl bodies, as token-index spans.
@@ -664,7 +688,7 @@ fn hot_regions(code: &[&Tok], hot_markers: &[u32], default_hot: bool) -> Vec<(u3
             regions.push((code[i].line, code[close].line));
         }
     }
-    regions
+    (regions, orphans)
 }
 
 /// Finds the token indices of an item's body braces `{ … }`,
@@ -1149,6 +1173,22 @@ mod tests {
         let rep = check_file("// nsc-lint: hot\nfn f() {}", false);
         assert!(rep.violations.is_empty(), "{:?}", rep.violations);
         assert!(rep.waivers.is_empty());
+    }
+
+    #[test]
+    fn unattached_hot_marker_is_a_bad_waiver() {
+        // A marker below every item binds to nothing; silently
+        // dropping it would leave the intended region cold.
+        let rep = check_file("fn f() {}\n// nsc-lint: hot", false);
+        assert_eq!(
+            rep.violations
+                .iter()
+                .map(|v| (v.rule, v.line))
+                .collect::<Vec<_>>(),
+            [("bad-waiver", 2)]
+        );
+        // A marker in an otherwise item-free file is equally orphaned.
+        assert_eq!(rules_fired("// nsc-lint: hot"), ["bad-waiver"]);
     }
 
     #[test]
